@@ -1,0 +1,375 @@
+//! Lemma 2 of Theorem 1: calculus → algebra translation.
+//!
+//! For every calculus expression with free variables `p1..pk` there is an
+//! algebra expression over a relation with matching position columns. This
+//! is the constructive half used for query compilation: the COMP engine
+//! parses COMP to the calculus, translates here, and evaluates the algebra.
+//!
+//! Column convention: every translated expression's columns correspond to
+//! its free variables **in ascending `VarId` order**; permutation
+//! projections are inserted wherever the construction produces a different
+//! order. Conjunction with shared variables uses the lemma's
+//! `(E1 ⋈ π E2) ∩ (π E1 ⋈ E2)` construction; disjunction pads missing
+//! variables with `HasPos` columns (the lemma's padding via projections is
+//! equivalent for final, fully-projected queries; `HasPos` padding is also
+//! correct for intermediate relations, which our differential tests check).
+
+use crate::error::AlgebraError;
+use crate::expr::AlgExpr;
+use ftsl_calculus::ast::{CalcQuery, QueryExpr, VarId};
+use ftsl_calculus::safety;
+use ftsl_calculus::vars::uniquify;
+use ftsl_predicates::PredicateRegistry;
+
+/// An algebra expression together with the variable each column represents
+/// (ascending `VarId` order).
+#[derive(Clone, Debug)]
+pub struct Translated {
+    /// The algebra expression.
+    pub expr: AlgExpr,
+    /// Column-to-variable mapping, sorted ascending.
+    pub vars: Vec<VarId>,
+}
+
+/// Translate a closed calculus query to an arity-0 algebra query.
+pub fn query_to_algebra(
+    query: &CalcQuery,
+    registry: &PredicateRegistry,
+) -> Result<AlgExpr, AlgebraError> {
+    safety::check_query(query, registry)
+        .map_err(|e| AlgebraError::BadPredicateApplication(e.to_string()))?;
+    let expr = uniquify(&query.expr);
+    let t = translate(&expr, registry)?;
+    debug_assert!(t.vars.is_empty(), "closed query translated to arity {}", t.vars.len());
+    Ok(t.expr)
+}
+
+/// Translate an arbitrary (possibly open) expression.
+#[allow(clippy::only_used_in_recursion)] // the registry parameter is part of the public contract
+pub fn translate(
+    expr: &QueryExpr,
+    registry: &PredicateRegistry,
+) -> Result<Translated, AlgebraError> {
+    Ok(match expr {
+        QueryExpr::HasPos(v) => Translated { expr: AlgExpr::HasPos, vars: vec![*v] },
+        QueryExpr::HasToken(v, t) => {
+            Translated { expr: AlgExpr::TokenRel(t.clone()), vars: vec![*v] }
+        }
+        QueryExpr::Pred { pred, vars, consts } => {
+            // σ_pred over a HasPos^k base covering the distinct variables.
+            let mut unique: Vec<VarId> = vars.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            let base = has_pos_power(unique.len());
+            let cols: Vec<usize> = vars
+                .iter()
+                .map(|v| unique.iter().position(|u| u == v).expect("var present"))
+                .collect();
+            Translated {
+                expr: AlgExpr::Select {
+                    input: Box::new(base),
+                    pred: *pred,
+                    cols,
+                    consts: consts.clone(),
+                },
+                vars: unique,
+            }
+        }
+        QueryExpr::Not(e) => {
+            let inner = translate(e, registry)?;
+            if inner.vars.is_empty() {
+                Translated {
+                    expr: AlgExpr::Difference(
+                        Box::new(AlgExpr::SearchContext),
+                        Box::new(inner.expr),
+                    ),
+                    vars: vec![],
+                }
+            } else {
+                let base = has_pos_power(inner.vars.len());
+                Translated {
+                    expr: AlgExpr::Difference(Box::new(base), Box::new(inner.expr)),
+                    vars: inner.vars,
+                }
+            }
+        }
+        QueryExpr::And(a, b) => {
+            // Optimization (the Figure 4 plan shape): a predicate conjunct
+            // whose variables are already covered becomes a selection.
+            if let QueryExpr::Pred { pred, vars, consts } = b.as_ref() {
+                let left = translate(a, registry)?;
+                if vars.iter().all(|v| left.vars.contains(v)) {
+                    let cols: Vec<usize> = vars
+                        .iter()
+                        .map(|v| left.vars.iter().position(|u| u == v).unwrap())
+                        .collect();
+                    return Ok(Translated {
+                        expr: AlgExpr::Select {
+                            input: Box::new(left.expr),
+                            pred: *pred,
+                            cols,
+                            consts: consts.clone(),
+                        },
+                        vars: left.vars,
+                    });
+                }
+            }
+            if let QueryExpr::Pred { pred, vars, consts } = a.as_ref() {
+                let right = translate(b, registry)?;
+                if vars.iter().all(|v| right.vars.contains(v)) {
+                    let cols: Vec<usize> = vars
+                        .iter()
+                        .map(|v| right.vars.iter().position(|u| u == v).unwrap())
+                        .collect();
+                    return Ok(Translated {
+                        expr: AlgExpr::Select {
+                            input: Box::new(right.expr),
+                            pred: *pred,
+                            cols,
+                            consts: consts.clone(),
+                        },
+                        vars: right.vars,
+                    });
+                }
+            }
+            let left = translate(a, registry)?;
+            let right = translate(b, registry)?;
+            conjoin(left, right)
+        }
+        QueryExpr::Or(a, b) => {
+            let left = translate(a, registry)?;
+            let right = translate(b, registry)?;
+            disjoin(left, right)
+        }
+        QueryExpr::Exists(v, e) => {
+            let inner = translate(e, registry)?;
+            if let Some(idx) = inner.vars.iter().position(|u| u == v) {
+                let keep: Vec<usize> =
+                    (0..inner.vars.len()).filter(|&i| i != idx).collect();
+                let vars: Vec<VarId> = keep.iter().map(|&i| inner.vars[i]).collect();
+                Translated { expr: AlgExpr::Project(Box::new(inner.expr), keep), vars }
+            } else {
+                // ∃v over an expression not mentioning v: the node must be
+                // non-empty (have at least one position to bind v to).
+                let nonempty =
+                    AlgExpr::Project(Box::new(AlgExpr::HasPos), vec![]);
+                Translated {
+                    expr: AlgExpr::Join(Box::new(inner.expr), Box::new(nonempty)),
+                    vars: inner.vars,
+                }
+            }
+        }
+        QueryExpr::Forall(v, e) => {
+            // ∀v (hasPos ⇒ e) = ¬∃v (hasPos ∧ ¬e)
+            let rewritten = QueryExpr::Not(Box::new(QueryExpr::Exists(
+                *v,
+                Box::new(QueryExpr::Not(e.clone())),
+            )));
+            return translate(&rewritten, registry);
+        }
+    })
+}
+
+/// `HasPos ⋈ ... ⋈ HasPos` with `k` columns (`k ≥ 1`).
+fn has_pos_power(k: usize) -> AlgExpr {
+    assert!(k >= 1);
+    let mut e = AlgExpr::HasPos;
+    for _ in 1..k {
+        e = AlgExpr::Join(Box::new(e), Box::new(AlgExpr::HasPos));
+    }
+    e
+}
+
+/// Project-permute `expr` (with columns `from`) onto the variable order
+/// `to` (a subset or reordering of `from`).
+fn permute(expr: AlgExpr, from: &[VarId], to: &[VarId]) -> AlgExpr {
+    if from == to {
+        return expr;
+    }
+    let cols: Vec<usize> = to
+        .iter()
+        .map(|v| from.iter().position(|u| u == v).expect("permute var"))
+        .collect();
+    AlgExpr::Project(Box::new(expr), cols)
+}
+
+/// The Lemma 2 conjunction construction.
+fn conjoin(left: Translated, right: Translated) -> Translated {
+    let shared: Vec<VarId> =
+        left.vars.iter().copied().filter(|v| right.vars.contains(v)).collect();
+    let u1: Vec<VarId> =
+        left.vars.iter().copied().filter(|v| !shared.contains(v)).collect();
+    let u2: Vec<VarId> =
+        right.vars.iter().copied().filter(|v| !shared.contains(v)).collect();
+    let mut all: Vec<VarId> = left.vars.iter().chain(right.vars.iter()).copied().collect();
+    all.sort_unstable();
+    all.dedup();
+
+    if shared.is_empty() {
+        // Plain cartesian join, then reorder to ascending variable ids.
+        let joined_vars: Vec<VarId> =
+            left.vars.iter().chain(right.vars.iter()).copied().collect();
+        let expr = AlgExpr::Join(Box::new(left.expr), Box::new(right.expr));
+        return Translated { expr: permute(expr, &joined_vars, &all), vars: all };
+    }
+
+    // term1 = E1 ⋈ π_{u2}(E2): columns v1 ++ u2
+    let term1_vars: Vec<VarId> = left.vars.iter().chain(u2.iter()).copied().collect();
+    let term1 = AlgExpr::Join(
+        Box::new(left.expr.clone()),
+        Box::new(permute(right.expr.clone(), &right.vars, &u2)),
+    );
+    let term1 = permute(term1, &term1_vars, &all);
+
+    // term2 = π_{u1}(E1) ⋈ E2: columns u1 ++ v2
+    let term2_vars: Vec<VarId> = u1.iter().chain(right.vars.iter()).copied().collect();
+    let term2 = AlgExpr::Join(
+        Box::new(permute(left.expr, &left.vars, &u1)),
+        Box::new(right.expr),
+    );
+    let term2 = permute(term2, &term2_vars, &all);
+
+    Translated { expr: AlgExpr::Intersect(Box::new(term1), Box::new(term2)), vars: all }
+}
+
+/// Disjunction with `HasPos` padding for one-sided variables.
+fn disjoin(left: Translated, right: Translated) -> Translated {
+    let u1: Vec<VarId> =
+        left.vars.iter().copied().filter(|v| !right.vars.contains(v)).collect();
+    let u2: Vec<VarId> =
+        right.vars.iter().copied().filter(|v| !left.vars.contains(v)).collect();
+    let mut all: Vec<VarId> = left.vars.iter().chain(right.vars.iter()).copied().collect();
+    all.sort_unstable();
+    all.dedup();
+
+    let pad = |t: Translated, missing: &[VarId]| -> AlgExpr {
+        if missing.is_empty() {
+            permute(t.expr, &t.vars, &all)
+        } else {
+            let padded_vars: Vec<VarId> =
+                t.vars.iter().chain(missing.iter()).copied().collect();
+            let expr = AlgExpr::Join(
+                Box::new(t.expr),
+                Box::new(has_pos_power(missing.len())),
+            );
+            permute(expr, &padded_vars, &all)
+        }
+    };
+
+    let l = pad(left, &u2);
+    let r = pad(right, &u1);
+    Translated { expr: AlgExpr::Union(Box::new(l), Box::new(r)), vars: all }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::AlgebraEvaluator;
+    use ftsl_calculus::build::*;
+    use ftsl_calculus::interp::Interpreter;
+    use ftsl_index::IndexBuilder;
+    use ftsl_model::Corpus;
+
+    fn setup() -> (Corpus, ftsl_index::InvertedIndex, PredicateRegistry) {
+        let corpus = Corpus::from_texts(&[
+            "test driven usability",
+            "usability test",
+            "test test something",
+            "nothing relevant here",
+            "",
+            "usability usability",
+        ]);
+        let index = IndexBuilder::new().build(&corpus);
+        (corpus, index, PredicateRegistry::with_builtins())
+    }
+
+    fn check_equivalent(expr: QueryExpr) {
+        let (corpus, index, reg) = setup();
+        let q = CalcQuery::new(expr);
+        let interp = Interpreter::new(&corpus, &reg);
+        let expected = interp.eval_query(&q);
+        let alg = query_to_algebra(&q, &reg).expect("translate");
+        let mut ev = AlgebraEvaluator::new(&corpus, &index, &reg);
+        let got = ev.eval(&alg).expect("evaluate").distinct_nodes();
+        assert_eq!(got, expected, "diverged for {:?} => {:?}", q.expr, alg);
+    }
+
+    #[test]
+    fn conjunction_of_tokens() {
+        check_equivalent(and(contains(1, "test"), contains(2, "usability")));
+    }
+
+    #[test]
+    fn negation_is_complement_wrt_search_context() {
+        check_equivalent(not(contains(1, "test")));
+    }
+
+    #[test]
+    fn distance_predicate_becomes_selection() {
+        let reg = PredicateRegistry::with_builtins();
+        let distance = reg.lookup("distance").unwrap();
+        check_equivalent(exists(
+            1,
+            and(
+                has_token(1, "test"),
+                exists(2, and(has_token(2, "usability"), pred(distance, &[1, 2], &[5]))),
+            ),
+        ));
+    }
+
+    #[test]
+    fn shared_variable_conjunction_uses_intersection() {
+        // ∃p (hasToken(p,'test') ∧ hasToken(p,'test')) — same var twice.
+        check_equivalent(exists(1, and(has_token(1, "test"), has_token(1, "test"))));
+        // Contradictory: a position holding two different tokens.
+        check_equivalent(exists(1, and(has_token(1, "test"), has_token(1, "usability"))));
+    }
+
+    #[test]
+    fn disjunction_with_asymmetric_vars() {
+        check_equivalent(or(contains(1, "test"), contains(2, "usability")));
+        check_equivalent(exists(
+            1,
+            or(has_token(1, "test"), and(has_token(1, "usability"), contains(2, "driven"))),
+        ));
+    }
+
+    #[test]
+    fn forall_roundtrip() {
+        check_equivalent(forall(1, has_token(1, "usability")));
+    }
+
+    #[test]
+    fn exists_over_unused_variable_requires_nonempty_node() {
+        // ∃p (hasPos(p)) ∧ ¬hasToken-ish: simplest: ∃p over expr not using p.
+        check_equivalent(exists(1, exists(2, has_token(2, "usability"))));
+        check_equivalent(exists(1, not(contains(2, "usability"))));
+    }
+
+    #[test]
+    fn double_occurrence_example() {
+        let reg = PredicateRegistry::with_builtins();
+        let diffpos = reg.lookup("diffpos").unwrap();
+        check_equivalent(exists(
+            1,
+            and(
+                has_token(1, "test"),
+                exists(
+                    2,
+                    and(
+                        and(has_token(2, "test"), pred(diffpos, &[1, 2], &[])),
+                        forall(3, not(has_token(3, "usability"))),
+                    ),
+                ),
+            ),
+        ));
+    }
+
+    #[test]
+    fn pred_with_repeated_variable() {
+        let reg = PredicateRegistry::with_builtins();
+        let distance = reg.lookup("distance").unwrap();
+        // distance(p,p,0) is trivially true wherever p is bound.
+        check_equivalent(exists(1, and(has_token(1, "test"), pred(distance, &[1, 1], &[0]))));
+    }
+}

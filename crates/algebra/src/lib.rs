@@ -1,0 +1,30 @@
+//! # ftsl-algebra — the full-text algebra (FTA)
+//!
+//! Section 2.3 of the paper: *full-text relations* of shape
+//! `R[CNode, att1..attm]` whose position attributes always refer to positions
+//! of the tuple's own context node, and operators `SearchContext`, `HasPos`,
+//! `R_token`, `π` (always keeping `CNode`), `⋈` (equi-join on `CNode` only —
+//! a per-node cartesian product of positions), `σ_pred`, `∪`, `∩`, `−`.
+//!
+//! This crate provides:
+//!
+//! * [`relation::FtRelation`] — flat columnar tuple storage;
+//! * [`expr::AlgExpr`] — the operator AST with arity checking;
+//! * [`eval::AlgebraEvaluator`] — the materialized evaluator used by the
+//!   COMP engine (Section 5.4), instrumented with tuple counters;
+//! * [`from_calculus`] — Lemma 2 (calculus → algebra), the constructive half
+//!   of Theorem 1 that query compilation uses;
+//! * [`to_calculus`] — Lemma 1 (algebra → calculus), used to machine-check
+//!   the equivalence by differential testing.
+
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod from_calculus;
+pub mod relation;
+pub mod to_calculus;
+
+pub use error::AlgebraError;
+pub use eval::AlgebraEvaluator;
+pub use expr::AlgExpr;
+pub use relation::FtRelation;

@@ -1,0 +1,320 @@
+//! Full-text relations: `R[CNode, att1..attm]` with flat columnar storage.
+
+use ftsl_model::{NodeId, Position};
+use std::cmp::Ordering;
+
+/// A materialized full-text relation.
+///
+/// Tuples are stored row-major: `positions[i*arity .. (i+1)*arity]` are the
+/// position attributes of row `i`, whose context node is `nodes[i]`.
+/// All operators keep relations **canonical**: rows sorted by
+/// `(node, positions)` with duplicates removed, so set operations are merges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FtRelation {
+    arity: usize,
+    nodes: Vec<NodeId>,
+    positions: Vec<Position>,
+}
+
+impl FtRelation {
+    /// An empty relation with `arity` position attributes.
+    pub fn new(arity: usize) -> Self {
+        FtRelation { arity, nodes: Vec::new(), positions: Vec::new() }
+    }
+
+    /// Number of position attributes (`m`).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Append a tuple. Callers must canonicalize afterwards unless rows are
+    /// pushed in canonical order.
+    pub fn push(&mut self, node: NodeId, positions: &[Position]) {
+        debug_assert_eq!(positions.len(), self.arity);
+        self.nodes.push(node);
+        self.positions.extend_from_slice(positions);
+    }
+
+    /// The `i`-th tuple.
+    pub fn tuple(&self, i: usize) -> (NodeId, &[Position]) {
+        (self.nodes[i], &self.positions[i * self.arity..(i + 1) * self.arity])
+    }
+
+    /// Iterate all tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[Position])> {
+        (0..self.len()).map(move |i| self.tuple(i))
+    }
+
+    fn row_cmp(&self, i: usize, j: usize) -> Ordering {
+        let (ni, pi) = self.tuple(i);
+        let (nj, pj) = self.tuple(j);
+        ni.cmp(&nj).then_with(|| {
+            pi.iter()
+                .map(|p| p.offset)
+                .cmp(pj.iter().map(|p| p.offset))
+        })
+    }
+
+    /// Sort rows by `(node, positions)` and remove duplicates.
+    pub fn canonicalize(&mut self) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| self.row_cmp(a, b));
+        order.dedup_by(|a, b| self.row_cmp(*a, *b) == Ordering::Equal);
+        let mut nodes = Vec::with_capacity(order.len());
+        let mut positions = Vec::with_capacity(order.len() * self.arity);
+        for &i in &order {
+            let (n, ps) = self.tuple(i);
+            nodes.push(n);
+            positions.extend_from_slice(ps);
+        }
+        self.nodes = nodes;
+        self.positions = positions;
+    }
+
+    /// `π` over the given column indices (in the given order — permutations
+    /// allowed; `CNode` is always implicitly kept). Canonicalizes.
+    pub fn project(&self, cols: &[usize]) -> FtRelation {
+        debug_assert!(cols.iter().all(|&c| c < self.arity));
+        let mut out = FtRelation::new(cols.len());
+        let mut row = Vec::with_capacity(cols.len());
+        for (node, ps) in self.iter() {
+            row.clear();
+            row.extend(cols.iter().map(|&c| ps[c]));
+            out.push(node, &row);
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// `⋈`: equi-join on `CNode` only — within each node, the cartesian
+    /// product of the two sides' position rows (Section 2.3.1). Both inputs
+    /// must be canonical.
+    pub fn join(&self, other: &FtRelation) -> FtRelation {
+        let mut out = FtRelation::new(self.arity + other.arity);
+        let mut row = Vec::with_capacity(out.arity);
+        let mut j_start = 0usize;
+        for (node, left) in self.iter() {
+            // Advance to this node's group in `other`.
+            while j_start < other.len() && other.nodes[j_start] < node {
+                j_start += 1;
+            }
+            let mut j = j_start;
+            while j < other.len() && other.nodes[j] == node {
+                let (_, right) = other.tuple(j);
+                row.clear();
+                row.extend_from_slice(left);
+                row.extend_from_slice(right);
+                out.push(node, &row);
+                j += 1;
+            }
+        }
+        // Left side is sorted, so output is canonical already except for
+        // possible duplicates in non-canonical input; canonicalize cheaply.
+        out.canonicalize();
+        out
+    }
+
+    /// `σ`: retain rows where `pred` holds on the positions selected by
+    /// `cols` with constants `consts`.
+    pub fn select(
+        &self,
+        pred: &dyn ftsl_predicates::Predicate,
+        cols: &[usize],
+        consts: &[i64],
+    ) -> FtRelation {
+        let mut out = FtRelation::new(self.arity);
+        let mut args = Vec::with_capacity(cols.len());
+        for (node, ps) in self.iter() {
+            args.clear();
+            args.extend(cols.iter().map(|&c| ps[c]));
+            if pred.eval(&args, consts) {
+                out.push(node, ps);
+            }
+        }
+        out
+    }
+
+    /// `∪` of two canonical relations of equal arity.
+    pub fn union(&self, other: &FtRelation) -> FtRelation {
+        debug_assert_eq!(self.arity, other.arity);
+        let mut out = self.clone();
+        for (node, ps) in other.iter() {
+            out.push(node, ps);
+        }
+        out.canonicalize();
+        out
+    }
+
+    /// `∩` of two canonical relations of equal arity.
+    pub fn intersect(&self, other: &FtRelation) -> FtRelation {
+        debug_assert_eq!(self.arity, other.arity);
+        let mut out = FtRelation::new(self.arity);
+        for (node, ps) in self.iter() {
+            if other.contains(node, ps) {
+                out.push(node, ps);
+            }
+        }
+        out
+    }
+
+    /// `−` of two canonical relations of equal arity.
+    pub fn difference(&self, other: &FtRelation) -> FtRelation {
+        debug_assert_eq!(self.arity, other.arity);
+        let mut out = FtRelation::new(self.arity);
+        for (node, ps) in self.iter() {
+            if !other.contains(node, ps) {
+                out.push(node, ps);
+            }
+        }
+        out
+    }
+
+    /// Binary-search membership (requires canonical form).
+    pub fn contains(&self, node: NodeId, positions: &[Position]) -> bool {
+        self.find(node, positions).is_some()
+    }
+
+    fn find(&self, node: NodeId, positions: &[Position]) -> Option<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (n, ps) = self.tuple(mid);
+            let ord = n.cmp(&node).then_with(|| {
+                ps.iter()
+                    .map(|p| p.offset)
+                    .cmp(positions.iter().map(|p| p.offset))
+            });
+            match ord {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// The distinct node ids of all tuples (the final answer of an algebra
+    /// query, which by definition has arity 0 — but useful at any arity).
+    pub fn distinct_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.nodes.clone();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_predicates::PredicateRegistry;
+
+    fn p(o: u32) -> Position {
+        Position::flat(o)
+    }
+
+    fn rel(rows: &[(u32, &[u32])]) -> FtRelation {
+        let arity = rows.first().map_or(0, |(_, ps)| ps.len());
+        let mut r = FtRelation::new(arity);
+        for (n, ps) in rows {
+            let row: Vec<Position> = ps.iter().map(|&o| p(o)).collect();
+            r.push(NodeId(*n), &row);
+        }
+        r.canonicalize();
+        r
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let r = rel(&[(2, &[5]), (1, &[9]), (1, &[3]), (1, &[9])]);
+        let rows: Vec<(u32, u32)> = r.iter().map(|(n, ps)| (n.0, ps[0].offset)).collect();
+        assert_eq!(rows, vec![(1, 3), (1, 9), (2, 5)]);
+    }
+
+    #[test]
+    fn join_is_per_node_cartesian_product() {
+        let a = rel(&[(1, &[10]), (1, &[20]), (2, &[1])]);
+        let b = rel(&[(1, &[7]), (1, &[8]), (3, &[9])]);
+        let j = a.join(&b);
+        assert_eq!(j.arity(), 2);
+        let rows: Vec<(u32, u32, u32)> =
+            j.iter().map(|(n, ps)| (n.0, ps[0].offset, ps[1].offset)).collect();
+        assert_eq!(rows, vec![(1, 10, 7), (1, 10, 8), (1, 20, 7), (1, 20, 8)]);
+    }
+
+    #[test]
+    fn join_with_arity0_is_a_semijoin() {
+        let a = rel(&[(1, &[10]), (2, &[20]), (3, &[30])]);
+        let mut b = FtRelation::new(0);
+        b.push(NodeId(2), &[]);
+        b.push(NodeId(3), &[]);
+        b.canonicalize();
+        let j = a.join(&b);
+        let nodes: Vec<u32> = j.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(nodes, vec![2, 3]);
+        assert_eq!(j.arity(), 1);
+    }
+
+    #[test]
+    fn project_permutes_and_dedups() {
+        let a = rel(&[(1, &[10, 7]), (1, &[10, 8])]);
+        let swapped = a.project(&[1, 0]);
+        let rows: Vec<(u32, u32)> =
+            swapped.iter().map(|(_, ps)| (ps[0].offset, ps[1].offset)).collect();
+        assert_eq!(rows, vec![(7, 10), (8, 10)]);
+        let first_only = a.project(&[0]);
+        assert_eq!(first_only.len(), 1);
+    }
+
+    #[test]
+    fn select_applies_predicate_on_columns() {
+        let reg = PredicateRegistry::with_builtins();
+        let distance = reg.get(reg.lookup("distance").unwrap());
+        let a = rel(&[(1, &[3, 25]), (1, &[39, 42])]);
+        let s = a.select(distance, &[0, 1], &[5]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuple(0).1[0].offset, 39);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = rel(&[(1, &[1]), (2, &[2]), (3, &[3])]);
+        let b = rel(&[(2, &[2]), (4, &[4])]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersect(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert_eq!(
+            a.difference(&b).distinct_nodes(),
+            vec![NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let a = rel(&[(1, &[1, 2]), (1, &[1, 5]), (7, &[0, 0])]);
+        assert!(a.contains(NodeId(1), &[p(1), p(5)]));
+        assert!(!a.contains(NodeId(1), &[p(1), p(4)]));
+        assert!(a.contains(NodeId(7), &[p(0), p(0)]));
+        assert!(!a.contains(NodeId(9), &[p(0), p(0)]));
+    }
+
+    #[test]
+    fn arity0_relations_model_node_sets() {
+        let mut a = FtRelation::new(0);
+        a.push(NodeId(3), &[]);
+        a.push(NodeId(1), &[]);
+        a.push(NodeId(3), &[]);
+        a.canonicalize();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.distinct_nodes(), vec![NodeId(1), NodeId(3)]);
+    }
+}

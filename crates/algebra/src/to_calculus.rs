@@ -1,0 +1,198 @@
+//! Lemma 1 of Theorem 1: algebra → calculus translation.
+//!
+//! For every algebra expression producing `R(CNode, att1..attk)` there is a
+//! calculus expression with free variables `p1..pk` denoting the same
+//! relation. Used to machine-check the equivalence theorem by differential
+//! testing (`tests/theorem1_prop.rs`).
+
+use crate::error::AlgebraError;
+use crate::expr::AlgExpr;
+use ftsl_calculus::ast::{CalcQuery, QueryExpr, VarId};
+use ftsl_predicates::PredicateRegistry;
+
+/// Translate an arity-0 algebra query into a closed calculus query.
+pub fn query_to_calculus(
+    expr: &AlgExpr,
+    registry: &PredicateRegistry,
+) -> Result<CalcQuery, AlgebraError> {
+    let arity = expr.arity(registry)?;
+    if arity != 0 {
+        return Err(AlgebraError::BadPredicateApplication(format!(
+            "algebra queries must have arity 0, got {arity}"
+        )));
+    }
+    let mut fresh = 0u32;
+    let e = to_calculus(expr, &[], &mut fresh, registry)?;
+    Ok(CalcQuery::new(e))
+}
+
+/// Translate an algebra expression; `vars` names its columns (one fresh
+/// variable per column, supplied by the caller).
+pub fn to_calculus(
+    expr: &AlgExpr,
+    vars: &[VarId],
+    fresh: &mut u32,
+    registry: &PredicateRegistry,
+) -> Result<QueryExpr, AlgebraError> {
+    Ok(match expr {
+        AlgExpr::SearchContext => {
+            // The lemma's tautology: every context node qualifies.
+            let v = next(fresh);
+            QueryExpr::Or(
+                Box::new(QueryExpr::Exists(v, Box::new(QueryExpr::HasPos(v)))),
+                Box::new(QueryExpr::Not(Box::new(QueryExpr::Exists(
+                    v,
+                    Box::new(QueryExpr::HasPos(v)),
+                )))),
+            )
+        }
+        AlgExpr::HasPos => QueryExpr::HasPos(vars[0]),
+        AlgExpr::TokenRel(t) => QueryExpr::HasToken(vars[0], t.clone()),
+        AlgExpr::Project(input, cols) => {
+            let input_arity = input.arity(registry)?;
+            // Give every input column a variable: kept columns reuse the
+            // caller's, dropped columns get fresh ones quantified away.
+            let mut inner_vars: Vec<Option<VarId>> = vec![None; input_arity];
+            for (i, &c) in cols.iter().enumerate() {
+                inner_vars[c] = Some(vars[i]);
+            }
+            let mut dropped = Vec::new();
+            let inner_vars: Vec<VarId> = inner_vars
+                .into_iter()
+                .map(|v| {
+                    v.unwrap_or_else(|| {
+                        let w = next(fresh);
+                        dropped.push(w);
+                        w
+                    })
+                })
+                .collect();
+            let mut body = to_calculus(input, &inner_vars, fresh, registry)?;
+            for w in dropped {
+                body = QueryExpr::Exists(w, Box::new(body));
+            }
+            body
+        }
+        AlgExpr::Join(a, b) => {
+            let la = a.arity(registry)?;
+            let (va, vb) = vars.split_at(la);
+            QueryExpr::And(
+                Box::new(to_calculus(a, va, fresh, registry)?),
+                Box::new(to_calculus(b, vb, fresh, registry)?),
+            )
+        }
+        AlgExpr::Select { input, pred, cols, consts } => {
+            let body = to_calculus(input, vars, fresh, registry)?;
+            let pred_vars: Vec<VarId> = cols.iter().map(|&c| vars[c]).collect();
+            QueryExpr::And(
+                Box::new(body),
+                Box::new(QueryExpr::Pred {
+                    pred: *pred,
+                    vars: pred_vars,
+                    consts: consts.clone(),
+                }),
+            )
+        }
+        AlgExpr::Union(a, b) => QueryExpr::Or(
+            Box::new(to_calculus(a, vars, fresh, registry)?),
+            Box::new(to_calculus(b, vars, fresh, registry)?),
+        ),
+        AlgExpr::Intersect(a, b) => QueryExpr::And(
+            Box::new(to_calculus(a, vars, fresh, registry)?),
+            Box::new(to_calculus(b, vars, fresh, registry)?),
+        ),
+        AlgExpr::Difference(a, b) => QueryExpr::And(
+            Box::new(to_calculus(a, vars, fresh, registry)?),
+            Box::new(QueryExpr::Not(Box::new(to_calculus(b, vars, fresh, registry)?))),
+        ),
+    })
+}
+
+fn next(fresh: &mut u32) -> VarId {
+    let v = VarId(1_000_000 + *fresh);
+    *fresh += 1;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::AlgebraEvaluator;
+    use crate::expr::ops::*;
+    use ftsl_calculus::interp::Interpreter;
+    use ftsl_index::IndexBuilder;
+    use ftsl_model::Corpus;
+
+    fn check_equivalent(expr: AlgExpr) {
+        let corpus = Corpus::from_texts(&[
+            "test driven usability",
+            "usability test",
+            "test test something",
+            "nothing relevant here",
+            "",
+        ]);
+        let index = IndexBuilder::new().build(&corpus);
+        let reg = PredicateRegistry::with_builtins();
+        let mut ev = AlgebraEvaluator::new(&corpus, &index, &reg);
+        let expected = ev.eval(&expr).expect("algebra eval").distinct_nodes();
+        let q = query_to_calculus(&expr, &reg).expect("translate");
+        let interp = Interpreter::new(&corpus, &reg);
+        let got = interp.eval_query(&q);
+        assert_eq!(got, expected, "diverged for {expr:?} => {:?}", q.expr);
+    }
+
+    #[test]
+    fn paper_conjunction() {
+        check_equivalent(project_nodes(join(token("test"), token("usability"))));
+    }
+
+    #[test]
+    fn paper_distance_selection() {
+        let reg = PredicateRegistry::with_builtins();
+        let distance = reg.lookup("distance").unwrap();
+        check_equivalent(project_nodes(select(
+            join(token("test"), token("usability")),
+            distance,
+            &[0, 1],
+            &[5],
+        )));
+    }
+
+    #[test]
+    fn paper_difference_example() {
+        let reg = PredicateRegistry::with_builtins();
+        let diffpos = reg.lookup("diffpos").unwrap();
+        let doubled = project_nodes(select(
+            join(token("test"), token("test")),
+            diffpos,
+            &[0, 1],
+            &[],
+        ));
+        let without = difference(AlgExpr::SearchContext, project_nodes(token("usability")));
+        check_equivalent(join(doubled, without));
+    }
+
+    #[test]
+    fn search_context_is_a_tautology() {
+        check_equivalent(AlgExpr::SearchContext);
+    }
+
+    #[test]
+    fn permuting_projection() {
+        let reg = PredicateRegistry::with_builtins();
+        let ordered = reg.lookup("ordered").unwrap();
+        // Swap columns before applying ordered: ordered(att2, att1).
+        check_equivalent(project_nodes(select(
+            project(join(token("test"), token("usability")), &[1, 0]),
+            ordered,
+            &[0, 1],
+            &[],
+        )));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        check_equivalent(project_nodes(union(token("test"), token("usability"))));
+        check_equivalent(project_nodes(intersect(token("test"), token("test"))));
+    }
+}

@@ -1,0 +1,32 @@
+#![allow(dead_code)] // shared across several bench binaries, each using a subset
+
+//! Shared Criterion setup for the figure benches.
+
+use criterion::Criterion;
+use ftsl_bench::{build_env, series_query, BenchEnv, EnvSpec, Series};
+use ftsl_exec::engine::{ExecOptions, Executor};
+use std::time::Duration;
+
+/// Criterion tuned for many fast data points.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(450))
+}
+
+/// Run one series point inside a Criterion closure.
+pub fn run_point(env: &BenchEnv, series: Series, toks: usize, preds: usize) -> usize {
+    let query = series_query(series, env, toks, preds);
+    let options = ExecOptions { npred_full_permutations: true, ..Default::default() };
+    let exec = Executor::with_options(&env.corpus, &env.index, &env.registry, options);
+    exec.run_surface(&query, series.engine())
+        .expect("series query runs")
+        .nodes
+        .len()
+}
+
+/// The bench corpus (small scale so `cargo bench` stays fast).
+pub fn bench_env() -> BenchEnv {
+    build_env(EnvSpec::small())
+}

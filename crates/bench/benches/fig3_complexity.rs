@@ -1,0 +1,28 @@
+//! Figure 3: one benchmark per language class at the default query point,
+//! pairing wall time with the machine-independent counters printed by the
+//! `figures` binary.
+
+mod common;
+
+use common::{bench_env, criterion, run_point};
+use criterion::criterion_main;
+use ftsl_bench::Series;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let env = bench_env();
+    let mut group = c.benchmark_group("fig3_hierarchy");
+    for series in Series::ALL {
+        group.bench_function(series.label(), |b| {
+            b.iter(|| black_box(run_point(&env, series, 3, 2)))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench(&mut c);
+}
+
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 5: evaluation time vs. number of query tokens (1–5, preds_Q = 2).
+
+mod common;
+
+use common::{bench_env, criterion, run_point};
+use criterion::{criterion_main, BenchmarkId};
+use ftsl_bench::Series;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let env = bench_env();
+    let mut group = c.benchmark_group("fig5_tokens");
+    for toks in 1..=5usize {
+        for series in Series::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), toks),
+                &toks,
+                |b, &toks| b.iter(|| black_box(run_point(&env, series, toks, 2))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench(&mut c);
+}
+
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 6: evaluation time vs. number of predicates (0–4, toks_Q = 3).
+
+mod common;
+
+use common::{bench_env, criterion, run_point};
+use criterion::{criterion_main, BenchmarkId};
+use ftsl_bench::Series;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let env = bench_env();
+    let mut group = c.benchmark_group("fig6_predicates");
+    for preds in 0..=4usize {
+        for series in Series::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), preds),
+                &preds,
+                |b, &preds| b.iter(|| black_box(run_point(&env, series, 3, preds))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench(&mut c);
+}
+
+criterion_main!(benches);

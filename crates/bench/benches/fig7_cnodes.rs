@@ -1,0 +1,32 @@
+//! Figure 7: evaluation time vs. number of context nodes
+//! (paper: 2 500 / 6 000 / 10 000; scaled 1:10 here to keep
+//! `cargo bench` fast — the `figures` binary runs paper scale).
+
+mod common;
+
+use common::{criterion, run_point};
+use criterion::{criterion_main, BenchmarkId};
+use ftsl_bench::{build_env, EnvSpec, Series};
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let mut group = c.benchmark_group("fig7_cnodes");
+    for cnodes in [250usize, 600, 1000] {
+        let env = build_env(EnvSpec { cnodes, ..EnvSpec::small() });
+        for series in Series::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), cnodes),
+                &cnodes,
+                |b, _| b.iter(|| black_box(run_point(&env, series, 3, 2))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench(&mut c);
+}
+
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 8: evaluation time vs. positions per inverted-list entry
+//! (paper: ≤5 / 25 / 125; scaled to 2 / 6 / 18 for `cargo bench`).
+
+mod common;
+
+use common::{criterion, run_point};
+use criterion::{criterion_main, BenchmarkId};
+use ftsl_bench::{build_env, EnvSpec, Series};
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let mut group = c.benchmark_group("fig8_positions");
+    for occ in [2usize, 6, 18] {
+        let env = build_env(EnvSpec { occurrences: occ, ..EnvSpec::small() });
+        for series in Series::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(series.label(), occ),
+                &occ,
+                |b, _| b.iter(|| black_box(run_point(&env, series, 3, 2))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench(&mut c);
+}
+
+criterion_main!(benches);

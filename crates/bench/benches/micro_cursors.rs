@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the streaming substrate: inverted-list cursor scans,
+//! joins, and positive-predicate selections.
+
+mod common;
+
+use common::{bench_env, criterion};
+use criterion::criterion_main;
+use ftsl_exec::cursor::{FtCursor, ScanCursor};
+use ftsl_exec::join::JoinCursor;
+use ftsl_exec::select::SelectCursor;
+use ftsl_predicates::AdvanceMode;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let env = bench_env();
+    let q0 = env.corpus.token_id("q0").expect("planted");
+    let q1 = env.corpus.token_id("q1").expect("planted");
+    let mut group = c.benchmark_group("micro_cursors");
+
+    group.bench_function("scan_token_list", |b| {
+        b.iter(|| {
+            let mut scan = ScanCursor::new(env.index.list(q0));
+            let mut n = 0usize;
+            while scan.advance_node().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("join_two_lists", |b| {
+        b.iter(|| {
+            let mut join = JoinCursor::new(
+                Box::new(ScanCursor::new(env.index.list(q0))),
+                Box::new(ScanCursor::new(env.index.list(q1))),
+            );
+            let mut n = 0usize;
+            while join.advance_node().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("distance_selection", |b| {
+        let pred = env.registry.get_shared(env.registry.lookup("distance").unwrap());
+        b.iter(|| {
+            let join = JoinCursor::new(
+                Box::new(ScanCursor::new(env.index.list(q0))),
+                Box::new(ScanCursor::new(env.index.list(q1))),
+            );
+            let mut sel = SelectCursor::positive(
+                Box::new(join),
+                pred.clone(),
+                vec![0, 1],
+                vec![10],
+                AdvanceMode::Aggressive,
+            );
+            let mut n = 0usize;
+            while sel.advance_node().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    group.finish();
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench(&mut c);
+}
+
+criterion_main!(benches);

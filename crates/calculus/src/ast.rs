@@ -1,0 +1,126 @@
+//! The FTC abstract syntax.
+
+use ftsl_predicates::PredicateId;
+use std::fmt;
+
+/// A position variable. Ids are arbitrary; [`crate::vars::uniquify`]
+/// renames bound variables apart when required.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A query expression (Section 2.2.1). The context-node variable `node` is
+/// implicit; quantifiers carry the paper's safety shape built in:
+/// `Exists(v, e)` means `∃v (hasPos(node, v) ∧ e)` and `Forall(v, e)` means
+/// `∀v (hasPos(node, v) ⇒ e)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum QueryExpr {
+    /// `hasPos(node, v)` — true whenever `v` is bound to a position of the
+    /// node (trivially true for quantifier-bound variables; kept for
+    /// faithfulness to the grammar).
+    HasPos(VarId),
+    /// `hasToken(v, 'tok')` — the token at position `v` is `tok`. Tokens are
+    /// stored as normalized strings; resolution against a concrete corpus
+    /// vocabulary happens at evaluation/planning time.
+    HasToken(VarId, String),
+    /// `pred(v1..vm, c1..cr)` for `pred ∈ Preds`.
+    Pred {
+        /// Which registered predicate.
+        pred: PredicateId,
+        /// Position arguments.
+        vars: Vec<VarId>,
+        /// Integer constants.
+        consts: Vec<i64>,
+    },
+    /// `¬e`.
+    Not(Box<QueryExpr>),
+    /// `e1 ∧ e2`.
+    And(Box<QueryExpr>, Box<QueryExpr>),
+    /// `e1 ∨ e2`.
+    Or(Box<QueryExpr>, Box<QueryExpr>),
+    /// `∃v (hasPos(node, v) ∧ e)`.
+    Exists(VarId, Box<QueryExpr>),
+    /// `∀v (hasPos(node, v) ⇒ e)`.
+    Forall(VarId, Box<QueryExpr>),
+}
+
+impl QueryExpr {
+    /// Number of AST nodes (a size measure used by tests and generators).
+    pub fn size(&self) -> usize {
+        match self {
+            QueryExpr::HasPos(_) | QueryExpr::HasToken(..) | QueryExpr::Pred { .. } => 1,
+            QueryExpr::Not(e) | QueryExpr::Exists(_, e) | QueryExpr::Forall(_, e) => 1 + e.size(),
+            QueryExpr::And(a, b) | QueryExpr::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Debug for QueryExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryExpr::HasPos(v) => write!(f, "hasPos({v})"),
+            QueryExpr::HasToken(v, t) => write!(f, "hasToken({v},'{t}')"),
+            QueryExpr::Pred { pred, vars, consts } => {
+                write!(f, "{pred:?}(")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                for c in consts {
+                    write!(f, ",{c}")?;
+                }
+                write!(f, ")")
+            }
+            QueryExpr::Not(e) => write!(f, "¬({e:?})"),
+            QueryExpr::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            QueryExpr::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+            QueryExpr::Exists(v, e) => write!(f, "∃{v}({e:?})"),
+            QueryExpr::Forall(v, e) => write!(f, "∀{v}({e:?})"),
+        }
+    }
+}
+
+/// A full calculus query `{node | SearchContext(node) ∧ expr(node)}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CalcQuery {
+    /// The query expression; must have no free position variables.
+    pub expr: QueryExpr,
+}
+
+impl CalcQuery {
+    /// Wrap an expression as a query. See [`crate::safety::check_query`] for
+    /// validation.
+    pub fn new(expr: QueryExpr) -> Self {
+        CalcQuery { expr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = exists(1, and(has_token(1, "test"), not(has_pos(1))));
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn debug_rendering_is_readable() {
+        let e = exists(1, has_token(1, "test"));
+        assert_eq!(format!("{e:?}"), "∃p1(hasToken(p1,'test'))");
+    }
+}

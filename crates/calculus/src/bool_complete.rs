@@ -1,0 +1,247 @@
+//! Theorem 4: BOOL is complete for the restricted calculus when `T` is
+//! finite.
+//!
+//! Maps the normal form of [`crate::normalize`] to a BOOL query over a given
+//! finite alphabet. The interesting case is the complement fact
+//! `∃p ⋀ ¬hasToken(p, tⱼ)`, which (only!) under the finite-`T` assumption
+//! can be written as the disjunction of all other tokens — the proof's
+//! remark that BOOL completeness "is not always practical" is directly
+//! visible in the blow-up this produces.
+
+use crate::ast::QueryExpr;
+use crate::normalize::{Fact, Prop};
+
+/// The BOOL language of Section 4.1:
+/// `Query := Token | NOT Query | Query AND Query | Query OR Query`,
+/// `Token := StringLiteral | ANY`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolQuery {
+    /// A string-literal token.
+    Token(String),
+    /// The universal token.
+    Any,
+    /// `NOT q`.
+    Not(Box<BoolQuery>),
+    /// `q1 AND q2`.
+    And(Box<BoolQuery>, Box<BoolQuery>),
+    /// `q1 OR q2`.
+    Or(Box<BoolQuery>, Box<BoolQuery>),
+}
+
+impl BoolQuery {
+    /// The calculus semantics of BOOL (Section 4.1). `next_var` supplies
+    /// fresh variable ids.
+    pub fn to_calculus(&self, next_var: &mut u32) -> QueryExpr {
+        match self {
+            BoolQuery::Token(t) => {
+                let v = fresh(next_var);
+                QueryExpr::Exists(v, Box::new(QueryExpr::HasToken(v, t.clone())))
+            }
+            BoolQuery::Any => {
+                let v = fresh(next_var);
+                QueryExpr::Exists(v, Box::new(QueryExpr::HasPos(v)))
+            }
+            BoolQuery::Not(q) => QueryExpr::Not(Box::new(q.to_calculus(next_var))),
+            BoolQuery::And(a, b) => QueryExpr::And(
+                Box::new(a.to_calculus(next_var)),
+                Box::new(b.to_calculus(next_var)),
+            ),
+            BoolQuery::Or(a, b) => QueryExpr::Or(
+                Box::new(a.to_calculus(next_var)),
+                Box::new(b.to_calculus(next_var)),
+            ),
+        }
+    }
+
+    /// Surface rendering in BOOL syntax.
+    pub fn render(&self) -> String {
+        match self {
+            BoolQuery::Token(t) => format!("'{t}'"),
+            BoolQuery::Any => "ANY".to_string(),
+            BoolQuery::Not(q) => format!("NOT ({})", q.render()),
+            BoolQuery::And(a, b) => format!("({} AND {})", a.render(), b.render()),
+            BoolQuery::Or(a, b) => format!("({} OR {})", a.render(), b.render()),
+        }
+    }
+
+    /// Number of AST nodes — used to demonstrate the finite-`T` blow-up.
+    pub fn size(&self) -> usize {
+        match self {
+            BoolQuery::Token(_) | BoolQuery::Any => 1,
+            BoolQuery::Not(q) => 1 + q.size(),
+            BoolQuery::And(a, b) | BoolQuery::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+fn fresh(next_var: &mut u32) -> crate::ast::VarId {
+    let v = crate::ast::VarId(*next_var);
+    *next_var += 1;
+    v
+}
+
+/// The proof's unsatisfiable BOOL query: `ANY AND NOT(t1 OR ... OR tc)` —
+/// requires a token outside the (entire) alphabet.
+fn false_query(alphabet: &[String]) -> BoolQuery {
+    let all = or_all(alphabet.iter().cloned().map(BoolQuery::Token).collect());
+    match all {
+        Some(union) => BoolQuery::And(Box::new(BoolQuery::Any), Box::new(BoolQuery::Not(Box::new(union)))),
+        None => BoolQuery::And(
+            Box::new(BoolQuery::Any),
+            Box::new(BoolQuery::Not(Box::new(BoolQuery::Any))),
+        ),
+    }
+}
+
+/// A BOOL query matching every node (including empty ones).
+fn true_query() -> BoolQuery {
+    BoolQuery::Or(
+        Box::new(BoolQuery::Any),
+        Box::new(BoolQuery::Not(Box::new(BoolQuery::Any))),
+    )
+}
+
+fn or_all(mut qs: Vec<BoolQuery>) -> Option<BoolQuery> {
+    if qs.is_empty() {
+        return None;
+    }
+    let mut acc = qs.remove(0);
+    for q in qs {
+        acc = BoolQuery::Or(Box::new(acc), Box::new(q));
+    }
+    Some(acc)
+}
+
+/// Translate a normal form to BOOL over the finite alphabet `alphabet`.
+///
+/// Soundness requires that every token occurring in any context node is a
+/// member of `alphabet` — exactly Theorem 4's finiteness hypothesis.
+pub fn to_bool(prop: &Prop, alphabet: &[String]) -> BoolQuery {
+    match prop {
+        Prop::True => true_query(),
+        Prop::False => false_query(alphabet),
+        Prop::Atom(fact) => fact_to_bool(fact, alphabet),
+        Prop::Not(p) => BoolQuery::Not(Box::new(to_bool(p, alphabet))),
+        Prop::And(a, b) => BoolQuery::And(
+            Box::new(to_bool(a, alphabet)),
+            Box::new(to_bool(b, alphabet)),
+        ),
+        Prop::Or(a, b) => BoolQuery::Or(
+            Box::new(to_bool(a, alphabet)),
+            Box::new(to_bool(b, alphabet)),
+        ),
+    }
+}
+
+fn fact_to_bool(fact: &Fact, alphabet: &[String]) -> BoolQuery {
+    match fact {
+        Fact::Token(t) => BoolQuery::Token(t.clone()),
+        Fact::Any => BoolQuery::Any,
+        Fact::Never => false_query(alphabet),
+        Fact::Complement(excluded) => {
+            let rest: Vec<BoolQuery> = alphabet
+                .iter()
+                .filter(|t| !excluded.contains(*t))
+                .cloned()
+                .map(BoolQuery::Token)
+                .collect();
+            or_all(rest).unwrap_or_else(|| false_query(alphabet))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::interp::Interpreter;
+    use crate::normalize::normalize;
+    use crate::CalcQuery;
+    use ftsl_model::{Corpus, NodeId};
+    use ftsl_predicates::PredicateRegistry;
+
+    fn alphabet() -> Vec<String> {
+        ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Evaluate both the original and the round-tripped BOOL query and
+    /// compare (the executable content of Theorem 4).
+    fn assert_equivalent(expr: &QueryExpr, corpus: &Corpus) {
+        let reg = PredicateRegistry::with_builtins();
+        let interp = Interpreter::new(corpus, &reg);
+        let prop = normalize(expr).expect("normalizable");
+        let bool_q = to_bool(&prop, &alphabet());
+        let mut next = 1000;
+        let back = bool_q.to_calculus(&mut next);
+        let lhs = interp.eval_query(&CalcQuery::new(expr.clone()));
+        let rhs = interp.eval_query(&CalcQuery::new(back));
+        assert_eq!(lhs, rhs, "BOOL translation diverged for {expr:?} => {}", bool_q.render());
+    }
+
+    fn corpus() -> Corpus {
+        Corpus::from_texts(&["a b", "a a", "c", "b d c", "", "d"])
+    }
+
+    #[test]
+    fn contains_roundtrip() {
+        assert_equivalent(&contains(1, "a"), &corpus());
+    }
+
+    #[test]
+    fn complement_fact_expands_over_alphabet() {
+        // "node contains a token that is not a" — Theorem 3's witness.
+        let e = exists(1, not(has_token(1, "a")));
+        let prop = normalize(&e).unwrap();
+        let q = to_bool(&prop, &alphabet());
+        assert_eq!(q.render(), "(('b' OR 'c') OR 'd')");
+        assert_equivalent(&e, &corpus());
+    }
+
+    #[test]
+    fn forall_roundtrip() {
+        let e = forall(1, has_token(1, "a"));
+        assert_equivalent(&e, &corpus());
+    }
+
+    #[test]
+    fn nested_mix_roundtrip() {
+        let e = or(
+            and(contains(1, "a"), not(contains(2, "c"))),
+            forall(3, or(has_token(3, "b"), has_token(3, "d"))),
+        );
+        assert_equivalent(&e, &corpus());
+    }
+
+    #[test]
+    fn unsatisfiable_expression_matches_nothing() {
+        let e = exists(1, and(has_token(1, "a"), has_token(1, "b")));
+        let reg = PredicateRegistry::with_builtins();
+        let c = corpus();
+        let interp = Interpreter::new(&c, &reg);
+        let prop = normalize(&e).unwrap();
+        let q = to_bool(&prop, &alphabet());
+        let mut next = 0;
+        let back = q.to_calculus(&mut next);
+        assert_eq!(interp.eval_query(&CalcQuery::new(back)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn true_query_matches_empty_nodes_too() {
+        let q = true_query();
+        let mut next = 0;
+        let back = q.to_calculus(&mut next);
+        let reg = PredicateRegistry::with_builtins();
+        let c = corpus();
+        let interp = Interpreter::new(&c, &reg);
+        assert_eq!(interp.eval_query(&CalcQuery::new(back)).len(), c.len());
+    }
+
+    #[test]
+    fn complement_blowup_is_linear_in_alphabet() {
+        let e = exists(1, not(has_token(1, "a")));
+        let prop = normalize(&e).unwrap();
+        let big: Vec<String> = (0..100).map(|i| format!("tok{i}")).collect();
+        let q = to_bool(&prop, &big);
+        assert!(q.size() >= 100, "complement must enumerate the alphabet");
+    }
+}

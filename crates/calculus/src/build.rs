@@ -1,0 +1,94 @@
+//! Ergonomic constructors for calculus expressions.
+//!
+//! These keep tests and examples close to the paper's notation:
+//!
+//! ```
+//! use ftsl_calculus::build::*;
+//! // ∃p1 (hasToken(p1,'test') ∧ ∃p2 (hasToken(p2,'usability')))
+//! let q = exists(1, and(has_token(1, "test"), exists(2, has_token(2, "usability"))));
+//! ```
+
+use crate::ast::{QueryExpr, VarId};
+use ftsl_predicates::PredicateId;
+
+/// `hasPos(node, p{v})`.
+pub fn has_pos(v: u32) -> QueryExpr {
+    QueryExpr::HasPos(VarId(v))
+}
+
+/// `hasToken(p{v}, tok)`.
+pub fn has_token(v: u32, tok: &str) -> QueryExpr {
+    QueryExpr::HasToken(VarId(v), tok.to_lowercase())
+}
+
+/// `pred(vars..., consts...)`.
+pub fn pred(pred: PredicateId, vars: &[u32], consts: &[i64]) -> QueryExpr {
+    QueryExpr::Pred {
+        pred,
+        vars: vars.iter().map(|&v| VarId(v)).collect(),
+        consts: consts.to_vec(),
+    }
+}
+
+/// `¬e`.
+pub fn not(e: QueryExpr) -> QueryExpr {
+    QueryExpr::Not(Box::new(e))
+}
+
+/// `a ∧ b`.
+pub fn and(a: QueryExpr, b: QueryExpr) -> QueryExpr {
+    QueryExpr::And(Box::new(a), Box::new(b))
+}
+
+/// `a ∨ b`.
+pub fn or(a: QueryExpr, b: QueryExpr) -> QueryExpr {
+    QueryExpr::Or(Box::new(a), Box::new(b))
+}
+
+/// Conjunction of several expressions (`true` for the empty list is not
+/// representable; panics on empty input).
+pub fn and_all(mut exprs: Vec<QueryExpr>) -> QueryExpr {
+    assert!(!exprs.is_empty(), "and_all of empty list");
+    let mut acc = exprs.remove(0);
+    for e in exprs {
+        acc = and(acc, e);
+    }
+    acc
+}
+
+/// `∃p{v} (hasPos ∧ e)`.
+pub fn exists(v: u32, e: QueryExpr) -> QueryExpr {
+    QueryExpr::Exists(VarId(v), Box::new(e))
+}
+
+/// `∀p{v} (hasPos ⇒ e)`.
+pub fn forall(v: u32, e: QueryExpr) -> QueryExpr {
+    QueryExpr::Forall(VarId(v), Box::new(e))
+}
+
+/// The common "node contains token" shape: `∃p (hasToken(p, tok))`.
+pub fn contains(v: u32, tok: &str) -> QueryExpr {
+    exists(v, has_token(v, tok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_all_folds_left() {
+        let e = and_all(vec![has_pos(1), has_pos(2), has_pos(3)]);
+        assert_eq!(format!("{e:?}"), "((hasPos(p1) ∧ hasPos(p2)) ∧ hasPos(p3))");
+    }
+
+    #[test]
+    #[should_panic]
+    fn and_all_empty_panics() {
+        and_all(vec![]);
+    }
+
+    #[test]
+    fn tokens_are_normalized() {
+        assert_eq!(has_token(1, "Test"), has_token(1, "test"));
+    }
+}

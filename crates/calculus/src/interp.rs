@@ -1,0 +1,230 @@
+//! The reference interpreter: textbook first-order semantics.
+//!
+//! Evaluates a query expression on one context node by enumerating position
+//! assignments — `O(pos_per_cnode ^ quantifier_depth)`, exactly the naive
+//! bound the paper's Section 5 engines improve upon. Every engine in
+//! `ftsl-exec` is differentially tested against this implementation.
+
+use crate::ast::{CalcQuery, QueryExpr, VarId};
+use ftsl_model::{Corpus, NodeId, Position};
+use ftsl_predicates::PredicateRegistry;
+use std::collections::HashMap;
+
+/// Reference evaluator for calculus queries over a corpus.
+pub struct Interpreter<'a> {
+    corpus: &'a Corpus,
+    registry: &'a PredicateRegistry,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Create an interpreter over `corpus` with predicate set `registry`.
+    pub fn new(corpus: &'a Corpus, registry: &'a PredicateRegistry) -> Self {
+        Interpreter { corpus, registry }
+    }
+
+    /// Evaluate a query: the set of context nodes satisfying it, in id order.
+    pub fn eval_query(&self, query: &CalcQuery) -> Vec<NodeId> {
+        self.corpus
+            .node_ids()
+            .filter(|&n| self.eval_node(n, &query.expr))
+            .collect()
+    }
+
+    /// Evaluate a (closed) expression on a single node.
+    pub fn eval_node(&self, node: NodeId, expr: &QueryExpr) -> bool {
+        let positions = self.corpus.positions(node);
+        let mut env = HashMap::new();
+        self.eval(node, &positions, expr, &mut env)
+    }
+
+    fn eval(
+        &self,
+        node: NodeId,
+        positions: &[Position],
+        expr: &QueryExpr,
+        env: &mut HashMap<VarId, Position>,
+    ) -> bool {
+        match expr {
+            QueryExpr::HasPos(v) => env.contains_key(v),
+            QueryExpr::HasToken(v, tok) => {
+                let Some(&pos) = env.get(v) else { return false };
+                let Some(tok_id) = self.corpus.token_id(tok) else {
+                    return false;
+                };
+                self.corpus.token_at(node, pos) == Some(tok_id)
+            }
+            QueryExpr::Pred { pred, vars, consts } => {
+                let p = self.registry.get(*pred);
+                let mut args = Vec::with_capacity(vars.len());
+                for v in vars {
+                    let Some(&pos) = env.get(v) else { return false };
+                    args.push(pos);
+                }
+                p.eval(&args, consts)
+            }
+            QueryExpr::Not(e) => !self.eval(node, positions, e, env),
+            QueryExpr::And(a, b) => {
+                self.eval(node, positions, a, env) && self.eval(node, positions, b, env)
+            }
+            QueryExpr::Or(a, b) => {
+                self.eval(node, positions, a, env) || self.eval(node, positions, b, env)
+            }
+            QueryExpr::Exists(v, e) => {
+                let saved = env.get(v).copied();
+                let mut found = false;
+                for &pos in positions {
+                    env.insert(*v, pos);
+                    if self.eval(node, positions, e, env) {
+                        found = true;
+                        break;
+                    }
+                }
+                restore(env, *v, saved);
+                found
+            }
+            QueryExpr::Forall(v, e) => {
+                let saved = env.get(v).copied();
+                let mut all = true;
+                for &pos in positions {
+                    env.insert(*v, pos);
+                    if !self.eval(node, positions, e, env) {
+                        all = false;
+                        break;
+                    }
+                }
+                restore(env, *v, saved);
+                all
+            }
+        }
+    }
+}
+
+fn restore(env: &mut HashMap<VarId, Position>, v: VarId, saved: Option<Position>) {
+    match saved {
+        Some(p) => {
+            env.insert(v, p);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use ftsl_model::Corpus;
+
+    fn setup() -> (Corpus, PredicateRegistry) {
+        let corpus = Corpus::from_texts(&[
+            "test driven usability",          // n0
+            "usability test",                 // n1
+            "test test something",            // n2
+            "nothing relevant here",          // n3
+            "",                               // n4 (empty node)
+        ]);
+        (corpus, PredicateRegistry::with_builtins())
+    }
+
+    fn ids(v: Vec<NodeId>) -> Vec<u32> {
+        v.into_iter().map(|n| n.0).collect()
+    }
+
+    #[test]
+    fn paper_example_conjunction() {
+        // {node | ∃p1 hasToken(p1,'test') ∧ ∃p2 hasToken(p2,'usability')}
+        let (corpus, reg) = setup();
+        let interp = Interpreter::new(&corpus, &reg);
+        let q = CalcQuery::new(and(contains(1, "test"), contains(2, "usability")));
+        assert_eq!(ids(interp.eval_query(&q)), vec![0, 1]);
+    }
+
+    #[test]
+    fn paper_example_distance() {
+        // test ... usability with at most 5 intervening tokens.
+        let (corpus, reg) = setup();
+        let interp = Interpreter::new(&corpus, &reg);
+        let distance = reg.lookup("distance").unwrap();
+        let q = CalcQuery::new(exists(
+            1,
+            and(
+                has_token(1, "test"),
+                exists(
+                    2,
+                    and(has_token(2, "usability"), pred(distance, &[1, 2], &[5])),
+                ),
+            ),
+        ));
+        assert_eq!(ids(interp.eval_query(&q)), vec![0, 1]);
+    }
+
+    #[test]
+    fn paper_example_two_occurrences_without_token() {
+        // Two occurrences of 'test' and no 'usability'.
+        let (corpus, reg) = setup();
+        let interp = Interpreter::new(&corpus, &reg);
+        let diffpos = reg.lookup("diffpos").unwrap();
+        let q = CalcQuery::new(exists(
+            1,
+            and(
+                has_token(1, "test"),
+                exists(
+                    2,
+                    and(
+                        and(has_token(2, "test"), pred(diffpos, &[1, 2], &[])),
+                        forall(3, not(has_token(3, "usability"))),
+                    ),
+                ),
+            ),
+        ));
+        assert_eq!(ids(interp.eval_query(&q)), vec![2]);
+    }
+
+    #[test]
+    fn forall_is_vacuously_true_on_empty_nodes() {
+        let (corpus, reg) = setup();
+        let interp = Interpreter::new(&corpus, &reg);
+        let q = CalcQuery::new(forall(1, has_token(1, "test")));
+        // Node 4 is empty: ∀ holds vacuously.
+        assert!(ids(interp.eval_query(&q)).contains(&4));
+    }
+
+    #[test]
+    fn exists_is_false_on_empty_nodes() {
+        let (corpus, reg) = setup();
+        let interp = Interpreter::new(&corpus, &reg);
+        let q = CalcQuery::new(exists(1, has_pos(1)));
+        let result = ids(interp.eval_query(&q));
+        assert!(!result.contains(&4));
+        assert_eq!(result, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_tokens_match_nothing() {
+        let (corpus, reg) = setup();
+        let interp = Interpreter::new(&corpus, &reg);
+        let q = CalcQuery::new(contains(1, "zzz_not_in_corpus"));
+        assert!(interp.eval_query(&q).is_empty());
+    }
+
+    #[test]
+    fn negation_of_contains() {
+        let (corpus, reg) = setup();
+        let interp = Interpreter::new(&corpus, &reg);
+        let q = CalcQuery::new(not(contains(1, "test")));
+        assert_eq!(ids(interp.eval_query(&q)), vec![3, 4]);
+    }
+
+    #[test]
+    fn incompleteness_witness_of_theorem_3() {
+        // ∃p (hasPos ∧ ¬hasToken(p, t1)): "contains a token that is not t1".
+        let mut corpus = Corpus::new();
+        corpus.add_text("t1");      // CN1: only t1 — should NOT match
+        corpus.add_text("t1 t2");   // CN2: t1 and t2 — should match
+        let reg = PredicateRegistry::with_builtins();
+        let interp = Interpreter::new(&corpus, &reg);
+        let q = CalcQuery::new(exists(1, not(has_token(1, "t1"))));
+        assert_eq!(ids(interp.eval_query(&q)), vec![1]);
+    }
+}

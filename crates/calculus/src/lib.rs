@@ -1,0 +1,35 @@
+//! # ftsl-calculus — the full-text calculus (FTC)
+//!
+//! Section 2.2 of the paper: a first-order logic over token positions with
+//! the predicates `SearchContext(node)`, `hasPos(node, pos)`,
+//! `hasToken(pos, tok)` plus an extensible set `Preds` of position-based
+//! predicates. A calculus query is
+//! `{node | SearchContext(node) ∧ QueryExpr(node)}` where the query
+//! expression has `node` as its only free variable and quantifiers range
+//! over the node's positions (`∃p (hasPos(node,p) ∧ …)` /
+//! `∀p (hasPos(node,p) ⇒ …)`), which is the calculus' safety guarantee.
+//!
+//! This crate provides:
+//!
+//! * the AST ([`QueryExpr`]) and an ergonomic builder DSL ([`build`]);
+//! * well-formedness/safety checking ([`safety`]);
+//! * a **reference interpreter** ([`interp`]) implementing the textbook
+//!   semantics directly — exponential, but the ground truth every engine in
+//!   `ftsl-exec` is differentially tested against;
+//! * the six-step normalization pipeline from the proof of Theorem 4
+//!   ([`normalize`]) and the resulting finite-alphabet BOOL completeness
+//!   construction ([`bool_complete`]);
+//! * query size parameters `toks_Q`, `preds_Q`, `ops_Q` (Section 5.1.1).
+
+pub mod ast;
+pub mod bool_complete;
+pub mod build;
+pub mod interp;
+pub mod normalize;
+pub mod params;
+pub mod safety;
+pub mod vars;
+
+pub use ast::{CalcQuery, QueryExpr, VarId};
+pub use interp::Interpreter;
+pub use params::QueryParams;

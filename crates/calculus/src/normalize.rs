@@ -1,0 +1,474 @@
+//! The six-step normalization of Theorem 4's proof (Appendix A).
+//!
+//! For the restricted calculus (`Preds = ∅` — only `hasPos`/`hasToken` atoms,
+//! Boolean operations and quantifiers), every query expression is equivalent
+//! to a propositional combination of **simple quantified facts** of the form
+//! `∃p (hasPos(n,p) ∧ ⋀ hasToken(p,tᵢ) ∧ ⋀ ¬hasToken(p,tⱼ))`.
+//!
+//! The paper's steps map onto this implementation as follows:
+//!
+//! 1. *Sink negations* — NNF conversion inside `eliminate_innermost`;
+//! 2. *Group* — the partition of each DNF conjunct into literals on the
+//!    quantified variable vs. everything else (sound because, with
+//!    `Preds = ∅`, every atom mentions at most one position variable);
+//! 3. *Remove universal quantification* — the `Forall` case of `to_nexpr`;
+//! 4. *Local DNF* / 5. *Split* — the DNF + per-disjunct split in
+//!    `eliminate_innermost`;
+//! 6. *Global DNF* — available as [`Prop::to_dnf`]; the BOOL translation
+//!    itself is compositional and does not require it.
+
+use crate::ast::{QueryExpr, VarId};
+use crate::vars::uniquify;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A simple quantified fact after simplification ("one token per position").
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fact {
+    /// `∃p hasToken(p, t)` — the node contains `t`.
+    Token(String),
+    /// `∃p ⋀ ¬hasToken(p, tⱼ)` — the node contains a token outside the set.
+    Complement(BTreeSet<String>),
+    /// `∃p hasPos(p)` — the node is non-empty (`ANY`).
+    Any,
+    /// An unsatisfiable fact (e.g. one position holding two distinct
+    /// tokens).
+    Never,
+}
+
+/// Propositional formula over [`Fact`]s — the normal form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Prop {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A quantified fact.
+    Atom(Fact),
+    /// Negation.
+    Not(Box<Prop>),
+    /// Conjunction.
+    And(Box<Prop>, Box<Prop>),
+    /// Disjunction.
+    Or(Box<Prop>, Box<Prop>),
+}
+
+impl Prop {
+    /// Global DNF (step 6): disjuncts of signed facts. `true` sign means the
+    /// fact holds. Contradictory and duplicate literals are removed; an
+    /// empty outer vector means `false`, a disjunct with no literals means
+    /// `true`.
+    pub fn to_dnf(&self) -> Vec<Vec<(Fact, bool)>> {
+        match self {
+            Prop::True => vec![vec![]],
+            Prop::False => vec![],
+            Prop::Atom(fact) => vec![vec![(fact.clone(), true)]],
+            Prop::Not(inner) => {
+                // Complement the inner DNF via the dual CNF.
+                let dnf = inner.to_dnf();
+                negate_dnf(&dnf)
+            }
+            Prop::And(a, b) => {
+                let left = a.to_dnf();
+                let right = b.to_dnf();
+                let mut out = Vec::new();
+                for lc in &left {
+                    for rc in &right {
+                        if let Some(merged) = merge_conjuncts(lc, rc) {
+                            out.push(merged);
+                        }
+                    }
+                }
+                out
+            }
+            Prop::Or(a, b) => {
+                let mut out = a.to_dnf();
+                out.extend(b.to_dnf());
+                out
+            }
+        }
+    }
+}
+
+fn negate_dnf(dnf: &[Vec<(Fact, bool)>]) -> Vec<Vec<(Fact, bool)>> {
+    // ¬(C1 ∨ ... ∨ Ck) = ⋀ ¬Ci; expand the conjunction of clause-negations.
+    let mut acc: Vec<Vec<(Fact, bool)>> = vec![vec![]];
+    for conj in dnf {
+        let mut next = Vec::new();
+        for partial in &acc {
+            for (fact, sign) in conj {
+                if let Some(merged) = merge_conjuncts(partial, &[(fact.clone(), !sign)]) {
+                    next.push(merged);
+                }
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+fn merge_conjuncts(a: &[(Fact, bool)], b: &[(Fact, bool)]) -> Option<Vec<(Fact, bool)>> {
+    let mut out = a.to_vec();
+    for (fact, sign) in b {
+        if out.iter().any(|(f, s)| f == fact && s != sign) {
+            return None; // contradictory
+        }
+        if !out.iter().any(|(f, s)| f == fact && s == sign) {
+            out.push((fact.clone(), *sign));
+        }
+    }
+    out.sort();
+    Some(out)
+}
+
+/// Errors from normalization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// The expression uses a position predicate — Theorem 4 covers
+    /// `Preds = ∅` only.
+    PredicateNotAllowed,
+    /// The expression has a free position variable.
+    FreeVariable(u32),
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::PredicateNotAllowed => {
+                write!(f, "normalization requires Preds = ∅ (Theorem 4)")
+            }
+            NormalizeError::FreeVariable(v) => write!(f, "free position variable p{v}"),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// Internal working representation during quantifier elimination: the
+/// calculus atoms plus already-eliminated facts as opaque propositions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum NExpr {
+    TokLit(VarId, String),
+    PosLit(VarId),
+    FactAtom(Fact),
+    /// Constant true; only produced by future simplifications but handled
+    /// everywhere for robustness.
+    #[allow(dead_code)]
+    True,
+    False,
+    Not(Box<NExpr>),
+    And(Box<NExpr>, Box<NExpr>),
+    Or(Box<NExpr>, Box<NExpr>),
+    Exists(VarId, Box<NExpr>),
+}
+
+/// Normalize a restricted, closed query expression into the propositional
+/// normal form over quantified facts.
+pub fn normalize(expr: &QueryExpr) -> Result<Prop, NormalizeError> {
+    let expr = uniquify(expr);
+    let mut n = to_nexpr(&expr)?;
+    // Steps 1-5, applied innermost-out until no quantifier remains.
+    while contains_exists(&n) {
+        n = eliminate_innermost(n);
+    }
+    to_prop(&n)
+}
+
+/// Step 3: `∀p (hasPos ⇒ X)` → `¬∃p (hasPos ∧ ¬X)`, plus the conversion to
+/// the working representation.
+fn to_nexpr(expr: &QueryExpr) -> Result<NExpr, NormalizeError> {
+    Ok(match expr {
+        QueryExpr::HasPos(v) => NExpr::PosLit(*v),
+        QueryExpr::HasToken(v, t) => NExpr::TokLit(*v, t.clone()),
+        QueryExpr::Pred { .. } => return Err(NormalizeError::PredicateNotAllowed),
+        QueryExpr::Not(e) => NExpr::Not(Box::new(to_nexpr(e)?)),
+        QueryExpr::And(a, b) => NExpr::And(Box::new(to_nexpr(a)?), Box::new(to_nexpr(b)?)),
+        QueryExpr::Or(a, b) => NExpr::Or(Box::new(to_nexpr(a)?), Box::new(to_nexpr(b)?)),
+        QueryExpr::Exists(v, e) => NExpr::Exists(*v, Box::new(to_nexpr(e)?)),
+        QueryExpr::Forall(v, e) => NExpr::Not(Box::new(NExpr::Exists(
+            *v,
+            Box::new(NExpr::Not(Box::new(to_nexpr(e)?))),
+        ))),
+    })
+}
+
+fn contains_exists(n: &NExpr) -> bool {
+    match n {
+        NExpr::Exists(..) => true,
+        NExpr::Not(e) => contains_exists(e),
+        NExpr::And(a, b) | NExpr::Or(a, b) => contains_exists(a) || contains_exists(b),
+        _ => false,
+    }
+}
+
+/// Find one innermost `Exists` and replace it with its quantifier-free
+/// equivalent.
+fn eliminate_innermost(n: NExpr) -> NExpr {
+    match n {
+        NExpr::Exists(v, body) => {
+            if contains_exists(&body) {
+                NExpr::Exists(v, Box::new(eliminate_innermost(*body)))
+            } else {
+                eliminate_exists(v, *body)
+            }
+        }
+        NExpr::Not(e) => NExpr::Not(Box::new(eliminate_innermost(*e))),
+        NExpr::And(a, b) => {
+            if contains_exists(&a) {
+                NExpr::And(Box::new(eliminate_innermost(*a)), b)
+            } else {
+                NExpr::And(a, Box::new(eliminate_innermost(*b)))
+            }
+        }
+        NExpr::Or(a, b) => {
+            if contains_exists(&a) {
+                NExpr::Or(Box::new(eliminate_innermost(*a)), b)
+            } else {
+                NExpr::Or(a, Box::new(eliminate_innermost(*b)))
+            }
+        }
+        other => other,
+    }
+}
+
+/// A signed literal in the local DNF.
+type SignedLit = (NExpr, bool);
+
+/// Eliminate `∃v (hasPos ∧ body)` where `body` is quantifier-free:
+/// steps 1 (sink negations), 2 (group), 4 (local DNF), 5 (split).
+fn eliminate_exists(v: VarId, body: NExpr) -> NExpr {
+    let dnf = dnf_literals(&body);
+    let mut disjuncts: Vec<NExpr> = Vec::new();
+    'conj: for conjunct in dnf {
+        let mut pos_tokens: BTreeSet<String> = BTreeSet::new();
+        let mut neg_tokens: BTreeSet<String> = BTreeSet::new();
+        let mut others: Vec<NExpr> = Vec::new();
+        for (atom, sign) in conjunct {
+            match atom {
+                NExpr::TokLit(u, t) if u == v => {
+                    if sign {
+                        pos_tokens.insert(t);
+                    } else {
+                        neg_tokens.insert(t);
+                    }
+                }
+                NExpr::PosLit(u) if u == v => {
+                    // hasPos(v) is true for every binding of v; its negation
+                    // makes the conjunct unsatisfiable.
+                    if !sign {
+                        continue 'conj;
+                    }
+                }
+                other => {
+                    others.push(if sign { other } else { NExpr::Not(Box::new(other)) });
+                }
+            }
+        }
+        let fact = simplify_fact(pos_tokens, neg_tokens);
+        let mut out = NExpr::FactAtom(fact);
+        for o in others {
+            out = NExpr::And(Box::new(out), Box::new(o));
+        }
+        disjuncts.push(out);
+    }
+    disjuncts
+        .into_iter()
+        .reduce(|a, b| NExpr::Or(Box::new(a), Box::new(b)))
+        .unwrap_or(NExpr::False)
+}
+
+/// Convert a quantifier-free expression to DNF over its atoms, dropping
+/// contradictory conjuncts.
+fn dnf_literals(n: &NExpr) -> Vec<Vec<SignedLit>> {
+    fn go(n: &NExpr, sign: bool) -> Vec<Vec<SignedLit>> {
+        match (n, sign) {
+            (NExpr::True, true) | (NExpr::False, false) => vec![vec![]],
+            (NExpr::True, false) | (NExpr::False, true) => vec![],
+            (NExpr::Not(e), s) => go(e, !s),
+            (NExpr::And(a, b), true) | (NExpr::Or(a, b), false) => {
+                let left = go(a, sign);
+                let right = go(b, sign);
+                let mut out = Vec::new();
+                for lc in &left {
+                    for rc in &right {
+                        if let Some(m) = merge_lits(lc, rc) {
+                            out.push(m);
+                        }
+                    }
+                }
+                out
+            }
+            (NExpr::Or(a, b), true) | (NExpr::And(a, b), false) => {
+                let mut out = go(a, sign);
+                out.extend(go(b, sign));
+                out
+            }
+            (atom, s) => vec![vec![(atom.clone(), s)]],
+        }
+    }
+    go(n, true)
+}
+
+fn merge_lits(a: &[SignedLit], b: &[SignedLit]) -> Option<Vec<SignedLit>> {
+    let mut out = a.to_vec();
+    for (atom, sign) in b {
+        if out.iter().any(|(x, s)| x == atom && s != sign) {
+            return None;
+        }
+        if !out.iter().any(|(x, s)| x == atom && s == sign) {
+            out.push((atom.clone(), *sign));
+        }
+    }
+    Some(out)
+}
+
+/// "One token per position": collapse a literal set on one variable into a
+/// [`Fact`] (the case analysis of Theorem 4's proof).
+fn simplify_fact(pos: BTreeSet<String>, neg: BTreeSet<String>) -> Fact {
+    match pos.len() {
+        0 => {
+            if neg.is_empty() {
+                Fact::Any
+            } else {
+                Fact::Complement(neg)
+            }
+        }
+        1 => {
+            let t = pos.into_iter().next().unwrap();
+            if neg.contains(&t) {
+                Fact::Never
+            } else {
+                Fact::Token(t)
+            }
+        }
+        _ => Fact::Never,
+    }
+}
+
+fn to_prop(n: &NExpr) -> Result<Prop, NormalizeError> {
+    Ok(match n {
+        NExpr::True => Prop::True,
+        NExpr::False => Prop::False,
+        NExpr::FactAtom(Fact::Never) => Prop::False,
+        NExpr::FactAtom(f) => Prop::Atom(f.clone()),
+        NExpr::Not(e) => Prop::Not(Box::new(to_prop(e)?)),
+        NExpr::And(a, b) => Prop::And(Box::new(to_prop(a)?), Box::new(to_prop(b)?)),
+        NExpr::Or(a, b) => Prop::Or(Box::new(to_prop(a)?), Box::new(to_prop(b)?)),
+        NExpr::TokLit(v, _) | NExpr::PosLit(v) => {
+            return Err(NormalizeError::FreeVariable(v.0))
+        }
+        NExpr::Exists(..) => unreachable!("quantifiers eliminated before to_prop"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    fn tok_fact(t: &str) -> Prop {
+        Prop::Atom(Fact::Token(t.to_string()))
+    }
+
+    #[test]
+    fn simple_contains_normalizes_to_token_fact() {
+        let p = normalize(&contains(1, "test")).unwrap();
+        assert_eq!(p, tok_fact("test"));
+    }
+
+    #[test]
+    fn conjunction_of_contains() {
+        let p = normalize(&and(contains(1, "a"), contains(2, "b"))).unwrap();
+        assert_eq!(
+            p,
+            Prop::And(Box::new(tok_fact("a")), Box::new(tok_fact("b")))
+        );
+    }
+
+    #[test]
+    fn one_token_per_position_collapses_to_false() {
+        // ∃p (hasToken(p,a) ∧ hasToken(p,b)) is unsatisfiable.
+        let e = exists(1, and(has_token(1, "a"), has_token(1, "b")));
+        assert_eq!(normalize(&e).unwrap(), Prop::False);
+    }
+
+    #[test]
+    fn negated_token_becomes_complement_fact() {
+        // Theorem 3's witness: ∃p ¬hasToken(p, t1).
+        let e = exists(1, not(has_token(1, "t1")));
+        let p = normalize(&e).unwrap();
+        let mut set = BTreeSet::new();
+        set.insert("t1".to_string());
+        assert_eq!(p, Prop::Atom(Fact::Complement(set)));
+    }
+
+    #[test]
+    fn forall_becomes_negated_complement() {
+        // ∀p hasToken(p, t): "all tokens are t" = ¬∃p ¬hasToken(p,t).
+        let e = forall(1, has_token(1, "t"));
+        let p = normalize(&e).unwrap();
+        let mut set = BTreeSet::new();
+        set.insert("t".to_string());
+        assert_eq!(p, Prop::Not(Box::new(Prop::Atom(Fact::Complement(set)))));
+    }
+
+    #[test]
+    fn nested_quantifiers_group_correctly() {
+        // ∃u (hasToken(u,a) ∧ ∃v (hasToken(v,b))) — inner fact is closed and
+        // floats out of the outer quantifier.
+        let e = exists(1, and(has_token(1, "a"), exists(2, has_token(2, "b"))));
+        let p = normalize(&e).unwrap();
+        // Expect (b-fact) ∧ (a-fact) in some association.
+        let dnf = p.to_dnf();
+        assert_eq!(dnf.len(), 1);
+        let lits: Vec<(Fact, bool)> = dnf[0].clone();
+        assert!(lits.contains(&(Fact::Token("a".into()), true)));
+        assert!(lits.contains(&(Fact::Token("b".into()), true)));
+        assert_eq!(lits.len(), 2);
+    }
+
+    #[test]
+    fn predicate_use_is_rejected() {
+        let reg = ftsl_predicates::PredicateRegistry::with_builtins();
+        let distance = reg.lookup("distance").unwrap();
+        let e = exists(1, exists(2, pred(distance, &[1, 2], &[3])));
+        assert_eq!(normalize(&e), Err(NormalizeError::PredicateNotAllowed));
+    }
+
+    #[test]
+    fn free_variable_is_rejected() {
+        let e = has_token(1, "a");
+        assert_eq!(normalize(&e), Err(NormalizeError::FreeVariable(1)));
+    }
+
+    #[test]
+    fn any_fact_from_bare_exists() {
+        let e = exists(1, has_pos(1));
+        assert_eq!(normalize(&e).unwrap(), Prop::Atom(Fact::Any));
+    }
+
+    #[test]
+    fn negated_has_pos_under_its_own_binder_is_false() {
+        let e = exists(1, not(has_pos(1)));
+        assert_eq!(normalize(&e).unwrap(), Prop::False);
+    }
+
+    #[test]
+    fn dnf_of_disjunction() {
+        let p = Prop::Or(Box::new(tok_fact("a")), Box::new(tok_fact("b")));
+        let dnf = p.to_dnf();
+        assert_eq!(dnf.len(), 2);
+    }
+
+    #[test]
+    fn dnf_negation_flips_signs() {
+        let p = Prop::Not(Box::new(Prop::And(
+            Box::new(tok_fact("a")),
+            Box::new(tok_fact("b")),
+        )));
+        let dnf = p.to_dnf();
+        // ¬(a ∧ b) = ¬a ∨ ¬b
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.iter().all(|c| c.len() == 1 && !c[0].1));
+    }
+}

@@ -1,0 +1,86 @@
+//! Query size parameters (Section 5.1.1).
+//!
+//! `toks_Q` (tokens, including `ANY` occurrences, i.e. `hasPos` atoms),
+//! `preds_Q` (predicate applications), `ops_Q` (NOT/AND/OR/SOME/EVERY
+//! operations). These drive both the complexity formulas of Figure 3 and the
+//! experiment sweeps of Figures 5–6.
+
+use crate::ast::QueryExpr;
+
+/// Size measures of a query expression.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryParams {
+    /// `toks_Q`: token atoms (`hasToken`) plus universal-token atoms
+    /// (`hasPos`, the calculus form of `ANY`).
+    pub toks: usize,
+    /// `preds_Q`: predicate applications.
+    pub preds: usize,
+    /// `ops_Q`: NOT, AND, OR, SOME (∃), EVERY (∀) operations.
+    pub ops: usize,
+}
+
+impl QueryParams {
+    /// Measure an expression.
+    pub fn of(expr: &QueryExpr) -> Self {
+        let mut p = QueryParams::default();
+        p.walk(expr);
+        p
+    }
+
+    fn walk(&mut self, expr: &QueryExpr) {
+        match expr {
+            QueryExpr::HasPos(_) => self.toks += 1,
+            QueryExpr::HasToken(..) => self.toks += 1,
+            QueryExpr::Pred { .. } => self.preds += 1,
+            QueryExpr::Not(e) => {
+                self.ops += 1;
+                self.walk(e);
+            }
+            QueryExpr::And(a, b) | QueryExpr::Or(a, b) => {
+                self.ops += 1;
+                self.walk(a);
+                self.walk(b);
+            }
+            QueryExpr::Exists(_, e) | QueryExpr::Forall(_, e) => {
+                self.ops += 1;
+                self.walk(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use ftsl_predicates::PredicateRegistry;
+
+    #[test]
+    fn counts_match_section_5_1_1() {
+        let reg = PredicateRegistry::with_builtins();
+        let distance = reg.lookup("distance").unwrap();
+        // SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1,p2,5))
+        let e = exists(
+            1,
+            exists(
+                2,
+                and(
+                    and(has_token(1, "a"), has_token(2, "b")),
+                    pred(distance, &[1, 2], &[5]),
+                ),
+            ),
+        );
+        let p = QueryParams::of(&e);
+        assert_eq!(p.toks, 2);
+        assert_eq!(p.preds, 1);
+        assert_eq!(p.ops, 4); // 2 quantifiers + 2 ANDs
+    }
+
+    #[test]
+    fn has_pos_counts_as_any_token() {
+        let e = exists(1, has_pos(1));
+        let p = QueryParams::of(&e);
+        assert_eq!(p.toks, 1);
+        assert_eq!(p.ops, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Well-formedness checking for calculus queries.
+//!
+//! A valid query expression must be *closed* (its only free variable is the
+//! implicit `node`) and every predicate application must match its
+//! registered arity — the calculus analogue of relational safety that the
+//! paper builds into the quantifier shape.
+
+use crate::ast::{CalcQuery, QueryExpr};
+use crate::vars::free_vars;
+use ftsl_predicates::PredicateRegistry;
+use std::fmt;
+
+/// A safety violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SafetyError {
+    /// The expression has free position variables.
+    FreeVariables(Vec<u32>),
+    /// A predicate was applied with the wrong number of position arguments.
+    PredicateArity {
+        /// Predicate name.
+        name: String,
+        /// Expected position arity.
+        expected: usize,
+        /// Supplied position arguments.
+        got: usize,
+    },
+    /// A predicate was applied with the wrong number of constants.
+    PredicateConsts {
+        /// Predicate name.
+        name: String,
+        /// Expected constant count.
+        expected: usize,
+        /// Supplied constants.
+        got: usize,
+    },
+    /// A predicate id is not present in the registry.
+    UnknownPredicate(u32),
+    /// A token literal is empty.
+    EmptyToken,
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyError::FreeVariables(vs) => write!(f, "free position variables: {vs:?}"),
+            SafetyError::PredicateArity { name, expected, got } => {
+                write!(f, "predicate {name} expects {expected} positions, got {got}")
+            }
+            SafetyError::PredicateConsts { name, expected, got } => {
+                write!(f, "predicate {name} expects {expected} constants, got {got}")
+            }
+            SafetyError::UnknownPredicate(id) => write!(f, "unknown predicate id {id}"),
+            SafetyError::EmptyToken => write!(f, "empty token literal"),
+        }
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Validate a query: closed + arity-correct.
+pub fn check_query(query: &CalcQuery, registry: &PredicateRegistry) -> Result<(), SafetyError> {
+    let free = free_vars(&query.expr);
+    if !free.is_empty() {
+        return Err(SafetyError::FreeVariables(free.into_iter().map(|v| v.0).collect()));
+    }
+    check_expr(&query.expr, registry)
+}
+
+/// Validate arities and literals of an expression (free variables allowed —
+/// used on subexpressions).
+pub fn check_expr(expr: &QueryExpr, registry: &PredicateRegistry) -> Result<(), SafetyError> {
+    match expr {
+        QueryExpr::HasPos(_) => Ok(()),
+        QueryExpr::HasToken(_, tok) => {
+            if tok.is_empty() {
+                Err(SafetyError::EmptyToken)
+            } else {
+                Ok(())
+            }
+        }
+        QueryExpr::Pred { pred, vars, consts } => {
+            if pred.index() >= registry.len() {
+                return Err(SafetyError::UnknownPredicate(pred.0));
+            }
+            let p = registry.get(*pred);
+            if vars.len() != p.arity() {
+                return Err(SafetyError::PredicateArity {
+                    name: p.name().to_string(),
+                    expected: p.arity(),
+                    got: vars.len(),
+                });
+            }
+            if consts.len() != p.num_consts() {
+                return Err(SafetyError::PredicateConsts {
+                    name: p.name().to_string(),
+                    expected: p.num_consts(),
+                    got: consts.len(),
+                });
+            }
+            Ok(())
+        }
+        QueryExpr::Not(e) | QueryExpr::Exists(_, e) | QueryExpr::Forall(_, e) => {
+            check_expr(e, registry)
+        }
+        QueryExpr::And(a, b) | QueryExpr::Or(a, b) => {
+            check_expr(a, registry)?;
+            check_expr(b, registry)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use ftsl_predicates::PredicateId;
+
+    #[test]
+    fn closed_query_is_safe() {
+        let reg = PredicateRegistry::with_builtins();
+        let q = CalcQuery::new(contains(1, "test"));
+        assert_eq!(check_query(&q, &reg), Ok(()));
+    }
+
+    #[test]
+    fn free_variable_is_reported() {
+        let reg = PredicateRegistry::with_builtins();
+        let q = CalcQuery::new(has_token(3, "test"));
+        assert_eq!(check_query(&q, &reg), Err(SafetyError::FreeVariables(vec![3])));
+    }
+
+    #[test]
+    fn wrong_predicate_arity_is_reported() {
+        let reg = PredicateRegistry::with_builtins();
+        let distance = reg.lookup("distance").unwrap();
+        let q = CalcQuery::new(exists(1, pred(distance, &[1], &[5])));
+        assert!(matches!(
+            check_query(&q, &reg),
+            Err(SafetyError::PredicateArity { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_constant_count_is_reported() {
+        let reg = PredicateRegistry::with_builtins();
+        let distance = reg.lookup("distance").unwrap();
+        let q = CalcQuery::new(exists(1, exists(2, pred(distance, &[1, 2], &[]))));
+        assert!(matches!(
+            check_query(&q, &reg),
+            Err(SafetyError::PredicateConsts { expected: 1, got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_is_reported() {
+        let reg = PredicateRegistry::empty();
+        let q = CalcQuery::new(exists(1, pred(PredicateId(42), &[1], &[])));
+        assert_eq!(check_query(&q, &reg), Err(SafetyError::UnknownPredicate(42)));
+    }
+
+    #[test]
+    fn empty_token_is_reported() {
+        let reg = PredicateRegistry::with_builtins();
+        let q = CalcQuery::new(exists(1, QueryExpr::HasToken(crate::ast::VarId(1), String::new())));
+        assert_eq!(check_query(&q, &reg), Err(SafetyError::EmptyToken));
+    }
+}

@@ -1,0 +1,156 @@
+//! Variable analysis: free variables, renaming, uniquification.
+
+use crate::ast::{QueryExpr, VarId};
+use std::collections::{BTreeSet, HashMap};
+
+/// The free position variables of an expression, in id order.
+pub fn free_vars(expr: &QueryExpr) -> BTreeSet<VarId> {
+    let mut out = BTreeSet::new();
+    collect_free(expr, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_free(expr: &QueryExpr, bound: &mut Vec<VarId>, out: &mut BTreeSet<VarId>) {
+    match expr {
+        QueryExpr::HasPos(v) => {
+            if !bound.contains(v) {
+                out.insert(*v);
+            }
+        }
+        QueryExpr::HasToken(v, _) => {
+            if !bound.contains(v) {
+                out.insert(*v);
+            }
+        }
+        QueryExpr::Pred { vars, .. } => {
+            for v in vars {
+                if !bound.contains(v) {
+                    out.insert(*v);
+                }
+            }
+        }
+        QueryExpr::Not(e) => collect_free(e, bound, out),
+        QueryExpr::And(a, b) | QueryExpr::Or(a, b) => {
+            collect_free(a, bound, out);
+            collect_free(b, bound, out);
+        }
+        QueryExpr::Exists(v, e) | QueryExpr::Forall(v, e) => {
+            bound.push(*v);
+            collect_free(e, bound, out);
+            bound.pop();
+        }
+    }
+}
+
+/// The largest variable id mentioned anywhere (bound or free), or `None`.
+pub fn max_var(expr: &QueryExpr) -> Option<VarId> {
+    match expr {
+        QueryExpr::HasPos(v) | QueryExpr::HasToken(v, _) => Some(*v),
+        QueryExpr::Pred { vars, .. } => vars.iter().copied().max(),
+        QueryExpr::Not(e) => max_var(e),
+        QueryExpr::And(a, b) | QueryExpr::Or(a, b) => max_var(a).max(max_var(b)),
+        QueryExpr::Exists(v, e) | QueryExpr::Forall(v, e) => Some(*v).max(max_var(e)),
+    }
+}
+
+/// Rename every *bound* variable to a fresh id so that no two quantifiers
+/// bind the same variable and no bound variable shadows a free one (the
+/// proof of Theorem 4 assumes "every quantified variable in F has a unique
+/// name").
+pub fn uniquify(expr: &QueryExpr) -> QueryExpr {
+    let mut next = max_var(expr).map_or(0, |v| v.0 + 1);
+    rename(expr, &HashMap::new(), &mut next)
+}
+
+fn rename(expr: &QueryExpr, env: &HashMap<VarId, VarId>, next: &mut u32) -> QueryExpr {
+    let map = |v: &VarId| env.get(v).copied().unwrap_or(*v);
+    match expr {
+        QueryExpr::HasPos(v) => QueryExpr::HasPos(map(v)),
+        QueryExpr::HasToken(v, t) => QueryExpr::HasToken(map(v), t.clone()),
+        QueryExpr::Pred { pred, vars, consts } => QueryExpr::Pred {
+            pred: *pred,
+            vars: vars.iter().map(map).collect(),
+            consts: consts.clone(),
+        },
+        QueryExpr::Not(e) => QueryExpr::Not(Box::new(rename(e, env, next))),
+        QueryExpr::And(a, b) => QueryExpr::And(
+            Box::new(rename(a, env, next)),
+            Box::new(rename(b, env, next)),
+        ),
+        QueryExpr::Or(a, b) => QueryExpr::Or(
+            Box::new(rename(a, env, next)),
+            Box::new(rename(b, env, next)),
+        ),
+        QueryExpr::Exists(v, e) => {
+            let fresh = VarId(*next);
+            *next += 1;
+            let mut env2 = env.clone();
+            env2.insert(*v, fresh);
+            QueryExpr::Exists(fresh, Box::new(rename(e, &env2, next)))
+        }
+        QueryExpr::Forall(v, e) => {
+            let fresh = VarId(*next);
+            *next += 1;
+            let mut env2 = env.clone();
+            env2.insert(*v, fresh);
+            QueryExpr::Forall(fresh, Box::new(rename(e, &env2, next)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn free_vars_respects_binding() {
+        // ∃p1 (hasToken(p1,a) ∧ hasToken(p2,b)) — p2 free.
+        let e = exists(1, and(has_token(1, "a"), has_token(2, "b")));
+        let free: Vec<u32> = free_vars(&e).into_iter().map(|v| v.0).collect();
+        assert_eq!(free, vec![2]);
+    }
+
+    #[test]
+    fn closed_query_has_no_free_vars() {
+        let e = exists(1, exists(2, and(has_token(1, "a"), has_token(2, "b"))));
+        assert!(free_vars(&e).is_empty());
+    }
+
+    #[test]
+    fn uniquify_separates_shadowed_binders() {
+        // ∃p1(hasToken(p1,a) ∧ ∃p1(hasToken(p1,b))) — inner p1 shadows outer.
+        let e = exists(1, and(has_token(1, "a"), exists(1, has_token(1, "b"))));
+        let u = uniquify(&e);
+        // After uniquification the two binders differ.
+        if let QueryExpr::Exists(outer, body) = &u {
+            if let QueryExpr::And(left, right) = body.as_ref() {
+                if let (QueryExpr::HasToken(lv, _), QueryExpr::Exists(inner, ibody)) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    assert_eq!(lv, outer);
+                    assert_ne!(inner, outer);
+                    if let QueryExpr::HasToken(iv, _) = ibody.as_ref() {
+                        assert_eq!(iv, inner);
+                        return;
+                    }
+                }
+            }
+        }
+        panic!("unexpected shape: {u:?}");
+    }
+
+    #[test]
+    fn uniquify_preserves_free_vars() {
+        let e = and(has_token(7, "x"), exists(7, has_token(7, "y")));
+        let u = uniquify(&e);
+        let free: Vec<u32> = free_vars(&u).into_iter().map(|v| v.0).collect();
+        assert_eq!(free, vec![7]);
+    }
+
+    #[test]
+    fn max_var_spans_binders_and_atoms() {
+        let e = exists(9, has_token(3, "a"));
+        assert_eq!(max_var(&e), Some(VarId(9)));
+    }
+}

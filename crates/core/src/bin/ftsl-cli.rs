@@ -1,0 +1,140 @@
+//! `ftsl-cli` — a small command-line search shell over the library.
+//!
+//! ```text
+//! ftsl-cli [--analyzed] <file>...      index each file as one context node
+//! ```
+//!
+//! Then type queries (BOOL/DIST/COMP syntax) on stdin, one per line.
+//! Commands: `:explain <query>`, `:rank <query>`, `:top <k> <query>`,
+//! `:stats`, `:quit`.
+
+use ftsl_core::{Ftsl, RankModel};
+use ftsl_model::analysis::AnalysisConfig;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut analyzed = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--analyzed" => analyzed = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ftsl-cli [--analyzed] <file>...");
+                return;
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: ftsl-cli [--analyzed] <file>...");
+        std::process::exit(2);
+    }
+
+    let mut texts = Vec::new();
+    let mut names = Vec::new();
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                texts.push(text);
+                names.push(path.clone());
+            }
+            Err(e) => {
+                eprintln!("skipping {path}: {e}");
+            }
+        }
+    }
+    let engine = if analyzed {
+        Ftsl::from_texts_analyzed(&texts, AnalysisConfig::english())
+    } else {
+        Ftsl::from_texts(&texts)
+    };
+    let stats = engine.index().stats();
+    eprintln!(
+        "indexed {} documents ({} terms, {} max positions/node)",
+        engine.corpus().len(),
+        stats.vocabulary,
+        stats.pos_per_cnode
+    );
+    eprintln!("enter queries (:help for commands)");
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut line = String::new();
+    loop {
+        eprint!("ftsl> ");
+        line.clear();
+        let Ok(n) = stdin.lock().read_line(&mut line) else { break };
+        if n == 0 {
+            break;
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        let result = dispatch(&engine, input, &names, &mut stdout);
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+        }
+        if input == ":quit" {
+            break;
+        }
+    }
+}
+
+fn dispatch(
+    engine: &Ftsl,
+    input: &str,
+    names: &[String],
+    out: &mut impl Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if input == ":quit" {
+        return Ok(());
+    }
+    if input == ":help" {
+        writeln!(out, ":explain <q> | :rank <q> | :top <k> <q> | :stats | :quit")?;
+        return Ok(());
+    }
+    if input == ":stats" {
+        let s = engine.index().stats();
+        writeln!(
+            out,
+            "cnodes={} vocabulary={} pos_per_cnode={} entries_per_token={} pos_per_entry={}",
+            s.cnodes, s.vocabulary, s.pos_per_cnode, s.entries_per_token, s.pos_per_entry
+        )?;
+        return Ok(());
+    }
+    if let Some(q) = input.strip_prefix(":explain ") {
+        writeln!(out, "{}", engine.explain(q)?)?;
+        return Ok(());
+    }
+    if let Some(q) = input.strip_prefix(":rank ") {
+        let ranked = engine.search_ranked(q, RankModel::TfIdf)?;
+        for (node, score) in &ranked.hits {
+            writeln!(out, "{score:.5}  {}", names[node.index()])?;
+        }
+        return Ok(());
+    }
+    if let Some(rest) = input.strip_prefix(":top ") {
+        let (k, q) = rest.split_once(' ').ok_or(":top needs <k> <query>")?;
+        let k: usize = k.parse()?;
+        let ranked = engine.search_top_k(q, RankModel::TfIdf, k)?;
+        for (node, score) in &ranked.hits {
+            writeln!(out, "{score:.5}  {}", names[node.index()])?;
+        }
+        return Ok(());
+    }
+    let results = engine.search(input)?;
+    writeln!(
+        out,
+        "{} hit(s) [{} engine, {} class, {} entries / {} positions read]",
+        results.len(),
+        results.engine,
+        results.class,
+        results.counters.entries,
+        results.counters.positions
+    )?;
+    for node in &results.nodes {
+        writeln!(out, "  {}", names[node.index()])?;
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Unified error type for the facade.
+
+use std::fmt;
+
+/// Any error the facade can produce.
+#[derive(Clone, Debug)]
+pub enum FtslError {
+    /// Parse/lowering error.
+    Lang(String),
+    /// Execution error.
+    Exec(String),
+    /// Internal translation error.
+    Internal(String),
+}
+
+impl fmt::Display for FtslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtslError::Lang(m) => write!(f, "query error: {m}"),
+            FtslError::Exec(m) => write!(f, "execution error: {m}"),
+            FtslError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FtslError {}
+
+impl From<ftsl_lang::LangError> for FtslError {
+    fn from(e: ftsl_lang::LangError) -> Self {
+        FtslError::Lang(e.to_string())
+    }
+}
+
+impl From<ftsl_exec::ExecError> for FtslError {
+    fn from(e: ftsl_exec::ExecError) -> Self {
+        FtslError::Exec(e.to_string())
+    }
+}

@@ -1,0 +1,346 @@
+//! # ftsl-core — the high-level engine facade
+//!
+//! One type, [`Ftsl`], ties the whole reproduction together: index a corpus,
+//! parse a query in any of the paper's languages (BOOL / DIST / COMP),
+//! classify it in the Figure 3 hierarchy, evaluate it with the cheapest
+//! sound engine, and optionally rank results with the Section 3 scoring
+//! framework.
+//!
+//! ```
+//! use ftsl_core::Ftsl;
+//!
+//! let engine = Ftsl::from_texts(&[
+//!     "usability of a software measures how well the software supports users",
+//!     "an efficient algorithm for task completion",
+//! ]);
+//! let hits = engine.search("'software' AND NOT 'efficient'").unwrap();
+//! assert_eq!(hits.nodes.len(), 1);
+//! ```
+
+pub mod error;
+pub mod results;
+
+pub use error::FtslError;
+pub use results::{Ranked, SearchResults};
+
+use ftsl_calculus::CalcQuery;
+use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+use ftsl_index::{IndexBuilder, InvertedIndex};
+use ftsl_lang::rewrite::{map_tokens, Thesaurus};
+use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
+use ftsl_model::analysis::AnalysisConfig;
+use ftsl_model::{Corpus, Tokenizer, TokenizerConfig};
+use ftsl_predicates::PredicateRegistry;
+use ftsl_scoring::{PraModel, ScoreStats, ScoredEvaluator, TfIdfModel};
+
+/// Which scoring model ranks results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankModel {
+    /// Section 3.1: TF-IDF with score conservation.
+    TfIdf,
+    /// Section 3.2: probabilistic relational algebra.
+    Pra,
+}
+
+/// The full-text search engine facade.
+pub struct Ftsl {
+    corpus: Corpus,
+    index: InvertedIndex,
+    registry: PredicateRegistry,
+    stats: ScoreStats,
+    options: ExecOptions,
+    analysis: AnalysisConfig,
+    thesaurus: Thesaurus,
+}
+
+impl Ftsl {
+    /// Build an engine over raw document texts.
+    pub fn from_texts<S: AsRef<str>>(texts: &[S]) -> Self {
+        Self::from_corpus(Corpus::from_texts(texts))
+    }
+
+    /// Build an engine over raw texts with stemming/stop-word analysis (the
+    /// paper's announced extensions). The same analysis is applied to query
+    /// tokens so documents and queries agree on index terms.
+    pub fn from_texts_analyzed<S: AsRef<str>>(texts: &[S], analysis: AnalysisConfig) -> Self {
+        let tokenizer = Tokenizer::with_config(TokenizerConfig {
+            analysis: analysis.clone(),
+            ..Default::default()
+        });
+        let mut corpus = Corpus::new();
+        for text in texts {
+            corpus.add_text_with(&tokenizer, text.as_ref());
+        }
+        let mut engine = Self::from_corpus(corpus);
+        engine.analysis = analysis;
+        engine
+    }
+
+    /// Build an engine over an existing corpus.
+    pub fn from_corpus(corpus: Corpus) -> Self {
+        let index = IndexBuilder::new().build(&corpus);
+        let stats = ScoreStats::compute(&corpus, &index);
+        Ftsl {
+            corpus,
+            index,
+            registry: PredicateRegistry::with_builtins(),
+            stats,
+            options: ExecOptions::default(),
+            analysis: AnalysisConfig::none(),
+            thesaurus: Thesaurus::new(),
+        }
+    }
+
+    /// Install a thesaurus: query tokens are expanded into the disjunction
+    /// of their synonyms before evaluation.
+    pub fn set_thesaurus(&mut self, thesaurus: Thesaurus) {
+        self.thesaurus = thesaurus;
+    }
+
+    /// Apply query-side rewrites: thesaurus expansion, then the index's
+    /// token analysis on every literal (including expansion results).
+    fn rewrite_query(&self, surface: &SurfaceQuery) -> SurfaceQuery {
+        let expanded = self.thesaurus.expand(surface);
+        map_tokens(&expanded, &|t| self.analysis.analyze(t))
+    }
+
+    /// Replace execution options (advance mode, NPRED strategy).
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The indexed corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The predicate registry (extensible: register your own predicates
+    /// before issuing queries).
+    pub fn registry(&self) -> &PredicateRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the predicate registry.
+    pub fn registry_mut(&mut self) -> &mut PredicateRegistry {
+        &mut self.registry
+    }
+
+    /// Corpus scoring statistics.
+    pub fn score_stats(&self) -> &ScoreStats {
+        &self.stats
+    }
+
+    /// Run a query (COMP syntax, which subsumes BOOL and DIST) with
+    /// automatic engine dispatch.
+    pub fn search(&self, query: &str) -> Result<SearchResults, FtslError> {
+        self.search_with(query, Mode::Comp, EngineKind::Auto)
+    }
+
+    /// Run a query in an explicit language mode with an explicit engine.
+    pub fn search_with(
+        &self,
+        query: &str,
+        mode: Mode,
+        engine: EngineKind,
+    ) -> Result<SearchResults, FtslError> {
+        let surface = self.rewrite_query(&parse(query, mode)?);
+        let executor =
+            Executor::with_options(&self.corpus, &self.index, &self.registry, self.options);
+        let output = executor.run_surface(&surface, engine)?;
+        Ok(SearchResults {
+            nodes: output.nodes,
+            counters: output.counters,
+            engine: output.engine,
+            class: output.class,
+        })
+    }
+
+    /// Run a query and rank the results with the Section 3 scoring
+    /// framework (materialized scored-algebra evaluation).
+    pub fn search_ranked(&self, query: &str, model: RankModel) -> Result<Ranked, FtslError> {
+        let surface = self.rewrite_query(&parse(query, Mode::Comp)?);
+        let expr = lower(&surface, &self.registry)?;
+        let calc = CalcQuery::new(expr);
+        let alg = ftsl_algebra::from_calculus::query_to_algebra(&calc, &self.registry)
+            .map_err(|e| FtslError::Internal(e.to_string()))?;
+        let scored = match model {
+            RankModel::TfIdf => {
+                let tokens = query_tokens(&surface);
+                let m = TfIdfModel::for_query(&tokens, &self.corpus, &self.stats);
+                ScoredEvaluator::new(&self.corpus, &self.index, &self.registry, &self.stats, m)
+                    .rank(&alg)
+            }
+            RankModel::Pra => {
+                let m = PraModel::new(&self.corpus, &self.stats);
+                ScoredEvaluator::new(&self.corpus, &self.index, &self.registry, &self.stats, m)
+                    .rank(&alg)
+            }
+        }
+        .map_err(|e| FtslError::Internal(e.to_string()))?;
+        Ok(Ranked { hits: scored, model })
+    }
+
+    /// Ranked search truncated to the `k` best hits (the conclusion's
+    /// "top-k techniques" — implemented as rank-then-truncate over the
+    /// scored algebra; a score-ordered early-termination evaluator is the
+    /// paper's open problem, not ours to invent here).
+    pub fn search_top_k(
+        &self,
+        query: &str,
+        model: RankModel,
+        k: usize,
+    ) -> Result<Ranked, FtslError> {
+        let mut ranked = self.search_ranked(query, model)?;
+        ranked.hits.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Explain how a query would be executed: language class, engine, and
+    /// the operator tree.
+    pub fn explain(&self, query: &str) -> Result<String, FtslError> {
+        let surface = self.rewrite_query(&parse(query, Mode::Comp)?);
+        let class = classify(&surface, &self.registry);
+        let expr = lower(&surface, &self.registry)?;
+        let mut out = String::new();
+        out.push_str(&format!("language class: {class}\n"));
+        match class {
+            LanguageClass::BoolNoNeg | LanguageClass::Bool => {
+                out.push_str("engine: BOOL (doc-id list merges)\n");
+            }
+            LanguageClass::Dist | LanguageClass::Ppred | LanguageClass::Npred => {
+                let allow_negative = class == LanguageClass::Npred;
+                let engine = if allow_negative { "NPRED" } else { "PPRED" };
+                out.push_str(&format!("engine: {engine} (streaming cursors)\n"));
+                match ftsl_exec::plan::build_plan(&expr, &self.registry, allow_negative) {
+                    Ok(plan) => {
+                        out.push_str("plan:\n");
+                        out.push_str(&plan.root.render_tree(&self.registry));
+                    }
+                    Err(e) => out.push_str(&format!("(streaming plan unavailable: {e})\n")),
+                }
+            }
+            LanguageClass::Comp => {
+                out.push_str("engine: COMP (materialized algebra)\n");
+                let calc = CalcQuery::new(expr);
+                if let Ok(alg) =
+                    ftsl_algebra::from_calculus::query_to_algebra(&calc, &self.registry)
+                {
+                    out.push_str("algebra:\n");
+                    out.push_str(&alg.render_tree(&self.registry));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Collect the string tokens a surface query mentions (for TF-IDF weights).
+fn query_tokens(surface: &ftsl_lang::SurfaceQuery) -> Vec<String> {
+    use ftsl_lang::{SurfaceQuery as S, TokenArg};
+    fn walk(q: &S, out: &mut Vec<String>) {
+        match q {
+            S::Lit(t) => out.push(t.clone()),
+            S::VarHas(_, t) => out.push(t.clone()),
+            S::Dist(a, b, _) => {
+                for arg in [a, b] {
+                    if let TokenArg::Lit(t) = arg {
+                        out.push(t.clone());
+                    }
+                }
+            }
+            S::Any | S::VarHasAny(_) | S::Pred { .. } => {}
+            S::Not(x) => walk(x, out),
+            S::And(x, y) | S::Or(x, y) => {
+                walk(x, out);
+                walk(y, out);
+            }
+            S::Some(_, x) | S::Every(_, x) => walk(x, out),
+        }
+    }
+    let mut out = Vec::new();
+    walk(surface, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_exec::engine::EngineUsed;
+
+    fn engine() -> Ftsl {
+        Ftsl::from_texts(&[
+            "usability of a software measures how well the software supports users",
+            "an efficient algorithm for task completion",
+            "software task completion with efficient usability testing",
+            "",
+        ])
+    }
+
+    #[test]
+    fn basic_search_dispatches_to_bool() {
+        let e = engine();
+        let r = e.search("'software' AND 'usability'").unwrap();
+        assert_eq!(r.node_ids(), vec![0, 2]);
+        assert_eq!(r.engine, EngineUsed::Bool);
+    }
+
+    #[test]
+    fn comp_query_runs_streaming() {
+        let e = engine();
+        let r = e
+            .search(
+                "SOME p1 SOME p2 (p1 HAS 'task' AND p2 HAS 'completion' \
+                 AND ordered(p1,p2) AND distance(p1,p2,0))",
+            )
+            .unwrap();
+        assert_eq!(r.node_ids(), vec![1, 2]);
+        assert_eq!(r.engine, EngineUsed::Ppred);
+    }
+
+    #[test]
+    fn ranked_search_orders_by_score() {
+        let e = engine();
+        let r = e.search_ranked("'usability'", RankModel::TfIdf).unwrap();
+        assert_eq!(r.hits.len(), 2);
+        assert!(r.hits[0].1 >= r.hits[1].1);
+        let r = e.search_ranked("'software' AND 'usability'", RankModel::Pra).unwrap();
+        assert!(!r.hits.is_empty());
+        for (_, s) in &r.hits {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn explain_reports_class_engine_and_plan() {
+        let e = engine();
+        let text = e
+            .explain(
+                "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND samepara(p1,p2))",
+            )
+            .unwrap();
+        assert!(text.contains("PPRED"));
+        assert!(text.contains("select samepara"));
+        let text = e.explain("EVERY p1 (p1 HAS 'software')").unwrap();
+        assert!(text.contains("COMP"));
+    }
+
+    #[test]
+    fn parse_errors_surface_cleanly() {
+        let e = engine();
+        assert!(matches!(e.search("'unterminated"), Err(FtslError::Lang(_))));
+        assert!(matches!(e.search("AND AND"), Err(FtslError::Lang(_))));
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let e = Ftsl::from_texts::<&str>(&[]);
+        let r = e.search("'anything'").unwrap();
+        assert!(r.nodes.is_empty());
+    }
+}

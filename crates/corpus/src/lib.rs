@@ -1,0 +1,24 @@
+//! # ftsl-corpus — synthetic corpora and query workloads
+//!
+//! The paper's evaluation (Section 6) uses the INEX 2003 collection
+//! (500 MB, ~12 000 IEEE articles) plus synthetic data sets which the
+//! authors report behave similarly. INEX is not redistributable, so this
+//! crate generates deterministic synthetic corpora whose *model parameters*
+//! — `cnodes`, `pos_per_cnode`, `entries_per_token`, `pos_per_entry` — are
+//! directly controllable, which is exactly what the experiments sweep:
+//!
+//! * [`zipf::Zipf`] — Zipf-distributed vocabulary sampling (natural-language
+//!   token frequencies);
+//! * [`synth::SynthConfig`] — corpus generation with sentence/paragraph
+//!   structure and *planted* query tokens whose per-entry position counts
+//!   and document frequencies are controlled (Figures 7–8 sweep these);
+//! * [`queries::QuerySpec`] — the experiment query generator: `toks_Q`
+//!   tokens and `preds_Q` positive or negative predicates (Figures 5–6).
+
+pub mod queries;
+pub mod synth;
+pub mod zipf;
+
+pub use queries::{PredPolarity, QuerySpec};
+pub use synth::{PlantedToken, SynthConfig};
+pub use zipf::Zipf;

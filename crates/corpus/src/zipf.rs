@@ -1,0 +1,89 @@
+//! Zipf-distributed sampling over a finite vocabulary.
+
+use rand::RngExt;
+
+/// A Zipf(s) distribution over ranks `0..n`: `P(rank k) ∝ 1/(k+1)^s`.
+/// Sampling is inverse-CDF via binary search over precomputed cumulative
+/// weights — O(log n) per sample.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `s` (s = 0 is
+    /// uniform; s ≈ 1 is natural language).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty vocabulary");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize so binary search can use a [0,1) uniform draw.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_dominate() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 of Zipf(1) over 100 ranks carries ~19% of the mass.
+        assert!(counts[0] > 2_500 && counts[0] < 6_000, "rank0 = {}", counts[0]);
+    }
+
+    #[test]
+    fn uniform_when_exponent_is_zero() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1_500 && c < 2_500, "non-uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn samples_are_always_in_range() {
+        let zipf = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The BOOL engine (Section 5.3): sort-merge over doc-id lists.
+//!
+//! BOOL-NONEG queries touch only the query tokens' inverted-list entries;
+//! `NOT` and `ANY` additionally consult the node universe (the paper charges
+//! these against `IL_ANY` — its `cnodes` entries dominate the BOOL bound).
+//! Complements are taken against *all* context nodes, matching the calculus
+//! semantics under which `NOT 'x'` holds on empty nodes too.
+
+use crate::error::ExecError;
+use ftsl_index::{AccessCounters, InvertedIndex};
+use ftsl_lang::SurfaceQuery;
+use ftsl_model::{Corpus, NodeId};
+
+/// Evaluate a BOOL-shaped surface query by list merging.
+pub fn run_bool(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+) -> Result<(Vec<NodeId>, AccessCounters), ExecError> {
+    let mut counters = AccessCounters::new();
+    let nodes = eval(query, corpus, index, &mut counters)?;
+    Ok((nodes, counters))
+}
+
+fn eval(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    counters: &mut AccessCounters,
+) -> Result<Vec<NodeId>, ExecError> {
+    match query {
+        SurfaceQuery::Lit(tok) => {
+            let ids = match corpus.token_id(tok) {
+                Some(id) => index.list(id).node_ids().to_vec(),
+                None => Vec::new(),
+            };
+            counters.entries += ids.len() as u64;
+            Ok(ids)
+        }
+        SurfaceQuery::Any => {
+            let ids = index.any().node_ids().to_vec();
+            counters.entries += ids.len() as u64;
+            Ok(ids)
+        }
+        SurfaceQuery::Not(inner) => {
+            let inner_nodes = eval(inner, corpus, index, counters)?;
+            counters.entries += corpus.len() as u64;
+            Ok(complement(&inner_nodes, corpus.len() as u32))
+        }
+        SurfaceQuery::And(a, b) => {
+            let left = eval(a, corpus, index, counters)?;
+            // `x AND NOT y` merges directly without materializing the
+            // complement (the BOOL-NONEG path).
+            if let SurfaceQuery::Not(negated) = b.as_ref() {
+                let right = eval(negated, corpus, index, counters)?;
+                return Ok(difference_sorted(&left, &right));
+            }
+            let right = eval(b, corpus, index, counters)?;
+            Ok(intersect_sorted(&left, &right))
+        }
+        SurfaceQuery::Or(a, b) => {
+            let left = eval(a, corpus, index, counters)?;
+            let right = eval(b, corpus, index, counters)?;
+            Ok(union_sorted(&left, &right))
+        }
+        other => Err(ExecError::WrongEngine {
+            engine: "BOOL",
+            reason: format!("construct {} is not in BOOL", other.render()),
+        }),
+    }
+}
+
+fn complement(sorted: &[NodeId], cnodes: u32) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(cnodes as usize - sorted.len());
+    let mut it = sorted.iter().peekable();
+    for id in 0..cnodes {
+        match it.peek() {
+            Some(&&n) if n.0 == id => {
+                it.next();
+            }
+            _ => out.push(NodeId(id)),
+        }
+    }
+    out
+}
+
+/// Merge-intersection of two sorted id lists.
+pub fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Merge-union of two sorted id lists.
+pub fn union_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merge-difference of two sorted id lists.
+pub fn difference_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j >= b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] > b[j] {
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_index::IndexBuilder;
+    use ftsl_lang::{parse, Mode};
+
+    fn run(query: &str, texts: &[&str]) -> Vec<u32> {
+        let corpus = Corpus::from_texts(texts);
+        let index = IndexBuilder::new().build(&corpus);
+        let q = parse(query, Mode::Bool).unwrap();
+        let (nodes, _) = run_bool(&q, &corpus, &index).unwrap();
+        nodes.into_iter().map(|n| n.0).collect()
+    }
+
+    #[test]
+    fn section_5_3_example_shape() {
+        // ('software' AND 'users' AND NOT 'testing') OR 'usability'
+        let r = run(
+            "('software' AND 'users' AND NOT 'testing') OR 'usability'",
+            &[
+                "software users",         // matches (left branch)
+                "software users testing", // blocked by NOT
+                "usability",              // matches (right branch)
+                "software testing",       // no
+            ],
+        );
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn not_includes_empty_nodes() {
+        let r = run("NOT 'a'", &["a", "", "b"]);
+        assert_eq!(r, vec![1, 2]);
+    }
+
+    #[test]
+    fn any_excludes_empty_nodes() {
+        let r = run("ANY", &["a", "", "b"]);
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn unknown_token_matches_nothing() {
+        assert!(run("'zzz'", &["a", "b"]).is_empty());
+        let all = run("NOT 'zzz'", &["a", "b"]);
+        assert_eq!(all, vec![0, 1]);
+    }
+
+    #[test]
+    fn double_negation() {
+        let r = run("NOT NOT 'a'", &["a", "b", "a c"]);
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn counters_distinguish_noneg_from_neg() {
+        let corpus = Corpus::from_texts(&["a b", "a", "b", "c", "d", "e"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let noneg = parse("'a' AND 'b'", Mode::Bool).unwrap();
+        let (_, c1) = run_bool(&noneg, &corpus, &index).unwrap();
+        let neg = parse("NOT 'a'", Mode::Bool).unwrap();
+        let (_, c2) = run_bool(&neg, &corpus, &index).unwrap();
+        // The complement pays the cnodes-sized universe scan.
+        assert!(c2.entries > c1.entries);
+        assert!(c2.entries >= corpus.len() as u64);
+    }
+
+    #[test]
+    fn merge_helpers() {
+        let a: Vec<NodeId> = [1, 3, 5, 7].iter().map(|&i| NodeId(i)).collect();
+        let b: Vec<NodeId> = [3, 4, 7, 9].iter().map(|&i| NodeId(i)).collect();
+        let i: Vec<u32> = intersect_sorted(&a, &b).iter().map(|n| n.0).collect();
+        let u: Vec<u32> = union_sorted(&a, &b).iter().map(|n| n.0).collect();
+        let d: Vec<u32> = difference_sorted(&a, &b).iter().map(|n| n.0).collect();
+        assert_eq!(i, vec![3, 7]);
+        assert_eq!(u, vec![1, 3, 4, 5, 7, 9]);
+        assert_eq!(d, vec![1, 5]);
+    }
+
+    #[test]
+    fn comp_constructs_are_rejected() {
+        let corpus = Corpus::from_texts(&["a"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let q = parse("SOME p1 (p1 HAS 'a')", Mode::Comp).unwrap();
+        assert!(matches!(
+            run_bool(&q, &corpus, &index),
+            Err(ExecError::WrongEngine { .. })
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! The streaming cursor API (Section 5.5.3) and the leaf scan cursors.
+//!
+//! Every operator exposes the paper's four methods: `advanceNode`,
+//! `getNode`, `advancePosition(i, pos)`, `getPosition(i)`. Our
+//! `advance_position` takes an *inclusive* lower bound (the `f_i` value —
+//! "the lower bound of the next possible solution"), which is equivalent to
+//! the paper's exclusive formulation with `f_i − 1` and avoids off-by-one
+//! arithmetic at every call site.
+//!
+//! Evaluation is fully pipelined: no operator materializes its output, and
+//! each inverted-list position is consumed at most once per (thread, scan).
+
+use ftsl_index::{AccessCounters, ListCursor, PostingList};
+use ftsl_model::{NodeId, Position};
+
+/// A pipelined full-text cursor.
+pub trait FtCursor {
+    /// Number of position columns.
+    fn arity(&self) -> usize;
+
+    /// Advance to the next context node with at least one result tuple and
+    /// position all columns at that node's componentwise-minimal candidate.
+    fn advance_node(&mut self) -> Option<NodeId>;
+
+    /// The current node, if positioned.
+    fn node(&self) -> Option<NodeId>;
+
+    /// The current position of column `col`.
+    fn position(&self, col: usize) -> Position;
+
+    /// Advance column `col` to the next candidate tuple (within the current
+    /// node) whose `col` offset is `>= min_offset`, leaving other columns at
+    /// offsets `>=` their current values. Returns false when the node is
+    /// exhausted for this constraint.
+    fn advance_position(&mut self, col: usize, min_offset: u32) -> bool;
+
+    /// Aggregate access counters for this subtree.
+    fn counters(&self) -> AccessCounters;
+}
+
+/// Leaf scan over one inverted list (a token's list or `IL_ANY`).
+pub struct ScanCursor<'a> {
+    cursor: ListCursor<'a>,
+}
+
+impl<'a> ScanCursor<'a> {
+    /// Open a scan over `list`.
+    pub fn new(list: &'a PostingList) -> Self {
+        ScanCursor { cursor: ListCursor::new(list) }
+    }
+}
+
+impl FtCursor for ScanCursor<'_> {
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn advance_node(&mut self) -> Option<NodeId> {
+        self.cursor.next_entry()
+    }
+
+    fn node(&self) -> Option<NodeId> {
+        if self.cursor.exhausted() {
+            None
+        } else {
+            self.cursor.node()
+        }
+    }
+
+    fn position(&self, col: usize) -> Position {
+        debug_assert_eq!(col, 0);
+        self.cursor.position().expect("scan cursor positioned")
+    }
+
+    fn advance_position(&mut self, col: usize, min_offset: u32) -> bool {
+        debug_assert_eq!(col, 0);
+        self.cursor.advance_position(min_offset).is_some()
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.cursor.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_index::IndexBuilder;
+    use ftsl_model::Corpus;
+
+    #[test]
+    fn scan_cursor_walks_entries_and_positions() {
+        let corpus = Corpus::from_texts(&["a b a", "c", "a"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let a = corpus.token_id("a").unwrap();
+        let mut scan = ScanCursor::new(index.list(a));
+
+        assert_eq!(scan.advance_node(), Some(NodeId(0)));
+        assert_eq!(scan.position(0).offset, 0);
+        assert!(scan.advance_position(0, 1));
+        assert_eq!(scan.position(0).offset, 2);
+        assert!(!scan.advance_position(0, 3));
+
+        assert_eq!(scan.advance_node(), Some(NodeId(2)));
+        assert_eq!(scan.position(0).offset, 0);
+        assert_eq!(scan.advance_node(), None);
+        assert_eq!(scan.node(), None);
+    }
+}

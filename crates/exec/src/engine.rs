@@ -1,0 +1,310 @@
+//! The engine dispatcher: classify, pick the cheapest engine, run.
+
+use crate::bool_eval::run_bool;
+use crate::comp::run_comp;
+use crate::error::ExecError;
+use crate::npred::{run_npred, NpredOptions};
+use crate::ppred::run_ppred;
+use ftsl_calculus::CalcQuery;
+use ftsl_index::{AccessCounters, InvertedIndex};
+use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
+use ftsl_model::{Corpus, NodeId};
+use ftsl_predicates::{AdvanceMode, PredicateRegistry};
+
+/// Which engine to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Pick by language class (Figure 3), falling back to COMP.
+    Auto,
+    /// Force the BOOL merge engine.
+    Bool,
+    /// Force the PPRED streaming engine.
+    Ppred,
+    /// Force the NPRED multi-ordering engine.
+    Npred,
+    /// Force the COMP materialized engine.
+    Comp,
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Positive-predicate skip aggressiveness.
+    pub advance_mode: AdvanceMode,
+    /// NPRED: permute all scan variables instead of only negative ones.
+    pub npred_full_permutations: bool,
+    /// NPRED: run ordering threads in parallel.
+    pub npred_parallel: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            advance_mode: AdvanceMode::Aggressive,
+            npred_full_permutations: false,
+            npred_parallel: false,
+        }
+    }
+}
+
+/// The engine actually used for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineUsed {
+    /// BOOL merge engine.
+    Bool,
+    /// PPRED streaming engine.
+    Ppred,
+    /// NPRED multi-ordering engine.
+    Npred,
+    /// COMP materialized engine.
+    Comp,
+}
+
+impl std::fmt::Display for EngineUsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EngineUsed::Bool => "BOOL",
+            EngineUsed::Ppred => "PPRED",
+            EngineUsed::Npred => "NPRED",
+            EngineUsed::Comp => "COMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of running one query.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Matching context nodes, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Machine-independent work counters.
+    pub counters: AccessCounters,
+    /// Engine that produced the result.
+    pub engine: EngineUsed,
+    /// Detected language class.
+    pub class: LanguageClass,
+}
+
+/// Query executor over one corpus + index.
+pub struct Executor<'a> {
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    registry: &'a PredicateRegistry,
+    options: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    /// Executor with default options.
+    pub fn new(
+        corpus: &'a Corpus,
+        index: &'a InvertedIndex,
+        registry: &'a PredicateRegistry,
+    ) -> Self {
+        Executor { corpus, index, registry, options: ExecOptions::default() }
+    }
+
+    /// Executor with explicit options.
+    pub fn with_options(
+        corpus: &'a Corpus,
+        index: &'a InvertedIndex,
+        registry: &'a PredicateRegistry,
+        options: ExecOptions,
+    ) -> Self {
+        Executor { corpus, index, registry, options }
+    }
+
+    /// Parse a query string (COMP syntax accepts all three languages) and
+    /// run it.
+    pub fn run_str(&self, input: &str, engine: EngineKind) -> Result<QueryOutput, ExecError> {
+        let surface =
+            parse(input, Mode::Comp).map_err(|e| ExecError::Lang(e.to_string()))?;
+        self.run_surface(&surface, engine)
+    }
+
+    /// Run an already-parsed surface query.
+    pub fn run_surface(
+        &self,
+        surface: &SurfaceQuery,
+        engine: EngineKind,
+    ) -> Result<QueryOutput, ExecError> {
+        let class = classify(surface, self.registry);
+        let chosen = match engine {
+            EngineKind::Auto => match class {
+                LanguageClass::BoolNoNeg | LanguageClass::Bool => EngineUsed::Bool,
+                LanguageClass::Dist | LanguageClass::Ppred => EngineUsed::Ppred,
+                LanguageClass::Npred => EngineUsed::Npred,
+                LanguageClass::Comp => EngineUsed::Comp,
+            },
+            EngineKind::Bool => EngineUsed::Bool,
+            EngineKind::Ppred => EngineUsed::Ppred,
+            EngineKind::Npred => EngineUsed::Npred,
+            EngineKind::Comp => EngineUsed::Comp,
+        };
+
+        if chosen == EngineUsed::Bool {
+            let (nodes, counters) = run_bool(surface, self.corpus, self.index)?;
+            return Ok(QueryOutput { nodes, counters, engine: EngineUsed::Bool, class });
+        }
+
+        let expr =
+            lower(surface, self.registry).map_err(|e| ExecError::Lang(e.to_string()))?;
+        let query = CalcQuery::new(expr);
+        self.run_lowered(&query, chosen, class, engine == EngineKind::Auto)
+    }
+
+    /// Run a calculus query directly (no surface form). BOOL dispatch is not
+    /// available on this path.
+    pub fn run_calc(
+        &self,
+        query: &CalcQuery,
+        engine: EngineKind,
+    ) -> Result<QueryOutput, ExecError> {
+        let chosen = match engine {
+            EngineKind::Bool => {
+                return Err(ExecError::WrongEngine {
+                    engine: "BOOL",
+                    reason: "BOOL engine runs on surface queries".into(),
+                })
+            }
+            EngineKind::Ppred => EngineUsed::Ppred,
+            EngineKind::Npred => EngineUsed::Npred,
+            EngineKind::Comp | EngineKind::Auto => EngineUsed::Comp,
+        };
+        self.run_lowered(query, chosen, LanguageClass::Comp, engine == EngineKind::Auto)
+    }
+
+    fn run_lowered(
+        &self,
+        query: &CalcQuery,
+        chosen: EngineUsed,
+        class: LanguageClass,
+        allow_fallback: bool,
+    ) -> Result<QueryOutput, ExecError> {
+        match chosen {
+            EngineUsed::Ppred => {
+                match run_ppred(
+                    &query.expr,
+                    self.corpus,
+                    self.index,
+                    self.registry,
+                    self.options.advance_mode,
+                ) {
+                    Ok((nodes, counters)) => {
+                        Ok(QueryOutput { nodes, counters, engine: EngineUsed::Ppred, class })
+                    }
+                    Err(e) if allow_fallback => {
+                        let _ = e;
+                        self.run_lowered(query, EngineUsed::Comp, class, false)
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            EngineUsed::Npred => {
+                let opts = NpredOptions {
+                    full_permutations: self.options.npred_full_permutations,
+                    parallel: self.options.npred_parallel,
+                    mode: self.options.advance_mode,
+                };
+                match run_npred(&query.expr, self.corpus, self.index, self.registry, opts) {
+                    Ok((nodes, counters)) => {
+                        Ok(QueryOutput { nodes, counters, engine: EngineUsed::Npred, class })
+                    }
+                    Err(e) if allow_fallback => {
+                        let _ = e;
+                        self.run_lowered(query, EngineUsed::Comp, class, false)
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            EngineUsed::Comp => {
+                let (nodes, counters) =
+                    run_comp(query, self.corpus, self.index, self.registry)?;
+                Ok(QueryOutput { nodes, counters, engine: EngineUsed::Comp, class })
+            }
+            EngineUsed::Bool => unreachable!("BOOL handled before lowering"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_index::IndexBuilder;
+
+    fn setup() -> (Corpus, InvertedIndex, PredicateRegistry) {
+        let corpus = Corpus::from_texts(&[
+            "test driven usability",
+            "usability test",
+            "test test something",
+            "nothing here",
+        ]);
+        let index = IndexBuilder::new().build(&corpus);
+        (corpus, index, PredicateRegistry::with_builtins())
+    }
+
+    #[test]
+    fn auto_dispatch_picks_expected_engines() {
+        let (corpus, index, reg) = setup();
+        let exec = Executor::new(&corpus, &index, &reg);
+
+        let out = exec.run_str("'test' AND 'usability'", EngineKind::Auto).unwrap();
+        assert_eq!(out.engine, EngineUsed::Bool);
+        assert_eq!(out.class, LanguageClass::BoolNoNeg);
+
+        let out = exec
+            .run_str(
+                "SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))",
+                EngineKind::Auto,
+            )
+            .unwrap();
+        assert_eq!(out.engine, EngineUsed::Ppred);
+
+        let out = exec
+            .run_str(
+                "SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'test' AND diffpos(p1,p2))",
+                EngineKind::Auto,
+            )
+            .unwrap();
+        assert_eq!(out.engine, EngineUsed::Npred);
+
+        let out = exec.run_str("EVERY p1 (p1 HAS 'test')", EngineKind::Auto).unwrap();
+        assert_eq!(out.engine, EngineUsed::Comp);
+    }
+
+    #[test]
+    fn engines_agree_on_shared_fragment() {
+        let (corpus, index, reg) = setup();
+        let exec = Executor::new(&corpus, &index, &reg);
+        let q = "SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))";
+        let ppred = exec.run_str(q, EngineKind::Ppred).unwrap();
+        let npred = exec.run_str(q, EngineKind::Npred).unwrap();
+        let comp = exec.run_str(q, EngineKind::Comp).unwrap();
+        assert_eq!(ppred.nodes, npred.nodes);
+        assert_eq!(ppred.nodes, comp.nodes);
+    }
+
+    #[test]
+    fn forced_wrong_engine_errors() {
+        let (corpus, index, reg) = setup();
+        let exec = Executor::new(&corpus, &index, &reg);
+        let err = exec.run_str("EVERY p1 (p1 HAS 'test')", EngineKind::Ppred);
+        assert!(matches!(err, Err(ExecError::Plan(_))));
+        let err = exec.run_str("SOME p1 (p1 HAS 'test')", EngineKind::Bool);
+        assert!(matches!(err, Err(ExecError::WrongEngine { .. })));
+    }
+
+    #[test]
+    fn counters_rank_engines_by_work() {
+        let (corpus, index, reg) = setup();
+        let exec = Executor::new(&corpus, &index, &reg);
+        let q = "SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))";
+        let ppred = exec.run_str(q, EngineKind::Ppred).unwrap();
+        let comp = exec.run_str(q, EngineKind::Comp).unwrap();
+        assert!(
+            ppred.counters.total() <= comp.counters.total(),
+            "PPRED ({:?}) should not exceed COMP ({:?})",
+            ppred.counters,
+            comp.counters
+        );
+    }
+}

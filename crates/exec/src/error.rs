@@ -1,0 +1,88 @@
+//! Engine and planner errors.
+
+use std::fmt;
+
+/// Reasons a query cannot be compiled into a streaming (PPRED/NPRED) plan.
+/// The dispatcher treats these as "fall back to COMP".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// `NOT` applied to a subquery with free variables (only closed
+    /// subqueries may be negated in PPRED/NPRED: `Query AND NOT Query*`).
+    OpenNegation,
+    /// Bare negation outside an `AND`.
+    BareNegation,
+    /// Universal quantification (`EVERY`) is not streamable.
+    Universal,
+    /// `OR` branches expose different free variables.
+    OrVarMismatch,
+    /// A conjunction contains only negations (no positive relational part).
+    NoRelationalConjunct,
+    /// A negative predicate reached the PPRED engine.
+    NegativePredicate(String),
+    /// A predicate that is neither positive nor negative.
+    GeneralPredicate(String),
+    /// Unknown predicate id.
+    UnknownPredicate(u32),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::OpenNegation => write!(f, "NOT over a subquery with free variables"),
+            PlanError::BareNegation => write!(f, "negation outside AND NOT"),
+            PlanError::Universal => write!(f, "EVERY is not streamable"),
+            PlanError::OrVarMismatch => write!(f, "OR branches bind different variables"),
+            PlanError::NoRelationalConjunct => {
+                write!(f, "conjunction has no positive relational part")
+            }
+            PlanError::NegativePredicate(name) => {
+                write!(f, "negative predicate {name} requires the NPRED engine")
+            }
+            PlanError::GeneralPredicate(name) => {
+                write!(f, "predicate {name} requires the COMP engine")
+            }
+            PlanError::UnknownPredicate(id) => write!(f, "unknown predicate id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Top-level execution errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Language-layer failure (parse/lower).
+    Lang(String),
+    /// Streaming planner failure (when an engine was forced explicitly).
+    Plan(PlanError),
+    /// Algebra-layer failure.
+    Algebra(String),
+    /// The query does not fit the explicitly requested engine's language.
+    WrongEngine {
+        /// Requested engine.
+        engine: &'static str,
+        /// Why it does not fit.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Lang(msg) => write!(f, "language error: {msg}"),
+            ExecError::Plan(e) => write!(f, "plan error: {e}"),
+            ExecError::Algebra(msg) => write!(f, "algebra error: {msg}"),
+            ExecError::WrongEngine { engine, reason } => {
+                write!(f, "query not supported by {engine} engine: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
+    }
+}

@@ -1,0 +1,41 @@
+//! # ftsl-exec — the query evaluation engines
+//!
+//! Section 5 of the paper defines one evaluation strategy per language class
+//! and proves the complexity hierarchy of Figure 3. This crate implements
+//! all four engines plus the dispatcher:
+//!
+//! * [`bool_eval`] — **BOOL / BOOL-NONEG** (5.3): sort-merge over doc-id
+//!   lists; `NOT`/`ANY` complement against the node universe;
+//! * [`comp`] — **COMP** (5.4): translate the calculus to the algebra
+//!   (Lemma 2) and evaluate fully materialized — polynomial in the data,
+//!   exponential in the query;
+//! * [`ppred`] — **PPRED** (5.5, Algorithms 1–5): a pipelined cursor engine
+//!   evaluating positive-predicate queries in a *single scan* over the query
+//!   token inverted lists;
+//! * [`npred`] — **NPRED** (5.6, Algorithms 6–7): per-ordering evaluation
+//!   threads for negative predicates; implements both the paper's presented
+//!   full-permutation scheme and the partial-order optimization it mentions,
+//!   optionally running threads in parallel;
+//! * [`engine`] — dispatch by [`ftsl_lang::LanguageClass`], with COMP as the
+//!   universal fallback.
+//!
+//! Every engine reports [`ftsl_index::AccessCounters`] so the Figure 3
+//! bounds can be validated with machine-independent measurements.
+
+pub mod bool_eval;
+pub mod build;
+pub mod comp;
+pub mod cursor;
+pub mod engine;
+pub mod error;
+pub mod join;
+pub mod npred;
+pub mod plan;
+pub mod ppred;
+pub mod project;
+pub mod select;
+pub mod setops;
+
+pub use engine::{EngineKind, Executor, QueryOutput};
+pub use error::{ExecError, PlanError};
+pub use plan::{build_plan, PlanNode};

@@ -1,0 +1,587 @@
+//! Streaming logical plans for the PPRED/NPRED engines.
+//!
+//! The planner lowers a calculus expression into a tree of streaming
+//! operators (Section 5.5.3's operator trees, e.g. Figure 4), then rewrites
+//! it into a **node-level normal form**: unions pulled above differences,
+//! differences pulled above predicate/join cores. The rewrite keeps the
+//! paper's Algorithm 4/5 cursors sound: after it, `Union` and `Diff` only
+//! ever see node-level traffic, and predicates sit inside union-free cores
+//! where the single-scan advance strategy applies (`σ(U₁∪U₂)=σ(U₁)∪σ(U₂)`,
+//! `J(U₁∪U₂,S)=J(U₁,S)∪J(U₂,S)`, `J(D(L,R),S)=D(J(L,S),R)` and friends).
+
+use crate::error::PlanError;
+use ftsl_calculus::ast::{QueryExpr, VarId};
+use ftsl_calculus::vars::free_vars;
+use ftsl_predicates::{PredKind, PredicateId, PredicateRegistry};
+
+/// A streaming plan operator. Column identity is positional; `cols` mappings
+/// are tracked in [`Plan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanNode {
+    /// Scan of one token inverted list (1 column).
+    Scan {
+        /// Token string (resolved against the corpus at cursor build).
+        token: String,
+        /// The calculus variable this scan binds (used for NPRED thread
+        /// orderings).
+        var: VarId,
+    },
+    /// Scan of `IL_ANY` (1 column). Used to anchor predicate variables with
+    /// no token binding.
+    ScanAny {
+        /// The calculus variable this scan binds.
+        var: VarId,
+    },
+    /// Per-node cartesian join (Algorithm 1); columns concatenate.
+    Join(Box<PlanNode>, Box<PlanNode>),
+    /// Positive/negative predicate selection (Algorithms 2 and 7).
+    Select {
+        /// Input subtree.
+        input: Box<PlanNode>,
+        /// The predicate.
+        pred: PredicateId,
+        /// Input columns feeding the predicate, in argument order.
+        arg_cols: Vec<usize>,
+        /// Constant arguments.
+        consts: Vec<i64>,
+    },
+    /// Column projection / permutation (Algorithm 3, without the dedup
+    /// loop — parents of projections in rewritten plans are node-level).
+    Project {
+        /// Input subtree.
+        input: Box<PlanNode>,
+        /// Which input columns to keep, in order.
+        keep: Vec<usize>,
+    },
+    /// Node-level union (Algorithm 4).
+    Union(Box<PlanNode>, Box<PlanNode>),
+    /// Node-level anti-join (Algorithm 5): nodes of `left` not present in
+    /// `right` (`right` comes from a closed `NOT` subquery).
+    Diff(Box<PlanNode>, Box<PlanNode>),
+}
+
+impl PlanNode {
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } | PlanNode::ScanAny { .. } => 1,
+            PlanNode::Join(a, b) => a.arity() + b.arity(),
+            PlanNode::Select { input, .. } => input.arity(),
+            PlanNode::Project { keep, .. } => keep.len(),
+            PlanNode::Union(a, _) => a.arity(),
+            PlanNode::Diff(a, _) => a.arity(),
+        }
+    }
+
+    /// The variable each *leaf scan column* of this subtree tracks, for
+    /// thread-ordering purposes; computed by the planner alongside the tree.
+    fn boxed(self) -> Box<PlanNode> {
+        Box::new(self)
+    }
+
+    /// Render an indented operator-tree view (Figure 4 style).
+    pub fn render_tree(&self, registry: &PredicateRegistry) -> String {
+        let mut out = String::new();
+        self.render(registry, 0, &mut out);
+        out
+    }
+
+    fn render(&self, registry: &PredicateRegistry, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::Scan { token, .. } => writeln!(out, "{pad}scan (\"{token}\")").unwrap(),
+            PlanNode::ScanAny { .. } => writeln!(out, "{pad}scan (ANY)").unwrap(),
+            PlanNode::Join(a, b) => {
+                writeln!(out, "{pad}join").unwrap();
+                a.render(registry, depth + 1, out);
+                b.render(registry, depth + 1, out);
+            }
+            PlanNode::Select { input, pred, arg_cols, consts } => {
+                let name = registry.get(*pred).name();
+                writeln!(out, "{pad}select {name}({arg_cols:?}, {consts:?})").unwrap();
+                input.render(registry, depth + 1, out);
+            }
+            PlanNode::Project { input, keep } => {
+                writeln!(out, "{pad}project {keep:?}").unwrap();
+                input.render(registry, depth + 1, out);
+            }
+            PlanNode::Union(a, b) => {
+                writeln!(out, "{pad}union").unwrap();
+                a.render(registry, depth + 1, out);
+                b.render(registry, depth + 1, out);
+            }
+            PlanNode::Diff(a, b) => {
+                writeln!(out, "{pad}difference").unwrap();
+                a.render(registry, depth + 1, out);
+                b.render(registry, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// A plan with its column-to-variable mapping.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The operator tree.
+    pub root: PlanNode,
+    /// Variable tracked by each output column.
+    pub cols: Vec<VarId>,
+    /// Variables appearing in negative predicates (the partial-order set
+    /// the NPRED engine permutes).
+    pub negative_vars: Vec<VarId>,
+    /// Variables of every leaf scan (for the full-permutation mode).
+    pub scan_vars: Vec<VarId>,
+}
+
+/// Build and normalize a streaming plan for a (closed) calculus expression.
+///
+/// `allow_negative` selects NPRED (true) vs PPRED (false) predicate rules.
+pub fn build_plan(
+    expr: &QueryExpr,
+    registry: &PredicateRegistry,
+    allow_negative: bool,
+) -> Result<Plan, PlanError> {
+    let mut builder = Builder { registry, allow_negative, negative_vars: Vec::new(), scan_vars: Vec::new() };
+    let built = builder.build(expr)?;
+    let root = rewrite_to_fixpoint(built.node);
+    let mut negative_vars = builder.negative_vars;
+    negative_vars.sort_unstable();
+    negative_vars.dedup();
+    Ok(Plan { root, cols: built.cols, negative_vars, scan_vars: builder.scan_vars })
+}
+
+struct Built {
+    node: PlanNode,
+    cols: Vec<VarId>,
+}
+
+struct Builder<'a> {
+    registry: &'a PredicateRegistry,
+    allow_negative: bool,
+    negative_vars: Vec<VarId>,
+    scan_vars: Vec<VarId>,
+}
+
+impl Builder<'_> {
+    fn build(&mut self, expr: &QueryExpr) -> Result<Built, PlanError> {
+        match expr {
+            QueryExpr::And(..) | QueryExpr::HasToken(..) | QueryExpr::HasPos(_)
+            | QueryExpr::Pred { .. } => {
+                let mut conjuncts = Vec::new();
+                flatten_and(expr, &mut conjuncts);
+                self.build_conjunction(&conjuncts)
+            }
+            QueryExpr::Or(a, b) => {
+                let left = self.build(a)?;
+                let right = self.build(b)?;
+                let mut lv = left.cols.clone();
+                let mut rv = right.cols.clone();
+                lv.sort_unstable();
+                rv.sort_unstable();
+                if lv != rv {
+                    return Err(PlanError::OrVarMismatch);
+                }
+                // Permute the right side's columns into the left's order.
+                let keep: Vec<usize> = left
+                    .cols
+                    .iter()
+                    .map(|v| right.cols.iter().position(|u| u == v).expect("aligned"))
+                    .collect();
+                let right_node = if keep.iter().copied().eq(0..keep.len()) {
+                    right.node
+                } else {
+                    PlanNode::Project { input: right.node.boxed(), keep }
+                };
+                Ok(Built {
+                    node: PlanNode::Union(left.node.boxed(), right_node.boxed()),
+                    cols: left.cols,
+                })
+            }
+            QueryExpr::Exists(v, body) => {
+                let inner = self.build(body)?;
+                match inner.cols.iter().position(|u| u == v) {
+                    Some(idx) => {
+                        let keep: Vec<usize> =
+                            (0..inner.cols.len()).filter(|&i| i != idx).collect();
+                        let cols: Vec<VarId> =
+                            keep.iter().map(|&i| inner.cols[i]).collect();
+                        Ok(Built {
+                            node: PlanNode::Project { input: inner.node.boxed(), keep },
+                            cols,
+                        })
+                    }
+                    // Quantifier over an unused variable: every leaf is a
+                    // scan, so matching nodes necessarily have positions to
+                    // bind the variable to — the quantifier is redundant.
+                    None => Ok(inner),
+                }
+            }
+            QueryExpr::Not(_) => Err(PlanError::BareNegation),
+            QueryExpr::Forall(..) => Err(PlanError::Universal),
+        }
+    }
+
+    fn build_conjunction(&mut self, conjuncts: &[&QueryExpr]) -> Result<Built, PlanError> {
+        let mut relational: Vec<Built> = Vec::new();
+        let mut preds: Vec<(&QueryExpr, PredicateId, Vec<VarId>, Vec<i64>)> = Vec::new();
+        let mut diffs: Vec<Built> = Vec::new();
+
+        for &c in conjuncts {
+            match c {
+                QueryExpr::HasToken(v, t) => {
+                    self.scan_vars.push(*v);
+                    relational.push(Built {
+                        node: PlanNode::Scan { token: t.clone(), var: *v },
+                        cols: vec![*v],
+                    });
+                }
+                QueryExpr::HasPos(v) => {
+                    self.scan_vars.push(*v);
+                    relational
+                        .push(Built { node: PlanNode::ScanAny { var: *v }, cols: vec![*v] });
+                }
+                QueryExpr::Pred { pred, vars, consts } => {
+                    self.check_pred(*pred)?;
+                    if self.registry.get(*pred).kind() == PredKind::Negative {
+                        self.negative_vars.extend(vars.iter().copied());
+                    }
+                    preds.push((c, *pred, vars.clone(), consts.clone()));
+                }
+                QueryExpr::Not(inner) => {
+                    if !free_vars(inner).is_empty() {
+                        return Err(PlanError::OpenNegation);
+                    }
+                    let filter = self.build(inner)?;
+                    debug_assert!(filter.cols.is_empty());
+                    diffs.push(filter);
+                }
+                other => relational.push(self.build(other)?),
+            }
+        }
+
+        // Anchor predicate variables that no relational conjunct binds.
+        let mut bound: Vec<VarId> = relational.iter().flat_map(|b| b.cols.clone()).collect();
+        for (_, _, vars, _) in &preds {
+            for v in vars {
+                if !bound.contains(v) {
+                    bound.push(*v);
+                    self.scan_vars.push(*v);
+                    relational.push(Built { node: PlanNode::ScanAny { var: *v }, cols: vec![*v] });
+                }
+            }
+        }
+
+        if relational.is_empty() {
+            return Err(PlanError::NoRelationalConjunct);
+        }
+
+        // Join everything; equate repeated variables via `samepos`.
+        let samepos = self
+            .registry
+            .lookup("samepos")
+            .ok_or(PlanError::GeneralPredicate("samepos missing".into()))?;
+        let mut acc = relational.remove(0);
+        for next in relational {
+            let offset = acc.cols.len();
+            let mut node = PlanNode::Join(acc.node.boxed(), next.node.boxed());
+            let mut cols = acc.cols;
+            cols.extend(next.cols);
+            // Resolve duplicate variables one at a time.
+            loop {
+                let mut dup: Option<(usize, usize)> = None;
+                'outer: for i in 0..cols.len() {
+                    for j in (i + 1).max(offset)..cols.len() {
+                        if cols[i] == cols[j] && i < j {
+                            dup = Some((i, j));
+                            break 'outer;
+                        }
+                    }
+                }
+                let Some((i, j)) = dup else { break };
+                node = PlanNode::Select {
+                    input: node.boxed(),
+                    pred: samepos,
+                    arg_cols: vec![i, j],
+                    consts: vec![],
+                };
+                let keep: Vec<usize> = (0..cols.len()).filter(|&k| k != j).collect();
+                node = PlanNode::Project { input: node.boxed(), keep };
+                cols.remove(j);
+            }
+            acc = Built { node, cols };
+        }
+
+        // Apply predicate selections.
+        for (_, pred, vars, consts) in preds {
+            let arg_cols: Vec<usize> = vars
+                .iter()
+                .map(|v| acc.cols.iter().position(|u| u == v).expect("anchored"))
+                .collect();
+            acc = Built {
+                node: PlanNode::Select {
+                    input: acc.node.boxed(),
+                    pred,
+                    arg_cols,
+                    consts,
+                },
+                cols: acc.cols,
+            };
+        }
+
+        // Apply node-level anti-joins for closed negations.
+        for d in diffs {
+            acc = Built {
+                node: PlanNode::Diff(acc.node.boxed(), d.node.boxed()),
+                cols: acc.cols,
+            };
+        }
+        Ok(acc)
+    }
+
+    fn check_pred(&mut self, pred: PredicateId) -> Result<(), PlanError> {
+        if pred.index() >= self.registry.len() {
+            return Err(PlanError::UnknownPredicate(pred.0));
+        }
+        let p = self.registry.get(pred);
+        match p.kind() {
+            PredKind::Positive => Ok(()),
+            PredKind::Negative if self.allow_negative => Ok(()),
+            PredKind::Negative => Err(PlanError::NegativePredicate(p.name().to_string())),
+            PredKind::General => Err(PlanError::GeneralPredicate(p.name().to_string())),
+        }
+    }
+}
+
+/// Record which variables each negative-predicate selection constrains.
+/// (Computed during `check_pred` callers; kept here for clarity.)
+fn flatten_and<'e>(expr: &'e QueryExpr, out: &mut Vec<&'e QueryExpr>) {
+    match expr {
+        QueryExpr::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Rewrite until no union/difference remains inside a core.
+fn rewrite_to_fixpoint(mut node: PlanNode) -> PlanNode {
+    loop {
+        let (rewritten, changed) = rewrite(node);
+        node = rewritten;
+        if !changed {
+            return node;
+        }
+    }
+}
+
+/// One bottom-up rewrite pass. Returns `(node, changed)`.
+fn rewrite(node: PlanNode) -> (PlanNode, bool) {
+    match node {
+        PlanNode::Scan { .. } | PlanNode::ScanAny { .. } => (node, false),
+        PlanNode::Join(a, b) => {
+            let (a, ca) = rewrite(*a);
+            let (b, cb) = rewrite(*b);
+            // J(U(x,y), b) => U(J(x,b), J(y,b)); J(a, U(x,y)) symmetric.
+            if let PlanNode::Union(x, y) = a {
+                let l = PlanNode::Join(x, b.clone().boxed());
+                let r = PlanNode::Join(y, b.boxed());
+                return (PlanNode::Union(l.boxed(), r.boxed()), true);
+            }
+            if let PlanNode::Union(x, y) = b {
+                let l = PlanNode::Join(a.clone().boxed(), x);
+                let r = PlanNode::Join(a.boxed(), y);
+                return (PlanNode::Union(l.boxed(), r.boxed()), true);
+            }
+            // J(D(l,f), b) => D(J(l,b), f); J(a, D(l,f)) => D(J(a,l), f).
+            if let PlanNode::Diff(l, f) = a {
+                return (
+                    PlanNode::Diff(PlanNode::Join(l, b.boxed()).boxed(), f),
+                    true,
+                );
+            }
+            if let PlanNode::Diff(l, f) = b {
+                return (
+                    PlanNode::Diff(PlanNode::Join(a.boxed(), l).boxed(), f),
+                    true,
+                );
+            }
+            (PlanNode::Join(a.boxed(), b.boxed()), ca || cb)
+        }
+        PlanNode::Select { input, pred, arg_cols, consts } => {
+            let (input, ci) = rewrite(*input);
+            if let PlanNode::Union(x, y) = input {
+                let l = PlanNode::Select {
+                    input: x,
+                    pred,
+                    arg_cols: arg_cols.clone(),
+                    consts: consts.clone(),
+                };
+                let r = PlanNode::Select { input: y, pred, arg_cols, consts };
+                return (PlanNode::Union(l.boxed(), r.boxed()), true);
+            }
+            if let PlanNode::Diff(l, f) = input {
+                let inner = PlanNode::Select { input: l, pred, arg_cols, consts };
+                return (PlanNode::Diff(inner.boxed(), f), true);
+            }
+            (PlanNode::Select { input: input.boxed(), pred, arg_cols, consts }, ci)
+        }
+        PlanNode::Project { input, keep } => {
+            let (input, ci) = rewrite(*input);
+            if let PlanNode::Union(x, y) = input {
+                let l = PlanNode::Project { input: x, keep: keep.clone() };
+                let r = PlanNode::Project { input: y, keep };
+                return (PlanNode::Union(l.boxed(), r.boxed()), true);
+            }
+            if let PlanNode::Diff(l, f) = input {
+                let inner = PlanNode::Project { input: l, keep };
+                return (PlanNode::Diff(inner.boxed(), f), true);
+            }
+            // Collapse nested projections.
+            if let PlanNode::Project { input: inner, keep: inner_keep } = input {
+                let composed: Vec<usize> = keep.iter().map(|&k| inner_keep[k]).collect();
+                return (PlanNode::Project { input: inner, keep: composed }, true);
+            }
+            (PlanNode::Project { input: input.boxed(), keep }, ci)
+        }
+        PlanNode::Union(a, b) => {
+            let (a, ca) = rewrite(*a);
+            let (b, cb) = rewrite(*b);
+            (PlanNode::Union(a.boxed(), b.boxed()), ca || cb)
+        }
+        PlanNode::Diff(a, b) => {
+            let (a, ca) = rewrite(*a);
+            let (b, cb) = rewrite(*b);
+            // D(U(x,y), f) => U(D(x,f), D(y,f)) keeps unions on top.
+            if let PlanNode::Union(x, y) = a {
+                let l = PlanNode::Diff(x, b.clone().boxed());
+                let r = PlanNode::Diff(y, b.boxed());
+                return (PlanNode::Union(l.boxed(), r.boxed()), true);
+            }
+            (PlanNode::Diff(a.boxed(), b.boxed()), ca || cb)
+        }
+    }
+}
+
+/// Check the node-level normal form: no `Union` below a `Join`/`Select`/
+/// `Project`, and no `Diff` below a `Join`/`Select`/`Project` (used by
+/// tests; `Diff` right-hand filters are independently normalized plans).
+pub fn in_normal_form(node: &PlanNode) -> bool {
+    fn core_ok(node: &PlanNode) -> bool {
+        match node {
+            PlanNode::Scan { .. } | PlanNode::ScanAny { .. } => true,
+            PlanNode::Join(a, b) => core_ok(a) && core_ok(b),
+            PlanNode::Select { input, .. } | PlanNode::Project { input, .. } => core_ok(input),
+            PlanNode::Union(..) | PlanNode::Diff(..) => false,
+        }
+    }
+    match node {
+        PlanNode::Union(a, b) => in_normal_form(a) && in_normal_form(b),
+        PlanNode::Diff(a, b) => in_normal_form(a) && in_normal_form(b),
+        core => core_ok(core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_lang::{lower, parse, Mode};
+
+    fn plan_for(input: &str, allow_negative: bool) -> Result<Plan, PlanError> {
+        let reg = PredicateRegistry::with_builtins();
+        let surface = parse(input, Mode::Comp).unwrap();
+        let expr = lower(&surface, &reg).unwrap();
+        build_plan(&expr, &reg, allow_negative)
+    }
+
+    #[test]
+    fn simple_conjunction_plans_to_join() {
+        let p = plan_for("'test' AND 'usability'", false).unwrap();
+        assert!(matches!(p.root, PlanNode::Project { .. } | PlanNode::Join(..)));
+        assert!(in_normal_form(&p.root));
+        assert_eq!(p.root.arity(), p.cols.len());
+    }
+
+    #[test]
+    fn figure4_query_plans_with_selects_over_join() {
+        let p = plan_for(
+            "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' \
+             AND samepara(p1,p2) AND distance(p1,p2,5))",
+            false,
+        )
+        .unwrap();
+        let reg = PredicateRegistry::with_builtins();
+        let tree = p.root.render_tree(&reg);
+        assert!(tree.contains("select samepara"));
+        assert!(tree.contains("select distance"));
+        assert!(tree.contains("scan (\"usability\")"));
+        assert!(in_normal_form(&p.root));
+    }
+
+    #[test]
+    fn or_under_and_is_rewritten_to_top_level_union() {
+        let p = plan_for(
+            "SOME p1 SOME p2 ((p1 HAS 'a' OR p1 HAS 'b') AND p2 HAS 'c' \
+             AND distance(p1,p2,5))",
+            false,
+        )
+        .unwrap();
+        assert!(matches!(p.root, PlanNode::Union(..)));
+        assert!(in_normal_form(&p.root));
+    }
+
+    #[test]
+    fn closed_negation_becomes_difference() {
+        let p = plan_for("'a' AND NOT 'b'", false).unwrap();
+        assert!(matches!(p.root, PlanNode::Diff(..)));
+        assert!(in_normal_form(&p.root));
+    }
+
+    #[test]
+    fn open_negation_is_rejected() {
+        let err = plan_for("SOME p1 (p1 HAS 'a' AND NOT distance(p1,p1,0))", false);
+        assert_eq!(err.unwrap_err(), PlanError::OpenNegation);
+    }
+
+    #[test]
+    fn negative_predicates_require_npred() {
+        let q = "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1,p2,3))";
+        assert!(matches!(plan_for(q, false), Err(PlanError::NegativePredicate(_))));
+        let p = plan_for(q, true).unwrap();
+        assert_eq!(p.negative_vars.len(), 2);
+    }
+
+    #[test]
+    fn general_predicates_are_rejected() {
+        let q = "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND exact_gap(p1,p2,3))";
+        assert!(matches!(plan_for(q, true), Err(PlanError::GeneralPredicate(_))));
+    }
+
+    #[test]
+    fn every_is_rejected() {
+        assert_eq!(plan_for("EVERY p1 (p1 HAS 'a')", false).unwrap_err(), PlanError::Universal);
+    }
+
+    #[test]
+    fn shared_variable_gets_samepos_equijoin() {
+        let p = plan_for("SOME p1 (p1 HAS 'a' AND p1 HAS 'b')", false).unwrap();
+        let reg = PredicateRegistry::with_builtins();
+        let tree = p.root.render_tree(&reg);
+        assert!(tree.contains("select samepos"), "plan: {tree}");
+    }
+
+    #[test]
+    fn pred_only_query_anchors_with_any_scans() {
+        let p = plan_for("SOME p1 SOME p2 distance(p1, p2, 3)", false).unwrap();
+        let reg = PredicateRegistry::with_builtins();
+        let tree = p.root.render_tree(&reg);
+        assert!(tree.contains("scan (ANY)"));
+    }
+
+    #[test]
+    fn or_with_different_vars_is_rejected() {
+        let err = plan_for("SOME p1 ((p1 HAS 'a' OR 'b') AND p1 HAS 'c')", false);
+        assert_eq!(err.unwrap_err(), PlanError::OrVarMismatch);
+    }
+}

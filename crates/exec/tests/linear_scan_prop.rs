@@ -1,0 +1,149 @@
+//! The Section 5.5 complexity guarantee, machine-checked: a PPRED query is
+//! evaluated in a *single scan* over the query-token inverted lists. We
+//! verify it with access counters: the positions consumed never exceed the
+//! total size of the lists the plan scans (once per scan leaf), and the
+//! NPRED engine's consumption is bounded by that total times the number of
+//! evaluation threads.
+
+use ftsl_calculus::ast::QueryExpr;
+use ftsl_exec::plan::{build_plan, PlanNode};
+use ftsl_exec::{ppred, npred};
+use ftsl_index::{IndexBuilder, InvertedIndex};
+use ftsl_lang::{lower, parse, Mode};
+use ftsl_model::Corpus;
+use ftsl_predicates::{AdvanceMode, PredicateRegistry};
+use proptest::prelude::*;
+
+const VOCAB: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    proptest::collection::vec(proptest::collection::vec(0..VOCAB.len(), 0..20), 1..10).prop_map(
+        |docs| {
+            let texts: Vec<String> = docs
+                .into_iter()
+                .map(|toks| toks.into_iter().map(|t| VOCAB[t]).collect::<Vec<_>>().join(" "))
+                .collect();
+            Corpus::from_texts(&texts)
+        },
+    )
+}
+
+/// Random PPRED query strings over the vocabulary.
+fn arb_ppred_query() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(0..VOCAB.len(), 1..4),
+        proptest::collection::vec((0..3usize, 0..8i64), 0..3),
+    )
+        .prop_map(|(tokens, preds)| {
+            let n = tokens.len();
+            let mut conjuncts: Vec<String> = tokens
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| format!("p{i} HAS '{}'", VOCAB[t]))
+                .collect();
+            for (kind, c) in preds {
+                let a = 0;
+                let b = n - 1;
+                conjuncts.push(match kind {
+                    0 => format!("distance(p{a}, p{b}, {c})"),
+                    1 => format!("ordered(p{a}, p{b})"),
+                    _ => format!("samepara(p{a}, p{b})"),
+                });
+            }
+            let mut q = conjuncts.join(" AND ");
+            for i in (0..n).rev() {
+                q = format!("SOME p{i} ({q})");
+            }
+            q
+        })
+}
+
+/// Sum of (entries, positions) over every scan leaf of the rewritten plan —
+/// the "size of the query token inverted lists" in the paper's bounds,
+/// counting a list once per leaf occurrence.
+fn scanned_totals(node: &PlanNode, corpus: &Corpus, index: &InvertedIndex) -> (u64, u64) {
+    match node {
+        PlanNode::Scan { token, .. } => match corpus.token_id(token) {
+            Some(id) => {
+                let list = index.list(id);
+                (list.num_entries() as u64, list.num_positions() as u64)
+            }
+            None => (0, 0),
+        },
+        PlanNode::ScanAny { .. } => {
+            let list = index.any();
+            (list.num_entries() as u64, list.num_positions() as u64)
+        }
+        PlanNode::Join(a, b) | PlanNode::Union(a, b) | PlanNode::Diff(a, b) => {
+            let (e1, p1) = scanned_totals(a, corpus, index);
+            let (e2, p2) = scanned_totals(b, corpus, index);
+            (e1 + e2, p1 + p2)
+        }
+        PlanNode::Select { input, .. } | PlanNode::Project { input, .. } => {
+            scanned_totals(input, corpus, index)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ppred_is_single_scan(
+        query in arb_ppred_query(),
+        corpus in arb_corpus(),
+    ) {
+        let reg = PredicateRegistry::with_builtins();
+        let index = IndexBuilder::new().build(&corpus);
+        let surface = parse(&query, Mode::Comp).expect("generated query parses");
+        let expr: QueryExpr = lower(&surface, &reg).expect("lowers");
+
+        let plan = build_plan(&expr, &reg, false).expect("PPRED-plannable");
+        let (max_entries, max_positions) = scanned_totals(&plan.root, &corpus, &index);
+
+        for mode in [AdvanceMode::Aggressive, AdvanceMode::Conservative] {
+            let (_, counters) =
+                ppred::run_ppred(&expr, &corpus, &index, &reg, mode).expect("runs");
+            prop_assert!(
+                counters.entries <= max_entries,
+                "entries {} > list total {max_entries} for {query}",
+                counters.entries
+            );
+            prop_assert!(
+                counters.positions <= max_positions,
+                "positions {} > list total {max_positions} for {query} ({mode:?})",
+                counters.positions
+            );
+            prop_assert_eq!(counters.tuples, 0, "PPRED must not materialize");
+        }
+    }
+
+    #[test]
+    fn npred_is_linear_per_thread(
+        query in arb_ppred_query(),
+        corpus in arb_corpus(),
+    ) {
+        let reg = PredicateRegistry::with_builtins();
+        let index = IndexBuilder::new().build(&corpus);
+        let surface = parse(&query, Mode::Comp).expect("parses");
+        let expr: QueryExpr = lower(&surface, &reg).expect("lowers");
+
+        let plan = build_plan(&expr, &reg, true).expect("plannable");
+        let (_, max_positions) = scanned_totals(&plan.root, &corpus, &index);
+        let mut scan_vars = plan.scan_vars.clone();
+        scan_vars.sort_unstable();
+        scan_vars.dedup();
+        let threads: u64 = (1..=scan_vars.len() as u64).product();
+
+        let opts = npred::NpredOptions { full_permutations: true, ..Default::default() };
+        let (_, counters) = npred::run_npred(&expr, &corpus, &index, &reg, opts).expect("runs");
+        prop_assert!(
+            counters.positions <= max_positions * threads,
+            "positions {} > {} × {} threads for {query}",
+            counters.positions,
+            max_positions,
+            threads
+        );
+        prop_assert_eq!(counters.tuples, 0, "NPRED must not materialize");
+    }
+}

@@ -1,0 +1,131 @@
+//! Index construction from a corpus.
+
+use crate::index::InvertedIndex;
+use crate::postings::PostingList;
+use crate::stats::IndexStats;
+use ftsl_model::{Corpus, Position, TokenId};
+
+/// Builds an [`InvertedIndex`] from a [`Corpus`].
+///
+/// Documents are consumed in node order, so all inverted-list entries come
+/// out ordered by node id and all positions by offset, as Section 5.1.2
+/// requires — no sorting pass is needed.
+#[derive(Clone, Debug, Default)]
+pub struct IndexBuilder {
+    _private: (),
+}
+
+impl IndexBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the index.
+    pub fn build(&self, corpus: &Corpus) -> InvertedIndex {
+        let vocab = corpus.interner().len();
+        let mut lists: Vec<PostingList> = vec![PostingList::empty(); vocab];
+        let mut any = PostingList::empty();
+
+        // Scratch: per-token positions for the current document, reused
+        // across documents to avoid reallocation (workhorse-collection idiom).
+        let mut per_token: Vec<Vec<Position>> = vec![Vec::new(); vocab];
+        let mut touched: Vec<TokenId> = Vec::new();
+
+        for doc in corpus.documents() {
+            if doc.is_empty() {
+                continue;
+            }
+            let all: Vec<Position> = doc.positions().collect();
+            any.push_entry(doc.node, &all);
+
+            for &(token, pos) in &doc.tokens {
+                let bucket = &mut per_token[token.index()];
+                if bucket.is_empty() {
+                    touched.push(token);
+                }
+                bucket.push(pos);
+            }
+            // Flush in sorted token order for determinism.
+            touched.sort_unstable();
+            for &token in &touched {
+                let bucket = &mut per_token[token.index()];
+                lists[token.index()].push_entry(doc.node, bucket);
+                bucket.clear();
+            }
+            touched.clear();
+        }
+
+        let stats = IndexStats::compute(corpus, &lists, &any);
+        InvertedIndex { lists, any, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_model::{Corpus, NodeId};
+
+    fn index_of(texts: &[&str]) -> (Corpus, InvertedIndex) {
+        let corpus = Corpus::from_texts(texts);
+        let index = IndexBuilder::new().build(&corpus);
+        (corpus, index)
+    }
+
+    #[test]
+    fn token_lists_have_one_entry_per_containing_node() {
+        let (corpus, index) = index_of(&["usability testing", "testing tools", "unrelated"]);
+        let testing = corpus.token_id("testing").unwrap();
+        let list = index.list(testing);
+        assert_eq!(list.num_entries(), 2);
+        assert_eq!(list.node_of(0), NodeId(0));
+        assert_eq!(list.node_of(1), NodeId(1));
+    }
+
+    #[test]
+    fn positions_match_document_occurrences() {
+        let (corpus, index) = index_of(&["a b a c a"]);
+        let a = corpus.token_id("a").unwrap();
+        let list = index.list(a);
+        let offs: Vec<u32> = list.positions_of(0).iter().map(|p| p.offset).collect();
+        assert_eq!(offs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn any_list_contains_all_positions_of_every_node() {
+        let (_, index) = index_of(&["x y z", "w"]);
+        let any = index.any();
+        assert_eq!(any.num_entries(), 2);
+        assert_eq!(any.positions_of(0).len(), 3);
+        assert_eq!(any.positions_of(1).len(), 1);
+    }
+
+    #[test]
+    fn empty_documents_are_skipped_in_any() {
+        let (_, index) = index_of(&["one", "", "two"]);
+        assert_eq!(index.any().num_entries(), 2);
+        assert_eq!(index.any().node_of(1), NodeId(2));
+    }
+
+    #[test]
+    fn figure2_shape_from_figure1_document() {
+        // The Figure 1 book element yields multi-position entries for the
+        // "usability" and "software" lists, as in Figure 2.
+        let corpus = Corpus::from_texts(&[ftsl_model::corpus::figure1_book_text()]);
+        let index = IndexBuilder::new().build(&corpus);
+        let usability = corpus.token_id("usability").unwrap();
+        let software = corpus.token_id("software").unwrap();
+        assert!(index.list(usability).positions_of(0).len() >= 3);
+        assert!(index.list(software).positions_of(0).len() >= 4);
+    }
+
+    #[test]
+    fn stats_reflect_section_5_1_2_parameters() {
+        let (_, index) = index_of(&["a a a b", "b c"]);
+        let s = index.stats();
+        assert_eq!(s.cnodes, 2);
+        assert_eq!(s.pos_per_cnode, 4);
+        assert_eq!(s.entries_per_token, 2); // "b" occurs in both nodes
+        assert_eq!(s.pos_per_entry, 3); // "a" has 3 positions in node 0
+    }
+}

@@ -1,0 +1,61 @@
+//! Machine-independent access counters.
+//!
+//! Section 5 of the paper expresses every complexity bound in terms of the
+//! number of inverted-list entries and positions touched. Every cursor in
+//! this workspace counts its accesses so Figure 3's bounds can be checked
+//! empirically, independent of wall-clock noise.
+
+use std::ops::AddAssign;
+
+/// Counts of sequential inverted-list accesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessCounters {
+    /// `nextEntry()` calls that returned an entry.
+    pub entries: u64,
+    /// Positions consumed from `getPositions()` results.
+    pub positions: u64,
+    /// Tuples materialized by non-streaming operators (COMP joins).
+    pub tuples: u64,
+}
+
+impl AccessCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total of all counters — a single scalar "work" proxy.
+    pub fn total(&self) -> u64 {
+        self.entries + self.positions + self.tuples
+    }
+}
+
+impl AddAssign for AccessCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.entries += rhs.entries;
+        self.positions += rhs.positions;
+        self.tuples += rhs.tuples;
+    }
+}
+
+impl std::ops::Add for AccessCounters {
+    type Output = AccessCounters;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add() {
+        let a = AccessCounters { entries: 1, positions: 2, tuples: 3 };
+        let b = AccessCounters { entries: 10, positions: 20, tuples: 30 };
+        let c = a + b;
+        assert_eq!(c, AccessCounters { entries: 11, positions: 22, tuples: 33 });
+        assert_eq!(c.total(), 66);
+    }
+}

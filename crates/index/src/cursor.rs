@@ -1,0 +1,165 @@
+//! The paper's sequential inverted-list cursor (Section 5.1.2).
+//!
+//! "The only way to access an inverted list `IL_tok` is to open a cursor"
+//! supporting `nextEntry()` and `getPositions()`, each O(1). [`ListCursor`]
+//! implements exactly that contract and additionally tracks a position-level
+//! sub-cursor (`advance_position`) used by the streaming engines: positions
+//! within the current entry are also consumed strictly left-to-right, so a
+//! full evaluation touches each list element at most once.
+
+use crate::counters::AccessCounters;
+use crate::postings::PostingList;
+use ftsl_model::{NodeId, Position};
+
+/// A forward-only cursor over one [`PostingList`].
+#[derive(Clone, Debug)]
+pub struct ListCursor<'a> {
+    list: &'a PostingList,
+    /// Index of the current entry; `usize::MAX` before the first
+    /// `next_entry` call.
+    entry: usize,
+    /// Index of the current position within the current entry.
+    pos: usize,
+    counters: AccessCounters,
+}
+
+impl<'a> ListCursor<'a> {
+    /// Open a cursor at the start of `list`.
+    pub fn new(list: &'a PostingList) -> Self {
+        ListCursor { list, entry: usize::MAX, pos: 0, counters: AccessCounters::new() }
+    }
+
+    /// `nextEntry()`: advance to the next entry and return its node id, or
+    /// `None` when the list is exhausted.
+    pub fn next_entry(&mut self) -> Option<NodeId> {
+        let next = if self.entry == usize::MAX { 0 } else { self.entry + 1 };
+        if next >= self.list.num_entries() {
+            self.entry = self.list.num_entries();
+            return None;
+        }
+        self.entry = next;
+        self.pos = 0;
+        self.counters.entries += 1;
+        Some(self.list.node_of(self.entry))
+    }
+
+    /// The node id of the current entry.
+    pub fn node(&self) -> Option<NodeId> {
+        (self.entry != usize::MAX && self.entry < self.list.num_entries())
+            .then(|| self.list.node_of(self.entry))
+    }
+
+    /// `getPositions()`: the position list of the current entry.
+    ///
+    /// # Panics
+    /// Panics if called before the first successful [`Self::next_entry`].
+    pub fn positions(&self) -> &'a [Position] {
+        assert!(self.entry != usize::MAX, "cursor not positioned on an entry");
+        self.list.positions_of(self.entry)
+    }
+
+    /// The current position within the current entry, if any remain.
+    pub fn position(&self) -> Option<Position> {
+        let ps = self.list.positions_of(self.entry);
+        ps.get(self.pos).copied()
+    }
+
+    /// Advance the position sub-cursor to the first position with
+    /// `offset >= min_offset`; returns it, or `None` if the entry is
+    /// exhausted. Consumed positions are counted once each.
+    pub fn advance_position(&mut self, min_offset: u32) -> Option<Position> {
+        let ps = self.list.positions_of(self.entry);
+        while let Some(p) = ps.get(self.pos) {
+            if p.offset >= min_offset {
+                return Some(*p);
+            }
+            self.pos += 1;
+            self.counters.positions += 1;
+        }
+        None
+    }
+
+    /// Reset the position sub-cursor to the start of the current entry
+    /// (used when a different evaluation thread re-scans; counts as fresh
+    /// accesses, which is exactly the paper's `toks_Q!`-scans cost model).
+    pub fn rewind_positions(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Access counters accumulated by this cursor.
+    pub fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    /// True if all entries have been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.entry != usize::MAX && self.entry >= self.list.num_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(o: u32) -> Position {
+        Position::flat(o)
+    }
+
+    fn sample() -> PostingList {
+        PostingList::from_entries(vec![
+            (NodeId(1), vec![p(3), p(12), p(39)]),
+            (NodeId(4), vec![p(51), p(56)]),
+        ])
+    }
+
+    #[test]
+    fn next_entry_walks_nodes_in_order() {
+        let list = sample();
+        let mut c = ListCursor::new(&list);
+        assert_eq!(c.next_entry(), Some(NodeId(1)));
+        assert_eq!(c.node(), Some(NodeId(1)));
+        assert_eq!(c.next_entry(), Some(NodeId(4)));
+        assert_eq!(c.next_entry(), None);
+        assert!(c.exhausted());
+        assert_eq!(c.counters().entries, 2);
+    }
+
+    #[test]
+    fn get_positions_returns_entry_positions() {
+        let list = sample();
+        let mut c = ListCursor::new(&list);
+        c.next_entry();
+        assert_eq!(c.positions(), &[p(3), p(12), p(39)]);
+    }
+
+    #[test]
+    fn advance_position_is_monotone_and_counted() {
+        let list = sample();
+        let mut c = ListCursor::new(&list);
+        c.next_entry();
+        assert_eq!(c.advance_position(0), Some(p(3)));
+        assert_eq!(c.advance_position(4), Some(p(12)));
+        assert_eq!(c.advance_position(13), Some(p(39)));
+        assert_eq!(c.advance_position(40), None);
+        // Positions 3 and 12 were consumed (39 is still current-candidate
+        // when the search for >=40 skips it, making 3 consumed total).
+        assert_eq!(c.counters().positions, 3);
+    }
+
+    #[test]
+    fn advance_position_same_bound_is_stable() {
+        let list = sample();
+        let mut c = ListCursor::new(&list);
+        c.next_entry();
+        assert_eq!(c.advance_position(12), Some(p(12)));
+        assert_eq!(c.advance_position(12), Some(p(12)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn positions_before_first_entry_panics() {
+        let list = sample();
+        let c = ListCursor::new(&list);
+        let _ = c.positions();
+    }
+}

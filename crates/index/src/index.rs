@@ -1,0 +1,80 @@
+//! The inverted index: all `IL_tok` lists plus `IL_ANY`.
+
+use crate::cursor::ListCursor;
+use crate::postings::PostingList;
+use crate::stats::IndexStats;
+use ftsl_model::TokenId;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// A complete inverted index over a corpus.
+///
+/// `lists[t]` is `IL_t` for token id `t`; [`InvertedIndex::any`] is `IL_ANY`
+/// (one entry per non-empty context node containing *all* its positions).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    pub(crate) lists: Vec<PostingList>,
+    pub(crate) any: PostingList,
+    pub(crate) stats: IndexStats,
+}
+
+fn empty_list() -> &'static PostingList {
+    static EMPTY: OnceLock<PostingList> = OnceLock::new();
+    EMPTY.get_or_init(PostingList::empty)
+}
+
+impl InvertedIndex {
+    /// The inverted list for `token`. Out-of-vocabulary ids map to the empty
+    /// list, so queries mentioning unseen tokens simply match nothing.
+    pub fn list(&self, token: TokenId) -> &PostingList {
+        self.lists.get(token.index()).unwrap_or_else(|| empty_list())
+    }
+
+    /// `IL_ANY`: every non-empty node with all of its positions.
+    pub fn any(&self) -> &PostingList {
+        &self.any
+    }
+
+    /// Open a sequential cursor on a token list.
+    pub fn cursor(&self, token: TokenId) -> ListCursor<'_> {
+        ListCursor::new(self.list(token))
+    }
+
+    /// Open a sequential cursor on `IL_ANY`.
+    pub fn any_cursor(&self) -> ListCursor<'_> {
+        ListCursor::new(&self.any)
+    }
+
+    /// Document frequency of a token (`df(t)` in Section 3.1).
+    pub fn df(&self, token: TokenId) -> usize {
+        self.list(token).num_entries()
+    }
+
+    /// Number of token lists stored (vocabulary size).
+    pub fn num_tokens(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Size parameters of Section 5.1.2.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use ftsl_model::Corpus;
+
+    #[test]
+    fn out_of_vocabulary_token_yields_empty_list() {
+        let corpus = Corpus::from_texts(&["hello world"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let missing = TokenId(9999);
+        assert!(index.list(missing).is_empty());
+        assert_eq!(index.df(missing), 0);
+        let mut cur = index.cursor(missing);
+        assert_eq!(cur.next_entry(), None);
+    }
+}

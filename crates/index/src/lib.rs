@@ -1,0 +1,26 @@
+//! # ftsl-index — inverted-list substrate
+//!
+//! Implements the paper's data model for query evaluation (Section 5.1.2):
+//! for every token `tok` an inverted list `IL_tok` of `(cn, PosList)` entries
+//! ordered by context-node id, with positions ordered by occurrence; plus
+//! `IL_ANY`, the list of *all* positions of every node.
+//!
+//! Access is deliberately restricted to the paper's **sequential cursor
+//! API** — `nextEntry()` and `getPositions()` ([`ListCursor`]) — and every
+//! cursor counts the entries and positions it touches, so complexity claims
+//! (Figure 3) can be validated with machine-independent counters.
+
+pub mod builder;
+pub mod counters;
+pub mod cursor;
+pub mod index;
+pub mod persist;
+pub mod postings;
+pub mod stats;
+
+pub use builder::IndexBuilder;
+pub use counters::AccessCounters;
+pub use cursor::ListCursor;
+pub use index::InvertedIndex;
+pub use postings::PostingList;
+pub use stats::IndexStats;

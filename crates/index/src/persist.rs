@@ -1,0 +1,174 @@
+//! Binary persistence for inverted indexes.
+//!
+//! A small hand-rolled little-endian codec over `bytes::{Buf, BufMut}` (no
+//! serde *format* crate is available offline; the serde derives on the data
+//! types remain useful for other tooling). The format is versioned so stored
+//! indexes fail loudly rather than silently misparse.
+
+use crate::index::InvertedIndex;
+use crate::postings::PostingList;
+use crate::stats::IndexStats;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ftsl_model::{NodeId, Position};
+
+const MAGIC: u32 = 0x4654_5349; // "FTSI"
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding a persisted index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer does not start with the expected magic number.
+    BadMagic(u32),
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended before decoding completed.
+    Truncated,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic(m) => write!(f, "bad index magic 0x{m:08x}"),
+            PersistError::BadVersion(v) => write!(f, "unsupported index version {v}"),
+            PersistError::Truncated => write!(f, "truncated index buffer"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize an index to a byte buffer.
+pub fn encode(index: &InvertedIndex) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    let s = index.stats();
+    for v in [s.cnodes, s.pos_per_cnode, s.entries_per_token, s.pos_per_entry, s.vocabulary] {
+        buf.put_u64_le(v as u64);
+    }
+    buf.put_u32_le(index.lists.len() as u32);
+    for list in &index.lists {
+        encode_list(&mut buf, list);
+    }
+    encode_list(&mut buf, &index.any);
+    buf.freeze()
+}
+
+fn encode_list(buf: &mut BytesMut, list: &PostingList) {
+    buf.put_u32_le(list.num_entries() as u32);
+    for (node, positions) in list.iter() {
+        buf.put_u32_le(node.0);
+        buf.put_u32_le(positions.len() as u32);
+        for p in positions {
+            buf.put_u32_le(p.offset);
+            buf.put_u32_le(p.sentence);
+            buf.put_u32_le(p.paragraph);
+        }
+    }
+}
+
+/// Deserialize an index previously produced by [`encode`].
+pub fn decode(mut buf: impl Buf) -> Result<InvertedIndex, PersistError> {
+    let magic = get_u32(&mut buf)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic(magic));
+    }
+    let version = get_u32(&mut buf)?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let mut fields = [0usize; 5];
+    for f in &mut fields {
+        if buf.remaining() < 8 {
+            return Err(PersistError::Truncated);
+        }
+        *f = buf.get_u64_le() as usize;
+    }
+    let stats = IndexStats {
+        cnodes: fields[0],
+        pos_per_cnode: fields[1],
+        entries_per_token: fields[2],
+        pos_per_entry: fields[3],
+        vocabulary: fields[4],
+    };
+    let num_lists = get_u32(&mut buf)? as usize;
+    let mut lists = Vec::with_capacity(num_lists);
+    for _ in 0..num_lists {
+        lists.push(decode_list(&mut buf)?);
+    }
+    let any = decode_list(&mut buf)?;
+    Ok(InvertedIndex { lists, any, stats })
+}
+
+fn decode_list(buf: &mut impl Buf) -> Result<PostingList, PersistError> {
+    let entries = get_u32(buf)? as usize;
+    let mut list = PostingList::empty();
+    let mut positions: Vec<Position> = Vec::new();
+    for _ in 0..entries {
+        let node = NodeId(get_u32(buf)?);
+        let n = get_u32(buf)? as usize;
+        positions.clear();
+        positions.reserve(n);
+        for _ in 0..n {
+            let offset = get_u32(buf)?;
+            let sentence = get_u32(buf)?;
+            let paragraph = get_u32(buf)?;
+            positions.push(Position { offset, sentence, paragraph });
+        }
+        list.push_entry(node, &positions);
+    }
+    Ok(list)
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use ftsl_model::Corpus;
+
+    #[test]
+    fn roundtrip_preserves_index() {
+        let corpus = Corpus::from_texts(&["usability of a software", "software testing. done"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let bytes = encode(&index);
+        let decoded = decode(bytes).expect("decode");
+        assert_eq!(decoded.stats(), index.stats());
+        assert_eq!(decoded.lists.len(), index.lists.len());
+        for (a, b) in decoded.lists.iter().zip(&index.lists) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(&decoded.any, &index.any);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u32_le(VERSION);
+        assert!(matches!(decode(buf.freeze()), Err(PersistError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let corpus = Corpus::from_texts(&["a b c"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let bytes = encode(&index);
+        let cut = bytes.slice(0..bytes.len() - 3);
+        assert!(matches!(decode(cut), Err(PersistError::Truncated)));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(99);
+        assert!(matches!(decode(buf.freeze()), Err(PersistError::BadVersion(99))));
+    }
+}

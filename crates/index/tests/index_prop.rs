@@ -1,0 +1,105 @@
+//! Index invariants on random corpora: the inverted lists are exactly the
+//! transpose of the documents, `IL_ANY` covers every position, the
+//! Section 5.1.2 size parameters are the true maxima, and binary
+//! persistence is lossless.
+
+use ftsl_index::{persist, IndexBuilder};
+use ftsl_model::{Corpus, TokenId};
+use proptest::prelude::*;
+
+const VOCAB: [&str; 5] = ["ant", "bee", "cat", "dog", "elk"];
+
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    proptest::collection::vec(proptest::collection::vec(0..VOCAB.len() + 2, 0..25), 0..10)
+        .prop_map(|docs| {
+            let texts: Vec<String> = docs
+                .into_iter()
+                .map(|toks| {
+                    toks.into_iter()
+                        .map(|t| if t < VOCAB.len() { VOCAB[t] } else { "." })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            Corpus::from_texts(&texts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn index_is_the_exact_transpose_of_the_corpus(corpus in arb_corpus()) {
+        let index = IndexBuilder::new().build(&corpus);
+
+        // Every document occurrence appears in its token's list.
+        for doc in corpus.documents() {
+            for &(tok, pos) in &doc.tokens {
+                let list = index.list(tok);
+                let entry = (0..list.num_entries())
+                    .find(|&i| list.node_of(i) == doc.node)
+                    .expect("entry for containing node");
+                prop_assert!(list.positions_of(entry).contains(&pos));
+            }
+        }
+
+        // Every list position appears in the corpus, with the right token.
+        for t in 0..corpus.interner().len() {
+            let tok = TokenId(t as u32);
+            for (node, positions) in index.list(tok).iter() {
+                for p in positions {
+                    prop_assert_eq!(corpus.token_at(node, *p), Some(tok));
+                }
+            }
+        }
+
+        // IL_ANY covers exactly the non-empty documents' positions.
+        let any_total: usize = index.any().iter().map(|(_, ps)| ps.len()).sum();
+        let corpus_total: usize = corpus.documents().iter().map(|d| d.len()).sum();
+        prop_assert_eq!(any_total, corpus_total);
+    }
+
+    #[test]
+    fn stats_are_true_maxima(corpus in arb_corpus()) {
+        let index = IndexBuilder::new().build(&corpus);
+        let s = index.stats();
+        prop_assert_eq!(s.cnodes, corpus.len());
+        let true_pos_per_cnode =
+            corpus.documents().iter().map(|d| d.len()).max().unwrap_or(0);
+        prop_assert_eq!(s.pos_per_cnode, true_pos_per_cnode);
+        let true_entries = (0..corpus.interner().len())
+            .map(|t| index.df(TokenId(t as u32)))
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(s.entries_per_token, true_entries);
+    }
+
+    #[test]
+    fn persistence_roundtrip_is_lossless(corpus in arb_corpus()) {
+        let index = IndexBuilder::new().build(&corpus);
+        let decoded = persist::decode(persist::encode(&index)).expect("decodes");
+        prop_assert_eq!(decoded.stats(), index.stats());
+        for t in 0..corpus.interner().len() {
+            let tok = TokenId(t as u32);
+            prop_assert_eq!(decoded.list(tok), index.list(tok));
+        }
+        prop_assert_eq!(decoded.any(), index.any());
+    }
+
+    #[test]
+    fn cursor_walk_equals_list_contents(corpus in arb_corpus()) {
+        let index = IndexBuilder::new().build(&corpus);
+        for t in 0..corpus.interner().len() {
+            let tok = TokenId(t as u32);
+            let list = index.list(tok);
+            let mut cursor = index.cursor(tok);
+            let mut i = 0usize;
+            while let Some(node) = cursor.next_entry() {
+                prop_assert_eq!(node, list.node_of(i));
+                prop_assert_eq!(cursor.positions(), list.positions_of(i));
+                i += 1;
+            }
+            prop_assert_eq!(i, list.num_entries());
+        }
+    }
+}

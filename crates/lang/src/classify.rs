@@ -1,0 +1,256 @@
+//! Language classification: place a surface query in the Figure 3 hierarchy.
+//!
+//! The classifier returns the *cheapest* language class whose grammar (and
+//! evaluation restrictions) the query satisfies, so the engine dispatcher can
+//! pick the corresponding evaluator:
+//!
+//! * `BOOL-NONEG` — merge evaluation without `IL_ANY`;
+//! * `BOOL` — merge evaluation with `IL_ANY` for `NOT`/`ANY`;
+//! * `DIST` — BOOL plus `dist(...)`, evaluated by the PPRED engine;
+//! * `PPRED` — positive predicates, `NOT` only on closed subqueries under
+//!   `AND`, no `ANY`, single-scan streaming evaluation;
+//! * `NPRED` — PPRED plus negative predicates, per-ordering scans;
+//! * `COMP` — everything else, materialized algebra evaluation.
+//!
+//! Documented deviations from the paper's PPRED grammar: (a) `EVERY`
+//! classifies as COMP because its evaluation requires `IL_ANY` and negation,
+//! contradicting PPRED's stated restrictions; (b) `OR` branches must expose
+//! the same free variables to be streamable — otherwise the query is COMP
+//! (the general padding of Lemma 2 needs `IL_ANY`).
+
+use crate::ast::SurfaceQuery;
+use ftsl_predicates::{PredKind, PredicateRegistry};
+use std::fmt;
+
+/// The language classes of Figure 3, ordered by evaluation cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LanguageClass {
+    /// BOOL without negation or `ANY`.
+    BoolNoNeg,
+    /// Full BOOL.
+    Bool,
+    /// BOOL plus distance sugar.
+    Dist,
+    /// Positive-predicate subset of COMP.
+    Ppred,
+    /// Positive and negative predicates.
+    Npred,
+    /// The complete language.
+    Comp,
+}
+
+impl fmt::Display for LanguageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LanguageClass::BoolNoNeg => "BOOL-NONEG",
+            LanguageClass::Bool => "BOOL",
+            LanguageClass::Dist => "DIST",
+            LanguageClass::Ppred => "PPRED",
+            LanguageClass::Npred => "NPRED",
+            LanguageClass::Comp => "COMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classify a surface query.
+pub fn classify(query: &SurfaceQuery, registry: &PredicateRegistry) -> LanguageClass {
+    if is_bool_noneg(query) {
+        LanguageClass::BoolNoNeg
+    } else if is_bool(query) {
+        LanguageClass::Bool
+    } else if is_dist(query) {
+        LanguageClass::Dist
+    } else if is_pred_class(query, registry, false) {
+        LanguageClass::Ppred
+    } else if is_pred_class(query, registry, true) {
+        LanguageClass::Npred
+    } else {
+        LanguageClass::Comp
+    }
+}
+
+/// BOOL-NONEG (Section 5.3): `Query := Token | Query AND NOT Query |
+/// Query AND Query | Query OR Query`, `Token := StringLiteral`.
+fn is_bool_noneg(q: &SurfaceQuery) -> bool {
+    match q {
+        SurfaceQuery::Lit(_) => true,
+        SurfaceQuery::And(a, b) => {
+            let right_ok = match b.as_ref() {
+                SurfaceQuery::Not(inner) => is_bool_noneg(inner),
+                other => is_bool_noneg(other),
+            };
+            is_bool_noneg(a) && right_ok
+        }
+        SurfaceQuery::Or(a, b) => is_bool_noneg(a) && is_bool_noneg(b),
+        _ => false,
+    }
+}
+
+/// BOOL (Section 4.1): literals, `ANY`, NOT/AND/OR anywhere.
+fn is_bool(q: &SurfaceQuery) -> bool {
+    match q {
+        SurfaceQuery::Lit(_) | SurfaceQuery::Any => true,
+        SurfaceQuery::Not(a) => is_bool(a),
+        SurfaceQuery::And(a, b) | SurfaceQuery::Or(a, b) => is_bool(a) && is_bool(b),
+        _ => false,
+    }
+}
+
+/// DIST (Section 4.2): BOOL plus `dist(Token, Token, Integer)`.
+fn is_dist(q: &SurfaceQuery) -> bool {
+    match q {
+        SurfaceQuery::Lit(_) | SurfaceQuery::Any | SurfaceQuery::Dist(..) => true,
+        SurfaceQuery::Not(a) => is_dist(a),
+        SurfaceQuery::And(a, b) | SurfaceQuery::Or(a, b) => is_dist(a) && is_dist(b),
+        _ => false,
+    }
+}
+
+/// PPRED/NPRED (Sections 5.5/5.6): COMP restricted to
+/// `Query := Token | Query AND NOT Query* | Query AND Query | Query OR Query
+/// | SOME Var Query | Preds`, `Token := StringLiteral | Var HAS
+/// StringLiteral`, where `Query*` is closed and predicates are positive
+/// (PPRED) or positive/negative (NPRED).
+fn is_pred_class(q: &SurfaceQuery, registry: &PredicateRegistry, allow_negative: bool) -> bool {
+    match q {
+        SurfaceQuery::Lit(_) | SurfaceQuery::VarHas(..) => true,
+        SurfaceQuery::Dist(..) => true, // lowers to a positive distance pred
+        SurfaceQuery::Any | SurfaceQuery::VarHasAny(_) | SurfaceQuery::Every(..) => false,
+        SurfaceQuery::Pred { name, .. } => match registry.lookup(name) {
+            Some(id) => match registry.get(id).kind() {
+                PredKind::Positive => true,
+                PredKind::Negative => allow_negative,
+                PredKind::General => false,
+            },
+            None => false,
+        },
+        SurfaceQuery::Not(_) => false, // bare negation is not in the grammar
+        SurfaceQuery::And(a, b) => {
+            let right_ok = match b.as_ref() {
+                // `AND NOT Query*`: the negated query must be closed.
+                SurfaceQuery::Not(inner) => {
+                    inner.free_vars().is_empty() && is_pred_class(inner, registry, allow_negative)
+                }
+                other => is_pred_class(other, registry, allow_negative),
+            };
+            is_pred_class(a, registry, allow_negative) && right_ok
+        }
+        SurfaceQuery::Or(a, b) => {
+            a.free_vars() == b.free_vars()
+                && is_pred_class(a, registry, allow_negative)
+                && is_pred_class(b, registry, allow_negative)
+        }
+        SurfaceQuery::Some(_, inner) => is_pred_class(inner, registry, allow_negative),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, Mode};
+
+    fn class_of(input: &str) -> LanguageClass {
+        let reg = PredicateRegistry::with_builtins();
+        let q = parse(input, Mode::Comp).unwrap();
+        classify(&q, &reg)
+    }
+
+    #[test]
+    fn plain_conjunctions_are_bool_noneg() {
+        assert_eq!(class_of("'a' AND 'b' OR 'c'"), LanguageClass::BoolNoNeg);
+        assert_eq!(class_of("'a' AND NOT 'b'"), LanguageClass::BoolNoNeg);
+    }
+
+    #[test]
+    fn leading_not_or_any_is_full_bool() {
+        assert_eq!(class_of("NOT 'a'"), LanguageClass::Bool);
+        assert_eq!(class_of("ANY AND 'a'"), LanguageClass::Bool);
+        assert_eq!(class_of("'a' OR NOT 'b'"), LanguageClass::Bool);
+    }
+
+    #[test]
+    fn dist_sugar_classifies_as_dist() {
+        assert_eq!(class_of("dist('a', 'b', 5)"), LanguageClass::Dist);
+        assert_eq!(class_of("'c' AND dist('a', 'b', 5)"), LanguageClass::Dist);
+    }
+
+    #[test]
+    fn positive_predicates_are_ppred() {
+        assert_eq!(
+            class_of("SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1,p2,5))"),
+            LanguageClass::Ppred
+        );
+        assert_eq!(
+            class_of(
+                "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' \
+                 AND samepara(p1,p2) AND ordered(p1,p2))"
+            ),
+            LanguageClass::Ppred
+        );
+    }
+
+    #[test]
+    fn closed_negation_under_and_stays_ppred() {
+        assert_eq!(
+            class_of("SOME p1 (p1 HAS 'a') AND NOT 'b'"),
+            LanguageClass::Ppred
+        );
+    }
+
+    #[test]
+    fn open_negation_is_comp() {
+        assert_eq!(
+            class_of("SOME p1 (p1 HAS 'a' AND NOT distance(p1,p1,0))"),
+            LanguageClass::Comp
+        );
+    }
+
+    #[test]
+    fn negative_predicates_are_npred() {
+        assert_eq!(
+            class_of("SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1,p2,40))"),
+            LanguageClass::Npred
+        );
+        assert_eq!(
+            class_of("SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'a' AND diffpos(p1,p2))"),
+            LanguageClass::Npred
+        );
+    }
+
+    #[test]
+    fn every_and_general_predicates_are_comp() {
+        assert_eq!(class_of("EVERY p1 (p1 HAS 'a')"), LanguageClass::Comp);
+        assert_eq!(
+            class_of("SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND exact_gap(p1,p2,3))"),
+            LanguageClass::Comp
+        );
+    }
+
+    #[test]
+    fn or_with_mismatched_free_vars_is_comp() {
+        assert_eq!(
+            class_of("SOME p1 ((p1 HAS 'a' OR 'b') AND p1 HAS 'c')"),
+            LanguageClass::Comp
+        );
+        // Same free vars on both branches stays PPRED.
+        assert_eq!(
+            class_of("SOME p1 ((p1 HAS 'a' OR p1 HAS 'b') AND distance(p1,p1,0))"),
+            LanguageClass::Ppred
+        );
+    }
+
+    #[test]
+    fn var_has_any_is_comp() {
+        assert_eq!(class_of("SOME p1 (p1 HAS ANY)"), LanguageClass::Comp);
+    }
+
+    #[test]
+    fn classes_are_ordered_by_cost() {
+        assert!(LanguageClass::BoolNoNeg < LanguageClass::Bool);
+        assert!(LanguageClass::Bool < LanguageClass::Dist);
+        assert!(LanguageClass::Dist < LanguageClass::Ppred);
+        assert!(LanguageClass::Ppred < LanguageClass::Npred);
+        assert!(LanguageClass::Npred < LanguageClass::Comp);
+    }
+}

@@ -1,0 +1,189 @@
+//! Lexer shared by all three surface languages.
+
+use crate::error::LangError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Quoted string literal (quotes stripped, content lowercased).
+    Str(String),
+    /// Bare identifier (variable or predicate name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keywords.
+    Not,
+    /// `AND`.
+    And,
+    /// `OR`.
+    Or,
+    /// `SOME`.
+    Some,
+    /// `EVERY`.
+    Every,
+    /// `HAS`.
+    Has,
+    /// `ANY`.
+    Any,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+}
+
+/// Tokenize a query string. Keywords are case-insensitive; string literals
+/// use single or double quotes.
+pub fn lex(input: &str) -> Result<Vec<Tok>, LangError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LangError::Lex { at: i, msg: "unterminated string".into() });
+                }
+                let lit: String = bytes[start..j].iter().collect();
+                out.push(Tok::Str(lit.to_lowercase()));
+                i = j + 1;
+            }
+            '-' => {
+                // Negative integer literal.
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(LangError::Lex { at: start, msg: "dangling '-'".into() });
+                }
+                let s: String = bytes[start..j].iter().collect();
+                out.push(Tok::Int(s.parse().map_err(|_| LangError::Lex {
+                    at: start,
+                    msg: "bad integer".into(),
+                })?));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let s: String = bytes[start..j].iter().collect();
+                out.push(Tok::Int(s.parse().map_err(|_| LangError::Lex {
+                    at: start,
+                    msg: "bad integer".into(),
+                })?));
+                i = j;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let word: String = bytes[start..j].iter().collect();
+                out.push(keyword_or_ident(&word));
+                i = j;
+            }
+            other => {
+                return Err(LangError::Lex { at: i, msg: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn keyword_or_ident(word: &str) -> Tok {
+    match word.to_ascii_uppercase().as_str() {
+        "NOT" => Tok::Not,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "SOME" => Tok::Some,
+        "EVERY" => Tok::Every,
+        "HAS" => Tok::Has,
+        "ANY" => Tok::Any,
+        _ => Tok::Ident(word.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = lex("SOME p1 (NOT p1 HAS 't1')").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Some,
+                Tok::Ident("p1".into()),
+                Tok::LParen,
+                Tok::Not,
+                Tok::Ident("p1".into()),
+                Tok::Has,
+                Tok::Str("t1".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(lex("not And oR").unwrap(), vec![Tok::Not, Tok::And, Tok::Or]);
+    }
+
+    #[test]
+    fn string_literals_support_both_quotes() {
+        assert_eq!(
+            lex(r#"'Task' "Completion""#).unwrap(),
+            vec![Tok::Str("task".into()), Tok::Str("completion".into())]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negative_numbers() {
+        assert_eq!(lex("10 -3").unwrap(), vec![Tok::Int(10), Tok::Int(-3)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(lex("'oops"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn predicate_call_shape() {
+        let toks = lex("distance(p1, p2, 5)").unwrap();
+        assert_eq!(toks[0], Tok::Ident("distance".into()));
+        assert_eq!(toks[1], Tok::LParen);
+        assert_eq!(toks[3], Tok::Comma);
+        assert_eq!(toks[5], Tok::Comma);
+        assert_eq!(toks[6], Tok::Int(5));
+    }
+}

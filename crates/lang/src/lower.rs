@@ -1,0 +1,253 @@
+//! Lowering surface queries to the full-text calculus, following the
+//! semantics given in Sections 4.1 (BOOL), 4.2 (DIST) and 4.3 (COMP).
+
+use crate::ast::{SurfaceQuery, TokenArg};
+use crate::error::LangError;
+use ftsl_calculus::ast::{QueryExpr, VarId};
+use ftsl_predicates::PredicateRegistry;
+use std::collections::HashMap;
+
+/// Lower a surface query to a calculus expression.
+pub fn lower(query: &SurfaceQuery, registry: &PredicateRegistry) -> Result<QueryExpr, LangError> {
+    let mut ctx = Ctx { next: 0, scopes: HashMap::new(), registry };
+    ctx.lower(query)
+}
+
+struct Ctx<'a> {
+    next: u32,
+    /// Surface variable name → current calculus id (names may be rebound by
+    /// nested quantifiers; lowering keeps a stack per name).
+    scopes: HashMap<String, Vec<VarId>>,
+    registry: &'a PredicateRegistry,
+}
+
+impl Ctx<'_> {
+    fn fresh(&mut self) -> VarId {
+        let v = VarId(self.next);
+        self.next += 1;
+        v
+    }
+
+    fn resolve(&self, name: &str) -> Result<VarId, LangError> {
+        self.scopes
+            .get(name)
+            .and_then(|stack| stack.last().copied())
+            .ok_or_else(|| LangError::Semantic(format!("unbound variable {name}")))
+    }
+
+    fn lower(&mut self, q: &SurfaceQuery) -> Result<QueryExpr, LangError> {
+        Ok(match q {
+            // 'tok'  =>  ∃p (hasPos ∧ hasToken(p, tok))
+            SurfaceQuery::Lit(tok) => {
+                let v = self.fresh();
+                QueryExpr::Exists(v, Box::new(QueryExpr::HasToken(v, tok.clone())))
+            }
+            // ANY  =>  ∃p hasPos(p)
+            SurfaceQuery::Any => {
+                let v = self.fresh();
+                QueryExpr::Exists(v, Box::new(QueryExpr::HasPos(v)))
+            }
+            // var HAS 'tok'  =>  hasToken(var, tok)   (var stays free)
+            SurfaceQuery::VarHas(name, tok) => {
+                QueryExpr::HasToken(self.resolve(name)?, tok.clone())
+            }
+            // var HAS ANY  =>  hasPos(var)
+            SurfaceQuery::VarHasAny(name) => QueryExpr::HasPos(self.resolve(name)?),
+            SurfaceQuery::Pred { name, vars, consts } => {
+                let pred = self
+                    .registry
+                    .lookup(name)
+                    .ok_or_else(|| LangError::Semantic(format!("unknown predicate {name}")))?;
+                let ids = vars
+                    .iter()
+                    .map(|v| self.resolve(v))
+                    .collect::<Result<Vec<_>, _>>()?;
+                QueryExpr::Pred { pred, vars: ids, consts: consts.clone() }
+            }
+            // Section 4.2: dist(t1, t2, d) => ∃p1 (hasTok? ∧ ∃p2 (hasTok? ∧
+            // distance(p1, p2, d))); ANY arguments omit the hasToken atom.
+            SurfaceQuery::Dist(a, b, d) => {
+                let distance = self
+                    .registry
+                    .lookup("distance")
+                    .ok_or_else(|| LangError::Semantic("distance predicate missing".into()))?;
+                let p1 = self.fresh();
+                let p2 = self.fresh();
+                let dist_atom = QueryExpr::Pred {
+                    pred: distance,
+                    vars: vec![p1, p2],
+                    consts: vec![*d],
+                };
+                let inner = match b {
+                    TokenArg::Lit(t) => QueryExpr::And(
+                        Box::new(QueryExpr::HasToken(p2, t.clone())),
+                        Box::new(dist_atom),
+                    ),
+                    TokenArg::Any => dist_atom,
+                };
+                let inner = QueryExpr::Exists(p2, Box::new(inner));
+                let outer = match a {
+                    TokenArg::Lit(t) => QueryExpr::And(
+                        Box::new(QueryExpr::HasToken(p1, t.clone())),
+                        Box::new(inner),
+                    ),
+                    TokenArg::Any => inner,
+                };
+                QueryExpr::Exists(p1, Box::new(outer))
+            }
+            SurfaceQuery::Not(inner) => QueryExpr::Not(Box::new(self.lower(inner)?)),
+            SurfaceQuery::And(a, b) => {
+                QueryExpr::And(Box::new(self.lower(a)?), Box::new(self.lower(b)?))
+            }
+            SurfaceQuery::Or(a, b) => {
+                QueryExpr::Or(Box::new(self.lower(a)?), Box::new(self.lower(b)?))
+            }
+            SurfaceQuery::Some(name, inner) => {
+                let v = self.fresh();
+                self.scopes.entry(name.clone()).or_default().push(v);
+                let body = self.lower(inner);
+                self.scopes.get_mut(name).unwrap().pop();
+                QueryExpr::Exists(v, Box::new(body?))
+            }
+            SurfaceQuery::Every(name, inner) => {
+                let v = self.fresh();
+                self.scopes.entry(name.clone()).or_default().push(v);
+                let body = self.lower(inner);
+                self.scopes.get_mut(name).unwrap().pop();
+                QueryExpr::Forall(v, Box::new(body?))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, Mode};
+    use ftsl_calculus::interp::Interpreter;
+    use ftsl_calculus::CalcQuery;
+    use ftsl_model::Corpus;
+
+    fn eval(input: &str, mode: Mode, texts: &[&str]) -> Vec<u32> {
+        let reg = PredicateRegistry::with_builtins();
+        let q = parse(input, mode).unwrap();
+        let expr = lower(&q, &reg).unwrap();
+        let corpus = Corpus::from_texts(texts);
+        let interp = Interpreter::new(&corpus, &reg);
+        interp
+            .eval_query(&CalcQuery::new(expr))
+            .into_iter()
+            .map(|n| n.0)
+            .collect()
+    }
+
+    #[test]
+    fn bool_and_not() {
+        let r = eval(
+            "'test' AND NOT 'usability'",
+            Mode::Bool,
+            &["test usability", "test only", "nothing"],
+        );
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn any_matches_nonempty_nodes() {
+        let r = eval("ANY", Mode::Bool, &["x", "", "y z"]);
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn dist_sugar_semantics() {
+        let r = eval(
+            "dist('task', 'completion', 1)",
+            Mode::Dist,
+            &[
+                "task completion",          // adjacent: 0 intervening
+                "task xx completion",       // 1 intervening
+                "task xx yy zz completion", // 3 intervening
+                "completion then task",     // reversed, 1 intervening
+            ],
+        );
+        assert_eq!(r, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn dist_with_any() {
+        // ANY omits the hasToken atom, so p2 may bind to any position —
+        // including p1 itself (distance(p,p,0) holds). Every node containing
+        // 'a' therefore matches.
+        let r = eval("dist('a', ANY, 0)", Mode::Dist, &["a b", "a", "c a"]);
+        assert_eq!(r, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn comp_theorem3_witness() {
+        let r = eval(
+            "SOME p1 (NOT p1 HAS 't1')",
+            Mode::Comp,
+            &["t1", "t1 t2"],
+        );
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn comp_theorem5_witness() {
+        let r = eval(
+            "SOME p1 SOME p2 (p1 HAS 't1' AND p2 HAS 't2' AND NOT distance(p1,p2,0))",
+            Mode::Comp,
+            &["t1 t2 t1", "t1 t2 t1 t2"],
+        );
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn comp_use_case_10_4() {
+        // "efficient" then the phrase "task completion" in order with at most
+        // 10 intervening tokens (Example 1 / Use Case 10.4), expressed in COMP.
+        let query = "SOME p1 SOME p2 SOME p3 (p1 HAS 'efficient' AND p2 HAS 'task' \
+                     AND p3 HAS 'completion' AND ordered(p1, p2) AND ordered(p2, p3) \
+                     AND distance(p2, p3, 0) AND distance(p1, p2, 10))";
+        let r = eval(
+            query,
+            Mode::Comp,
+            &[
+                "an efficient task completion process",
+                "task completion is efficient",
+                "efficient but the task was never about completion of anything",
+            ],
+        );
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let reg = PredicateRegistry::with_builtins();
+        let q = parse("p1 HAS 'x'", Mode::Comp).unwrap();
+        assert!(matches!(lower(&q, &reg), Err(LangError::Semantic(_))));
+    }
+
+    #[test]
+    fn unknown_predicate_is_an_error() {
+        let reg = PredicateRegistry::with_builtins();
+        let q = parse("SOME p1 SOME p2 nosuchpred(p1, p2)", Mode::Comp).unwrap();
+        assert!(matches!(lower(&q, &reg), Err(LangError::Semantic(_))));
+    }
+
+    #[test]
+    fn shadowing_rebinds_names() {
+        // Inner SOME p1 shadows the outer one.
+        let r = eval(
+            "SOME p1 (p1 HAS 'a' AND SOME p1 (p1 HAS 'b'))",
+            Mode::Comp,
+            &["a b", "a", "b"],
+        );
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    fn every_quantifier() {
+        let r = eval("EVERY p1 (p1 HAS 'a')", Mode::Comp, &["a a a", "a b", ""]);
+        assert_eq!(r, vec![0, 2]);
+    }
+}

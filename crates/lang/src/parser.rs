@@ -1,0 +1,365 @@
+//! Recursive-descent parser for the surface languages.
+//!
+//! Grammar (COMP; BOOL/DIST are mode-restricted subsets):
+//!
+//! ```text
+//! Query   := OrExpr
+//! OrExpr  := AndExpr (OR AndExpr)*
+//! AndExpr := Unary (AND Unary)*
+//! Unary   := NOT Unary | SOME Var Unary | EVERY Var Unary | Primary
+//! Primary := '(' Query ')' | StringLiteral | ANY
+//!          | Var HAS (StringLiteral | ANY)
+//!          | PredName '(' Arg (',' Arg)* ')'
+//! Arg     := Var | Integer | StringLiteral | ANY      (dist takes tokens)
+//! ```
+
+use crate::ast::{SurfaceQuery, TokenArg};
+use crate::error::LangError;
+use crate::lexer::{lex, Tok};
+
+/// Which surface language to accept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// BOOL (Section 4.1): literals, `ANY`, NOT/AND/OR.
+    Bool,
+    /// DIST (Section 4.2): BOOL plus `dist(Token, Token, Integer)`.
+    Dist,
+    /// COMP (Section 4.3): the complete language.
+    Comp,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Bool => "BOOL",
+            Mode::Dist => "DIST",
+            Mode::Comp => "COMP",
+        }
+    }
+}
+
+/// Parse `input` in the given language mode.
+pub fn parse(input: &str, mode: Mode) -> Result<SurfaceQuery, LangError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0, mode };
+    let q = p.parse_or()?;
+    if p.pos != p.toks.len() {
+        return Err(LangError::Parse { at: p.pos, msg: "trailing input".into() });
+    }
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    mode: Mode,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), LangError> {
+        match self.bump() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(LangError::Parse {
+                at: self.pos.saturating_sub(1),
+                msg: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn not_in_language(&self, construct: &str) -> LangError {
+        LangError::NotInLanguage { mode: self.mode.name(), construct: construct.to_string() }
+    }
+
+    fn parse_or(&mut self) -> Result<SurfaceQuery, LangError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = SurfaceQuery::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<SurfaceQuery, LangError> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            let right = self.parse_unary()?;
+            left = SurfaceQuery::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<SurfaceQuery, LangError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                let inner = self.parse_unary()?;
+                Ok(SurfaceQuery::Not(Box::new(inner)))
+            }
+            Some(Tok::Some) => {
+                if self.mode != Mode::Comp {
+                    return Err(self.not_in_language("SOME quantifier"));
+                }
+                self.bump();
+                let var = self.parse_var()?;
+                let inner = self.parse_unary()?;
+                Ok(SurfaceQuery::Some(var, Box::new(inner)))
+            }
+            Some(Tok::Every) => {
+                if self.mode != Mode::Comp {
+                    return Err(self.not_in_language("EVERY quantifier"));
+                }
+                self.bump();
+                let var = self.parse_var()?;
+                let inner = self.parse_unary()?;
+                Ok(SurfaceQuery::Every(var, Box::new(inner)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_var(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(LangError::Parse {
+                at: self.pos.saturating_sub(1),
+                msg: format!("expected variable name, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<SurfaceQuery, LangError> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let q = self.parse_or()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(q)
+            }
+            Some(Tok::Str(lit)) => Ok(SurfaceQuery::Lit(lit)),
+            Some(Tok::Any) => Ok(SurfaceQuery::Any),
+            Some(Tok::Ident(name)) => match self.peek() {
+                Some(Tok::Has) => {
+                    if self.mode != Mode::Comp {
+                        return Err(self.not_in_language("HAS binding"));
+                    }
+                    self.bump();
+                    match self.bump() {
+                        Some(Tok::Str(lit)) => Ok(SurfaceQuery::VarHas(name, lit)),
+                        Some(Tok::Any) => Ok(SurfaceQuery::VarHasAny(name)),
+                        other => Err(LangError::Parse {
+                            at: self.pos.saturating_sub(1),
+                            msg: format!("expected token after HAS, found {other:?}"),
+                        }),
+                    }
+                }
+                Some(Tok::LParen) => self.parse_call(name),
+                other => Err(LangError::Parse {
+                    at: self.pos,
+                    msg: format!("unexpected {other:?} after identifier {name:?}"),
+                }),
+            },
+            other => Err(LangError::Parse {
+                at: self.pos.saturating_sub(1),
+                msg: format!("expected a query, found {other:?}"),
+            }),
+        }
+    }
+
+    /// Parse `name(arg, ...)`: either DIST's `dist(tok, tok, int)` sugar or a
+    /// COMP position predicate over variables and integers.
+    fn parse_call(&mut self, name: String) -> Result<SurfaceQuery, LangError> {
+        self.expect(&Tok::LParen, "(")?;
+        #[derive(Debug)]
+        enum Arg {
+            Var(String),
+            Int(i64),
+            Tok(TokenArg),
+        }
+        let mut args = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Tok::Ident(v)) => args.push(Arg::Var(v)),
+                Some(Tok::Int(i)) => args.push(Arg::Int(i)),
+                Some(Tok::Str(s)) => args.push(Arg::Tok(TokenArg::Lit(s))),
+                Some(Tok::Any) => args.push(Arg::Tok(TokenArg::Any)),
+                other => {
+                    return Err(LangError::Parse {
+                        at: self.pos.saturating_sub(1),
+                        msg: format!("bad predicate argument {other:?}"),
+                    })
+                }
+            }
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => {
+                    return Err(LangError::Parse {
+                        at: self.pos.saturating_sub(1),
+                        msg: format!("expected ',' or ')', found {other:?}"),
+                    })
+                }
+            }
+        }
+
+        let is_dist_sugar = name.eq_ignore_ascii_case("dist")
+            && args.len() == 3
+            && matches!(&args[0], Arg::Tok(_))
+            && matches!(&args[1], Arg::Tok(_))
+            && matches!(&args[2], Arg::Int(_));
+        if is_dist_sugar {
+            if self.mode == Mode::Bool {
+                return Err(self.not_in_language("dist(...)"));
+            }
+            let mut it = args.into_iter();
+            let (Some(Arg::Tok(a)), Some(Arg::Tok(b)), Some(Arg::Int(d))) =
+                (it.next(), it.next(), it.next())
+            else {
+                unreachable!("shape checked above");
+            };
+            return Ok(SurfaceQuery::Dist(a, b, d));
+        }
+
+        if self.mode != Mode::Comp {
+            return Err(self.not_in_language(&format!("predicate {name}(...)")));
+        }
+        // COMP predicate: leading vars, trailing ints.
+        let mut vars = Vec::new();
+        let mut consts = Vec::new();
+        for arg in args {
+            match arg {
+                Arg::Var(v) => {
+                    if !consts.is_empty() {
+                        return Err(LangError::Parse {
+                            at: self.pos,
+                            msg: "predicate variables must precede constants".into(),
+                        });
+                    }
+                    vars.push(v);
+                }
+                Arg::Int(i) => consts.push(i),
+                Arg::Tok(_) => {
+                    return Err(LangError::Parse {
+                        at: self.pos,
+                        msg: format!("predicate {name} takes variables, not token literals"),
+                    })
+                }
+            }
+        }
+        Ok(SurfaceQuery::Pred { name, vars, consts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bool_example() {
+        // Section 4.1: 'test' AND NOT 'usability'
+        let q = parse("'test' AND NOT 'usability'", Mode::Bool).unwrap();
+        assert_eq!(
+            q,
+            SurfaceQuery::And(
+                Box::new(SurfaceQuery::Lit("test".into())),
+                Box::new(SurfaceQuery::Not(Box::new(SurfaceQuery::Lit("usability".into()))))
+            )
+        );
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse("'a' OR 'b' AND 'c'", Mode::Bool).unwrap();
+        assert!(matches!(q, SurfaceQuery::Or(..)));
+    }
+
+    #[test]
+    fn parses_the_comp_theorem5_query() {
+        let q = parse(
+            "SOME p1 SOME p2 (p1 HAS 't1' AND p2 HAS 't2' AND NOT distance(p1,p2,0))",
+            Mode::Comp,
+        )
+        .unwrap();
+        assert!(matches!(q, SurfaceQuery::Some(..)));
+        assert_eq!(q.free_vars().len(), 0);
+    }
+
+    #[test]
+    fn parses_dist_in_dist_mode_only() {
+        let ok = parse("dist('task', 'completion', 10)", Mode::Dist).unwrap();
+        assert_eq!(
+            ok,
+            SurfaceQuery::Dist(
+                TokenArg::Lit("task".into()),
+                TokenArg::Lit("completion".into()),
+                10
+            )
+        );
+        assert!(matches!(
+            parse("dist('a', 'b', 1)", Mode::Bool),
+            Err(LangError::NotInLanguage { .. })
+        ));
+    }
+
+    #[test]
+    fn dist_accepts_any_arguments() {
+        let q = parse("dist(ANY, 'b', 2)", Mode::Dist).unwrap();
+        assert_eq!(q, SurfaceQuery::Dist(TokenArg::Any, TokenArg::Lit("b".into()), 2));
+    }
+
+    #[test]
+    fn bool_mode_rejects_comp_constructs() {
+        assert!(matches!(
+            parse("SOME p1 (p1 HAS 'x')", Mode::Bool),
+            Err(LangError::NotInLanguage { .. })
+        ));
+        assert!(matches!(
+            parse("p1 HAS 'x'", Mode::Bool),
+            Err(LangError::NotInLanguage { .. })
+        ));
+        assert!(matches!(
+            parse("ordered(p1, p2)", Mode::Dist),
+            Err(LangError::NotInLanguage { .. })
+        ));
+    }
+
+    #[test]
+    fn parenthesized_grouping() {
+        let q = parse("('a' OR 'b') AND 'c'", Mode::Bool).unwrap();
+        assert!(matches!(q, SurfaceQuery::And(..)));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(matches!(parse("'a' 'b'", Mode::Bool), Err(LangError::Parse { .. })));
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and() {
+        let q = parse("NOT 'a' AND 'b'", Mode::Bool).unwrap();
+        // (NOT 'a') AND 'b'
+        match q {
+            SurfaceQuery::And(l, _) => assert!(matches!(*l, SurfaceQuery::Not(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_scopes_to_unary() {
+        // SOME p1 'a' AND 'b' == (SOME p1 'a') AND 'b'
+        let q = parse("SOME p1 (p1 HAS 'a') AND 'b'", Mode::Comp).unwrap();
+        assert!(matches!(q, SurfaceQuery::And(..)));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ftsl-model — the full-text data model
+//!
+//! Implements Section 2.1 of *Botev, Amer-Yahia, Shanmugasundaram,
+//! "Expressiveness and Performance of Full-Text Search Languages" (EDBT 2006)*:
+//! context nodes, tokens, and **positions** as the fundamental unit that
+//! full-text search languages manipulate.
+//!
+//! The formal model is two functions over sets `N` (context nodes), `P`
+//! (positions) and `T` (tokens):
+//!
+//! * `Positions : N -> 2^P` — [`Corpus::positions`]
+//! * `Token : P -> T` — [`Corpus::token_at`]
+//!
+//! Positions are *structured* ([`Position`]): besides the word offset they
+//! carry sentence and paragraph ordinals, realizing the paper's remark that
+//! "more expressive positions that capture the notions of lines, sentences
+//! and paragraphs can be used, and this will enable more sophisticated
+//! predicates on positions".
+
+pub mod analysis;
+pub mod corpus;
+pub mod document;
+pub mod node;
+pub mod position;
+pub mod token;
+pub mod tokenizer;
+
+pub use analysis::AnalysisConfig;
+pub use corpus::{Corpus, CorpusStats};
+pub use document::Document;
+pub use node::NodeId;
+pub use position::Position;
+pub use token::{TokenId, TokenInterner};
+pub use tokenizer::{Tokenizer, TokenizerConfig};

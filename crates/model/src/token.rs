@@ -1,0 +1,137 @@
+//! Token identifiers and string interning.
+//!
+//! The paper treats `T` (the token set) abstractly, and several theorems turn
+//! on whether `T` is finite or infinite. Concretely we intern token strings
+//! into dense [`TokenId`]s; the interner doubles as the corpus vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier for an interned token string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Bidirectional map between token strings and [`TokenId`]s.
+///
+/// Token text is normalized to lowercase on interning, matching the common IR
+/// convention (the paper's examples are case-insensitive: `Usability` and
+/// `usability` match the same queries).
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct TokenInterner {
+    by_name: HashMap<String, TokenId>,
+    names: Vec<String>,
+}
+
+impl TokenInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `text`, returning its id (allocating one if unseen).
+    pub fn intern(&mut self, text: &str) -> TokenId {
+        let normalized = normalize(text);
+        if let Some(&id) = self.by_name.get(&normalized) {
+            return id;
+        }
+        let id = TokenId(self.names.len() as u32);
+        self.by_name.insert(normalized.clone(), id);
+        self.names.push(normalized);
+        id
+    }
+
+    /// Look up an existing token without interning. Returns `None` for
+    /// strings never seen in the corpus — such tokens have empty inverted
+    /// lists, which queries must handle gracefully.
+    pub fn get(&self, text: &str) -> Option<TokenId> {
+        self.by_name.get(&normalize(text)).copied()
+    }
+
+    /// The string for an interned id.
+    pub fn name(&self, id: TokenId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct tokens interned (the vocabulary size `|T|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff no tokens have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all `(TokenId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TokenId(i as u32), s.as_str()))
+    }
+}
+
+fn normalize(text: &str) -> String {
+    text.to_lowercase()
+}
+
+impl fmt::Debug for TokenInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TokenInterner({} tokens)", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = TokenInterner::new();
+        let a = i.intern("usability");
+        let b = i.intern("usability");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn interning_is_case_insensitive() {
+        let mut i = TokenInterner::new();
+        let a = i.intern("Usability");
+        let b = i.intern("usability");
+        assert_eq!(a, b);
+        assert_eq!(i.name(a), "usability");
+    }
+
+    #[test]
+    fn get_does_not_allocate_new_ids() {
+        let mut i = TokenInterner::new();
+        i.intern("test");
+        assert!(i.get("test").is_some());
+        assert!(i.get("missing").is_none());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = TokenInterner::new();
+        let ids: Vec<TokenId> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
+        assert_eq!(ids, vec![TokenId(0), TokenId(1), TokenId(2)]);
+        let collected: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Text tokenization with sentence and paragraph tracking.
+//!
+//! Converts raw text into the `(token, position)` sequence of the formal
+//! model. Word boundaries are runs of non-alphanumeric characters; sentence
+//! boundaries are `.`, `!`, `?`; paragraph boundaries are blank lines.
+//! Everything is configurable through [`TokenizerConfig`].
+
+use crate::analysis::AnalysisConfig;
+use crate::position::Position;
+use crate::token::{TokenId, TokenInterner};
+
+/// Configuration for [`Tokenizer`].
+#[derive(Clone, Debug)]
+pub struct TokenizerConfig {
+    /// Characters that terminate a sentence.
+    pub sentence_terminators: Vec<char>,
+    /// Treat blank lines as paragraph separators.
+    pub paragraphs_on_blank_line: bool,
+    /// Drop tokens shorter than this many characters (0 keeps everything).
+    pub min_token_len: usize,
+    /// Stemming / stop-word analysis applied to every token.
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            sentence_terminators: vec!['.', '!', '?'],
+            paragraphs_on_blank_line: true,
+            min_token_len: 1,
+            analysis: AnalysisConfig::none(),
+        }
+    }
+}
+
+/// Tokenizer producing `(TokenId, Position)` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Tokenizer with default configuration.
+    pub fn new() -> Self {
+        Tokenizer { config: TokenizerConfig::default() }
+    }
+
+    /// Tokenizer with custom configuration.
+    pub fn with_config(config: TokenizerConfig) -> Self {
+        Tokenizer { config }
+    }
+
+    /// Tokenize `text`, interning tokens into `interner`.
+    ///
+    /// The returned vector is ordered by offset; offsets are consecutive
+    /// starting at 0, and sentence/paragraph ordinals are non-decreasing.
+    pub fn tokenize(&self, text: &str, interner: &mut TokenInterner) -> Vec<(TokenId, Position)> {
+        let mut out = Vec::new();
+        let mut offset: u32 = 0;
+        let mut sentence: u32 = 0;
+        let mut paragraph: u32 = 0;
+        // Tracks whether we saw any token since the last boundary, so that
+        // repeated terminators/blank lines don't create empty sentences.
+        let mut tokens_in_sentence = false;
+        let mut tokens_in_paragraph = false;
+
+        let mut word = String::new();
+        let mut prev_was_newline = false;
+
+        let flush =
+            |word: &mut String, out: &mut Vec<(TokenId, Position)>, interner: &mut TokenInterner,
+             offset: &mut u32, sentence: u32, paragraph: u32| {
+                if word.len() >= self.config.min_token_len && !word.is_empty() {
+                    if let Some(analyzed) = self.config.analysis.analyze(word) {
+                        let id = interner.intern(&analyzed);
+                        out.push((id, Position::new(*offset, sentence, paragraph)));
+                        *offset += 1;
+                    }
+                    // Stopped tokens do not consume an offset, consistent
+                    // with min_token_len filtering: positions stay dense.
+                }
+                word.clear();
+            };
+
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                word.push(ch);
+                prev_was_newline = false;
+                continue;
+            }
+            let had_word = !word.is_empty();
+            flush(&mut word, &mut out, interner, &mut offset, sentence, paragraph);
+            if had_word {
+                tokens_in_sentence = true;
+                tokens_in_paragraph = true;
+            }
+            if self.config.sentence_terminators.contains(&ch) {
+                if tokens_in_sentence {
+                    sentence += 1;
+                    tokens_in_sentence = false;
+                }
+                prev_was_newline = false;
+            } else if ch == '\n' {
+                if prev_was_newline && self.config.paragraphs_on_blank_line {
+                    if tokens_in_paragraph {
+                        paragraph += 1;
+                        tokens_in_paragraph = false;
+                        if tokens_in_sentence {
+                            sentence += 1;
+                            tokens_in_sentence = false;
+                        }
+                    }
+                    prev_was_newline = false;
+                } else {
+                    prev_was_newline = true;
+                }
+            } else if !ch.is_whitespace() {
+                prev_was_newline = false;
+            }
+        }
+        flush(&mut word, &mut out, interner, &mut offset, sentence, paragraph);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> (Vec<(TokenId, Position)>, TokenInterner) {
+        let mut interner = TokenInterner::new();
+        let t = Tokenizer::new().tokenize(text, &mut interner);
+        (t, interner)
+    }
+
+    #[test]
+    fn simple_words_get_consecutive_offsets() {
+        let (t, i) = toks("usability of a software");
+        assert_eq!(t.len(), 4);
+        let names: Vec<&str> = t.iter().map(|(id, _)| i.name(*id)).collect();
+        assert_eq!(names, vec!["usability", "of", "a", "software"]);
+        let offsets: Vec<u32> = t.iter().map(|(_, p)| p.offset).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sentences_split_on_terminators() {
+        let (t, _) = toks("One two. Three four! Five?");
+        let sentences: Vec<u32> = t.iter().map(|(_, p)| p.sentence).collect();
+        assert_eq!(sentences, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn paragraphs_split_on_blank_lines() {
+        let (t, _) = toks("alpha beta.\n\ngamma delta");
+        let paragraphs: Vec<u32> = t.iter().map(|(_, p)| p.paragraph).collect();
+        assert_eq!(paragraphs, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn repeated_terminators_do_not_create_empty_sentences() {
+        let (t, _) = toks("hi... there");
+        let sentences: Vec<u32> = t.iter().map(|(_, p)| p.sentence).collect();
+        assert_eq!(sentences, vec![0, 1]);
+    }
+
+    #[test]
+    fn punctuation_splits_words_without_emitting_tokens() {
+        let (t, i) = toks("task-completion, efficient");
+        let names: Vec<&str> = t.iter().map(|(id, _)| i.name(*id)).collect();
+        assert_eq!(names, vec!["task", "completion", "efficient"]);
+    }
+
+    #[test]
+    fn min_token_len_filters_short_tokens() {
+        let config = TokenizerConfig { min_token_len: 3, ..Default::default() };
+        let mut interner = TokenInterner::new();
+        let t = Tokenizer::with_config(config).tokenize("a an the cat", &mut interner);
+        let names: Vec<&str> = t.iter().map(|(id, _)| interner.name(*id)).collect();
+        assert_eq!(names, vec!["the", "cat"]);
+        // Offsets stay dense even when tokens are dropped.
+        let offsets: Vec<u32> = t.iter().map(|(_, p)| p.offset).collect();
+        assert_eq!(offsets, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_inputs() {
+        assert!(toks("").0.is_empty());
+        assert!(toks("  \n\n  \t ").0.is_empty());
+    }
+
+    #[test]
+    fn analysis_stems_and_stops_at_index_time() {
+        use crate::analysis::AnalysisConfig;
+        let config = TokenizerConfig { analysis: AnalysisConfig::english(), ..Default::default() };
+        let mut interner = TokenInterner::new();
+        let t = Tokenizer::with_config(config).tokenize("the tests are testing", &mut interner);
+        let names: Vec<&str> = t.iter().map(|(id, _)| interner.name(*id)).collect();
+        // "the"/"are" stopped; "tests"/"testing" conflate to "test".
+        assert_eq!(names, vec!["test", "test"]);
+        let offsets: Vec<u32> = t.iter().map(|(_, p)| p.offset).collect();
+        assert_eq!(offsets, vec![0, 1]);
+    }
+
+    #[test]
+    fn structure_ordinals_are_monotone() {
+        let (t, _) = toks("A b c. D e.\n\nF g! H i.\n\nJ k");
+        for w in t.windows(2) {
+            assert!(w[0].1.offset < w[1].1.offset);
+            assert!(w[0].1.sentence <= w[1].1.sentence);
+            assert!(w[0].1.paragraph <= w[1].1.paragraph);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Brute-force checkers of the positive- and negative-predicate definitions.
+//!
+//! These enumerate small position universes and verify the *semantic*
+//! properties that the streaming engines rely on. They are deliberately
+//! exponential — they exist so property tests can certify each built-in's
+//! [`crate::PredKind`] claim and each advance function's soundness.
+
+use crate::{AdvanceMode, Predicate};
+use ftsl_model::Position;
+
+/// Every failing tuple's advance must (a) make strict progress on the chosen
+/// column and (b) be *sound*: no satisfying tuple exists with the chosen
+/// column's offset in `[current, min_offset)` while every coordinate is ≥ the
+/// current tuple (the paper's Definition 1 box condition).
+///
+/// `universe` is the candidate position set per coordinate (positions of one
+/// node). Returns the first violating tuple, if any.
+pub fn check_positive_advance_sound(
+    pred: &dyn Predicate,
+    universe: &[Position],
+    consts: &[i64],
+    mode: AdvanceMode,
+) -> Option<Vec<Position>> {
+    let n = pred.arity();
+    let mut tuple = vec![0usize; n];
+    loop {
+        let positions: Vec<Position> = tuple.iter().map(|&i| universe[i]).collect();
+        if !pred.eval(&positions, consts) {
+            let Some(adv) = pred.positive_advance(&positions, consts, mode) else {
+                return Some(positions);
+            };
+            // (a) strict progress
+            if adv.min_offset <= positions[adv.column].offset {
+                return Some(positions);
+            }
+            // (b) soundness: no solution in the skipped box
+            if let Some(sol) = find_solution_in_box(pred, universe, consts, &positions, adv.column, adv.min_offset)
+            {
+                let _ = sol;
+                return Some(positions);
+            }
+        }
+        if !next_tuple(&mut tuple, universe.len()) {
+            return None;
+        }
+    }
+}
+
+fn find_solution_in_box(
+    pred: &dyn Predicate,
+    universe: &[Position],
+    consts: &[i64],
+    current: &[Position],
+    column: usize,
+    min_offset: u32,
+) -> Option<Vec<Position>> {
+    let n = current.len();
+    let mut tuple = vec![0usize; n];
+    loop {
+        let cand: Vec<Position> = tuple.iter().map(|&i| universe[i]).collect();
+        let in_box = cand[column].offset >= current[column].offset
+            && cand[column].offset < min_offset
+            && (0..n).all(|j| j == column || cand[j].offset >= current[j].offset);
+        if in_box && pred.eval(&cand, consts) {
+            return Some(cand);
+        }
+        if !next_tuple(&mut tuple, universe.len()) {
+            return None;
+        }
+    }
+}
+
+/// The negative-predicate property (Section 5.6.1): if a tuple fails, every
+/// tuple *bounded* by its sorted coordinates also fails — i.e. the predicate
+/// can only be satisfied by extending the interval beyond the current
+/// maximum.
+pub fn check_negative_property(
+    pred: &dyn Predicate,
+    universe: &[Position],
+    consts: &[i64],
+) -> Option<Vec<Position>> {
+    let n = pred.arity();
+    let mut tuple = vec![0usize; n];
+    loop {
+        let positions: Vec<Position> = tuple.iter().map(|&i| universe[i]).collect();
+        if !pred.eval(&positions, consts) {
+            // The ordering i1..in of Section 5.6.1: coordinate indices
+            // sorted by offset (ties broken by index).
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.sort_by_key(|&i| (positions[i].offset, i));
+            if let Some(bad) = find_bounded_solution(pred, universe, consts, &positions, &perm) {
+                return Some(bad);
+            }
+        }
+        if !next_tuple(&mut tuple, universe.len()) {
+            return None;
+        }
+    }
+}
+
+/// Search for a *satisfying* tuple inside the paper's `Bounded` region of a
+/// failing tuple: candidates that preserve the coordinate ordering `perm`,
+/// dominate the failing tuple coordinate-wise on all but the largest
+/// coordinate, and whose largest coordinate does not exceed the failing
+/// tuple's maximum. The negative-predicate property demands this search
+/// always comes up empty.
+fn find_bounded_solution(
+    pred: &dyn Predicate,
+    universe: &[Position],
+    consts: &[i64],
+    current: &[Position],
+    perm: &[usize],
+) -> Option<Vec<Position>> {
+    let n = current.len();
+    let mut tuple = vec![0usize; n];
+    loop {
+        let cand: Vec<Position> = tuple.iter().map(|&i| universe[i]).collect();
+        let mut bounded = true;
+        for k in 0..n - 1 {
+            let (ik, ik1) = (perm[k], perm[k + 1]);
+            if cand[ik].offset < current[ik].offset || cand[ik].offset > cand[ik1].offset {
+                bounded = false;
+                break;
+            }
+        }
+        let last = perm[n - 1];
+        if cand[last].offset < current[perm[0]].offset
+            || cand[last].offset > current[last].offset
+        {
+            bounded = false;
+        }
+        if bounded && pred.eval(&cand, consts) {
+            return Some(cand);
+        }
+        if !next_tuple(&mut tuple, universe.len()) {
+            return None;
+        }
+    }
+}
+
+/// Odometer-style tuple enumeration; returns false when wrapped around.
+fn next_tuple(tuple: &mut [usize], base: usize) -> bool {
+    for slot in tuple.iter_mut() {
+        *slot += 1;
+        if *slot < base {
+            return true;
+        }
+        *slot = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::*;
+
+    fn universe() -> Vec<Position> {
+        // Structured universe: 3 paragraphs, 2 sentences each.
+        (0u32..12)
+            .map(|o| Position::new(o * 3, o / 2, o / 4))
+            .collect()
+    }
+
+    #[test]
+    fn positive_builtins_have_sound_advances() {
+        let u = universe();
+        for mode in [AdvanceMode::Conservative, AdvanceMode::Aggressive] {
+            assert_eq!(check_positive_advance_sound(&DistancePred, &u, &[4], mode), None);
+            assert_eq!(check_positive_advance_sound(&OrderedPred, &u, &[], mode), None);
+            assert_eq!(check_positive_advance_sound(&SameParaPred, &u, &[], mode), None);
+            assert_eq!(check_positive_advance_sound(&SameSentPred, &u, &[], mode), None);
+            assert_eq!(check_positive_advance_sound(&WindowPred::new(2), &u, &[7], mode), None);
+            assert_eq!(check_positive_advance_sound(&SamePosPred, &u, &[], mode), None);
+        }
+    }
+
+    #[test]
+    fn negative_builtins_satisfy_negative_property() {
+        let u = universe();
+        assert_eq!(check_negative_property(&NotDistancePred, &u, &[4]), None);
+        assert_eq!(check_negative_property(&NotOrderedPred, &u, &[]), None);
+        assert_eq!(check_negative_property(&DiffPosPred, &u, &[]), None);
+        assert_eq!(check_negative_property(&NotSameParaPred, &u, &[]), None);
+        assert_eq!(check_negative_property(&NotSameSentPred, &u, &[]), None);
+    }
+
+    #[test]
+    fn diffpos_fails_the_positive_property() {
+        // diffpos has no positive advance at all; the checker reports the
+        // diagonal tuple as the witness.
+        let u = universe();
+        let witness =
+            check_positive_advance_sound(&DiffPosPred, &u, &[], AdvanceMode::Aggressive);
+        assert!(witness.is_some());
+    }
+
+    #[test]
+    fn exact_gap_fails_both_properties() {
+        // g = 5 means a satisfied pair is 6 offsets apart, which exists in
+        // the multiples-of-3 universe; the failing pair (0, 33) then has a
+        // satisfying tuple strictly inside its bounded region.
+        let u = universe();
+        assert!(check_positive_advance_sound(&ExactGapPred, &u, &[5], AdvanceMode::Aggressive)
+            .is_some());
+        assert!(check_negative_property(&ExactGapPred, &u, &[5]).is_some());
+    }
+}

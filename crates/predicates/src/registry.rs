@@ -1,0 +1,156 @@
+//! Predicate registry: name → predicate resolution shared by parser,
+//! calculus, algebra and engines.
+
+use crate::builtin::builtins;
+use crate::Predicate;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of a registered predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredicateId(pub u32);
+
+impl PredicateId {
+    /// Raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PredicateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pred{}", self.0)
+    }
+}
+
+/// A set `Preds` of position-based predicates, resolvable by name.
+#[derive(Clone)]
+pub struct PredicateRegistry {
+    preds: Vec<Arc<dyn Predicate>>,
+    by_name: HashMap<String, PredicateId>,
+}
+
+impl PredicateRegistry {
+    /// An empty registry (`Preds = ∅`, as in the Theorem 3/4 setting).
+    pub fn empty() -> Self {
+        PredicateRegistry { preds: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// The registry of all built-in predicates.
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::empty();
+        for p in builtins() {
+            reg.register(p);
+        }
+        reg
+    }
+
+    /// Register a predicate; returns its id. Re-registering a name replaces
+    /// the resolution but keeps old ids valid.
+    pub fn register(&mut self, pred: Arc<dyn Predicate>) -> PredicateId {
+        let id = PredicateId(self.preds.len() as u32);
+        self.by_name.insert(pred.name().to_string(), id);
+        self.preds.push(pred);
+        id
+    }
+
+    /// Resolve a predicate by name.
+    pub fn lookup(&self, name: &str) -> Option<PredicateId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The predicate for an id.
+    pub fn get(&self, id: PredicateId) -> &dyn Predicate {
+        self.preds[id.index()].as_ref()
+    }
+
+    /// A shared handle to the predicate for an id (for cursors that outlive
+    /// the borrow of the registry).
+    pub fn get_shared(&self, id: PredicateId) -> Arc<dyn Predicate> {
+        Arc::clone(&self.preds[id.index()])
+    }
+
+    /// Number of registered predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True iff no predicates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Iterate `(id, predicate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PredicateId, &dyn Predicate)> {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PredicateId(i as u32), p.as_ref()))
+    }
+}
+
+impl Default for PredicateRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl fmt::Debug for PredicateRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PredicateRegistry({} predicates)", self.preds.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredKind;
+
+    #[test]
+    fn builtins_resolve_by_name() {
+        let reg = PredicateRegistry::with_builtins();
+        for name in [
+            "distance",
+            "ordered",
+            "samepara",
+            "samesent",
+            "window",
+            "samepos",
+            "not_distance",
+            "not_ordered",
+            "not_samepara",
+            "not_samesent",
+            "diffpos",
+            "exact_gap",
+        ] {
+            let id = reg.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(reg.get(id).name(), name);
+        }
+        assert!(reg.lookup("nonsense").is_none());
+    }
+
+    #[test]
+    fn kind_partition_is_as_documented() {
+        let reg = PredicateRegistry::with_builtins();
+        let mut pos = 0;
+        let mut neg = 0;
+        let mut gen = 0;
+        for (_, p) in reg.iter() {
+            match p.kind() {
+                PredKind::Positive => pos += 1,
+                PredKind::Negative => neg += 1,
+                PredKind::General => gen += 1,
+            }
+        }
+        assert_eq!((pos, neg, gen), (6, 5, 1));
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = PredicateRegistry::empty();
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+        assert!(reg.lookup("distance").is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! Textbook cosine TF-IDF, computed directly from the corpus — the oracle
+//! for Theorem 2.
+
+use crate::stats::ScoreStats;
+use crate::tfidf::TfIdfModel;
+use ftsl_model::{Corpus, NodeId};
+
+/// Classic cosine TF-IDF of every node for a bag-of-tokens query:
+/// `score(n) = Σ_t w(t)·tf(n,t)·idf(t)/(‖n‖₂·‖q‖₂)` (Section 3.1's
+/// formula), with the model's weights. Nodes scoring 0 are omitted.
+pub fn classic_tfidf<S: AsRef<str>>(
+    query_tokens: &[S],
+    corpus: &Corpus,
+    stats: &ScoreStats,
+    model: &TfIdfModel,
+) -> Vec<(NodeId, f64)> {
+    let mut distinct: Vec<String> =
+        query_tokens.iter().map(|t| t.as_ref().to_lowercase()).collect();
+    distinct.sort();
+    distinct.dedup();
+
+    let mut out = Vec::new();
+    for node in corpus.node_ids() {
+        let doc = corpus.document(node);
+        if doc.is_empty() {
+            continue;
+        }
+        let unique = stats.unique_tokens(node) as f64;
+        let mut score = 0.0;
+        for t in &distinct {
+            let Some(id) = corpus.token_id(t) else { continue };
+            let occurs = doc.occurs(id) as f64;
+            if occurs == 0.0 {
+                continue;
+            }
+            let tf = occurs / unique;
+            let idf = stats.idf(id);
+            score += model.weight(t) * tf * idf;
+        }
+        score /= stats.l2_norm(node) * model.query_norm();
+        if score > 0.0 {
+            out.push((node, score));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_index::IndexBuilder;
+
+    #[test]
+    fn classic_scores_favor_focused_documents() {
+        let corpus = Corpus::from_texts(&[
+            "usability",                         // short, on-topic
+            "usability plus many other words",   // diluted
+            "entirely different content",
+        ]);
+        let index = IndexBuilder::new().build(&corpus);
+        let stats = ScoreStats::compute(&corpus, &index);
+        let model = TfIdfModel::for_query(&["usability"], &corpus, &stats);
+        let scores = classic_tfidf(&["usability"], &corpus, &stats, &model);
+        assert_eq!(scores.len(), 2);
+        let s0 = scores.iter().find(|(n, _)| n.0 == 0).unwrap().1;
+        let s1 = scores.iter().find(|(n, _)| n.0 == 1).unwrap().1;
+        assert!(s0 > s1, "focused doc should outrank diluted doc: {s0} vs {s1}");
+    }
+}

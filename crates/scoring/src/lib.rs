@@ -1,0 +1,72 @@
+//! # ftsl-scoring — the scoring framework of Section 3
+//!
+//! The paper's framework rests on two extensions of the algebra: **per-tuple
+//! scoring information** and **scoring transformations** attached to every
+//! operator. No scoring method is hard-coded; this crate provides the
+//! [`ScoringModel`] trait plus the two instantiations the paper describes:
+//!
+//! * [`tfidf::TfIdfModel`] — Section 3.1. Token-relation tuples carry the
+//!   precomputable `idf(t)/(unique_tokens(n)·‖n‖₂)` mass, scaled at query
+//!   time; joins redistribute score (`t3 = t1/|R2| + t2/|R1|`, with `|·|`
+//!   read as the per-node group cardinality, which is what makes the "first
+//!   law of thermodynamics" conservation — and Theorem 2 — hold exactly);
+//!   projections sum; unions add; intersections take the minimum.
+//! * [`pra::PraModel`] — Section 3.2, the probabilistic relational algebra
+//!   of Fuhr–Rölleke: scores are probabilities, joins multiply, projections
+//!   combine as `1 − ∏(1 − sᵢ)`, predicates scale by a predicate-specific
+//!   `f` (e.g. `1 − |p1−p2|/dist`), negation complements.
+//!
+//! [`classic`] computes textbook cosine TF-IDF directly so tests can verify
+//! **Theorem 2** (the propagated scores equal classic TF-IDF for conjunctive
+//! and disjunctive queries) mechanically, and [`bool_scores`] attaches
+//! per-operator scoring to the BOOL merge engine (Section 5.3).
+
+pub mod bool_scores;
+pub mod classic;
+pub mod pra;
+pub mod relation;
+pub mod stats;
+pub mod tfidf;
+
+pub use pra::PraModel;
+pub use relation::{ScoredEvaluator, ScoredRelation};
+pub use stats::ScoreStats;
+pub use tfidf::TfIdfModel;
+
+use ftsl_model::Position;
+use ftsl_predicates::Predicate;
+
+/// Per-operator scoring transformations (Section 3's framework).
+pub trait ScoringModel {
+    /// Score of one tuple of `R_token` (a single occurrence of `token` in
+    /// `node`).
+    fn token_tuple(&self, token: &str, node: ftsl_model::NodeId, stats: &ScoreStats) -> f64;
+
+    /// Score of a `HasPos` tuple.
+    fn any_tuple(&self) -> f64;
+
+    /// Score of a `SearchContext` tuple.
+    fn context_tuple(&self) -> f64;
+
+    /// Join transformation. `left_group`/`right_group` are the numbers of
+    /// joining tuples on each side *within the current context node*.
+    fn join(&self, s1: f64, s2: f64, left_group: usize, right_group: usize) -> f64;
+
+    /// Projection: combine the scores of input tuples collapsing onto one
+    /// output tuple.
+    fn project(&self, scores: &[f64]) -> f64;
+
+    /// Selection: transform a surviving tuple's score given the predicate
+    /// and its arguments.
+    fn select(&self, s: f64, pred: &dyn Predicate, args: &[Position], consts: &[i64]) -> f64;
+
+    /// Union: combine scores of the same tuple from both sides (`None` =
+    /// absent, the paper's "missing tuples are assumed to have score 0").
+    fn union(&self, s1: Option<f64>, s2: Option<f64>) -> f64;
+
+    /// Intersection.
+    fn intersect(&self, s1: f64, s2: f64) -> f64;
+
+    /// Difference: the surviving (left-only) tuple's score.
+    fn difference(&self, s1: f64) -> f64;
+}

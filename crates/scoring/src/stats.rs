@@ -1,0 +1,121 @@
+//! Corpus statistics needed by the scoring formulas of Section 3.1.
+
+use ftsl_index::InvertedIndex;
+use ftsl_model::{Corpus, NodeId, TokenId};
+
+/// Precomputed per-corpus statistics: `df(t)`, `db_size`,
+/// `unique_tokens(n)`, and the L2 norm `‖n‖₂` of every node's TF-IDF vector.
+#[derive(Clone, Debug)]
+pub struct ScoreStats {
+    /// Number of context nodes (`db_size`).
+    pub db_size: usize,
+    /// Document frequency per token id.
+    df: Vec<usize>,
+    /// `unique_tokens(n)` per node.
+    unique_tokens: Vec<usize>,
+    /// `‖n‖₂` per node (L2 norm of the node's tf·idf vector).
+    l2_norm: Vec<f64>,
+}
+
+impl ScoreStats {
+    /// Compute statistics for a corpus and its index.
+    pub fn compute(corpus: &Corpus, index: &InvertedIndex) -> Self {
+        let db_size = corpus.len();
+        let vocab = corpus.interner().len();
+        let df: Vec<usize> = (0..vocab).map(|t| index.df(TokenId(t as u32))).collect();
+
+        let mut unique_tokens = Vec::with_capacity(db_size);
+        let mut l2_norm = Vec::with_capacity(db_size);
+        let mut counts: Vec<u32> = vec![0; vocab];
+        let mut touched: Vec<TokenId> = Vec::new();
+        for doc in corpus.documents() {
+            for &(t, _) in &doc.tokens {
+                if counts[t.index()] == 0 {
+                    touched.push(t);
+                }
+                counts[t.index()] += 1;
+            }
+            let unique = touched.len().max(1);
+            let mut sum_sq = 0.0;
+            for &t in &touched {
+                let tf = f64::from(counts[t.index()]) / unique as f64;
+                let idf = idf_value(db_size, df[t.index()]);
+                sum_sq += (tf * idf) * (tf * idf);
+                counts[t.index()] = 0;
+            }
+            touched.clear();
+            unique_tokens.push(unique);
+            l2_norm.push(if sum_sq > 0.0 { sum_sq.sqrt() } else { 1.0 });
+        }
+        ScoreStats { db_size, df, unique_tokens, l2_norm }
+    }
+
+    /// `df(t)`: number of nodes containing the token (0 if out of
+    /// vocabulary).
+    pub fn df(&self, token: TokenId) -> usize {
+        self.df.get(token.index()).copied().unwrap_or(0)
+    }
+
+    /// `idf(t) = ln(1 + db_size/df(t))` (Section 3.1); 0 for unseen tokens.
+    pub fn idf(&self, token: TokenId) -> f64 {
+        let df = self.df(token);
+        if df == 0 {
+            0.0
+        } else {
+            idf_value(self.db_size, df)
+        }
+    }
+
+    /// `unique_tokens(n)`.
+    pub fn unique_tokens(&self, node: NodeId) -> usize {
+        self.unique_tokens[node.index()]
+    }
+
+    /// `‖n‖₂`.
+    pub fn l2_norm(&self, node: NodeId) -> f64 {
+        self.l2_norm[node.index()]
+    }
+}
+
+fn idf_value(db_size: usize, df: usize) -> f64 {
+    (1.0 + db_size as f64 / df as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_index::IndexBuilder;
+
+    #[test]
+    fn df_and_idf_follow_the_formulas() {
+        let corpus = Corpus::from_texts(&["a b", "a", "c"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let stats = ScoreStats::compute(&corpus, &index);
+        let a = corpus.token_id("a").unwrap();
+        let c = corpus.token_id("c").unwrap();
+        assert_eq!(stats.df(a), 2);
+        assert_eq!(stats.df(c), 1);
+        assert!((stats.idf(a) - (1.0f64 + 3.0 / 2.0).ln()).abs() < 1e-12);
+        // Rarer tokens have higher idf.
+        assert!(stats.idf(c) > stats.idf(a));
+    }
+
+    #[test]
+    fn unique_tokens_and_norms() {
+        let corpus = Corpus::from_texts(&["a a b", ""]);
+        let index = IndexBuilder::new().build(&corpus);
+        let stats = ScoreStats::compute(&corpus, &index);
+        assert_eq!(stats.unique_tokens(NodeId(0)), 2);
+        assert!(stats.l2_norm(NodeId(0)) > 0.0);
+        // Empty nodes get a safe norm of 1.
+        assert_eq!(stats.l2_norm(NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn out_of_vocabulary_token_scores_zero() {
+        let corpus = Corpus::from_texts(&["a"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let stats = ScoreStats::compute(&corpus, &index);
+        assert_eq!(stats.idf(TokenId(999)), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Executable witnesses of the incompleteness theorems (Section 4).
+//!
+//! * **Theorem 3**: BOOL cannot express "contains a token that is not t1"
+//!   when the token set is infinite. We build the proof's two context nodes
+//!   CN1/CN2 and show COMP separating them while BOOL queries over any fixed
+//!   token set cannot.
+//! * **Theorem 5**: DIST cannot express "t1 and t2 occur NOT next to each
+//!   other at least once"; same construction.
+//! * **Theorem 4** (the positive result): over a *finite* alphabet, every
+//!   restricted calculus query has a BOOL equivalent — we run the paper's
+//!   normalization pipeline and print the (blown-up) BOOL query it emits.
+
+use ftsl::calculus::bool_complete::to_bool;
+use ftsl::calculus::normalize::normalize;
+use ftsl::core::Ftsl;
+use ftsl::lang::{lower, parse, Mode};
+use ftsl::predicates::PredicateRegistry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reg = PredicateRegistry::with_builtins();
+
+    println!("== Theorem 3: BOOL is incomplete ==");
+    // CN1 contains only t1; CN2 contains t1 and a token outside any fixed
+    // BOOL query's vocabulary.
+    let engine = Ftsl::from_texts(&["t1", "t1 zebra"]);
+    let comp = "SOME p1 (NOT p1 HAS 't1')";
+    let hits = engine.search(comp)?;
+    println!("COMP  {comp}");
+    println!("      separates CN1 from CN2: matches {:?}", hits.node_ids());
+    assert_eq!(hits.node_ids(), vec![1]);
+    // Any BOOL query built from tokens {t1, t2, ...} that doesn't mention
+    // 'zebra' treats CN1 and CN2 identically (the proof's induction):
+    for bool_q in ["'t1'", "NOT 't1'", "'t1' AND NOT 't2'", "'t2' OR NOT 't1'", "ANY"] {
+        let r = engine.search_with(bool_q, Mode::Bool, ftsl::exec::EngineKind::Bool)?;
+        let ids = r.node_ids();
+        assert_eq!(
+            ids.contains(&0),
+            ids.contains(&1),
+            "BOOL query {bool_q} unexpectedly separated CN1/CN2"
+        );
+        println!("BOOL  {bool_q:<22} -> {ids:?}  (cannot separate)");
+    }
+
+    println!("\n== Theorem 5: DIST is incomplete ==");
+    // CN1 = t1 t2 t1; CN2 = t1 t2 t1 t2. Only CN2 has t1,t2 NOT adjacent.
+    let engine = Ftsl::from_texts(&["t1 t2 t1", "t1 t2 t1 t2"]);
+    let comp = "SOME p1 SOME p2 (p1 HAS 't1' AND p2 HAS 't2' AND NOT distance(p1,p2,0))";
+    let hits = engine.search(comp)?;
+    println!("COMP  {comp}");
+    println!("      matches {:?}", hits.node_ids());
+    assert_eq!(hits.node_ids(), vec![1]);
+    for dist_q in ["dist('t1','t2',0)", "dist('t1','t2',5)", "'t1' AND 't2'"] {
+        let r = engine.search_with(dist_q, Mode::Dist, ftsl::exec::EngineKind::Auto)?;
+        let ids = r.node_ids();
+        assert_eq!(ids.contains(&0), ids.contains(&1));
+        println!("DIST  {dist_q:<22} -> {ids:?}  (cannot separate)");
+    }
+
+    println!("\n== Theorem 4: BOOL is complete over a finite alphabet ==");
+    let alphabet: Vec<String> = ["t1", "t2", "t3", "t4"].iter().map(|s| s.to_string()).collect();
+    let surface = parse("SOME p1 (NOT p1 HAS 't1')", Mode::Comp)?;
+    let expr = lower(&surface, &reg)?;
+    let prop = normalize(&expr).expect("restricted query normalizes");
+    let bool_query = to_bool(&prop, &alphabet);
+    println!("calculus:  ∃p ¬hasToken(p, t1)   over T = {alphabet:?}");
+    println!("BOOL:      {}", bool_query.render());
+    println!("(the complement must enumerate the alphabet — {} nodes of query AST,", bool_query.size());
+    println!(" which is why the paper calls this construction impractical)");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The paper's motivating Example 1 (XQuery Full-Text Use Case 10.4):
+//!
+//! > Given an XML document that contains book and article elements, find the
+//! > book elements containing "efficient" and the phrase "task completion"
+//! > in that order with at most 10 intervening tokens.
+//!
+//! The search context (book vs. article) is selected outside the full-text
+//! language — here by indexing only the book elements — and the full-text
+//! condition combines Boolean AND, phrase matching, order, and distance:
+//! exactly the primitives COMP expresses and BOOL/DIST cannot.
+
+use ftsl::core::Ftsl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Context nodes: book elements (their text content).
+    let books = [
+        // Satisfies everything: efficient ... task completion, in order,
+        // within 10 intervening tokens.
+        "this book presents an efficient approach to planning so that task \
+         completion becomes routine",
+        // Phrase present but before "efficient": order violated.
+        "task completion strategies: how to be efficient at work",
+        // Both words, but "task ... completion" is not a phrase.
+        "efficient management of every task requires eventual completion of plans",
+        // Too far apart: more than 10 intervening tokens.
+        "an efficient method, developed over many years of careful and patient \
+         experimentation across domains, guarantees task completion",
+    ];
+    let engine = Ftsl::from_texts(&books);
+
+    // Use Case 10.4 in COMP. The phrase "task completion" is adjacency
+    // (distance 0 + order); the window constraint applies between
+    // "efficient" and the phrase start.
+    let query = "SOME p1 SOME p2 SOME p3 (\
+                   p1 HAS 'efficient' AND p2 HAS 'task' AND p3 HAS 'completion' \
+                   AND ordered(p2, p3) AND distance(p2, p3, 0) \
+                   AND ordered(p1, p2) AND distance(p1, p2, 10))";
+
+    let hits = engine.search(query)?;
+    println!("use case 10.4 matches: {:?} (engine: {})", hits.node_ids(), hits.engine);
+    for id in hits.node_ids() {
+        println!("  book {id}: {}...", &books[id as usize][..60.min(books[id as usize].len())]);
+    }
+    assert_eq!(hits.node_ids(), vec![0]);
+
+    // For contrast: what the weaker languages see.
+    let bool_hits = engine.search("'efficient' AND 'task' AND 'completion'")?;
+    println!(
+        "\nBOOL conjunction (no order/distance): {:?} — over-matches",
+        bool_hits.node_ids()
+    );
+    let dist_hits = engine.search("dist('task', 'completion', 0)")?;
+    println!(
+        "DIST phrase only (no order w.r.t. 'efficient'): {:?}",
+        dist_hits.node_ids()
+    );
+
+    println!("\nexecution plan:\n{}", engine.explain(query)?);
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Every worked example in the paper, end to end through the facade.
+
+use ftsl::core::Ftsl;
+use ftsl::exec::EngineKind;
+use ftsl::lang::Mode;
+
+fn engine() -> Ftsl {
+    Ftsl::from_texts(&[
+        // n0: Figure 1's book element.
+        ftsl::model::corpus::figure1_book_text(),
+        // n1: test + usability far apart.
+        "a test of many long running procedures that eventually mention usability",
+        // n2: test twice, no usability.
+        "this test is a test of something else entirely",
+        // n3: neither.
+        "nothing relevant whatsoever",
+        // n4: test and usability adjacent.
+        "usability test",
+    ])
+}
+
+#[test]
+fn section_2_2_1_conjunction() {
+    // {n | ∃p1 hasToken(p1,'test') ∧ ∃p2 hasToken(p2,'usability')}
+    let e = engine();
+    let r = e
+        .search("SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability')")
+        .unwrap();
+    assert_eq!(r.node_ids(), vec![1, 4]);
+}
+
+#[test]
+fn section_2_2_1_distance() {
+    // 'test' and 'usability' with at most 5 intervening tokens.
+    let e = engine();
+    let r = e
+        .search("SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))")
+        .unwrap();
+    assert_eq!(r.node_ids(), vec![4]);
+}
+
+#[test]
+fn section_2_2_1_double_occurrence_without_usability() {
+    // Two occurrences of 'test' and no 'usability'.
+    let e = engine();
+    let q = "SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'test' AND diffpos(p1,p2)) \
+             AND NOT 'usability'";
+    let r = e.search(q).unwrap();
+    assert_eq!(r.node_ids(), vec![2]);
+}
+
+#[test]
+fn section_4_1_bool_example() {
+    let e = engine();
+    let r = e
+        .search_with("'test' AND NOT 'usability'", Mode::Bool, EngineKind::Auto)
+        .unwrap();
+    assert_eq!(r.node_ids(), vec![2]);
+}
+
+#[test]
+fn section_5_3_bool_noneg_example() {
+    let e = Ftsl::from_texts(&[
+        "software users",
+        "software users testing",
+        "usability",
+        "software testing",
+    ]);
+    let r = e
+        .search_with(
+            "('software' AND 'users' AND NOT 'testing') OR 'usability'",
+            Mode::Bool,
+            EngineKind::Auto,
+        )
+        .unwrap();
+    assert_eq!(r.node_ids(), vec![0, 2]);
+}
+
+#[test]
+fn section_5_5_1_walkthrough_positions() {
+    // The inverted lists of Figure 2: usability at {3,12,39}, software at
+    // {25,29,42}; only (39,42) satisfies distance 5. We reproduce the exact
+    // offsets with filler tokens.
+    let mut words = vec!["w"; 43];
+    words[3] = "usability";
+    words[12] = "usability";
+    words[39] = "usability";
+    words[25] = "software";
+    words[29] = "software";
+    words[42] = "software";
+    let text = words.join(" ");
+    let e = Ftsl::from_texts(&[text.as_str()]);
+    let r = e
+        .search("SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' AND distance(p1,p2,5))")
+        .unwrap();
+    assert_eq!(r.node_ids(), vec![0]);
+    // The streaming engine touches each list position at most once:
+    // 3 + 3 = 6 positions, not the 9 pairs of the cartesian product.
+    assert!(r.counters.positions <= 6, "counters: {:?}", r.counters);
+}
+
+#[test]
+fn section_5_6_2_not_distance_example() {
+    // π(σ_not-distance(att1,att2,40)(R_assignment ⋈ R_judge))
+    let filler = ["x"; 45].join(" ");
+    let e = Ftsl::from_texts(&[
+        format!("assignment {} judge", ["x"; 10].join(" ")),
+        format!("assignment {filler} judge"),
+        format!("judge {filler} assignment"),
+    ]);
+    let r = e
+        .search(
+            "SOME p1 SOME p2 (p1 HAS 'assignment' AND p2 HAS 'judge' \
+             AND not_distance(p1,p2,40))",
+        )
+        .unwrap();
+    assert_eq!(r.node_ids(), vec![1, 2]);
+}
+
+#[test]
+fn theorem_3_and_5_witnesses() {
+    let e = Ftsl::from_texts(&["t1", "t1 t2"]);
+    let r = e.search("SOME p1 (NOT p1 HAS 't1')").unwrap();
+    assert_eq!(r.node_ids(), vec![1]);
+
+    let e = Ftsl::from_texts(&["t1 t2 t1", "t1 t2 t1 t2"]);
+    let r = e
+        .search("SOME p1 SOME p2 (p1 HAS 't1' AND p2 HAS 't2' AND NOT distance(p1,p2,0))")
+        .unwrap();
+    assert_eq!(r.node_ids(), vec![1]);
+}
+
+#[test]
+fn example_1_use_case_10_4() {
+    let e = Ftsl::from_texts(&[
+        "the efficient way to reach task completion",
+        "task completion is efficient",
+    ]);
+    let q = "SOME p1 SOME p2 SOME p3 (p1 HAS 'efficient' AND p2 HAS 'task' \
+             AND p3 HAS 'completion' AND ordered(p1,p2) AND ordered(p2,p3) \
+             AND distance(p2,p3,0) AND distance(p1,p2,10))";
+    let r = e.search(q).unwrap();
+    assert_eq!(r.node_ids(), vec![0]);
+}
