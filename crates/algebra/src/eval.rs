@@ -28,7 +28,12 @@ impl<'a> AlgebraEvaluator<'a> {
         index: &'a InvertedIndex,
         registry: &'a PredicateRegistry,
     ) -> Self {
-        AlgebraEvaluator { corpus, index, registry, counters: AccessCounters::new() }
+        AlgebraEvaluator {
+            corpus,
+            index,
+            registry,
+            counters: AccessCounters::new(),
+        }
     }
 
     /// Counters accumulated across evaluations.
@@ -62,7 +67,12 @@ impl<'a> AlgebraEvaluator<'a> {
                 let right = self.eval_unchecked(b);
                 left.join(&right)
             }
-            AlgExpr::Select { input, pred, cols, consts } => {
+            AlgExpr::Select {
+                input,
+                pred,
+                cols,
+                consts,
+            } => {
                 let rel = self.eval_unchecked(input);
                 rel.select(self.registry.get(*pred), cols, consts)
             }

@@ -53,7 +53,12 @@ impl AlgExpr {
                 Ok(cols.len())
             }
             AlgExpr::Join(l, r) => Ok(l.arity(registry)? + r.arity(registry)?),
-            AlgExpr::Select { input, pred, cols, consts } => {
+            AlgExpr::Select {
+                input,
+                pred,
+                cols,
+                consts,
+            } => {
                 let a = input.arity(registry)?;
                 for &c in cols {
                     if c >= a {
@@ -84,7 +89,11 @@ impl AlgExpr {
                         AlgExpr::Intersect(..) => "intersect",
                         _ => "difference",
                     };
-                    return Err(AlgebraError::ArityMismatch { op, left: la, right: ra });
+                    return Err(AlgebraError::ArityMismatch {
+                        op,
+                        left: la,
+                        right: ra,
+                    });
                 }
                 Ok(la)
             }
@@ -126,7 +135,12 @@ impl AlgExpr {
                 a.render_into(registry, depth + 1, out);
                 b.render_into(registry, depth + 1, out);
             }
-            AlgExpr::Select { input, pred, cols, consts } => {
+            AlgExpr::Select {
+                input,
+                pred,
+                cols,
+                consts,
+            } => {
                 let name = registry.get(*pred).name();
                 writeln!(out, "{pad}select {name}({cols:?}, {consts:?})").unwrap();
                 input.render_into(registry, depth + 1, out);
@@ -158,7 +172,12 @@ impl fmt::Debug for AlgExpr {
             AlgExpr::TokenRel(t) => write!(f, "R_{t}"),
             AlgExpr::Project(e, cols) => write!(f, "π{cols:?}({e:?})"),
             AlgExpr::Join(a, b) => write!(f, "({a:?} ⋈ {b:?})"),
-            AlgExpr::Select { input, pred, cols, consts } => {
+            AlgExpr::Select {
+                input,
+                pred,
+                cols,
+                consts,
+            } => {
                 write!(f, "σ{pred:?}{cols:?}{consts:?}({input:?})")
             }
             AlgExpr::Union(a, b) => write!(f, "({a:?} ∪ {b:?})"),
@@ -236,14 +255,20 @@ mod tests {
     fn arity_checks_catch_bad_projections() {
         let reg = PredicateRegistry::with_builtins();
         let e = project(token("a"), &[2]);
-        assert_eq!(e.arity(&reg), Err(AlgebraError::ColumnOutOfRange { col: 2, arity: 1 }));
+        assert_eq!(
+            e.arity(&reg),
+            Err(AlgebraError::ColumnOutOfRange { col: 2, arity: 1 })
+        );
     }
 
     #[test]
     fn arity_checks_catch_set_op_mismatch() {
         let reg = PredicateRegistry::with_builtins();
         let e = union(token("a"), join(token("a"), token("b")));
-        assert!(matches!(e.arity(&reg), Err(AlgebraError::ArityMismatch { .. })));
+        assert!(matches!(
+            e.arity(&reg),
+            Err(AlgebraError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -251,7 +276,10 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let distance = reg.lookup("distance").unwrap();
         let bad = select(join(token("a"), token("b")), distance, &[0], &[5]);
-        assert!(matches!(bad.arity(&reg), Err(AlgebraError::BadPredicateApplication(_))));
+        assert!(matches!(
+            bad.arity(&reg),
+            Err(AlgebraError::BadPredicateApplication(_))
+        ));
         let good = select(join(token("a"), token("b")), distance, &[0, 1], &[5]);
         assert_eq!(good.arity(&reg), Ok(2));
     }

@@ -40,7 +40,11 @@ pub fn query_to_algebra(
         .map_err(|e| AlgebraError::BadPredicateApplication(e.to_string()))?;
     let expr = uniquify(&query.expr);
     let t = translate(&expr, registry)?;
-    debug_assert!(t.vars.is_empty(), "closed query translated to arity {}", t.vars.len());
+    debug_assert!(
+        t.vars.is_empty(),
+        "closed query translated to arity {}",
+        t.vars.len()
+    );
     Ok(t.expr)
 }
 
@@ -51,10 +55,14 @@ pub fn translate(
     registry: &PredicateRegistry,
 ) -> Result<Translated, AlgebraError> {
     Ok(match expr {
-        QueryExpr::HasPos(v) => Translated { expr: AlgExpr::HasPos, vars: vec![*v] },
-        QueryExpr::HasToken(v, t) => {
-            Translated { expr: AlgExpr::TokenRel(t.clone()), vars: vec![*v] }
-        }
+        QueryExpr::HasPos(v) => Translated {
+            expr: AlgExpr::HasPos,
+            vars: vec![*v],
+        },
+        QueryExpr::HasToken(v, t) => Translated {
+            expr: AlgExpr::TokenRel(t.clone()),
+            vars: vec![*v],
+        },
         QueryExpr::Pred { pred, vars, consts } => {
             // σ_pred over a HasPos^k base covering the distinct variables.
             let mut unique: Vec<VarId> = vars.clone();
@@ -144,15 +152,16 @@ pub fn translate(
         QueryExpr::Exists(v, e) => {
             let inner = translate(e, registry)?;
             if let Some(idx) = inner.vars.iter().position(|u| u == v) {
-                let keep: Vec<usize> =
-                    (0..inner.vars.len()).filter(|&i| i != idx).collect();
+                let keep: Vec<usize> = (0..inner.vars.len()).filter(|&i| i != idx).collect();
                 let vars: Vec<VarId> = keep.iter().map(|&i| inner.vars[i]).collect();
-                Translated { expr: AlgExpr::Project(Box::new(inner.expr), keep), vars }
+                Translated {
+                    expr: AlgExpr::Project(Box::new(inner.expr), keep),
+                    vars,
+                }
             } else {
                 // ∃v over an expression not mentioning v: the node must be
                 // non-empty (have at least one position to bind v to).
-                let nonempty =
-                    AlgExpr::Project(Box::new(AlgExpr::HasPos), vec![]);
+                let nonempty = AlgExpr::Project(Box::new(AlgExpr::HasPos), vec![]);
                 Translated {
                     expr: AlgExpr::Join(Box::new(inner.expr), Box::new(nonempty)),
                     vars: inner.vars,
@@ -195,22 +204,36 @@ fn permute(expr: AlgExpr, from: &[VarId], to: &[VarId]) -> AlgExpr {
 
 /// The Lemma 2 conjunction construction.
 fn conjoin(left: Translated, right: Translated) -> Translated {
-    let shared: Vec<VarId> =
-        left.vars.iter().copied().filter(|v| right.vars.contains(v)).collect();
-    let u1: Vec<VarId> =
-        left.vars.iter().copied().filter(|v| !shared.contains(v)).collect();
-    let u2: Vec<VarId> =
-        right.vars.iter().copied().filter(|v| !shared.contains(v)).collect();
+    let shared: Vec<VarId> = left
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| right.vars.contains(v))
+        .collect();
+    let u1: Vec<VarId> = left
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| !shared.contains(v))
+        .collect();
+    let u2: Vec<VarId> = right
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| !shared.contains(v))
+        .collect();
     let mut all: Vec<VarId> = left.vars.iter().chain(right.vars.iter()).copied().collect();
     all.sort_unstable();
     all.dedup();
 
     if shared.is_empty() {
         // Plain cartesian join, then reorder to ascending variable ids.
-        let joined_vars: Vec<VarId> =
-            left.vars.iter().chain(right.vars.iter()).copied().collect();
+        let joined_vars: Vec<VarId> = left.vars.iter().chain(right.vars.iter()).copied().collect();
         let expr = AlgExpr::Join(Box::new(left.expr), Box::new(right.expr));
-        return Translated { expr: permute(expr, &joined_vars, &all), vars: all };
+        return Translated {
+            expr: permute(expr, &joined_vars, &all),
+            vars: all,
+        };
     }
 
     // term1 = E1 ⋈ π_{u2}(E2): columns v1 ++ u2
@@ -229,15 +252,26 @@ fn conjoin(left: Translated, right: Translated) -> Translated {
     );
     let term2 = permute(term2, &term2_vars, &all);
 
-    Translated { expr: AlgExpr::Intersect(Box::new(term1), Box::new(term2)), vars: all }
+    Translated {
+        expr: AlgExpr::Intersect(Box::new(term1), Box::new(term2)),
+        vars: all,
+    }
 }
 
 /// Disjunction with `HasPos` padding for one-sided variables.
 fn disjoin(left: Translated, right: Translated) -> Translated {
-    let u1: Vec<VarId> =
-        left.vars.iter().copied().filter(|v| !right.vars.contains(v)).collect();
-    let u2: Vec<VarId> =
-        right.vars.iter().copied().filter(|v| !left.vars.contains(v)).collect();
+    let u1: Vec<VarId> = left
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| !right.vars.contains(v))
+        .collect();
+    let u2: Vec<VarId> = right
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| !left.vars.contains(v))
+        .collect();
     let mut all: Vec<VarId> = left.vars.iter().chain(right.vars.iter()).copied().collect();
     all.sort_unstable();
     all.dedup();
@@ -246,19 +280,18 @@ fn disjoin(left: Translated, right: Translated) -> Translated {
         if missing.is_empty() {
             permute(t.expr, &t.vars, &all)
         } else {
-            let padded_vars: Vec<VarId> =
-                t.vars.iter().chain(missing.iter()).copied().collect();
-            let expr = AlgExpr::Join(
-                Box::new(t.expr),
-                Box::new(has_pos_power(missing.len())),
-            );
+            let padded_vars: Vec<VarId> = t.vars.iter().chain(missing.iter()).copied().collect();
+            let expr = AlgExpr::Join(Box::new(t.expr), Box::new(has_pos_power(missing.len())));
             permute(expr, &padded_vars, &all)
         }
     };
 
     let l = pad(left, &u2);
     let r = pad(right, &u1);
-    Translated { expr: AlgExpr::Union(Box::new(l), Box::new(r)), vars: all }
+    Translated {
+        expr: AlgExpr::Union(Box::new(l), Box::new(r)),
+        vars: all,
+    }
 }
 
 #[cfg(test)]
@@ -312,7 +345,10 @@ mod tests {
             1,
             and(
                 has_token(1, "test"),
-                exists(2, and(has_token(2, "usability"), pred(distance, &[1, 2], &[5]))),
+                exists(
+                    2,
+                    and(has_token(2, "usability"), pred(distance, &[1, 2], &[5])),
+                ),
             ),
         ));
     }
@@ -322,7 +358,10 @@ mod tests {
         // ∃p (hasToken(p,'test') ∧ hasToken(p,'test')) — same var twice.
         check_equivalent(exists(1, and(has_token(1, "test"), has_token(1, "test"))));
         // Contradictory: a position holding two different tokens.
-        check_equivalent(exists(1, and(has_token(1, "test"), has_token(1, "usability"))));
+        check_equivalent(exists(
+            1,
+            and(has_token(1, "test"), has_token(1, "usability")),
+        ));
     }
 
     #[test]
@@ -330,7 +369,10 @@ mod tests {
         check_equivalent(or(contains(1, "test"), contains(2, "usability")));
         check_equivalent(exists(
             1,
-            or(has_token(1, "test"), and(has_token(1, "usability"), contains(2, "driven"))),
+            or(
+                has_token(1, "test"),
+                and(has_token(1, "usability"), contains(2, "driven")),
+            ),
         ));
     }
 
@@ -370,6 +412,9 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let distance = reg.lookup("distance").unwrap();
         // distance(p,p,0) is trivially true wherever p is bound.
-        check_equivalent(exists(1, and(has_token(1, "test"), pred(distance, &[1, 1], &[0]))));
+        check_equivalent(exists(
+            1,
+            and(has_token(1, "test"), pred(distance, &[1, 1], &[0])),
+        ));
     }
 }

@@ -19,7 +19,11 @@ pub struct FtRelation {
 impl FtRelation {
     /// An empty relation with `arity` position attributes.
     pub fn new(arity: usize) -> Self {
-        FtRelation { arity, nodes: Vec::new(), positions: Vec::new() }
+        FtRelation {
+            arity,
+            nodes: Vec::new(),
+            positions: Vec::new(),
+        }
     }
 
     /// Number of position attributes (`m`).
@@ -47,7 +51,10 @@ impl FtRelation {
 
     /// The `i`-th tuple.
     pub fn tuple(&self, i: usize) -> (NodeId, &[Position]) {
-        (self.nodes[i], &self.positions[i * self.arity..(i + 1) * self.arity])
+        (
+            self.nodes[i],
+            &self.positions[i * self.arity..(i + 1) * self.arity],
+        )
     }
 
     /// Iterate all tuples.
@@ -58,11 +65,8 @@ impl FtRelation {
     fn row_cmp(&self, i: usize, j: usize) -> Ordering {
         let (ni, pi) = self.tuple(i);
         let (nj, pj) = self.tuple(j);
-        ni.cmp(&nj).then_with(|| {
-            pi.iter()
-                .map(|p| p.offset)
-                .cmp(pj.iter().map(|p| p.offset))
-        })
+        ni.cmp(&nj)
+            .then_with(|| pi.iter().map(|p| p.offset).cmp(pj.iter().map(|p| p.offset)))
     }
 
     /// Sort rows by `(node, positions)` and remove duplicates.
@@ -246,8 +250,10 @@ mod tests {
         let b = rel(&[(1, &[7]), (1, &[8]), (3, &[9])]);
         let j = a.join(&b);
         assert_eq!(j.arity(), 2);
-        let rows: Vec<(u32, u32, u32)> =
-            j.iter().map(|(n, ps)| (n.0, ps[0].offset, ps[1].offset)).collect();
+        let rows: Vec<(u32, u32, u32)> = j
+            .iter()
+            .map(|(n, ps)| (n.0, ps[0].offset, ps[1].offset))
+            .collect();
         assert_eq!(rows, vec![(1, 10, 7), (1, 10, 8), (1, 20, 7), (1, 20, 8)]);
     }
 
@@ -268,8 +274,10 @@ mod tests {
     fn project_permutes_and_dedups() {
         let a = rel(&[(1, &[10, 7]), (1, &[10, 8])]);
         let swapped = a.project(&[1, 0]);
-        let rows: Vec<(u32, u32)> =
-            swapped.iter().map(|(_, ps)| (ps[0].offset, ps[1].offset)).collect();
+        let rows: Vec<(u32, u32)> = swapped
+            .iter()
+            .map(|(_, ps)| (ps[0].offset, ps[1].offset))
+            .collect();
         assert_eq!(rows, vec![(7, 10), (8, 10)]);
         let first_only = a.project(&[0]);
         assert_eq!(first_only.len(), 1);

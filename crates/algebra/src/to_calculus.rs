@@ -81,7 +81,12 @@ pub fn to_calculus(
                 Box::new(to_calculus(b, vb, fresh, registry)?),
             )
         }
-        AlgExpr::Select { input, pred, cols, consts } => {
+        AlgExpr::Select {
+            input,
+            pred,
+            cols,
+            consts,
+        } => {
             let body = to_calculus(input, vars, fresh, registry)?;
             let pred_vars: Vec<VarId> = cols.iter().map(|&c| vars[c]).collect();
             QueryExpr::And(
@@ -103,7 +108,9 @@ pub fn to_calculus(
         ),
         AlgExpr::Difference(a, b) => QueryExpr::And(
             Box::new(to_calculus(a, vars, fresh, registry)?),
-            Box::new(QueryExpr::Not(Box::new(to_calculus(b, vars, fresh, registry)?))),
+            Box::new(QueryExpr::Not(Box::new(to_calculus(
+                b, vars, fresh, registry,
+            )?))),
         ),
     })
 }

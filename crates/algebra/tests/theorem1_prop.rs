@@ -58,16 +58,15 @@ fn arb_calc(depth: u32, scope: Vec<VarId>) -> BoxedStrategy<QueryExpr> {
     } else {
         let scope1 = scope.clone();
         let scope2 = scope.clone();
-        let pred_strategy = (arb_pred(), 0..scope.len(), 0..scope.len()).prop_map(
-            move |((name, consts), i, j)| {
+        let pred_strategy =
+            (arb_pred(), 0..scope.len(), 0..scope.len()).prop_map(move |((name, consts), i, j)| {
                 let id: PredicateId = reg.lookup(&name).unwrap();
                 QueryExpr::Pred {
                     pred: id,
                     vars: vec![scope2[i], scope2[j]],
                     consts,
                 }
-            },
-        );
+            });
         Some(
             prop_oneof![
                 (0..scope.len(), 0..TOKENS.len()).prop_map(move |(vi, ti)| {
@@ -103,7 +102,9 @@ fn arb_calc(depth: u32, scope: Vec<VarId>) -> BoxedStrategy<QueryExpr> {
         (sub.clone(), sub.clone())
             .prop_map(|(a, b)| QueryExpr::Or(Box::new(a), Box::new(b)))
             .boxed(),
-        sub.clone().prop_map(|a| QueryExpr::Not(Box::new(a))).boxed(),
+        sub.clone()
+            .prop_map(|a| QueryExpr::Not(Box::new(a)))
+            .boxed(),
         sub_q
             .clone()
             .prop_map(move |a| QueryExpr::Exists(fresh, Box::new(a)))

@@ -1,14 +1,18 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //!
 //! * aggressive vs. conservative positive-predicate skip bounds;
-//! * NPRED partial orders vs. full permutations vs. parallel threads.
+//! * NPRED partial orders vs. full permutations vs. parallel threads;
+//! * decoded columnar lists vs. block-compressed lists with skip headers;
+//! * sequential vs. sharded-parallel index construction.
 
 mod common;
 
 use common::{bench_env, criterion};
 use criterion::criterion_main;
 use ftsl_bench::{series_query, Series};
+use ftsl_exec::build::IndexLayout;
 use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+use ftsl_index::IndexBuilder;
 use ftsl_predicates::AdvanceMode;
 use std::hint::black_box;
 
@@ -21,7 +25,10 @@ fn bench(c: &mut criterion::Criterion) {
         ("ppred_aggressive_skip", AdvanceMode::Aggressive),
         ("ppred_conservative_skip", AdvanceMode::Conservative),
     ] {
-        let options = ExecOptions { advance_mode: mode, ..Default::default() };
+        let options = ExecOptions {
+            advance_mode: mode,
+            ..Default::default()
+        };
         let exec = Executor::with_options(&env.corpus, &env.index, &env.registry, options);
         let query = ppred_query.clone();
         group.bench_function(label, move |b| {
@@ -58,6 +65,51 @@ fn bench(c: &mut criterion::Criterion) {
                         .len(),
                 )
             })
+        });
+    }
+
+    // Physical layout: identical PPRED plans over decoded vs compressed
+    // leaves.
+    let layout_query = series_query(Series::PpredPos, &env, 3, 2);
+    for (label, layout) in [
+        ("ppred_layout_decoded", IndexLayout::Decoded),
+        ("ppred_layout_blocks", IndexLayout::Blocks),
+    ] {
+        let options = ExecOptions {
+            layout,
+            ..Default::default()
+        };
+        let exec = Executor::with_options(&env.corpus, &env.index, &env.registry, options);
+        let query = layout_query.clone();
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                black_box(
+                    exec.run_surface(&query, EngineKind::Ppred)
+                        .expect("runs")
+                        .nodes
+                        .len(),
+                )
+            })
+        });
+    }
+
+    // Index construction: sequential vs sharded-parallel build.
+    for (label, threads) in [
+        ("index_build_1_thread", 1usize),
+        ("index_build_parallel", 0),
+    ] {
+        let corpus = &env.corpus;
+        group.bench_function(label, move |b| {
+            let builder = if threads == 0 {
+                IndexBuilder::new().threads(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                )
+            } else {
+                IndexBuilder::new().threads(threads)
+            };
+            b.iter(|| black_box(builder.build(corpus).stats().cnodes))
         });
     }
 

@@ -18,7 +18,10 @@ pub fn criterion() -> Criterion {
 /// Run one series point inside a Criterion closure.
 pub fn run_point(env: &BenchEnv, series: Series, toks: usize, preds: usize) -> usize {
     let query = series_query(series, env, toks, preds);
-    let options = ExecOptions { npred_full_permutations: true, ..Default::default() };
+    let options = ExecOptions {
+        npred_full_permutations: true,
+        ..Default::default()
+    };
     let exec = Executor::with_options(&env.corpus, &env.index, &env.registry, options);
     exec.run_surface(&query, series.engine())
         .expect("series query runs")

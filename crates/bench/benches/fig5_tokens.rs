@@ -12,11 +12,9 @@ fn bench(c: &mut criterion::Criterion) {
     let mut group = c.benchmark_group("fig5_tokens");
     for toks in 1..=5usize {
         for series in Series::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(series.label(), toks),
-                &toks,
-                |b, &toks| b.iter(|| black_box(run_point(&env, series, toks, 2))),
-            );
+            group.bench_with_input(BenchmarkId::new(series.label(), toks), &toks, |b, &toks| {
+                b.iter(|| black_box(run_point(&env, series, toks, 2)))
+            });
         }
     }
     group.finish();

@@ -12,13 +12,14 @@ use std::hint::black_box;
 fn bench(c: &mut criterion::Criterion) {
     let mut group = c.benchmark_group("fig7_cnodes");
     for cnodes in [250usize, 600, 1000] {
-        let env = build_env(EnvSpec { cnodes, ..EnvSpec::small() });
+        let env = build_env(EnvSpec {
+            cnodes,
+            ..EnvSpec::small()
+        });
         for series in Series::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(series.label(), cnodes),
-                &cnodes,
-                |b, _| b.iter(|| black_box(run_point(&env, series, 3, 2))),
-            );
+            group.bench_with_input(BenchmarkId::new(series.label(), cnodes), &cnodes, |b, _| {
+                b.iter(|| black_box(run_point(&env, series, 3, 2)))
+            });
         }
     }
     group.finish();

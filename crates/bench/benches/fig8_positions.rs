@@ -11,13 +11,14 @@ use std::hint::black_box;
 fn bench(c: &mut criterion::Criterion) {
     let mut group = c.benchmark_group("fig8_positions");
     for occ in [2usize, 6, 18] {
-        let env = build_env(EnvSpec { occurrences: occ, ..EnvSpec::small() });
+        let env = build_env(EnvSpec {
+            occurrences: occ,
+            ..EnvSpec::small()
+        });
         for series in Series::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(series.label(), occ),
-                &occ,
-                |b, _| b.iter(|| black_box(run_point(&env, series, 3, 2))),
-            );
+            group.bench_with_input(BenchmarkId::new(series.label(), occ), &occ, |b, _| {
+                b.iter(|| black_box(run_point(&env, series, 3, 2)))
+            });
         }
     }
     group.finish();

@@ -1,15 +1,112 @@
 //! Micro-benchmarks of the streaming substrate: inverted-list cursor scans,
-//! joins, and positive-predicate selections.
+//! joins, positive-predicate selections, and the block-compressed + seek
+//! layout against the seed's sequential decoded layout.
 
 mod common;
 
 use common::{bench_env, criterion};
 use criterion::criterion_main;
-use ftsl_exec::cursor::{FtCursor, ScanCursor};
+use ftsl_corpus::SynthConfig;
+use ftsl_exec::bool_eval::{intersect_seek, intersect_sorted};
+use ftsl_exec::cursor::{BlockScanCursor, FtCursor, ScanCursor};
 use ftsl_exec::join::JoinCursor;
 use ftsl_exec::select::SelectCursor;
+use ftsl_index::{IndexBuilder, InvertedIndex};
+use ftsl_model::Corpus;
 use ftsl_predicates::AdvanceMode;
 use std::hint::black_box;
+
+/// One rare and one common planted token over a Zipf background: the skewed
+/// regime where seek-driven conjunction beats lock-step scanning.
+fn skewed_env() -> (Corpus, InvertedIndex) {
+    let config = SynthConfig {
+        cnodes: 4000,
+        vocabulary: 2000,
+        tokens_per_doc: 80,
+        ..SynthConfig::default()
+    }
+    .plant("rare", 0.005, 2)
+    .plant("common", 0.7, 3);
+    let corpus = config.build();
+    let index = IndexBuilder::new().build(&corpus);
+    (corpus, index)
+}
+
+fn bench_skewed(c: &mut criterion::Criterion) {
+    let (corpus, index) = skewed_env();
+    let rare = corpus.token_id("rare").expect("planted");
+    let common = corpus.token_id("common").expect("planted");
+    let mut group = c.benchmark_group("micro_cursors_skewed");
+
+    // Seed layout / seed strategy: decode both lists, lock-step merge.
+    group.bench_function("intersect_lockstep_merge", |b| {
+        b.iter(|| {
+            black_box(intersect_sorted(
+                index.list(rare).node_ids(),
+                index.list(common).node_ids(),
+            ))
+        })
+    });
+
+    // Seek strategy on the decoded layout: gallop the common list.
+    group.bench_function("intersect_seek_rarest", |b| {
+        b.iter(|| black_box(intersect_seek(&[index.list(rare), index.list(common)])))
+    });
+
+    // Streaming joins, decoded vs block-compressed leaves.
+    group.bench_function("join_rare_common_decoded", |b| {
+        b.iter(|| {
+            let mut join = JoinCursor::new(
+                Box::new(ScanCursor::new(index.list(rare))),
+                Box::new(ScanCursor::new(index.list(common))),
+            );
+            let mut n = 0usize;
+            while join.advance_node().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("join_rare_common_blocks", |b| {
+        b.iter(|| {
+            let mut join = JoinCursor::new(
+                Box::new(BlockScanCursor::new(index.block_list(rare))),
+                Box::new(BlockScanCursor::new(index.block_list(common))),
+            );
+            let mut n = 0usize;
+            while join.advance_node().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    // Full-list decode throughput: flat slices vs varint blocks.
+    group.bench_function("scan_common_decoded", |b| {
+        b.iter(|| {
+            let mut scan = ScanCursor::new(index.list(common));
+            let mut n = 0usize;
+            while scan.advance_node().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("scan_common_blocks", |b| {
+        b.iter(|| {
+            let mut scan = BlockScanCursor::new(index.block_list(common));
+            let mut n = 0usize;
+            while scan.advance_node().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    group.finish();
+}
 
 fn bench(c: &mut criterion::Criterion) {
     let env = bench_env();
@@ -43,7 +140,9 @@ fn bench(c: &mut criterion::Criterion) {
     });
 
     group.bench_function("distance_selection", |b| {
-        let pred = env.registry.get_shared(env.registry.lookup("distance").unwrap());
+        let pred = env
+            .registry
+            .get_shared(env.registry.lookup("distance").unwrap());
         b.iter(|| {
             let join = JoinCursor::new(
                 Box::new(ScanCursor::new(env.index.list(q0))),
@@ -70,6 +169,7 @@ fn bench(c: &mut criterion::Criterion) {
 fn benches() {
     let mut c = criterion();
     bench(&mut c);
+    bench_skewed(&mut c);
 }
 
 criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Index-construction scaling probe: wall time of sequential vs sharded
+//! builds over an INEX-like corpus, at a few corpus sizes.
+//!
+//! ```text
+//! cargo run --release -p ftsl-bench --bin build-scaling
+//! ```
+
+use ftsl_corpus::SynthConfig;
+use ftsl_index::IndexBuilder;
+use std::time::Instant;
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("cores: {cores}");
+    for cnodes in [1_000usize, 4_000, 12_000] {
+        let corpus = SynthConfig::inex_like(cnodes).build();
+        let mut line = format!("cnodes {cnodes:>6}:");
+        for threads in [1, cores] {
+            let builder = IndexBuilder::new().threads(threads);
+            // Warm once, then take the best of 3 to damp scheduler noise.
+            let _ = builder.build(&corpus);
+            let best = (0..3)
+                .map(|_| {
+                    let start = Instant::now();
+                    let index = builder.build(&corpus);
+                    let elapsed = start.elapsed();
+                    assert_eq!(index.stats().cnodes, cnodes);
+                    elapsed
+                })
+                .min()
+                .expect("three runs");
+            line.push_str(&format!("  {threads:>2} thread(s) {:>8.1?}", best));
+        }
+        println!("{line}");
+    }
+}

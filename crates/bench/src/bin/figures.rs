@@ -14,9 +14,7 @@
 //! NPRED-NEG, COMP-POS, COMP-NEG). COMP points whose estimated
 //! materialization exceeds the tuple budget print as `(skip)`.
 
-use ftsl_bench::{
-    build_env, fmt_duration, measure, BenchEnv, EnvSpec, Series,
-};
+use ftsl_bench::{build_env, fmt_duration, measure, BenchEnv, EnvSpec, Series};
 use std::time::Instant;
 
 struct Args {
@@ -33,12 +31,7 @@ fn parse_args() -> Args {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next().unwrap_or_else(|| "medium".into()),
-            "--reps" => {
-                reps = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(3)
-            }
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(3),
             "all" => figures.extend(["fig3", "fig5", "fig6", "fig7", "fig8"].map(String::from)),
             f if f.starts_with("fig") => figures.push(f.to_string()),
             other => {
@@ -50,7 +43,11 @@ fn parse_args() -> Args {
     if figures.is_empty() {
         figures.extend(["fig3", "fig5", "fig6", "fig7", "fig8"].map(String::from));
     }
-    Args { figures, scale, reps }
+    Args {
+        figures,
+        scale,
+        reps,
+    }
 }
 
 fn spec_for(scale: &str) -> EnvSpec {
@@ -64,7 +61,10 @@ fn spec_for(scale: &str) -> EnvSpec {
 fn main() {
     let args = parse_args();
     let base = spec_for(&args.scale);
-    println!("# FTSL figure regeneration (scale={}, reps={})", args.scale, args.reps);
+    println!(
+        "# FTSL figure regeneration (scale={}, reps={})",
+        args.scale, args.reps
+    );
     println!(
         "# base corpus: cnodes={} occurrences/entry={} doc_fraction={}",
         base.cnodes, base.occurrences, base.doc_fraction
@@ -107,7 +107,10 @@ fn fig5(base: EnvSpec, reps: usize) {
     let start = Instant::now();
     let env = build_env(base);
     eprintln!("[fig5] corpus built in {:?}", start.elapsed());
-    header("Figure 5 — evaluation time vs. query tokens (preds_Q = 2)", "toks_Q");
+    header(
+        "Figure 5 — evaluation time vs. query tokens (preds_Q = 2)",
+        "toks_Q",
+    );
     for toks in 1..=5 {
         row(&env, toks, toks, 2, reps);
     }
@@ -116,7 +119,10 @@ fn fig5(base: EnvSpec, reps: usize) {
 /// Figure 6: varying the number of predicates (0-4, toks_Q = 3).
 fn fig6(base: EnvSpec, reps: usize) {
     let env = build_env(base);
-    header("Figure 6 — evaluation time vs. predicates (toks_Q = 3)", "preds_Q");
+    header(
+        "Figure 6 — evaluation time vs. predicates (toks_Q = 3)",
+        "preds_Q",
+    );
     for preds in 0..=4 {
         row(&env, preds, 3, preds, reps);
     }
@@ -138,14 +144,20 @@ fn fig7(base: EnvSpec, reps: usize) {
 /// Figure 8: varying positions per inverted-list entry (5 / 25 / 125 at
 /// paper scale; proportional at other scales).
 fn fig8(base: EnvSpec, reps: usize) {
-    header("Figure 8 — evaluation time vs. positions per entry", "pos/entry");
+    header(
+        "Figure 8 — evaluation time vs. positions per entry",
+        "pos/entry",
+    );
     let occurrences = [
         (base.occurrences / 5).max(1),
         base.occurrences,
         base.occurrences * 5,
     ];
     for occ in occurrences {
-        let env = build_env(EnvSpec { occurrences: occ, ..base });
+        let env = build_env(EnvSpec {
+            occurrences: occ,
+            ..base
+        });
         row(&env, occ, 3, 2, reps);
     }
 }

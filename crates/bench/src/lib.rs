@@ -59,17 +59,32 @@ pub struct EnvSpec {
 impl EnvSpec {
     /// Small criterion-friendly default.
     pub fn small() -> Self {
-        EnvSpec { cnodes: 400, occurrences: 6, doc_fraction: 0.4, tokens_per_doc: 150 }
+        EnvSpec {
+            cnodes: 400,
+            occurrences: 6,
+            doc_fraction: 0.4,
+            tokens_per_doc: 150,
+        }
     }
 
     /// The figures-binary default (scaled-down INEX-like).
     pub fn medium() -> Self {
-        EnvSpec { cnodes: 1500, occurrences: 10, doc_fraction: 0.4, tokens_per_doc: 250 }
+        EnvSpec {
+            cnodes: 1500,
+            occurrences: 10,
+            doc_fraction: 0.4,
+            tokens_per_doc: 250,
+        }
     }
 
     /// Paper-scale (Section 6's defaults: 6 000 nodes, 25 positions/entry).
     pub fn full() -> Self {
-        EnvSpec { cnodes: 6000, occurrences: 25, doc_fraction: 0.4, tokens_per_doc: 400 }
+        EnvSpec {
+            cnodes: 6000,
+            occurrences: 25,
+            doc_fraction: 0.4,
+            tokens_per_doc: 400,
+        }
     }
 }
 
@@ -247,7 +262,9 @@ pub fn measure(
     let mut last = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        let out = exec.run_surface(&query, series.engine()).expect("series query runs");
+        let out = exec
+            .run_surface(&query, series.engine())
+            .expect("series query runs");
         times.push(start.elapsed());
         last = Some(out);
     }
@@ -282,7 +299,12 @@ mod tests {
 
     #[test]
     fn env_builds_and_all_series_run() {
-        let env = build_env(EnvSpec { cnodes: 60, occurrences: 3, doc_fraction: 0.5, tokens_per_doc: 40 });
+        let env = build_env(EnvSpec {
+            cnodes: 60,
+            occurrences: 3,
+            doc_fraction: 0.5,
+            tokens_per_doc: 40,
+        });
         for series in Series::ALL {
             let m = measure(&env, series, 2, 1, 1);
             assert!(!m.skipped, "{} skipped", series.label());
@@ -296,7 +318,12 @@ mod tests {
 
     #[test]
     fn comp_budget_skips_oversized_runs() {
-        let env = build_env(EnvSpec { cnodes: 60, occurrences: 3, doc_fraction: 0.5, tokens_per_doc: 40 });
+        let env = build_env(EnvSpec {
+            cnodes: 60,
+            occurrences: 3,
+            doc_fraction: 0.5,
+            tokens_per_doc: 40,
+        });
         // A fake budget estimate: 5 tokens at occurrence 3 stays small, so
         // nothing skips at this scale.
         assert!(estimate_comp_tuples(&env, 3) < COMP_TUPLE_BUDGET);
@@ -306,7 +333,12 @@ mod tests {
 
     #[test]
     fn series_queries_match_their_classes() {
-        let env = build_env(EnvSpec { cnodes: 30, occurrences: 2, doc_fraction: 0.5, tokens_per_doc: 30 });
+        let env = build_env(EnvSpec {
+            cnodes: 30,
+            occurrences: 2,
+            doc_fraction: 0.5,
+            tokens_per_doc: 30,
+        });
         use ftsl_lang::{classify, LanguageClass};
         let q = series_query(Series::PpredPos, &env, 3, 2);
         assert_eq!(classify(&q, &env.registry), LanguageClass::Ppred);

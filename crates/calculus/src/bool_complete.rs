@@ -85,7 +85,10 @@ fn fresh(next_var: &mut u32) -> crate::ast::VarId {
 fn false_query(alphabet: &[String]) -> BoolQuery {
     let all = or_all(alphabet.iter().cloned().map(BoolQuery::Token).collect());
     match all {
-        Some(union) => BoolQuery::And(Box::new(BoolQuery::Any), Box::new(BoolQuery::Not(Box::new(union)))),
+        Some(union) => BoolQuery::And(
+            Box::new(BoolQuery::Any),
+            Box::new(BoolQuery::Not(Box::new(union))),
+        ),
         None => BoolQuery::And(
             Box::new(BoolQuery::Any),
             Box::new(BoolQuery::Not(Box::new(BoolQuery::Any))),
@@ -175,7 +178,12 @@ mod tests {
         let back = bool_q.to_calculus(&mut next);
         let lhs = interp.eval_query(&CalcQuery::new(expr.clone()));
         let rhs = interp.eval_query(&CalcQuery::new(back));
-        assert_eq!(lhs, rhs, "BOOL translation diverged for {expr:?} => {}", bool_q.render());
+        assert_eq!(
+            lhs,
+            rhs,
+            "BOOL translation diverged for {expr:?} => {}",
+            bool_q.render()
+        );
     }
 
     fn corpus() -> Corpus {
@@ -222,7 +230,10 @@ mod tests {
         let q = to_bool(&prop, &alphabet());
         let mut next = 0;
         let back = q.to_calculus(&mut next);
-        assert_eq!(interp.eval_query(&CalcQuery::new(back)), Vec::<NodeId>::new());
+        assert_eq!(
+            interp.eval_query(&CalcQuery::new(back)),
+            Vec::<NodeId>::new()
+        );
     }
 
     #[test]

@@ -118,11 +118,11 @@ mod tests {
 
     fn setup() -> (Corpus, PredicateRegistry) {
         let corpus = Corpus::from_texts(&[
-            "test driven usability",          // n0
-            "usability test",                 // n1
-            "test test something",            // n2
-            "nothing relevant here",          // n3
-            "",                               // n4 (empty node)
+            "test driven usability", // n0
+            "usability test",        // n1
+            "test test something",   // n2
+            "nothing relevant here", // n3
+            "",                      // n4 (empty node)
         ]);
         (corpus, PredicateRegistry::with_builtins())
     }
@@ -220,8 +220,8 @@ mod tests {
     fn incompleteness_witness_of_theorem_3() {
         // ∃p (hasPos ∧ ¬hasToken(p, t1)): "contains a token that is not t1".
         let mut corpus = Corpus::new();
-        corpus.add_text("t1");      // CN1: only t1 — should NOT match
-        corpus.add_text("t1 t2");   // CN2: t1 and t2 — should match
+        corpus.add_text("t1"); // CN1: only t1 — should NOT match
+        corpus.add_text("t1 t2"); // CN2: t1 and t2 — should match
         let reg = PredicateRegistry::with_builtins();
         let interp = Interpreter::new(&corpus, &reg);
         let q = CalcQuery::new(exists(1, not(has_token(1, "t1"))));

@@ -260,7 +260,11 @@ fn eliminate_exists(v: VarId, body: NExpr) -> NExpr {
                     }
                 }
                 other => {
-                    others.push(if sign { other } else { NExpr::Not(Box::new(other)) });
+                    others.push(if sign {
+                        other
+                    } else {
+                        NExpr::Not(Box::new(other))
+                    });
                 }
             }
         }
@@ -354,9 +358,7 @@ fn to_prop(n: &NExpr) -> Result<Prop, NormalizeError> {
         NExpr::Not(e) => Prop::Not(Box::new(to_prop(e)?)),
         NExpr::And(a, b) => Prop::And(Box::new(to_prop(a)?), Box::new(to_prop(b)?)),
         NExpr::Or(a, b) => Prop::Or(Box::new(to_prop(a)?), Box::new(to_prop(b)?)),
-        NExpr::TokLit(v, _) | NExpr::PosLit(v) => {
-            return Err(NormalizeError::FreeVariable(v.0))
-        }
+        NExpr::TokLit(v, _) | NExpr::PosLit(v) => return Err(NormalizeError::FreeVariable(v.0)),
         NExpr::Exists(..) => unreachable!("quantifiers eliminated before to_prop"),
     })
 }

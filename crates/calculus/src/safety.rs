@@ -43,11 +43,25 @@ impl fmt::Display for SafetyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SafetyError::FreeVariables(vs) => write!(f, "free position variables: {vs:?}"),
-            SafetyError::PredicateArity { name, expected, got } => {
-                write!(f, "predicate {name} expects {expected} positions, got {got}")
+            SafetyError::PredicateArity {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "predicate {name} expects {expected} positions, got {got}"
+                )
             }
-            SafetyError::PredicateConsts { name, expected, got } => {
-                write!(f, "predicate {name} expects {expected} constants, got {got}")
+            SafetyError::PredicateConsts {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "predicate {name} expects {expected} constants, got {got}"
+                )
             }
             SafetyError::UnknownPredicate(id) => write!(f, "unknown predicate id {id}"),
             SafetyError::EmptyToken => write!(f, "empty token literal"),
@@ -61,7 +75,9 @@ impl std::error::Error for SafetyError {}
 pub fn check_query(query: &CalcQuery, registry: &PredicateRegistry) -> Result<(), SafetyError> {
     let free = free_vars(&query.expr);
     if !free.is_empty() {
-        return Err(SafetyError::FreeVariables(free.into_iter().map(|v| v.0).collect()));
+        return Err(SafetyError::FreeVariables(
+            free.into_iter().map(|v| v.0).collect(),
+        ));
     }
     check_expr(&query.expr, registry)
 }
@@ -126,7 +142,10 @@ mod tests {
     fn free_variable_is_reported() {
         let reg = PredicateRegistry::with_builtins();
         let q = CalcQuery::new(has_token(3, "test"));
-        assert_eq!(check_query(&q, &reg), Err(SafetyError::FreeVariables(vec![3])));
+        assert_eq!(
+            check_query(&q, &reg),
+            Err(SafetyError::FreeVariables(vec![3]))
+        );
     }
 
     #[test]
@@ -136,7 +155,11 @@ mod tests {
         let q = CalcQuery::new(exists(1, pred(distance, &[1], &[5])));
         assert!(matches!(
             check_query(&q, &reg),
-            Err(SafetyError::PredicateArity { expected: 2, got: 1, .. })
+            Err(SafetyError::PredicateArity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -147,7 +170,11 @@ mod tests {
         let q = CalcQuery::new(exists(1, exists(2, pred(distance, &[1, 2], &[]))));
         assert!(matches!(
             check_query(&q, &reg),
-            Err(SafetyError::PredicateConsts { expected: 1, got: 0, .. })
+            Err(SafetyError::PredicateConsts {
+                expected: 1,
+                got: 0,
+                ..
+            })
         ));
     }
 
@@ -155,13 +182,19 @@ mod tests {
     fn unknown_predicate_is_reported() {
         let reg = PredicateRegistry::empty();
         let q = CalcQuery::new(exists(1, pred(PredicateId(42), &[1], &[])));
-        assert_eq!(check_query(&q, &reg), Err(SafetyError::UnknownPredicate(42)));
+        assert_eq!(
+            check_query(&q, &reg),
+            Err(SafetyError::UnknownPredicate(42))
+        );
     }
 
     #[test]
     fn empty_token_is_reported() {
         let reg = PredicateRegistry::with_builtins();
-        let q = CalcQuery::new(exists(1, QueryExpr::HasToken(crate::ast::VarId(1), String::new())));
+        let q = CalcQuery::new(exists(
+            1,
+            QueryExpr::HasToken(crate::ast::VarId(1), String::new()),
+        ));
         assert_eq!(check_query(&q, &reg), Err(SafetyError::EmptyToken));
     }
 }

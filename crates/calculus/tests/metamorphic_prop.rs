@@ -16,7 +16,12 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
         |docs| {
             let texts: Vec<String> = docs
                 .into_iter()
-                .map(|toks| toks.into_iter().map(|t| VOCAB[t]).collect::<Vec<_>>().join(" "))
+                .map(|toks| {
+                    toks.into_iter()
+                        .map(|t| VOCAB[t])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
                 .collect();
             Corpus::from_texts(&texts)
         },
@@ -56,7 +61,9 @@ fn arb_expr(depth: u32, scope: Vec<VarId>) -> BoxedStrategy<QueryExpr> {
         (sub.clone(), sub.clone())
             .prop_map(|(a, b)| QueryExpr::Or(Box::new(a), Box::new(b)))
             .boxed(),
-        sub.clone().prop_map(|a| QueryExpr::Not(Box::new(a))).boxed(),
+        sub.clone()
+            .prop_map(|a| QueryExpr::Not(Box::new(a)))
+            .boxed(),
         sub_q
             .clone()
             .prop_map(move |a| QueryExpr::Exists(fresh, Box::new(a)))

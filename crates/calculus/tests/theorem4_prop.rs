@@ -67,7 +67,9 @@ fn arb_expr(depth: u32, scope: Vec<VarId>) -> BoxedStrategy<QueryExpr> {
         (sub.clone(), sub.clone())
             .prop_map(|(a, b)| QueryExpr::Or(Box::new(a), Box::new(b)))
             .boxed(),
-        sub.clone().prop_map(|a| QueryExpr::Not(Box::new(a))).boxed(),
+        sub.clone()
+            .prop_map(|a| QueryExpr::Not(Box::new(a)))
+            .boxed(),
         sub_q
             .clone()
             .prop_map(move |a| QueryExpr::Exists(fresh, Box::new(a)))

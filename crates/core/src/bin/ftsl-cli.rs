@@ -63,7 +63,9 @@ fn main() {
     loop {
         eprint!("ftsl> ");
         line.clear();
-        let Ok(n) = stdin.lock().read_line(&mut line) else { break };
+        let Ok(n) = stdin.lock().read_line(&mut line) else {
+            break;
+        };
         if n == 0 {
             break;
         }
@@ -91,7 +93,10 @@ fn dispatch(
         return Ok(());
     }
     if input == ":help" {
-        writeln!(out, ":explain <q> | :rank <q> | :top <k> <q> | :stats | :quit")?;
+        writeln!(
+            out,
+            ":explain <q> | :rank <q> | :top <k> <q> | :stats | :quit"
+        )?;
         return Ok(());
     }
     if input == ":stats" {

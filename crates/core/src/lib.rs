@@ -183,7 +183,10 @@ impl Ftsl {
             }
         }
         .map_err(|e| FtslError::Internal(e.to_string()))?;
-        Ok(Ranked { hits: scored, model })
+        Ok(Ranked {
+            hits: scored,
+            model,
+        })
     }
 
     /// Ranked search truncated to the `k` best hits (the conclusion's
@@ -309,7 +312,9 @@ mod tests {
         let r = e.search_ranked("'usability'", RankModel::TfIdf).unwrap();
         assert_eq!(r.hits.len(), 2);
         assert!(r.hits[0].1 >= r.hits[1].1);
-        let r = e.search_ranked("'software' AND 'usability'", RankModel::Pra).unwrap();
+        let r = e
+            .search_ranked("'software' AND 'usability'", RankModel::Pra)
+            .unwrap();
         assert!(!r.hits.is_empty());
         for (_, s) in &r.hits {
             assert!((0.0..=1.0).contains(s));

@@ -37,7 +37,13 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// The paper's default query shape: 3 tokens, 2 predicates, positive.
     pub fn default_positive() -> Self {
-        QuerySpec { toks: 3, preds: 2, polarity: PredPolarity::Positive, distance: 20, seed: 99 }
+        QuerySpec {
+            toks: 3,
+            preds: 2,
+            polarity: PredPolarity::Positive,
+            distance: 20,
+            seed: 99,
+        }
     }
 
     /// Render the query over the given planted tokens as COMP text.
@@ -46,7 +52,11 @@ impl QuerySpec {
     /// With `preds = 0` and one token this degenerates to a BOOL query.
     pub fn render(&self, tokens: &[String]) -> String {
         assert!(self.toks >= 1);
-        assert!(tokens.len() >= self.toks, "need {} planted tokens", self.toks);
+        assert!(
+            tokens.len() >= self.toks,
+            "need {} planted tokens",
+            self.toks
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut body: Vec<String> = (0..self.toks)
             .map(|i| format!("p{i} HAS '{}'", tokens[i]))
@@ -114,11 +124,23 @@ mod tests {
         let tokens = planted_names(5);
         let reg = PredicateRegistry::with_builtins();
 
-        let pos = QuerySpec { toks: 3, preds: 2, polarity: PredPolarity::Positive, distance: 10, seed: 1 };
+        let pos = QuerySpec {
+            toks: 3,
+            preds: 2,
+            polarity: PredPolarity::Positive,
+            distance: 10,
+            seed: 1,
+        };
         let q = pos.parse(&tokens);
         assert_eq!(classify(&q, &reg), LanguageClass::Ppred);
 
-        let neg = QuerySpec { toks: 3, preds: 2, polarity: PredPolarity::Negative, distance: 10, seed: 1 };
+        let neg = QuerySpec {
+            toks: 3,
+            preds: 2,
+            polarity: PredPolarity::Negative,
+            distance: 10,
+            seed: 1,
+        };
         let q = neg.parse(&tokens);
         assert_eq!(classify(&q, &reg), LanguageClass::Npred);
     }
@@ -126,7 +148,13 @@ mod tests {
     #[test]
     fn zero_predicates_yield_pure_conjunctions() {
         let tokens = planted_names(4);
-        let spec = QuerySpec { toks: 4, preds: 0, polarity: PredPolarity::Positive, distance: 5, seed: 3 };
+        let spec = QuerySpec {
+            toks: 4,
+            preds: 0,
+            polarity: PredPolarity::Positive,
+            distance: 5,
+            seed: 3,
+        };
         let q = spec.render(&tokens);
         assert!(!q.contains("distance") && !q.contains("ordered"));
         let b = spec.render_bool(&tokens);
@@ -141,7 +169,13 @@ mod tests {
     #[test]
     fn predicates_chain_over_all_variables() {
         let tokens = planted_names(5);
-        let spec = QuerySpec { toks: 5, preds: 4, polarity: PredPolarity::Positive, distance: 9, seed: 8 };
+        let spec = QuerySpec {
+            toks: 5,
+            preds: 4,
+            polarity: PredPolarity::Positive,
+            distance: 9,
+            seed: 8,
+        };
         let q = spec.render(&tokens);
         for v in ["p0", "p1", "p2", "p3", "p4"] {
             assert!(q.contains(v), "missing {v} in {q}");
@@ -150,7 +184,13 @@ mod tests {
 
     #[test]
     fn token_count_must_be_satisfiable() {
-        let spec = QuerySpec { toks: 1, preds: 1, polarity: PredPolarity::Positive, distance: 4, seed: 0 };
+        let spec = QuerySpec {
+            toks: 1,
+            preds: 1,
+            polarity: PredPolarity::Positive,
+            distance: 4,
+            seed: 0,
+        };
         let tokens = planted_names(1);
         // Single-variable predicates degenerate to (p0, p0) but still parse.
         let q = spec.parse(&tokens);

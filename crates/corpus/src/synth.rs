@@ -64,7 +64,12 @@ impl Default for SynthConfig {
 impl SynthConfig {
     /// A small corpus for tests.
     pub fn small() -> Self {
-        SynthConfig { cnodes: 50, vocabulary: 200, tokens_per_doc: 40, ..Default::default() }
+        SynthConfig {
+            cnodes: 50,
+            vocabulary: 200,
+            tokens_per_doc: 40,
+            ..Default::default()
+        }
     }
 
     /// The INEX-2003-like preset used as the default experiment corpus: the
@@ -97,10 +102,14 @@ impl SynthConfig {
     pub fn build(&self) -> Corpus {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut corpus = Corpus::new();
-        let background: Vec<ftsl_model::TokenId> =
-            (0..self.vocabulary).map(|i| corpus.intern(&format!("t{i}"))).collect();
-        let planted_ids: Vec<ftsl_model::TokenId> =
-            self.planted.iter().map(|p| corpus.intern(&p.token)).collect();
+        let background: Vec<ftsl_model::TokenId> = (0..self.vocabulary)
+            .map(|i| corpus.intern(&format!("t{i}")))
+            .collect();
+        let planted_ids: Vec<ftsl_model::TokenId> = self
+            .planted
+            .iter()
+            .map(|p| corpus.intern(&p.token))
+            .collect();
         let zipf = Zipf::new(self.vocabulary, self.zipf_exponent);
 
         for doc_idx in 0..self.cnodes {
@@ -187,7 +196,11 @@ mod tests {
         let needle = corpus.token_id("needle").unwrap();
         let list = index.list(needle);
         // ~50% of 50 docs, 4 occurrences each.
-        assert!(list.num_entries() >= 15 && list.num_entries() <= 35, "{}", list.num_entries());
+        assert!(
+            list.num_entries() >= 15 && list.num_entries() <= 35,
+            "{}",
+            list.num_entries()
+        );
         for i in 0..list.num_entries() {
             assert_eq!(list.positions_of(i).len(), 4);
         }

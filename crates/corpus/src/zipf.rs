@@ -31,7 +31,9 @@ impl Zipf {
     /// Sample a rank.
     pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Number of ranks.
@@ -62,7 +64,11 @@ mod tests {
         assert!(counts[0] > counts[10]);
         assert!(counts[10] > counts[90]);
         // Rank 0 of Zipf(1) over 100 ranks carries ~19% of the mass.
-        assert!(counts[0] > 2_500 && counts[0] < 6_000, "rank0 = {}", counts[0]);
+        assert!(
+            counts[0] > 2_500 && counts[0] < 6_000,
+            "rank0 = {}",
+            counts[0]
+        );
     }
 
     #[test]

@@ -1,66 +1,100 @@
-//! The BOOL engine (Section 5.3): sort-merge over doc-id lists.
+//! The BOOL engine (Section 5.3): seek-driven intersection over doc-id
+//! lists, sort-merge for everything else.
 //!
 //! BOOL-NONEG queries touch only the query tokens' inverted-list entries;
 //! `NOT` and `ANY` additionally consult the node universe (the paper charges
 //! these against `IL_ANY` — its `cnodes` entries dominate the BOOL bound).
 //! Complements are taken against *all* context nodes, matching the calculus
 //! semantics under which `NOT 'x'` holds on empty nodes too.
+//!
+//! Conjunctions of two or more plain token literals do **not** pay the
+//! paper's sequential O(sum of list lengths) cost: they run a k-way
+//! leapfrog over [`ListCursor`]s ordered rarest-first, where each cursor
+//! `seek`s to the current candidate node. On skewed (Zipf) corpora a
+//! conjunction with one rare operand decodes O(rare · log common) entries;
+//! the bypassed entries show up in [`AccessCounters::skipped`] instead of
+//! `entries`.
 
+use crate::build::IndexLayout;
 use crate::error::ExecError;
-use ftsl_index::{AccessCounters, InvertedIndex};
+use ftsl_index::block::BlockList;
+use ftsl_index::{AccessCounters, InvertedIndex, ListCursor, PostingCursor, PostingList};
 use ftsl_lang::SurfaceQuery;
-use ftsl_model::{Corpus, NodeId};
+use ftsl_model::{Corpus, NodeId, TokenId};
 
-/// Evaluate a BOOL-shaped surface query by list merging.
+/// Evaluate a BOOL-shaped surface query by list merging, on the decoded
+/// layout.
 pub fn run_bool(
     query: &SurfaceQuery,
     corpus: &Corpus,
     index: &InvertedIndex,
 ) -> Result<(Vec<NodeId>, AccessCounters), ExecError> {
+    run_bool_with(query, corpus, index, IndexLayout::Decoded)
+}
+
+/// [`run_bool`] with an explicit physical layout: `Blocks` streams every
+/// list through block-compressed cursors instead of decoded arrays.
+pub fn run_bool_with(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    layout: IndexLayout,
+) -> Result<(Vec<NodeId>, AccessCounters), ExecError> {
     let mut counters = AccessCounters::new();
-    let nodes = eval(query, corpus, index, &mut counters)?;
+    let nodes = eval(query, corpus, index, layout, &mut counters)?;
     Ok((nodes, counters))
+}
+
+/// Materialize a list's node ids through a counting cursor of the selected
+/// layout (the BOOL leaf access path).
+fn scan_nodes(
+    index: &InvertedIndex,
+    token: Option<TokenId>,
+    layout: IndexLayout,
+    counters: &mut AccessCounters,
+) -> Vec<NodeId> {
+    let mut walk = |cursor: &mut dyn PostingCursor| {
+        let mut ids = Vec::new();
+        while let Some(n) = cursor.next_entry() {
+            ids.push(n);
+        }
+        *counters += cursor.counters();
+        ids
+    };
+    match (layout, token) {
+        (IndexLayout::Decoded, Some(id)) => walk(&mut ListCursor::new(index.list(id))),
+        (IndexLayout::Decoded, None) => walk(&mut ListCursor::new(index.any())),
+        (IndexLayout::Blocks, Some(id)) => walk(&mut index.block_list(id).cursor()),
+        (IndexLayout::Blocks, None) => walk(&mut index.any_block_list().cursor()),
+    }
 }
 
 fn eval(
     query: &SurfaceQuery,
     corpus: &Corpus,
     index: &InvertedIndex,
+    layout: IndexLayout,
     counters: &mut AccessCounters,
 ) -> Result<Vec<NodeId>, ExecError> {
     match query {
-        SurfaceQuery::Lit(tok) => {
-            let ids = match corpus.token_id(tok) {
-                Some(id) => index.list(id).node_ids().to_vec(),
-                None => Vec::new(),
-            };
-            counters.entries += ids.len() as u64;
-            Ok(ids)
-        }
-        SurfaceQuery::Any => {
-            let ids = index.any().node_ids().to_vec();
-            counters.entries += ids.len() as u64;
-            Ok(ids)
-        }
+        SurfaceQuery::Lit(tok) => Ok(match corpus.token_id(tok) {
+            Some(id) => scan_nodes(index, Some(id), layout, counters),
+            None => Vec::new(),
+        }),
+        SurfaceQuery::Any => Ok(scan_nodes(index, None, layout, counters)),
         SurfaceQuery::Not(inner) => {
-            let inner_nodes = eval(inner, corpus, index, counters)?;
+            let inner_nodes = eval(inner, corpus, index, layout, counters)?;
             counters.entries += corpus.len() as u64;
             Ok(complement(&inner_nodes, corpus.len() as u32))
         }
-        SurfaceQuery::And(a, b) => {
-            let left = eval(a, corpus, index, counters)?;
-            // `x AND NOT y` merges directly without materializing the
-            // complement (the BOOL-NONEG path).
-            if let SurfaceQuery::Not(negated) = b.as_ref() {
-                let right = eval(negated, corpus, index, counters)?;
-                return Ok(difference_sorted(&left, &right));
-            }
-            let right = eval(b, corpus, index, counters)?;
-            Ok(intersect_sorted(&left, &right))
+        SurfaceQuery::And(..) => {
+            let mut conjuncts = Vec::new();
+            flatten_and(query, &mut conjuncts);
+            eval_conjunction(&conjuncts, corpus, index, layout, counters)
         }
         SurfaceQuery::Or(a, b) => {
-            let left = eval(a, corpus, index, counters)?;
-            let right = eval(b, corpus, index, counters)?;
+            let left = eval(a, corpus, index, layout, counters)?;
+            let right = eval(b, corpus, index, layout, counters)?;
             Ok(union_sorted(&left, &right))
         }
         other => Err(ExecError::WrongEngine {
@@ -68,6 +102,167 @@ fn eval(
             reason: format!("construct {} is not in BOOL", other.render()),
         }),
     }
+}
+
+fn flatten_and<'q>(query: &'q SurfaceQuery, out: &mut Vec<&'q SurfaceQuery>) {
+    match query {
+        SurfaceQuery::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Evaluate a flattened conjunction: plain token literals go through the
+/// seek-driven k-way intersection; remaining conjuncts are evaluated
+/// recursively and merged; `NOT` conjuncts subtract last (the BOOL-NONEG
+/// path — no complement is materialized when a positive part exists).
+fn eval_conjunction(
+    conjuncts: &[&SurfaceQuery],
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    layout: IndexLayout,
+    counters: &mut AccessCounters,
+) -> Result<Vec<NodeId>, ExecError> {
+    let mut literal_ids: Vec<TokenId> = Vec::new();
+    let mut negated: Vec<&SurfaceQuery> = Vec::new();
+    let mut others: Vec<&SurfaceQuery> = Vec::new();
+    for &c in conjuncts {
+        match c {
+            SurfaceQuery::Lit(tok) => {
+                literal_ids.push(corpus.token_id(tok).unwrap_or(TokenId(u32::MAX)))
+            }
+            SurfaceQuery::Not(inner) => negated.push(inner),
+            other => others.push(other),
+        }
+    }
+
+    let mut acc: Option<Vec<NodeId>> = None;
+    if literal_ids.len() >= 2 {
+        let (nodes, c) = match layout {
+            IndexLayout::Decoded => {
+                let lists: Vec<&PostingList> =
+                    literal_ids.iter().map(|&id| index.list(id)).collect();
+                intersect_seek(&lists)
+            }
+            IndexLayout::Blocks => {
+                let lists: Vec<&BlockList> =
+                    literal_ids.iter().map(|&id| index.block_list(id)).collect();
+                intersect_seek_blocks(&lists)
+            }
+        };
+        *counters += c;
+        acc = Some(nodes);
+    } else if let Some(&id) = literal_ids.first() {
+        // Out-of-vocabulary ids map to the empty list, so this is a no-op
+        // walk for unknown tokens.
+        acc = Some(scan_nodes(index, Some(id), layout, counters));
+    }
+
+    for other in others {
+        let nodes = eval(other, corpus, index, layout, counters)?;
+        acc = Some(match acc {
+            Some(have) => intersect_sorted(&have, &nodes),
+            None => nodes,
+        });
+    }
+
+    for inner in negated {
+        let nodes = eval(inner, corpus, index, layout, counters)?;
+        acc = Some(match acc {
+            Some(have) => difference_sorted(&have, &nodes),
+            None => {
+                // Pure-negative conjunction: pay the universe scan once.
+                counters.entries += corpus.len() as u64;
+                complement(&nodes, corpus.len() as u32)
+            }
+        });
+    }
+
+    Ok(acc.unwrap_or_default())
+}
+
+/// k-way leapfrog intersection of decoded posting lists, rarest first.
+/// Returned counters separate decoded entries from seek-skipped ones.
+pub fn intersect_seek(lists: &[&PostingList]) -> (Vec<NodeId>, AccessCounters) {
+    intersect_lists(
+        lists,
+        |l| (l.num_entries(), l.is_empty()),
+        |l| Box::new(ListCursor::new(l)),
+    )
+}
+
+/// [`intersect_seek`] over block-compressed lists: same leapfrog, but seeks
+/// jump whole compressed blocks via the skip headers.
+pub fn intersect_seek_blocks(lists: &[&BlockList]) -> (Vec<NodeId>, AccessCounters) {
+    intersect_lists(
+        lists,
+        |l| (l.num_entries(), l.is_empty()),
+        |l| Box::new(l.cursor()),
+    )
+}
+
+/// Shared intersection prologue: empty-operand early-out, rarest-first
+/// ordering, cursor opening. One copy of the ordering policy for both
+/// physical layouts.
+fn intersect_lists<'a, L: ?Sized>(
+    lists: &[&'a L],
+    shape: impl Fn(&L) -> (usize, bool),
+    open: impl Fn(&'a L) -> Box<dyn PostingCursor + 'a>,
+) -> (Vec<NodeId>, AccessCounters) {
+    if lists.is_empty() || lists.iter().any(|l| shape(l).1) {
+        return (Vec::new(), AccessCounters::new());
+    }
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    order.sort_by_key(|&i| shape(lists[i]).0);
+    intersect_cursors(order.iter().map(|&i| open(lists[i])).collect())
+}
+
+/// The leapfrog core, layout-agnostic: cursors must be non-empty and
+/// ordered rarest-first.
+fn intersect_cursors(
+    mut cursors: Vec<Box<dyn PostingCursor + '_>>,
+) -> (Vec<NodeId>, AccessCounters) {
+    let mut counters = AccessCounters::new();
+    let mut out = Vec::new();
+    let k = cursors.len();
+    let mut target = cursors[0].next_entry().expect("non-empty list");
+    if k == 1 {
+        out.push(target);
+        while let Some(n) = cursors[0].next_entry() {
+            out.push(n);
+        }
+        return (out, cursors[0].counters());
+    }
+    // `agree` cursors in a row (ending at `i`'s predecessor) sit on
+    // `target`; when all k agree the node is emitted and the ring restarts
+    // from the cursor that found the next candidate.
+    let mut agree = 1usize;
+    let mut i = 1usize;
+    while let Some(n) = cursors[i].seek(target) {
+        if n == target {
+            agree += 1;
+            if agree == k {
+                out.push(target);
+                match cursors[i].next_entry() {
+                    Some(next) => {
+                        target = next;
+                        agree = 1;
+                    }
+                    None => break,
+                }
+            }
+        } else {
+            target = n;
+            agree = 1;
+        }
+        i = (i + 1) % k;
+    }
+    for c in &cursors {
+        counters += c.counters();
+    }
+    (out, counters)
 }
 
 fn complement(sorted: &[NodeId], cnodes: u32) -> Vec<NodeId> {

@@ -1,6 +1,6 @@
 //! Build cursor trees from rewritten plans.
 
-use crate::cursor::{FtCursor, ScanCursor};
+use crate::cursor::{BlockScanCursor, FtCursor, ScanCursor};
 use crate::join::JoinCursor;
 use crate::plan::PlanNode;
 use crate::project::ProjectCursor;
@@ -12,6 +12,17 @@ use ftsl_model::Corpus;
 use ftsl_predicates::{AdvanceMode, PredKind, PredicateRegistry};
 use std::collections::HashMap;
 
+/// Which physical list representation leaf scans read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexLayout {
+    /// Decoded columnar [`ftsl_index::PostingList`]s (the seed layout).
+    #[default]
+    Decoded,
+    /// Block-compressed [`ftsl_index::BlockList`]s: entries are decoded out
+    /// of delta/varint blocks on demand and seeks ride the skip headers.
+    Blocks,
+}
+
 /// Everything a cursor tree needs to run.
 pub struct CursorCtx<'a> {
     /// The corpus (token resolution).
@@ -22,6 +33,8 @@ pub struct CursorCtx<'a> {
     pub registry: &'a PredicateRegistry,
     /// Skip aggressiveness for positive predicates.
     pub mode: AdvanceMode,
+    /// Physical layout leaf scans read.
+    pub layout: IndexLayout,
 }
 
 /// Build a cursor tree. `ranks` is the evaluation thread's variable
@@ -41,20 +54,35 @@ fn build_rec<'a>(
 ) -> (Box<dyn FtCursor + 'a>, Vec<VarId>) {
     match node {
         PlanNode::Scan { token, var } => {
-            let list = match ctx.corpus.token_id(token) {
-                Some(id) => ctx.index.list(id),
-                None => ctx.index.list(ftsl_model::TokenId(u32::MAX)),
+            let id = ctx
+                .corpus
+                .token_id(token)
+                .unwrap_or(ftsl_model::TokenId(u32::MAX));
+            let cursor: Box<dyn FtCursor + 'a> = match ctx.layout {
+                IndexLayout::Decoded => Box::new(ScanCursor::new(ctx.index.list(id))),
+                IndexLayout::Blocks => Box::new(BlockScanCursor::new(ctx.index.block_list(id))),
             };
-            (Box::new(ScanCursor::new(list)), vec![*var])
+            (cursor, vec![*var])
         }
-        PlanNode::ScanAny { var } => (Box::new(ScanCursor::new(ctx.index.any())), vec![*var]),
+        PlanNode::ScanAny { var } => {
+            let cursor: Box<dyn FtCursor + 'a> = match ctx.layout {
+                IndexLayout::Decoded => Box::new(ScanCursor::new(ctx.index.any())),
+                IndexLayout::Blocks => Box::new(BlockScanCursor::new(ctx.index.any_block_list())),
+            };
+            (cursor, vec![*var])
+        }
         PlanNode::Join(a, b) => {
             let (left, mut lv) = build_rec(a, ctx, ranks);
             let (right, rv) = build_rec(b, ctx, ranks);
             lv.extend(rv);
             (Box::new(JoinCursor::new(left, right)), lv)
         }
-        PlanNode::Select { input, pred, arg_cols, consts } => {
+        PlanNode::Select {
+            input,
+            pred,
+            arg_cols,
+            consts,
+        } => {
             let (inner, vars) = build_rec(input, ctx, ranks);
             let p = ctx.registry.get_shared(*pred);
             let cursor: Box<dyn FtCursor + 'a> = match p.kind() {
@@ -62,10 +90,7 @@ fn build_rec<'a>(
                     // Order the predicate's argument indices by thread rank.
                     let mut order: Vec<usize> = (0..arg_cols.len()).collect();
                     order.sort_by_key(|&i| {
-                        ranks
-                            .get(&vars[arg_cols[i]])
-                            .copied()
-                            .unwrap_or(usize::MAX)
+                        ranks.get(&vars[arg_cols[i]]).copied().unwrap_or(usize::MAX)
                     });
                     Box::new(SelectCursor::negative(
                         inner,
@@ -126,7 +151,13 @@ mod tests {
         .unwrap();
         let expr = lower(&surface, &reg).unwrap();
         let plan = build_plan(&expr, &reg, false).unwrap();
-        let ctx = CursorCtx { corpus: &corpus, index: &index, registry: &reg, mode: AdvanceMode::Aggressive };
+        let ctx = CursorCtx {
+            corpus: &corpus,
+            index: &index,
+            registry: &reg,
+            mode: AdvanceMode::Aggressive,
+            layout: IndexLayout::Decoded,
+        };
         let mut cursor = build_cursor(&plan.root, &ctx, &HashMap::new());
         let mut nodes = Vec::new();
         while let Some(n) = cursor.advance_node() {

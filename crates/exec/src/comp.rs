@@ -20,7 +20,9 @@ pub fn run_comp(
 ) -> Result<(Vec<NodeId>, AccessCounters), ExecError> {
     let alg = query_to_algebra(query, registry).map_err(|e| ExecError::Algebra(e.to_string()))?;
     let mut ev = AlgebraEvaluator::new(corpus, index, registry);
-    let rel = ev.eval(&alg).map_err(|e| ExecError::Algebra(e.to_string()))?;
+    let rel = ev
+        .eval(&alg)
+        .map_err(|e| ExecError::Algebra(e.to_string()))?;
     Ok((rel.distinct_nodes(), ev.counters()))
 }
 

@@ -34,6 +34,26 @@ pub trait FtCursor {
     /// exhausted for this constraint.
     fn advance_position(&mut self, col: usize, min_offset: u32) -> bool;
 
+    /// Advance to the first result node with id `>= target` (the seek
+    /// extension of the cursor contract). Stays put when the current node
+    /// already satisfies the bound. The default implementation scans via
+    /// [`FtCursor::advance_node`]; leaf scans override it with galloping
+    /// seeks over the inverted list, and joins use it to leapfrog both
+    /// sides past non-matching node ranges without decoding them.
+    fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
+        if let Some(n) = self.node() {
+            if n >= target {
+                return Some(n);
+            }
+        }
+        loop {
+            let n = self.advance_node()?;
+            if n >= target {
+                return Some(n);
+            }
+        }
+    }
+
     /// Aggregate access counters for this subtree.
     fn counters(&self) -> AccessCounters;
 }
@@ -46,7 +66,9 @@ pub struct ScanCursor<'a> {
 impl<'a> ScanCursor<'a> {
     /// Open a scan over `list`.
     pub fn new(list: &'a PostingList) -> Self {
-        ScanCursor { cursor: ListCursor::new(list) }
+        ScanCursor {
+            cursor: ListCursor::new(list),
+        }
     }
 }
 
@@ -77,8 +99,69 @@ impl FtCursor for ScanCursor<'_> {
         self.cursor.advance_position(min_offset).is_some()
     }
 
+    fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
+        self.cursor.seek(target)
+    }
+
     fn counters(&self) -> AccessCounters {
         self.cursor.counters()
+    }
+}
+
+/// Leaf scan over the block-compressed form of an inverted list: the same
+/// contract as [`ScanCursor`], driven by a skip-aware
+/// [`ftsl_index::BlockCursor`] that decodes entries out of delta/varint
+/// blocks on demand and seeks via the block skip headers.
+///
+/// The inner cursor sits behind a `RefCell` because the trait's `position`
+/// accessor is `&self` while decompression caches the current entry's
+/// positions on first touch. Cursor trees are thread-confined (each NPRED
+/// thread builds its own), so the dynamic borrow never contends.
+pub struct BlockScanCursor<'a> {
+    cursor: std::cell::RefCell<ftsl_index::BlockCursor<'a>>,
+}
+
+impl<'a> BlockScanCursor<'a> {
+    /// Open a scan over a compressed `list`.
+    pub fn new(list: &'a ftsl_index::BlockList) -> Self {
+        BlockScanCursor {
+            cursor: std::cell::RefCell::new(list.cursor()),
+        }
+    }
+}
+
+impl FtCursor for BlockScanCursor<'_> {
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn advance_node(&mut self) -> Option<NodeId> {
+        self.cursor.get_mut().next_entry()
+    }
+
+    fn node(&self) -> Option<NodeId> {
+        self.cursor.borrow().node()
+    }
+
+    fn position(&self, col: usize) -> Position {
+        debug_assert_eq!(col, 0);
+        self.cursor
+            .borrow_mut()
+            .position()
+            .expect("block scan cursor positioned")
+    }
+
+    fn advance_position(&mut self, col: usize, min_offset: u32) -> bool {
+        debug_assert_eq!(col, 0);
+        self.cursor.get_mut().advance_position(min_offset).is_some()
+    }
+
+    fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
+        self.cursor.get_mut().seek(target)
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.cursor.borrow().counters()
     }
 }
 

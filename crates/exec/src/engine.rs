@@ -1,10 +1,11 @@
 //! The engine dispatcher: classify, pick the cheapest engine, run.
 
-use crate::bool_eval::run_bool;
+use crate::bool_eval::run_bool_with;
+use crate::build::IndexLayout;
 use crate::comp::run_comp;
 use crate::error::ExecError;
 use crate::npred::{run_npred, NpredOptions};
-use crate::ppred::run_ppred;
+use crate::ppred::run_ppred_with;
 use ftsl_calculus::CalcQuery;
 use ftsl_index::{AccessCounters, InvertedIndex};
 use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
@@ -35,6 +36,9 @@ pub struct ExecOptions {
     pub npred_full_permutations: bool,
     /// NPRED: run ordering threads in parallel.
     pub npred_parallel: bool,
+    /// Physical list layout the streaming engines read (decoded columnar
+    /// lists, or block-compressed lists with skip-seeking cursors).
+    pub layout: IndexLayout,
 }
 
 impl Default for ExecOptions {
@@ -43,6 +47,7 @@ impl Default for ExecOptions {
             advance_mode: AdvanceMode::Aggressive,
             npred_full_permutations: false,
             npred_parallel: false,
+            layout: IndexLayout::Decoded,
         }
     }
 }
@@ -100,7 +105,12 @@ impl<'a> Executor<'a> {
         index: &'a InvertedIndex,
         registry: &'a PredicateRegistry,
     ) -> Self {
-        Executor { corpus, index, registry, options: ExecOptions::default() }
+        Executor {
+            corpus,
+            index,
+            registry,
+            options: ExecOptions::default(),
+        }
     }
 
     /// Executor with explicit options.
@@ -110,14 +120,18 @@ impl<'a> Executor<'a> {
         registry: &'a PredicateRegistry,
         options: ExecOptions,
     ) -> Self {
-        Executor { corpus, index, registry, options }
+        Executor {
+            corpus,
+            index,
+            registry,
+            options,
+        }
     }
 
     /// Parse a query string (COMP syntax accepts all three languages) and
     /// run it.
     pub fn run_str(&self, input: &str, engine: EngineKind) -> Result<QueryOutput, ExecError> {
-        let surface =
-            parse(input, Mode::Comp).map_err(|e| ExecError::Lang(e.to_string()))?;
+        let surface = parse(input, Mode::Comp).map_err(|e| ExecError::Lang(e.to_string()))?;
         self.run_surface(&surface, engine)
     }
 
@@ -142,12 +156,17 @@ impl<'a> Executor<'a> {
         };
 
         if chosen == EngineUsed::Bool {
-            let (nodes, counters) = run_bool(surface, self.corpus, self.index)?;
-            return Ok(QueryOutput { nodes, counters, engine: EngineUsed::Bool, class });
+            let (nodes, counters) =
+                run_bool_with(surface, self.corpus, self.index, self.options.layout)?;
+            return Ok(QueryOutput {
+                nodes,
+                counters,
+                engine: EngineUsed::Bool,
+                class,
+            });
         }
 
-        let expr =
-            lower(surface, self.registry).map_err(|e| ExecError::Lang(e.to_string()))?;
+        let expr = lower(surface, self.registry).map_err(|e| ExecError::Lang(e.to_string()))?;
         let query = CalcQuery::new(expr);
         self.run_lowered(&query, chosen, class, engine == EngineKind::Auto)
     }
@@ -170,7 +189,12 @@ impl<'a> Executor<'a> {
             EngineKind::Npred => EngineUsed::Npred,
             EngineKind::Comp | EngineKind::Auto => EngineUsed::Comp,
         };
-        self.run_lowered(query, chosen, LanguageClass::Comp, engine == EngineKind::Auto)
+        self.run_lowered(
+            query,
+            chosen,
+            LanguageClass::Comp,
+            engine == EngineKind::Auto,
+        )
     }
 
     fn run_lowered(
@@ -182,16 +206,20 @@ impl<'a> Executor<'a> {
     ) -> Result<QueryOutput, ExecError> {
         match chosen {
             EngineUsed::Ppred => {
-                match run_ppred(
+                match run_ppred_with(
                     &query.expr,
                     self.corpus,
                     self.index,
                     self.registry,
                     self.options.advance_mode,
+                    self.options.layout,
                 ) {
-                    Ok((nodes, counters)) => {
-                        Ok(QueryOutput { nodes, counters, engine: EngineUsed::Ppred, class })
-                    }
+                    Ok((nodes, counters)) => Ok(QueryOutput {
+                        nodes,
+                        counters,
+                        engine: EngineUsed::Ppred,
+                        class,
+                    }),
                     Err(e) if allow_fallback => {
                         let _ = e;
                         self.run_lowered(query, EngineUsed::Comp, class, false)
@@ -204,11 +232,15 @@ impl<'a> Executor<'a> {
                     full_permutations: self.options.npred_full_permutations,
                     parallel: self.options.npred_parallel,
                     mode: self.options.advance_mode,
+                    layout: self.options.layout,
                 };
                 match run_npred(&query.expr, self.corpus, self.index, self.registry, opts) {
-                    Ok((nodes, counters)) => {
-                        Ok(QueryOutput { nodes, counters, engine: EngineUsed::Npred, class })
-                    }
+                    Ok((nodes, counters)) => Ok(QueryOutput {
+                        nodes,
+                        counters,
+                        engine: EngineUsed::Npred,
+                        class,
+                    }),
                     Err(e) if allow_fallback => {
                         let _ = e;
                         self.run_lowered(query, EngineUsed::Comp, class, false)
@@ -217,9 +249,13 @@ impl<'a> Executor<'a> {
                 }
             }
             EngineUsed::Comp => {
-                let (nodes, counters) =
-                    run_comp(query, self.corpus, self.index, self.registry)?;
-                Ok(QueryOutput { nodes, counters, engine: EngineUsed::Comp, class })
+                let (nodes, counters) = run_comp(query, self.corpus, self.index, self.registry)?;
+                Ok(QueryOutput {
+                    nodes,
+                    counters,
+                    engine: EngineUsed::Comp,
+                    class,
+                })
             }
             EngineUsed::Bool => unreachable!("BOOL handled before lowering"),
         }
@@ -247,7 +283,9 @@ mod tests {
         let (corpus, index, reg) = setup();
         let exec = Executor::new(&corpus, &index, &reg);
 
-        let out = exec.run_str("'test' AND 'usability'", EngineKind::Auto).unwrap();
+        let out = exec
+            .run_str("'test' AND 'usability'", EngineKind::Auto)
+            .unwrap();
         assert_eq!(out.engine, EngineUsed::Bool);
         assert_eq!(out.class, LanguageClass::BoolNoNeg);
 
@@ -267,7 +305,9 @@ mod tests {
             .unwrap();
         assert_eq!(out.engine, EngineUsed::Npred);
 
-        let out = exec.run_str("EVERY p1 (p1 HAS 'test')", EngineKind::Auto).unwrap();
+        let out = exec
+            .run_str("EVERY p1 (p1 HAS 'test')", EngineKind::Auto)
+            .unwrap();
         assert_eq!(out.engine, EngineUsed::Comp);
     }
 

@@ -1,5 +1,12 @@
-//! The streaming join (Algorithm 1): sort-merge on node ids; position
-//! columns concatenate; `advance_position` routes to the owning side.
+//! The streaming join (Algorithm 1, seek-driven): leapfrog on node ids;
+//! position columns concatenate; `advance_position` routes to the owning
+//! side.
+//!
+//! Where the paper's Algorithm 1 advances the lagging side one entry at a
+//! time, this join *seeks*: each side jumps directly to the other side's
+//! node id through [`FtCursor::seek_node`], so a conjunction is driven by
+//! whichever side is currently rarer — skipped entries are galloped or
+//! block-skipped over at the leaves instead of being decoded.
 
 use crate::cursor::FtCursor;
 use ftsl_index::AccessCounters;
@@ -17,7 +24,28 @@ impl<'a> JoinCursor<'a> {
     /// Join two cursors.
     pub fn new(left: Box<dyn FtCursor + 'a>, right: Box<dyn FtCursor + 'a>) -> Self {
         let left_arity = left.arity();
-        JoinCursor { left, right, left_arity, node: None }
+        JoinCursor {
+            left,
+            right,
+            left_arity,
+            node: None,
+        }
+    }
+
+    /// Leapfrog both sides to a common node ≥ `target`, starting from the
+    /// left side's landing point.
+    fn align(&mut self, mut target: NodeId) -> Option<NodeId> {
+        loop {
+            let r = self.right.seek_node(target)?;
+            if r == target {
+                return Some(r);
+            }
+            let l = self.left.seek_node(r)?;
+            if l == r {
+                return Some(l);
+            }
+            target = l;
+        }
     }
 }
 
@@ -27,23 +55,15 @@ impl FtCursor for JoinCursor<'_> {
     }
 
     fn advance_node(&mut self) -> Option<NodeId> {
-        // Algorithm 1 lines 2-15: advance both, then catch the laggard up.
-        let mut n1 = self.left.advance_node();
-        let mut n2 = self.right.advance_node();
-        loop {
-            match (n1, n2) {
-                (Some(a), Some(b)) if a == b => {
-                    self.node = Some(a);
-                    return self.node;
-                }
-                (Some(a), Some(b)) if a < b => n1 = self.left.advance_node(),
-                (Some(_), Some(_)) => n2 = self.right.advance_node(),
-                _ => {
-                    self.node = None;
-                    return None;
-                }
+        let first = match self.left.advance_node() {
+            Some(n) => n,
+            None => {
+                self.node = None;
+                return None;
             }
-        }
+        };
+        self.node = self.align(first);
+        self.node
     }
 
     fn node(&self) -> Option<NodeId> {
@@ -62,8 +82,26 @@ impl FtCursor for JoinCursor<'_> {
         if col < self.left_arity {
             self.left.advance_position(col, min_offset)
         } else {
-            self.right.advance_position(col - self.left_arity, min_offset)
+            self.right
+                .advance_position(col - self.left_arity, min_offset)
         }
+    }
+
+    fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
+        if let Some(n) = self.node {
+            if n >= target {
+                return Some(n);
+            }
+        }
+        let first = match self.left.seek_node(target) {
+            Some(n) => n,
+            None => {
+                self.node = None;
+                return None;
+            }
+        };
+        self.node = self.align(first);
+        self.node
     }
 
     fn counters(&self) -> AccessCounters {

@@ -11,11 +11,11 @@
 //!   algorithm, used by the benchmarks to reproduce the paper's NPRED-POS
 //!   overhead relative to PPRED-POS;
 //! * optional **parallel** thread execution (real OS threads, results
-//!   merged through a crossbeam channel).
+//!   merged through an mpsc channel).
 
-use crate::build::{build_cursor, CursorCtx};
+use crate::build::{build_cursor, CursorCtx, IndexLayout};
 use crate::error::PlanError;
-use crate::plan::{build_plan, Plan};
+use crate::plan::{build_plan, order_joins_by_selectivity, Plan};
 use ftsl_calculus::ast::{QueryExpr, VarId};
 use ftsl_index::{AccessCounters, InvertedIndex};
 use ftsl_model::{Corpus, NodeId};
@@ -32,11 +32,18 @@ pub struct NpredOptions {
     pub parallel: bool,
     /// Positive-predicate skip aggressiveness.
     pub mode: AdvanceMode,
+    /// Physical layout leaf scans read.
+    pub layout: IndexLayout,
 }
 
 impl Default for NpredOptions {
     fn default() -> Self {
-        NpredOptions { full_permutations: false, parallel: false, mode: AdvanceMode::Aggressive }
+        NpredOptions {
+            full_permutations: false,
+            parallel: false,
+            mode: AdvanceMode::Aggressive,
+            layout: IndexLayout::Decoded,
+        }
     }
 }
 
@@ -48,17 +55,18 @@ pub fn run_npred(
     registry: &PredicateRegistry,
     options: NpredOptions,
 ) -> Result<(Vec<NodeId>, AccessCounters), PlanError> {
-    let plan = build_plan(expr, registry, true)?;
+    let mut plan = build_plan(expr, registry, true)?;
+    plan.root = order_joins_by_selectivity(plan.root, corpus, index);
     let vars = ordering_vars(&plan, options.full_permutations);
     let orderings = permutations(&vars);
 
     if options.parallel && orderings.len() > 1 {
-        run_parallel(&plan, corpus, index, registry, options.mode, &orderings)
+        run_parallel(&plan, corpus, index, registry, options, &orderings)
     } else {
         let mut all_nodes: Vec<NodeId> = Vec::new();
         let mut counters = AccessCounters::new();
         for ordering in &orderings {
-            let (nodes, c) = run_thread(&plan, corpus, index, registry, options.mode, ordering);
+            let (nodes, c) = run_thread(&plan, corpus, index, registry, options, ordering);
             all_nodes.extend(nodes);
             counters += c;
         }
@@ -84,12 +92,21 @@ fn run_thread(
     corpus: &Corpus,
     index: &InvertedIndex,
     registry: &PredicateRegistry,
-    mode: AdvanceMode,
+    options: NpredOptions,
     ordering: &[VarId],
 ) -> (Vec<NodeId>, AccessCounters) {
-    let ranks: HashMap<VarId, usize> =
-        ordering.iter().enumerate().map(|(rank, &v)| (v, rank)).collect();
-    let ctx = CursorCtx { corpus, index, registry, mode };
+    let ranks: HashMap<VarId, usize> = ordering
+        .iter()
+        .enumerate()
+        .map(|(rank, &v)| (v, rank))
+        .collect();
+    let ctx = CursorCtx {
+        corpus,
+        index,
+        registry,
+        mode: options.mode,
+        layout: options.layout,
+    };
     let mut cursor = build_cursor(&plan.root, &ctx, &ranks);
     let mut nodes = Vec::new();
     while let Some(n) = cursor.advance_node() {
@@ -103,15 +120,15 @@ fn run_parallel(
     corpus: &Corpus,
     index: &InvertedIndex,
     registry: &PredicateRegistry,
-    mode: AdvanceMode,
+    options: NpredOptions,
     orderings: &[Vec<VarId>],
 ) -> Result<(Vec<NodeId>, AccessCounters), PlanError> {
-    let (tx, rx) = crossbeam::channel::unbounded();
+    let (tx, rx) = std::sync::mpsc::channel();
     std::thread::scope(|scope| {
         for ordering in orderings {
             let tx = tx.clone();
             scope.spawn(move || {
-                let result = run_thread(plan, corpus, index, registry, mode, ordering);
+                let result = run_thread(plan, corpus, index, registry, options, ordering);
                 tx.send(result).expect("collector alive");
             });
         }
@@ -208,7 +225,10 @@ mod tests {
         let full = run(
             q,
             texts,
-            NpredOptions { full_permutations: true, ..Default::default() },
+            NpredOptions {
+                full_permutations: true,
+                ..Default::default()
+            },
         );
         assert_eq!(partial, full);
     }
@@ -221,7 +241,11 @@ mod tests {
         let par = run(
             q,
             texts,
-            NpredOptions { parallel: true, full_permutations: true, ..Default::default() },
+            NpredOptions {
+                parallel: true,
+                full_permutations: true,
+                ..Default::default()
+            },
         );
         assert_eq!(seq, par);
     }
@@ -241,9 +265,9 @@ mod tests {
         let r = run(
             q,
             &[
-                "a b",            // ordered but close
-                "a x x x x b",    // ordered and far
-                "b x x x x a",    // far but wrong order
+                "a b",         // ordered but close
+                "a x x x x b", // ordered and far
+                "b x x x x a", // far but wrong order
             ],
             NpredOptions::default(),
         );

@@ -97,7 +97,12 @@ impl PlanNode {
                 a.render(registry, depth + 1, out);
                 b.render(registry, depth + 1, out);
             }
-            PlanNode::Select { input, pred, arg_cols, consts } => {
+            PlanNode::Select {
+                input,
+                pred,
+                arg_cols,
+                consts,
+            } => {
                 let name = registry.get(*pred).name();
                 writeln!(out, "{pad}select {name}({arg_cols:?}, {consts:?})").unwrap();
                 input.render(registry, depth + 1, out);
@@ -142,13 +147,23 @@ pub fn build_plan(
     registry: &PredicateRegistry,
     allow_negative: bool,
 ) -> Result<Plan, PlanError> {
-    let mut builder = Builder { registry, allow_negative, negative_vars: Vec::new(), scan_vars: Vec::new() };
+    let mut builder = Builder {
+        registry,
+        allow_negative,
+        negative_vars: Vec::new(),
+        scan_vars: Vec::new(),
+    };
     let built = builder.build(expr)?;
     let root = rewrite_to_fixpoint(built.node);
     let mut negative_vars = builder.negative_vars;
     negative_vars.sort_unstable();
     negative_vars.dedup();
-    Ok(Plan { root, cols: built.cols, negative_vars, scan_vars: builder.scan_vars })
+    Ok(Plan {
+        root,
+        cols: built.cols,
+        negative_vars,
+        scan_vars: builder.scan_vars,
+    })
 }
 
 struct Built {
@@ -166,7 +181,9 @@ struct Builder<'a> {
 impl Builder<'_> {
     fn build(&mut self, expr: &QueryExpr) -> Result<Built, PlanError> {
         match expr {
-            QueryExpr::And(..) | QueryExpr::HasToken(..) | QueryExpr::HasPos(_)
+            QueryExpr::And(..)
+            | QueryExpr::HasToken(..)
+            | QueryExpr::HasPos(_)
             | QueryExpr::Pred { .. } => {
                 let mut conjuncts = Vec::new();
                 flatten_and(expr, &mut conjuncts);
@@ -191,7 +208,10 @@ impl Builder<'_> {
                 let right_node = if keep.iter().copied().eq(0..keep.len()) {
                     right.node
                 } else {
-                    PlanNode::Project { input: right.node.boxed(), keep }
+                    PlanNode::Project {
+                        input: right.node.boxed(),
+                        keep,
+                    }
                 };
                 Ok(Built {
                     node: PlanNode::Union(left.node.boxed(), right_node.boxed()),
@@ -204,10 +224,12 @@ impl Builder<'_> {
                     Some(idx) => {
                         let keep: Vec<usize> =
                             (0..inner.cols.len()).filter(|&i| i != idx).collect();
-                        let cols: Vec<VarId> =
-                            keep.iter().map(|&i| inner.cols[i]).collect();
+                        let cols: Vec<VarId> = keep.iter().map(|&i| inner.cols[i]).collect();
                         Ok(Built {
-                            node: PlanNode::Project { input: inner.node.boxed(), keep },
+                            node: PlanNode::Project {
+                                input: inner.node.boxed(),
+                                keep,
+                            },
                             cols,
                         })
                     }
@@ -232,14 +254,19 @@ impl Builder<'_> {
                 QueryExpr::HasToken(v, t) => {
                     self.scan_vars.push(*v);
                     relational.push(Built {
-                        node: PlanNode::Scan { token: t.clone(), var: *v },
+                        node: PlanNode::Scan {
+                            token: t.clone(),
+                            var: *v,
+                        },
                         cols: vec![*v],
                     });
                 }
                 QueryExpr::HasPos(v) => {
                     self.scan_vars.push(*v);
-                    relational
-                        .push(Built { node: PlanNode::ScanAny { var: *v }, cols: vec![*v] });
+                    relational.push(Built {
+                        node: PlanNode::ScanAny { var: *v },
+                        cols: vec![*v],
+                    });
                 }
                 QueryExpr::Pred { pred, vars, consts } => {
                     self.check_pred(*pred)?;
@@ -267,7 +294,10 @@ impl Builder<'_> {
                 if !bound.contains(v) {
                     bound.push(*v);
                     self.scan_vars.push(*v);
-                    relational.push(Built { node: PlanNode::ScanAny { var: *v }, cols: vec![*v] });
+                    relational.push(Built {
+                        node: PlanNode::ScanAny { var: *v },
+                        cols: vec![*v],
+                    });
                 }
             }
         }
@@ -306,7 +336,10 @@ impl Builder<'_> {
                     consts: vec![],
                 };
                 let keep: Vec<usize> = (0..cols.len()).filter(|&k| k != j).collect();
-                node = PlanNode::Project { input: node.boxed(), keep };
+                node = PlanNode::Project {
+                    input: node.boxed(),
+                    keep,
+                };
                 cols.remove(j);
             }
             acc = Built { node, cols };
@@ -409,7 +442,12 @@ fn rewrite(node: PlanNode) -> (PlanNode, bool) {
             }
             (PlanNode::Join(a.boxed(), b.boxed()), ca || cb)
         }
-        PlanNode::Select { input, pred, arg_cols, consts } => {
+        PlanNode::Select {
+            input,
+            pred,
+            arg_cols,
+            consts,
+        } => {
             let (input, ci) = rewrite(*input);
             if let PlanNode::Union(x, y) = input {
                 let l = PlanNode::Select {
@@ -418,19 +456,40 @@ fn rewrite(node: PlanNode) -> (PlanNode, bool) {
                     arg_cols: arg_cols.clone(),
                     consts: consts.clone(),
                 };
-                let r = PlanNode::Select { input: y, pred, arg_cols, consts };
+                let r = PlanNode::Select {
+                    input: y,
+                    pred,
+                    arg_cols,
+                    consts,
+                };
                 return (PlanNode::Union(l.boxed(), r.boxed()), true);
             }
             if let PlanNode::Diff(l, f) = input {
-                let inner = PlanNode::Select { input: l, pred, arg_cols, consts };
+                let inner = PlanNode::Select {
+                    input: l,
+                    pred,
+                    arg_cols,
+                    consts,
+                };
                 return (PlanNode::Diff(inner.boxed(), f), true);
             }
-            (PlanNode::Select { input: input.boxed(), pred, arg_cols, consts }, ci)
+            (
+                PlanNode::Select {
+                    input: input.boxed(),
+                    pred,
+                    arg_cols,
+                    consts,
+                },
+                ci,
+            )
         }
         PlanNode::Project { input, keep } => {
             let (input, ci) = rewrite(*input);
             if let PlanNode::Union(x, y) = input {
-                let l = PlanNode::Project { input: x, keep: keep.clone() };
+                let l = PlanNode::Project {
+                    input: x,
+                    keep: keep.clone(),
+                };
                 let r = PlanNode::Project { input: y, keep };
                 return (PlanNode::Union(l.boxed(), r.boxed()), true);
             }
@@ -439,11 +498,27 @@ fn rewrite(node: PlanNode) -> (PlanNode, bool) {
                 return (PlanNode::Diff(inner.boxed(), f), true);
             }
             // Collapse nested projections.
-            if let PlanNode::Project { input: inner, keep: inner_keep } = input {
+            if let PlanNode::Project {
+                input: inner,
+                keep: inner_keep,
+            } = input
+            {
                 let composed: Vec<usize> = keep.iter().map(|&k| inner_keep[k]).collect();
-                return (PlanNode::Project { input: inner, keep: composed }, true);
+                return (
+                    PlanNode::Project {
+                        input: inner,
+                        keep: composed,
+                    },
+                    true,
+                );
             }
-            (PlanNode::Project { input: input.boxed(), keep }, ci)
+            (
+                PlanNode::Project {
+                    input: input.boxed(),
+                    keep,
+                },
+                ci,
+            )
         }
         PlanNode::Union(a, b) => {
             let (a, ca) = rewrite(*a);
@@ -461,6 +536,91 @@ fn rewrite(node: PlanNode) -> (PlanNode, bool) {
             }
             (PlanNode::Diff(a.boxed(), b.boxed()), ca || cb)
         }
+    }
+}
+
+/// Estimated result cardinality (in context nodes) of a subtree, used to
+/// drive conjunctions off their rarest list: a join can never yield more
+/// nodes than its smaller input, a union no more than the sum of its
+/// inputs, and selections/projections/differences only shrink their input.
+pub fn estimate_nodes(
+    node: &PlanNode,
+    corpus: &ftsl_model::Corpus,
+    index: &ftsl_index::InvertedIndex,
+) -> u64 {
+    match node {
+        PlanNode::Scan { token, .. } => match corpus.token_id(token) {
+            Some(id) => index.df(id) as u64,
+            None => 0,
+        },
+        PlanNode::ScanAny { .. } => index.any().num_entries() as u64,
+        PlanNode::Join(a, b) => {
+            estimate_nodes(a, corpus, index).min(estimate_nodes(b, corpus, index))
+        }
+        PlanNode::Select { input, .. } | PlanNode::Project { input, .. } => {
+            estimate_nodes(input, corpus, index)
+        }
+        PlanNode::Union(a, b) => {
+            estimate_nodes(a, corpus, index).saturating_add(estimate_nodes(b, corpus, index))
+        }
+        PlanNode::Diff(a, _) => estimate_nodes(a, corpus, index),
+    }
+}
+
+/// Put the rarer input of every join on the *left*, where the seek-driven
+/// [`crate::join::JoinCursor`] drives from: the rare side is decoded
+/// entry-by-entry while the common side is galloped/block-skipped to each
+/// candidate. Column order is preserved by wrapping swapped joins in a
+/// compensating projection, so `Plan::cols` stays valid and downstream
+/// `Select::arg_cols` are untouched.
+pub fn order_joins_by_selectivity(
+    node: PlanNode,
+    corpus: &ftsl_model::Corpus,
+    index: &ftsl_index::InvertedIndex,
+) -> PlanNode {
+    match node {
+        PlanNode::Scan { .. } | PlanNode::ScanAny { .. } => node,
+        PlanNode::Join(a, b) => {
+            let a = order_joins_by_selectivity(*a, corpus, index);
+            let b = order_joins_by_selectivity(*b, corpus, index);
+            let (da, db) = (
+                estimate_nodes(&a, corpus, index),
+                estimate_nodes(&b, corpus, index),
+            );
+            if db < da {
+                let (la, lb) = (a.arity(), b.arity());
+                let keep: Vec<usize> = (lb..lb + la).chain(0..lb).collect();
+                PlanNode::Project {
+                    input: PlanNode::Join(b.boxed(), a.boxed()).boxed(),
+                    keep,
+                }
+            } else {
+                PlanNode::Join(a.boxed(), b.boxed())
+            }
+        }
+        PlanNode::Select {
+            input,
+            pred,
+            arg_cols,
+            consts,
+        } => PlanNode::Select {
+            input: order_joins_by_selectivity(*input, corpus, index).boxed(),
+            pred,
+            arg_cols,
+            consts,
+        },
+        PlanNode::Project { input, keep } => PlanNode::Project {
+            input: order_joins_by_selectivity(*input, corpus, index).boxed(),
+            keep,
+        },
+        PlanNode::Union(a, b) => PlanNode::Union(
+            order_joins_by_selectivity(*a, corpus, index).boxed(),
+            order_joins_by_selectivity(*b, corpus, index).boxed(),
+        ),
+        PlanNode::Diff(a, b) => PlanNode::Diff(
+            order_joins_by_selectivity(*a, corpus, index).boxed(),
+            order_joins_by_selectivity(*b, corpus, index).boxed(),
+        ),
     }
 }
 
@@ -498,7 +658,10 @@ mod tests {
     #[test]
     fn simple_conjunction_plans_to_join() {
         let p = plan_for("'test' AND 'usability'", false).unwrap();
-        assert!(matches!(p.root, PlanNode::Project { .. } | PlanNode::Join(..)));
+        assert!(matches!(
+            p.root,
+            PlanNode::Project { .. } | PlanNode::Join(..)
+        ));
         assert!(in_normal_form(&p.root));
         assert_eq!(p.root.arity(), p.cols.len());
     }
@@ -547,7 +710,10 @@ mod tests {
     #[test]
     fn negative_predicates_require_npred() {
         let q = "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1,p2,3))";
-        assert!(matches!(plan_for(q, false), Err(PlanError::NegativePredicate(_))));
+        assert!(matches!(
+            plan_for(q, false),
+            Err(PlanError::NegativePredicate(_))
+        ));
         let p = plan_for(q, true).unwrap();
         assert_eq!(p.negative_vars.len(), 2);
     }
@@ -555,12 +721,18 @@ mod tests {
     #[test]
     fn general_predicates_are_rejected() {
         let q = "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND exact_gap(p1,p2,3))";
-        assert!(matches!(plan_for(q, true), Err(PlanError::GeneralPredicate(_))));
+        assert!(matches!(
+            plan_for(q, true),
+            Err(PlanError::GeneralPredicate(_))
+        ));
     }
 
     #[test]
     fn every_is_rejected() {
-        assert_eq!(plan_for("EVERY p1 (p1 HAS 'a')", false).unwrap_err(), PlanError::Universal);
+        assert_eq!(
+            plan_for("EVERY p1 (p1 HAS 'a')", false).unwrap_err(),
+            PlanError::Universal
+        );
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! The PPRED engine (Section 5.5): single-scan streaming evaluation.
 
-use crate::build::{build_cursor, CursorCtx};
+use crate::build::{build_cursor, CursorCtx, IndexLayout};
 use crate::error::PlanError;
-use crate::plan::build_plan;
+use crate::plan::{build_plan, order_joins_by_selectivity};
 use ftsl_calculus::ast::QueryExpr;
 use ftsl_index::{AccessCounters, InvertedIndex};
 use ftsl_model::{Corpus, NodeId};
 use ftsl_predicates::{AdvanceMode, PredicateRegistry};
 use std::collections::HashMap;
 
-/// Evaluate a (closed) calculus expression with the PPRED streaming engine.
+/// Evaluate a (closed) calculus expression with the PPRED streaming engine
+/// on the decoded index layout.
 ///
 /// Fails with a [`PlanError`] if the query is not in the PPRED fragment
 /// (negative/general predicates, open negation, `EVERY`, mismatched `OR`).
@@ -20,9 +21,28 @@ pub fn run_ppred(
     registry: &PredicateRegistry,
     mode: AdvanceMode,
 ) -> Result<(Vec<NodeId>, AccessCounters), PlanError> {
+    run_ppred_with(expr, corpus, index, registry, mode, IndexLayout::Decoded)
+}
+
+/// [`run_ppred`] with an explicit physical layout for the leaf scans.
+pub fn run_ppred_with(
+    expr: &QueryExpr,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    registry: &PredicateRegistry,
+    mode: AdvanceMode,
+    layout: IndexLayout,
+) -> Result<(Vec<NodeId>, AccessCounters), PlanError> {
     let plan = build_plan(expr, registry, false)?;
-    let ctx = CursorCtx { corpus, index, registry, mode };
-    let mut cursor = build_cursor(&plan.root, &ctx, &HashMap::new());
+    let root = order_joins_by_selectivity(plan.root, corpus, index);
+    let ctx = CursorCtx {
+        corpus,
+        index,
+        registry,
+        mode,
+        layout,
+    };
+    let mut cursor = build_cursor(&root, &ctx, &HashMap::new());
     let mut nodes = Vec::new();
     while let Some(n) = cursor.advance_node() {
         nodes.push(n);
@@ -48,7 +68,10 @@ mod tests {
 
     #[test]
     fn conjunction_without_predicates() {
-        let r = run("'test' AND 'usability'", &["test usability", "test", "usability test"]);
+        let r = run(
+            "'test' AND 'usability'",
+            &["test usability", "test", "usability test"],
+        );
         assert_eq!(r, vec![0, 2]);
     }
 
@@ -88,11 +111,7 @@ mod tests {
     fn samepara_requires_structured_positions() {
         let r = run(
             "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND samepara(p1,p2))",
-            &[
-                "alpha beta",
-                "alpha here.\n\nbeta there",
-                "nothing",
-            ],
+            &["alpha beta", "alpha here.\n\nbeta there", "nothing"],
         );
         assert_eq!(r, vec![0]);
     }
@@ -124,11 +143,8 @@ mod tests {
 
     #[test]
     fn conservative_and_aggressive_modes_agree() {
-        let corpus = Corpus::from_texts(&[
-            "a x x b x x a b",
-            "b x x x x x x x x x a",
-            "a b a b a b",
-        ]);
+        let corpus =
+            Corpus::from_texts(&["a x x b x x a b", "b x x x x x x x x x a", "a b a b a b"]);
         let index = IndexBuilder::new().build(&corpus);
         let reg = PredicateRegistry::with_builtins();
         let surface = parse(

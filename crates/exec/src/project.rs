@@ -44,6 +44,10 @@ impl FtCursor for ProjectCursor<'_> {
         self.input.advance_position(self.keep[col], min_offset)
     }
 
+    fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
+        self.input.seek_node(target)
+    }
+
     fn counters(&self) -> AccessCounters {
         self.input.counters()
     }

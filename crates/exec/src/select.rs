@@ -40,7 +40,15 @@ impl<'a> SelectCursor<'a> {
         mode: AdvanceMode,
     ) -> Self {
         let n = arg_cols.len();
-        SelectCursor { input, pred, arg_cols, consts, mode, neg_order: None, args: vec![Position::flat(0); n] }
+        SelectCursor {
+            input,
+            pred,
+            arg_cols,
+            consts,
+            mode,
+            neg_order: None,
+            args: vec![Position::flat(0); n],
+        }
     }
 
     /// A negative-predicate selection (Algorithm 7). `neg_order` lists the
@@ -107,7 +115,10 @@ impl<'a> SelectCursor<'a> {
                         .expect("negative predicate provides advances")
                 }
             };
-            if !self.input.advance_position(self.arg_cols[adv.column], adv.min_offset) {
+            if !self
+                .input
+                .advance_position(self.arg_cols[adv.column], adv.min_offset)
+            {
                 return false;
             }
         }
@@ -143,6 +154,21 @@ impl FtCursor for SelectCursor<'_> {
             return false;
         }
         self.advance_until_sat()
+    }
+
+    fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
+        if let Some(n) = self.input.node() {
+            if n >= target {
+                return Some(n);
+            }
+        }
+        // Seek the input past the non-candidate range, then fall back to the
+        // regular satisfy-or-advance loop from the landing node.
+        self.input.seek_node(target)?;
+        if self.advance_until_sat() {
+            return self.input.node();
+        }
+        self.advance_node()
     }
 
     fn counters(&self) -> AccessCounters {
@@ -181,7 +207,8 @@ mod tests {
     fn distance_selection_matches_section_5_5_1_walkthrough() {
         // Positions mirror Figure 2: usability at 3,12,39; software at 25,
         // 29, 42 in node 0 — only (39, 42) is within distance 5.
-        let text = "u x x x x x x x x x x x u x x x x x x x x x x x x s x x x s x x x x x x x x x u x x s";
+        let text =
+            "u x x x x x x x x x x x u x x x x x x x x x x x x s x x x s x x x x x x x x x u x x s";
         let corpus = Corpus::from_texts(&[text]);
         let index = IndexBuilder::new().build(&corpus);
         let reg = PredicateRegistry::with_builtins();
@@ -223,9 +250,9 @@ mod tests {
     fn negative_selection_finds_wide_gaps() {
         // not_distance(a, b, 4): need more than 4 intervening tokens.
         let corpus = Corpus::from_texts(&[
-            "a b",                     // gap 0: no
-            "a x x x x x x b",         // 6 intervening: yes
-            "b x x x x x x a",         // reversed, 6 intervening: yes
+            "a b",             // gap 0: no
+            "a x x x x x x b", // 6 intervening: yes
+            "b x x x x x x a", // reversed, 6 intervening: yes
         ]);
         let index = IndexBuilder::new().build(&corpus);
         let reg = PredicateRegistry::with_builtins();

@@ -30,7 +30,13 @@ impl<'a> UnionCursor<'a> {
     /// Merge two cursors (same arity, same column variables).
     pub fn new(left: Box<dyn FtCursor + 'a>, right: Box<dyn FtCursor + 'a>) -> Self {
         debug_assert_eq!(left.arity(), right.arity());
-        UnionCursor { left, right, l_state: Side::NotStarted, r_state: Side::NotStarted, current: None }
+        UnionCursor {
+            left,
+            right,
+            l_state: Side::NotStarted,
+            r_state: Side::NotStarted,
+            current: None,
+        }
     }
 }
 
@@ -103,7 +109,28 @@ pub struct DiffCursor<'a> {
 impl<'a> DiffCursor<'a> {
     /// Keep `left` nodes that `filter` does not produce.
     pub fn new(left: Box<dyn FtCursor + 'a>, filter: Box<dyn FtCursor + 'a>) -> Self {
-        DiffCursor { left, filter, filter_state: Side::NotStarted }
+        DiffCursor {
+            left,
+            filter,
+            filter_state: Side::NotStarted,
+        }
+    }
+
+    /// True iff the filter does not produce `n`. Catches the filter up via
+    /// seeks, so long filter lists are block-skipped, not decoded.
+    fn passes_filter(&mut self, n: NodeId) -> bool {
+        loop {
+            match self.filter_state {
+                Side::Done => return true,
+                Side::At(f) if f >= n => return f != n,
+                _ => {
+                    self.filter_state = match self.filter.seek_node(n) {
+                        Some(f) => Side::At(f),
+                        None => Side::Done,
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -116,21 +143,8 @@ impl FtCursor for DiffCursor<'_> {
         // Algorithm 5: emit the next left node not matched by the filter.
         loop {
             let n = self.left.advance_node()?;
-            loop {
-                match self.filter_state {
-                    Side::Done => break,
-                    Side::At(f) if f >= n => break,
-                    _ => {
-                        self.filter_state = match self.filter.advance_node() {
-                            Some(f) => Side::At(f),
-                            None => Side::Done,
-                        };
-                    }
-                }
-            }
-            match self.filter_state {
-                Side::At(f) if f == n => continue,
-                _ => return Some(n),
+            if self.passes_filter(n) {
+                return Some(n);
             }
         }
     }
@@ -145,6 +159,22 @@ impl FtCursor for DiffCursor<'_> {
 
     fn advance_position(&mut self, col: usize, min_offset: u32) -> bool {
         self.left.advance_position(col, min_offset)
+    }
+
+    fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
+        if let Some(n) = self.left.node() {
+            if n >= target {
+                return Some(n);
+            }
+        }
+        let mut bound = target;
+        loop {
+            let n = self.left.seek_node(bound)?;
+            if self.passes_filter(n) {
+                return Some(n);
+            }
+            bound = NodeId(n.0 + 1);
+        }
     }
 
     fn counters(&self) -> AccessCounters {
@@ -184,9 +214,8 @@ mod tests {
     fn union_with_empty_side() {
         let corpus = Corpus::from_texts(&["a", "a"]);
         let index = IndexBuilder::new().build(&corpus);
-        let b_scan: Box<dyn FtCursor> = Box::new(ScanCursor::new(
-            index.list(ftsl_model::TokenId(9999)),
-        ));
+        let b_scan: Box<dyn FtCursor> =
+            Box::new(ScanCursor::new(index.list(ftsl_model::TokenId(9999))));
         let mut u = UnionCursor::new(scan(&corpus, &index, "a"), b_scan);
         let mut nodes = Vec::new();
         while let Some(n) = u.advance_node() {
@@ -211,9 +240,8 @@ mod tests {
     fn difference_with_empty_filter_passes_everything() {
         let corpus = Corpus::from_texts(&["a", "a"]);
         let index = IndexBuilder::new().build(&corpus);
-        let empty: Box<dyn FtCursor> = Box::new(ScanCursor::new(
-            index.list(ftsl_model::TokenId(9999)),
-        ));
+        let empty: Box<dyn FtCursor> =
+            Box::new(ScanCursor::new(index.list(ftsl_model::TokenId(9999))));
         let mut d = DiffCursor::new(scan(&corpus, &index, "a"), empty);
         assert_eq!(d.advance_node().map(|n| n.0), Some(0));
         assert_eq!(d.advance_node().map(|n| n.0), Some(1));

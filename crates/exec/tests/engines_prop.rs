@@ -19,28 +19,26 @@ const VOCAB: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
 fn arb_corpus() -> impl Strategy<Value = Corpus> {
     // Documents as token-index sequences; value 100+ inserts a sentence
     // break, 200+ a paragraph break.
-    proptest::collection::vec(proptest::collection::vec(0usize..9, 0..14), 1..8).prop_map(
-        |docs| {
-            let texts: Vec<String> = docs
-                .into_iter()
-                .map(|toks| {
-                    let mut text = String::new();
-                    for t in toks {
-                        match t {
-                            0..=5 => {
-                                text.push_str(VOCAB[t]);
-                                text.push(' ');
-                            }
-                            6 | 7 => text.push_str(". "),
-                            _ => text.push_str("\n\n"),
+    proptest::collection::vec(proptest::collection::vec(0usize..9, 0..14), 1..8).prop_map(|docs| {
+        let texts: Vec<String> = docs
+            .into_iter()
+            .map(|toks| {
+                let mut text = String::new();
+                for t in toks {
+                    match t {
+                        0..=5 => {
+                            text.push_str(VOCAB[t]);
+                            text.push(' ');
                         }
+                        6 | 7 => text.push_str(". "),
+                        _ => text.push_str("\n\n"),
                     }
-                    text
-                })
-                .collect();
-            Corpus::from_texts(&texts)
-        },
-    )
+                }
+                text
+            })
+            .collect();
+        Corpus::from_texts(&texts)
+    })
 }
 
 /// One positive or negative binary predicate application over bound vars.

@@ -7,7 +7,7 @@
 
 use ftsl_calculus::ast::QueryExpr;
 use ftsl_exec::plan::{build_plan, PlanNode};
-use ftsl_exec::{ppred, npred};
+use ftsl_exec::{npred, ppred};
 use ftsl_index::{IndexBuilder, InvertedIndex};
 use ftsl_lang::{lower, parse, Mode};
 use ftsl_model::Corpus;
@@ -21,7 +21,12 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
         |docs| {
             let texts: Vec<String> = docs
                 .into_iter()
-                .map(|toks| toks.into_iter().map(|t| VOCAB[t]).collect::<Vec<_>>().join(" "))
+                .map(|toks| {
+                    toks.into_iter()
+                        .map(|t| VOCAB[t])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
                 .collect();
             Corpus::from_texts(&texts)
         },

@@ -1,0 +1,163 @@
+//! Acceptance tests for skip-aware seeking on a skewed corpus: conjunctive
+//! evaluation driven by the rarest list must *decode* strictly fewer
+//! inverted-list entries than a sequential scan of the operand lists, with
+//! the bypassed entries accounted in [`AccessCounters::skipped`] — and the
+//! block-compressed layout must agree with the decoded layout on every
+//! engine that can read both.
+
+use ftsl_corpus::SynthConfig;
+use ftsl_exec::bool_eval::run_bool;
+use ftsl_exec::build::IndexLayout;
+use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+use ftsl_index::{AccessCounters, IndexBuilder, InvertedIndex};
+use ftsl_lang::{parse, Mode};
+use ftsl_model::Corpus;
+use ftsl_predicates::PredicateRegistry;
+
+/// Zipf background plus one rare and one common planted token: the regime
+/// where seek-driven conjunction wins by orders of magnitude.
+fn skewed_env() -> (Corpus, InvertedIndex) {
+    let config = SynthConfig {
+        cnodes: 1500,
+        vocabulary: 800,
+        tokens_per_doc: 60,
+        ..SynthConfig::default()
+    }
+    .plant("rare", 0.01, 2)
+    .plant("common", 0.6, 3);
+    let corpus = config.build();
+    let index = IndexBuilder::new().build(&corpus);
+    (corpus, index)
+}
+
+fn df(corpus: &Corpus, index: &InvertedIndex, token: &str) -> u64 {
+    index.df(corpus.token_id(token).expect("planted token")) as u64
+}
+
+#[test]
+fn bool_conjunction_decodes_fewer_entries_than_sequential_scan() {
+    let (corpus, index) = skewed_env();
+    let rare_df = df(&corpus, &index, "rare");
+    let common_df = df(&corpus, &index, "common");
+    assert!(
+        rare_df * 10 < common_df,
+        "corpus must be skewed: {rare_df} vs {common_df}"
+    );
+    // What the seed's lock-step merge decoded: every entry of both lists.
+    let sequential_entries = rare_df + common_df;
+
+    let query = parse("'rare' AND 'common'", Mode::Bool).expect("parses");
+    let (nodes, counters) = run_bool(&query, &corpus, &index).expect("runs");
+
+    assert!(
+        counters.entries < sequential_entries,
+        "decoded {} entries, sequential scan costs {sequential_entries}",
+        counters.entries
+    );
+    assert!(
+        counters.skipped > 0,
+        "seek must bypass entries on a skewed corpus"
+    );
+    // The seek path cannot decode more than O(rare · log common) entries;
+    // generously bound by 4·rare + log-factor slack.
+    assert!(
+        counters.entries <= 4 * rare_df + 64,
+        "decoded {} entries for rare df {rare_df}",
+        counters.entries
+    );
+
+    // Same answer as the naive merge over the decoded node-id arrays.
+    let rare_ids = index.list(corpus.token_id("rare").unwrap()).node_ids();
+    let common_ids = index.list(corpus.token_id("common").unwrap()).node_ids();
+    let expected = ftsl_exec::bool_eval::intersect_sorted(rare_ids, common_ids);
+    assert_eq!(nodes, expected);
+}
+
+#[test]
+fn streaming_join_seeks_instead_of_scanning() {
+    let (corpus, index) = skewed_env();
+    let reg = PredicateRegistry::with_builtins();
+    let exec = Executor::new(&corpus, &index, &reg);
+    let out = exec
+        .run_surface(
+            &parse("'rare' AND 'common'", Mode::Comp).unwrap(),
+            EngineKind::Ppred,
+        )
+        .expect("ppred runs");
+
+    let sequential_entries = df(&corpus, &index, "rare") + df(&corpus, &index, "common");
+    assert!(
+        out.counters.entries < sequential_entries,
+        "PPRED decoded {} entries, lock-step costs {sequential_entries}",
+        out.counters.entries
+    );
+    assert!(out.counters.skipped > 0);
+}
+
+fn layouts_agree(query: &str, engine: EngineKind) -> AccessCounters {
+    let (corpus, index) = skewed_env();
+    let reg = PredicateRegistry::with_builtins();
+    let surface = parse(query, Mode::Comp).expect("parses");
+
+    let decoded = Executor::new(&corpus, &index, &reg)
+        .run_surface(&surface, engine)
+        .expect("decoded layout runs");
+    let blocks = Executor::with_options(
+        &corpus,
+        &index,
+        &reg,
+        ExecOptions {
+            layout: IndexLayout::Blocks,
+            ..Default::default()
+        },
+    )
+    .run_surface(&surface, engine)
+    .expect("block layout runs");
+
+    assert_eq!(decoded.nodes, blocks.nodes, "layouts disagree on {query}");
+    assert!(!decoded.nodes.is_empty(), "vacuous agreement on {query}");
+    blocks.counters
+}
+
+#[test]
+fn block_layout_agrees_with_decoded_on_bool() {
+    let counters = layouts_agree(
+        "('rare' AND 'common') OR ('common' AND NOT 'rare')",
+        EngineKind::Bool,
+    );
+    // The compressed conjunction path must seek, not scan.
+    assert!(
+        counters.skipped > 0,
+        "BOOL block cursors should skip: {counters:?}"
+    );
+}
+
+#[test]
+fn block_layout_agrees_with_decoded_on_ppred() {
+    let counters = layouts_agree(
+        "SOME p1 SOME p2 (p1 HAS 'rare' AND p2 HAS 'common' AND samepara(p1,p2))",
+        EngineKind::Ppred,
+    );
+    // The compressed cursors skip whole blocks of the common list.
+    assert!(
+        counters.skipped > 0,
+        "block cursors should skip: {counters:?}"
+    );
+}
+
+#[test]
+fn block_layout_agrees_with_decoded_on_npred() {
+    layouts_agree(
+        "SOME p1 SOME p2 (p1 HAS 'rare' AND p2 HAS 'common' AND not_distance(p1,p2,2))",
+        EngineKind::Npred,
+    );
+}
+
+#[test]
+fn block_layout_agrees_on_union_and_negation() {
+    layouts_agree(
+        "SOME p1 SOME p2 ((p1 HAS 'rare' OR p1 HAS 'common') AND p2 HAS 'common' \
+         AND distance(p1,p2,40)) AND NOT 'nonexistent-token'",
+        EngineKind::Ppred,
+    );
+}

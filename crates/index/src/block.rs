@@ -1,0 +1,609 @@
+//! Block-compressed posting lists with an implicit skip list.
+//!
+//! The physical layout of an inverted list ([`BlockList`]) groups entries
+//! into blocks of [`BLOCK_ENTRIES`] entries. Within a block, node ids and
+//! position offsets are delta-encoded as LEB128 varints ([`crate::varint`]);
+//! each block's header ([`BlockMeta`]) records the largest node id it
+//! contains plus its byte offset, so the header array doubles as a one-level
+//! skip list: a cursor seeking a node id binary-searches the headers, jumps
+//! straight to the first candidate block, and only decodes entries inside
+//! it.
+//!
+//! ## Entry encoding
+//!
+//! Per entry, in order:
+//!
+//! 1. node id — absolute varint for the first entry of a block, else
+//!    `delta − 1` from the previous entry's node id (ids are strictly
+//!    increasing);
+//! 2. position count `n` (≥ 1);
+//! 3. byte length of the encoded positions (lets a cursor step over an
+//!    entry without decoding its positions);
+//! 4. `n` positions: the first as absolute `(offset, sentence, paragraph)`
+//!    varints, the rest as `(offset delta − 1, sentence delta, paragraph
+//!    delta)` — offsets strictly increase, ordinals never decrease.
+
+use crate::counters::AccessCounters;
+use crate::postings::PostingList;
+use crate::varint;
+use ftsl_model::{NodeId, Position};
+use serde::{Deserialize, Serialize};
+
+/// Entries per compressed block. 128 keeps the skip granularity fine while
+/// letting the per-block header amortize to under 0.1 byte/entry.
+pub const BLOCK_ENTRIES: usize = 128;
+
+/// Header of one compressed block — one implicit skip-list node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// Largest node id stored in the block (its last entry's id).
+    pub max_node: NodeId,
+    /// Byte offset of the block's first entry in the data stream.
+    pub byte_start: u32,
+    /// Global index of the block's first entry.
+    pub first_entry: u32,
+}
+
+/// A block-compressed inverted list: the on-disk and cache-resident layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockList {
+    blocks: Vec<BlockMeta>,
+    data: Vec<u8>,
+    entries: u32,
+    positions: u64,
+}
+
+impl BlockList {
+    /// Compress a decoded [`PostingList`].
+    pub fn from_posting(list: &PostingList) -> Self {
+        let mut out = BlockList::default();
+        let mut prev_node = 0u32;
+        let mut scratch: Vec<u8> = Vec::new();
+        for (i, (node, positions)) in list.iter().enumerate() {
+            if i % BLOCK_ENTRIES == 0 {
+                out.blocks.push(BlockMeta {
+                    max_node: node, // fixed up as entries are appended
+                    byte_start: out.data.len() as u32,
+                    first_entry: i as u32,
+                });
+                varint::put_u32(&mut out.data, node.0);
+            } else {
+                varint::put_u32(&mut out.data, node.0 - prev_node - 1);
+            }
+            prev_node = node.0;
+            out.blocks.last_mut().expect("block header exists").max_node = node;
+
+            varint::put_u32(&mut out.data, positions.len() as u32);
+            scratch.clear();
+            let mut prev = Position::flat(0);
+            for (j, p) in positions.iter().enumerate() {
+                if j == 0 {
+                    varint::put_u32(&mut scratch, p.offset);
+                    varint::put_u32(&mut scratch, p.sentence);
+                    varint::put_u32(&mut scratch, p.paragraph);
+                } else {
+                    varint::put_u32(&mut scratch, p.offset - prev.offset - 1);
+                    varint::put_u32(&mut scratch, p.sentence - prev.sentence);
+                    varint::put_u32(&mut scratch, p.paragraph - prev.paragraph);
+                }
+                prev = *p;
+            }
+            varint::put_u32(&mut out.data, scratch.len() as u32);
+            out.data.extend_from_slice(&scratch);
+            out.entries += 1;
+            out.positions += positions.len() as u64;
+        }
+        out
+    }
+
+    /// Decode back into the flat columnar layout.
+    pub fn to_posting(&self) -> PostingList {
+        let mut list = PostingList::empty();
+        let mut cursor = self.cursor();
+        let mut positions: Vec<Position> = Vec::new();
+        while let Some(node) = cursor.next_entry() {
+            positions.clear();
+            positions.extend_from_slice(cursor.positions());
+            list.push_entry(node, &positions);
+        }
+        list
+    }
+
+    /// Like [`Self::to_posting`], but over *untrusted* bytes (the persisted
+    /// load path): every varint read, count, and ordering invariant is
+    /// checked, and any violation returns `Err` with a description instead
+    /// of panicking the way the in-memory cursor's `expect`s would.
+    pub fn try_to_posting(&self) -> Result<PostingList, &'static str> {
+        let mut list = PostingList::empty();
+        let mut at = 0usize;
+        let mut prev_node = 0u32;
+        let mut total_positions = 0u64;
+        let mut positions: Vec<Position> = Vec::new();
+        for i in 0..self.entries as usize {
+            let block = i / BLOCK_ENTRIES;
+            if i % BLOCK_ENTRIES == 0 {
+                let meta = self.blocks.get(block).ok_or("missing block header")?;
+                if meta.byte_start as usize != at || meta.first_entry as usize != i {
+                    return Err("block header disagrees with entry stream");
+                }
+            }
+            let raw = varint::get_u32(&self.data, &mut at).ok_or("truncated node id")?;
+            let node = if i % BLOCK_ENTRIES == 0 {
+                raw
+            } else {
+                prev_node
+                    .checked_add(raw)
+                    .and_then(|n| n.checked_add(1))
+                    .ok_or("node overflow")?
+            };
+            if i > 0 && node <= prev_node {
+                return Err("node ids not strictly increasing");
+            }
+            prev_node = node;
+            if NodeId(node) > self.blocks[block].max_node {
+                return Err("node id exceeds block max");
+            }
+            let npos = varint::get_u32(&self.data, &mut at).ok_or("truncated position count")?;
+            if npos == 0 {
+                return Err("empty entry");
+            }
+            let nbytes = varint::get_u32(&self.data, &mut at).ok_or("truncated position length")?;
+            let end = at
+                .checked_add(nbytes as usize)
+                .ok_or("position length overflow")?;
+            if end > self.data.len() {
+                return Err("position bytes out of range");
+            }
+            positions.clear();
+            let mut prev = Position::flat(0);
+            for j in 0..npos {
+                let (offset, sentence, paragraph) = if j == 0 {
+                    (
+                        varint::get_u32(&self.data, &mut at).ok_or("truncated offset")?,
+                        varint::get_u32(&self.data, &mut at).ok_or("truncated sentence")?,
+                        varint::get_u32(&self.data, &mut at).ok_or("truncated paragraph")?,
+                    )
+                } else {
+                    let doff = varint::get_u32(&self.data, &mut at).ok_or("truncated offset")?;
+                    let dsent = varint::get_u32(&self.data, &mut at).ok_or("truncated sentence")?;
+                    let dpara =
+                        varint::get_u32(&self.data, &mut at).ok_or("truncated paragraph")?;
+                    (
+                        prev.offset
+                            .checked_add(doff)
+                            .and_then(|o| o.checked_add(1))
+                            .ok_or("offset overflow")?,
+                        prev.sentence
+                            .checked_add(dsent)
+                            .ok_or("sentence overflow")?,
+                        prev.paragraph
+                            .checked_add(dpara)
+                            .ok_or("paragraph overflow")?,
+                    )
+                };
+                if at > end {
+                    return Err("positions overrun their declared length");
+                }
+                prev = Position {
+                    offset,
+                    sentence,
+                    paragraph,
+                };
+                positions.push(prev);
+            }
+            if at != end {
+                return Err("positions shorter than declared length");
+            }
+            total_positions += npos as u64;
+            list.push_entry(NodeId(node), &positions);
+        }
+        if at != self.data.len() {
+            return Err("trailing bytes after last entry");
+        }
+        if total_positions != self.positions {
+            return Err("position count disagrees with payload");
+        }
+        Ok(list)
+    }
+
+    /// Number of entries (`df(t)`).
+    pub fn num_entries(&self) -> usize {
+        self.entries as usize
+    }
+
+    /// Total positions across all entries.
+    pub fn num_positions(&self) -> usize {
+        self.positions as usize
+    }
+
+    /// True iff the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of compressed blocks (skip-list length).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Compressed payload size in bytes (entry stream + skip headers).
+    pub fn compressed_bytes(&self) -> usize {
+        self.data.len() + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// Open a seeking cursor over the compressed stream.
+    pub fn cursor(&self) -> BlockCursor<'_> {
+        BlockCursor {
+            list: self,
+            next_entry: 0,
+            in_block: 0,
+            byte: 0,
+            prev_node: 0,
+            node: None,
+            started: false,
+            pos_count: 0,
+            pos_bytes: 0..0,
+            decoded: Vec::new(),
+            decoded_valid: false,
+            pos_idx: 0,
+            counters: AccessCounters::new(),
+        }
+    }
+
+    /// Skip headers (exposed for persistence and diagnostics).
+    pub(crate) fn parts(&self) -> (&[BlockMeta], &[u8], u32, u64) {
+        (&self.blocks, &self.data, self.entries, self.positions)
+    }
+
+    /// Reassemble from persisted parts, validating counts.
+    pub(crate) fn from_parts(
+        blocks: Vec<BlockMeta>,
+        data: Vec<u8>,
+        entries: u32,
+        positions: u64,
+    ) -> Self {
+        BlockList {
+            blocks,
+            data,
+            entries,
+            positions,
+        }
+    }
+}
+
+/// A forward-only, skip-aware cursor over a [`BlockList`].
+///
+/// Implements the paper's sequential contract (`next_entry` /
+/// `positions`) plus the [`BlockCursor::seek`] extension: jump to the first
+/// entry with node id ≥ a target, skipping whole blocks via the header
+/// array. Skipped entries are counted separately from decoded ones in
+/// [`AccessCounters`], so evaluation strategies can be compared on exact
+/// decode work.
+///
+/// ```
+/// use ftsl_index::block::BlockList;
+/// use ftsl_index::PostingList;
+/// use ftsl_model::{NodeId, Position};
+///
+/// // 1000 entries at even node ids 0, 2, 4, ...
+/// let list = PostingList::from_entries(
+///     (0..1000).map(|i| (NodeId(2 * i), vec![Position::flat(i)])).collect(),
+/// );
+/// let blocks = BlockList::from_posting(&list);
+/// let mut cur = blocks.cursor();
+///
+/// // Seek lands on the first entry with node id >= 1501.
+/// assert_eq!(cur.seek(NodeId(1501)), Some(NodeId(1502)));
+/// // Only one block of entries was decoded to get there; the preceding
+/// // blocks were skipped through the header array.
+/// assert!(cur.counters().entries < 2 * ftsl_index::block::BLOCK_ENTRIES as u64);
+/// assert!(cur.counters().skipped >= 600);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockCursor<'a> {
+    list: &'a BlockList,
+    /// Global index of the *next* entry to decode.
+    next_entry: u32,
+    /// Entries already decoded in the current block.
+    in_block: usize,
+    /// Read offset into `list.data` (start of the next entry).
+    byte: usize,
+    prev_node: u32,
+    node: Option<NodeId>,
+    started: bool,
+    pos_count: u32,
+    /// Byte range of the current entry's encoded positions.
+    pos_bytes: std::ops::Range<usize>,
+    decoded: Vec<Position>,
+    decoded_valid: bool,
+    pos_idx: usize,
+    counters: AccessCounters,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// `nextEntry()`: decode the next entry header and return its node id,
+    /// or `None` at end of list.
+    pub fn next_entry(&mut self) -> Option<NodeId> {
+        if self.next_entry >= self.list.entries {
+            self.node = None;
+            self.started = true;
+            return None;
+        }
+        if self.in_block == BLOCK_ENTRIES {
+            // Crossing into the next block: node ids restart absolute.
+            self.in_block = 0;
+        }
+        let data = &self.list.data;
+        let raw = varint::get_u32(data, &mut self.byte).expect("well-formed block stream");
+        let node = if self.in_block == 0 {
+            raw
+        } else {
+            self.prev_node + raw + 1
+        };
+        let npos = varint::get_u32(data, &mut self.byte).expect("well-formed block stream");
+        let nbytes = varint::get_u32(data, &mut self.byte).expect("well-formed block stream");
+        self.pos_bytes = self.byte..self.byte + nbytes as usize;
+        self.byte += nbytes as usize;
+        self.prev_node = node;
+        self.node = Some(NodeId(node));
+        self.started = true;
+        self.pos_count = npos;
+        self.decoded_valid = false;
+        self.pos_idx = 0;
+        self.in_block += 1;
+        self.next_entry += 1;
+        self.counters.entries += 1;
+        Some(NodeId(node))
+    }
+
+    /// `seek(node)`: advance to the first entry with node id ≥ `target`,
+    /// skipping whole blocks via the header array. Stays put if the current
+    /// entry already satisfies the bound. Returns the landing node id, or
+    /// `None` when the list has no such entry.
+    pub fn seek(&mut self, target: NodeId) -> Option<NodeId> {
+        if let Some(cur) = self.node {
+            if cur >= target {
+                return Some(cur);
+            }
+        }
+        // First candidate block whose max node reaches the target, at or
+        // after the block the cursor is currently parked in.
+        let cur_block = self.next_entry as usize / BLOCK_ENTRIES;
+        let rel = self.list.blocks[cur_block.min(self.list.blocks.len().saturating_sub(1))..]
+            .partition_point(|b| b.max_node < target);
+        let target_block = cur_block + rel;
+        if target_block >= self.list.blocks.len() {
+            // No block can contain the target: exhaust, counting the rest
+            // of the list as skipped (never decoded).
+            self.counters.skipped += (self.list.entries - self.next_entry) as u64;
+            self.next_entry = self.list.entries;
+            self.node = None;
+            self.started = true;
+            return None;
+        }
+        let meta = self.list.blocks[target_block];
+        if meta.first_entry > self.next_entry {
+            self.counters.skipped += (meta.first_entry - self.next_entry) as u64;
+            self.next_entry = meta.first_entry;
+            self.byte = meta.byte_start as usize;
+            self.in_block = 0;
+        }
+        // Scan within the block (≤ BLOCK_ENTRIES decodes).
+        while let Some(node) = self.next_entry() {
+            if node >= target {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// The node id of the current entry.
+    pub fn node(&self) -> Option<NodeId> {
+        self.node
+    }
+
+    /// `getPositions()`: decode (once) and return the current entry's
+    /// positions.
+    ///
+    /// # Panics
+    /// Panics if called before the first successful [`Self::next_entry`].
+    pub fn positions(&mut self) -> &[Position] {
+        assert!(self.node.is_some(), "cursor not positioned on an entry");
+        if !self.decoded_valid {
+            self.decoded.clear();
+            let data = &self.list.data;
+            let mut at = self.pos_bytes.start;
+            let mut prev = Position::flat(0);
+            for j in 0..self.pos_count {
+                let p = if j == 0 {
+                    let offset = varint::get_u32(data, &mut at).expect("well-formed positions");
+                    let sentence = varint::get_u32(data, &mut at).expect("well-formed positions");
+                    let paragraph = varint::get_u32(data, &mut at).expect("well-formed positions");
+                    Position {
+                        offset,
+                        sentence,
+                        paragraph,
+                    }
+                } else {
+                    let doff = varint::get_u32(data, &mut at).expect("well-formed positions");
+                    let dsent = varint::get_u32(data, &mut at).expect("well-formed positions");
+                    let dpara = varint::get_u32(data, &mut at).expect("well-formed positions");
+                    Position {
+                        offset: prev.offset + doff + 1,
+                        sentence: prev.sentence + dsent,
+                        paragraph: prev.paragraph + dpara,
+                    }
+                };
+                self.decoded.push(p);
+                prev = p;
+            }
+            debug_assert_eq!(at, self.pos_bytes.end);
+            self.decoded_valid = true;
+        }
+        &self.decoded
+    }
+
+    /// The current position within the current entry, if any remain.
+    pub fn position(&mut self) -> Option<Position> {
+        let idx = self.pos_idx;
+        self.positions().get(idx).copied()
+    }
+
+    /// Advance the position sub-cursor to the first position with
+    /// `offset >= min_offset`, counting consumed positions.
+    pub fn advance_position(&mut self, min_offset: u32) -> Option<Position> {
+        let idx = self.pos_idx;
+        let ps = self.positions();
+        let mut i = idx;
+        while let Some(p) = ps.get(i) {
+            if p.offset >= min_offset {
+                let hit = *p;
+                let consumed = (i - idx) as u64;
+                self.pos_idx = i;
+                self.counters.positions += consumed;
+                return Some(hit);
+            }
+            i += 1;
+        }
+        let consumed = (i - idx) as u64;
+        self.pos_idx = i;
+        self.counters.positions += consumed;
+        None
+    }
+
+    /// Reset the position sub-cursor to the start of the current entry.
+    pub fn rewind_positions(&mut self) {
+        self.pos_idx = 0;
+    }
+
+    /// Access counters accumulated by this cursor.
+    pub fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    /// True if all entries have been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.started && self.node.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(o: u32) -> Position {
+        Position::flat(o)
+    }
+
+    fn sample(n: u32, stride: u32) -> PostingList {
+        PostingList::from_entries(
+            (0..n)
+                .map(|i| {
+                    (
+                        NodeId(i * stride),
+                        vec![
+                            Position::new(i, i / 7, i / 31),
+                            Position::new(i + 5, i / 7 + 1, i / 31),
+                        ],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_positions() {
+        for n in [0u32, 1, 2, 127, 128, 129, 1000] {
+            let list = sample(n, 3);
+            let blocks = BlockList::from_posting(&list);
+            assert_eq!(blocks.num_entries(), list.num_entries());
+            assert_eq!(blocks.num_positions(), list.num_positions());
+            assert_eq!(blocks.to_posting(), list, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn block_structure_has_expected_shape() {
+        let blocks = BlockList::from_posting(&sample(300, 2));
+        assert_eq!(blocks.num_blocks(), 3); // 128 + 128 + 44
+        assert!(blocks.compressed_bytes() < 300 * 12); // beats raw u32 triples
+    }
+
+    #[test]
+    fn cursor_walk_matches_posting_list() {
+        let list = sample(200, 5);
+        let blocks = BlockList::from_posting(&list);
+        let mut cur = blocks.cursor();
+        for i in 0..list.num_entries() {
+            assert_eq!(cur.next_entry(), Some(list.node_of(i)));
+            assert_eq!(cur.positions(), list.positions_of(i));
+        }
+        assert_eq!(cur.next_entry(), None);
+        assert!(cur.exhausted());
+        assert_eq!(cur.counters().entries, 200);
+        assert_eq!(cur.counters().skipped, 0);
+    }
+
+    #[test]
+    fn seek_skips_blocks_without_decoding() {
+        let blocks = BlockList::from_posting(&sample(1000, 2));
+        let mut cur = blocks.cursor();
+        assert_eq!(cur.seek(NodeId(1501)), Some(NodeId(1502)));
+        let c = cur.counters();
+        assert!(c.entries <= BLOCK_ENTRIES as u64, "decoded {}", c.entries);
+        assert!(c.skipped >= 512, "skipped {}", c.skipped);
+        assert_eq!(c.entries + c.skipped, 752); // landed on entry index 751
+    }
+
+    #[test]
+    fn seek_is_stable_and_monotone() {
+        let blocks = BlockList::from_posting(&sample(500, 3));
+        let mut cur = blocks.cursor();
+        assert_eq!(cur.seek(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(cur.seek(NodeId(0)), Some(NodeId(0))); // stays put
+        assert_eq!(cur.seek(NodeId(301)), Some(NodeId(303)));
+        assert_eq!(cur.seek(NodeId(302)), Some(NodeId(303))); // current suffices
+        assert_eq!(cur.seek(NodeId(10_000)), None);
+        assert!(cur.exhausted());
+    }
+
+    #[test]
+    fn seek_positions_are_fresh_at_landing_entry() {
+        let list = PostingList::from_entries(vec![
+            (NodeId(1), vec![p(3), p(12)]),
+            (NodeId(9), vec![p(51), p(56)]),
+        ]);
+        let blocks = BlockList::from_posting(&list);
+        let mut cur = blocks.cursor();
+        assert_eq!(cur.seek(NodeId(5)), Some(NodeId(9)));
+        assert_eq!(cur.position(), Some(p(51)));
+        assert_eq!(cur.advance_position(52), Some(p(56)));
+    }
+
+    #[test]
+    fn empty_list_cursor_behaves() {
+        let blocks = BlockList::from_posting(&PostingList::empty());
+        let mut cur = blocks.cursor();
+        assert_eq!(cur.seek(NodeId(0)), None);
+        let mut cur = blocks.cursor();
+        assert_eq!(cur.next_entry(), None);
+        assert!(cur.exhausted());
+    }
+
+    #[test]
+    fn compression_beats_flat_encoding_on_dense_lists() {
+        // Dense ids and short gaps: the regime block compression targets.
+        let list = PostingList::from_entries(
+            (0..10_000)
+                .map(|i| (NodeId(i), vec![p(i % 97), p(i % 97 + 3)]))
+                .collect(),
+        );
+        let blocks = BlockList::from_posting(&list);
+        let flat_bytes = 10_000 * (4 + 4 + 2 * 12); // node + offset count + positions
+        assert!(
+            blocks.compressed_bytes() * 3 < flat_bytes,
+            "compressed {} vs flat {flat_bytes}",
+            blocks.compressed_bytes()
+        );
+    }
+}

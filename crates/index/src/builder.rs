@@ -1,64 +1,178 @@
-//! Index construction from a corpus.
+//! Index construction from a corpus — sequential or sharded-parallel.
+//!
+//! Documents are consumed in node order, so all inverted-list entries come
+//! out ordered by node id and all positions by offset, as Section 5.1.2
+//! requires — no sorting pass is needed. The parallel path preserves this
+//! by sharding the *document range* into contiguous chunks: each worker
+//! builds complete per-shard lists for its chunk, and the merge simply
+//! concatenates shard lists in shard order (node ids across consecutive
+//! shards are already increasing). The result is bit-identical to a
+//! sequential build.
+//!
+//! After the decoded lists are assembled, their block-compressed physical
+//! form ([`crate::block::BlockList`]) is encoded, also in parallel (token
+//! ranges are independent).
 
+use crate::block::BlockList;
 use crate::index::InvertedIndex;
 use crate::postings::PostingList;
 use crate::stats::IndexStats;
-use ftsl_model::{Corpus, Position, TokenId};
+use ftsl_model::{Corpus, Document, Position, TokenId};
 
 /// Builds an [`InvertedIndex`] from a [`Corpus`].
-///
-/// Documents are consumed in node order, so all inverted-list entries come
-/// out ordered by node id and all positions by offset, as Section 5.1.2
-/// requires — no sorting pass is needed.
 #[derive(Clone, Debug, Default)]
 pub struct IndexBuilder {
-    _private: (),
+    threads: Option<usize>,
 }
 
+/// Below this many documents a parallel build costs more in thread setup
+/// and shard merging than it saves.
+const PARALLEL_THRESHOLD_DOCS: usize = 512;
+
 impl IndexBuilder {
-    /// A builder with default settings.
+    /// A builder with default settings (parallelism chosen automatically).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Force a worker-thread count (1 = sequential). The default picks
+    /// `std::thread::available_parallelism` for large corpora and
+    /// sequential construction for small ones.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// Build the index.
     pub fn build(&self, corpus: &Corpus) -> InvertedIndex {
         let vocab = corpus.interner().len();
-        let mut lists: Vec<PostingList> = vec![PostingList::empty(); vocab];
-        let mut any = PostingList::empty();
+        let docs = corpus.documents();
+        let threads = self.effective_threads(docs.len());
 
-        // Scratch: per-token positions for the current document, reused
-        // across documents to avoid reallocation (workhorse-collection idiom).
-        let mut per_token: Vec<Vec<Position>> = vec![Vec::new(); vocab];
-        let mut touched: Vec<TokenId> = Vec::new();
+        let (lists, any) = if threads <= 1 {
+            build_shard(docs, vocab)
+        } else {
+            build_sharded(docs, vocab, threads)
+        };
 
-        for doc in corpus.documents() {
-            if doc.is_empty() {
-                continue;
-            }
-            let all: Vec<Position> = doc.positions().collect();
-            any.push_entry(doc.node, &all);
-
-            for &(token, pos) in &doc.tokens {
-                let bucket = &mut per_token[token.index()];
-                if bucket.is_empty() {
-                    touched.push(token);
-                }
-                bucket.push(pos);
-            }
-            // Flush in sorted token order for determinism.
-            touched.sort_unstable();
-            for &token in &touched {
-                let bucket = &mut per_token[token.index()];
-                lists[token.index()].push_entry(doc.node, bucket);
-                bucket.clear();
-            }
-            touched.clear();
-        }
-
+        let blocks = compress_lists(&lists, threads);
+        let any_blocks = BlockList::from_posting(&any);
         let stats = IndexStats::compute(corpus, &lists, &any);
-        InvertedIndex { lists, any, stats }
+        InvertedIndex {
+            lists,
+            any,
+            blocks,
+            any_blocks,
+            stats,
+        }
     }
+
+    fn effective_threads(&self, num_docs: usize) -> usize {
+        let requested = self.threads.unwrap_or_else(|| {
+            if num_docs < PARALLEL_THRESHOLD_DOCS {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }
+        });
+        requested.min(num_docs.max(1))
+    }
+}
+
+/// Sequentially index one contiguous run of documents.
+fn build_shard(docs: &[Document], vocab: usize) -> (Vec<PostingList>, PostingList) {
+    let mut lists: Vec<PostingList> = vec![PostingList::empty(); vocab];
+    let mut any = PostingList::empty();
+
+    // Scratch: per-token positions for the current document, reused across
+    // documents to avoid reallocation (workhorse-collection idiom).
+    let mut per_token: Vec<Vec<Position>> = vec![Vec::new(); vocab];
+    let mut touched: Vec<TokenId> = Vec::new();
+
+    for doc in docs {
+        if doc.is_empty() {
+            continue;
+        }
+        let all: Vec<Position> = doc.positions().collect();
+        any.push_entry(doc.node, &all);
+
+        for &(token, pos) in &doc.tokens {
+            let bucket = &mut per_token[token.index()];
+            if bucket.is_empty() {
+                touched.push(token);
+            }
+            bucket.push(pos);
+        }
+        // Flush in sorted token order for determinism.
+        touched.sort_unstable();
+        for &token in &touched {
+            let bucket = &mut per_token[token.index()];
+            lists[token.index()].push_entry(doc.node, bucket);
+            bucket.clear();
+        }
+        touched.clear();
+    }
+    (lists, any)
+}
+
+/// Index contiguous document chunks on worker threads, then concatenate the
+/// per-shard lists in shard order.
+fn build_sharded(
+    docs: &[Document],
+    vocab: usize,
+    threads: usize,
+) -> (Vec<PostingList>, PostingList) {
+    let chunk = docs.len().div_ceil(threads);
+    let shards: Vec<(Vec<PostingList>, PostingList)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = docs
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || build_shard(slice, vocab)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("index shard worker"))
+            .collect()
+    });
+
+    let mut lists: Vec<PostingList> = vec![PostingList::empty(); vocab];
+    let mut any = PostingList::empty();
+    for (shard_lists, shard_any) in &shards {
+        any.append(shard_any);
+        for (t, shard_list) in shard_lists.iter().enumerate() {
+            if !shard_list.is_empty() {
+                lists[t].append(shard_list);
+            }
+        }
+    }
+    (lists, any)
+}
+
+/// Block-compress every list; token ranges are independent, so large
+/// vocabularies are chunked across the same worker count.
+fn compress_lists(lists: &[PostingList], threads: usize) -> Vec<BlockList> {
+    if threads <= 1 || lists.len() < 1024 {
+        return lists.iter().map(BlockList::from_posting).collect();
+    }
+    let chunk = lists.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = lists
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(BlockList::from_posting)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("compression worker"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -127,5 +241,39 @@ mod tests {
         assert_eq!(s.pos_per_cnode, 4);
         assert_eq!(s.entries_per_token, 2); // "b" occurs in both nodes
         assert_eq!(s.pos_per_entry, 3); // "a" has 3 positions in node 0
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        // Enough docs to span several shards, with gaps (empty docs).
+        let texts: Vec<String> = (0..200)
+            .map(|i| {
+                if i % 17 == 0 {
+                    String::new()
+                } else {
+                    format!("t{} t{} shared t{}", i % 7, i % 13, (i * 3) % 5)
+                }
+            })
+            .collect();
+        let corpus = Corpus::from_texts(&texts);
+        let seq = IndexBuilder::new().threads(1).build(&corpus);
+        let par = IndexBuilder::new().threads(4).build(&corpus);
+        assert_eq!(seq.stats(), par.stats());
+        assert_eq!(seq.any(), par.any());
+        for t in 0..corpus.interner().len() {
+            let tok = ftsl_model::TokenId(t as u32);
+            assert_eq!(seq.list(tok), par.list(tok), "token {t}");
+            assert_eq!(seq.block_list(tok), par.block_list(tok), "blocks {t}");
+        }
+    }
+
+    #[test]
+    fn block_lists_mirror_posting_lists() {
+        let (corpus, index) = index_of(&["a b a", "b c", "a c c"]);
+        for t in 0..corpus.interner().len() {
+            let tok = ftsl_model::TokenId(t as u32);
+            assert_eq!(&index.block_list(tok).to_posting(), index.list(tok));
+        }
+        assert_eq!(&index.any_block_list().to_posting(), index.any());
     }
 }

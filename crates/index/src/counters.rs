@@ -10,12 +10,16 @@ use std::ops::AddAssign;
 /// Counts of sequential inverted-list accesses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AccessCounters {
-    /// `nextEntry()` calls that returned an entry.
+    /// Entries *decoded*: `nextEntry()` calls that returned an entry.
     pub entries: u64,
     /// Positions consumed from `getPositions()` results.
     pub positions: u64,
     /// Tuples materialized by non-streaming operators (COMP joins).
     pub tuples: u64,
+    /// Entries bypassed by `seek` without being decoded (whole-block jumps
+    /// and galloped-over entries). Distinguishing decoded from skipped work
+    /// is what makes skip-aware and sequential evaluation comparable.
+    pub skipped: u64,
 }
 
 impl AccessCounters {
@@ -24,7 +28,9 @@ impl AccessCounters {
         Self::default()
     }
 
-    /// Total of all counters — a single scalar "work" proxy.
+    /// Total *decode* work — a single scalar proxy. Skipped entries are
+    /// deliberately excluded: a skip touches only a block header, not the
+    /// compressed entry stream.
     pub fn total(&self) -> u64 {
         self.entries + self.positions + self.tuples
     }
@@ -35,6 +41,7 @@ impl AddAssign for AccessCounters {
         self.entries += rhs.entries;
         self.positions += rhs.positions;
         self.tuples += rhs.tuples;
+        self.skipped += rhs.skipped;
     }
 }
 
@@ -52,10 +59,29 @@ mod tests {
 
     #[test]
     fn counters_add() {
-        let a = AccessCounters { entries: 1, positions: 2, tuples: 3 };
-        let b = AccessCounters { entries: 10, positions: 20, tuples: 30 };
+        let a = AccessCounters {
+            entries: 1,
+            positions: 2,
+            tuples: 3,
+            skipped: 4,
+        };
+        let b = AccessCounters {
+            entries: 10,
+            positions: 20,
+            tuples: 30,
+            skipped: 40,
+        };
         let c = a + b;
-        assert_eq!(c, AccessCounters { entries: 11, positions: 22, tuples: 33 });
+        assert_eq!(
+            c,
+            AccessCounters {
+                entries: 11,
+                positions: 22,
+                tuples: 33,
+                skipped: 44
+            }
+        );
+        // Skipped entries are not decode work.
         assert_eq!(c.total(), 66);
     }
 }

@@ -1,4 +1,5 @@
-//! The paper's sequential inverted-list cursor (Section 5.1.2).
+//! The paper's sequential inverted-list cursor (Section 5.1.2), extended
+//! with skip-aware seeking.
 //!
 //! "The only way to access an inverted list `IL_tok` is to open a cursor"
 //! supporting `nextEntry()` and `getPositions()`, each O(1). [`ListCursor`]
@@ -6,10 +7,55 @@
 //! sub-cursor (`advance_position`) used by the streaming engines: positions
 //! within the current entry are also consumed strictly left-to-right, so a
 //! full evaluation touches each list element at most once.
+//!
+//! Beyond the paper's contract, [`ListCursor::seek`] jumps forward to the
+//! first entry with a node id ≥ a target by galloping (doubling search) over
+//! the decoded node array; [`crate::block::BlockCursor`] provides the same
+//! operation over the compressed layout using block skip headers. Entries a
+//! seek bypasses are counted in [`AccessCounters::skipped`], never in
+//! `entries`, so skip-driven and sequential evaluation can be compared on
+//! exact decode work.
 
 use crate::counters::AccessCounters;
 use crate::postings::PostingList;
 use ftsl_model::{NodeId, Position};
+
+/// The node-level cursor contract shared by [`ListCursor`] (decoded layout)
+/// and [`crate::block::BlockCursor`] (compressed layout): sequential
+/// `next_entry` plus the skip-aware `seek` extension, with access counting.
+/// Lets evaluation strategies run unchanged over either physical form.
+pub trait PostingCursor {
+    /// Advance to the next entry and return its node id.
+    fn next_entry(&mut self) -> Option<NodeId>;
+    /// Advance to the first entry with node id ≥ `target`.
+    fn seek(&mut self, target: NodeId) -> Option<NodeId>;
+    /// Counters accumulated so far.
+    fn counters(&self) -> AccessCounters;
+}
+
+impl PostingCursor for ListCursor<'_> {
+    fn next_entry(&mut self) -> Option<NodeId> {
+        ListCursor::next_entry(self)
+    }
+    fn seek(&mut self, target: NodeId) -> Option<NodeId> {
+        ListCursor::seek(self, target)
+    }
+    fn counters(&self) -> AccessCounters {
+        ListCursor::counters(self)
+    }
+}
+
+impl PostingCursor for crate::block::BlockCursor<'_> {
+    fn next_entry(&mut self) -> Option<NodeId> {
+        crate::block::BlockCursor::next_entry(self)
+    }
+    fn seek(&mut self, target: NodeId) -> Option<NodeId> {
+        crate::block::BlockCursor::seek(self, target)
+    }
+    fn counters(&self) -> AccessCounters {
+        crate::block::BlockCursor::counters(self)
+    }
+}
 
 /// A forward-only cursor over one [`PostingList`].
 #[derive(Clone, Debug)]
@@ -26,13 +72,22 @@ pub struct ListCursor<'a> {
 impl<'a> ListCursor<'a> {
     /// Open a cursor at the start of `list`.
     pub fn new(list: &'a PostingList) -> Self {
-        ListCursor { list, entry: usize::MAX, pos: 0, counters: AccessCounters::new() }
+        ListCursor {
+            list,
+            entry: usize::MAX,
+            pos: 0,
+            counters: AccessCounters::new(),
+        }
     }
 
     /// `nextEntry()`: advance to the next entry and return its node id, or
     /// `None` when the list is exhausted.
     pub fn next_entry(&mut self) -> Option<NodeId> {
-        let next = if self.entry == usize::MAX { 0 } else { self.entry + 1 };
+        let next = if self.entry == usize::MAX {
+            0
+        } else {
+            self.entry + 1
+        };
         if next >= self.list.num_entries() {
             self.entry = self.list.num_entries();
             return None;
@@ -41,6 +96,64 @@ impl<'a> ListCursor<'a> {
         self.pos = 0;
         self.counters.entries += 1;
         Some(self.list.node_of(self.entry))
+    }
+
+    /// `seek(node)`: advance to the first entry with node id ≥ `target`.
+    ///
+    /// Stays put when the current entry already satisfies the bound.
+    /// Bypassed entries are *galloped over* — found by doubling search on
+    /// the node array, counted in [`AccessCounters::skipped`] rather than
+    /// `entries` — so a conjunction driven by its rarest list decodes
+    /// O(rare · log common) entries instead of O(rare + common).
+    ///
+    /// ```
+    /// use ftsl_index::{ListCursor, PostingList};
+    /// use ftsl_model::{NodeId, Position};
+    ///
+    /// let list = PostingList::from_entries(
+    ///     (0..100).map(|i| (NodeId(2 * i), vec![Position::flat(0)])).collect(),
+    /// );
+    /// let mut cur = ListCursor::new(&list);
+    /// assert_eq!(cur.seek(NodeId(51)), Some(NodeId(52)));   // lands past 50
+    /// assert_eq!(cur.seek(NodeId(52)), Some(NodeId(52)));   // stays put
+    /// assert_eq!(cur.seek(NodeId(1000)), None);             // exhausted
+    /// assert!(cur.counters().skipped > 0);
+    /// ```
+    pub fn seek(&mut self, target: NodeId) -> Option<NodeId> {
+        let n = self.list.num_entries();
+        let start = if self.entry == usize::MAX {
+            0
+        } else if self.entry >= n {
+            return None;
+        } else if self.list.node_of(self.entry) >= target {
+            return Some(self.list.node_of(self.entry));
+        } else {
+            self.entry + 1
+        };
+        // Gallop: double the step until we overshoot, then binary-search the
+        // bracketed window. O(log distance) comparisons.
+        let mut lo = start;
+        let mut step = 1usize;
+        while lo + step < n && self.list.node_of(lo + step) < target {
+            lo += step;
+            step *= 2;
+        }
+        let hi = (lo + step).min(n);
+        let found = lo
+            + self
+                .list
+                .nodes_in(lo, hi)
+                .partition_point(|&node| node < target);
+        let skipped = (found - start) as u64;
+        self.counters.skipped += skipped;
+        if found >= n {
+            self.entry = n;
+            return None;
+        }
+        self.entry = found;
+        self.pos = 0;
+        self.counters.entries += 1;
+        Some(self.list.node_of(found))
     }
 
     /// The node id of the current entry.
@@ -54,7 +167,10 @@ impl<'a> ListCursor<'a> {
     /// # Panics
     /// Panics if called before the first successful [`Self::next_entry`].
     pub fn positions(&self) -> &'a [Position] {
-        assert!(self.entry != usize::MAX, "cursor not positioned on an entry");
+        assert!(
+            self.entry != usize::MAX,
+            "cursor not positioned on an entry"
+        );
         self.list.positions_of(self.entry)
     }
 

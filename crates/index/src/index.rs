@@ -1,5 +1,6 @@
 //! The inverted index: all `IL_tok` lists plus `IL_ANY`.
 
+use crate::block::{BlockCursor, BlockList};
 use crate::cursor::ListCursor;
 use crate::postings::PostingList;
 use crate::stats::IndexStats;
@@ -11,10 +12,19 @@ use std::sync::OnceLock;
 ///
 /// `lists[t]` is `IL_t` for token id `t`; [`InvertedIndex::any`] is `IL_ANY`
 /// (one entry per non-empty context node containing *all* its positions).
+///
+/// Each list is kept in two physical forms: the decoded columnar
+/// [`PostingList`] (random access, slice views — what the reference
+/// evaluators consume) and the block-compressed [`BlockList`] (the
+/// persisted layout, streamed through skip-aware [`BlockCursor`]s). The
+/// builder produces both; [`crate::persist`] stores only the compressed
+/// form and decodes on load.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct InvertedIndex {
     pub(crate) lists: Vec<PostingList>,
     pub(crate) any: PostingList,
+    pub(crate) blocks: Vec<BlockList>,
+    pub(crate) any_blocks: BlockList,
     pub(crate) stats: IndexStats,
 }
 
@@ -23,11 +33,18 @@ fn empty_list() -> &'static PostingList {
     EMPTY.get_or_init(PostingList::empty)
 }
 
+fn empty_blocks() -> &'static BlockList {
+    static EMPTY: OnceLock<BlockList> = OnceLock::new();
+    EMPTY.get_or_init(BlockList::default)
+}
+
 impl InvertedIndex {
     /// The inverted list for `token`. Out-of-vocabulary ids map to the empty
     /// list, so queries mentioning unseen tokens simply match nothing.
     pub fn list(&self, token: TokenId) -> &PostingList {
-        self.lists.get(token.index()).unwrap_or_else(|| empty_list())
+        self.lists
+            .get(token.index())
+            .unwrap_or_else(|| empty_list())
     }
 
     /// `IL_ANY`: every non-empty node with all of its positions.
@@ -43,6 +60,38 @@ impl InvertedIndex {
     /// Open a sequential cursor on `IL_ANY`.
     pub fn any_cursor(&self) -> ListCursor<'_> {
         ListCursor::new(&self.any)
+    }
+
+    /// The block-compressed form of a token's list. Out-of-vocabulary ids
+    /// map to an empty list.
+    pub fn block_list(&self, token: TokenId) -> &BlockList {
+        self.blocks
+            .get(token.index())
+            .unwrap_or_else(|| empty_blocks())
+    }
+
+    /// The block-compressed form of `IL_ANY`.
+    pub fn any_block_list(&self) -> &BlockList {
+        &self.any_blocks
+    }
+
+    /// Open a skip-aware cursor on the compressed form of a token's list.
+    pub fn block_cursor(&self, token: TokenId) -> BlockCursor<'_> {
+        self.block_list(token).cursor()
+    }
+
+    /// Open a skip-aware cursor on the compressed form of `IL_ANY`.
+    pub fn any_block_cursor(&self) -> BlockCursor<'_> {
+        self.any_blocks.cursor()
+    }
+
+    /// Total compressed bytes across all block lists (diagnostics).
+    pub fn compressed_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(BlockList::compressed_bytes)
+            .sum::<usize>()
+            + self.any_blocks.compressed_bytes()
     }
 
     /// Document frequency of a token (`df(t)` in Section 3.1).

@@ -5,11 +5,25 @@
 //! ordered by context-node id, with positions ordered by occurrence; plus
 //! `IL_ANY`, the list of *all* positions of every node.
 //!
-//! Access is deliberately restricted to the paper's **sequential cursor
-//! API** — `nextEntry()` and `getPositions()` ([`ListCursor`]) — and every
-//! cursor counts the entries and positions it touches, so complexity claims
-//! (Figure 3) can be validated with machine-independent counters.
+//! Access goes through the paper's **sequential cursor API** —
+//! `nextEntry()` and `getPositions()` ([`ListCursor`]) — extended with one
+//! operation the paper's cost model doesn't have: `seek(node)`
+//! ([`ListCursor::seek`], [`block::BlockCursor::seek`]), which jumps to the
+//! first entry at or past a node id. Every cursor counts the entries and
+//! positions it touches — and, separately, the entries a seek bypasses — so
+//! complexity claims (Figure 3) and skip-layout wins can both be validated
+//! with machine-independent counters ([`AccessCounters`]).
+//!
+//! Physically, every list exists in two forms: the decoded columnar
+//! [`PostingList`] and the block-compressed [`block::BlockList`]
+//! (delta/varint blocks of [`block::BLOCK_ENTRIES`] entries headed by an
+//! implicit skip list). The compressed form is what [`persist`] stores on
+//! disk; [`IndexBuilder`] produces both, sharding construction across
+//! threads for large corpora.
 
+#![warn(missing_docs)]
+
+pub mod block;
 pub mod builder;
 pub mod counters;
 pub mod cursor;
@@ -17,10 +31,12 @@ pub mod index;
 pub mod persist;
 pub mod postings;
 pub mod stats;
+pub mod varint;
 
+pub use block::{BlockCursor, BlockList};
 pub use builder::IndexBuilder;
 pub use counters::AccessCounters;
-pub use cursor::ListCursor;
+pub use cursor::{ListCursor, PostingCursor};
 pub use index::InvertedIndex;
 pub use postings::PostingList;
 pub use stats::IndexStats;

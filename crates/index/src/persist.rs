@@ -2,17 +2,43 @@
 //!
 //! A small hand-rolled little-endian codec over `bytes::{Buf, BufMut}` (no
 //! serde *format* crate is available offline; the serde derives on the data
-//! types remain useful for other tooling). The format is versioned so stored
-//! indexes fail loudly rather than silently misparse.
+//! types remain useful for other tooling).
+//!
+//! ## Format versioning
+//!
+//! Every buffer starts with the magic number `"FTSI"` and a format version;
+//! decoding rejects unknown magics and versions loudly
+//! ([`PersistError::BadMagic`] / [`PersistError::BadVersion`]) rather than
+//! silently misparsing.
+//!
+//! * **v1** (retired): decoded posting lists as raw `(node, positions[])`
+//!   u32 triples — roughly 12 bytes per position.
+//! * **v2** (current): the block-compressed layout. Each list is stored as
+//!   its [`BlockList`] parts — skip headers plus the delta/varint entry
+//!   stream (see [`crate::block`] for the entry encoding) — so the on-disk
+//!   image *is* the physical in-memory layout. On load the decoded
+//!   [`crate::PostingList`] views are reconstructed by decompression. v1 buffers
+//!   are rejected with `BadVersion(1)`; there is no migration path because
+//!   v1 images can be regenerated from their corpora.
+//!
+//! Layout of a v2 buffer (all integers little-endian):
+//!
+//! ```text
+//! magic:u32  version:u32  stats:5×u64  num_token_lists:u32
+//! then per list (token lists in id order, IL_ANY last):
+//!   entries:u32  positions:u64  num_blocks:u32
+//!   num_blocks × (max_node:u32 byte_start:u32 first_entry:u32)
+//!   data_len:u32  data:[u8]
+//! ```
 
+use crate::block::{BlockList, BlockMeta};
 use crate::index::InvertedIndex;
-use crate::postings::PostingList;
 use crate::stats::IndexStats;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ftsl_model::{NodeId, Position};
+use ftsl_model::NodeId;
 
 const MAGIC: u32 = 0x4654_5349; // "FTSI"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Errors produced when decoding a persisted index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +49,8 @@ pub enum PersistError {
     BadVersion(u32),
     /// The buffer ended before decoding completed.
     Truncated,
+    /// Structurally invalid contents (counts that contradict the payload).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for PersistError {
@@ -31,40 +59,48 @@ impl std::fmt::Display for PersistError {
             PersistError::BadMagic(m) => write!(f, "bad index magic 0x{m:08x}"),
             PersistError::BadVersion(v) => write!(f, "unsupported index version {v}"),
             PersistError::Truncated => write!(f, "truncated index buffer"),
+            PersistError::Corrupt(what) => write!(f, "corrupt index buffer: {what}"),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
 
-/// Serialize an index to a byte buffer.
+/// Serialize an index to a byte buffer (format v2: compressed blocks).
 pub fn encode(index: &InvertedIndex) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
     let s = index.stats();
-    for v in [s.cnodes, s.pos_per_cnode, s.entries_per_token, s.pos_per_entry, s.vocabulary] {
+    for v in [
+        s.cnodes,
+        s.pos_per_cnode,
+        s.entries_per_token,
+        s.pos_per_entry,
+        s.vocabulary,
+    ] {
         buf.put_u64_le(v as u64);
     }
-    buf.put_u32_le(index.lists.len() as u32);
-    for list in &index.lists {
+    buf.put_u32_le(index.blocks.len() as u32);
+    for list in &index.blocks {
         encode_list(&mut buf, list);
     }
-    encode_list(&mut buf, &index.any);
+    encode_list(&mut buf, &index.any_blocks);
     buf.freeze()
 }
 
-fn encode_list(buf: &mut BytesMut, list: &PostingList) {
-    buf.put_u32_le(list.num_entries() as u32);
-    for (node, positions) in list.iter() {
-        buf.put_u32_le(node.0);
-        buf.put_u32_le(positions.len() as u32);
-        for p in positions {
-            buf.put_u32_le(p.offset);
-            buf.put_u32_le(p.sentence);
-            buf.put_u32_le(p.paragraph);
-        }
+fn encode_list(buf: &mut BytesMut, list: &BlockList) {
+    let (blocks, data, entries, positions) = list.parts();
+    buf.put_u32_le(entries);
+    buf.put_u64_le(positions);
+    buf.put_u32_le(blocks.len() as u32);
+    for b in blocks {
+        buf.put_u32_le(b.max_node.0);
+        buf.put_u32_le(b.byte_start);
+        buf.put_u32_le(b.first_entry);
     }
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
 }
 
 /// Deserialize an index previously produced by [`encode`].
@@ -92,32 +128,66 @@ pub fn decode(mut buf: impl Buf) -> Result<InvertedIndex, PersistError> {
         vocabulary: fields[4],
     };
     let num_lists = get_u32(&mut buf)? as usize;
+    let mut blocks = Vec::with_capacity(num_lists);
     let mut lists = Vec::with_capacity(num_lists);
     for _ in 0..num_lists {
-        lists.push(decode_list(&mut buf)?);
+        let block_list = decode_list(&mut buf)?;
+        lists.push(block_list.try_to_posting().map_err(PersistError::Corrupt)?);
+        blocks.push(block_list);
     }
-    let any = decode_list(&mut buf)?;
-    Ok(InvertedIndex { lists, any, stats })
+    let any_blocks = decode_list(&mut buf)?;
+    let any = any_blocks.try_to_posting().map_err(PersistError::Corrupt)?;
+    Ok(InvertedIndex {
+        lists,
+        any,
+        blocks,
+        any_blocks,
+        stats,
+    })
 }
 
-fn decode_list(buf: &mut impl Buf) -> Result<PostingList, PersistError> {
-    let entries = get_u32(buf)? as usize;
-    let mut list = PostingList::empty();
-    let mut positions: Vec<Position> = Vec::new();
-    for _ in 0..entries {
-        let node = NodeId(get_u32(buf)?);
-        let n = get_u32(buf)? as usize;
-        positions.clear();
-        positions.reserve(n);
-        for _ in 0..n {
-            let offset = get_u32(buf)?;
-            let sentence = get_u32(buf)?;
-            let paragraph = get_u32(buf)?;
-            positions.push(Position { offset, sentence, paragraph });
-        }
-        list.push_entry(node, &positions);
+fn decode_list(buf: &mut impl Buf) -> Result<BlockList, PersistError> {
+    let entries = get_u32(buf)?;
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
     }
-    Ok(list)
+    let positions = buf.get_u64_le();
+    let num_blocks = get_u32(buf)? as usize;
+    if num_blocks != (entries as usize).div_ceil(crate::block::BLOCK_ENTRIES) {
+        return Err(PersistError::Corrupt(
+            "block count disagrees with entry count",
+        ));
+    }
+    let mut metas = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        let max_node = NodeId(get_u32(buf)?);
+        let byte_start = get_u32(buf)?;
+        let first_entry = get_u32(buf)?;
+        metas.push(BlockMeta {
+            max_node,
+            byte_start,
+            first_entry,
+        });
+    }
+    let data_len = get_u32(buf)? as usize;
+    if buf.remaining() < data_len {
+        return Err(PersistError::Truncated);
+    }
+    let mut data = vec![0u8; data_len];
+    let mut filled = 0usize;
+    while filled < data_len {
+        let chunk = buf.chunk();
+        let take = chunk.len().min(data_len - filled);
+        data[filled..filled + take].copy_from_slice(&chunk[..take]);
+        buf.advance(take);
+        filled += take;
+    }
+    for meta in &metas {
+        if meta.byte_start as usize > data_len || meta.first_entry > entries {
+            return Err(PersistError::Corrupt("block header out of range"));
+        }
+    }
+    Ok(BlockList::from_parts(metas, data, entries, positions))
 }
 
 fn get_u32(buf: &mut impl Buf) -> Result<u32, PersistError> {
@@ -145,6 +215,31 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(&decoded.any, &index.any);
+        for (a, b) in decoded.blocks.iter().zip(&index.blocks) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(&decoded.any_blocks, &index.any_blocks);
+    }
+
+    #[test]
+    fn compressed_format_is_smaller_than_v1_layout() {
+        let texts: Vec<String> = (0..300)
+            .map(|i| format!("common tokens everywhere plus t{} t{}", i % 9, i % 4))
+            .collect();
+        let corpus = Corpus::from_texts(&texts);
+        let index = IndexBuilder::new().build(&corpus);
+        let v2_len = encode(&index).len();
+        // The retired v1 layout spent 12 bytes per position plus 8 per entry.
+        let v1_estimate: usize = index
+            .lists
+            .iter()
+            .chain(std::iter::once(&index.any))
+            .map(|l| 4 + l.num_entries() * 8 + l.num_positions() * 12)
+            .sum();
+        assert!(
+            v2_len * 2 < v1_estimate,
+            "v2 {v2_len} bytes vs v1-equivalent {v1_estimate}"
+        );
     }
 
     #[test]
@@ -152,7 +247,10 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32_le(0xdead_beef);
         buf.put_u32_le(VERSION);
-        assert!(matches!(decode(buf.freeze()), Err(PersistError::BadMagic(_))));
+        assert!(matches!(
+            decode(buf.freeze()),
+            Err(PersistError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -169,6 +267,38 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32_le(MAGIC);
         buf.put_u32_le(99);
-        assert!(matches!(decode(buf.freeze()), Err(PersistError::BadVersion(99))));
+        assert!(matches!(
+            decode(buf.freeze()),
+            Err(PersistError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupt_entry_stream_is_an_error_not_a_panic() {
+        let texts: Vec<String> = (0..40).map(|i| format!("alpha beta t{i}")).collect();
+        let corpus = Corpus::from_texts(&texts);
+        let index = IndexBuilder::new().build(&corpus);
+        let bytes = encode(&index);
+        // Set the varint continuation bit on a byte near the end of the last
+        // list's data stream: the entry stream no longer matches its declared
+        // counts and must decode to Err, never panic.
+        let mut raw = bytes.as_slice().to_vec();
+        let target = raw.len() - 2;
+        raw[target] |= 0x80;
+        assert!(matches!(
+            decode(&raw[..]),
+            Err(PersistError::Corrupt(_) | PersistError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn retired_v1_version_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(1);
+        assert!(matches!(
+            decode(buf.freeze()),
+            Err(PersistError::BadVersion(1))
+        ));
     }
 }

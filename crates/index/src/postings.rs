@@ -75,9 +75,12 @@ impl PostingList {
     }
 
     /// Maximum positions in any single entry (`pos_per_entry` contribution).
+    /// Computed directly from adjacent offset differences — no per-entry
+    /// slice construction.
     pub fn max_positions_per_entry(&self) -> usize {
-        (0..self.num_entries())
-            .map(|i| self.positions_of(i).len())
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
             .max()
             .unwrap_or(0)
     }
@@ -102,6 +105,32 @@ impl PostingList {
     /// Iterate entries as `(NodeId, &[Position])`.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[Position])> {
         (0..self.num_entries()).map(move |i| (self.node_of(i), self.positions_of(i)))
+    }
+
+    /// Append all entries of `other`, whose node ids must all exceed this
+    /// list's last node id (the parallel builder merges per-shard lists in
+    /// shard order, which guarantees this).
+    pub fn append(&mut self, other: &PostingList) {
+        if other.is_empty() {
+            return;
+        }
+        debug_assert!(
+            self.nodes.last().is_none_or(|&last| last < other.nodes[0]),
+            "appended shards must be in increasing node order"
+        );
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        let base = self.positions.len() as u32;
+        self.nodes.extend_from_slice(&other.nodes);
+        self.positions.extend_from_slice(&other.positions);
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|o| o + base));
+    }
+
+    /// The node-id slice of entries `lo..hi` (seek gallop window).
+    pub(crate) fn nodes_in(&self, lo: usize, hi: usize) -> &[NodeId] {
+        &self.nodes[lo..hi]
     }
 }
 
@@ -141,12 +170,9 @@ mod tests {
 
     #[test]
     fn iter_yields_entries_in_node_order() {
-        let list = PostingList::from_entries(vec![
-            (NodeId(0), vec![p(1)]),
-            (NodeId(2), vec![p(0), p(7)]),
-        ]);
-        let collected: Vec<(NodeId, usize)> =
-            list.iter().map(|(n, ps)| (n, ps.len())).collect();
+        let list =
+            PostingList::from_entries(vec![(NodeId(0), vec![p(1)]), (NodeId(2), vec![p(0), p(7)])]);
+        let collected: Vec<(NodeId, usize)> = list.iter().map(|(n, ps)| (n, ps.len())).collect();
         assert_eq!(collected, vec![(NodeId(0), 1), (NodeId(2), 2)]);
     }
 

@@ -26,7 +26,11 @@ impl IndexStats {
         IndexStats {
             cnodes: corpus.len(),
             pos_per_cnode: any.max_positions_per_entry(),
-            entries_per_token: lists.iter().map(PostingList::num_entries).max().unwrap_or(0),
+            entries_per_token: lists
+                .iter()
+                .map(PostingList::num_entries)
+                .max()
+                .unwrap_or(0),
             pos_per_entry: lists
                 .iter()
                 .map(PostingList::max_positions_per_entry)

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 const VOCAB: [&str; 5] = ["ant", "bee", "cat", "dog", "elk"];
 
 fn arb_corpus() -> impl Strategy<Value = Corpus> {
-    proptest::collection::vec(proptest::collection::vec(0..VOCAB.len() + 2, 0..25), 0..10)
-        .prop_map(|docs| {
+    proptest::collection::vec(proptest::collection::vec(0..VOCAB.len() + 2, 0..25), 0..10).prop_map(
+        |docs| {
             let texts: Vec<String> = docs
                 .into_iter()
                 .map(|toks| {
@@ -22,7 +22,8 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
                 })
                 .collect();
             Corpus::from_texts(&texts)
-        })
+        },
+    )
 }
 
 proptest! {

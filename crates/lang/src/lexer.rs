@@ -65,7 +65,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LangError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(LangError::Lex { at: i, msg: "unterminated string".into() });
+                    return Err(LangError::Lex {
+                        at: i,
+                        msg: "unterminated string".into(),
+                    });
                 }
                 let lit: String = bytes[start..j].iter().collect();
                 out.push(Tok::Str(lit.to_lowercase()));
@@ -79,7 +82,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LangError> {
                     j += 1;
                 }
                 if j == i + 1 {
-                    return Err(LangError::Lex { at: start, msg: "dangling '-'".into() });
+                    return Err(LangError::Lex {
+                        at: start,
+                        msg: "dangling '-'".into(),
+                    });
                 }
                 let s: String = bytes[start..j].iter().collect();
                 out.push(Tok::Int(s.parse().map_err(|_| LangError::Lex {
@@ -112,7 +118,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LangError> {
                 i = j;
             }
             other => {
-                return Err(LangError::Lex { at: i, msg: format!("unexpected character {other:?}") })
+                return Err(LangError::Lex {
+                    at: i,
+                    msg: format!("unexpected character {other:?}"),
+                })
             }
         }
     }
@@ -156,7 +165,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(lex("not And oR").unwrap(), vec![Tok::Not, Tok::And, Tok::Or]);
+        assert_eq!(
+            lex("not And oR").unwrap(),
+            vec![Tok::Not, Tok::And, Tok::Or]
+        );
     }
 
     #[test]

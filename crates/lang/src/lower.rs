@@ -9,7 +9,11 @@ use std::collections::HashMap;
 
 /// Lower a surface query to a calculus expression.
 pub fn lower(query: &SurfaceQuery, registry: &PredicateRegistry) -> Result<QueryExpr, LangError> {
-    let mut ctx = Ctx { next: 0, scopes: HashMap::new(), registry };
+    let mut ctx = Ctx {
+        next: 0,
+        scopes: HashMap::new(),
+        registry,
+    };
     ctx.lower(query)
 }
 
@@ -62,7 +66,11 @@ impl Ctx<'_> {
                     .iter()
                     .map(|v| self.resolve(v))
                     .collect::<Result<Vec<_>, _>>()?;
-                QueryExpr::Pred { pred, vars: ids, consts: consts.clone() }
+                QueryExpr::Pred {
+                    pred,
+                    vars: ids,
+                    consts: consts.clone(),
+                }
             }
             // Section 4.2: dist(t1, t2, d) => ∃p1 (hasTok? ∧ ∃p2 (hasTok? ∧
             // distance(p1, p2, d))); ANY arguments omit the hasToken atom.
@@ -183,11 +191,7 @@ mod tests {
 
     #[test]
     fn comp_theorem3_witness() {
-        let r = eval(
-            "SOME p1 (NOT p1 HAS 't1')",
-            Mode::Comp,
-            &["t1", "t1 t2"],
-        );
+        let r = eval("SOME p1 (NOT p1 HAS 't1')", Mode::Comp, &["t1", "t1 t2"]);
         assert_eq!(r, vec![1]);
     }
 

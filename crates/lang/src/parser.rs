@@ -44,7 +44,10 @@ pub fn parse(input: &str, mode: Mode) -> Result<SurfaceQuery, LangError> {
     let mut p = Parser { toks, pos: 0, mode };
     let q = p.parse_or()?;
     if p.pos != p.toks.len() {
-        return Err(LangError::Parse { at: p.pos, msg: "trailing input".into() });
+        return Err(LangError::Parse {
+            at: p.pos,
+            msg: "trailing input".into(),
+        });
     }
     Ok(q)
 }
@@ -79,7 +82,10 @@ impl Parser {
     }
 
     fn not_in_language(&self, construct: &str) -> LangError {
-        LangError::NotInLanguage { mode: self.mode.name(), construct: construct.to_string() }
+        LangError::NotInLanguage {
+            mode: self.mode.name(),
+            construct: construct.to_string(),
+        }
     }
 
     fn parse_or(&mut self) -> Result<SurfaceQuery, LangError> {
@@ -274,7 +280,9 @@ mod tests {
             q,
             SurfaceQuery::And(
                 Box::new(SurfaceQuery::Lit("test".into())),
-                Box::new(SurfaceQuery::Not(Box::new(SurfaceQuery::Lit("usability".into()))))
+                Box::new(SurfaceQuery::Not(Box::new(SurfaceQuery::Lit(
+                    "usability".into()
+                ))))
             )
         );
     }
@@ -316,7 +324,10 @@ mod tests {
     #[test]
     fn dist_accepts_any_arguments() {
         let q = parse("dist(ANY, 'b', 2)", Mode::Dist).unwrap();
-        assert_eq!(q, SurfaceQuery::Dist(TokenArg::Any, TokenArg::Lit("b".into()), 2));
+        assert_eq!(
+            q,
+            SurfaceQuery::Dist(TokenArg::Any, TokenArg::Lit("b".into()), 2)
+        );
     }
 
     #[test]
@@ -343,7 +354,10 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        assert!(matches!(parse("'a' 'b'", Mode::Bool), Err(LangError::Parse { .. })));
+        assert!(matches!(
+            parse("'a' 'b'", Mode::Bool),
+            Err(LangError::Parse { .. })
+        ));
     }
 
     #[test]

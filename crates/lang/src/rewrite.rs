@@ -37,14 +37,12 @@ pub fn map_tokens(query: &SurfaceQuery, f: &impl Fn(&str) -> Option<String>) -> 
             SurfaceQuery::Dist(map_arg(a), map_arg(b), *d)
         }
         SurfaceQuery::Not(q) => SurfaceQuery::Not(Box::new(map_tokens(q, f))),
-        SurfaceQuery::And(a, b) => SurfaceQuery::And(
-            Box::new(map_tokens(a, f)),
-            Box::new(map_tokens(b, f)),
-        ),
-        SurfaceQuery::Or(a, b) => SurfaceQuery::Or(
-            Box::new(map_tokens(a, f)),
-            Box::new(map_tokens(b, f)),
-        ),
+        SurfaceQuery::And(a, b) => {
+            SurfaceQuery::And(Box::new(map_tokens(a, f)), Box::new(map_tokens(b, f)))
+        }
+        SurfaceQuery::Or(a, b) => {
+            SurfaceQuery::Or(Box::new(map_tokens(a, f)), Box::new(map_tokens(b, f)))
+        }
         SurfaceQuery::Some(v, q) => SurfaceQuery::Some(v.clone(), Box::new(map_tokens(q, f))),
         SurfaceQuery::Every(v, q) => SurfaceQuery::Every(v.clone(), Box::new(map_tokens(q, f))),
     }
@@ -136,7 +134,10 @@ mod tests {
         .unwrap();
         let mapped = map_tokens(&q, &|t| Some(format!("{t}X")));
         let rendered = mapped.render();
-        assert!(rendered.contains("'carsx'") || rendered.contains("'carsX'"), "{rendered}");
+        assert!(
+            rendered.contains("'carsx'") || rendered.contains("'carsX'"),
+            "{rendered}"
+        );
         assert!(rendered.contains("'testedx'") || rendered.contains("'testedX'"));
         assert!(rendered.contains("ANY")); // ANY untouched
     }
@@ -159,8 +160,11 @@ mod tests {
         th.add("car", &["auto", "vehicle"]);
         let reg = PredicateRegistry::with_builtins();
 
-        let q = parse("SOME p1 SOME p2 (p1 HAS 'car' AND p2 HAS 'red' AND distance(p1,p2,3))", Mode::Comp)
-            .unwrap();
+        let q = parse(
+            "SOME p1 SOME p2 (p1 HAS 'car' AND p2 HAS 'red' AND distance(p1,p2,3))",
+            Mode::Comp,
+        )
+        .unwrap();
         assert_eq!(classify(&q, &reg), LanguageClass::Ppred);
         let expanded = th.expand(&q);
         // Expansion keeps the query in PPRED: the OR branches share p1.

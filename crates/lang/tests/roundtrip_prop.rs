@@ -7,8 +7,12 @@ use proptest::prelude::*;
 
 const TOKENS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
 const VARS: [&str; 3] = ["p0", "p1", "p2"];
-const PREDS: [(&str, usize); 4] =
-    [("distance", 1), ("ordered", 0), ("samepara", 0), ("not_distance", 1)];
+const PREDS: [(&str, usize); 4] = [
+    ("distance", 1),
+    ("ordered", 0),
+    ("samepara", 0),
+    ("not_distance", 1),
+];
 
 fn arb_query(depth: u32) -> BoxedStrategy<SurfaceQuery> {
     let leaf = prop_oneof![
@@ -18,20 +22,22 @@ fn arb_query(depth: u32) -> BoxedStrategy<SurfaceQuery> {
             SurfaceQuery::VarHas(VARS[v].to_string(), TOKENS[t].to_string())
         }),
         (0..VARS.len()).prop_map(|v| SurfaceQuery::VarHasAny(VARS[v].to_string())),
-        (0..PREDS.len(), 0..VARS.len(), 0..VARS.len(), 0..20i64).prop_map(
-            |(p, a, b, c)| {
-                let (name, consts) = PREDS[p];
-                SurfaceQuery::Pred {
-                    name: name.to_string(),
-                    vars: vec![VARS[a].to_string(), VARS[b].to_string()],
-                    consts: (0..consts).map(|_| c).collect(),
-                }
+        (0..PREDS.len(), 0..VARS.len(), 0..VARS.len(), 0..20i64).prop_map(|(p, a, b, c)| {
+            let (name, consts) = PREDS[p];
+            SurfaceQuery::Pred {
+                name: name.to_string(),
+                vars: vec![VARS[a].to_string(), VARS[b].to_string()],
+                consts: (0..consts).map(|_| c).collect(),
             }
-        ),
+        }),
         (0..TOKENS.len(), 0..TOKENS.len(), any::<bool>(), 0..12i64).prop_map(
             |(a, b, any_arg, d)| {
                 let t1 = TokenArg::Lit(TOKENS[a].to_string());
-                let t2 = if any_arg { TokenArg::Any } else { TokenArg::Lit(TOKENS[b].to_string()) };
+                let t2 = if any_arg {
+                    TokenArg::Any
+                } else {
+                    TokenArg::Lit(TOKENS[b].to_string())
+                };
                 SurfaceQuery::Dist(t1, t2, d)
             }
         ),

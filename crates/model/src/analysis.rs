@@ -189,7 +189,10 @@ impl AnalysisConfig {
 
     /// Stemming plus the default English stop-word list.
     pub fn english() -> Self {
-        AnalysisConfig { stem: true, stop_words: default_stop_words() }
+        AnalysisConfig {
+            stem: true,
+            stop_words: default_stop_words(),
+        }
     }
 
     /// Analyze one token: `None` means the token is stopped.

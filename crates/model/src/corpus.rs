@@ -47,7 +47,11 @@ impl Corpus {
 
     /// Append an already-tokenized document built from `(token_str, position)`
     /// pairs. Used by generators that synthesize token streams directly.
-    pub fn add_tokens(&mut self, label: impl Into<String>, tokens: Vec<(TokenId, Position)>) -> NodeId {
+    pub fn add_tokens(
+        &mut self,
+        label: impl Into<String>,
+        tokens: Vec<(TokenId, Position)>,
+    ) -> NodeId {
         let node = NodeId(self.documents.len() as u32);
         self.documents.push(Document::new(node, label, tokens));
         node

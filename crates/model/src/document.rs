@@ -31,7 +31,11 @@ impl Document {
             tokens.windows(2).all(|w| w[0].1.offset < w[1].1.offset),
             "document token offsets must be strictly increasing"
         );
-        Document { node, label: label.into(), tokens }
+        Document {
+            node,
+            label: label.into(),
+            tokens,
+        }
     }
 
     /// Number of token occurrences (`|Positions(n)|`).
@@ -123,7 +127,10 @@ mod tests {
         Document::new(
             NodeId(0),
             "bad",
-            vec![(TokenId(0), Position::flat(3)), (TokenId(1), Position::flat(1))],
+            vec![
+                (TokenId(0), Position::flat(3)),
+                (TokenId(1), Position::flat(1)),
+            ],
         );
     }
 }

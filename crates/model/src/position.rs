@@ -28,12 +28,20 @@ impl Position {
     /// A position carrying only a word offset (sentence/paragraph 0). Useful
     /// for flat, structure-less text and for tests.
     pub const fn flat(offset: u32) -> Self {
-        Position { offset, sentence: 0, paragraph: 0 }
+        Position {
+            offset,
+            sentence: 0,
+            paragraph: 0,
+        }
     }
 
     /// Construct a fully structured position.
     pub const fn new(offset: u32, sentence: u32, paragraph: u32) -> Self {
-        Position { offset, sentence, paragraph }
+        Position {
+            offset,
+            sentence,
+            paragraph,
+        }
     }
 
     /// Number of tokens strictly between `self` and `other`.

@@ -42,7 +42,9 @@ pub struct Tokenizer {
 impl Tokenizer {
     /// Tokenizer with default configuration.
     pub fn new() -> Self {
-        Tokenizer { config: TokenizerConfig::default() }
+        Tokenizer {
+            config: TokenizerConfig::default(),
+        }
     }
 
     /// Tokenizer with custom configuration.
@@ -67,20 +69,23 @@ impl Tokenizer {
         let mut word = String::new();
         let mut prev_was_newline = false;
 
-        let flush =
-            |word: &mut String, out: &mut Vec<(TokenId, Position)>, interner: &mut TokenInterner,
-             offset: &mut u32, sentence: u32, paragraph: u32| {
-                if word.len() >= self.config.min_token_len && !word.is_empty() {
-                    if let Some(analyzed) = self.config.analysis.analyze(word) {
-                        let id = interner.intern(&analyzed);
-                        out.push((id, Position::new(*offset, sentence, paragraph)));
-                        *offset += 1;
-                    }
-                    // Stopped tokens do not consume an offset, consistent
-                    // with min_token_len filtering: positions stay dense.
+        let flush = |word: &mut String,
+                     out: &mut Vec<(TokenId, Position)>,
+                     interner: &mut TokenInterner,
+                     offset: &mut u32,
+                     sentence: u32,
+                     paragraph: u32| {
+            if word.len() >= self.config.min_token_len && !word.is_empty() {
+                if let Some(analyzed) = self.config.analysis.analyze(word) {
+                    let id = interner.intern(&analyzed);
+                    out.push((id, Position::new(*offset, sentence, paragraph)));
+                    *offset += 1;
                 }
-                word.clear();
-            };
+                // Stopped tokens do not consume an offset, consistent
+                // with min_token_len filtering: positions stay dense.
+            }
+            word.clear();
+        };
 
         for ch in text.chars() {
             if ch.is_alphanumeric() {
@@ -89,7 +94,14 @@ impl Tokenizer {
                 continue;
             }
             let had_word = !word.is_empty();
-            flush(&mut word, &mut out, interner, &mut offset, sentence, paragraph);
+            flush(
+                &mut word,
+                &mut out,
+                interner,
+                &mut offset,
+                sentence,
+                paragraph,
+            );
             if had_word {
                 tokens_in_sentence = true;
                 tokens_in_paragraph = true;
@@ -118,7 +130,14 @@ impl Tokenizer {
                 prev_was_newline = false;
             }
         }
-        flush(&mut word, &mut out, interner, &mut offset, sentence, paragraph);
+        flush(
+            &mut word,
+            &mut out,
+            interner,
+            &mut offset,
+            sentence,
+            paragraph,
+        );
         out
     }
 }
@@ -173,7 +192,10 @@ mod tests {
 
     #[test]
     fn min_token_len_filters_short_tokens() {
-        let config = TokenizerConfig { min_token_len: 3, ..Default::default() };
+        let config = TokenizerConfig {
+            min_token_len: 3,
+            ..Default::default()
+        };
         let mut interner = TokenInterner::new();
         let t = Tokenizer::with_config(config).tokenize("a an the cat", &mut interner);
         let names: Vec<&str> = t.iter().map(|(id, _)| interner.name(*id)).collect();
@@ -192,7 +214,10 @@ mod tests {
     #[test]
     fn analysis_stems_and_stops_at_index_time() {
         use crate::analysis::AnalysisConfig;
-        let config = TokenizerConfig { analysis: AnalysisConfig::english(), ..Default::default() };
+        let config = TokenizerConfig {
+            analysis: AnalysisConfig::english(),
+            ..Default::default()
+        };
         let mut interner = TokenInterner::new();
         let t = Tokenizer::with_config(config).tokenize("the tests are testing", &mut interner);
         let names: Vec<&str> = t.iter().map(|(id, _)| interner.name(*id)).collect();

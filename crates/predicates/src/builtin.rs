@@ -68,7 +68,10 @@ impl Predicate for DistancePred {
                 (leader.saturating_sub(d + 1)).max(cur + 1)
             }
         };
-        Some(Advance { column: col, min_offset })
+        Some(Advance {
+            column: col,
+            min_offset,
+        })
     }
 }
 
@@ -100,7 +103,10 @@ impl Predicate for OrderedPred {
     ) -> Option<Advance> {
         // p1 >= p2: p2 must move past p1 (conservative == aggressive).
         let (p1, _) = offsets2(positions);
-        Some(Advance { column: 1, min_offset: p1 + 1 })
+        Some(Advance {
+            column: 1,
+            min_offset: p1 + 1,
+        })
     }
 }
 
@@ -136,7 +142,10 @@ impl Predicate for SameParaPred {
         // bound is +1; linearity is preserved because each cursor still
         // moves strictly forward.
         let col = usize::from(positions[1].paragraph < positions[0].paragraph);
-        Some(Advance { column: col, min_offset: positions[col].offset + 1 })
+        Some(Advance {
+            column: col,
+            min_offset: positions[col].offset + 1,
+        })
     }
 }
 
@@ -167,7 +176,10 @@ impl Predicate for SameSentPred {
         _: AdvanceMode,
     ) -> Option<Advance> {
         let col = usize::from(positions[1].sentence < positions[0].sentence);
-        Some(Advance { column: col, min_offset: positions[col].offset + 1 })
+        Some(Advance {
+            column: col,
+            min_offset: positions[col].offset + 1,
+        })
     }
 }
 
@@ -225,7 +237,10 @@ impl Predicate for WindowPred {
                 (max.saturating_sub(w)).max(cur + 1)
             }
         };
-        Some(Advance { column: col, min_offset })
+        Some(Advance {
+            column: col,
+            min_offset,
+        })
     }
 }
 
@@ -258,7 +273,10 @@ impl Predicate for SamePosPred {
     ) -> Option<Advance> {
         // Advance the smaller cursor directly to the larger's offset.
         let col = argmin2(positions);
-        Some(Advance { column: col, min_offset: positions[1 - col].offset })
+        Some(Advance {
+            column: col,
+            min_offset: positions[1 - col].offset,
+        })
     }
 }
 
@@ -294,7 +312,10 @@ impl Predicate for NotDistancePred {
         let other = positions[1 - move_column].offset;
         let d = consts[0].max(0) as u32;
         let cur = positions[move_column].offset;
-        Some(Advance { column: move_column, min_offset: (other + d + 2).max(cur + 1) })
+        Some(Advance {
+            column: move_column,
+            min_offset: (other + d + 2).max(cur + 1),
+        })
     }
 }
 
@@ -333,7 +354,10 @@ impl Predicate for NotOrderedPred {
             // thread whose ordering places p2 first find the solutions.
             cur + 1
         };
-        Some(Advance { column: move_column, min_offset: bound })
+        Some(Advance {
+            column: move_column,
+            min_offset: bound,
+        })
     }
 }
 
@@ -363,7 +387,10 @@ impl Predicate for NotSameParaPred {
         _: &[i64],
         move_column: usize,
     ) -> Option<Advance> {
-        Some(Advance { column: move_column, min_offset: positions[move_column].offset + 1 })
+        Some(Advance {
+            column: move_column,
+            min_offset: positions[move_column].offset + 1,
+        })
     }
 }
 
@@ -393,7 +420,10 @@ impl Predicate for NotSameSentPred {
         _: &[i64],
         move_column: usize,
     ) -> Option<Advance> {
-        Some(Advance { column: move_column, min_offset: positions[move_column].offset + 1 })
+        Some(Advance {
+            column: move_column,
+            min_offset: positions[move_column].offset + 1,
+        })
     }
 }
 
@@ -424,7 +454,10 @@ impl Predicate for DiffPosPred {
         _: &[i64],
         move_column: usize,
     ) -> Option<Advance> {
-        Some(Advance { column: move_column, min_offset: positions[move_column].offset + 1 })
+        Some(Advance {
+            column: move_column,
+            min_offset: positions[move_column].offset + 1,
+        })
     }
 }
 
@@ -502,7 +535,13 @@ mod tests {
         let adv = d
             .positive_advance(&[p(3), p(25)], &[5], AdvanceMode::Conservative)
             .unwrap();
-        assert_eq!(adv, Advance { column: 0, min_offset: 4 });
+        assert_eq!(
+            adv,
+            Advance {
+                column: 0,
+                min_offset: 4
+            }
+        );
     }
 
     #[test]
@@ -523,8 +562,16 @@ mod tests {
         assert!(o.eval(&[p(3), p(9)], &[]));
         assert!(!o.eval(&[p(9), p(3)], &[]));
         assert!(!o.eval(&[p(4), p(4)], &[]));
-        let adv = o.positive_advance(&[p(9), p(3)], &[], AdvanceMode::Aggressive).unwrap();
-        assert_eq!(adv, Advance { column: 1, min_offset: 10 });
+        let adv = o
+            .positive_advance(&[p(9), p(3)], &[], AdvanceMode::Aggressive)
+            .unwrap();
+        assert_eq!(
+            adv,
+            Advance {
+                column: 1,
+                min_offset: 10
+            }
+        );
     }
 
     #[test]
@@ -533,7 +580,9 @@ mod tests {
         let a = Position::new(5, 0, 0);
         let b = Position::new(40, 3, 2);
         assert!(!s.eval(&[a, b], &[]));
-        let adv = s.positive_advance(&[a, b], &[], AdvanceMode::Aggressive).unwrap();
+        let adv = s
+            .positive_advance(&[a, b], &[], AdvanceMode::Aggressive)
+            .unwrap();
         assert_eq!(adv.column, 0);
         assert_eq!(adv.min_offset, 6);
         assert!(s.eval(&[Position::new(40, 3, 2), b], &[]));
@@ -556,8 +605,16 @@ mod tests {
         let s = SamePosPred;
         assert!(s.eval(&[p(5), p(5)], &[]));
         assert!(!s.eval(&[p(5), p(9)], &[]));
-        let adv = s.positive_advance(&[p(5), p(9)], &[], AdvanceMode::Aggressive).unwrap();
-        assert_eq!(adv, Advance { column: 0, min_offset: 9 });
+        let adv = s
+            .positive_advance(&[p(5), p(9)], &[], AdvanceMode::Aggressive)
+            .unwrap();
+        assert_eq!(
+            adv,
+            Advance {
+                column: 0,
+                min_offset: 9
+            }
+        );
     }
 
     #[test]
@@ -566,7 +623,13 @@ mod tests {
         assert!(nd.eval(&[p(0), p(100)], &[40]));
         assert!(!nd.eval(&[p(0), p(30)], &[40]));
         let adv = nd.negative_advance(&[p(0), p(30)], &[40], 1).unwrap();
-        assert_eq!(adv, Advance { column: 1, min_offset: 42 }); // 0 + 40 + 2
+        assert_eq!(
+            adv,
+            Advance {
+                column: 1,
+                min_offset: 42
+            }
+        ); // 0 + 40 + 2
         assert!(nd.eval(&[p(0), p(42)], &[40]));
     }
 
@@ -577,7 +640,13 @@ mod tests {
         assert!(!no.eval(&[p(3), p(3)], &[]));
         assert!(!no.eval(&[p(3), p(9)], &[]));
         let adv = no.negative_advance(&[p(3), p(9)], &[], 0).unwrap();
-        assert_eq!(adv, Advance { column: 0, min_offset: 10 });
+        assert_eq!(
+            adv,
+            Advance {
+                column: 0,
+                min_offset: 10
+            }
+        );
     }
 
     #[test]
@@ -586,9 +655,17 @@ mod tests {
         assert_eq!(dp.kind(), PredKind::Negative);
         assert!(dp.eval(&[p(3), p(4)], &[]));
         assert!(!dp.eval(&[p(3), p(3)], &[]));
-        assert!(dp.positive_advance(&[p(3), p(3)], &[], AdvanceMode::Aggressive).is_none());
+        assert!(dp
+            .positive_advance(&[p(3), p(3)], &[], AdvanceMode::Aggressive)
+            .is_none());
         let adv = dp.negative_advance(&[p(3), p(3)], &[], 1).unwrap();
-        assert_eq!(adv, Advance { column: 1, min_offset: 4 });
+        assert_eq!(
+            adv,
+            Advance {
+                column: 1,
+                min_offset: 4
+            }
+        );
     }
 
     #[test]
@@ -599,7 +676,9 @@ mod tests {
         assert!(eg.eval(&[p(14), p(10)], &[3]));
         assert!(!eg.eval(&[p(10), p(13)], &[3]));
         assert!(!eg.eval(&[p(10), p(10)], &[0]));
-        assert!(eg.positive_advance(&[p(10), p(13)], &[3], AdvanceMode::Aggressive).is_none());
+        assert!(eg
+            .positive_advance(&[p(10), p(13)], &[3], AdvanceMode::Aggressive)
+            .is_none());
         assert!(eg.negative_advance(&[p(10), p(13)], &[3], 0).is_none());
     }
 }

@@ -34,8 +34,14 @@ pub fn check_positive_advance_sound(
                 return Some(positions);
             }
             // (b) soundness: no solution in the skipped box
-            if let Some(sol) = find_solution_in_box(pred, universe, consts, &positions, adv.column, adv.min_offset)
-            {
+            if let Some(sol) = find_solution_in_box(
+                pred,
+                universe,
+                consts,
+                &positions,
+                adv.column,
+                adv.min_offset,
+            ) {
                 let _ = sol;
                 return Some(positions);
             }
@@ -124,9 +130,7 @@ fn find_bounded_solution(
             }
         }
         let last = perm[n - 1];
-        if cand[last].offset < current[perm[0]].offset
-            || cand[last].offset > current[last].offset
-        {
+        if cand[last].offset < current[perm[0]].offset || cand[last].offset > current[last].offset {
             bounded = false;
         }
         if bounded && pred.eval(&cand, consts) {
@@ -166,12 +170,30 @@ mod tests {
     fn positive_builtins_have_sound_advances() {
         let u = universe();
         for mode in [AdvanceMode::Conservative, AdvanceMode::Aggressive] {
-            assert_eq!(check_positive_advance_sound(&DistancePred, &u, &[4], mode), None);
-            assert_eq!(check_positive_advance_sound(&OrderedPred, &u, &[], mode), None);
-            assert_eq!(check_positive_advance_sound(&SameParaPred, &u, &[], mode), None);
-            assert_eq!(check_positive_advance_sound(&SameSentPred, &u, &[], mode), None);
-            assert_eq!(check_positive_advance_sound(&WindowPred::new(2), &u, &[7], mode), None);
-            assert_eq!(check_positive_advance_sound(&SamePosPred, &u, &[], mode), None);
+            assert_eq!(
+                check_positive_advance_sound(&DistancePred, &u, &[4], mode),
+                None
+            );
+            assert_eq!(
+                check_positive_advance_sound(&OrderedPred, &u, &[], mode),
+                None
+            );
+            assert_eq!(
+                check_positive_advance_sound(&SameParaPred, &u, &[], mode),
+                None
+            );
+            assert_eq!(
+                check_positive_advance_sound(&SameSentPred, &u, &[], mode),
+                None
+            );
+            assert_eq!(
+                check_positive_advance_sound(&WindowPred::new(2), &u, &[7], mode),
+                None
+            );
+            assert_eq!(
+                check_positive_advance_sound(&SamePosPred, &u, &[], mode),
+                None
+            );
         }
     }
 
@@ -190,8 +212,7 @@ mod tests {
         // diffpos has no positive advance at all; the checker reports the
         // diagonal tuple as the witness.
         let u = universe();
-        let witness =
-            check_positive_advance_sound(&DiffPosPred, &u, &[], AdvanceMode::Aggressive);
+        let witness = check_positive_advance_sound(&DiffPosPred, &u, &[], AdvanceMode::Aggressive);
         assert!(witness.is_some());
     }
 
@@ -201,8 +222,10 @@ mod tests {
         // the multiples-of-3 universe; the failing pair (0, 33) then has a
         // satisfying tuple strictly inside its bounded region.
         let u = universe();
-        assert!(check_positive_advance_sound(&ExactGapPred, &u, &[5], AdvanceMode::Aggressive)
-            .is_some());
+        assert!(
+            check_positive_advance_sound(&ExactGapPred, &u, &[5], AdvanceMode::Aggressive)
+                .is_some()
+        );
         assert!(check_negative_property(&ExactGapPred, &u, &[5]).is_some());
     }
 }

@@ -34,7 +34,10 @@ pub struct PredicateRegistry {
 impl PredicateRegistry {
     /// An empty registry (`Preds = ∅`, as in the Theorem 3/4 setting).
     pub fn empty() -> Self {
-        PredicateRegistry { preds: Vec::new(), by_name: HashMap::new() }
+        PredicateRegistry {
+            preds: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// The registry of all built-in predicates.

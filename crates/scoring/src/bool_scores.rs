@@ -25,10 +25,11 @@ pub fn run_bool_scored(
     model: &PraModel,
 ) -> Result<Vec<(NodeId, f64)>, String> {
     let scores = eval(query, corpus, index, stats, model)?;
-    let mut out: Vec<(NodeId, f64)> =
-        scores.into_iter().filter(|(_, s)| *s > 0.0).collect();
+    let mut out: Vec<(NodeId, f64)> = scores.into_iter().filter(|(_, s)| *s > 0.0).collect();
     out.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
     Ok(out)
 }
@@ -116,15 +117,21 @@ mod tests {
     #[test]
     fn scored_bool_matches_boolean_semantics_support() {
         let (corpus, index, stats, model) = setup();
-        let q = parse("('software' AND 'users' AND NOT 'testing') OR 'usability'", Mode::Bool)
-            .unwrap();
+        let q = parse(
+            "('software' AND 'users' AND NOT 'testing') OR 'usability'",
+            Mode::Bool,
+        )
+        .unwrap();
         let ranked = run_bool_scored(&q, &corpus, &index, &stats, &model).unwrap();
         let nodes: Vec<u32> = ranked.iter().map(|(n, _)| n.0).collect();
         // Same support as the unscored engine: nodes 0, 2, 4 (node 1 is
         // blocked by NOT 'testing' and scores 1·(1−s) < 1... it may retain a
         // nonzero residual score; Boolean-certain matches must rank higher).
         for expected in [0u32, 2, 4] {
-            assert!(nodes.contains(&expected), "missing node {expected}: {nodes:?}");
+            assert!(
+                nodes.contains(&expected),
+                "missing node {expected}: {nodes:?}"
+            );
         }
         for (_, s) in &ranked {
             assert!((0.0..=1.0).contains(s));

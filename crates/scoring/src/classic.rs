@@ -14,8 +14,10 @@ pub fn classic_tfidf<S: AsRef<str>>(
     stats: &ScoreStats,
     model: &TfIdfModel,
 ) -> Vec<(NodeId, f64)> {
-    let mut distinct: Vec<String> =
-        query_tokens.iter().map(|t| t.as_ref().to_lowercase()).collect();
+    let mut distinct: Vec<String> = query_tokens
+        .iter()
+        .map(|t| t.as_ref().to_lowercase())
+        .collect();
     distinct.sort();
     distinct.dedup();
 
@@ -28,7 +30,9 @@ pub fn classic_tfidf<S: AsRef<str>>(
         let unique = stats.unique_tokens(node) as f64;
         let mut score = 0.0;
         for t in &distinct {
-            let Some(id) = corpus.token_id(t) else { continue };
+            let Some(id) = corpus.token_id(t) else {
+                continue;
+            };
             let occurs = doc.occurs(id) as f64;
             if occurs == 0.0 {
                 continue;
@@ -53,8 +57,8 @@ mod tests {
     #[test]
     fn classic_scores_favor_focused_documents() {
         let corpus = Corpus::from_texts(&[
-            "usability",                         // short, on-topic
-            "usability plus many other words",   // diluted
+            "usability",                       // short, on-topic
+            "usability plus many other words", // diluted
             "entirely different content",
         ]);
         let index = IndexBuilder::new().build(&corpus);
@@ -64,6 +68,9 @@ mod tests {
         assert_eq!(scores.len(), 2);
         let s0 = scores.iter().find(|(n, _)| n.0 == 0).unwrap().1;
         let s1 = scores.iter().find(|(n, _)| n.0 == 1).unwrap().1;
-        assert!(s0 > s1, "focused doc should outrank diluted doc: {s0} vs {s1}");
+        assert!(
+            s0 > s1,
+            "focused doc should outrank diluted doc: {s0} vs {s1}"
+        );
     }
 }

@@ -28,7 +28,10 @@ impl PraModel {
             .iter()
             .map(|(id, name)| (name.to_string(), stats.idf(id)))
             .collect();
-        PraModel { max_idf, idf_lookup }
+        PraModel {
+            max_idf,
+            idf_lookup,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ pub struct ScoredRelation {
 
 impl ScoredRelation {
     fn new(arity: usize) -> Self {
-        ScoredRelation { arity, rows: Vec::new() }
+        ScoredRelation {
+            arity,
+            rows: Vec::new(),
+        }
     }
 
     fn key(row: &(NodeId, Vec<Position>, f64)) -> (NodeId, Vec<u32>) {
@@ -65,7 +68,13 @@ impl<'a, M: ScoringModel> ScoredEvaluator<'a, M> {
         stats: &'a ScoreStats,
         model: M,
     ) -> Self {
-        ScoredEvaluator { corpus, index, registry, stats, model }
+        ScoredEvaluator {
+            corpus,
+            index,
+            registry,
+            stats,
+            model,
+        }
     }
 
     /// The scoring model.
@@ -83,7 +92,11 @@ impl<'a, M: ScoringModel> ScoredEvaluator<'a, M> {
     pub fn rank(&self, expr: &AlgExpr) -> Result<Vec<(NodeId, f64)>, ftsl_algebra::AlgebraError> {
         let rel = self.eval(expr)?;
         let mut scores = rel.node_scores(&self.model);
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+        scores.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         Ok(scores)
     }
 
@@ -126,7 +139,11 @@ impl<'a, M: ScoringModel> ScoredEvaluator<'a, M> {
                 for (n, ps, s) in &inner.rows {
                     let projected: Vec<Position> = cols.iter().map(|&c| ps[c]).collect();
                     let key = (*n, projected.iter().map(|p| p.offset).collect());
-                    grouped.entry(key).or_insert_with(|| (projected, Vec::new())).1.push(*s);
+                    grouped
+                        .entry(key)
+                        .or_insert_with(|| (projected, Vec::new()))
+                        .1
+                        .push(*s);
                 }
                 let mut r = ScoredRelation::new(cols.len());
                 for ((n, _), (ps, scores)) in grouped {
@@ -167,7 +184,12 @@ impl<'a, M: ScoringModel> ScoredEvaluator<'a, M> {
                 }
                 r
             }
-            AlgExpr::Select { input, pred, cols, consts } => {
+            AlgExpr::Select {
+                input,
+                pred,
+                cols,
+                consts,
+            } => {
                 let inner = self.eval_unchecked(input);
                 let p = self.registry.get(*pred);
                 let mut r = ScoredRelation::new(inner.arity);
@@ -323,7 +345,9 @@ mod tests {
         let (corpus, index, reg, stats) = setup();
         let model = PraModel::new(&corpus, &stats);
         let ev = ScoredEvaluator::new(&corpus, &index, &reg, &stats, model);
-        let u = ev.eval(&union(token("usability"), token("usability"))).unwrap();
+        let u = ev
+            .eval(&union(token("usability"), token("usability")))
+            .unwrap();
         // Same tuple on both sides: 1-(1-s)^2 > s.
         let single = ev.eval(&token("usability")).unwrap();
         assert_eq!(u.rows.len(), single.rows.len());
@@ -331,7 +355,10 @@ mod tests {
             assert!(us.2 > ss.2);
         }
         let d = ev
-            .eval(&difference(project_nodes(token("test")), project_nodes(token("usability"))))
+            .eval(&difference(
+                project_nodes(token("test")),
+                project_nodes(token("usability")),
+            ))
             .unwrap();
         let nodes: Vec<u32> = d.rows.iter().map(|(n, ..)| n.0).collect();
         assert_eq!(nodes, vec![1]);

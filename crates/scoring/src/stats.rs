@@ -47,7 +47,12 @@ impl ScoreStats {
             unique_tokens.push(unique);
             l2_norm.push(if sum_sq > 0.0 { sum_sq.sqrt() } else { 1.0 });
         }
-        ScoreStats { db_size, df, unique_tokens, l2_norm }
+        ScoreStats {
+            db_size,
+            df,
+            unique_tokens,
+            l2_norm,
+        }
     }
 
     /// `df(t)`: number of nodes containing the token (0 if out of

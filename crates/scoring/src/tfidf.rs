@@ -28,7 +28,11 @@ pub struct TfIdfModel {
 impl TfIdfModel {
     /// Build the model for a query's search tokens (duplicates allowed; the
     /// proof of Theorem 2 treats repeated tokens as weight-summed).
-    pub fn for_query<S: AsRef<str>>(tokens: &[S], corpus: &ftsl_model::Corpus, stats: &ScoreStats) -> Self {
+    pub fn for_query<S: AsRef<str>>(
+        tokens: &[S],
+        corpus: &ftsl_model::Corpus,
+        stats: &ScoreStats,
+    ) -> Self {
         let mut idf_by_token = HashMap::new();
         for t in tokens {
             let name = t.as_ref().to_lowercase();
@@ -46,7 +50,11 @@ impl TfIdfModel {
             })
             .sum();
         let query_norm = if sum_sq > 0.0 { sum_sq.sqrt() } else { 1.0 };
-        TfIdfModel { idf_by_token, unique_search_tokens, query_norm }
+        TfIdfModel {
+            idf_by_token,
+            unique_search_tokens,
+            query_norm,
+        }
     }
 
     /// `w(t) = idf(t)/unique_search_tokens`.

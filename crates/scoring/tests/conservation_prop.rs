@@ -18,7 +18,12 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
         |docs| {
             let texts: Vec<String> = docs
                 .into_iter()
-                .map(|toks| toks.into_iter().map(|t| VOCAB[t]).collect::<Vec<_>>().join(" "))
+                .map(|toks| {
+                    toks.into_iter()
+                        .map(|t| VOCAB[t])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
                 .collect();
             Corpus::from_texts(&texts)
         },
@@ -26,10 +31,7 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
 }
 
 /// Per-node total score of a relation.
-fn per_node_totals(
-    ev: &ScoredEvaluator<'_, TfIdfModel>,
-    expr: &AlgExpr,
-) -> BTreeMap<NodeId, f64> {
+fn per_node_totals(ev: &ScoredEvaluator<'_, TfIdfModel>, expr: &AlgExpr) -> BTreeMap<NodeId, f64> {
     let rel = ev.eval(expr).expect("evaluates");
     let mut totals: BTreeMap<NodeId, f64> = BTreeMap::new();
     for (n, _, s) in &rel.rows {

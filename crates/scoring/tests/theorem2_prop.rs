@@ -17,7 +17,12 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
         |docs| {
             let texts: Vec<String> = docs
                 .into_iter()
-                .map(|toks| toks.into_iter().map(|t| VOCAB[t]).collect::<Vec<_>>().join(" "))
+                .map(|toks| {
+                    toks.into_iter()
+                        .map(|t| VOCAB[t])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
                 .collect();
             Corpus::from_texts(&texts)
         },

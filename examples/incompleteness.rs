@@ -26,11 +26,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let comp = "SOME p1 (NOT p1 HAS 't1')";
     let hits = engine.search(comp)?;
     println!("COMP  {comp}");
-    println!("      separates CN1 from CN2: matches {:?}", hits.node_ids());
+    println!(
+        "      separates CN1 from CN2: matches {:?}",
+        hits.node_ids()
+    );
     assert_eq!(hits.node_ids(), vec![1]);
     // Any BOOL query built from tokens {t1, t2, ...} that doesn't mention
     // 'zebra' treats CN1 and CN2 identically (the proof's induction):
-    for bool_q in ["'t1'", "NOT 't1'", "'t1' AND NOT 't2'", "'t2' OR NOT 't1'", "ANY"] {
+    for bool_q in [
+        "'t1'",
+        "NOT 't1'",
+        "'t1' AND NOT 't2'",
+        "'t2' OR NOT 't1'",
+        "ANY",
+    ] {
         let r = engine.search_with(bool_q, Mode::Bool, ftsl::exec::EngineKind::Bool)?;
         let ids = r.node_ids();
         assert_eq!(
@@ -57,14 +66,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== Theorem 4: BOOL is complete over a finite alphabet ==");
-    let alphabet: Vec<String> = ["t1", "t2", "t3", "t4"].iter().map(|s| s.to_string()).collect();
+    let alphabet: Vec<String> = ["t1", "t2", "t3", "t4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let surface = parse("SOME p1 (NOT p1 HAS 't1')", Mode::Comp)?;
     let expr = lower(&surface, &reg)?;
     let prop = normalize(&expr).expect("restricted query normalizes");
     let bool_query = to_bool(&prop, &alphabet);
     println!("calculus:  ∃p ¬hasToken(p, t1)   over T = {alphabet:?}");
     println!("BOOL:      {}", bool_query.render());
-    println!("(the complement must enumerate the alphabet — {} nodes of query AST,", bool_query.size());
+    println!(
+        "(the complement must enumerate the alphabet — {} nodes of query AST,",
+        bool_query.size()
+    );
     println!(" which is why the paper calls this construction impractical)");
     Ok(())
 }

@@ -25,18 +25,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // BOOL: keyword conjunction with negation (Section 4.1).
-    let hits = engine.search_with("'software' AND NOT 'algorithm'", Mode::Bool, EngineKind::Auto)?;
-    println!("BOOL  'software' AND NOT 'algorithm'   -> nodes {:?} via {}", hits.node_ids(), hits.engine);
+    let hits = engine.search_with(
+        "'software' AND NOT 'algorithm'",
+        Mode::Bool,
+        EngineKind::Auto,
+    )?;
+    println!(
+        "BOOL  'software' AND NOT 'algorithm'   -> nodes {:?} via {}",
+        hits.node_ids(),
+        hits.engine
+    );
 
     // DIST: proximity search (Section 4.2).
-    let hits = engine.search_with("dist('task', 'completion', 0)", Mode::Dist, EngineKind::Auto)?;
-    println!("DIST  dist('task','completion',0)      -> nodes {:?} via {}", hits.node_ids(), hits.engine);
+    let hits = engine.search_with(
+        "dist('task', 'completion', 0)",
+        Mode::Dist,
+        EngineKind::Auto,
+    )?;
+    println!(
+        "DIST  dist('task','completion',0)      -> nodes {:?} via {}",
+        hits.node_ids(),
+        hits.engine
+    );
 
     // COMP: position variables and predicates (Section 4.3).
     let comp = "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' \
                 AND samepara(p1,p2) AND distance(p1,p2,5))";
     let hits = engine.search(comp)?;
-    println!("COMP  usability near software          -> nodes {:?} via {}", hits.node_ids(), hits.engine);
+    println!(
+        "COMP  usability near software          -> nodes {:?} via {}",
+        hits.node_ids(),
+        hits.engine
+    );
 
     // Ranked retrieval with the Section 3 scoring framework.
     let ranked = engine.search_ranked("'software' AND 'usability'", RankModel::TfIdf)?;

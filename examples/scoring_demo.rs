@@ -10,8 +10,8 @@ use ftsl::scoring::{PraModel, ScoreStats, TfIdfModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Ftsl::from_texts(&[
-        "usability",                                              // short, focused
-        "usability usability usability of software interfaces",  // repetitive
+        "usability",                                            // short, focused
+        "usability usability usability of software interfaces", // repetitive
         "software usability in long documents about many other topics entirely",
         "software engineering without the other keyword",
         "unrelated text",
@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== scored BOOL merge engine (Section 5.3) ==");
     let q = parse("'usability' OR 'software'", Mode::Bool).expect("parses");
     let pra = PraModel::new(engine.corpus(), &stats);
-    let scored = run_bool_scored(&q, engine.corpus(), engine.index(), &stats, &pra)
-        .expect("bool query");
+    let scored =
+        run_bool_scored(&q, engine.corpus(), engine.index(), &stats, &pra).expect("bool query");
     for (node, score) in &scored {
         println!("  node {node}: {score:.5}");
     }

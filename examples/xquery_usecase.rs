@@ -37,9 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                    AND ordered(p1, p2) AND distance(p1, p2, 10))";
 
     let hits = engine.search(query)?;
-    println!("use case 10.4 matches: {:?} (engine: {})", hits.node_ids(), hits.engine);
+    println!(
+        "use case 10.4 matches: {:?} (engine: {})",
+        hits.node_ids(),
+        hits.engine
+    );
     for id in hits.node_ids() {
-        println!("  book {id}: {}...", &books[id as usize][..60.min(books[id as usize].len())]);
+        println!(
+            "  book {id}: {}...",
+            &books[id as usize][..60.min(books[id as usize].len())]
+        );
     }
     assert_eq!(hits.node_ids(), vec![0]);
 

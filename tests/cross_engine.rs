@@ -7,7 +7,11 @@ use ftsl::index::IndexBuilder;
 use ftsl::lang::{parse, Mode};
 use ftsl::predicates::PredicateRegistry;
 
-fn fixture() -> (ftsl::model::Corpus, ftsl::index::InvertedIndex, PredicateRegistry) {
+fn fixture() -> (
+    ftsl::model::Corpus,
+    ftsl::index::InvertedIndex,
+    PredicateRegistry,
+) {
     let corpus = SynthConfig::small()
         .plant("apple", 0.5, 3)
         .plant("banana", 0.4, 2)
@@ -58,7 +62,10 @@ fn npred_queries_agree_under_all_strategies() {
         &corpus,
         &index,
         &reg,
-        ExecOptions { npred_full_permutations: true, ..Default::default() },
+        ExecOptions {
+            npred_full_permutations: true,
+            ..Default::default()
+        },
     );
     let parallel = Executor::with_options(
         &corpus,

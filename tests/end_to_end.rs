@@ -18,9 +18,17 @@ fn engine() -> Ftsl {
 fn dispatch_covers_the_hierarchy() {
     let e = engine();
     let cases: &[(&str, LanguageClass, EngineUsed)] = &[
-        ("'kernel' AND 'scheduler'", LanguageClass::BoolNoNeg, EngineUsed::Bool),
+        (
+            "'kernel' AND 'scheduler'",
+            LanguageClass::BoolNoNeg,
+            EngineUsed::Bool,
+        ),
         ("NOT 'kernel'", LanguageClass::Bool, EngineUsed::Bool),
-        ("dist('kernel','scheduler',8)", LanguageClass::Dist, EngineUsed::Ppred),
+        (
+            "dist('kernel','scheduler',8)",
+            LanguageClass::Dist,
+            EngineUsed::Ppred,
+        ),
         (
             "SOME a SOME b (a HAS 'kernel' AND b HAS 'scheduler' AND ordered(a,b))",
             LanguageClass::Ppred,
@@ -31,7 +39,11 @@ fn dispatch_covers_the_hierarchy() {
             LanguageClass::Npred,
             EngineUsed::Npred,
         ),
-        ("EVERY a (a HAS 'kernel')", LanguageClass::Comp, EngineUsed::Comp),
+        (
+            "EVERY a (a HAS 'kernel')",
+            LanguageClass::Comp,
+            EngineUsed::Comp,
+        ),
     ];
     for (q, class, used) in cases {
         let out = e.search(q).unwrap();

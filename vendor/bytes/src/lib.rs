@@ -1,0 +1,238 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset the workspace uses: little-endian integer
+//! reads/writes through [`Buf`]/[`BufMut`], a growable [`BytesMut`] and a
+//! frozen, cheaply-sliceable [`Bytes`]. Backed by `Vec<u8>`/`Arc<[u8]>` with
+//! no unsafe code; drop-in replaceable by the real crate when a registry is
+//! reachable.
+
+use std::sync::Arc;
+
+/// Read side of a byte buffer: a cursor over remaining bytes.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Borrow the unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Advance the cursor by `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, n: usize) {
+        (**self).advance(n)
+    }
+}
+
+/// Write side of a byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A growable byte buffer, freezable into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data.into_boxed_slice()),
+            start: 0,
+            pos: 0,
+            end_offset: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable, reference-counted byte slice. Reading through [`Buf`]
+/// advances an internal cursor; [`Bytes::slice`] shares the allocation.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    pos: usize,
+    /// Bytes trimmed off the end of `data` (so `slice` never copies).
+    end_offset: usize,
+}
+
+impl Bytes {
+    /// Copy a slice into a new `Bytes`.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(src.to_vec().into_boxed_slice()),
+            start: 0,
+            pos: 0,
+            end_offset: 0,
+        }
+    }
+
+    /// Total length of this view (independent of the read cursor).
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start - self.end_offset
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view sharing the same allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            pos: 0,
+            end_offset: self.data.len() - (self.start + range.end),
+        }
+    }
+
+    /// The full view as a byte slice (ignores the read cursor).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.data.len() - self.end_offset]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len() - self.pos
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.as_slice()[self.pos..]
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining());
+        self.pos += n;
+    }
+}
+
+/// Reading a plain byte slice consumes it front-first.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(7);
+        buf.put_u64_le(u64::MAX - 3);
+        buf.put_u8(9);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 13);
+        assert_eq!(b.get_u32_le(), 7);
+        assert_eq!(b.get_u64_le(), u64::MAX - 3);
+        assert_eq!(b.get_u8(), 9);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_share_and_trim() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[1, 2, 3, 4, 5]);
+        let b = buf.freeze();
+        let mid = b.slice(1..4);
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        let inner = mid.slice(1..2);
+        assert_eq!(inner.as_slice(), &[3]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `criterion_main!` —
+//! with a plain time-and-print measurement loop (median of `sample_size`
+//! samples after a warm-up period). No statistical analysis, plots, or
+//! result persistence; numbers go to stdout, one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self, None, &id, &mut f);
+        self
+    }
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time a closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self.criterion, Some(&self.name), &id, &mut f);
+        self
+    }
+
+    /// Time a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_bench(self.criterion, Some(&self.name), &id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the measured routine.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<Duration>,
+}
+
+enum BenchMode {
+    WarmUp { until: Instant },
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::WarmUp { until } => {
+                while Instant::now() < until {
+                    std::hint::black_box(routine());
+                }
+            }
+            BenchMode::Measure { samples } => {
+                self.samples.reserve(samples);
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    std::hint::black_box(routine());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &BenchmarkId,
+    f: &mut F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    let mut warm = Bencher {
+        mode: BenchMode::WarmUp {
+            until: Instant::now() + criterion.warm_up_time,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut warm);
+
+    let mut bencher = Bencher {
+        mode: BenchMode::Measure {
+            samples: criterion.sample_size,
+        },
+        samples: Vec::new(),
+    };
+    let budget = Instant::now() + criterion.measurement_time * 4;
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    // Re-sample within budget for more stable medians on fast routines.
+    while Instant::now() < budget && samples.len() < criterion.sample_size * 4 {
+        let mut again = Bencher {
+            mode: BenchMode::Measure {
+                samples: criterion.sample_size,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut again);
+        samples.extend(again.samples);
+    }
+    samples.sort_unstable();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    let mean: Duration = if samples.is_empty() {
+        Duration::ZERO
+    } else {
+        samples.iter().sum::<Duration>() / samples.len() as u32
+    };
+    println!(
+        "bench {full:<50} median {:>12} mean {:>12} (n={})",
+        fmt(median),
+        fmt(mean),
+        samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Entry point: `criterion_main!(bench_fn_a, bench_fn_b)` emits `fn main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($bench_fn:path),+ $(,)?) => {
+        fn main() {
+            $($bench_fn();)+
+        }
+    };
+}
+
+/// Compatibility shim for `criterion_group!` (binds a name to a run-all fn).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

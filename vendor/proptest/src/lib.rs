@@ -1,0 +1,512 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the generation-side subset of proptest the workspace's property tests
+//! use: [`strategy::Strategy`] with `prop_map`/`prop_flat_map`/`boxed`,
+//! range/tuple/`Just`/`Union` strategies, `collection::{vec, btree_set}`,
+//! `option::of`, `any::<T>()`, and the `proptest!`, `prop_oneof!`,
+//! `prop_assert*!` and `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **No shrinking** — failures report the generated values via the
+//!   panic message only. Cases are seeded deterministically per test name
+//!   and case index, so failures reproduce exactly.
+//! * Rejected cases (`prop_assume!`) are skipped, not regenerated, so a
+//!   run executes at most `cases` bodies.
+
+use rand::rngs::StdRng;
+
+/// Configuration for a `proptest!` block.
+pub mod test_runner {
+    /// Number-of-cases knob, mirroring proptest's `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// How many random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Core strategy trait and combinators.
+pub mod strategy {
+    use super::StdRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate an intermediate value, then generate from the strategy
+        /// it selects.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase into a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`].
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T: 'static> Union<T> {
+        /// Uniform choice over `arms`.
+        pub fn new<S, I>(arms: I) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+            I: IntoIterator<Item = S>,
+        {
+            Union {
+                arms: arms.into_iter().map(|s| (1, s.boxed())).collect(),
+            }
+        }
+
+        /// Weighted choice over `(weight, strategy)` arms.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "Union requires at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::RngExt;
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.random_range(0..total.max(1));
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            self.arms.last().expect("non-empty").1.generate(rng)
+        }
+    }
+
+    /// Integer ranges generate uniformly within the range.
+    impl<T: rand::UniformInt + 'static> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::RngExt;
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the full domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random::<u64>() as $t
+                }
+            }
+        )+};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Sets with cardinality drawn from `size` (best-effort when the
+    /// element domain is smaller than the requested cardinality).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 100 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+
+    /// Strategy yielding `None` about a quarter of the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` of the inner strategy, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property test file conventionally imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[doc(hidden)]
+pub mod runtime {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-(test, case) rng.
+    pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Weighted/uniform choice between strategies: `prop_oneof![a, b]` or
+/// `prop_oneof![2 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property-scoped assertion (panics — no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(());
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases as u64 {
+                    let mut __proptest_rng = $crate::runtime::case_rng(stringify!($name), case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    let __proptest_outcome: ::std::result::Result<(), ()> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    // Err means the case was rejected by prop_assume!; skip.
+                    let _ = __proptest_outcome;
+                }
+            }
+        )*
+    };
+}
+
+pub use rand::rngs::StdRng as TestStdRng;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_domain() {
+        let mut rng = crate::runtime::case_rng("smoke", 0);
+        let s = crate::collection::vec(0usize..5, 1..4);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let u = prop_oneof![2 => Just(1u8), 1 => Just(2u8)];
+        for _ in 0..20 {
+            let x = Strategy::generate(&u, &mut rng);
+            assert!(x == 1 || x == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_assumes(x in 0u32..100, flip in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(flip as u32 <= 1, true);
+        }
+    }
+}

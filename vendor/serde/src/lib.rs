@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no access to crates.io, so the workspace ships
+//! a minimal local `serde` exposing the two derive names its data types use.
+//! The traits are empty markers: no serialization format crate is wired up,
+//! and index persistence uses its own hand-rolled binary codec
+//! (`ftsl_index::persist`) instead. Swapping in real serde is a
+//! manifest-only change.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for the deserializable-type bound. The real
+/// `Deserialize<'de>` trait is lifetime-parameterized, which a no-op derive
+/// cannot faithfully emit, so the derive targets this marker instead.
+pub trait DeserializeMarker {}
+
+/// Alias so `use serde::{Deserialize, Serialize}` plus `#[derive(..)]`
+/// resolve exactly as with real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! mark {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl DeserializeMarker for $t {})*
+    };
+}
+
+mark!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: DeserializeMarker> DeserializeMarker for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: DeserializeMarker> DeserializeMarker for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: DeserializeMarker> DeserializeMarker for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: DeserializeMarker, B: DeserializeMarker> DeserializeMarker for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K: DeserializeMarker, V: DeserializeMarker> DeserializeMarker
+    for std::collections::BTreeMap<K, V>
+{
+}

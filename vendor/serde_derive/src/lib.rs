@@ -1,0 +1,80 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! real serde tooling can be dropped in when a registry is reachable; in this
+//! offline build the derives expand to marker-trait impls with no methods.
+
+use proc_macro::TokenStream;
+
+/// Extract the type identifier following the `struct`/`enum` keyword.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        let s = tt.to_string();
+        if saw_kw {
+            return Some(s);
+        }
+        if s == "struct" || s == "enum" {
+            saw_kw = true;
+        }
+    }
+    None
+}
+
+/// Generic parameter names (e.g. `T`, `U`) of the deriving type, if any.
+/// Only plain `<A, B, ...>` lists are supported, which covers this workspace.
+fn generics(input: &TokenStream) -> Vec<String> {
+    let mut toks: Vec<String> = Vec::new();
+    let mut saw_kw = false;
+    let mut depth = 0i32;
+    for tt in input.clone() {
+        let s = tt.to_string();
+        if !saw_kw {
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+            continue;
+        }
+        match s.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "," => {}
+            _ if depth == 1 => toks.push(s),
+            _ if depth == 0 && !toks.is_empty() => break,
+            _ if depth == 0 => break,
+            _ => {}
+        }
+    }
+    toks
+}
+
+fn impl_for(trait_path: &str, input: TokenStream) -> TokenStream {
+    let Some(name) = type_name(&input) else {
+        return TokenStream::new();
+    };
+    let gens = generics(&input);
+    let code = if gens.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        let params = gens.join(", ");
+        let bounds = gens
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("impl<{params}> {trait_path} for {name}<{params}> where {bounds} {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits a marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for("::serde::Serialize", input)
+}
+
+/// No-op `Deserialize` derive: emits a marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for("::serde::DeserializeMarker", input)
+}
