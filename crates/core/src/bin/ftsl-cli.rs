@@ -106,6 +106,10 @@ fn dispatch(
             "cnodes={} vocabulary={} pos_per_cnode={} entries_per_token={} pos_per_entry={}",
             s.cnodes, s.vocabulary, s.pos_per_cnode, s.entries_per_token, s.pos_per_entry
         )?;
+        // Both physical list forms stay resident (compressed blocks serve
+        // seeks and persistence, decoded views the reference evaluators) —
+        // surface the dual-residency RAM price.
+        writeln!(out, "memory: {}", engine.index().memory_footprint())?;
         return Ok(());
     }
     if let Some(q) = input.strip_prefix(":explain ") {
@@ -125,6 +129,13 @@ fn dispatch(
         let ranked = engine.search_top_k(q, RankModel::TfIdf, k)?;
         for (node, score) in &ranked.hits {
             writeln!(out, "{score:.5}  {}", names[node.index()])?;
+        }
+        if let Some(c) = ranked.counters {
+            writeln!(
+                out,
+                "[streamed: {} entries decoded, {} entries / {} blocks pruned]",
+                c.entries, c.skipped, c.blocks_skipped
+            )?;
         }
         return Ok(());
     }

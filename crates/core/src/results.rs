@@ -43,6 +43,10 @@ pub struct Ranked {
     pub hits: Vec<(NodeId, f64)>,
     /// The scoring model used.
     pub model: RankModel,
+    /// Access counters when the result came from the streaming top-k
+    /// engine (`None` for exhaustive scored-algebra ranking, which
+    /// materializes relations instead of walking cursors).
+    pub counters: Option<AccessCounters>,
 }
 
 impl Ranked {

@@ -13,15 +13,11 @@ use ftsl_predicates::{AdvanceMode, PredKind, PredicateRegistry};
 use std::collections::HashMap;
 
 /// Which physical list representation leaf scans read.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum IndexLayout {
-    /// Decoded columnar [`ftsl_index::PostingList`]s (the seed layout).
-    #[default]
-    Decoded,
-    /// Block-compressed [`ftsl_index::BlockList`]s: entries are decoded out
-    /// of delta/varint blocks on demand and seeks ride the skip headers.
-    Blocks,
-}
+///
+/// The enum itself now lives in `ftsl-index` (the choice is purely
+/// physical); this re-export keeps the established `ftsl_exec::build`
+/// import path working.
+pub use ftsl_index::IndexLayout;
 
 /// Everything a cursor tree needs to run.
 pub struct CursorCtx<'a> {

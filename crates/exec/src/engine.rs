@@ -6,11 +6,13 @@ use crate::comp::run_comp;
 use crate::error::ExecError;
 use crate::npred::{run_npred, NpredOptions};
 use crate::ppred::run_ppred_with;
+use crate::scored::{run_scored_top_k, ScoreModel, ScoredOutput, ScoredTopK};
 use ftsl_calculus::CalcQuery;
 use ftsl_index::{AccessCounters, InvertedIndex};
 use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
 use ftsl_model::{Corpus, NodeId};
 use ftsl_predicates::{AdvanceMode, PredicateRegistry};
+use ftsl_scoring::ScoreStats;
 
 /// Which engine to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +171,42 @@ impl<'a> Executor<'a> {
         let expr = lower(surface, self.registry).map_err(|e| ExecError::Lang(e.to_string()))?;
         let query = CalcQuery::new(expr);
         self.run_lowered(&query, chosen, class, engine == EngineKind::Auto)
+    }
+
+    /// Run a scored top-k query (parsed from `input`) through the streaming
+    /// scored dispatcher. See [`Executor::run_top_k`].
+    pub fn run_top_k_str(
+        &self,
+        input: &str,
+        spec: ScoredTopK,
+        stats: &ScoreStats,
+        model: &ScoreModel<'_>,
+    ) -> Result<ScoredOutput, ExecError> {
+        let surface = parse(input, Mode::Comp).map_err(|e| ExecError::Lang(e.to_string()))?;
+        self.run_top_k(&surface, spec, stats, model)
+    }
+
+    /// Run a scored top-k query: stream the query's posting entries through
+    /// a bounded heap on the configured [`ExecOptions::layout`], pruning
+    /// with list- and block-level score bounds where the query shape allows
+    /// (flat disjunctions). Only BOOL-shaped queries are rankable this way;
+    /// anything else is a [`ExecError::WrongEngine`].
+    pub fn run_top_k(
+        &self,
+        surface: &SurfaceQuery,
+        spec: ScoredTopK,
+        stats: &ScoreStats,
+        model: &ScoreModel<'_>,
+    ) -> Result<ScoredOutput, ExecError> {
+        run_scored_top_k(
+            surface,
+            self.corpus,
+            self.index,
+            stats,
+            model,
+            self.options.layout,
+            spec,
+        )
     }
 
     /// Run a calculus query directly (no surface form). BOOL dispatch is not

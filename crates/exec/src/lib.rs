@@ -17,7 +17,11 @@
 //!   full-permutation scheme and the partial-order optimization it mentions,
 //!   optionally running threads in parallel;
 //! * [`engine`] — dispatch by [`ftsl_lang::LanguageClass`], with COMP as the
-//!   universal fallback.
+//!   universal fallback;
+//! * [`scored`] — **scored top-k** (Section 5.3's scoring extension as a
+//!   streaming engine): flat disjunctions run a MaxScore/block-max pruned
+//!   union, general BOOL trees a cursor-driven score-stream combination,
+//!   both draining into a bounded heap instead of scoring every node.
 //!
 //! Every engine reports [`ftsl_index::AccessCounters`] so the Figure 3
 //! bounds can be validated with machine-independent measurements.
@@ -33,9 +37,11 @@ pub mod npred;
 pub mod plan;
 pub mod ppred;
 pub mod project;
+pub mod scored;
 pub mod select;
 pub mod setops;
 
 pub use engine::{EngineKind, Executor, QueryOutput};
 pub use error::{ExecError, PlanError};
 pub use plan::{build_plan, PlanNode};
+pub use scored::{ScoreModel, ScoredOutput, ScoredPath, ScoredTopK};

@@ -1,0 +1,164 @@
+//! Scored top-k dispatch: route a BOOL-shaped query to the cheapest sound
+//! streaming scored evaluator.
+//!
+//! Mirrors the unscored dispatcher's philosophy (classify, then pick the
+//! least-work engine): flat disjunctions — the ranked-query workhorse — go
+//! through the MaxScore/block-max pruned union; general `AND`/`OR`/`NOT`
+//! trees under PRA semantics go through the cursor-driven score-stream
+//! tree. Both run on whichever physical layout
+//! ([`crate::engine::ExecOptions::layout`]) the executor was configured
+//! with, and report [`ftsl_index::AccessCounters`] so pruning wins are
+//! measurable.
+
+use crate::error::ExecError;
+use ftsl_index::{AccessCounters, IndexLayout, InvertedIndex};
+use ftsl_lang::SurfaceQuery;
+use ftsl_model::{Corpus, NodeId};
+use ftsl_scoring::{PraModel, ScoreStats, TfIdfModel};
+
+/// The scored top-k query spec: how many results to retain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoredTopK {
+    /// Number of results to keep (the pruning budget: smaller `k` means a
+    /// higher heap threshold sooner, hence more skipped blocks).
+    pub k: usize,
+}
+
+/// Which scoring model ranks the hits.
+pub enum ScoreModel<'m> {
+    /// Section 3.1 cosine TF-IDF (additive union). Only flat disjunctions
+    /// of tokens are rankable — the classic oracle defines nothing else.
+    TfIdf(&'m TfIdfModel),
+    /// Section 3.2/5.3 probabilistic scoring: full BOOL trees.
+    Pra(&'m PraModel),
+}
+
+/// The streaming strategy the dispatcher chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScoredPath {
+    /// MaxScore/block-max pruned k-way union over a flat disjunction.
+    PrunedUnion,
+    /// Cursor-driven score-stream tree (AND/OR/NOT combination).
+    StreamTree,
+}
+
+/// Result of a scored top-k run.
+#[derive(Clone, Debug)]
+pub struct ScoredOutput {
+    /// `(node, score)` in ranking order, at most `k` rows.
+    pub hits: Vec<(NodeId, f64)>,
+    /// Decode/skip work counters — `entries` is what pruning saves,
+    /// `skipped`/`blocks_skipped` is where the savings went.
+    pub counters: AccessCounters,
+    /// Strategy used.
+    pub path: ScoredPath,
+}
+
+/// If `query` is a flat disjunction of token literals (`'a' OR 'b' OR ...`,
+/// including a single literal), collect its tokens.
+pub fn flat_disjunction(query: &SurfaceQuery) -> Option<Vec<&str>> {
+    fn walk<'q>(q: &'q SurfaceQuery, out: &mut Vec<&'q str>) -> bool {
+        match q {
+            SurfaceQuery::Lit(tok) => {
+                out.push(tok);
+                true
+            }
+            SurfaceQuery::Or(a, b) => walk(a, out) && walk(b, out),
+            _ => false,
+        }
+    }
+    let mut tokens = Vec::new();
+    walk(query, &mut tokens).then_some(tokens)
+}
+
+/// Run a scored top-k query on the given layout.
+pub fn run_scored_top_k(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &ScoreModel<'_>,
+    layout: IndexLayout,
+    spec: ScoredTopK,
+) -> Result<ScoredOutput, ExecError> {
+    let flat = flat_disjunction(query);
+    match model {
+        ScoreModel::TfIdf(m) => {
+            let Some(tokens) = flat else {
+                return Err(ExecError::WrongEngine {
+                    engine: "TOPK",
+                    reason: format!(
+                        "TF-IDF top-k ranks flat token disjunctions; {} is not one",
+                        query.render()
+                    ),
+                });
+            };
+            let out = ftsl_scoring::topk_tfidf(&tokens, corpus, index, stats, m, layout, spec.k);
+            Ok(ScoredOutput {
+                hits: out.hits,
+                counters: out.counters,
+                path: ScoredPath::PrunedUnion,
+            })
+        }
+        ScoreModel::Pra(m) => {
+            if let Some(tokens) = flat {
+                let out = ftsl_scoring::topk_pra_disjunction(
+                    &tokens, corpus, index, stats, m, layout, spec.k,
+                );
+                return Ok(ScoredOutput {
+                    hits: out.hits,
+                    counters: out.counters,
+                    path: ScoredPath::PrunedUnion,
+                });
+            }
+            let out = ftsl_scoring::run_bool_topk(query, corpus, index, stats, m, layout, spec.k)
+                .map_err(|reason| ExecError::WrongEngine {
+                engine: "TOPK",
+                reason,
+            })?;
+            Ok(ScoredOutput {
+                hits: out.hits,
+                counters: out.counters,
+                path: ScoredPath::StreamTree,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_index::IndexBuilder;
+    use ftsl_lang::{parse, Mode};
+
+    #[test]
+    fn flat_disjunctions_are_detected() {
+        let q = parse("'a' OR 'b' OR 'c'", Mode::Bool).unwrap();
+        assert_eq!(flat_disjunction(&q), Some(vec!["a", "b", "c"]));
+        let q = parse("'a'", Mode::Bool).unwrap();
+        assert_eq!(flat_disjunction(&q), Some(vec!["a"]));
+        let q = parse("'a' OR ('b' AND 'c')", Mode::Bool).unwrap();
+        assert_eq!(flat_disjunction(&q), None);
+        let q = parse("NOT 'a'", Mode::Bool).unwrap();
+        assert_eq!(flat_disjunction(&q), None);
+    }
+
+    #[test]
+    fn tfidf_rejects_non_disjunctions() {
+        let corpus = Corpus::from_texts(&["a b", "b c"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let stats = ScoreStats::compute(&corpus, &index);
+        let model = TfIdfModel::for_query(&["a"], &corpus, &stats);
+        let q = parse("'a' AND 'b'", Mode::Bool).unwrap();
+        let err = run_scored_top_k(
+            &q,
+            &corpus,
+            &index,
+            &stats,
+            &ScoreModel::TfIdf(&model),
+            IndexLayout::Decoded,
+            ScoredTopK { k: 3 },
+        );
+        assert!(matches!(err, Err(ExecError::WrongEngine { .. })));
+    }
+}

@@ -1,0 +1,217 @@
+//! Acceptance test for streaming scored retrieval on a skewed (Zipf)
+//! corpus: block-max/MaxScore-pruned top-k over a `'rare' OR 'common'`
+//! disjunction must decode *measurably fewer* entries than the exhaustive
+//! scored pass — which touches every entry of every query list — while
+//! returning exactly the oracle's first k rows. Checked on both physical
+//! layouts via the dispatcher, so the whole path under
+//! `ExecOptions::layout` is exercised.
+
+use ftsl_corpus::SynthConfig;
+use ftsl_exec::engine::{ExecOptions, Executor};
+use ftsl_exec::{ScoreModel, ScoredPath, ScoredTopK};
+use ftsl_index::{IndexBuilder, IndexLayout, InvertedIndex};
+use ftsl_lang::{parse, Mode};
+use ftsl_model::{Corpus, NodeId};
+use ftsl_predicates::PredicateRegistry;
+use ftsl_scoring::bool_scores::run_bool_scored;
+use ftsl_scoring::classic::classic_tfidf;
+use ftsl_scoring::{PraModel, ScoreStats, TfIdfModel};
+
+/// One rare, high-impact token against one very common one, over a Zipf
+/// background — the regime where pruning pays.
+fn skewed_env() -> (Corpus, InvertedIndex, ScoreStats) {
+    let config = SynthConfig {
+        cnodes: 3000,
+        vocabulary: 1500,
+        tokens_per_doc: 60,
+        ..SynthConfig::default()
+    }
+    .plant("rare", 0.03, 4)
+    .plant("common", 0.8, 1);
+    let corpus = config.build();
+    let index = IndexBuilder::new().build(&corpus);
+    let stats = ScoreStats::compute(&corpus, &index);
+    (corpus, index, stats)
+}
+
+/// Entries an exhaustive scored pass decodes: every entry of every list the
+/// query mentions.
+fn exhaustive_entries(corpus: &Corpus, index: &InvertedIndex, tokens: &[&str]) -> u64 {
+    tokens
+        .iter()
+        .filter_map(|t| corpus.token_id(t))
+        .map(|id| index.list(id).num_entries() as u64)
+        .sum()
+}
+
+#[test]
+fn pruned_topk_decodes_a_fraction_of_the_exhaustive_pass() {
+    let (corpus, index, stats) = skewed_env();
+    let registry = PredicateRegistry::with_builtins();
+    let tokens = ["rare", "common"];
+    let total = exhaustive_entries(&corpus, &index, &tokens);
+    assert!(total > 2000, "corpus not skewed as expected: {total}");
+
+    let tfidf = TfIdfModel::for_query(&tokens, &corpus, &stats);
+    let oracle = classic_tfidf(&tokens, &corpus, &stats, &tfidf);
+
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let exec = Executor::with_options(
+            &corpus,
+            &index,
+            &registry,
+            ExecOptions {
+                layout,
+                ..Default::default()
+            },
+        );
+        let out = exec
+            .run_top_k_str(
+                "'rare' OR 'common'",
+                ScoredTopK { k: 10 },
+                &stats,
+                &ScoreModel::TfIdf(&tfidf),
+            )
+            .expect("scored top-k runs");
+        assert_eq!(out.path, ScoredPath::PrunedUnion);
+
+        // Exactness: the streamed top-10 is the oracle's first 10 rows.
+        assert_eq!(out.hits.len(), 10);
+        for ((gn, gs), (on, os)) in out.hits.iter().zip(&oracle) {
+            assert_eq!(gn, on, "{layout:?}: node order diverged");
+            assert!((gs - os).abs() < 1e-9, "{layout:?}: {gs} vs {os}");
+        }
+
+        // The acceptance bound: a fraction of the exhaustive decode count.
+        // The rare list must be decoded in full (it drives candidates); the
+        // common list should be almost entirely pruned once the heap fills
+        // with rare+common nodes.
+        assert!(
+            out.counters.entries * 2 < total,
+            "{layout:?}: pruned top-10 decoded {} of {} entries",
+            out.counters.entries,
+            total
+        );
+    }
+}
+
+/// Block-max pruning proper: once the heap threshold exceeds a block's
+/// impact bound, the whole block is skipped without decoding. Doc 0 carries
+/// the only tf=2 entry of `hot`; every later block holds tf=1 entries whose
+/// bound falls below the top-1 threshold, so all of them are bypassed.
+#[test]
+fn block_max_skips_low_impact_blocks_wholesale() {
+    let texts: Vec<String> = std::iter::once("hot hot".to_string())
+        .chain((0..600).map(|i| format!("hot filler{}", i % 13)))
+        .collect();
+    let corpus = Corpus::from_texts(&texts);
+    let index = IndexBuilder::new().build(&corpus);
+    let stats = ScoreStats::compute(&corpus, &index);
+    let registry = PredicateRegistry::with_builtins();
+    let pra = PraModel::new(&corpus, &stats);
+
+    let exec = Executor::with_options(
+        &corpus,
+        &index,
+        &registry,
+        ExecOptions {
+            layout: IndexLayout::Blocks,
+            ..Default::default()
+        },
+    );
+    let out = exec
+        .run_top_k_str("'hot'", ScoredTopK { k: 1 }, &stats, &ScoreModel::Pra(&pra))
+        .expect("scored top-k runs");
+    assert_eq!(out.hits.len(), 1);
+    assert_eq!(out.hits[0].0, NodeId(0), "the tf=2 doc must win");
+
+    let hot_entries = index.list(corpus.token_id("hot").unwrap()).num_entries() as u64;
+    assert_eq!(hot_entries, 601);
+    // Block 0 (which holds the winner) decodes; blocks 1..4 are skipped
+    // whole on their impact bound.
+    assert!(
+        out.counters.blocks_skipped >= 3,
+        "low-impact blocks should be skipped whole: {:?}",
+        out.counters
+    );
+    assert!(
+        out.counters.entries < 200,
+        "decoded {} of {hot_entries} entries",
+        out.counters.entries
+    );
+    assert!(out.counters.skipped > 300, "counters: {:?}", out.counters);
+}
+
+#[test]
+fn pra_disjunction_also_prunes_and_matches_its_oracle() {
+    let (corpus, index, stats) = skewed_env();
+    let registry = PredicateRegistry::with_builtins();
+    let total = exhaustive_entries(&corpus, &index, &["rare", "common"]);
+
+    let pra = PraModel::new(&corpus, &stats);
+    let query = parse("'rare' OR 'common'", Mode::Bool).expect("parses");
+    let oracle = run_bool_scored(&query, &corpus, &index, &stats, &pra).expect("oracle");
+
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let exec = Executor::with_options(
+            &corpus,
+            &index,
+            &registry,
+            ExecOptions {
+                layout,
+                ..Default::default()
+            },
+        );
+        let out = exec
+            .run_top_k(&query, ScoredTopK { k: 10 }, &stats, &ScoreModel::Pra(&pra))
+            .expect("scored top-k runs");
+        assert_eq!(out.path, ScoredPath::PrunedUnion);
+        assert_eq!(out.hits.len(), 10);
+        for ((gn, gs), (on, os)) in out.hits.iter().zip(&oracle) {
+            assert_eq!(gn, on, "{layout:?}: node order diverged");
+            assert!((gs - os).abs() < 1e-9, "{layout:?}: {gs} vs {os}");
+        }
+        assert!(
+            out.counters.entries * 2 < total,
+            "{layout:?}: pruned top-10 decoded {} of {} entries",
+            out.counters.entries,
+            total
+        );
+    }
+}
+
+#[test]
+fn stream_tree_handles_general_bool_on_both_layouts() {
+    let (corpus, index, stats) = skewed_env();
+    let registry = PredicateRegistry::with_builtins();
+    let pra = PraModel::new(&corpus, &stats);
+    let query = parse("('rare' AND 'common') OR NOT 'common'", Mode::Bool).expect("parses");
+    let oracle = run_bool_scored(&query, &corpus, &index, &stats, &pra).expect("oracle");
+
+    let mut per_layout: Vec<Vec<(NodeId, f64)>> = Vec::new();
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let exec = Executor::with_options(
+            &corpus,
+            &index,
+            &registry,
+            ExecOptions {
+                layout,
+                ..Default::default()
+            },
+        );
+        let out = exec
+            .run_top_k(&query, ScoredTopK { k: 25 }, &stats, &ScoreModel::Pra(&pra))
+            .expect("scored top-k runs");
+        assert_eq!(out.path, ScoredPath::StreamTree);
+        assert_eq!(out.hits.len(), 25);
+        for ((gn, gs), (on, os)) in out.hits.iter().zip(&oracle) {
+            assert_eq!(gn, on, "{layout:?}: node order diverged");
+            assert_eq!(gs, os, "{layout:?}: stream tree should be bit-exact");
+        }
+        per_layout.push(out.hits);
+    }
+    assert_eq!(
+        per_layout[0], per_layout[1],
+        "layouts must agree bit-exactly"
+    );
+}

@@ -34,6 +34,13 @@ use serde::{Deserialize, Serialize};
 pub const BLOCK_ENTRIES: usize = 128;
 
 /// Header of one compressed block — one implicit skip-list node.
+///
+/// Besides the skip information (`max_node`, `byte_start`, `first_entry`),
+/// the header carries per-block *impact metadata*: `max_tf`, the largest
+/// term frequency (position count) of any entry in the block. A scored
+/// cursor turns `max_tf` into a score upper bound for the whole block, so
+/// top-k evaluation can skip blocks whose bound falls below the current
+/// threshold without decoding a single entry (block-max pruning).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockMeta {
     /// Largest node id stored in the block (its last entry's id).
@@ -42,6 +49,8 @@ pub struct BlockMeta {
     pub byte_start: u32,
     /// Global index of the block's first entry.
     pub first_entry: u32,
+    /// Largest position count (term frequency) of any entry in the block.
+    pub max_tf: u32,
 }
 
 /// A block-compressed inverted list: the on-disk and cache-resident layout.
@@ -65,13 +74,16 @@ impl BlockList {
                     max_node: node, // fixed up as entries are appended
                     byte_start: out.data.len() as u32,
                     first_entry: i as u32,
+                    max_tf: 0, // fixed up as entries are appended
                 });
                 varint::put_u32(&mut out.data, node.0);
             } else {
                 varint::put_u32(&mut out.data, node.0 - prev_node - 1);
             }
             prev_node = node.0;
-            out.blocks.last_mut().expect("block header exists").max_node = node;
+            let meta = out.blocks.last_mut().expect("block header exists");
+            meta.max_node = node;
+            meta.max_tf = meta.max_tf.max(positions.len() as u32);
 
             varint::put_u32(&mut out.data, positions.len() as u32);
             scratch.clear();
@@ -118,10 +130,15 @@ impl BlockList {
         let mut at = 0usize;
         let mut prev_node = 0u32;
         let mut total_positions = 0u64;
+        let mut block_tf = 0u32;
         let mut positions: Vec<Position> = Vec::new();
         for i in 0..self.entries as usize {
             let block = i / BLOCK_ENTRIES;
             if i % BLOCK_ENTRIES == 0 {
+                if i > 0 && block_tf != self.blocks[block - 1].max_tf {
+                    return Err("block max_tf disagrees with entries");
+                }
+                block_tf = 0;
                 let meta = self.blocks.get(block).ok_or("missing block header")?;
                 if meta.byte_start as usize != at || meta.first_entry as usize != i {
                     return Err("block header disagrees with entry stream");
@@ -147,6 +164,10 @@ impl BlockList {
             if npos == 0 {
                 return Err("empty entry");
             }
+            if npos > self.blocks[block].max_tf {
+                return Err("entry term frequency exceeds block max_tf");
+            }
+            block_tf = block_tf.max(npos);
             let nbytes = varint::get_u32(&self.data, &mut at).ok_or("truncated position length")?;
             let end = at
                 .checked_add(nbytes as usize)
@@ -200,6 +221,11 @@ impl BlockList {
         if at != self.data.len() {
             return Err("trailing bytes after last entry");
         }
+        if let Some(last) = self.blocks.last() {
+            if block_tf != last.max_tf {
+                return Err("block max_tf disagrees with entries");
+            }
+        }
         if total_positions != self.positions {
             return Err("position count disagrees with payload");
         }
@@ -224,6 +250,12 @@ impl BlockList {
     /// Number of compressed blocks (skip-list length).
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Largest term frequency (positions per entry) across the whole list —
+    /// the list-level impact bound, folded from the per-block headers.
+    pub fn max_tf(&self) -> u32 {
+        self.blocks.iter().map(|b| b.max_tf).max().unwrap_or(0)
     }
 
     /// Compressed payload size in bytes (entry stream + skip headers).
@@ -376,6 +408,9 @@ impl<'a> BlockCursor<'a> {
             // No block can contain the target: exhaust, counting the rest
             // of the list as skipped (never decoded).
             self.counters.skipped += (self.list.entries - self.next_entry) as u64;
+            self.counters.blocks_skipped += (self.list.blocks.len())
+                .saturating_sub((self.next_entry as usize).div_ceil(BLOCK_ENTRIES))
+                as u64;
             self.next_entry = self.list.entries;
             self.node = None;
             self.started = true;
@@ -384,6 +419,8 @@ impl<'a> BlockCursor<'a> {
         let meta = self.list.blocks[target_block];
         if meta.first_entry > self.next_entry {
             self.counters.skipped += (meta.first_entry - self.next_entry) as u64;
+            self.counters.blocks_skipped +=
+                (target_block - (self.next_entry as usize).div_ceil(BLOCK_ENTRIES)) as u64;
             self.next_entry = meta.first_entry;
             self.byte = meta.byte_start as usize;
             self.in_block = 0;
@@ -400,6 +437,87 @@ impl<'a> BlockCursor<'a> {
     /// The node id of the current entry.
     pub fn node(&self) -> Option<NodeId> {
         self.node
+    }
+
+    /// Term frequency of the current entry: its position count, already
+    /// decoded by [`Self::next_entry`] — reading it costs nothing.
+    ///
+    /// # Panics
+    /// Panics if called before the first successful [`Self::next_entry`].
+    pub fn tf(&self) -> u32 {
+        assert!(self.node.is_some(), "cursor not positioned on an entry");
+        self.pos_count
+    }
+
+    /// Index of the block the cursor is parked in: the current entry's
+    /// block, or the next block to decode when the cursor has not started.
+    /// `None` once the list is exhausted (or empty).
+    fn current_block(&self) -> Option<usize> {
+        if self.node.is_some() {
+            Some((self.next_entry as usize - 1) / BLOCK_ENTRIES)
+        } else if !self.started && !self.list.blocks.is_empty() {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// Largest term frequency in the current block — the current entry's
+    /// block, or the first block when the cursor has not started; 0 when
+    /// exhausted.
+    pub fn block_max_tf(&self) -> u32 {
+        self.current_block()
+            .map_or(0, |b| self.list.blocks[b].max_tf)
+    }
+
+    /// Largest node id in the current block — the last node a scored
+    /// evaluator gives up on when it prunes the block. `None` when
+    /// exhausted.
+    pub fn block_last_node(&self) -> Option<NodeId> {
+        self.current_block().map(|b| self.list.blocks[b].max_node)
+    }
+
+    /// Largest term frequency of the block that would contain the first
+    /// remaining entry with node id ≥ `target`, found by binary search over
+    /// the skip headers — a pure bound probe that decodes nothing. `None`
+    /// when no remaining entry can reach `target`.
+    pub fn peek_max_tf_at(&self, target: NodeId) -> Option<u32> {
+        if let Some(cur) = self.node {
+            if cur >= target {
+                return self.current_block().map(|b| self.list.blocks[b].max_tf);
+            }
+        }
+        let from = self.current_block()?;
+        let rel = self.list.blocks[from..].partition_point(|b| b.max_node < target);
+        self.list.blocks.get(from + rel).map(|b| b.max_tf)
+    }
+
+    /// Jump past the current block without decoding its remaining entries
+    /// (they are counted as skipped; the block counts in
+    /// [`AccessCounters::blocks_skipped`] only if at least one entry was
+    /// actually bypassed) and land on the first entry of the next block,
+    /// returning its node id — or `None` when the pruned block was the
+    /// last one.
+    pub fn skip_block(&mut self) -> Option<NodeId> {
+        let block = self.current_block()?;
+        let next = block + 1;
+        if next >= self.list.blocks.len() {
+            let remaining = (self.list.entries - self.next_entry) as u64;
+            self.counters.skipped += remaining;
+            self.counters.blocks_skipped += u64::from(remaining > 0);
+            self.next_entry = self.list.entries;
+            self.node = None;
+            self.started = true;
+            return None;
+        }
+        let meta = self.list.blocks[next];
+        let remaining = (meta.first_entry - self.next_entry) as u64;
+        self.counters.skipped += remaining;
+        self.counters.blocks_skipped += u64::from(remaining > 0);
+        self.next_entry = meta.first_entry;
+        self.byte = meta.byte_start as usize;
+        self.in_block = 0;
+        self.next_entry()
     }
 
     /// `getPositions()`: decode (once) and return the current entry's

@@ -20,6 +20,13 @@ pub struct AccessCounters {
     /// and galloped-over entries). Distinguishing decoded from skipped work
     /// is what makes skip-aware and sequential evaluation comparable.
     pub skipped: u64,
+    /// Compressed blocks whose remaining entries a cursor bypassed in one
+    /// jump — untouched blocks a `seek` stepped over via the skip headers,
+    /// or blocks abandoned by score-bound pruning because their impact
+    /// bound fell below the top-k threshold (only counted when at least one
+    /// entry was actually bypassed). Always 0 on the decoded layout, which
+    /// has no block structure.
+    pub blocks_skipped: u64,
 }
 
 impl AccessCounters {
@@ -42,6 +49,7 @@ impl AddAssign for AccessCounters {
         self.positions += rhs.positions;
         self.tuples += rhs.tuples;
         self.skipped += rhs.skipped;
+        self.blocks_skipped += rhs.blocks_skipped;
     }
 }
 
@@ -64,12 +72,14 @@ mod tests {
             positions: 2,
             tuples: 3,
             skipped: 4,
+            blocks_skipped: 5,
         };
         let b = AccessCounters {
             entries: 10,
             positions: 20,
             tuples: 30,
             skipped: 40,
+            blocks_skipped: 50,
         };
         let c = a + b;
         assert_eq!(
@@ -78,7 +88,8 @@ mod tests {
                 entries: 11,
                 positions: 22,
                 tuples: 33,
-                skipped: 44
+                skipped: 44,
+                blocks_skipped: 55
             }
         );
         // Skipped entries are not decode work.

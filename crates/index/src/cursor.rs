@@ -162,6 +162,33 @@ impl<'a> ListCursor<'a> {
             .then(|| self.list.node_of(self.entry))
     }
 
+    /// Term frequency of the current entry (its position count).
+    ///
+    /// # Panics
+    /// Panics if called before the first successful [`Self::next_entry`].
+    pub fn tf(&self) -> u32 {
+        assert!(
+            self.entry != usize::MAX && self.entry < self.list.num_entries(),
+            "cursor not positioned on an entry"
+        );
+        self.list.positions_of(self.entry).len() as u32
+    }
+
+    /// Exhaust the cursor, counting every remaining (undecoded) entry as
+    /// skipped. The decoded layout has no block structure, so this is what
+    /// "skip the current block" degrades to when a score bound proves the
+    /// rest of the list cannot contribute.
+    pub fn skip_remaining(&mut self) {
+        let n = self.list.num_entries();
+        let remaining = if self.entry == usize::MAX {
+            n
+        } else {
+            n.saturating_sub(self.entry + 1)
+        };
+        self.counters.skipped += remaining as u64;
+        self.entry = n;
+    }
+
     /// `getPositions()`: the position list of the current entry.
     ///
     /// # Panics

@@ -3,10 +3,60 @@
 use crate::block::{BlockCursor, BlockList};
 use crate::cursor::ListCursor;
 use crate::postings::PostingList;
+use crate::scored::{EntryScorer, ScoredBlocks, ScoredCursor, ScoredList};
 use crate::stats::IndexStats;
 use ftsl_model::TokenId;
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
+
+/// Which physical list representation an evaluation reads.
+///
+/// Every list is resident in both forms (see [`InvertedIndex`]); engines and
+/// scored evaluators choose per run. Lives in `ftsl-index` because the
+/// choice is purely physical — `ftsl-exec` re-exports it for its options
+/// struct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexLayout {
+    /// Decoded columnar [`PostingList`]s (the seed layout): random access,
+    /// gallop-seeking cursors, list-level score bounds.
+    #[default]
+    Decoded,
+    /// Block-compressed [`BlockList`]s: entries are decoded out of
+    /// delta/varint blocks on demand, seeks ride the skip headers, and
+    /// scored cursors get per-block impact bounds.
+    Blocks,
+}
+
+/// Resident memory cost of an index, split by physical form — the
+/// dual-resident RAM price of keeping both layouts hot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Bytes held by the block-compressed lists (entry streams + skip/impact
+    /// headers), including `IL_ANY`.
+    pub compressed: usize,
+    /// Bytes held by the decoded columnar views (node, offset, and position
+    /// arrays), including `IL_ANY`.
+    pub decoded: usize,
+}
+
+impl MemoryFootprint {
+    /// Total resident bytes across both forms.
+    pub fn total(&self) -> usize {
+        self.compressed + self.decoded
+    }
+}
+
+impl std::fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compressed={}B decoded={}B total={}B",
+            self.compressed,
+            self.decoded,
+            self.total()
+        )
+    }
+}
 
 /// A complete inverted index over a corpus.
 ///
@@ -85,6 +135,21 @@ impl InvertedIndex {
         self.any_blocks.cursor()
     }
 
+    /// Open a scored cursor on a token's list in the given physical layout.
+    /// The scorer supplies the per-entry scoring rule and its impact bound
+    /// (see [`EntryScorer`]); out-of-vocabulary ids yield an empty cursor.
+    pub fn scored_cursor<'a, S: EntryScorer + 'a>(
+        &'a self,
+        token: TokenId,
+        layout: IndexLayout,
+        scorer: S,
+    ) -> Box<dyn ScoredCursor + 'a> {
+        match layout {
+            IndexLayout::Decoded => Box::new(ScoredList::new(self.list(token), scorer)),
+            IndexLayout::Blocks => Box::new(ScoredBlocks::new(self.block_list(token), scorer)),
+        }
+    }
+
     /// Total compressed bytes across all block lists (diagnostics).
     pub fn compressed_bytes(&self) -> usize {
         self.blocks
@@ -92,6 +157,23 @@ impl InvertedIndex {
             .map(BlockList::compressed_bytes)
             .sum::<usize>()
             + self.any_blocks.compressed_bytes()
+    }
+
+    /// Resident bytes of the index, split into the compressed block form
+    /// and the decoded columnar views. Both are kept hot (blocks are the
+    /// persisted/serving layout, decoded views feed the reference
+    /// evaluators), so the *total* is what the process actually pays —
+    /// the dual-residency cost surfaced by `ftsl-cli`'s `:stats`.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            compressed: self.compressed_bytes(),
+            decoded: self
+                .lists
+                .iter()
+                .map(PostingList::resident_bytes)
+                .sum::<usize>()
+                + self.any.resident_bytes(),
+        }
     }
 
     /// Document frequency of a token (`df(t)` in Section 3.1).

@@ -30,6 +30,7 @@ pub mod cursor;
 pub mod index;
 pub mod persist;
 pub mod postings;
+pub mod scored;
 pub mod stats;
 pub mod varint;
 
@@ -37,6 +38,7 @@ pub use block::{BlockCursor, BlockList};
 pub use builder::IndexBuilder;
 pub use counters::AccessCounters;
 pub use cursor::{ListCursor, PostingCursor};
-pub use index::InvertedIndex;
+pub use index::{IndexLayout, InvertedIndex, MemoryFootprint};
 pub use postings::PostingList;
+pub use scored::{EntryScorer, ScoredBlocks, ScoredCursor, ScoredList};
 pub use stats::IndexStats;

@@ -13,21 +13,25 @@
 //!
 //! * **v1** (retired): decoded posting lists as raw `(node, positions[])`
 //!   u32 triples — roughly 12 bytes per position.
-//! * **v2** (current): the block-compressed layout. Each list is stored as
-//!   its [`BlockList`] parts — skip headers plus the delta/varint entry
-//!   stream (see [`crate::block`] for the entry encoding) — so the on-disk
-//!   image *is* the physical in-memory layout. On load the decoded
-//!   [`crate::PostingList`] views are reconstructed by decompression. v1 buffers
-//!   are rejected with `BadVersion(1)`; there is no migration path because
-//!   v1 images can be regenerated from their corpora.
+//! * **v2** (retired): the block-compressed layout with plain skip headers
+//!   (`max_node`, `byte_start`, `first_entry`).
+//! * **v3** (current): v2's layout with per-block *impact metadata*: each
+//!   block header additionally stores `max_tf`, the block's largest term
+//!   frequency (see [`crate::block::BlockMeta`]), which scored cursors turn
+//!   into block-level score upper bounds for top-k pruning. The on-disk
+//!   image *is* the physical in-memory layout; on load the decoded
+//!   [`crate::PostingList`] views are reconstructed by decompression. v1
+//!   and v2 buffers are rejected with `BadVersion(1)` / `BadVersion(2)`;
+//!   there is no migration path because older images can be regenerated
+//!   from their corpora.
 //!
-//! Layout of a v2 buffer (all integers little-endian):
+//! Layout of a v3 buffer (all integers little-endian):
 //!
 //! ```text
 //! magic:u32  version:u32  stats:5×u64  num_token_lists:u32
 //! then per list (token lists in id order, IL_ANY last):
 //!   entries:u32  positions:u64  num_blocks:u32
-//!   num_blocks × (max_node:u32 byte_start:u32 first_entry:u32)
+//!   num_blocks × (max_node:u32 byte_start:u32 first_entry:u32 max_tf:u32)
 //!   data_len:u32  data:[u8]
 //! ```
 
@@ -38,7 +42,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ftsl_model::NodeId;
 
 const MAGIC: u32 = 0x4654_5349; // "FTSI"
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Errors produced when decoding a persisted index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +70,8 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-/// Serialize an index to a byte buffer (format v2: compressed blocks).
+/// Serialize an index to a byte buffer (format v3: compressed blocks with
+/// per-block impact headers).
 pub fn encode(index: &InvertedIndex) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
@@ -98,6 +103,7 @@ fn encode_list(buf: &mut BytesMut, list: &BlockList) {
         buf.put_u32_le(b.max_node.0);
         buf.put_u32_le(b.byte_start);
         buf.put_u32_le(b.first_entry);
+        buf.put_u32_le(b.max_tf);
     }
     buf.put_u32_le(data.len() as u32);
     buf.put_slice(data);
@@ -163,10 +169,12 @@ fn decode_list(buf: &mut impl Buf) -> Result<BlockList, PersistError> {
         let max_node = NodeId(get_u32(buf)?);
         let byte_start = get_u32(buf)?;
         let first_entry = get_u32(buf)?;
+        let max_tf = get_u32(buf)?;
         metas.push(BlockMeta {
             max_node,
             byte_start,
             first_entry,
+            max_tf,
         });
     }
     let data_len = get_u32(buf)? as usize;
@@ -219,6 +227,32 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(&decoded.any_blocks, &index.any_blocks);
+    }
+
+    #[test]
+    fn retired_v2_version_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(2);
+        assert!(matches!(
+            decode(buf.freeze()),
+            Err(PersistError::BadVersion(2))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_block_impact_metadata() {
+        // Documents with very different token repetition so max_tf varies.
+        let texts: Vec<String> = (0..50)
+            .map(|i| format!("{} filler", "hot ".repeat(1 + i % 7)))
+            .collect();
+        let corpus = Corpus::from_texts(&texts);
+        let index = IndexBuilder::new().build(&corpus);
+        let decoded = decode(encode(&index)).expect("decode");
+        for (a, b) in decoded.blocks.iter().zip(&index.blocks) {
+            assert_eq!(a, b); // BlockMeta::max_tf participates in PartialEq
+            assert!(a.max_tf() > 0 || a.is_empty());
+        }
     }
 
     #[test]

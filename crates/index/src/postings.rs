@@ -132,6 +132,14 @@ impl PostingList {
     pub(crate) fn nodes_in(&self, lo: usize, hi: usize) -> &[NodeId] {
         &self.nodes[lo..hi]
     }
+
+    /// Resident heap bytes of the decoded columnar form (node array +
+    /// offset array + position array).
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<NodeId>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.positions.len() * std::mem::size_of::<Position>()
+    }
 }
 
 #[cfg(test)]

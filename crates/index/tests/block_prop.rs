@@ -101,10 +101,10 @@ proptest! {
     }
 
     #[test]
-    fn persisted_v2_roundtrips_and_rejects_unknown_versions(
+    fn persisted_v3_roundtrips_and_rejects_other_versions(
         docs in proptest::collection::vec(
             proptest::collection::vec(0usize..7, 0..30), 0..12),
-        fake_version in 3u32..1000,
+        fake_version in 4u32..1000,
     ) {
         const VOCAB: [&str; 7] = ["ant", "bee", "cat", "dog", "elk", "fox", "gnu"];
         let texts: Vec<String> = docs
@@ -117,19 +117,37 @@ proptest! {
         let index = IndexBuilder::new().build(&corpus);
 
         let bytes = persist::encode(&index);
-        let decoded = persist::decode(bytes.clone()).expect("v2 roundtrip");
+        let decoded = persist::decode(bytes.clone()).expect("v3 roundtrip");
         prop_assert_eq!(decoded.stats(), index.stats());
         for t in 0..corpus.interner().len() {
             let tok = ftsl_model::TokenId(t as u32);
             prop_assert_eq!(decoded.list(tok), index.list(tok));
+            // Block lists compare bit-exactly, *including* the per-block
+            // impact metadata (BlockMeta::max_tf is part of PartialEq).
             prop_assert_eq!(decoded.block_list(tok), index.block_list(tok));
+            prop_assert_eq!(decoded.block_list(tok).max_tf(), index.block_list(tok).max_tf());
         }
         prop_assert_eq!(decoded.any(), index.any());
 
-        // Corrupting the version field must fail loudly, not misparse.
+        // Corrupting the version field must fail loudly, not misparse:
+        // retired v1/v2 and any unknown version decode to BadVersion, never
+        // a panic or a silent misparse.
         let mut raw = bytes.as_slice().to_vec();
-        raw[4..8].copy_from_slice(&fake_version.to_le_bytes());
-        let err = persist::decode(&raw[..]).expect_err("unknown version");
-        prop_assert_eq!(err, persist::PersistError::BadVersion(fake_version));
+        for version in [1u32, 2, fake_version] {
+            raw[4..8].copy_from_slice(&version.to_le_bytes());
+            let err = persist::decode(&raw[..]).expect_err("non-v3 version");
+            prop_assert_eq!(err, persist::PersistError::BadVersion(version));
+        }
+    }
+
+    /// Truncating a valid v3 image at an arbitrary byte boundary must
+    /// produce an error — never a panic, never an `Ok`.
+    #[test]
+    fn truncated_v3_buffers_error_not_panic(cut_permille in 0usize..1000) {
+        let corpus = Corpus::from_texts(&["hot hot hot cold", "hot warm", "cold cold"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let bytes = persist::encode(&index);
+        let cut = bytes.len() * cut_permille / 1000;
+        prop_assert!(persist::decode(bytes.slice(0..cut)).is_err());
     }
 }

@@ -26,11 +26,9 @@ pub fn run_bool_scored(
 ) -> Result<Vec<(NodeId, f64)>, String> {
     let scores = eval(query, corpus, index, stats, model)?;
     let mut out: Vec<(NodeId, f64)> = scores.into_iter().filter(|(_, s)| *s > 0.0).collect();
-    out.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    // Total order (not partial_cmp-with-Equal-fallback): a NaN leak would
+    // otherwise silently scramble the ranking.
+    crate::topk::sort_ranked(&mut out);
     Ok(out)
 }
 

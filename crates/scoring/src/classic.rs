@@ -7,7 +7,10 @@ use ftsl_model::{Corpus, NodeId};
 
 /// Classic cosine TF-IDF of every node for a bag-of-tokens query:
 /// `score(n) = Σ_t w(t)·tf(n,t)·idf(t)/(‖n‖₂·‖q‖₂)` (Section 3.1's
-/// formula), with the model's weights. Nodes scoring 0 are omitted.
+/// formula), with the model's weights. Nodes scoring 0 are omitted; output
+/// is in ranking order ([`crate::topk::rank_cmp`]: descending score via
+/// `total_cmp`, ascending node id on ties) so "the first k of the oracle"
+/// is well-defined for differential top-k tests.
 pub fn classic_tfidf<S: AsRef<str>>(
     query_tokens: &[S],
     corpus: &Corpus,
@@ -46,6 +49,7 @@ pub fn classic_tfidf<S: AsRef<str>>(
             out.push((node, score));
         }
     }
+    crate::topk::sort_ranked(&mut out);
     out
 }
 

@@ -20,18 +20,60 @@
 //! **Theorem 2** (the propagated scores equal classic TF-IDF for conjunctive
 //! and disjunctive queries) mechanically, and [`bool_scores`] attaches
 //! per-operator scoring to the BOOL merge engine (Section 5.3).
+//!
+//! ## Streaming top-k retrieval
+//!
+//! The exhaustive evaluators above score *every* node — the right shape for
+//! oracles, the wrong one for serving. [`stream`] rebuilds scored retrieval
+//! on the seeking-cursor substrate: per-list [`ftsl_index::EntryScorer`]s
+//! attach scores at the cursor, a bounded [`topk::TopK`] heap keeps only
+//! the requested results, and MaxScore/block-max pruning skips lists and
+//! whole compressed blocks whose impact bound cannot reach the heap
+//! threshold. A worked example:
+//!
+//! ```
+//! use ftsl_index::{IndexBuilder, IndexLayout};
+//! use ftsl_model::Corpus;
+//! use ftsl_scoring::stream::topk_tfidf;
+//! use ftsl_scoring::{ScoreStats, TfIdfModel};
+//!
+//! let corpus = Corpus::from_texts(&[
+//!     "usability usability usability",
+//!     "usability software",
+//!     "software tools",
+//!     "unrelated words",
+//! ]);
+//! let index = IndexBuilder::new().build(&corpus);
+//! let stats = ScoreStats::compute(&corpus, &index);
+//! let query = ["usability", "software"];
+//! let model = TfIdfModel::for_query(&query, &corpus, &stats);
+//!
+//! // Top 2 of the disjunction, streamed through the pruned union over the
+//! // block-compressed layout.
+//! let top = topk_tfidf(&query, &corpus, &index, &stats, &model, IndexLayout::Blocks, 2);
+//! assert_eq!(top.hits.len(), 2);
+//! assert!(top.hits[0].1 >= top.hits[1].1);
+//! // The counters report exactly how much of the index was decoded.
+//! assert!(top.counters.entries > 0);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod bool_scores;
 pub mod classic;
 pub mod pra;
 pub mod relation;
 pub mod stats;
+pub mod stream;
 pub mod tfidf;
+pub mod topk;
 
 pub use pra::PraModel;
 pub use relation::{ScoredEvaluator, ScoredRelation};
 pub use stats::ScoreStats;
+pub use stream::{run_bool_topk, topk_pra_disjunction, topk_tfidf, ScoredHits, UnionKind};
 pub use tfidf::TfIdfModel;
+pub use topk::TopK;
 
 use ftsl_model::Position;
 use ftsl_predicates::Predicate;

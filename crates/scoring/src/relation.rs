@@ -88,15 +88,13 @@ impl<'a, M: ScoringModel> ScoredEvaluator<'a, M> {
         Ok(self.eval_unchecked(expr))
     }
 
-    /// Evaluate a query and produce per-node scores, descending.
+    /// Evaluate a query and produce per-node scores, descending
+    /// ([`f64::total_cmp`] with ascending node ids on ties — see
+    /// [`crate::topk::rank_cmp`]).
     pub fn rank(&self, expr: &AlgExpr) -> Result<Vec<(NodeId, f64)>, ftsl_algebra::AlgebraError> {
         let rel = self.eval(expr)?;
         let mut scores = rel.node_scores(&self.model);
-        scores.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        crate::topk::sort_ranked(&mut scores);
         Ok(scores)
     }
 

@@ -15,6 +15,11 @@ pub struct ScoreStats {
     unique_tokens: Vec<usize>,
     /// `‖n‖₂` per node (L2 norm of the node's tf·idf vector).
     l2_norm: Vec<f64>,
+    /// `max_n 1/(unique_tokens(n)·‖n‖₂)` over non-empty nodes — the
+    /// node-dependent factor of the TF-IDF per-occurrence mass, maximized
+    /// once so scored cursors can turn a term-frequency ceiling into a
+    /// corpus-wide score upper bound.
+    max_node_boost: f64,
 }
 
 impl ScoreStats {
@@ -26,6 +31,7 @@ impl ScoreStats {
 
         let mut unique_tokens = Vec::with_capacity(db_size);
         let mut l2_norm = Vec::with_capacity(db_size);
+        let mut max_node_boost = 0.0f64;
         let mut counts: Vec<u32> = vec![0; vocab];
         let mut touched: Vec<TokenId> = Vec::new();
         for doc in corpus.documents() {
@@ -45,13 +51,18 @@ impl ScoreStats {
             }
             touched.clear();
             unique_tokens.push(unique);
-            l2_norm.push(if sum_sq > 0.0 { sum_sq.sqrt() } else { 1.0 });
+            let norm = if sum_sq > 0.0 { sum_sq.sqrt() } else { 1.0 };
+            l2_norm.push(norm);
+            if sum_sq > 0.0 {
+                max_node_boost = max_node_boost.max(1.0 / (unique as f64 * norm));
+            }
         }
         ScoreStats {
             db_size,
             df,
             unique_tokens,
             l2_norm,
+            max_node_boost,
         }
     }
 
@@ -79,6 +90,14 @@ impl ScoreStats {
     /// `‖n‖₂`.
     pub fn l2_norm(&self, node: NodeId) -> f64 {
         self.l2_norm[node.index()]
+    }
+
+    /// `max_n 1/(unique_tokens(n)·‖n‖₂)` over non-empty nodes (0 for an
+    /// empty corpus): multiplied by a token weight and a term-frequency
+    /// ceiling it bounds any node's TF-IDF contribution from that token,
+    /// which is what makes list- and block-level top-k pruning sound.
+    pub fn max_node_boost(&self) -> f64 {
+        self.max_node_boost
     }
 }
 

@@ -1,0 +1,646 @@
+//! Streaming scored retrieval: score-at-the-cursor with top-k pruning.
+//!
+//! This module replaces the dense "score every node, then sort" pass with
+//! evaluators that stream posting entries through a [`TopK`] heap:
+//!
+//! * [`topk_union`] — the pruned k-way union for *flat disjunctions*
+//!   (`'a' OR 'b' OR ...`, the ranked-query workhorse). It runs
+//!   MaxScore-style pruning on list-level bounds and block-max pruning on
+//!   the per-block impact headers: lists whose bound cannot lift a document
+//!   into the current top-k are demoted to probe-only, probes whose
+//!   block-level bound cannot help are skipped without decoding, and when a
+//!   single driving list remains its blocks are skipped wholesale while
+//!   their bounds stay under the heap threshold.
+//! * [`run_bool_topk`] — cursor-driven evaluation of *arbitrary BOOL
+//!   queries* under the paper's Section 5.3 probabilistic semantics
+//!   (`AND` multiplies, `OR` combines probabilistically, `NOT`
+//!   complements), arithmetically identical to the exhaustive
+//!   [`crate::bool_scores::run_bool_scored`] oracle but streaming: no
+//!   `BTreeMap` over the corpus, conjunctions leapfrog by `seek`, and only
+//!   the best `k` results are retained.
+//!
+//! Both evaluators run over either physical layout
+//! ([`ftsl_index::IndexLayout`]) through the [`ScoredCursor`] contract.
+
+use crate::pra::PraModel;
+use crate::stats::ScoreStats;
+use crate::topk::TopK;
+use crate::ScoringModel;
+use ftsl_index::{AccessCounters, IndexLayout, InvertedIndex, ScoredCursor};
+use ftsl_lang::SurfaceQuery;
+use ftsl_model::{Corpus, NodeId};
+
+/// TF-IDF entry scoring for one search token: per-entry score is the
+/// token's full contribution to the node's cosine TF-IDF (Section 3.1), so
+/// summing across a disjunction's tokens reproduces
+/// [`crate::classic::classic_tfidf`].
+pub struct TfIdfEntryScorer<'a> {
+    stats: &'a ScoreStats,
+    /// `w(t)·idf(t)/‖q‖₂` — the node-independent factor.
+    unit: f64,
+}
+
+impl<'a> TfIdfEntryScorer<'a> {
+    /// Scorer for `token` under a query's [`crate::TfIdfModel`].
+    pub fn new(token: &str, model: &crate::TfIdfModel, stats: &'a ScoreStats) -> Self {
+        TfIdfEntryScorer {
+            stats,
+            unit: model.weight(token) * model.token_idf(token) / model.query_norm(),
+        }
+    }
+}
+
+impl ftsl_index::EntryScorer for TfIdfEntryScorer<'_> {
+    fn score(&self, node: NodeId, tf: u32) -> f64 {
+        f64::from(tf) * self.unit
+            / (self.stats.unique_tokens(node) as f64 * self.stats.l2_norm(node))
+    }
+
+    fn bound(&self, max_tf: u32) -> f64 {
+        f64::from(max_tf) * self.unit * self.stats.max_node_boost()
+    }
+}
+
+/// Probabilistic (PRA) entry scoring for one search token: the entry's
+/// per-occurrence probabilities collapse by probabilistic OR, exactly as the
+/// exhaustive oracle's `project` does — `1 − (1 − s)^tf`, computed by the
+/// same fold so results are bit-identical.
+pub struct PraEntryScorer {
+    /// The token's tuple probability (node-independent).
+    prob: f64,
+}
+
+impl PraEntryScorer {
+    /// Scorer for `token` under a corpus's [`PraModel`].
+    pub fn new(token: &str, model: &PraModel, stats: &ScoreStats) -> Self {
+        PraEntryScorer {
+            prob: model.token_tuple(token, NodeId(0), stats),
+        }
+    }
+
+    /// A scorer with a fixed tuple probability (used for `ANY`, whose
+    /// tuples carry probability 1).
+    pub fn constant(prob: f64) -> Self {
+        PraEntryScorer { prob }
+    }
+
+    fn collapse(&self, tf: u32) -> f64 {
+        // Identical arithmetic to PraModel::project over `tf` copies.
+        1.0 - (0..tf).fold(1.0, |acc, _| acc * (1.0 - self.prob))
+    }
+}
+
+impl ftsl_index::EntryScorer for PraEntryScorer {
+    fn score(&self, _node: NodeId, tf: u32) -> f64 {
+        self.collapse(tf)
+    }
+
+    fn bound(&self, max_tf: u32) -> f64 {
+        // Monotone in tf, so the block's max_tf bounds every entry.
+        self.collapse(max_tf)
+    }
+}
+
+/// How a k-way union combines per-list contributions to one node's score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnionKind {
+    /// Additive (TF-IDF): contributions sum.
+    Sum,
+    /// Probabilistic OR (PRA): `1 − ∏(1 − sᵢ)`.
+    ProbOr,
+}
+
+impl UnionKind {
+    /// The combine identity (score of a node absent from every list).
+    pub fn identity(&self) -> f64 {
+        0.0
+    }
+
+    /// Combine two contributions.
+    pub fn combine(&self, a: f64, b: f64) -> f64 {
+        match self {
+            UnionKind::Sum => a + b,
+            UnionKind::ProbOr => 1.0 - (1.0 - a) * (1.0 - b),
+        }
+    }
+}
+
+/// Hits plus the work counters accumulated while producing them.
+#[derive(Clone, Debug, Default)]
+pub struct ScoredHits {
+    /// `(node, score)` in ranking order (descending score, ascending node).
+    pub hits: Vec<(NodeId, f64)>,
+    /// Entries/positions decoded, entries and blocks skipped.
+    pub counters: AccessCounters,
+}
+
+/// MaxScore/block-max pruned k-way union: the top `k` nodes of a flat
+/// disjunction whose per-list scores combine by `kind`.
+///
+/// Cursors may come from either layout (see
+/// [`InvertedIndex::scored_cursor`]). Nodes scoring ≤ 0 are never reported,
+/// matching the exhaustive oracles.
+pub fn topk_union(
+    mut cursors: Vec<Box<dyn ScoredCursor + '_>>,
+    kind: UnionKind,
+    k: usize,
+) -> ScoredHits {
+    let mut topk = TopK::new(k);
+    // Ascending by list bound: prefix[i] bounds what lists 0..=i can jointly
+    // contribute to any single node. The suffix past the "first essential"
+    // index drives candidate generation; lists below it are probe-only.
+    cursors.sort_by(|a, b| a.max_score_list().total_cmp(&b.max_score_list()));
+    let m = cursors.len();
+    let prefix: Vec<f64> = cursors
+        .iter()
+        .scan(kind.identity(), |acc, c| {
+            *acc = kind.combine(*acc, c.max_score_list());
+            Some(*acc)
+        })
+        .collect();
+    for c in cursors.iter_mut() {
+        c.next_entry();
+    }
+    let mut first_essential = 0usize;
+    // Per-candidate contributions, keyed by list index so the combine fold
+    // runs in a fixed order — equal bags of tokens produce bit-equal scores
+    // regardless of which lists were essential when the node was scored.
+    let mut parts: Vec<(usize, f64)> = Vec::with_capacity(m);
+
+    loop {
+        // Demote lists whose joint prefix bound can no longer reach the
+        // heap: monotone in the threshold, so only moves forward.
+        while first_essential < m && !topk.could_enter(prefix[first_essential]) {
+            first_essential += 1;
+        }
+        if first_essential >= m {
+            break; // no unseen node can enter the top-k
+        }
+        // With a single driving list left, skip whole blocks while their
+        // impact bound (joined with everything the probe lists could add)
+        // stays under the threshold.
+        if first_essential == m - 1 {
+            let below = if first_essential == 0 {
+                kind.identity()
+            } else {
+                prefix[first_essential - 1]
+            };
+            let driver = &mut cursors[m - 1];
+            while !driver.exhausted()
+                && !topk.could_enter(kind.combine(driver.max_score_current_block(), below))
+            {
+                driver.skip_block();
+            }
+        }
+        // Candidate: smallest current node among essential lists.
+        let Some(candidate) = cursors[first_essential..]
+            .iter()
+            .filter_map(|c| c.node())
+            .min()
+        else {
+            break; // every essential list is exhausted
+        };
+        parts.clear();
+        for (i, c) in cursors.iter_mut().enumerate().skip(first_essential) {
+            if c.node() == Some(candidate) {
+                parts.push((i, c.score()));
+                c.next_entry();
+            }
+        }
+        // Probe non-essential lists from the strongest down; stop as soon
+        // as even their full remaining bound cannot lift the candidate in.
+        // (`would_accept` with a score *bound* is a sound prune: the real
+        // score is no larger, and bound-ties still respect the node-id
+        // tie-break.)
+        let mut acc_bound: f64 = parts
+            .iter()
+            .fold(kind.identity(), |acc, &(_, s)| kind.combine(acc, s));
+        for i in (0..first_essential).rev() {
+            if !topk.would_accept(candidate, kind.combine(acc_bound, prefix[i])) {
+                break;
+            }
+            // Block-max refinement: bound the probe by the block the
+            // candidate would land in — skip the seek (and all decoding)
+            // when that block cannot help.
+            let below = if i == 0 {
+                kind.identity()
+            } else {
+                prefix[i - 1]
+            };
+            let block_bound = cursors[i].max_score_at(candidate);
+            if !topk.would_accept(
+                candidate,
+                kind.combine(acc_bound, kind.combine(block_bound, below)),
+            ) {
+                // The probed list contributes nothing decodable here; the
+                // saving shows up as entries it never decodes (block-level
+                // `blocks_skipped` accounting stays with the cursors, which
+                // know their physical layout).
+                continue;
+            }
+            if cursors[i].seek(candidate) == Some(candidate) {
+                let s = cursors[i].score();
+                parts.push((i, s));
+                acc_bound = kind.combine(acc_bound, s);
+            }
+        }
+        // Fixed-order fold (see `parts` above).
+        parts.sort_by_key(|&(i, _)| i);
+        let score = parts
+            .iter()
+            .fold(kind.identity(), |acc, &(_, s)| kind.combine(acc, s));
+        if score > 0.0 {
+            topk.insert(candidate, score);
+        }
+    }
+
+    let mut counters = AccessCounters::new();
+    for c in &cursors {
+        counters += c.counters();
+    }
+    ScoredHits {
+        hits: topk.into_ranked(),
+        counters,
+    }
+}
+
+/// A cursor-style stream of `(node, score)` pairs in ascending node order —
+/// the building block of streaming BOOL scoring.
+///
+/// Like the posting cursors, streams *stay put*: `current` re-reads the
+/// entry the stream is positioned on, and `seek` does not move when the
+/// current node already satisfies the bound. That stability is what lets a
+/// conjunction leapfrog its operands without losing matches.
+trait ScoreStream {
+    /// The scored node the stream is positioned on, if any.
+    fn current(&self) -> Option<(NodeId, f64)>;
+    /// Advance to the next scored node.
+    fn next(&mut self) -> Option<(NodeId, f64)>;
+    /// Advance to the first scored node with id ≥ `target`; stays put if
+    /// the current node already qualifies.
+    fn seek(&mut self, target: NodeId) -> Option<(NodeId, f64)>;
+    /// Work accumulated so far.
+    fn counters(&self) -> AccessCounters;
+}
+
+/// Leaf: a scored posting cursor.
+struct LeafStream<'a> {
+    cur: Box<dyn ScoredCursor + 'a>,
+}
+
+impl ScoreStream for LeafStream<'_> {
+    fn current(&self) -> Option<(NodeId, f64)> {
+        let node = self.cur.node()?;
+        Some((node, self.cur.score()))
+    }
+
+    fn next(&mut self) -> Option<(NodeId, f64)> {
+        let node = self.cur.next_entry()?;
+        Some((node, self.cur.score()))
+    }
+
+    fn seek(&mut self, target: NodeId) -> Option<(NodeId, f64)> {
+        let node = self.cur.seek(target)?;
+        Some((node, self.cur.score()))
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.cur.counters()
+    }
+}
+
+/// `AND`: intersection of supports, scores multiply (PRA join). The left
+/// side drives `seek`s into the right, so entries outside the intersection
+/// are skipped, not decoded.
+struct AndStream<'a> {
+    left: Box<dyn ScoreStream + 'a>,
+    right: Box<dyn ScoreStream + 'a>,
+    cur: Option<(NodeId, f64)>,
+}
+
+impl AndStream<'_> {
+    /// Leapfrog from the left side's position until both sides agree.
+    fn align(&mut self, mut l: Option<(NodeId, f64)>) -> Option<(NodeId, f64)> {
+        self.cur = loop {
+            let Some((ln, ls)) = l else { break None };
+            let Some((rn, rs)) = self.right.seek(ln) else {
+                break None;
+            };
+            if rn == ln {
+                break Some((ln, ls * rs));
+            }
+            l = self.left.seek(rn);
+        };
+        self.cur
+    }
+}
+
+impl ScoreStream for AndStream<'_> {
+    fn current(&self) -> Option<(NodeId, f64)> {
+        self.cur
+    }
+
+    fn next(&mut self) -> Option<(NodeId, f64)> {
+        let l = self.left.next();
+        self.align(l)
+    }
+
+    fn seek(&mut self, target: NodeId) -> Option<(NodeId, f64)> {
+        if let Some((n, _)) = self.cur {
+            if n >= target {
+                return self.cur;
+            }
+        }
+        let l = self.left.seek(target);
+        self.align(l)
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.left.counters() + self.right.counters()
+    }
+}
+
+/// The oracle's union arithmetic, kept verbatim so streaming and exhaustive
+/// results agree bit-for-bit (a missing side contributes score 0).
+fn prob_or(a: f64, b: f64) -> f64 {
+    1.0 - (1.0 - a) * (1.0 - b)
+}
+
+/// `OR`: union of supports; scores combine probabilistically with missing
+/// sides contributing 0 — the exact arithmetic of the exhaustive oracle.
+struct OrStream<'a> {
+    left: Box<dyn ScoreStream + 'a>,
+    right: Box<dyn ScoreStream + 'a>,
+    cur: Option<(NodeId, f64)>,
+    primed: bool,
+}
+
+impl OrStream<'_> {
+    /// Recompute the current element from the children's positions without
+    /// consuming them. The asymmetry mirrors the exhaustive oracle
+    /// bit-for-bit: left-only nodes keep their score untouched, right-only
+    /// nodes pass through the union formula with a missing left (`s1 = 0`).
+    fn merge(&mut self) -> Option<(NodeId, f64)> {
+        self.cur = match (self.left.current(), self.right.current()) {
+            (Some((ln, ls)), Some((rn, rs))) => match ln.cmp(&rn) {
+                std::cmp::Ordering::Less => Some((ln, ls)),
+                std::cmp::Ordering::Greater => Some((rn, prob_or(0.0, rs))),
+                std::cmp::Ordering::Equal => Some((ln, prob_or(ls, rs))),
+            },
+            (Some((ln, ls)), None) => Some((ln, ls)),
+            (None, Some((rn, rs))) => Some((rn, prob_or(0.0, rs))),
+            (None, None) => None,
+        };
+        self.cur
+    }
+}
+
+impl ScoreStream for OrStream<'_> {
+    fn current(&self) -> Option<(NodeId, f64)> {
+        self.cur
+    }
+
+    fn next(&mut self) -> Option<(NodeId, f64)> {
+        if !self.primed {
+            self.primed = true;
+            self.left.next();
+            self.right.next();
+        } else if let Some((n, _)) = self.cur {
+            // Advance exactly the children that produced the current node.
+            if self.left.current().is_some_and(|(ln, _)| ln == n) {
+                self.left.next();
+            }
+            if self.right.current().is_some_and(|(rn, _)| rn == n) {
+                self.right.next();
+            }
+        } else {
+            return None;
+        }
+        self.merge()
+    }
+
+    fn seek(&mut self, target: NodeId) -> Option<(NodeId, f64)> {
+        if self.primed {
+            if let Some((n, _)) = self.cur {
+                if n >= target {
+                    return self.cur;
+                }
+            }
+        }
+        self.primed = true;
+        if self.left.current().is_none_or(|(n, _)| n < target) {
+            self.left.seek(target);
+        }
+        if self.right.current().is_none_or(|(n, _)| n < target) {
+            self.right.seek(target);
+        }
+        self.merge()
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.left.counters() + self.right.counters()
+    }
+}
+
+/// `NOT`: dense complement over the node universe — every context node gets
+/// `1 − s(inner)`, including nodes the inner stream never mentions (the
+/// calculus semantics under which `NOT 'x'` holds on empty nodes).
+struct NotStream<'a> {
+    inner: Box<dyn ScoreStream + 'a>,
+    inner_primed: bool,
+    universe: u32,
+    cur: Option<(NodeId, f64)>,
+    done: bool,
+}
+
+impl NotStream<'_> {
+    fn complement_at(&mut self, node: NodeId) -> (NodeId, f64) {
+        let stale = if self.inner_primed {
+            self.inner.current().is_some_and(|(n, _)| n < node)
+        } else {
+            self.inner_primed = true;
+            true
+        };
+        if stale {
+            self.inner.seek(node);
+        }
+        let s = match self.inner.current() {
+            Some((n, s)) if n == node => s,
+            _ => 0.0,
+        };
+        (node, 1.0 - s)
+    }
+}
+
+impl ScoreStream for NotStream<'_> {
+    fn current(&self) -> Option<(NodeId, f64)> {
+        self.cur
+    }
+
+    fn next(&mut self) -> Option<(NodeId, f64)> {
+        if self.done {
+            return None;
+        }
+        let next_node = match self.cur {
+            Some((n, _)) => n.0 + 1,
+            None => 0,
+        };
+        if next_node >= self.universe {
+            self.done = true;
+            self.cur = None;
+            return None;
+        }
+        self.cur = Some(self.complement_at(NodeId(next_node)));
+        self.cur
+    }
+
+    fn seek(&mut self, target: NodeId) -> Option<(NodeId, f64)> {
+        if self.done {
+            return None;
+        }
+        if let Some((n, _)) = self.cur {
+            if n >= target {
+                return self.cur;
+            }
+        }
+        if target.0 >= self.universe {
+            self.done = true;
+            self.cur = None;
+            return None;
+        }
+        self.cur = Some(self.complement_at(target));
+        self.cur
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.inner.counters()
+    }
+}
+
+/// Build the score stream for a BOOL-shaped query.
+fn build_stream<'a>(
+    query: &SurfaceQuery,
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+) -> Result<Box<dyn ScoreStream + 'a>, String> {
+    match query {
+        SurfaceQuery::Lit(tok) => {
+            let scorer = PraEntryScorer::new(tok, model, stats);
+            let id = corpus
+                .token_id(tok)
+                .unwrap_or(ftsl_model::TokenId(u32::MAX));
+            Ok(Box::new(LeafStream {
+                cur: index.scored_cursor(id, layout, scorer),
+            }))
+        }
+        SurfaceQuery::Any => {
+            let scorer = PraEntryScorer::constant(1.0);
+            let cur: Box<dyn ScoredCursor + 'a> = match layout {
+                IndexLayout::Decoded => Box::new(ftsl_index::ScoredList::new(index.any(), scorer)),
+                IndexLayout::Blocks => Box::new(ftsl_index::ScoredBlocks::new(
+                    index.any_block_list(),
+                    scorer,
+                )),
+            };
+            Ok(Box::new(LeafStream { cur }))
+        }
+        SurfaceQuery::Not(inner) => Ok(Box::new(NotStream {
+            inner: build_stream(inner, corpus, index, stats, model, layout)?,
+            inner_primed: false,
+            universe: corpus.len() as u32,
+            cur: None,
+            done: false,
+        })),
+        SurfaceQuery::And(a, b) => Ok(Box::new(AndStream {
+            left: build_stream(a, corpus, index, stats, model, layout)?,
+            right: build_stream(b, corpus, index, stats, model, layout)?,
+            cur: None,
+        })),
+        SurfaceQuery::Or(a, b) => Ok(Box::new(OrStream {
+            left: build_stream(a, corpus, index, stats, model, layout)?,
+            right: build_stream(b, corpus, index, stats, model, layout)?,
+            cur: None,
+            primed: false,
+        })),
+        other => Err(format!("construct {} is not in BOOL", other.render())),
+    }
+}
+
+/// Streaming top-k evaluation of a BOOL-shaped query under PRA scoring:
+/// the first `k` rows of [`crate::bool_scores::run_bool_scored`], computed
+/// without materializing a score for every node.
+pub fn run_bool_topk(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+    k: usize,
+) -> Result<ScoredHits, String> {
+    let mut stream = build_stream(query, corpus, index, stats, model, layout)?;
+    let mut topk = TopK::new(k);
+    while let Some((node, score)) = stream.next() {
+        if score > 0.0 {
+            topk.insert(node, score);
+        }
+    }
+    Ok(ScoredHits {
+        hits: topk.into_ranked(),
+        counters: stream.counters(),
+    })
+}
+
+/// Streaming TF-IDF top-k for a bag of search tokens (the disjunctive
+/// ranked query of Section 3.1): the first `k` rows of
+/// [`crate::classic::classic_tfidf`], via the pruned union.
+pub fn topk_tfidf<S: AsRef<str>>(
+    query_tokens: &[S],
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &crate::TfIdfModel,
+    layout: IndexLayout,
+    k: usize,
+) -> ScoredHits {
+    let mut distinct: Vec<String> = query_tokens
+        .iter()
+        .map(|t| t.as_ref().to_lowercase())
+        .collect();
+    distinct.sort();
+    distinct.dedup();
+    let cursors: Vec<Box<dyn ScoredCursor + '_>> = distinct
+        .iter()
+        .filter_map(|t| {
+            let id = corpus.token_id(t)?;
+            Some(index.scored_cursor(id, layout, TfIdfEntryScorer::new(t, model, stats)))
+        })
+        .collect();
+    topk_union(cursors, UnionKind::Sum, k)
+}
+
+/// Streaming PRA top-k for a flat disjunction of tokens: the first `k` rows
+/// of [`crate::bool_scores::run_bool_scored`] on the equivalent `OR` query,
+/// via the pruned union.
+pub fn topk_pra_disjunction<S: AsRef<str>>(
+    query_tokens: &[S],
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+    k: usize,
+) -> ScoredHits {
+    let cursors: Vec<Box<dyn ScoredCursor + '_>> = query_tokens
+        .iter()
+        .filter_map(|t| {
+            let t = t.as_ref();
+            let id = corpus.token_id(t)?;
+            Some(index.scored_cursor(id, layout, PraEntryScorer::new(t, model, stats)))
+        })
+        .collect();
+    topk_union(cursors, UnionKind::ProbOr, k)
+}

@@ -62,6 +62,12 @@ impl TfIdfModel {
         self.idf_by_token.get(token).copied().unwrap_or(0.0) / self.unique_search_tokens as f64
     }
 
+    /// `idf(t)` for a search token (0 for tokens outside the query or the
+    /// corpus vocabulary).
+    pub fn token_idf(&self, token: &str) -> f64 {
+        self.idf_by_token.get(token).copied().unwrap_or(0.0)
+    }
+
     /// `‖q‖₂`.
     pub fn query_norm(&self) -> f64 {
         self.query_norm
