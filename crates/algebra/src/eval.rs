@@ -9,29 +9,47 @@
 use crate::error::AlgebraError;
 use crate::expr::AlgExpr;
 use crate::relation::FtRelation;
-use ftsl_index::{AccessCounters, InvertedIndex};
-use ftsl_model::Corpus;
+use ftsl_index::{AccessCounters, IndexLayout, InvertedIndex};
+use ftsl_model::{Corpus, TokenId};
 use ftsl_predicates::PredicateRegistry;
 
 /// Evaluator for [`AlgExpr`] against a corpus + index.
+///
+/// Leaf scans read whichever physical layout was requested (and whatever
+/// the index's residency policy allows): decoded columnar views — resident
+/// or rebuilt through the index's LRU decode cache — or the compressed
+/// blocks streamed entry by entry at the cursor.
 pub struct AlgebraEvaluator<'a> {
     corpus: &'a Corpus,
     index: &'a InvertedIndex,
     registry: &'a PredicateRegistry,
+    layout: IndexLayout,
     counters: AccessCounters,
 }
 
 impl<'a> AlgebraEvaluator<'a> {
-    /// Create an evaluator.
+    /// Create an evaluator scanning the decoded layout (subject to the
+    /// index's residency policy).
     pub fn new(
         corpus: &'a Corpus,
         index: &'a InvertedIndex,
         registry: &'a PredicateRegistry,
     ) -> Self {
+        Self::with_layout(corpus, index, registry, IndexLayout::Decoded)
+    }
+
+    /// Create an evaluator with an explicit leaf-scan layout.
+    pub fn with_layout(
+        corpus: &'a Corpus,
+        index: &'a InvertedIndex,
+        registry: &'a PredicateRegistry,
+        layout: IndexLayout,
+    ) -> Self {
         AlgebraEvaluator {
             corpus,
             index,
             registry,
+            layout: index.effective_layout(layout),
             counters: AccessCounters::new(),
         }
     }
@@ -56,9 +74,9 @@ impl<'a> AlgebraEvaluator<'a> {
                 }
                 r
             }
-            AlgExpr::HasPos => self.scan(self.index.any()),
+            AlgExpr::HasPos => self.scan(None),
             AlgExpr::TokenRel(tok) => match self.corpus.token_id(tok) {
-                Some(id) => self.scan(self.index.list(id)),
+                Some(id) => self.scan(Some(id)),
                 None => FtRelation::new(1),
             },
             AlgExpr::Project(e, cols) => self.eval_unchecked(e).project(cols),
@@ -96,13 +114,38 @@ impl<'a> AlgebraEvaluator<'a> {
         rel
     }
 
-    fn scan(&mut self, list: &ftsl_index::PostingList) -> FtRelation {
+    /// Materialize a leaf relation (a token's list, or `IL_ANY` for `None`)
+    /// from the configured physical layout. COMP inspects every position it
+    /// materializes, so `positions_decoded` equals `positions` here — the
+    /// streaming engines are where the two diverge.
+    fn scan(&mut self, token: Option<TokenId>) -> FtRelation {
         let mut r = FtRelation::new(1);
-        for (node, positions) in list.iter() {
-            self.counters.entries += 1;
+        let mut push = |counters: &mut AccessCounters, node, positions: &[ftsl_model::Position]| {
+            counters.entries += 1;
             for &p in positions {
-                self.counters.positions += 1;
+                counters.positions += 1;
+                counters.positions_decoded += 1;
                 r.push(node, &[p]);
+            }
+        };
+        match self.layout {
+            IndexLayout::Decoded => {
+                let view = match token {
+                    Some(id) => self.index.decoded_list(id),
+                    None => self.index.decoded_any(),
+                };
+                for (node, positions) in view.iter() {
+                    push(&mut self.counters, node, positions);
+                }
+            }
+            IndexLayout::Blocks => {
+                let mut cur = match token {
+                    Some(id) => self.index.block_cursor(id),
+                    None => self.index.any_block_cursor(),
+                };
+                while let Some(node) = cur.next_entry() {
+                    push(&mut self.counters, node, cur.positions());
+                }
             }
         }
         r

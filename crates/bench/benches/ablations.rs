@@ -69,17 +69,21 @@ fn bench(c: &mut criterion::Criterion) {
     }
 
     // Physical layout: identical PPRED plans over decoded vs compressed
-    // leaves.
+    // leaves, plus the single-resident serving mode (decoded views
+    // dropped, blocks-only index).
+    let mut lean_index = env.index.clone();
+    lean_index.set_residency(ftsl_index::Residency::BlocksOnly);
     let layout_query = series_query(Series::PpredPos, &env, 3, 2);
-    for (label, layout) in [
-        ("ppred_layout_decoded", IndexLayout::Decoded),
-        ("ppred_layout_blocks", IndexLayout::Blocks),
+    for (label, index, layout) in [
+        ("ppred_layout_decoded", &env.index, IndexLayout::Decoded),
+        ("ppred_layout_blocks", &env.index, IndexLayout::Blocks),
+        ("ppred_layout_blocks_only", &lean_index, IndexLayout::Blocks),
     ] {
         let options = ExecOptions {
             layout,
             ..Default::default()
         };
-        let exec = Executor::with_options(&env.corpus, &env.index, &env.registry, options);
+        let exec = Executor::with_options(&env.corpus, index, &env.registry, options);
         let query = layout_query.clone();
         group.bench_function(label, move |b| {
             b.iter(|| {

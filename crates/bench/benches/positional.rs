@@ -1,0 +1,78 @@
+//! Positional-predicate benches on the Zipf corpus: ordered / distance /
+//! window queries through the PPRED streaming engine, measured on every
+//! physical serving configuration —
+//!
+//! * `decoded`: the decoded columnar layout (dual-resident index);
+//! * `blocks`: the block-compressed layout (dual-resident index);
+//! * `blocks_only`: the block layout on a *single-resident* index whose
+//!   decoded views have been dropped (`Residency::BlocksOnly`) — the lean
+//!   serving mode whose RAM footprint is the compressed size alone.
+
+mod common;
+
+use common::{bench_env, criterion};
+use criterion::criterion_main;
+use ftsl_exec::build::IndexLayout;
+use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+use ftsl_index::Residency;
+use ftsl_lang::{parse, Mode};
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let env = bench_env();
+    let mut lean_index = env.index.clone();
+    lean_index.set_residency(Residency::BlocksOnly);
+    let mut group = c.benchmark_group("positional");
+
+    let queries = [
+        (
+            "ordered",
+            "SOME p1 SOME p2 (p1 HAS 'q0' AND p2 HAS 'q1' AND ordered(p1,p2))".to_string(),
+        ),
+        (
+            "distance",
+            "SOME p1 SOME p2 (p1 HAS 'q0' AND p2 HAS 'q1' AND distance(p1,p2,10))".to_string(),
+        ),
+        (
+            "window3",
+            "SOME p1 SOME p2 (p1 HAS 'q0' AND p2 HAS 'q1' AND window(p1,p2,15) \
+             AND ordered(p1,p2))"
+                .to_string(),
+        ),
+    ];
+
+    for (name, query) in &queries {
+        let surface = parse(query, Mode::Comp).expect("positional query parses");
+        for (config, index, layout) in [
+            ("decoded", &env.index, IndexLayout::Decoded),
+            ("blocks", &env.index, IndexLayout::Blocks),
+            ("blocks_only", &lean_index, IndexLayout::Blocks),
+        ] {
+            let options = ExecOptions {
+                layout,
+                ..Default::default()
+            };
+            let exec = Executor::with_options(&env.corpus, index, &env.registry, options);
+            let surface = surface.clone();
+            group.bench_function(format!("{name}_{config}"), move |b| {
+                b.iter(|| {
+                    black_box(
+                        exec.run_surface(&surface, EngineKind::Ppred)
+                            .expect("runs")
+                            .nodes
+                            .len(),
+                    )
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench(&mut c);
+}
+
+criterion_main!(benches);

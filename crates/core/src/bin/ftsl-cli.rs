@@ -1,32 +1,39 @@
 //! `ftsl-cli` — a small command-line search shell over the library.
 //!
 //! ```text
-//! ftsl-cli [--analyzed] <file>...      index each file as one context node
+//! ftsl-cli [--analyzed] [--blocks-only] <file>...   index each file as one context node
 //! ```
+//!
+//! `--blocks-only` serves from the compressed blocks alone (single
+//! residency): the decoded list views are dropped after indexing, shrinking
+//! RAM to the compressed footprint plus a small LRU decode cache.
 //!
 //! Then type queries (BOOL/DIST/COMP syntax) on stdin, one per line.
 //! Commands: `:explain <query>`, `:rank <query>`, `:top <k> <query>`,
 //! `:stats`, `:quit`.
 
-use ftsl_core::{Ftsl, RankModel};
+use ftsl_core::{Ftsl, RankModel, Residency};
+use ftsl_index::AccessCounters;
 use ftsl_model::analysis::AnalysisConfig;
 use std::io::{BufRead, Write};
 
 fn main() {
     let mut analyzed = false;
+    let mut blocks_only = false;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--analyzed" => analyzed = true,
+            "--blocks-only" => blocks_only = true,
             "--help" | "-h" => {
-                eprintln!("usage: ftsl-cli [--analyzed] <file>...");
+                eprintln!("usage: ftsl-cli [--analyzed] [--blocks-only] <file>...");
                 return;
             }
             path => files.push(path.to_string()),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: ftsl-cli [--analyzed] <file>...");
+        eprintln!("usage: ftsl-cli [--analyzed] [--blocks-only] <file>...");
         std::process::exit(2);
     }
 
@@ -43,23 +50,29 @@ fn main() {
             }
         }
     }
-    let engine = if analyzed {
+    let mut engine = if analyzed {
         Ftsl::from_texts_analyzed(&texts, AnalysisConfig::english())
     } else {
         Ftsl::from_texts(&texts)
     };
+    if blocks_only {
+        engine.set_residency(Residency::BlocksOnly);
+    }
     let stats = engine.index().stats();
     eprintln!(
-        "indexed {} documents ({} terms, {} max positions/node)",
+        "indexed {} documents ({} terms, {} max positions/node, {})",
         engine.corpus().len(),
         stats.vocabulary,
-        stats.pos_per_cnode
+        stats.pos_per_cnode,
+        engine.index().residency()
     );
     eprintln!("enter queries (:help for commands)");
 
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let mut line = String::new();
+    // Counters of the most recent query, reported by `:stats`.
+    let mut last_counters: Option<AccessCounters> = None;
     loop {
         eprint!("ftsl> ");
         line.clear();
@@ -73,7 +86,7 @@ fn main() {
         if input.is_empty() {
             continue;
         }
-        let result = dispatch(&engine, input, &names, &mut stdout);
+        let result = dispatch(&engine, input, &names, &mut stdout, &mut last_counters);
         if let Err(e) = result {
             eprintln!("error: {e}");
         }
@@ -88,6 +101,7 @@ fn dispatch(
     input: &str,
     names: &[String],
     out: &mut impl Write,
+    last_counters: &mut Option<AccessCounters>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     if input == ":quit" {
         return Ok(());
@@ -106,10 +120,25 @@ fn dispatch(
             "cnodes={} vocabulary={} pos_per_cnode={} entries_per_token={} pos_per_entry={}",
             s.cnodes, s.vocabulary, s.pos_per_cnode, s.entries_per_token, s.pos_per_entry
         )?;
-        // Both physical list forms stay resident (compressed blocks serve
-        // seeks and persistence, decoded views the reference evaluators) —
-        // surface the dual-residency RAM price.
+        writeln!(out, "residency: {}", engine.index().residency())?;
+        // The footprint Display labels the numbers by residency: dual shows
+        // compressed + decoded, blocks-only shows compressed + decode-cache.
         writeln!(out, "memory: {}", engine.index().memory_footprint())?;
+        let c = engine.index().decode_cache_stats();
+        writeln!(
+            out,
+            "decode cache: {} lists, {} hits / {} misses, {}B",
+            c.lists, c.hits, c.misses, c.resident_bytes
+        )?;
+        match last_counters {
+            Some(c) => writeln!(
+                out,
+                "last query: {} entries decoded, {} positions decoded, \
+                 {} positions consumed, {} entries / {} blocks skipped",
+                c.entries, c.positions_decoded, c.positions, c.skipped, c.blocks_skipped
+            )?,
+            None => writeln!(out, "last query: none yet")?,
+        }
         return Ok(());
     }
     if let Some(q) = input.strip_prefix(":explain ") {
@@ -118,6 +147,9 @@ fn dispatch(
     }
     if let Some(q) = input.strip_prefix(":rank ") {
         let ranked = engine.search_ranked(q, RankModel::TfIdf)?;
+        // Exhaustive ranking reports no counters; clear the stale ones so
+        // `:stats` never misattributes an older query's numbers.
+        *last_counters = None;
         for (node, score) in &ranked.hits {
             writeln!(out, "{score:.5}  {}", names[node.index()])?;
         }
@@ -127,6 +159,9 @@ fn dispatch(
         let (k, q) = rest.split_once(' ').ok_or(":top needs <k> <query>")?;
         let k: usize = k.parse()?;
         let ranked = engine.search_top_k(q, RankModel::TfIdf, k)?;
+        // None on the exhaustive fallback path — recorded either way so
+        // `:stats` reflects *this* query, not an older one.
+        *last_counters = ranked.counters;
         for (node, score) in &ranked.hits {
             writeln!(out, "{score:.5}  {}", names[node.index()])?;
         }
@@ -140,14 +175,15 @@ fn dispatch(
         return Ok(());
     }
     let results = engine.search(input)?;
+    *last_counters = Some(results.counters);
     writeln!(
         out,
-        "{} hit(s) [{} engine, {} class, {} entries / {} positions read]",
+        "{} hit(s) [{} engine, {} class, {} entries read, {} positions decoded]",
         results.len(),
         results.engine,
         results.class,
         results.counters.entries,
-        results.counters.positions
+        results.counters.positions_decoded
     )?;
     for node in &results.nodes {
         writeln!(out, "  {}", names[node.index()])?;

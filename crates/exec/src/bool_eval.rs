@@ -40,6 +40,9 @@ pub fn run_bool_with(
     index: &InvertedIndex,
     layout: IndexLayout,
 ) -> Result<(Vec<NodeId>, AccessCounters), ExecError> {
+    // Under blocks-only residency the decoded arrays do not exist; every
+    // leaf access resolves to the compressed layout.
+    let layout = index.effective_layout(layout);
     let mut counters = AccessCounters::new();
     let nodes = eval(query, corpus, index, layout, &mut counters)?;
     Ok((nodes, counters))

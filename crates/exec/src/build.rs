@@ -54,14 +54,14 @@ fn build_rec<'a>(
                 .corpus
                 .token_id(token)
                 .unwrap_or(ftsl_model::TokenId(u32::MAX));
-            let cursor: Box<dyn FtCursor + 'a> = match ctx.layout {
+            let cursor: Box<dyn FtCursor + 'a> = match ctx.index.effective_layout(ctx.layout) {
                 IndexLayout::Decoded => Box::new(ScanCursor::new(ctx.index.list(id))),
                 IndexLayout::Blocks => Box::new(BlockScanCursor::new(ctx.index.block_list(id))),
             };
             (cursor, vec![*var])
         }
         PlanNode::ScanAny { var } => {
-            let cursor: Box<dyn FtCursor + 'a> = match ctx.layout {
+            let cursor: Box<dyn FtCursor + 'a> = match ctx.index.effective_layout(ctx.layout) {
                 IndexLayout::Decoded => Box::new(ScanCursor::new(ctx.index.any())),
                 IndexLayout::Blocks => Box::new(BlockScanCursor::new(ctx.index.any_block_list())),
             };

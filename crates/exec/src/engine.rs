@@ -2,7 +2,7 @@
 
 use crate::bool_eval::run_bool_with;
 use crate::build::IndexLayout;
-use crate::comp::run_comp;
+use crate::comp::run_comp_with;
 use crate::error::ExecError;
 use crate::npred::{run_npred, NpredOptions};
 use crate::ppred::run_ppred_with;
@@ -287,7 +287,13 @@ impl<'a> Executor<'a> {
                 }
             }
             EngineUsed::Comp => {
-                let (nodes, counters) = run_comp(query, self.corpus, self.index, self.registry)?;
+                let (nodes, counters) = run_comp_with(
+                    query,
+                    self.corpus,
+                    self.index,
+                    self.registry,
+                    self.options.layout,
+                )?;
                 Ok(QueryOutput {
                     nodes,
                     counters,

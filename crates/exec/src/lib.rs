@@ -25,6 +25,55 @@
 //!
 //! Every engine reports [`ftsl_index::AccessCounters`] so the Figure 3
 //! bounds can be validated with machine-independent measurements.
+//!
+//! ## Positional evaluation on the compressed layout
+//!
+//! The streaming engines run unchanged over either physical layout
+//! ([`ftsl_index::IndexLayout`]). On `Blocks`, positional predicates
+//! (`ordered`, `distance`, `window`, …) evaluate *at the cursor*: entries
+//! are decoded out of the delta/varint stream one at a time, and an entry's
+//! position payload is only decompressed when the predicate actually
+//! inspects it — entries rejected on node id alone are stepped over using
+//! the stored byte length, visible in
+//! [`ftsl_index::AccessCounters::positions_decoded`]:
+//!
+//! ```
+//! use ftsl_exec::build::IndexLayout;
+//! use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+//! use ftsl_index::IndexBuilder;
+//! use ftsl_model::Corpus;
+//! use ftsl_predicates::PredicateRegistry;
+//!
+//! let corpus = Corpus::from_texts(&[
+//!     "rust makes systems programming approachable",
+//!     "approachable systems without rust too",
+//!     "rust rust rust",
+//! ]);
+//! let index = IndexBuilder::new().build(&corpus);
+//! let registry = PredicateRegistry::with_builtins();
+//! let options = ExecOptions { layout: IndexLayout::Blocks, ..Default::default() };
+//! let exec = Executor::with_options(&corpus, &index, &registry, options);
+//!
+//! // "rust" strictly before "approachable", at most 3 intervening tokens —
+//! // a PPRED query, evaluated directly on the compressed blocks.
+//! let out = exec
+//!     .run_str(
+//!         "SOME p1 SOME p2 (p1 HAS 'rust' AND p2 HAS 'approachable' \
+//!          AND ordered(p1,p2) AND distance(p1,p2,3))",
+//!         EngineKind::Auto,
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.nodes.iter().map(|n| n.0).collect::<Vec<_>>(), vec![0]);
+//! // Node 2 ("rust rust rust") was rejected on node ids alone: the join
+//! // never inspected its entry, so its three position payloads were never
+//! // decompressed. Only the two join-matched nodes paid position decodes.
+//! let rust = corpus.token_id("rust").unwrap();
+//! let total_positions = (index.block_list(rust).num_positions()
+//!     + index.block_list(corpus.token_id("approachable").unwrap()).num_positions()) as u64;
+//! assert!(out.counters.positions_decoded < total_positions);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod bool_eval;
 pub mod build;

@@ -553,7 +553,7 @@ pub fn estimate_nodes(
             Some(id) => index.df(id) as u64,
             None => 0,
         },
-        PlanNode::ScanAny { .. } => index.any().num_entries() as u64,
+        PlanNode::ScanAny { .. } => index.any_block_list().num_entries() as u64,
         PlanNode::Join(a, b) => {
             estimate_nodes(a, corpus, index).min(estimate_nodes(b, corpus, index))
         }

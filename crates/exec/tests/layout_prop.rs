@@ -1,0 +1,301 @@
+//! Differential property tests for the physical layouts and residency
+//! policies: the block-compressed layout (and the blocks-only-resident
+//! index) must produce *bit-identical* results to the decoded layout for
+//! random corpora and random positional-predicate trees — and the lazy
+//! position decoding must be visible in the counters: a conjunction that
+//! rejects entries on node ids alone decodes strictly fewer position
+//! payloads than there are entries or positions in the scanned lists.
+
+use ftsl_corpus::SynthConfig;
+use ftsl_exec::build::IndexLayout;
+use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+use ftsl_index::{IndexBuilder, InvertedIndex, Residency};
+use ftsl_lang::SurfaceQuery;
+use ftsl_model::Corpus;
+use ftsl_predicates::PredicateRegistry;
+use proptest::prelude::*;
+
+const VOCAB: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
+
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    proptest::collection::vec(proptest::collection::vec(0usize..9, 0..14), 1..8).prop_map(|docs| {
+        let texts: Vec<String> = docs
+            .into_iter()
+            .map(|toks| {
+                let mut text = String::new();
+                for t in toks {
+                    match t {
+                        0..=5 => {
+                            text.push_str(VOCAB[t]);
+                            text.push(' ');
+                        }
+                        6 | 7 => text.push_str(". "),
+                        _ => text.push_str("\n\n"),
+                    }
+                }
+                text
+            })
+            .collect();
+        Corpus::from_texts(&texts)
+    })
+}
+
+/// One random binary predicate application over bound variables — the
+/// positional workhorses (ordered / distance / window / same*) plus the
+/// negative forms when `allow_negative`.
+fn arb_pred(nvars: usize, allow_negative: bool) -> impl Strategy<Value = SurfaceQuery> {
+    let positive = prop_oneof![
+        (0..6i64).prop_map(|d| ("distance".to_string(), vec![d])),
+        Just(("ordered".to_string(), vec![])),
+        Just(("samepara".to_string(), vec![])),
+        Just(("samesent".to_string(), vec![])),
+        Just(("samepos".to_string(), vec![])),
+        (0..8i64).prop_map(|w| ("window".to_string(), vec![w])),
+    ];
+    let negative = prop_oneof![
+        (0..5i64).prop_map(|d| ("not_distance".to_string(), vec![d])),
+        Just(("not_ordered".to_string(), vec![])),
+        Just(("diffpos".to_string(), vec![])),
+        Just(("not_samepara".to_string(), vec![])),
+        Just(("not_samesent".to_string(), vec![])),
+    ];
+    let name_consts = if allow_negative {
+        prop_oneof![2 => positive, 3 => negative].boxed()
+    } else {
+        positive.boxed()
+    };
+    (name_consts, 0..nvars, 0..nvars).prop_map(|((name, consts), i, j)| SurfaceQuery::Pred {
+        name,
+        vars: vec![format!("p{i}"), format!("p{j}")],
+        consts,
+    })
+}
+
+/// A random quantified conjunction of token bindings and predicates — a
+/// random predicate tree in the PPRED (or NPRED) fragment.
+fn arb_stream_query(allow_negative: bool) -> impl Strategy<Value = SurfaceQuery> {
+    let bindings = proptest::collection::vec((0..VOCAB.len(), any::<bool>(), 0..VOCAB.len()), 1..4);
+    let preds = move |nvars| proptest::collection::vec(arb_pred(nvars, allow_negative), 0..3);
+    bindings.prop_flat_map(move |binds| {
+        let nvars = binds.len();
+        preds(nvars).prop_map(move |preds| {
+            let mut conjuncts: Vec<SurfaceQuery> = Vec::new();
+            for (i, (tok, use_or, alt)) in binds.iter().enumerate() {
+                let var = format!("p{i}");
+                let base = SurfaceQuery::VarHas(var.clone(), VOCAB[*tok].to_string());
+                conjuncts.push(if *use_or {
+                    SurfaceQuery::Or(
+                        Box::new(base),
+                        Box::new(SurfaceQuery::VarHas(var, VOCAB[*alt].to_string())),
+                    )
+                } else {
+                    base
+                });
+            }
+            conjuncts.extend(preds.clone());
+            let mut query = conjuncts
+                .into_iter()
+                .reduce(|a, b| SurfaceQuery::And(Box::new(a), Box::new(b)))
+                .expect("non-empty");
+            for i in (0..nvars).rev() {
+                query = SurfaceQuery::Some(format!("p{i}"), Box::new(query));
+            }
+            query
+        })
+    })
+}
+
+fn run(
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    reg: &PredicateRegistry,
+    query: &SurfaceQuery,
+    engine: EngineKind,
+    layout: IndexLayout,
+) -> Vec<ftsl_model::NodeId> {
+    Executor::with_options(
+        corpus,
+        index,
+        reg,
+        ExecOptions {
+            layout,
+            ..Default::default()
+        },
+    )
+    .run_surface(query, engine)
+    .expect("engine runs")
+    .nodes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// PPRED on `Blocks` is bit-identical to `Decoded`, and a blocks-only
+    /// resident index (decoded views dropped, every engine forced onto the
+    /// compressed form) agrees with both.
+    #[test]
+    fn ppred_blocks_bit_identical_to_decoded(
+        query in arb_stream_query(false),
+        corpus in arb_corpus(),
+    ) {
+        let reg = PredicateRegistry::with_builtins();
+        let index = IndexBuilder::new().build(&corpus);
+        let decoded = run(&corpus, &index, &reg, &query, EngineKind::Ppred, IndexLayout::Decoded);
+        let blocks = run(&corpus, &index, &reg, &query, EngineKind::Ppred, IndexLayout::Blocks);
+        prop_assert_eq!(&decoded, &blocks, "layouts diverged on {}", query.render());
+
+        let mut lean = index.clone();
+        lean.set_residency(Residency::BlocksOnly);
+        // Even a Decoded request must resolve to the compressed form.
+        let resident = run(&corpus, &lean, &reg, &query, EngineKind::Ppred, IndexLayout::Decoded);
+        prop_assert_eq!(&decoded, &resident, "blocks-only diverged on {}", query.render());
+    }
+
+    /// NPRED (negative predicates, multi-ordering threads) on `Blocks` is
+    /// bit-identical to `Decoded`, including under blocks-only residency.
+    #[test]
+    fn npred_blocks_bit_identical_to_decoded(
+        query in arb_stream_query(true),
+        corpus in arb_corpus(),
+    ) {
+        let reg = PredicateRegistry::with_builtins();
+        let index = IndexBuilder::new().build(&corpus);
+        let decoded = run(&corpus, &index, &reg, &query, EngineKind::Npred, IndexLayout::Decoded);
+        let blocks = run(&corpus, &index, &reg, &query, EngineKind::Npred, IndexLayout::Blocks);
+        prop_assert_eq!(&decoded, &blocks, "layouts diverged on {}", query.render());
+
+        let mut lean = index.clone();
+        lean.set_residency(Residency::BlocksOnly);
+        let resident = run(&corpus, &lean, &reg, &query, EngineKind::Npred, IndexLayout::Blocks);
+        prop_assert_eq!(&decoded, &resident, "blocks-only diverged on {}", query.render());
+    }
+
+    /// COMP (materialized algebra) streams its leaf relations at the block
+    /// cursor on `Blocks` and must agree with the decoded scan — also when
+    /// the decoded views only exist inside the LRU decode cache.
+    #[test]
+    fn comp_blocks_bit_identical_to_decoded(
+        query in arb_stream_query(true),
+        corpus in arb_corpus(),
+    ) {
+        let reg = PredicateRegistry::with_builtins();
+        let index = IndexBuilder::new().build(&corpus);
+        let decoded = run(&corpus, &index, &reg, &query, EngineKind::Comp, IndexLayout::Decoded);
+        let blocks = run(&corpus, &index, &reg, &query, EngineKind::Comp, IndexLayout::Blocks);
+        prop_assert_eq!(&decoded, &blocks, "COMP layouts diverged on {}", query.render());
+
+        let mut lean = index.clone();
+        lean.set_residency(Residency::BlocksOnly);
+        let resident = run(&corpus, &lean, &reg, &query, EngineKind::Comp, IndexLayout::Blocks);
+        prop_assert_eq!(&decoded, &resident, "COMP blocks-only diverged on {}", query.render());
+    }
+}
+
+/// Zipf background plus one rare and one common planted token — the skewed
+/// regime where node-id rejection dominates.
+fn skewed_env() -> (Corpus, InvertedIndex) {
+    let config = SynthConfig {
+        cnodes: 1500,
+        vocabulary: 800,
+        tokens_per_doc: 60,
+        ..SynthConfig::default()
+    }
+    .plant("rare", 0.01, 2)
+    .plant("common", 0.6, 3);
+    let corpus = config.build();
+    let index = IndexBuilder::new().build(&corpus);
+    (corpus, index)
+}
+
+/// The lazy-decode acceptance criterion: a positional conjunction driven by
+/// a rare list rejects almost every entry of the common list on node id
+/// alone, so the number of decoded position payloads stays strictly below
+/// both the total entry count and the total position count of the scanned
+/// lists.
+#[test]
+fn skewed_conjunction_decodes_positions_lazily_on_blocks() {
+    let (corpus, index) = skewed_env();
+    let reg = PredicateRegistry::with_builtins();
+    let rare = corpus.token_id("rare").unwrap();
+    let common = corpus.token_id("common").unwrap();
+    let total_entries =
+        (index.block_list(rare).num_entries() + index.block_list(common).num_entries()) as u64;
+    let total_positions =
+        (index.block_list(rare).num_positions() + index.block_list(common).num_positions()) as u64;
+
+    let exec = Executor::with_options(
+        &corpus,
+        &index,
+        &reg,
+        ExecOptions {
+            layout: IndexLayout::Blocks,
+            ..Default::default()
+        },
+    );
+    let out = exec
+        .run_str(
+            "SOME p1 SOME p2 (p1 HAS 'rare' AND p2 HAS 'common' AND distance(p1,p2,5))",
+            EngineKind::Ppred,
+        )
+        .expect("ppred runs");
+
+    let c = out.counters;
+    assert!(
+        c.positions_decoded > 0,
+        "predicate evaluation must inspect some positions: {c:?}"
+    );
+    assert!(
+        c.positions_decoded < total_entries,
+        "expected lazy decoding: {} payload positions decoded vs {total_entries} entries",
+        c.positions_decoded
+    );
+    assert!(
+        c.positions_decoded < total_positions,
+        "expected lazy decoding: {} of {total_positions} positions decoded",
+        c.positions_decoded
+    );
+    // And the same query on the decoded layout agrees bit-for-bit.
+    let decoded = Executor::new(&corpus, &index, &reg)
+        .run_str(
+            "SOME p1 SOME p2 (p1 HAS 'rare' AND p2 HAS 'common' AND distance(p1,p2,5))",
+            EngineKind::Ppred,
+        )
+        .expect("ppred runs");
+    assert_eq!(out.nodes, decoded.nodes);
+    assert!(!out.nodes.is_empty(), "vacuous agreement");
+}
+
+/// The residency acceptance criterion: dropping the decoded views shrinks
+/// the resident footprint by at least 2× on the bench-style corpus — and
+/// the bound survives a workload that decodes lists through the LRU cache
+/// (including `IL_ANY`, the largest decoded structure), because the cache
+/// is byte-budgeted.
+#[test]
+fn blocks_only_footprint_at_least_2x_smaller() {
+    let (corpus, mut index) = skewed_env();
+    let dual = index.memory_footprint();
+    assert_eq!(dual.residency, Residency::Dual);
+    index.set_residency(Residency::BlocksOnly);
+    let lean = index.memory_footprint();
+    assert_eq!(lean.decoded, 0);
+    assert!(
+        lean.total() * 2 <= dual.total(),
+        "blocks-only {}B vs dual {}B — expected ≥2× shrink",
+        lean.total(),
+        dual.total()
+    );
+
+    // Hammer the decode cache: IL_ANY plus every planted/background token
+    // we can name. The byte budget must keep the footprint bound intact.
+    let _any = index.decoded_any();
+    for tok in ["rare", "common"] {
+        let _ = index.decoded_list(corpus.token_id(tok).unwrap());
+    }
+    let warmed = index.memory_footprint();
+    assert!(
+        warmed.total() * 2 <= dual.total(),
+        "after cache warm-up: blocks-only {}B vs dual {}B — cache broke the bound",
+        warmed.total(),
+        dual.total()
+    );
+}

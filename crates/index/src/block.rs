@@ -523,11 +523,18 @@ impl<'a> BlockCursor<'a> {
     /// `getPositions()`: decode (once) and return the current entry's
     /// positions.
     ///
+    /// Decoding is *lazy*: [`Self::next_entry`] only parses the entry header
+    /// (node id, position count, payload byte length) and steps over the
+    /// position varints. The payload is decompressed here, on first demand,
+    /// and the work is recorded in [`AccessCounters::positions_decoded`] —
+    /// entries whose positions are never inspected cost no position decodes.
+    ///
     /// # Panics
     /// Panics if called before the first successful [`Self::next_entry`].
     pub fn positions(&mut self) -> &[Position] {
         assert!(self.node.is_some(), "cursor not positioned on an entry");
         if !self.decoded_valid {
+            self.counters.positions_decoded += u64::from(self.pos_count);
             self.decoded.clear();
             let data = &self.list.data;
             let mut at = self.pos_bytes.start;
@@ -696,6 +703,24 @@ mod tests {
         assert_eq!(cur.seek(NodeId(5)), Some(NodeId(9)));
         assert_eq!(cur.position(), Some(p(51)));
         assert_eq!(cur.advance_position(52), Some(p(56)));
+    }
+
+    #[test]
+    fn position_payloads_decode_lazily_and_are_counted() {
+        let list = sample(300, 3); // 2 positions per entry
+        let blocks = BlockList::from_posting(&list);
+        let mut cur = blocks.cursor();
+        // Walking entries alone decodes no position payloads.
+        for _ in 0..10 {
+            cur.next_entry();
+        }
+        assert_eq!(cur.counters().positions_decoded, 0);
+        let _ = cur.positions();
+        let _ = cur.positions(); // cached, not re-decoded
+        assert_eq!(cur.counters().positions_decoded, 2);
+        // Seeking over entries decodes none of their payloads either.
+        cur.seek(NodeId(600));
+        assert_eq!(cur.counters().positions_decoded, 2);
     }
 
     #[test]

@@ -64,6 +64,7 @@ impl IndexBuilder {
             blocks,
             any_blocks,
             stats,
+            ..InvertedIndex::default()
         }
     }
 

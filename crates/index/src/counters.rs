@@ -14,6 +14,17 @@ pub struct AccessCounters {
     pub entries: u64,
     /// Positions consumed from `getPositions()` results.
     pub positions: u64,
+    /// Positions whose *payload* was materialized out of the physical list.
+    ///
+    /// On the block layout this counts real decompression work: an entry's
+    /// position varints are only decoded when some evaluator first asks for
+    /// them ([`crate::block::BlockCursor::positions`]); entries rejected on
+    /// node id alone are stepped over using the stored byte length and never
+    /// contribute here. On the decoded layout positions are already resident,
+    /// so the counter instead records the first *inspection* of each entry's
+    /// position slice — keeping the two layouts comparable on "how many
+    /// position lists did evaluation actually look at".
+    pub positions_decoded: u64,
     /// Tuples materialized by non-streaming operators (COMP joins).
     pub tuples: u64,
     /// Entries bypassed by `seek` without being decoded (whole-block jumps
@@ -47,6 +58,7 @@ impl AddAssign for AccessCounters {
     fn add_assign(&mut self, rhs: Self) {
         self.entries += rhs.entries;
         self.positions += rhs.positions;
+        self.positions_decoded += rhs.positions_decoded;
         self.tuples += rhs.tuples;
         self.skipped += rhs.skipped;
         self.blocks_skipped += rhs.blocks_skipped;
@@ -73,6 +85,7 @@ mod tests {
             tuples: 3,
             skipped: 4,
             blocks_skipped: 5,
+            positions_decoded: 6,
         };
         let b = AccessCounters {
             entries: 10,
@@ -80,6 +93,7 @@ mod tests {
             tuples: 30,
             skipped: 40,
             blocks_skipped: 50,
+            positions_decoded: 60,
         };
         let c = a + b;
         assert_eq!(
@@ -89,7 +103,8 @@ mod tests {
                 positions: 22,
                 tuples: 33,
                 skipped: 44,
-                blocks_skipped: 55
+                blocks_skipped: 55,
+                positions_decoded: 66,
             }
         );
         // Skipped entries are not decode work.

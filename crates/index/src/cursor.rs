@@ -67,6 +67,12 @@ pub struct ListCursor<'a> {
     /// Index of the current position within the current entry.
     pos: usize,
     counters: AccessCounters,
+    /// Whether the current entry's position slice has been looked at.
+    /// `Cell`s because the inspection accessors (`positions`, `position`)
+    /// take `&self`, mirroring the lazy-decode accounting of the block
+    /// layout where the same accessors trigger real decompression.
+    inspected: std::cell::Cell<bool>,
+    pos_decoded: std::cell::Cell<u64>,
 }
 
 impl<'a> ListCursor<'a> {
@@ -77,6 +83,21 @@ impl<'a> ListCursor<'a> {
             entry: usize::MAX,
             pos: 0,
             counters: AccessCounters::new(),
+            inspected: std::cell::Cell::new(false),
+            pos_decoded: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Record the first inspection of the current entry's positions. The
+    /// decoded layout holds positions resident, so nothing is decompressed —
+    /// but counting the inspection keeps
+    /// [`AccessCounters::positions_decoded`] comparable across layouts.
+    fn mark_inspected(&self) {
+        if self.entry != usize::MAX && self.entry < self.list.num_entries() && !self.inspected.get()
+        {
+            self.inspected.set(true);
+            self.pos_decoded
+                .set(self.pos_decoded.get() + self.list.positions_of(self.entry).len() as u64);
         }
     }
 
@@ -94,6 +115,7 @@ impl<'a> ListCursor<'a> {
         }
         self.entry = next;
         self.pos = 0;
+        self.inspected.set(false);
         self.counters.entries += 1;
         Some(self.list.node_of(self.entry))
     }
@@ -152,6 +174,7 @@ impl<'a> ListCursor<'a> {
         }
         self.entry = found;
         self.pos = 0;
+        self.inspected.set(false);
         self.counters.entries += 1;
         Some(self.list.node_of(found))
     }
@@ -198,11 +221,13 @@ impl<'a> ListCursor<'a> {
             self.entry != usize::MAX,
             "cursor not positioned on an entry"
         );
+        self.mark_inspected();
         self.list.positions_of(self.entry)
     }
 
     /// The current position within the current entry, if any remain.
     pub fn position(&self) -> Option<Position> {
+        self.mark_inspected();
         let ps = self.list.positions_of(self.entry);
         ps.get(self.pos).copied()
     }
@@ -211,6 +236,7 @@ impl<'a> ListCursor<'a> {
     /// `offset >= min_offset`; returns it, or `None` if the entry is
     /// exhausted. Consumed positions are counted once each.
     pub fn advance_position(&mut self, min_offset: u32) -> Option<Position> {
+        self.mark_inspected();
         let ps = self.list.positions_of(self.entry);
         while let Some(p) = ps.get(self.pos) {
             if p.offset >= min_offset {
@@ -231,7 +257,9 @@ impl<'a> ListCursor<'a> {
 
     /// Access counters accumulated by this cursor.
     pub fn counters(&self) -> AccessCounters {
-        self.counters
+        let mut c = self.counters;
+        c.positions_decoded = self.pos_decoded.get();
+        c
     }
 
     /// True if all entries have been consumed.
@@ -296,6 +324,19 @@ mod tests {
         c.next_entry();
         assert_eq!(c.advance_position(12), Some(p(12)));
         assert_eq!(c.advance_position(12), Some(p(12)));
+    }
+
+    #[test]
+    fn positions_decoded_counts_first_inspection_per_entry() {
+        let list = sample();
+        let mut c = ListCursor::new(&list);
+        c.next_entry();
+        assert_eq!(c.counters().positions_decoded, 0);
+        let _ = c.positions();
+        let _ = c.positions(); // second look is free
+        assert_eq!(c.counters().positions_decoded, 3);
+        c.next_entry(); // positions never inspected
+        assert_eq!(c.counters().positions_decoded, 3);
     }
 
     #[test]

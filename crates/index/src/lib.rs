@@ -30,6 +30,7 @@ pub mod cursor;
 pub mod index;
 pub mod persist;
 pub mod postings;
+pub mod residency;
 pub mod scored;
 pub mod stats;
 pub mod varint;
@@ -40,5 +41,6 @@ pub use counters::AccessCounters;
 pub use cursor::{ListCursor, PostingCursor};
 pub use index::{IndexLayout, InvertedIndex, MemoryFootprint};
 pub use postings::PostingList;
+pub use residency::{DecodeCacheStats, DecodedView, Residency};
 pub use scored::{EntryScorer, ScoredBlocks, ScoredCursor, ScoredList};
 pub use stats::IndexStats;

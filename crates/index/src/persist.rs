@@ -149,6 +149,7 @@ pub fn decode(mut buf: impl Buf) -> Result<InvertedIndex, PersistError> {
         blocks,
         any_blocks,
         stats,
+        ..InvertedIndex::default()
     })
 }
 

@@ -1,0 +1,272 @@
+//! Residency policy: which physical forms of the index stay in RAM.
+//!
+//! PR 1 made the block-compressed [`crate::block::BlockList`] the persisted
+//! layout but kept every list *dual-resident* — compressed blocks and the
+//! decoded columnar [`PostingList`] side by side — so the ~3.5× compression
+//! win never reached memory. [`Residency::BlocksOnly`] fixes that: the
+//! decoded views are dropped, every evaluation path reads the compressed
+//! form through lazy cursors, and the few remaining random-access consumers
+//! (the materialized COMP/scored-algebra oracles) decode whole lists on
+//! demand through a small LRU cache ([`DecodeCache`]) so hot lists pay the
+//! decompression once, not per query.
+
+use crate::postings::PostingList;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which physical list forms an [`crate::InvertedIndex`] keeps resident.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Residency {
+    /// Both forms hot (the PR 1 default): compressed blocks serve seeks and
+    /// persistence, decoded columnar views serve random access. RAM pays
+    /// for both.
+    #[default]
+    Dual,
+    /// Only the compressed blocks stay resident. Streaming engines read
+    /// them directly; random-access consumers go through the LRU
+    /// [`DecodeCache`]. `memory_footprint()` shows the compressed-only
+    /// number.
+    BlocksOnly,
+}
+
+impl std::fmt::Display for Residency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Residency::Dual => f.write_str("dual-resident"),
+            Residency::BlocksOnly => f.write_str("single-resident (blocks)"),
+        }
+    }
+}
+
+/// A borrowed-or-cached view of a decoded posting list.
+///
+/// Under [`Residency::Dual`] this is a zero-cost borrow of the resident
+/// decoded view; under [`Residency::BlocksOnly`] it is a shared handle into
+/// the [`DecodeCache`], kept alive for as long as the caller holds it (LRU
+/// eviction drops the cache's reference, never the caller's).
+pub enum DecodedView<'a> {
+    /// Borrow of a resident decoded list (dual residency, and the empty
+    /// out-of-vocabulary list under either residency).
+    Resident(&'a PostingList),
+    /// Shared handle to a list decoded on demand (blocks-only residency).
+    Cached(Arc<PostingList>),
+}
+
+impl std::ops::Deref for DecodedView<'_> {
+    type Target = PostingList;
+    fn deref(&self) -> &PostingList {
+        match self {
+            DecodedView::Resident(list) => list,
+            DecodedView::Cached(arc) => arc,
+        }
+    }
+}
+
+/// Default number of decoded lists the [`DecodeCache`] retains.
+pub const DEFAULT_DECODE_CACHE_LISTS: usize = 8;
+
+/// Counters and size of the block-decode cache (diagnostics for `:stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to decode the list.
+    pub misses: u64,
+    /// Decoded lists currently retained.
+    pub lists: usize,
+    /// Resident heap bytes of the retained decoded lists.
+    pub resident_bytes: usize,
+}
+
+/// A small LRU cache of decoded posting lists, keyed by list slot.
+///
+/// Exists only to keep *hot* random-access scans fast under
+/// [`Residency::BlocksOnly`]: the handful of lists a workload keeps asking
+/// for are decoded once and reused; cold lists are evicted and their memory
+/// returned. Retention is bounded twice — at most `capacity` lists, and at
+/// most `max_bytes` of decoded payload (a list bigger than the whole byte
+/// budget, e.g. a decoded `IL_ANY`, is handed to the caller but never
+/// retained) — so the blocks-only footprint cannot creep back toward the
+/// dual-resident number through the cache.
+#[derive(Debug)]
+pub struct DecodeCache {
+    capacity: usize,
+    max_bytes: usize,
+    /// MRU-first list of `(slot, decoded)` pairs. A `Vec` scan is fine at
+    /// this capacity (≤ a few dozen); no ordered map needed.
+    inner: Mutex<Vec<(usize, Arc<PostingList>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        DecodeCache::new(DEFAULT_DECODE_CACHE_LISTS)
+    }
+}
+
+impl Clone for DecodeCache {
+    /// Cloning an index starts with a fresh, empty cache of the same
+    /// bounds (cached decodes are derived data, not state worth copying).
+    fn clone(&self) -> Self {
+        DecodeCache::with_byte_budget(self.capacity, self.max_bytes)
+    }
+}
+
+impl DecodeCache {
+    /// A cache retaining at most `capacity` decoded lists (min 1), with no
+    /// byte budget.
+    pub fn new(capacity: usize) -> Self {
+        DecodeCache::with_byte_budget(capacity, usize::MAX)
+    }
+
+    /// A cache bounded by both list count and total decoded bytes.
+    pub fn with_byte_budget(capacity: usize, max_bytes: usize) -> Self {
+        DecodeCache {
+            capacity: capacity.max(1),
+            max_bytes,
+            inner: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the decoded list for `slot`, decoding it via `decode` on a
+    /// miss. The returned handle stays valid after eviction (and is valid
+    /// even when the list is too large to retain at all).
+    pub fn get_or_decode(
+        &self,
+        slot: usize,
+        decode: impl FnOnce() -> PostingList,
+    ) -> Arc<PostingList> {
+        {
+            let mut inner = self.inner.lock().expect("decode cache poisoned");
+            if let Some(i) = inner.iter().position(|(s, _)| *s == slot) {
+                let entry = inner.remove(i);
+                let handle = entry.1.clone();
+                inner.insert(0, entry);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return handle;
+            }
+        }
+        // Decode outside the lock: lists can be large and decodes concurrent.
+        let decoded = Arc::new(decode());
+        let mut inner = self.inner.lock().expect("decode cache poisoned");
+        if let Some(i) = inner.iter().position(|(s, _)| *s == slot) {
+            // A concurrent decode won the race; keep the cached copy.
+            let entry = inner.remove(i);
+            let handle = entry.1.clone();
+            inner.insert(0, entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return handle;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if decoded.resident_bytes() <= self.max_bytes {
+            inner.insert(0, (slot, decoded.clone()));
+            inner.truncate(self.capacity);
+            // Enforce the byte budget LRU-first (the fresh insert at the
+            // front fits on its own, so at least it survives).
+            let mut bytes: usize = inner.iter().map(|(_, l)| l.resident_bytes()).sum();
+            while bytes > self.max_bytes && inner.len() > 1 {
+                let (_, evicted) = inner.pop().expect("len > 1");
+                bytes -= evicted.resident_bytes();
+            }
+        }
+        decoded
+    }
+
+    /// Drop every cached list (residency changes, explicit flushes).
+    pub fn clear(&self) {
+        self.inner.lock().expect("decode cache poisoned").clear();
+    }
+
+    /// Hit/miss counters and current resident size.
+    pub fn stats(&self) -> DecodeCacheStats {
+        let inner = self.inner.lock().expect("decode cache poisoned");
+        DecodeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            lists: inner.len(),
+            resident_bytes: inner.iter().map(|(_, l)| l.resident_bytes()).sum(),
+        }
+    }
+
+    /// Resident heap bytes of the retained decoded lists.
+    pub fn resident_bytes(&self) -> usize {
+        self.stats().resident_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_model::{NodeId, Position};
+
+    fn list(n: u32) -> PostingList {
+        PostingList::from_entries(vec![(NodeId(n), vec![Position::flat(0)])])
+    }
+
+    #[test]
+    fn cache_hits_after_first_decode() {
+        let cache = DecodeCache::new(2);
+        let a = cache.get_or_decode(0, || list(0));
+        let b = cache.get_or_decode(0, || panic!("must not re-decode"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.lists), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = DecodeCache::new(2);
+        cache.get_or_decode(0, || list(0));
+        cache.get_or_decode(1, || list(1));
+        cache.get_or_decode(0, || panic!("0 is hot")); // 0 becomes MRU
+        cache.get_or_decode(2, || list(2)); // evicts 1
+        cache.get_or_decode(0, || panic!("0 still cached"));
+        let mut re_decoded = false;
+        cache.get_or_decode(1, || {
+            re_decoded = true;
+            list(1)
+        });
+        assert!(re_decoded, "evicted slot must decode again");
+    }
+
+    #[test]
+    fn byte_budget_caps_retention_and_never_retains_oversized_lists() {
+        let small = |n: u32| list(n); // ~24 resident bytes each
+        let big = || {
+            PostingList::from_entries(
+                (0..1000)
+                    .map(|i| (NodeId(i), vec![Position::flat(i)]))
+                    .collect(),
+            )
+        };
+        let cache = DecodeCache::with_byte_budget(8, 100);
+        // A list bigger than the whole budget is served but not retained.
+        let handle = cache.get_or_decode(0, big);
+        assert_eq!(handle.num_entries(), 1000);
+        assert_eq!(cache.stats().lists, 0, "oversized list must not stick");
+        // Small lists are retained up to the byte budget, LRU-evicted past
+        // it even though the list-count capacity (8) is not reached.
+        for slot in 1..=6 {
+            cache.get_or_decode(slot, || small(slot as u32));
+        }
+        let s = cache.stats();
+        assert!(
+            s.resident_bytes <= 100,
+            "cache holds {}B over the 100B budget",
+            s.resident_bytes
+        );
+        assert!(s.lists < 6, "byte budget should have evicted something");
+    }
+
+    #[test]
+    fn evicted_handles_stay_valid() {
+        let cache = DecodeCache::new(1);
+        let a = cache.get_or_decode(0, || list(7));
+        cache.get_or_decode(1, || list(1)); // evicts slot 0
+        assert_eq!(a.node_of(0), NodeId(7));
+        assert_eq!(cache.stats().lists, 1);
+    }
+}

@@ -44,7 +44,8 @@ fn eval(
         SurfaceQuery::Lit(tok) => {
             let mut out = BTreeMap::new();
             if let Some(id) = corpus.token_id(tok) {
-                for (node, positions) in index.list(id).iter() {
+                // Residency-safe decoded view (cached under blocks-only).
+                for (node, positions) in index.decoded_list(id).iter() {
                     let per = model.token_tuple(tok, node, stats);
                     let doc_score = model.project(&vec![per; positions.len()]);
                     out.insert(node, doc_score);
@@ -54,7 +55,7 @@ fn eval(
         }
         SurfaceQuery::Any => {
             let mut out = BTreeMap::new();
-            for (node, _) in index.any().iter() {
+            for (node, _) in index.decoded_any().iter() {
                 out.insert(node, 1.0);
             }
             Ok(out)

@@ -109,7 +109,10 @@ impl<'a, M: ScoringModel> ScoredEvaluator<'a, M> {
             }
             AlgExpr::HasPos => {
                 let mut r = ScoredRelation::new(1);
-                for (node, positions) in self.index.any().iter() {
+                // `decoded_any`/`decoded_list`: resident view under dual
+                // residency, lazily decoded through the index's LRU cache
+                // under blocks-only — the oracle works on either.
+                for (node, positions) in self.index.decoded_any().iter() {
                     for &p in positions {
                         r.rows.push((node, vec![p], self.model.any_tuple()));
                     }
@@ -119,7 +122,7 @@ impl<'a, M: ScoringModel> ScoredEvaluator<'a, M> {
             AlgExpr::TokenRel(tok) => {
                 let mut r = ScoredRelation::new(1);
                 if let Some(id) = self.corpus.token_id(tok) {
-                    for (node, positions) in self.index.list(id).iter() {
+                    for (node, positions) in self.index.decoded_list(id).iter() {
                         let s = self.model.token_tuple(tok, node, self.stats);
                         for &p in positions {
                             r.rows.push((node, vec![p], s));

@@ -538,7 +538,7 @@ fn build_stream<'a>(
         }
         SurfaceQuery::Any => {
             let scorer = PraEntryScorer::constant(1.0);
-            let cur: Box<dyn ScoredCursor + 'a> = match layout {
+            let cur: Box<dyn ScoredCursor + 'a> = match index.effective_layout(layout) {
                 IndexLayout::Decoded => Box::new(ftsl_index::ScoredList::new(index.any(), scorer)),
                 IndexLayout::Blocks => Box::new(ftsl_index::ScoredBlocks::new(
                     index.any_block_list(),

@@ -1,0 +1,99 @@
+//! Intra-repo link check over the markdown documentation: every relative
+//! link in `README.md` and `docs/*.md` must point at a file (or directory)
+//! that exists. Run by `cargo test` and by the CI link-check step, so docs
+//! can't silently rot when files move.
+
+use std::path::{Path, PathBuf};
+
+/// Extract `(target, line)` pairs from inline markdown links `[text](target)`.
+fn markdown_links(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find "](", then capture until the matching ')'.
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = line[start..].find(')') {
+                    out.push((line[start..start + rel_end].to_string(), lineno + 1));
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_file(path: &Path, failures: &mut Vec<String>) {
+    let text = std::fs::read_to_string(path).expect("doc file readable");
+    let dir = path.parent().expect("doc file has a parent");
+    for (target, line) in markdown_links(&text) {
+        // External links, in-page anchors, and autolink-ish targets are out
+        // of scope for an *intra-repo* check.
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        let file_part = target.split('#').next().unwrap_or(&target);
+        let resolved = dir.join(file_part);
+        if !resolved.exists() {
+            failures.push(format!(
+                "{}:{line}: dangling link `{target}` (resolved to {})",
+                path.display(),
+                resolved.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn no_dangling_intra_repo_links() {
+    let root = repo_root();
+    let mut targets = vec![root.join("README.md"), root.join("CHANGES.md")];
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        for entry in std::fs::read_dir(&docs).expect("docs/ readable") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "md") {
+                targets.push(path);
+            }
+        }
+    }
+    assert!(
+        targets.iter().filter(|t| t.exists()).count() >= 3,
+        "link check found too few docs — did README.md or docs/ move?"
+    );
+
+    let mut failures = Vec::new();
+    for target in targets.iter().filter(|t| t.exists()) {
+        check_file(target, &mut failures);
+    }
+    assert!(
+        failures.is_empty(),
+        "dangling documentation links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn link_extractor_finds_inline_links() {
+    let links = markdown_links("see [a](docs/A.md) and [b](https://x.test/y#z)\n[c](#frag)");
+    assert_eq!(
+        links,
+        vec![
+            ("docs/A.md".to_string(), 1),
+            ("https://x.test/y#z".to_string(), 1),
+            ("#frag".to_string(), 2),
+        ]
+    );
+}
