@@ -1,0 +1,185 @@
+//! Live-index churn: query cost vs segment count and delete ratio, plus the
+//! cost (and payoff) of a full merge.
+//!
+//! The grid: segment counts {1, 4, 16} × tombstone ratios {0%, 10%, 50%}
+//! over a skewed Zipf corpus, measuring the BOOL conjunction
+//! `'rare' AND 'common'` and the streaming top-10 TF-IDF union
+//! `'rare' OR 'common'` through a snapshot, with the decoded-entry counters
+//! printed alongside wall-clock (segmentation shows up as extra decoded
+//! entries: per-segment lists restart the skip structure, and tombstoned
+//! entries are decoded just to be filtered). A one-shot section times
+//! `merge_all` and re-measures the merged index against a fresh monolithic
+//! build over the same live documents — the "post-merge within ~10% of
+//! fresh" acceptance number.
+
+mod common;
+
+use common::criterion;
+use criterion::criterion_main;
+use ftsl_corpus::SynthConfig;
+use ftsl_exec::engine::{EngineKind, ExecOptions};
+use ftsl_exec::snapshot::SnapshotExecutor;
+use ftsl_exec::{ScoreModel, ScoredTopK};
+use ftsl_index::{LiveConfig, LiveIndex, Snapshot};
+use ftsl_model::{Corpus, NodeId};
+use ftsl_predicates::PredicateRegistry;
+use ftsl_scoring::SnapshotStats;
+use std::hint::black_box;
+use std::time::Instant;
+
+const CNODES: usize = 4000;
+
+fn zipf_texts() -> Vec<String> {
+    let corpus = SynthConfig {
+        cnodes: CNODES,
+        vocabulary: 1500,
+        tokens_per_doc: 60,
+        ..SynthConfig::default()
+    }
+    .plant("rare", 0.02, 4)
+    .plant("common", 0.6, 1)
+    .build();
+    let interner = corpus.interner();
+    corpus
+        .documents()
+        .iter()
+        .map(|doc| {
+            doc.tokens
+                .iter()
+                .map(|&(t, _)| interner.name(t))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// Build a live index with `segments` equal flushes and every `1/ratio`-th
+/// document tombstoned (ratio 0 = no deletes). Background merging is off so
+/// the segment count under test stays put.
+fn build_live(texts: &[String], segments: usize, delete_every: usize) -> LiveIndex {
+    let live = LiveIndex::with_config(LiveConfig {
+        background_merge: false,
+        flush_threshold: usize::MAX,
+        ..LiveConfig::default()
+    });
+    let chunk = texts.len().div_ceil(segments);
+    for (i, text) in texts.iter().enumerate() {
+        live.add_document(text);
+        if (i + 1) % chunk == 0 {
+            live.flush();
+        }
+    }
+    live.flush();
+    if delete_every > 0 {
+        for i in (0..texts.len()).step_by(delete_every) {
+            live.delete_node(NodeId(i as u32));
+        }
+    }
+    live
+}
+
+fn run_bool(snapshot: &Snapshot, reg: &PredicateRegistry) -> (usize, u64) {
+    let exec = SnapshotExecutor::new(snapshot, reg);
+    let out = exec
+        .run_str("'rare' AND 'common'", EngineKind::Auto)
+        .expect("bool runs");
+    (out.nodes.len(), out.counters.entries)
+}
+
+fn run_topk(snapshot: &Snapshot, reg: &PredicateRegistry, stats: &SnapshotStats) -> (usize, u64) {
+    let q = ftsl_lang::parse("'rare' OR 'common'", ftsl_lang::Mode::Comp).expect("parse");
+    let model = stats.tfidf_model(&["rare", "common"], snapshot);
+    let exec = SnapshotExecutor::with_options(snapshot, reg, ExecOptions::default());
+    let out = exec
+        .run_top_k(&q, ScoredTopK { k: 10 }, stats, &ScoreModel::TfIdf(&model))
+        .expect("topk runs");
+    (out.hits.len(), out.counters.entries)
+}
+
+fn bench_churn(c: &mut criterion::Criterion) {
+    let texts = zipf_texts();
+    let reg = PredicateRegistry::with_builtins();
+    let mut group = c.benchmark_group("live_churn");
+
+    for &segments in &[1usize, 4, 16] {
+        for &(ratio_label, delete_every) in &[("d0", 0usize), ("d10", 10), ("d50", 2)] {
+            let live = build_live(&texts, segments, delete_every);
+            let snapshot = live.snapshot();
+            let stats = SnapshotStats::compute(&snapshot);
+            group.bench_function(format!("bool_s{segments}_{ratio_label}"), |b| {
+                b.iter(|| black_box(run_bool(&snapshot, &reg)).0)
+            });
+            group.bench_function(format!("topk10_s{segments}_{ratio_label}"), |b| {
+                b.iter(|| black_box(run_topk(&snapshot, &reg, &stats)).0)
+            });
+            let (_, bool_entries) = run_bool(&snapshot, &reg);
+            let (_, topk_entries) = run_topk(&snapshot, &reg, &stats);
+            println!(
+                "live_churn/counters segments={segments} {ratio_label}: \
+                 bool {bool_entries} entries, topk10 {topk_entries} entries, \
+                 {} tombstones over {} docs",
+                snapshot.tombstone_count(),
+                CNODES,
+            );
+        }
+    }
+    group.finish();
+
+    // ── one-shot: full-merge cost and the post-merge payoff ─────────────
+    let live = build_live(&texts, 16, 10);
+    let t0 = Instant::now();
+    live.merge_all();
+    let merge_cost = t0.elapsed();
+    let merged_snapshot = live.snapshot();
+    println!(
+        "live_churn/merge: 16 segments @10% deletes -> 1 segment in {merge_cost:?} \
+         ({} live docs)",
+        merged_snapshot.live_doc_count(),
+    );
+
+    // Fresh monolithic build over the same live documents.
+    let survivor_texts: Vec<String> = (0..texts.len())
+        .filter(|i| i % 10 != 0)
+        .map(|i| texts[i].clone())
+        .collect();
+    let fresh = LiveIndex::from_corpus_with(
+        Corpus::from_texts(&survivor_texts),
+        LiveConfig {
+            background_merge: false,
+            ..LiveConfig::default()
+        },
+    );
+    let fresh_snapshot = fresh.snapshot();
+    let fresh_stats = SnapshotStats::compute(&fresh_snapshot);
+    let merged_stats = SnapshotStats::compute(&merged_snapshot);
+
+    let mut group = c.benchmark_group("live_churn_postmerge");
+    group.bench_function("bool_merged", |b| {
+        b.iter(|| black_box(run_bool(&merged_snapshot, &reg)).0)
+    });
+    group.bench_function("bool_fresh", |b| {
+        b.iter(|| black_box(run_bool(&fresh_snapshot, &reg)).0)
+    });
+    group.bench_function("topk10_merged", |b| {
+        b.iter(|| black_box(run_topk(&merged_snapshot, &reg, &merged_stats)).0)
+    });
+    group.bench_function("topk10_fresh", |b| {
+        b.iter(|| black_box(run_topk(&fresh_snapshot, &reg, &fresh_stats)).0)
+    });
+    group.finish();
+
+    let (merged_hits, merged_entries) = run_bool(&merged_snapshot, &reg);
+    let (fresh_hits, fresh_entries) = run_bool(&fresh_snapshot, &reg);
+    assert_eq!(merged_hits, fresh_hits, "merged and fresh must agree");
+    println!(
+        "live_churn/postmerge counters: bool merged {merged_entries} vs fresh \
+         {fresh_entries} entries (equal work = equal index shape)",
+    );
+}
+
+fn benches() {
+    let mut c = criterion();
+    bench_churn(&mut c);
+}
+
+criterion_main!(benches);

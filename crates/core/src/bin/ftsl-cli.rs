@@ -1,39 +1,55 @@
 //! `ftsl-cli` — a small command-line search shell over the library.
 //!
 //! ```text
-//! ftsl-cli [--analyzed] [--blocks-only] <file>...   index each file as one context node
+//! ftsl-cli [--analyzed] [--blocks-only] [--live] [<file>...]
 //! ```
 //!
-//! `--blocks-only` serves from the compressed blocks alone (single
-//! residency): the decoded list views are dropped after indexing, shrinking
-//! RAM to the compressed footprint plus a small LRU decode cache.
+//! Each file is indexed as one context node. `--blocks-only` serves from
+//! the compressed blocks alone (single residency). `--live` starts the
+//! **live engine** instead of a frozen index: documents can be added and
+//! deleted at any time (`:add`, `:delete`), the write buffer can be sealed
+//! (`:flush`), segments compacted (`:merge`), and `:stats` reports the
+//! per-segment footprint, live-document ratio, and tombstone counts.
 //!
 //! Then type queries (BOOL/DIST/COMP syntax) on stdin, one per line.
-//! Commands: `:explain <query>`, `:rank <query>`, `:top <k> <query>`,
-//! `:stats`, `:quit`.
+//! Commands: `:explain <query>` (frozen mode), `:rank <query>`,
+//! `:top <k> <query>`, `:stats`, `:quit`, and in live mode `:add <text>`,
+//! `:delete <node>`, `:flush`, `:merge`.
 
-use ftsl_core::{Ftsl, RankModel, Residency};
+use ftsl_core::{Ftsl, LiveConfig, LiveFtsl, RankModel, Residency};
 use ftsl_index::AccessCounters;
 use ftsl_model::analysis::AnalysisConfig;
+use ftsl_model::NodeId;
 use std::io::{BufRead, Write};
 
 fn main() {
     let mut analyzed = false;
     let mut blocks_only = false;
+    let mut live = false;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--analyzed" => analyzed = true,
             "--blocks-only" => blocks_only = true,
+            "--live" => live = true,
             "--help" | "-h" => {
-                eprintln!("usage: ftsl-cli [--analyzed] [--blocks-only] <file>...");
+                eprintln!("usage: ftsl-cli [--analyzed] [--blocks-only] [--live] [<file>...]");
                 return;
             }
             path => files.push(path.to_string()),
         }
     }
-    if files.is_empty() {
-        eprintln!("usage: ftsl-cli [--analyzed] [--blocks-only] <file>...");
+    if files.is_empty() && !live {
+        eprintln!("usage: ftsl-cli [--analyzed] [--blocks-only] [--live] [<file>...]");
+        eprintln!("(a frozen index needs at least one file; --live may start empty)");
+        std::process::exit(2);
+    }
+    if live && blocks_only {
+        // Refuse rather than silently ignore: live segments are served
+        // dual-resident today, so the flag would not do what it promises.
+        eprintln!(
+            "--blocks-only applies to the frozen index only (live segments are dual-resident)"
+        );
         std::process::exit(2);
     }
 
@@ -50,29 +66,18 @@ fn main() {
             }
         }
     }
-    let mut engine = if analyzed {
-        Ftsl::from_texts_analyzed(&texts, AnalysisConfig::english())
-    } else {
-        Ftsl::from_texts(&texts)
-    };
-    if blocks_only {
-        engine.set_residency(Residency::BlocksOnly);
-    }
-    let stats = engine.index().stats();
-    eprintln!(
-        "indexed {} documents ({} terms, {} max positions/node, {})",
-        engine.corpus().len(),
-        stats.vocabulary,
-        stats.pos_per_cnode,
-        engine.index().residency()
-    );
-    eprintln!("enter queries (:help for commands)");
 
+    if live {
+        run_live(&texts, names, analyzed);
+    } else {
+        run_frozen(&texts, names, analyzed, blocks_only);
+    }
+}
+
+/// Read stdin lines and hand them to `handle` until EOF or `:quit`.
+fn repl(mut handle: impl FnMut(&str) -> Result<(), Box<dyn std::error::Error>>) {
     let stdin = std::io::stdin();
-    let mut stdout = std::io::stdout();
     let mut line = String::new();
-    // Counters of the most recent query, reported by `:stats`.
-    let mut last_counters: Option<AccessCounters> = None;
     loop {
         eprint!("ftsl> ");
         line.clear();
@@ -86,13 +91,74 @@ fn main() {
         if input.is_empty() {
             continue;
         }
-        let result = dispatch(&engine, input, &names, &mut stdout, &mut last_counters);
-        if let Err(e) = result {
+        if let Err(e) = handle(input) {
             eprintln!("error: {e}");
         }
         if input == ":quit" {
             break;
         }
+    }
+}
+
+fn run_frozen(texts: &[String], names: Vec<String>, analyzed: bool, blocks_only: bool) {
+    let mut engine = if analyzed {
+        Ftsl::from_texts_analyzed(texts, AnalysisConfig::english())
+    } else {
+        Ftsl::from_texts(texts)
+    };
+    if blocks_only {
+        engine.set_residency(Residency::BlocksOnly);
+    }
+    let stats = engine.index().stats();
+    eprintln!(
+        "indexed {} documents ({} terms, {} max positions/node, {})",
+        engine.corpus().len(),
+        stats.vocabulary,
+        stats.pos_per_cnode,
+        engine.index().residency()
+    );
+    eprintln!("enter queries (:help for commands)");
+    let mut stdout = std::io::stdout();
+    let mut last_counters: Option<AccessCounters> = None;
+    repl(|input| dispatch(&engine, input, &names, &mut stdout, &mut last_counters));
+}
+
+fn run_live(texts: &[String], names: Vec<String>, analyzed: bool) {
+    let engine = if analyzed {
+        LiveFtsl::from_texts_analyzed(texts, AnalysisConfig::english(), LiveConfig::default())
+    } else {
+        LiveFtsl::from_texts_with(texts, LiveConfig::default())
+    };
+    eprintln!(
+        "live engine: {} seeded documents, background merge on (:help for commands)",
+        texts.len()
+    );
+    let mut stdout = std::io::stdout();
+    let mut last_counters: Option<AccessCounters> = None;
+    repl(|input| dispatch_live(&engine, input, &names, &mut stdout, &mut last_counters));
+}
+
+/// Display handle for a global node id: the seeding file name while the id
+/// falls in the seeded range, `node N` for documents added live.
+fn node_name(names: &[String], node: NodeId) -> String {
+    names
+        .get(node.index())
+        .cloned()
+        .unwrap_or_else(|| format!("node {}", node.0))
+}
+
+fn print_last_counters(
+    out: &mut impl Write,
+    last_counters: &Option<AccessCounters>,
+) -> std::io::Result<()> {
+    match last_counters {
+        Some(c) => writeln!(
+            out,
+            "last query: {} entries decoded, {} positions decoded, \
+             {} positions consumed, {} entries / {} blocks skipped",
+            c.entries, c.positions_decoded, c.positions, c.skipped, c.blocks_skipped
+        ),
+        None => writeln!(out, "last query: none yet"),
     }
 }
 
@@ -130,15 +196,7 @@ fn dispatch(
             "decode cache: {} lists, {} hits / {} misses, {}B",
             c.lists, c.hits, c.misses, c.resident_bytes
         )?;
-        match last_counters {
-            Some(c) => writeln!(
-                out,
-                "last query: {} entries decoded, {} positions decoded, \
-                 {} positions consumed, {} entries / {} blocks skipped",
-                c.entries, c.positions_decoded, c.positions, c.skipped, c.blocks_skipped
-            )?,
-            None => writeln!(out, "last query: none yet")?,
-        }
+        print_last_counters(out, last_counters)?;
         return Ok(());
     }
     if let Some(q) = input.strip_prefix(":explain ") {
@@ -151,7 +209,7 @@ fn dispatch(
         // `:stats` never misattributes an older query's numbers.
         *last_counters = None;
         for (node, score) in &ranked.hits {
-            writeln!(out, "{score:.5}  {}", names[node.index()])?;
+            writeln!(out, "{score:.5}  {}", node_name(names, *node))?;
         }
         return Ok(());
     }
@@ -163,7 +221,7 @@ fn dispatch(
         // `:stats` reflects *this* query, not an older one.
         *last_counters = ranked.counters;
         for (node, score) in &ranked.hits {
-            writeln!(out, "{score:.5}  {}", names[node.index()])?;
+            writeln!(out, "{score:.5}  {}", node_name(names, *node))?;
         }
         if let Some(c) = ranked.counters {
             writeln!(
@@ -186,7 +244,140 @@ fn dispatch(
         results.counters.positions_decoded
     )?;
     for node in &results.nodes {
-        writeln!(out, "  {}", names[node.index()])?;
+        writeln!(out, "  {}", node_name(names, *node))?;
+    }
+    Ok(())
+}
+
+fn dispatch_live(
+    engine: &LiveFtsl,
+    input: &str,
+    names: &[String],
+    out: &mut impl Write,
+    last_counters: &mut Option<AccessCounters>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if input == ":quit" {
+        return Ok(());
+    }
+    if input == ":help" {
+        writeln!(
+            out,
+            ":add <text> | :delete <node> | :flush | :merge | :rank <q> | \
+             :top <k> <q> | :stats | :quit"
+        )?;
+        return Ok(());
+    }
+    if let Some(text) = input.strip_prefix(":add ") {
+        let node = engine.add(text);
+        writeln!(out, "added node {}", node.0)?;
+        return Ok(());
+    }
+    if let Some(id) = input.strip_prefix(":delete ") {
+        let node = NodeId(id.trim().parse()?);
+        if engine.delete(node) {
+            writeln!(out, "deleted node {}", node.0)?;
+        } else {
+            writeln!(out, "node {} not found (or already deleted)", node.0)?;
+        }
+        return Ok(());
+    }
+    if input == ":flush" {
+        let sealed = engine.flush();
+        writeln!(
+            out,
+            "{}",
+            if sealed {
+                "write buffer sealed into a new segment"
+            } else {
+                "write buffer empty, nothing to flush"
+            }
+        )?;
+        return Ok(());
+    }
+    if input == ":merge" {
+        let merged = engine.merge();
+        writeln!(
+            out,
+            "{}",
+            if merged {
+                "segments compacted"
+            } else {
+                "nothing to compact"
+            }
+        )?;
+        return Ok(());
+    }
+    if input == ":stats" {
+        let snapshot = engine.snapshot();
+        let reports = snapshot.segment_reports();
+        writeln!(
+            out,
+            "{} live docs, {} tombstones, {} segment(s), version {}",
+            snapshot.live_doc_count(),
+            snapshot.tombstone_count(),
+            reports.len(),
+            snapshot.version()
+        )?;
+        let mut total_bytes = 0usize;
+        for r in &reports {
+            total_bytes += r.resident_bytes;
+            writeln!(
+                out,
+                "  segment {:>3}: {:>6} docs, {:>5} tombstones, live ratio {:.2}, {:>9}B",
+                r.id,
+                r.docs,
+                r.tombstones,
+                r.live_ratio(),
+                r.resident_bytes
+            )?;
+        }
+        writeln!(
+            out,
+            "  buffer: {} docs; total resident {}B",
+            engine.live_index().buffered_docs(),
+            total_bytes
+        )?;
+        print_last_counters(out, last_counters)?;
+        return Ok(());
+    }
+    if let Some(q) = input.strip_prefix(":rank ") {
+        let ranked = engine.search_ranked(q, RankModel::TfIdf)?;
+        *last_counters = None;
+        for (node, score) in &ranked.hits {
+            writeln!(out, "{score:.5}  {}", node_name(names, *node))?;
+        }
+        return Ok(());
+    }
+    if let Some(rest) = input.strip_prefix(":top ") {
+        let (k, q) = rest.split_once(' ').ok_or(":top needs <k> <query>")?;
+        let k: usize = k.parse()?;
+        let ranked = engine.search_top_k(q, RankModel::TfIdf, k)?;
+        *last_counters = ranked.counters;
+        for (node, score) in &ranked.hits {
+            writeln!(out, "{score:.5}  {}", node_name(names, *node))?;
+        }
+        if let Some(c) = ranked.counters {
+            writeln!(
+                out,
+                "[streamed: {} entries decoded, {} entries / {} blocks pruned]",
+                c.entries, c.skipped, c.blocks_skipped
+            )?;
+        }
+        return Ok(());
+    }
+    let results = engine.search(input)?;
+    *last_counters = Some(results.counters);
+    writeln!(
+        out,
+        "{} hit(s) [{} engine, {} class, {} entries read across {} segment(s)]",
+        results.len(),
+        results.engine,
+        results.class,
+        results.counters.entries,
+        engine.snapshot().num_segments()
+    )?;
+    for node in &results.nodes {
+        writeln!(out, "  {}", node_name(names, *node))?;
     }
     Ok(())
 }

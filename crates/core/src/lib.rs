@@ -17,11 +17,15 @@
 //! assert_eq!(hits.nodes.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
+pub mod live;
 pub mod results;
 
 pub use error::FtslError;
-pub use ftsl_index::Residency;
+pub use ftsl_index::{LiveConfig, Residency};
+pub use live::LiveFtsl;
 pub use results::{Ranked, SearchResults};
 
 use ftsl_calculus::CalcQuery;
@@ -327,7 +331,7 @@ impl Ftsl {
 }
 
 /// Collect the string tokens a surface query mentions (for TF-IDF weights).
-fn query_tokens(surface: &ftsl_lang::SurfaceQuery) -> Vec<String> {
+pub(crate) fn query_tokens(surface: &ftsl_lang::SurfaceQuery) -> Vec<String> {
     use ftsl_lang::{SurfaceQuery as S, TokenArg};
     fn walk(q: &S, out: &mut Vec<String>) {
         match q {

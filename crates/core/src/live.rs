@@ -1,0 +1,510 @@
+//! The live engine facade: mutations, snapshot reads, and every search
+//! path of [`crate::Ftsl`] over a dynamically maintained collection.
+//!
+//! [`LiveFtsl`] wraps an [`ftsl_index::LiveIndex`] (write buffer, sealed
+//! segments, tombstones, background tiered merge) and serves queries from
+//! point-in-time snapshots. Results are identical — bit-identical, the
+//! differential suite checks — to a [`crate::Ftsl`] rebuilt from the
+//! surviving documents: the engines run unchanged per segment, scoring uses
+//! merged collection statistics, and tombstoned documents are filtered
+//! inside the streaming evaluations.
+
+use crate::error::FtslError;
+use crate::results::{Ranked, SearchResults};
+use crate::{query_tokens, RankModel};
+use ftsl_calculus::CalcQuery;
+use ftsl_exec::engine::{EngineKind, ExecOptions};
+use ftsl_exec::snapshot::SnapshotExecutor;
+use ftsl_index::{LiveConfig, LiveIndex, SegmentReport, Snapshot};
+use ftsl_lang::rewrite::{map_tokens, Thesaurus};
+use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
+use ftsl_model::analysis::AnalysisConfig;
+use ftsl_model::{Corpus, NodeId, Tokenizer, TokenizerConfig};
+use ftsl_predicates::PredicateRegistry;
+use ftsl_scoring::topk::sort_ranked;
+use ftsl_scoring::{ScoredEvaluator, SnapshotStats};
+use std::sync::{Arc, Mutex};
+
+/// Snapshot + derived statistics cached for one mutation version, so a
+/// read-heavy workload pays for snapshot assembly and statistics merging
+/// once per write, not once per query.
+struct CachedView {
+    version: u64,
+    snapshot: Snapshot,
+    stats: Option<Arc<SnapshotStats>>,
+}
+
+/// The live full-text engine: `add`/`delete` documents at any time, search
+/// the current (or a pinned) snapshot with any of the paper's languages and
+/// scoring models.
+///
+/// ```
+/// use ftsl_core::{LiveFtsl, RankModel};
+///
+/// let engine = LiveFtsl::new();
+/// let a = engine.add("usability of a software measures how well it works");
+/// engine.add("an efficient algorithm for task completion");
+/// let hits = engine.search("'software' AND 'usability'").unwrap();
+/// assert_eq!(hits.node_ids(), vec![a.0]);
+/// engine.delete(a);
+/// assert!(engine.search("'software'").unwrap().nodes.is_empty());
+/// ```
+pub struct LiveFtsl {
+    live: LiveIndex,
+    registry: PredicateRegistry,
+    options: ExecOptions,
+    analysis: AnalysisConfig,
+    thesaurus: Thesaurus,
+    cache: Mutex<Option<CachedView>>,
+}
+
+impl Default for LiveFtsl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveFtsl {
+    /// An empty live engine with default configuration (background merging
+    /// on).
+    pub fn new() -> Self {
+        Self::with_config(LiveConfig::default())
+    }
+
+    /// An empty live engine with explicit index configuration.
+    pub fn with_config(config: LiveConfig) -> Self {
+        Self::assemble(LiveIndex::with_config(config), AnalysisConfig::none())
+    }
+
+    /// Seed from existing texts (sealed as the first segment), then accept
+    /// live traffic.
+    pub fn from_texts<S: AsRef<str>>(texts: &[S]) -> Self {
+        Self::from_texts_with(texts, LiveConfig::default())
+    }
+
+    /// [`Self::from_texts`] with explicit index configuration.
+    pub fn from_texts_with<S: AsRef<str>>(texts: &[S], config: LiveConfig) -> Self {
+        Self::assemble(
+            LiveIndex::from_corpus_with(Corpus::from_texts(texts), config),
+            AnalysisConfig::none(),
+        )
+    }
+
+    /// Seed from texts run through the stemming/stop-word analysis
+    /// pipeline; later [`Self::add`]s and query tokens get the same
+    /// treatment.
+    pub fn from_texts_analyzed<S: AsRef<str>>(
+        texts: &[S],
+        analysis: AnalysisConfig,
+        config: LiveConfig,
+    ) -> Self {
+        let tokenizer = Tokenizer::with_config(TokenizerConfig {
+            analysis: analysis.clone(),
+            ..Default::default()
+        });
+        let mut corpus = Corpus::new();
+        for text in texts {
+            corpus.add_text_with(&tokenizer, text.as_ref());
+        }
+        let live = LiveIndex::from_corpus_with(corpus, config).with_tokenizer(tokenizer);
+        Self::assemble(live, analysis)
+    }
+
+    fn assemble(live: LiveIndex, analysis: AnalysisConfig) -> Self {
+        LiveFtsl {
+            live,
+            registry: PredicateRegistry::with_builtins(),
+            options: ExecOptions::default(),
+            analysis,
+            thesaurus: Thesaurus::new(),
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// Replace execution options (layout, advance mode, NPRED strategy).
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Install a thesaurus: query tokens expand into synonym disjunctions
+    /// before evaluation, exactly as on the frozen engine.
+    pub fn set_thesaurus(&mut self, thesaurus: Thesaurus) {
+        self.thesaurus = thesaurus;
+    }
+
+    /// The underlying live index (flush/merge policy, version counter).
+    pub fn live_index(&self) -> &LiveIndex {
+        &self.live
+    }
+
+    /// The predicate registry.
+    pub fn registry(&self) -> &PredicateRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the predicate registry (register custom
+    /// predicates before querying).
+    pub fn registry_mut(&mut self) -> &mut PredicateRegistry {
+        &mut self.registry
+    }
+
+    // ── mutations ────────────────────────────────────────────────────────
+
+    /// Add one document; visible to every snapshot taken afterwards.
+    /// Returns its global node id (stable for the document's lifetime).
+    pub fn add(&self, text: &str) -> NodeId {
+        self.live.add_document(text)
+    }
+
+    /// Tombstone a document by global node id; `false` if unknown or
+    /// already deleted.
+    pub fn delete(&self, node: NodeId) -> bool {
+        self.live.delete_node(node)
+    }
+
+    /// Seal the write buffer into an immutable segment; `false` when the
+    /// buffer was empty.
+    pub fn flush(&self) -> bool {
+        self.live.flush()
+    }
+
+    /// Compact every sealed segment into one, reclaiming tombstones;
+    /// `false` when there was nothing to compact.
+    pub fn merge(&self) -> bool {
+        self.live.merge_all()
+    }
+
+    // ── snapshot reads ───────────────────────────────────────────────────
+
+    /// The current point-in-time view (cached per mutation version). Hold
+    /// it to pin a consistent collection across queries while writes
+    /// continue.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut cache = self.cache.lock().expect("live facade cache poisoned");
+        if let Some(c) = &*cache {
+            if c.version == self.live.version() {
+                return c.snapshot.clone();
+            }
+        }
+        let snapshot = self.live.snapshot();
+        *cache = Some(CachedView {
+            version: snapshot.version(),
+            snapshot: snapshot.clone(),
+            stats: None,
+        });
+        snapshot
+    }
+
+    /// Merged scoring statistics for a snapshot (cached when `snapshot` is
+    /// the current version's).
+    pub fn snapshot_stats(&self, snapshot: &Snapshot) -> Arc<SnapshotStats> {
+        let mut cache = self.cache.lock().expect("live facade cache poisoned");
+        if let Some(c) = &mut *cache {
+            if c.version == snapshot.version() {
+                if let Some(stats) = &c.stats {
+                    return Arc::clone(stats);
+                }
+                let stats = Arc::new(SnapshotStats::compute(snapshot));
+                c.stats = Some(Arc::clone(&stats));
+                return stats;
+            }
+        }
+        Arc::new(SnapshotStats::compute(snapshot))
+    }
+
+    /// Apply query-side rewrites (thesaurus, analysis) — same pipeline as
+    /// the frozen engine.
+    fn rewrite_query(&self, surface: &SurfaceQuery) -> SurfaceQuery {
+        let expanded = self.thesaurus.expand(surface);
+        map_tokens(&expanded, &|t| self.analysis.analyze(t))
+    }
+
+    /// Run a query (COMP syntax subsumes BOOL and DIST) on the current
+    /// snapshot with automatic engine dispatch. Node ids in the result are
+    /// *global* ids, as handed out by [`Self::add`].
+    pub fn search(&self, query: &str) -> Result<SearchResults, FtslError> {
+        self.search_with(query, Mode::Comp, EngineKind::Auto)
+    }
+
+    /// Run a query in an explicit language mode with an explicit engine.
+    pub fn search_with(
+        &self,
+        query: &str,
+        mode: Mode,
+        engine: EngineKind,
+    ) -> Result<SearchResults, FtslError> {
+        let surface = self.rewrite_query(&parse(query, mode)?);
+        let snapshot = self.snapshot();
+        let exec = SnapshotExecutor::with_options(&snapshot, &self.registry, self.options);
+        let output = exec.run_surface(&surface, engine)?;
+        Ok(SearchResults {
+            nodes: output.nodes,
+            counters: output.counters,
+            engine: output.engine,
+            class: output.class,
+        })
+    }
+
+    /// Exhaustively rank the current snapshot's matches under a scoring
+    /// model (per-segment scored-algebra evaluation with merged corpus
+    /// statistics).
+    pub fn search_ranked(&self, query: &str, model: RankModel) -> Result<Ranked, FtslError> {
+        let surface = self.rewrite_query(&parse(query, Mode::Comp)?);
+        let snapshot = self.snapshot();
+        let stats = self.snapshot_stats(&snapshot);
+        self.ranked_surface(&surface, model, &snapshot, &stats)
+    }
+
+    fn ranked_surface(
+        &self,
+        surface: &SurfaceQuery,
+        model: RankModel,
+        snapshot: &Snapshot,
+        stats: &SnapshotStats,
+    ) -> Result<Ranked, FtslError> {
+        let expr = lower(surface, &self.registry)?;
+        let calc = CalcQuery::new(expr);
+        let alg = ftsl_algebra::from_calculus::query_to_algebra(&calc, &self.registry)
+            .map_err(|e| FtslError::Internal(e.to_string()))?;
+        let tfidf = matches!(model, RankModel::TfIdf)
+            .then(|| stats.tfidf_model(&query_tokens(surface), snapshot));
+        let pra = matches!(model, RankModel::Pra).then(|| stats.pra_model(snapshot));
+        let mut hits: Vec<(NodeId, f64)> = Vec::new();
+        for (i, seg) in snapshot.segments().iter().enumerate() {
+            let data = seg.data();
+            let seg_stats = stats.segment(i);
+            let scored = match model {
+                RankModel::TfIdf => ScoredEvaluator::new(
+                    data.corpus(),
+                    data.index(),
+                    &self.registry,
+                    seg_stats,
+                    tfidf.clone().expect("model built for TfIdf"),
+                )
+                .rank(&alg),
+                RankModel::Pra => ScoredEvaluator::new(
+                    data.corpus(),
+                    data.index(),
+                    &self.registry,
+                    seg_stats,
+                    pra.clone().expect("model built for Pra"),
+                )
+                .rank(&alg),
+            }
+            .map_err(|e| FtslError::Internal(e.to_string()))?;
+            hits.extend(
+                scored
+                    .iter()
+                    .filter(|(n, _)| seg.deletes().is_live(n.index()))
+                    .map(|&(n, s)| (data.global_of(n.index()), s)),
+            );
+        }
+        sort_ranked(&mut hits);
+        Ok(Ranked {
+            hits,
+            model,
+            counters: None,
+        })
+    }
+
+    /// Streaming top-k over the current snapshot: per-segment
+    /// MaxScore/block-max pruned evaluation through tombstone-filtered
+    /// cursors, merged by ranking order. Falls back to exhaustive
+    /// rank-then-truncate for shapes the streaming engine cannot rank
+    /// (same dispatch as [`crate::Ftsl::search_top_k`]).
+    pub fn search_top_k(
+        &self,
+        query: &str,
+        model: RankModel,
+        k: usize,
+    ) -> Result<Ranked, FtslError> {
+        let surface = self.rewrite_query(&parse(query, Mode::Comp)?);
+        let snapshot = self.snapshot();
+        let stats = self.snapshot_stats(&snapshot);
+        let streamable = match model {
+            RankModel::TfIdf => ftsl_exec::scored::flat_disjunction(&surface).is_some(),
+            RankModel::Pra => classify(&surface, &self.registry) <= LanguageClass::Bool,
+        };
+        if streamable {
+            let exec = SnapshotExecutor::with_options(&snapshot, &self.registry, self.options);
+            let spec = ftsl_exec::ScoredTopK { k };
+            let streamed = match model {
+                RankModel::TfIdf => {
+                    let m = stats.tfidf_model(&query_tokens(&surface), &snapshot);
+                    exec.run_top_k(&surface, spec, &stats, &ftsl_exec::ScoreModel::TfIdf(&m))
+                }
+                RankModel::Pra => {
+                    let m = stats.pra_model(&snapshot);
+                    exec.run_top_k(&surface, spec, &stats, &ftsl_exec::ScoreModel::Pra(&m))
+                }
+            };
+            if let Ok(out) = streamed {
+                return Ok(Ranked {
+                    hits: out.hits,
+                    model,
+                    counters: Some(out.counters),
+                });
+            }
+        }
+        let mut ranked = self.ranked_surface(&surface, model, &snapshot, &stats)?;
+        ranked.hits.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Segment-level diagnostics: per-segment footprint, document and
+    /// tombstone counts (see [`SegmentReport`]), for the current snapshot.
+    pub fn segment_reports(&self) -> Vec<SegmentReport> {
+        self.snapshot().segment_reports()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ftsl;
+
+    fn manual() -> LiveConfig {
+        LiveConfig {
+            background_merge: false,
+            ..LiveConfig::default()
+        }
+    }
+
+    fn fixture() -> LiveFtsl {
+        let e = LiveFtsl::with_config(manual());
+        e.add("usability of a software measures how well the software supports users");
+        e.add("an efficient algorithm for task completion");
+        e.flush();
+        e.add("software task completion with efficient usability testing");
+        e.add("");
+        e
+    }
+
+    #[test]
+    fn live_search_matches_frozen_engine() {
+        let live = fixture();
+        let frozen = Ftsl::from_texts(&[
+            "usability of a software measures how well the software supports users",
+            "an efficient algorithm for task completion",
+            "software task completion with efficient usability testing",
+            "",
+        ]);
+        for q in [
+            "'software' AND 'usability'",
+            "'software' AND NOT 'efficient'",
+            "SOME p1 SOME p2 (p1 HAS 'task' AND p2 HAS 'completion' \
+             AND ordered(p1,p2) AND distance(p1,p2,0))",
+            "EVERY p1 (p1 HAS 'software')",
+        ] {
+            assert_eq!(
+                live.search(q).unwrap().node_ids(),
+                frozen.search(q).unwrap().node_ids(),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn deletes_take_effect_immediately_and_ids_stay_stable() {
+        let live = fixture();
+        assert_eq!(live.search("'software'").unwrap().node_ids(), vec![0, 2]);
+        assert!(live.delete(NodeId(0)));
+        assert_eq!(live.search("'software'").unwrap().node_ids(), vec![2]);
+        let d = live.add("software again");
+        assert_eq!(d, NodeId(4));
+        assert_eq!(live.search("'software'").unwrap().node_ids(), vec![2, 4]);
+    }
+
+    #[test]
+    fn ranked_and_top_k_agree_with_rebuilt_frozen_engine() {
+        let live = fixture();
+        live.delete(NodeId(1));
+        live.add("usability testing of software tools");
+        // Rebuild a frozen engine over the survivors, in order.
+        let frozen = Ftsl::from_texts(&[
+            "usability of a software measures how well the software supports users",
+            "software task completion with efficient usability testing",
+            "",
+            "usability testing of software tools",
+        ]);
+        // Map live global ids -> frozen dense ids: 0->0, 2->1, 3->2, 4->3.
+        let remap = |n: NodeId| match n.0 {
+            0 => 0u32,
+            2 => 1,
+            3 => 2,
+            4 => 3,
+            other => panic!("unexpected live id {other}"),
+        };
+        for model in [RankModel::TfIdf, RankModel::Pra] {
+            let a = live
+                .search_ranked("'software' OR 'usability'", model)
+                .unwrap();
+            let b = frozen
+                .search_ranked("'software' OR 'usability'", model)
+                .unwrap();
+            assert_eq!(a.hits.len(), b.hits.len());
+            for (x, y) in a.hits.iter().zip(&b.hits) {
+                assert_eq!(remap(x.0), y.0 .0, "{model:?} order");
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "{model:?} score bits");
+            }
+            let a = live
+                .search_top_k("'software' OR 'usability'", model, 2)
+                .unwrap();
+            let b = frozen
+                .search_top_k("'software' OR 'usability'", model, 2)
+                .unwrap();
+            assert!(a.counters.is_some(), "live top-k streams");
+            for (x, y) in a.hits.iter().zip(&b.hits) {
+                assert_eq!(remap(x.0), y.0 .0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_pins_a_consistent_view() {
+        let live = fixture();
+        let snap = live.snapshot();
+        live.add("a new software document");
+        live.delete(NodeId(2));
+        assert_eq!(snap.live_doc_count(), 4, "pinned");
+        // Fresh queries see the new state.
+        assert_eq!(live.search("'software'").unwrap().node_ids(), vec![0, 4]);
+    }
+
+    #[test]
+    fn snapshot_and_stats_are_cached_per_version() {
+        let live = fixture();
+        let s1 = live.snapshot();
+        let s2 = live.snapshot();
+        assert_eq!(s1.version(), s2.version());
+        let st1 = live.snapshot_stats(&s1);
+        let st2 = live.snapshot_stats(&s2);
+        assert!(Arc::ptr_eq(&st1, &st2), "stats computed once per version");
+        live.add("invalidates");
+        let s3 = live.snapshot();
+        assert_ne!(s1.version(), s3.version());
+    }
+
+    #[test]
+    fn comp_shapes_fall_back_to_exhaustive_rank() {
+        let live = fixture();
+        let r = live
+            .search_top_k("SOME p1 (p1 HAS 'software')", RankModel::TfIdf, 1)
+            .unwrap();
+        assert!(r.counters.is_none(), "COMP shape cannot stream");
+        assert_eq!(r.hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_live_engine_serves_queries() {
+        let live = LiveFtsl::with_config(manual());
+        assert!(live.search("'anything'").unwrap().nodes.is_empty());
+        assert!(live
+            .search_ranked("'anything'", RankModel::TfIdf)
+            .unwrap()
+            .hits
+            .is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Differential property tests for the live segmented index.
+//!
+//! The contract under test: after **any** interleaving of adds, deletes,
+//! flushes, and merges, every engine — BOOL, PPRED, NPRED, COMP, exhaustive
+//! scored ranking, and streaming top-k, on both physical layouts — run over
+//! a [`Snapshot`] produces results *bit-identical* to a monolithic engine
+//! rebuilt from scratch over the surviving documents. Global node ids remap
+//! to the rebuild's dense ids by survivor order; scores are compared by
+//! their exact bit patterns (the merged statistics and the canonical
+//! combine order make them exactly equal, not merely close).
+//!
+//! Snapshot isolation is part of the same contract: a snapshot taken
+//! mid-sequence keeps answering for the collection as it was, no matter
+//! what later mutations and merges do — including merges running on the
+//! background thread while the snapshot is held.
+
+use ftsl_core::{Ftsl, LiveConfig, LiveFtsl, RankModel};
+use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+use ftsl_exec::snapshot::SnapshotExecutor;
+use ftsl_exec::{ScoreModel, ScoredTopK};
+use ftsl_index::IndexLayout;
+use ftsl_model::NodeId;
+use ftsl_predicates::PredicateRegistry;
+use ftsl_scoring::{ScoreStats, SnapshotStats, TfIdfModel};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const VOCAB: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
+
+/// One mutation against the live index.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Add a document rendered from vocabulary indices (6/7 insert sentence
+    /// breaks, 8 paragraph breaks, so positional predicates have structure).
+    Add(Vec<usize>),
+    /// Delete the `i % docs`-th ever-added document (no-op when already
+    /// deleted).
+    Delete(usize),
+    /// Seal the write buffer.
+    Flush,
+    /// One round of the tiered merge policy.
+    MergeTier,
+    /// Full compaction.
+    MergeAll,
+}
+
+fn render(tokens: &[usize]) -> String {
+    let mut text = String::new();
+    for &t in tokens {
+        match t {
+            0..=5 => {
+                text.push_str(VOCAB[t]);
+                text.push(' ');
+            }
+            6 | 7 => text.push_str(". "),
+            _ => text.push_str("\n\n"),
+        }
+    }
+    text
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => proptest::collection::vec(0usize..9, 0..12).prop_map(Op::Add),
+            3 => (0usize..64).prop_map(Op::Delete),
+            2 => Just(Op::Flush),
+            1 => Just(Op::MergeTier),
+            1 => Just(Op::MergeAll),
+        ],
+        1..32,
+    )
+}
+
+fn manual_config() -> LiveConfig {
+    LiveConfig {
+        background_merge: false,
+        // Small fan-in and threshold so random sequences actually exercise
+        // auto-flush and tiered merging.
+        flush_threshold: 6,
+        merge_fanin: 2,
+        ..LiveConfig::default()
+    }
+}
+
+/// Replay `ops`; returns the live engine plus the surviving `(global id,
+/// text)` pairs in ascending global order.
+fn apply(ops: &[Op]) -> (LiveFtsl, Vec<(u32, String)>) {
+    let engine = LiveFtsl::with_config(manual_config());
+    let mut docs: Vec<(u32, String, bool)> = Vec::new();
+    for op in ops {
+        apply_one(&engine, op, &mut docs);
+    }
+    let survivors = docs
+        .into_iter()
+        .filter(|(_, _, alive)| *alive)
+        .map(|(g, t, _)| (g, t))
+        .collect();
+    (engine, survivors)
+}
+
+fn apply_one(engine: &LiveFtsl, op: &Op, docs: &mut Vec<(u32, String, bool)>) {
+    match op {
+        Op::Add(tokens) => {
+            let text = render(tokens);
+            let node = engine.add(&text);
+            docs.push((node.0, text, true));
+        }
+        Op::Delete(i) => {
+            if !docs.is_empty() {
+                let i = i % docs.len();
+                if docs[i].2 {
+                    assert!(engine.delete(NodeId(docs[i].0)), "live doc must delete");
+                    docs[i].2 = false;
+                }
+            }
+        }
+        Op::Flush => {
+            engine.flush();
+        }
+        Op::MergeTier => {
+            engine.live_index().maybe_merge();
+        }
+        Op::MergeAll => {
+            engine.merge();
+        }
+    }
+}
+
+/// Frozen oracle over the survivors, plus the global→dense id map.
+fn rebuild(survivors: &[(u32, String)]) -> (Ftsl, HashMap<u32, u32>) {
+    let texts: Vec<&str> = survivors.iter().map(|(_, t)| t.as_str()).collect();
+    let remap = survivors
+        .iter()
+        .enumerate()
+        .map(|(dense, &(global, _))| (global, dense as u32))
+        .collect();
+    (Ftsl::from_texts(&texts), remap)
+}
+
+/// The query battery: one representative per engine family.
+const SET_QUERIES: &[(&str, EngineKind)] = &[
+    ("'alpha'", EngineKind::Auto),
+    ("'alpha' AND 'beta'", EngineKind::Auto),
+    ("'alpha' AND NOT 'beta'", EngineKind::Auto),
+    ("NOT 'alpha'", EngineKind::Auto),
+    ("'gamma' OR ('beta' AND 'eps')", EngineKind::Auto),
+    (
+        "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND distance(p1,p2,3))",
+        EngineKind::Auto, // PPRED
+    ),
+    (
+        "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'gamma' AND ordered(p1,p2) AND samepara(p1,p2))",
+        EngineKind::Auto, // PPRED, structured positions
+    ),
+    (
+        "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'alpha' AND diffpos(p1,p2))",
+        EngineKind::Auto, // NPRED
+    ),
+    ("EVERY p1 (p1 HAS 'alpha')", EngineKind::Auto), // COMP
+    ("'alpha' AND 'beta'", EngineKind::Comp),        // forced materialization
+];
+
+/// Compare every set-producing engine on a snapshot against the frozen
+/// oracle, on both layouts.
+fn assert_sets_match(
+    engine: &LiveFtsl,
+    frozen: &Ftsl,
+    remap: &HashMap<u32, u32>,
+    ctx: &str,
+) -> Result<(), ()> {
+    let snapshot = engine.snapshot();
+    let reg = PredicateRegistry::with_builtins();
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let options = ExecOptions {
+            layout,
+            ..Default::default()
+        };
+        let live_exec = SnapshotExecutor::with_options(&snapshot, &reg, options);
+        let frozen_exec = Executor::with_options(frozen.corpus(), frozen.index(), &reg, options);
+        for (query, kind) in SET_QUERIES {
+            let live_out = live_exec.run_str(query, *kind).expect("live run");
+            let frozen_out = frozen_exec.run_str(query, *kind).expect("frozen run");
+            let live_dense: Vec<u32> = live_out
+                .nodes
+                .iter()
+                .map(|n| *remap.get(&n.0).expect("live result must be a survivor"))
+                .collect();
+            let frozen_ids: Vec<u32> = frozen_out.nodes.iter().map(|n| n.0).collect();
+            prop_assert_eq!(
+                &live_dense,
+                &frozen_ids,
+                "{}: {} on {:?} diverged",
+                ctx,
+                query,
+                layout
+            );
+        }
+    }
+    Ok(())
+}
+
+const SCORED_QUERIES: &[&str] = &[
+    "'alpha'",
+    "'alpha' OR 'beta' OR 'eps'",
+    "('alpha' AND 'beta') OR NOT 'gamma'",
+    "'zeta' AND NOT 'alpha'",
+];
+
+/// Compare exhaustive ranking and streaming top-k, bit-exactly.
+fn assert_scores_match(
+    engine: &LiveFtsl,
+    frozen: &Ftsl,
+    remap: &HashMap<u32, u32>,
+    ctx: &str,
+) -> Result<(), ()> {
+    for model in [RankModel::TfIdf, RankModel::Pra] {
+        for query in SCORED_QUERIES {
+            let live = engine.search_ranked(query, model).expect("live rank");
+            let frozen_r = frozen.search_ranked(query, model).expect("frozen rank");
+            prop_assert_eq!(
+                live.hits.len(),
+                frozen_r.hits.len(),
+                "{}: {} {:?} hit count",
+                ctx,
+                query,
+                model
+            );
+            for (l, f) in live.hits.iter().zip(&frozen_r.hits) {
+                prop_assert_eq!(
+                    remap[&l.0 .0],
+                    f.0 .0,
+                    "{}: {} {:?} order",
+                    ctx,
+                    query,
+                    model
+                );
+                prop_assert_eq!(
+                    l.1.to_bits(),
+                    f.1.to_bits(),
+                    "{}: {} {:?} score bits",
+                    ctx,
+                    query,
+                    model
+                );
+            }
+            for k in [1usize, 3, 10] {
+                let live = engine.search_top_k(query, model, k).expect("live topk");
+                let frozen_t = frozen.search_top_k(query, model, k).expect("frozen topk");
+                prop_assert_eq!(live.hits.len(), frozen_t.hits.len());
+                for (l, f) in live.hits.iter().zip(&frozen_t.hits) {
+                    prop_assert_eq!(remap[&l.0 .0], f.0 .0);
+                    prop_assert_eq!(l.1.to_bits(), f.1.to_bits());
+                }
+            }
+        }
+    }
+    // The streaming union on the Blocks layout (per-segment block-max
+    // pruning) against the frozen Blocks run.
+    let snapshot = engine.snapshot();
+    let stats = SnapshotStats::compute(&snapshot);
+    let reg = PredicateRegistry::with_builtins();
+    let options = ExecOptions {
+        layout: IndexLayout::Blocks,
+        ..Default::default()
+    };
+    let q = ftsl_lang::parse("'alpha' OR 'beta' OR 'eps'", ftsl_lang::Mode::Comp).unwrap();
+    let tokens = ["alpha", "beta", "eps"];
+    let live_model = stats.tfidf_model(&tokens, &snapshot);
+    let frozen_stats = ScoreStats::compute(frozen.corpus(), frozen.index());
+    let frozen_model = TfIdfModel::for_query(&tokens, frozen.corpus(), &frozen_stats);
+    let live_out = SnapshotExecutor::with_options(&snapshot, &reg, options)
+        .run_top_k(
+            &q,
+            ScoredTopK { k: 5 },
+            &stats,
+            &ScoreModel::TfIdf(&live_model),
+        )
+        .expect("live blocks topk");
+    let frozen_out = ftsl_exec::scored::run_scored_top_k(
+        &q,
+        frozen.corpus(),
+        frozen.index(),
+        &frozen_stats,
+        &ScoreModel::TfIdf(&frozen_model),
+        IndexLayout::Blocks,
+        ScoredTopK { k: 5 },
+    )
+    .expect("frozen blocks topk");
+    prop_assert_eq!(live_out.hits.len(), frozen_out.hits.len(), "{}", ctx);
+    for (l, f) in live_out.hits.iter().zip(&frozen_out.hits) {
+        prop_assert_eq!(remap[&l.0 .0], f.0 .0, "{}: blocks topk order", ctx);
+        prop_assert_eq!(l.1.to_bits(), f.1.to_bits(), "{}: blocks topk bits", ctx);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of adds/deletes/flushes/merges: all engines on the
+    /// snapshot ≡ the monolithic rebuild, both layouts.
+    #[test]
+    fn snapshot_equals_monolithic_rebuild(ops in arb_ops()) {
+        let (engine, survivors) = apply(&ops);
+        let (frozen, remap) = rebuild(&survivors);
+        assert_sets_match(&engine, &frozen, &remap, "final state")?;
+        assert_scores_match(&engine, &frozen, &remap, "final state")?;
+    }
+
+    /// A snapshot taken mid-sequence answers for the state at that moment,
+    /// no matter what the rest of the sequence does to the live index.
+    #[test]
+    fn held_snapshot_is_isolated_from_later_mutations(
+        ops in arb_ops(),
+        split in 0usize..32,
+    ) {
+        let split = split.min(ops.len());
+        let engine = LiveFtsl::with_config(manual_config());
+        let mut docs: Vec<(u32, String, bool)> = Vec::new();
+        for op in &ops[..split] {
+            apply_one(&engine, op, &mut docs);
+        }
+        let pinned = engine.snapshot();
+        let survivors_then: Vec<(u32, String)> = docs
+            .iter()
+            .filter(|(_, _, alive)| *alive)
+            .map(|(g, t, _)| (*g, t.clone()))
+            .collect();
+        // Churn on: the pinned snapshot must not move.
+        for op in &ops[split..] {
+            apply_one(&engine, op, &mut docs);
+        }
+        engine.merge();
+
+        let (frozen, remap) = rebuild(&survivors_then);
+        let reg = PredicateRegistry::with_builtins();
+        let exec = SnapshotExecutor::new(&pinned, &reg);
+        let frozen_exec = Executor::new(frozen.corpus(), frozen.index(), &reg);
+        for (query, kind) in SET_QUERIES {
+            let live_out = exec.run_str(query, *kind).expect("pinned run");
+            let frozen_out = frozen_exec.run_str(query, *kind).expect("frozen run");
+            let live_dense: Vec<u32> = live_out
+                .nodes
+                .iter()
+                .map(|n| *remap.get(&n.0).expect("pinned result must be a then-survivor"))
+                .collect();
+            let frozen_ids: Vec<u32> = frozen_out.nodes.iter().map(|n| n.0).collect();
+            prop_assert_eq!(&live_dense, &frozen_ids, "pinned: {} diverged", query);
+        }
+    }
+}
+
+/// Snapshot isolation under a *background* merge thread: hold a snapshot,
+/// churn hard enough to keep the merger busy, and verify the held snapshot
+/// still answers byte-for-byte as the frozen rebuild of its moment — while
+/// the live index keeps serving the new state correctly.
+#[test]
+fn held_snapshot_survives_concurrent_background_merges() {
+    let engine = LiveFtsl::with_config(LiveConfig {
+        background_merge: true,
+        flush_threshold: 4,
+        merge_fanin: 2,
+        ..LiveConfig::default()
+    });
+    let mut texts = Vec::new();
+    for i in 0..24 {
+        let text = format!(
+            "alpha doc{i} {} beta",
+            if i % 3 == 0 { "gamma" } else { "delta" }
+        );
+        engine.add(&text);
+        texts.push(text);
+    }
+    engine.flush();
+    let pinned = engine.snapshot();
+    let (frozen, _) = rebuild(
+        &texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.clone()))
+            .collect::<Vec<_>>(),
+    );
+
+    // Churn: deletes and adds with tiny flush threshold wake the merger
+    // over and over while we repeatedly query the pinned snapshot.
+    let reg = PredicateRegistry::with_builtins();
+    for round in 0..30 {
+        engine.add(&format!("churn {round} beta eps"));
+        if round % 2 == 0 {
+            engine.delete(NodeId(round));
+        }
+        let exec = SnapshotExecutor::new(&pinned, &reg);
+        let out = exec
+            .run_str("'alpha' AND 'beta'", EngineKind::Auto)
+            .unwrap();
+        let frozen_out = Executor::new(frozen.corpus(), frozen.index(), &reg)
+            .run_str("'alpha' AND 'beta'", EngineKind::Auto)
+            .unwrap();
+        assert_eq!(
+            out.nodes, frozen_out.nodes,
+            "pinned snapshot moved during round {round}"
+        );
+    }
+    // Let the merger catch up, then check the *live* view: the churn docs
+    // answer (minus the three that were deleted — ids 24/26/28 are churn
+    // rounds 0/2/4), and a seeded doc deleted in round 0 is gone.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    assert_eq!(engine.search("'eps'").unwrap().nodes.len(), 27);
+    assert!(engine.search("'doc0'").unwrap().nodes.is_empty());
+    // After a full merge the same answers hold, now from one segment.
+    engine.merge();
+    assert_eq!(engine.search("'eps'").unwrap().nodes.len(), 27);
+    assert!(engine.search("'doc0'").unwrap().nodes.is_empty());
+}
+
+/// Mutating concurrently from several threads: the index stays consistent
+/// (every surviving document answers, every deleted one does not).
+#[test]
+fn concurrent_writers_and_readers_stay_consistent() {
+    let engine = LiveFtsl::with_config(LiveConfig {
+        background_merge: true,
+        flush_threshold: 8,
+        merge_fanin: 2,
+        ..LiveConfig::default()
+    });
+    std::thread::scope(|scope| {
+        let e = &engine;
+        let writer = scope.spawn(move || {
+            let mut added = Vec::new();
+            for i in 0..60 {
+                added.push(e.add(&format!("writer doc{i} alpha")));
+                if i % 7 == 0 {
+                    e.flush();
+                }
+                if i % 5 == 0 {
+                    if let Some(&n) = added.get(i / 2) {
+                        e.delete(n);
+                    }
+                }
+            }
+        });
+        let reader = scope.spawn(move || {
+            for _ in 0..40 {
+                let snap = e.snapshot();
+                // A snapshot is internally consistent: every live doc it
+                // reports resolves, and counts add up.
+                let live = snap.live_doc_count();
+                let listed = snap.live_documents().count();
+                assert_eq!(live, listed);
+                let hits = e.search("'alpha'").unwrap();
+                for n in &hits.nodes {
+                    // Hits come from *some* recent snapshot; they must at
+                    // least be ids that were ever assigned.
+                    assert!(n.0 < 60);
+                }
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+    engine.merge();
+    let snap = engine.snapshot();
+    assert_eq!(snap.live_doc_count(), engine.live_index().live_doc_count());
+}

@@ -89,8 +89,10 @@ pub mod project;
 pub mod scored;
 pub mod select;
 pub mod setops;
+pub mod snapshot;
 
 pub use engine::{EngineKind, Executor, QueryOutput};
 pub use error::{ExecError, PlanError};
 pub use plan::{build_plan, PlanNode};
 pub use scored::{ScoreModel, ScoredOutput, ScoredPath, ScoredTopK};
+pub use snapshot::SnapshotExecutor;

@@ -11,7 +11,7 @@
 //! measurable.
 
 use crate::error::ExecError;
-use ftsl_index::{AccessCounters, IndexLayout, InvertedIndex};
+use ftsl_index::{AccessCounters, DeleteSet, IndexLayout, InvertedIndex};
 use ftsl_lang::SurfaceQuery;
 use ftsl_model::{Corpus, NodeId};
 use ftsl_scoring::{PraModel, ScoreStats, TfIdfModel};
@@ -81,6 +81,23 @@ pub fn run_scored_top_k(
     layout: IndexLayout,
     spec: ScoredTopK,
 ) -> Result<ScoredOutput, ExecError> {
+    run_scored_top_k_filtered(query, corpus, index, stats, model, layout, spec, None)
+}
+
+/// [`run_scored_top_k`] over one live-index segment: a delete set routes
+/// every streaming path through its tombstone-filtered variant, so deleted
+/// documents neither appear in nor displace the top-k.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scored_top_k_filtered(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &ScoreModel<'_>,
+    layout: IndexLayout,
+    spec: ScoredTopK,
+    live: Option<&DeleteSet>,
+) -> Result<ScoredOutput, ExecError> {
     let flat = flat_disjunction(query);
     match model {
         ScoreModel::TfIdf(m) => {
@@ -93,7 +110,9 @@ pub fn run_scored_top_k(
                     ),
                 });
             };
-            let out = ftsl_scoring::topk_tfidf(&tokens, corpus, index, stats, m, layout, spec.k);
+            let out = ftsl_scoring::topk_tfidf_filtered(
+                &tokens, corpus, index, stats, m, layout, spec.k, live,
+            );
             Ok(ScoredOutput {
                 hits: out.hits,
                 counters: out.counters,
@@ -102,8 +121,8 @@ pub fn run_scored_top_k(
         }
         ScoreModel::Pra(m) => {
             if let Some(tokens) = flat {
-                let out = ftsl_scoring::topk_pra_disjunction(
-                    &tokens, corpus, index, stats, m, layout, spec.k,
+                let out = ftsl_scoring::topk_pra_disjunction_filtered(
+                    &tokens, corpus, index, stats, m, layout, spec.k, live,
                 );
                 return Ok(ScoredOutput {
                     hits: out.hits,
@@ -111,8 +130,10 @@ pub fn run_scored_top_k(
                     path: ScoredPath::PrunedUnion,
                 });
             }
-            let out = ftsl_scoring::run_bool_topk(query, corpus, index, stats, m, layout, spec.k)
-                .map_err(|reason| ExecError::WrongEngine {
+            let out = ftsl_scoring::run_bool_topk_filtered(
+                query, corpus, index, stats, m, layout, spec.k, live,
+            )
+            .map_err(|reason| ExecError::WrongEngine {
                 engine: "TOPK",
                 reason,
             })?;

@@ -1,0 +1,317 @@
+//! Query evaluation over a live-index [`Snapshot`]: every engine, unchanged,
+//! across segments.
+//!
+//! A snapshot is a list of segments, each an ordinary corpus + inverted
+//! index over *local* node ids plus a tombstone bitmap. Every query in this
+//! workspace is per-node — a context node matches (and scores) based on its
+//! own content plus collection-level statistics — so multi-segment
+//! evaluation decomposes exactly:
+//!
+//! 1. run the engine on each segment as-is (the engines are byte-for-byte
+//!    the single-index ones; the compressed layout, seeking cursors, and
+//!    plan selection all apply per segment);
+//! 2. drop tombstoned nodes (streaming top-k filters *inside* the
+//!    evaluation via [`ftsl_index::DeleteFilteredCursor`], so deleted
+//!    documents cannot occupy heap slots; the set-producing engines filter
+//!    their result lists);
+//! 3. remap surviving local ids to global ids and concatenate — segments
+//!    own disjoint, ascending global ranges, so concatenation *is* the
+//!    merged ascending result;
+//! 4. **sum** the per-segment [`AccessCounters`] into one report (the
+//!    total decode work of the query, not the work of whichever segment
+//!    happened to run last).
+//!
+//! Scored paths take their statistics from
+//! [`ftsl_scoring::SnapshotStats`], whose per-segment [`ScoreStats`] carry
+//! collection-wide `df`/`db_size` — which is what makes snapshot scores
+//! bit-identical to a monolithic index over the same live documents.
+
+use crate::engine::{EngineKind, EngineUsed, ExecOptions, Executor, QueryOutput};
+use crate::error::ExecError;
+use crate::scored::{run_scored_top_k_filtered, ScoreModel, ScoredOutput, ScoredPath, ScoredTopK};
+use ftsl_index::{AccessCounters, IndexBuilder, InvertedIndex, Snapshot};
+use ftsl_lang::{classify, parse, LanguageClass, Mode, SurfaceQuery};
+use ftsl_model::{Corpus, NodeId};
+use ftsl_predicates::PredicateRegistry;
+use ftsl_scoring::{topk::sort_ranked, ScoreStats, SnapshotStats};
+use std::sync::OnceLock;
+
+/// The empty corpus/index pair a zero-segment snapshot evaluates against,
+/// so error semantics (wrong engine, unstreamable shapes) match a frozen
+/// empty index exactly.
+fn empty_pair() -> &'static (Corpus, InvertedIndex) {
+    static EMPTY: OnceLock<(Corpus, InvertedIndex)> = OnceLock::new();
+    EMPTY.get_or_init(|| {
+        let corpus = Corpus::new();
+        let index = IndexBuilder::new().build(&corpus);
+        (corpus, index)
+    })
+}
+
+/// Executor over a point-in-time snapshot of a live index.
+pub struct SnapshotExecutor<'a> {
+    snapshot: &'a Snapshot,
+    registry: &'a PredicateRegistry,
+    options: ExecOptions,
+}
+
+impl<'a> SnapshotExecutor<'a> {
+    /// Executor with default options.
+    pub fn new(snapshot: &'a Snapshot, registry: &'a PredicateRegistry) -> Self {
+        Self::with_options(snapshot, registry, ExecOptions::default())
+    }
+
+    /// Executor with explicit options (layout, advance mode, ...).
+    pub fn with_options(
+        snapshot: &'a Snapshot,
+        registry: &'a PredicateRegistry,
+        options: ExecOptions,
+    ) -> Self {
+        SnapshotExecutor {
+            snapshot,
+            registry,
+            options,
+        }
+    }
+
+    /// Parse a query (COMP syntax subsumes all three languages) and run it.
+    pub fn run_str(&self, input: &str, engine: EngineKind) -> Result<QueryOutput, ExecError> {
+        let surface = parse(input, Mode::Comp).map_err(|e| ExecError::Lang(e.to_string()))?;
+        self.run_surface(&surface, engine)
+    }
+
+    /// Run an already-parsed surface query over every segment, returning
+    /// globally-remapped matches in ascending global-id order with the
+    /// per-segment work counters summed.
+    pub fn run_surface(
+        &self,
+        surface: &SurfaceQuery,
+        engine: EngineKind,
+    ) -> Result<QueryOutput, ExecError> {
+        let class = classify(surface, self.registry);
+        if self.snapshot.segments().is_empty() {
+            let (corpus, index) = empty_pair();
+            let exec = Executor::with_options(corpus, index, self.registry, self.options);
+            return exec.run_surface(surface, engine);
+        }
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut counters = AccessCounters::new();
+        let mut used: Option<EngineUsed> = None;
+        for seg in self.snapshot.segments() {
+            let data = seg.data();
+            let exec =
+                Executor::with_options(data.corpus(), data.index(), self.registry, self.options);
+            let out = exec.run_surface(surface, engine)?;
+            counters += out.counters;
+            // A segment may individually fall back (e.g. PPRED → COMP);
+            // report the most general engine any segment needed.
+            used = Some(match used {
+                Some(prev) => max_engine(prev, out.engine),
+                None => out.engine,
+            });
+            nodes.extend(
+                out.nodes
+                    .iter()
+                    .filter(|n| seg.deletes().is_live(n.index()))
+                    .map(|n| data.global_of(n.index())),
+            );
+        }
+        Ok(QueryOutput {
+            nodes,
+            counters,
+            engine: used.expect("at least one segment ran"),
+            class,
+        })
+    }
+
+    /// Run a streaming scored top-k query across segments: each segment
+    /// streams through its tombstone-filtered cursors with collection-wide
+    /// statistics, the per-segment top-k lists merge by ranking order, and
+    /// the counters report the summed decode/skip work.
+    pub fn run_top_k(
+        &self,
+        surface: &SurfaceQuery,
+        spec: ScoredTopK,
+        stats: &SnapshotStats,
+        model: &ScoreModel<'_>,
+    ) -> Result<ScoredOutput, ExecError> {
+        if self.snapshot.segments().is_empty() {
+            let (corpus, index) = empty_pair();
+            let empty_stats = ScoreStats::compute(corpus, index);
+            return run_scored_top_k_filtered(
+                surface,
+                corpus,
+                index,
+                &empty_stats,
+                model,
+                self.options.layout,
+                spec,
+                None,
+            );
+        }
+        let mut hits: Vec<(NodeId, f64)> = Vec::new();
+        let mut counters = AccessCounters::new();
+        let mut path = ScoredPath::PrunedUnion;
+        for (i, seg) in self.snapshot.segments().iter().enumerate() {
+            let data = seg.data();
+            let out = run_scored_top_k_filtered(
+                surface,
+                data.corpus(),
+                data.index(),
+                stats.segment(i),
+                model,
+                self.options.layout,
+                spec,
+                Some(seg.deletes()),
+            )?;
+            counters += out.counters;
+            path = out.path;
+            hits.extend(
+                out.hits
+                    .iter()
+                    .map(|&(n, s)| (data.global_of(n.index()), s)),
+            );
+        }
+        // Per-segment lists are each the exact top-k of their segment; the
+        // global top-k is the best k of their union under the same ranking
+        // order (tie-breaks now on *global* ids, which respect per-segment
+        // local order).
+        sort_ranked(&mut hits);
+        hits.truncate(spec.k);
+        Ok(ScoredOutput {
+            hits,
+            counters,
+            path,
+        })
+    }
+
+    /// The snapshot this executor reads.
+    pub fn snapshot(&self) -> &Snapshot {
+        self.snapshot
+    }
+
+    /// The language class the query would be assigned (Figure 3).
+    pub fn classify(&self, surface: &SurfaceQuery) -> LanguageClass {
+        classify(surface, self.registry)
+    }
+}
+
+/// The more general of two engines (dispatch order of Figure 3): if any
+/// segment needed the COMP fallback, the query as a whole is reported as
+/// COMP.
+fn max_engine(a: EngineUsed, b: EngineUsed) -> EngineUsed {
+    let rank = |e: EngineUsed| match e {
+        EngineUsed::Bool => 0,
+        EngineUsed::Ppred => 1,
+        EngineUsed::Npred => 2,
+        EngineUsed::Comp => 3,
+    };
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_index::{LiveConfig, LiveIndex};
+
+    fn manual() -> LiveConfig {
+        LiveConfig {
+            background_merge: false,
+            ..LiveConfig::default()
+        }
+    }
+
+    fn live_fixture() -> LiveIndex {
+        let live = LiveIndex::with_config(manual());
+        live.add_document("test driven usability");
+        live.add_document("usability test");
+        live.flush();
+        live.add_document("test test something");
+        live.add_document("nothing here");
+        live.flush();
+        live.add_document("buffered test usability");
+        live
+    }
+
+    #[test]
+    fn multi_segment_bool_query_remaps_and_concatenates() {
+        let live = live_fixture();
+        let snap = live.snapshot();
+        let reg = PredicateRegistry::with_builtins();
+        let exec = SnapshotExecutor::new(&snap, &reg);
+        let out = exec
+            .run_str("'test' AND 'usability'", EngineKind::Auto)
+            .unwrap();
+        assert_eq!(out.engine, EngineUsed::Bool);
+        let ids: Vec<u32> = out.nodes.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 4], "ascending global ids across segments");
+    }
+
+    #[test]
+    fn deleted_nodes_vanish_from_all_engines() {
+        let live = live_fixture();
+        live.delete_node(NodeId(1));
+        let snap = live.snapshot();
+        let reg = PredicateRegistry::with_builtins();
+        let exec = SnapshotExecutor::new(&snap, &reg);
+        for engine in [EngineKind::Auto, EngineKind::Comp] {
+            let out = exec.run_str("'usability'", engine).unwrap();
+            let ids: Vec<u32> = out.nodes.iter().map(|n| n.0).collect();
+            assert_eq!(ids, vec![0, 4], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn counters_are_summed_across_segments_not_last_writer_wins() {
+        let live = live_fixture();
+        let snap = live.snapshot();
+        let reg = PredicateRegistry::with_builtins();
+        let exec = SnapshotExecutor::new(&snap, &reg);
+        let whole = exec.run_str("'test'", EngineKind::Auto).unwrap();
+        // Oracle: run each segment alone and sum by hand.
+        let mut by_hand = AccessCounters::new();
+        let mut last = AccessCounters::new();
+        for seg in snap.segments() {
+            let single = Executor::new(seg.data().corpus(), seg.data().index(), &reg)
+                .run_str("'test'", EngineKind::Auto)
+                .unwrap();
+            by_hand += single.counters;
+            last = single.counters;
+        }
+        assert_eq!(whole.counters, by_hand, "summed, not sampled");
+        assert_ne!(
+            whole.counters, last,
+            "the last segment alone must not masquerade as the total"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_preserves_error_semantics() {
+        let live = LiveIndex::with_config(manual());
+        let snap = live.snapshot();
+        let reg = PredicateRegistry::with_builtins();
+        let exec = SnapshotExecutor::new(&snap, &reg);
+        let ok = exec.run_str("'anything'", EngineKind::Auto).unwrap();
+        assert!(ok.nodes.is_empty());
+        let err = exec.run_str("SOME p1 (p1 HAS 'x')", EngineKind::Bool);
+        assert!(matches!(err, Err(ExecError::WrongEngine { .. })));
+    }
+
+    #[test]
+    fn ppred_and_comp_run_per_segment() {
+        let live = live_fixture();
+        let snap = live.snapshot();
+        let reg = PredicateRegistry::with_builtins();
+        let exec = SnapshotExecutor::new(&snap, &reg);
+        let q = "SOME p1 SOME p2 (p1 HAS 'test' AND p2 HAS 'usability' AND distance(p1,p2,5))";
+        let ppred = exec.run_str(q, EngineKind::Ppred).unwrap();
+        let comp = exec.run_str(q, EngineKind::Comp).unwrap();
+        assert_eq!(ppred.nodes, comp.nodes);
+        assert!(!ppred.nodes.is_empty());
+        assert_eq!(ppred.engine, EngineUsed::Ppred);
+    }
+}

@@ -20,6 +20,17 @@
 //! implicit skip list). The compressed form is what [`persist`] stores on
 //! disk; [`IndexBuilder`] produces both, sharding construction across
 //! threads for large corpora.
+//!
+//! ## Live maintenance
+//!
+//! Everything above describes one frozen index. The [`live`] module turns
+//! it into an LSM-style *serving* structure: a [`live::LiveIndex`] accepts
+//! `add_document`/`delete_node`, seals write-buffer contents into immutable
+//! segments (each an ordinary [`InvertedIndex`]), tombstones deletes in
+//! per-segment bitmaps ([`segment::DeleteSet`]), compacts segments with a
+//! background tiered merge, and serves readers through point-in-time
+//! [`live::Snapshot`]s. [`manifest`] persists the whole segment set
+//! atomically (format v4).
 
 #![warn(missing_docs)]
 
@@ -28,10 +39,13 @@ pub mod builder;
 pub mod counters;
 pub mod cursor;
 pub mod index;
+pub mod live;
+pub mod manifest;
 pub mod persist;
 pub mod postings;
 pub mod residency;
 pub mod scored;
+pub mod segment;
 pub mod stats;
 pub mod varint;
 
@@ -40,7 +54,9 @@ pub use builder::IndexBuilder;
 pub use counters::AccessCounters;
 pub use cursor::{ListCursor, PostingCursor};
 pub use index::{IndexLayout, InvertedIndex, MemoryFootprint};
+pub use live::{LiveConfig, LiveIndex, SegmentReport, Snapshot, SnapshotSegment};
 pub use postings::PostingList;
 pub use residency::{DecodeCacheStats, DecodedView, Residency};
 pub use scored::{EntryScorer, ScoredBlocks, ScoredCursor, ScoredList};
+pub use segment::{DeleteFilteredCursor, DeleteSet, MemSegment, SegmentData};
 pub use stats::IndexStats;

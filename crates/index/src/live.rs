@@ -1,0 +1,984 @@
+//! The live index: LSM-style incremental maintenance over sealed segments.
+//!
+//! The paper evaluates every engine over a collection built once and
+//! frozen. [`LiveIndex`] removes that restriction without touching the
+//! engines: documents are added to a mutable in-memory write buffer
+//! ([`crate::segment::MemSegment`]), flushes seal the buffer into immutable
+//! segments (each one an ordinary [`crate::InvertedIndex`] over a local
+//! corpus), deletes mark per-segment tombstone bitmaps, and a background
+//! tiered-merge thread compacts small segments into bigger ones. Readers
+//! never see any of this mid-flight: [`LiveIndex::snapshot`] returns a
+//! cheap point-in-time [`Snapshot`] (a handful of `Arc` clones) whose
+//! segments, tombstones, and corpus statistics are frozen — later adds,
+//! deletes, flushes, and merges leave every held snapshot untouched.
+//!
+//! ## Global node ids
+//!
+//! Every added document gets the next global node id, forever. A segment
+//! records which global ids its local ids `0..n` stand for
+//! ([`crate::segment::SegmentData::globals`]); unmerged segments own
+//! contiguous ranges, merged segments keep the surviving ids (holes where
+//! tombstoned documents were dropped). Segments are kept ordered by their
+//! disjoint global ranges, so per-segment results concatenate into globally
+//! ascending result lists.
+//!
+//! ## Vocabulary
+//!
+//! One token vocabulary grows monotonically for the whole live index: the
+//! write buffer's corpus owns it, and each sealed segment carries a clone
+//! taken at seal time. Token ids are therefore *prefix-consistent* — the
+//! same id means the same string in every segment that knows it — which is
+//! what lets merged corpus statistics (`df`, `db_size`) be summed per token
+//! id across segments.
+
+use crate::segment::{DeleteSet, MemSegment, SegmentData};
+use ftsl_model::{Corpus, Document, NodeId, TokenInterner, Tokenizer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Tuning knobs for a [`LiveIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct LiveConfig {
+    /// Seal the write buffer automatically once it holds this many
+    /// documents.
+    pub flush_threshold: usize,
+    /// Tiered merge fan-in: an adjacent run of this many sealed segments in
+    /// the same size tier is compacted into one.
+    pub merge_fanin: usize,
+    /// A segment whose tombstoned fraction reaches this ratio is rewritten
+    /// on its own (dropping the dead documents) even without same-tier
+    /// neighbours.
+    pub merge_tombstone_ratio: f64,
+    /// Run the tiered merge policy on a background thread. When `false`,
+    /// merges happen only through [`LiveIndex::merge_all`] /
+    /// [`LiveIndex::maybe_merge`] — the deterministic mode tests use.
+    pub background_merge: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            flush_threshold: 1024,
+            merge_fanin: 4,
+            merge_tombstone_ratio: 0.5,
+            background_merge: true,
+        }
+    }
+}
+
+/// One sealed segment plus its copy-on-write tombstone bitmap.
+#[derive(Clone, Debug)]
+pub(crate) struct SealedEntry {
+    pub(crate) data: Arc<SegmentData>,
+    pub(crate) deletes: Arc<DeleteSet>,
+}
+
+/// Mutable state behind the lock.
+#[derive(Debug)]
+struct State {
+    mem: MemSegment,
+    /// Tombstones for the buffered documents (copy-on-write like the sealed
+    /// ones, so snapshots freeze them too).
+    mem_deletes: Arc<DeleteSet>,
+    /// Cached sealed view of the current buffer contents, so consecutive
+    /// snapshots of an unchanged buffer don't rebuild its index. Valid iff
+    /// it covers exactly `mem.len()` documents.
+    mem_view: Option<Arc<SegmentData>>,
+    /// Sealed segments ordered by their disjoint global-id ranges.
+    sealed: Vec<SealedEntry>,
+    next_global: u32,
+    next_segment_id: u64,
+    /// Bumped on every mutation; snapshots carry the version they saw.
+    version: u64,
+    /// At most one merge builds at a time (background or synchronous).
+    merging: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the background merger (new work) and synchronous mergers
+    /// waiting for `merging` to clear.
+    wake: Condvar,
+    shutdown: AtomicBool,
+    config: LiveConfig,
+}
+
+/// A dynamically maintained, segmented index over one growing collection.
+///
+/// All methods take `&self`: mutations synchronize internally, so a
+/// `LiveIndex` can be shared across threads (the background merger is one
+/// such thread).
+///
+/// ```
+/// use ftsl_index::live::{LiveConfig, LiveIndex};
+///
+/// let live = LiveIndex::with_config(LiveConfig {
+///     background_merge: false,
+///     ..LiveConfig::default()
+/// });
+/// let a = live.add_document("rust makes systems programming approachable");
+/// let b = live.add_document("full text search in rust");
+/// live.flush();
+/// live.delete_node(a);
+/// let snap = live.snapshot();
+/// assert_eq!(snap.live_doc_count(), 1);
+/// assert!(snap.document(b).is_some());
+/// assert!(snap.document(a).is_none(), "tombstoned");
+/// ```
+pub struct LiveIndex {
+    shared: Arc<Shared>,
+    tokenizer: Tokenizer,
+    merger: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LiveIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveIndex")
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for LiveIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveIndex {
+    /// An empty live index with default configuration (background merging
+    /// on).
+    pub fn new() -> Self {
+        Self::with_config(LiveConfig::default())
+    }
+
+    /// An empty live index with explicit configuration.
+    pub fn with_config(config: LiveConfig) -> Self {
+        Self::build(Corpus::new(), config)
+    }
+
+    /// Seed a live index from an existing corpus, sealed as segment 0 (the
+    /// "bulk load, then serve writes" path).
+    pub fn from_corpus(corpus: Corpus) -> Self {
+        Self::from_corpus_with(corpus, LiveConfig::default())
+    }
+
+    /// [`Self::from_corpus`] with explicit configuration.
+    pub fn from_corpus_with(corpus: Corpus, config: LiveConfig) -> Self {
+        Self::build(corpus, config)
+    }
+
+    fn build(seed: Corpus, config: LiveConfig) -> Self {
+        let vocab = seed.interner().clone();
+        let mut sealed = Vec::new();
+        let next_global = seed.len() as u32;
+        let mut next_segment_id = 0;
+        if !seed.is_empty() {
+            let globals = (0..next_global).collect();
+            let len = seed.len();
+            sealed.push(SealedEntry {
+                data: Arc::new(SegmentData::seal(0, seed, globals)),
+                deletes: Arc::new(DeleteSet::new(len)),
+            });
+            next_segment_id = 1;
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                mem: MemSegment::new(Corpus::with_interner(vocab)),
+                mem_deletes: Arc::new(DeleteSet::new(0)),
+                mem_view: None,
+                sealed,
+                next_global,
+                next_segment_id,
+                version: 0,
+                merging: false,
+            }),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let merger = config.background_merge.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || merger_loop(&shared))
+        });
+        LiveIndex {
+            shared,
+            tokenizer: Tokenizer::new(),
+            merger,
+        }
+    }
+
+    /// Replace the tokenizer used by [`Self::add_document`] (e.g. to apply
+    /// the analyzed stemming/stop-word pipeline).
+    pub fn with_tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = tokenizer;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> LiveConfig {
+        self.shared.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("live index lock poisoned")
+    }
+
+    /// Tokenize and add one document, returning its global node id. The
+    /// write buffer auto-flushes at [`LiveConfig::flush_threshold`].
+    pub fn add_document(&self, text: &str) -> NodeId {
+        let mut st = self.lock();
+        let global = st.next_global;
+        st.next_global += 1;
+        st.mem.add(&self.tokenizer, text, global);
+        Arc::make_mut(&mut st.mem_deletes).push_slot();
+        st.version += 1;
+        if st.mem.len() >= self.shared.config.flush_threshold {
+            flush_locked(&mut st);
+            self.shared.wake.notify_all();
+        }
+        NodeId(global)
+    }
+
+    /// Tombstone a document by global node id. Returns `false` when the id
+    /// was never assigned or is already deleted. The document's bytes stay
+    /// in its segment until a merge rewrites it; queries stop seeing it
+    /// immediately (on snapshots taken after this call).
+    pub fn delete_node(&self, node: NodeId) -> bool {
+        let mut st = self.lock();
+        if node.0 >= st.next_global {
+            return false;
+        }
+        let deleted = if let Some(local) = st.mem.local_of(node) {
+            Arc::make_mut(&mut st.mem_deletes).delete(local)
+        } else {
+            let found = st
+                .sealed
+                .iter()
+                .enumerate()
+                .find_map(|(i, e)| e.data.local_of(node).map(|local| (i, local)));
+            match found {
+                Some((i, local)) => Arc::make_mut(&mut st.sealed[i].deletes).delete(local),
+                None => false, // id fell in a hole a merge already dropped
+            }
+        };
+        if deleted {
+            st.version += 1;
+            drop(st);
+            // A delete can push a segment over the tombstone-ratio trigger.
+            self.shared.wake.notify_all();
+        }
+        deleted
+    }
+
+    /// Seal the write buffer into a new immutable segment. Returns `false`
+    /// when the buffer was empty.
+    pub fn flush(&self) -> bool {
+        let mut st = self.lock();
+        let flushed = flush_locked(&mut st);
+        if flushed {
+            drop(st);
+            self.shared.wake.notify_all();
+        }
+        flushed
+    }
+
+    /// A point-in-time view of the whole collection: every sealed segment
+    /// plus (if non-empty) a sealed view of the write buffer, with the
+    /// tombstone bitmaps frozen as of now. O(segments) `Arc` clones, except
+    /// when the buffer changed since the last snapshot — then its view is
+    /// (re)built once and cached.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut st = self.lock();
+        let mut segments: Vec<SnapshotSegment> = st
+            .sealed
+            .iter()
+            .map(|e| SnapshotSegment {
+                data: Arc::clone(&e.data),
+                deletes: Arc::clone(&e.deletes),
+            })
+            .collect();
+        if !st.mem.is_empty() {
+            let stale = st
+                .mem_view
+                .as_ref()
+                .is_none_or(|v| v.num_docs() != st.mem.len());
+            if stale {
+                // The view borrows the *next* segment id: if the buffer is
+                // later flushed unchanged, the flushed segment is this very
+                // view under the id it would get anyway.
+                let view = Arc::new(st.mem.seal_view(st.next_segment_id));
+                st.mem_view = Some(view);
+            }
+            segments.push(SnapshotSegment {
+                data: Arc::clone(st.mem_view.as_ref().expect("just cached")),
+                deletes: Arc::clone(&st.mem_deletes),
+            });
+        }
+        Snapshot {
+            segments,
+            version: st.version,
+        }
+    }
+
+    /// Flush, then compact every sealed segment into one, synchronously
+    /// (waits for a background merge in flight). Returns `false` when there
+    /// was nothing to compact.
+    pub fn merge_all(&self) -> bool {
+        self.flush();
+        self.merge_with(|st| {
+            let worth_it = st.sealed.len() > 1
+                || st
+                    .sealed
+                    .first()
+                    .is_some_and(|e| e.deletes.deleted_count() > 0);
+            worth_it.then_some((0, st.sealed.len()))
+        })
+    }
+
+    /// Apply one round of the tiered merge policy synchronously. Returns
+    /// whether a merge ran (useful when background merging is off).
+    pub fn maybe_merge(&self) -> bool {
+        let config = self.shared.config;
+        self.merge_with(move |st| plan_merge(st, &config))
+    }
+
+    /// Run one merge chosen by `pick` (a range over the sealed list),
+    /// serialized against any other merge.
+    fn merge_with(&self, pick: impl Fn(&State) -> Option<(usize, usize)>) -> bool {
+        let (id, entries) = {
+            let mut st = self.lock();
+            while st.merging {
+                st = self.shared.wake.wait(st).expect("live index lock poisoned");
+            }
+            let Some((start, end)) = pick(&st) else {
+                return false;
+            };
+            st.merging = true;
+            let id = st.next_segment_id;
+            st.next_segment_id += 1;
+            (id, st.sealed[start..end].to_vec())
+        };
+        let merged = build_merged(id, &entries);
+        commit_merge(&self.shared, &entries, merged);
+        true
+    }
+
+    /// Number of sealed segments (the write buffer not included).
+    pub fn segment_count(&self) -> usize {
+        self.lock().sealed.len()
+    }
+
+    /// Documents currently sitting in the write buffer.
+    pub fn buffered_docs(&self) -> usize {
+        self.lock().mem.len()
+    }
+
+    /// Live (non-tombstoned) documents across segments and buffer.
+    pub fn live_doc_count(&self) -> usize {
+        let st = self.lock();
+        let sealed: usize = st
+            .sealed
+            .iter()
+            .map(|e| e.data.num_docs() - e.deletes.deleted_count())
+            .sum();
+        sealed + st.mem.len() - st.mem_deletes.deleted_count()
+    }
+
+    /// Total tombstones not yet reclaimed by a merge.
+    pub fn tombstone_count(&self) -> usize {
+        let st = self.lock();
+        st.sealed
+            .iter()
+            .map(|e| e.deletes.deleted_count())
+            .sum::<usize>()
+            + st.mem_deletes.deleted_count()
+    }
+
+    /// The mutation version (bumped by every add/delete/flush/merge).
+    /// Snapshots record the version they were taken at, so callers can
+    /// cache derived structures per version.
+    pub fn version(&self) -> u64 {
+        self.lock().version
+    }
+
+    /// Flush the buffer and hand the manifest encoder a consistent view of
+    /// the sealed segment set plus the id high-water marks.
+    pub(crate) fn sealed_parts(&self) -> (Vec<SealedEntry>, u32, u64) {
+        let mut st = self.lock();
+        flush_locked(&mut st);
+        (st.sealed.clone(), st.next_global, st.next_segment_id)
+    }
+
+    /// Rebuild a live index from manifest-decoded parts. The write buffer
+    /// starts empty with the widest persisted vocabulary.
+    pub(crate) fn from_sealed_parts(
+        sealed: Vec<SealedEntry>,
+        next_global: u32,
+        next_segment_id: u64,
+        config: LiveConfig,
+    ) -> Self {
+        let vocab = widest_vocabulary(sealed.iter().map(|e| e.data.corpus()))
+            .cloned()
+            .unwrap_or_default();
+        let live = Self::build(Corpus::new(), config);
+        {
+            let mut st = live.lock();
+            st.mem = MemSegment::new(Corpus::with_interner(vocab));
+            st.sealed = sealed;
+            st.next_global = next_global;
+            st.next_segment_id = next_segment_id;
+        }
+        live
+    }
+}
+
+impl Drop for LiveIndex {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.merger.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Seal the buffer into the sealed list; `false` when empty.
+fn flush_locked(st: &mut State) -> bool {
+    if st.mem.is_empty() {
+        return false;
+    }
+    // The cached view is reusable only if it covers the whole buffer AND
+    // still carries the id this flush is about to hand out — a merge may
+    // have consumed ids since the view was cached, and sealing it as-is
+    // would produce two segments with the same id (breaking the id-based
+    // merge-commit bookkeeping).
+    let stale = st
+        .mem_view
+        .as_ref()
+        .is_none_or(|v| v.num_docs() != st.mem.len() || v.id() != st.next_segment_id);
+    let data = if stale {
+        Arc::new(st.mem.seal_view(st.next_segment_id))
+    } else {
+        st.mem_view.take().expect("checked fresh")
+    };
+    st.next_segment_id += 1;
+    st.sealed.push(SealedEntry {
+        data,
+        deletes: Arc::clone(&st.mem_deletes),
+    });
+    st.mem.drain();
+    st.mem_deletes = Arc::new(DeleteSet::new(0));
+    st.mem_view = None;
+    st.version += 1;
+    true
+}
+
+/// The tiered policy: prefer compacting an adjacent run of `merge_fanin`
+/// same-tier segments (smallest tiers merge first); otherwise rewrite a
+/// single segment drowning in tombstones.
+fn plan_merge(st: &State, config: &LiveConfig) -> Option<(usize, usize)> {
+    let fanin = config.merge_fanin.max(2);
+    let tier = |e: &SealedEntry| {
+        let mut live = e.data.num_docs() - e.deletes.deleted_count();
+        let mut t = 0u32;
+        while live >= fanin {
+            live /= fanin;
+            t += 1;
+        }
+        t
+    };
+    let tiers: Vec<u32> = st.sealed.iter().map(tier).collect();
+    let mut run_start = 0;
+    for i in 1..=tiers.len() {
+        if i == tiers.len() || tiers[i] != tiers[run_start] {
+            if i - run_start >= fanin {
+                return Some((run_start, run_start + fanin));
+            }
+            run_start = i;
+        }
+    }
+    st.sealed
+        .iter()
+        .position(|e| {
+            let n = e.data.num_docs();
+            n > 0
+                && e.deletes.deleted_count() > 0
+                && e.deletes.deleted_count() as f64 >= config.merge_tombstone_ratio * n as f64
+        })
+        .map(|i| (i, i + 1))
+}
+
+/// The widest vocabulary among `corpora` — a superset of every one of
+/// them, because the live vocabulary only ever grows and each corpus
+/// carries a clone taken at some point on that growth line. The single
+/// place this invariant is exploited (merging, manifest encoding,
+/// snapshot token resolution) all route through here.
+pub(crate) fn widest_vocabulary<'a>(
+    corpora: impl Iterator<Item = &'a Corpus>,
+) -> Option<&'a TokenInterner> {
+    corpora.map(Corpus::interner).max_by_key(|i| i.len())
+}
+
+/// Build the compacted segment: surviving documents of `entries` (as of the
+/// captured tombstone bitmaps) re-sealed under one corpus that keeps the
+/// newest vocabulary involved — token ids stay prefix-consistent, and no
+/// retokenization happens (analyzed corpora survive merges unchanged).
+fn build_merged(id: u64, entries: &[SealedEntry]) -> SegmentData {
+    let vocab = widest_vocabulary(entries.iter().map(|e| e.data.corpus()))
+        .cloned()
+        .unwrap_or_default();
+    let mut corpus = Corpus::with_interner(vocab);
+    let mut globals = Vec::new();
+    for e in entries {
+        for local in 0..e.data.num_docs() {
+            if e.deletes.is_live(local) {
+                let doc = e.data.document(local);
+                corpus.add_tokens(doc.label.clone(), doc.tokens.clone());
+                globals.push(e.data.global_of(local).0);
+            }
+        }
+    }
+    SegmentData::seal(id, corpus, globals)
+}
+
+/// Swap the merged inputs for the merged output under the lock, carrying
+/// over tombstones that arrived while the merge was building (they apply to
+/// the *current* bitmaps, which may have moved past the captured ones).
+fn commit_merge(shared: &Shared, inputs: &[SealedEntry], merged: SegmentData) {
+    let mut st = shared.state.lock().expect("live index lock poisoned");
+    let mut deletes = DeleteSet::new(merged.num_docs());
+    for captured in inputs {
+        let Some(current) = st.sealed.iter().find(|e| e.data.id() == captured.data.id()) else {
+            continue;
+        };
+        for local in current.deletes.iter_deleted() {
+            if captured.deletes.is_live(local) {
+                if let Some(nl) = merged.local_of(current.data.global_of(local)) {
+                    deletes.delete(nl);
+                }
+            }
+        }
+    }
+    let ids: Vec<u64> = inputs.iter().map(|e| e.data.id()).collect();
+    let start = st
+        .sealed
+        .iter()
+        .position(|e| ids.contains(&e.data.id()))
+        .expect("merge inputs vanished");
+    // Only merges remove sealed entries and merges are serialized, so the
+    // captured run is still contiguous at `start`.
+    let replacement = (merged.num_docs() > 0).then(|| SealedEntry {
+        data: Arc::new(merged),
+        deletes: Arc::new(deletes),
+    });
+    st.sealed.splice(start..start + ids.len(), replacement);
+    st.merging = false;
+    st.version += 1;
+    drop(st);
+    shared.wake.notify_all();
+}
+
+/// The background merger: sleep until woken (or 100 ms), run the tiered
+/// policy once, repeat. Exits when the owning [`LiveIndex`] drops.
+fn merger_loop(shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let job = {
+            let mut st = shared.state.lock().expect("live index lock poisoned");
+            if st.merging {
+                None
+            } else if let Some((start, end)) = plan_merge(&st, &shared.config) {
+                st.merging = true;
+                let id = st.next_segment_id;
+                st.next_segment_id += 1;
+                Some((id, st.sealed[start..end].to_vec()))
+            } else {
+                None
+            }
+        };
+        match job {
+            Some((id, entries)) => {
+                let merged = build_merged(id, &entries);
+                commit_merge(shared, &entries, merged);
+            }
+            None => {
+                let st = shared.state.lock().expect("live index lock poisoned");
+                let _ = shared
+                    .wake
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .expect("live index lock poisoned");
+            }
+        }
+    }
+}
+
+/// One segment as a snapshot sees it: immutable data plus the tombstone
+/// bitmap frozen at snapshot time.
+#[derive(Clone, Debug)]
+pub struct SnapshotSegment {
+    data: Arc<SegmentData>,
+    deletes: Arc<DeleteSet>,
+}
+
+impl SnapshotSegment {
+    /// The sealed segment (corpus + index + global id map).
+    pub fn data(&self) -> &SegmentData {
+        &self.data
+    }
+
+    /// The frozen tombstone bitmap (local node ids).
+    pub fn deletes(&self) -> &DeleteSet {
+        &self.deletes
+    }
+
+    /// Live documents in this segment.
+    pub fn live_count(&self) -> usize {
+        self.data.num_docs() - self.deletes.deleted_count()
+    }
+
+    /// True when no document of the segment is tombstoned — evaluation can
+    /// skip delete filtering entirely.
+    pub fn fully_live(&self) -> bool {
+        self.deletes.deleted_count() == 0
+    }
+}
+
+/// A point-in-time view over a [`LiveIndex`]: an ordered list of segments
+/// with frozen tombstones. Holding a snapshot pins the segment data it
+/// references (via `Arc`), so concurrent merges cost memory, not
+/// correctness.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    segments: Vec<SnapshotSegment>,
+    version: u64,
+}
+
+impl Snapshot {
+    /// The segments, ordered by their disjoint global-id ranges (write
+    /// buffer view last).
+    pub fn segments(&self) -> &[SnapshotSegment] {
+        &self.segments
+    }
+
+    /// Number of segments in the view.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The [`LiveIndex::version`] this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Live documents across all segments.
+    pub fn live_doc_count(&self) -> usize {
+        self.segments.iter().map(SnapshotSegment::live_count).sum()
+    }
+
+    /// Tombstoned documents still physically present.
+    pub fn tombstone_count(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.deletes.deleted_count())
+            .sum()
+    }
+
+    /// True when the snapshot holds no live document.
+    pub fn is_empty(&self) -> bool {
+        self.live_doc_count() == 0
+    }
+
+    /// The widest vocabulary any segment carries. The vocabulary only ever
+    /// grows, so this interner is a superset of every segment's — the right
+    /// place to resolve query tokens to global idf values.
+    pub fn widest_interner(&self) -> Option<&TokenInterner> {
+        widest_vocabulary(self.segments.iter().map(|s| s.data.corpus()))
+    }
+
+    /// Look up a live document by global node id.
+    pub fn document(&self, global: NodeId) -> Option<&Document> {
+        for seg in &self.segments {
+            if let Some(local) = seg.data.local_of(global) {
+                return seg.deletes.is_live(local).then(|| seg.data.document(local));
+            }
+        }
+        None
+    }
+
+    /// Iterate `(global id, document)` over live documents in ascending
+    /// global order — exactly the collection a monolithic rebuild would
+    /// index, in the same order.
+    pub fn live_documents(&self) -> impl Iterator<Item = (NodeId, &Document)> + '_ {
+        self.segments.iter().flat_map(|seg| {
+            (0..seg.data.num_docs())
+                .filter(move |&local| seg.deletes.is_live(local))
+                .map(move |local| (seg.data.global_of(local), seg.data.document(local)))
+        })
+    }
+
+    /// Per-segment footprint/tombstone report (what `:stats` prints).
+    pub fn segment_reports(&self) -> Vec<SegmentReport> {
+        self.segments
+            .iter()
+            .map(|s| SegmentReport {
+                id: s.data.id(),
+                docs: s.data.num_docs(),
+                tombstones: s.deletes.deleted_count(),
+                resident_bytes: s.data.index().memory_footprint().total(),
+            })
+            .collect()
+    }
+}
+
+/// Per-segment diagnostics for stats reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// Segment id.
+    pub id: u64,
+    /// Documents physically present (live + tombstoned).
+    pub docs: usize,
+    /// Tombstoned documents awaiting a merge.
+    pub tombstones: usize,
+    /// Resident bytes of the segment's index.
+    pub resident_bytes: usize,
+}
+
+impl SegmentReport {
+    /// Fraction of physically present documents still live (1.0 for an
+    /// empty segment).
+    pub fn live_ratio(&self) -> f64 {
+        if self.docs == 0 {
+            1.0
+        } else {
+            (self.docs - self.tombstones) as f64 / self.docs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual() -> LiveConfig {
+        LiveConfig {
+            background_merge: false,
+            ..LiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn adds_assign_increasing_global_ids_across_flushes() {
+        let live = LiveIndex::with_config(manual());
+        let a = live.add_document("one two");
+        let b = live.add_document("two three");
+        live.flush();
+        let c = live.add_document("three four");
+        assert_eq!((a, b, c), (NodeId(0), NodeId(1), NodeId(2)));
+        assert_eq!(live.segment_count(), 1);
+        assert_eq!(live.buffered_docs(), 1);
+        let snap = live.snapshot();
+        assert_eq!(snap.num_segments(), 2, "buffer appears as a segment");
+        assert_eq!(snap.live_doc_count(), 3);
+        let globals: Vec<u32> = snap.live_documents().map(|(n, _)| n.0).collect();
+        assert_eq!(globals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_mutations() {
+        let live = LiveIndex::with_config(manual());
+        let a = live.add_document("alpha beta");
+        live.add_document("beta gamma");
+        live.flush();
+        let before = live.snapshot();
+        live.delete_node(a);
+        live.add_document("delta");
+        live.merge_all();
+        assert_eq!(before.live_doc_count(), 2, "held snapshot unchanged");
+        assert!(before.document(a).is_some());
+        let after = live.snapshot();
+        assert_eq!(after.live_doc_count(), 2); // one deleted, one added
+        assert!(after.document(a).is_none());
+    }
+
+    #[test]
+    fn merge_all_compacts_to_one_segment_dropping_tombstones() {
+        let live = LiveIndex::with_config(manual());
+        for i in 0..6 {
+            live.add_document(&format!("tok{} shared", i));
+            live.flush();
+        }
+        live.delete_node(NodeId(2));
+        assert_eq!(live.segment_count(), 6);
+        assert!(live.merge_all());
+        assert_eq!(live.segment_count(), 1);
+        assert_eq!(live.tombstone_count(), 0, "merge reclaims tombstones");
+        let snap = live.snapshot();
+        // Surviving global ids keep their values, with a hole at 2.
+        let globals: Vec<u32> = snap.live_documents().map(|(n, _)| n.0).collect();
+        assert_eq!(globals, vec![0, 1, 3, 4, 5]);
+        // Deleting into the hole reports false; survivors still deletable.
+        assert!(!live.delete_node(NodeId(2)));
+        assert!(live.delete_node(NodeId(3)));
+    }
+
+    #[test]
+    fn tiered_policy_merges_same_tier_runs() {
+        let live = LiveIndex::with_config(LiveConfig {
+            merge_fanin: 3,
+            ..manual()
+        });
+        for i in 0..3 {
+            live.add_document(&format!("doc{i}"));
+            live.flush();
+        }
+        assert_eq!(live.segment_count(), 3);
+        assert!(live.maybe_merge(), "three tier-0 segments merge");
+        assert_eq!(live.segment_count(), 1);
+        assert!(!live.maybe_merge(), "nothing left to do");
+    }
+
+    #[test]
+    fn tombstone_ratio_triggers_solo_compaction() {
+        let live = LiveIndex::with_config(LiveConfig {
+            merge_tombstone_ratio: 0.5,
+            ..manual()
+        });
+        for i in 0..4 {
+            live.add_document(&format!("doc{i} filler"));
+        }
+        live.flush();
+        live.delete_node(NodeId(0));
+        assert!(!live.maybe_merge(), "1/4 deleted is under the ratio");
+        live.delete_node(NodeId(1));
+        assert!(live.maybe_merge(), "2/4 deleted hits the ratio");
+        assert_eq!(live.tombstone_count(), 0);
+        assert_eq!(live.live_doc_count(), 2);
+    }
+
+    #[test]
+    fn fully_deleted_segment_disappears_on_merge() {
+        let live = LiveIndex::with_config(manual());
+        live.add_document("only");
+        live.flush();
+        live.delete_node(NodeId(0));
+        assert!(live.maybe_merge());
+        assert_eq!(live.segment_count(), 0);
+        assert!(live.snapshot().is_empty());
+    }
+
+    #[test]
+    fn background_merger_compacts_eventually() {
+        let live = LiveIndex::with_config(LiveConfig {
+            merge_fanin: 2,
+            background_merge: true,
+            ..LiveConfig::default()
+        });
+        for i in 0..8 {
+            live.add_document(&format!("doc{i} word"));
+            live.flush();
+        }
+        // 8 tier-0 segments; the background thread should fold them up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while live.segment_count() > 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            live.segment_count() <= 2,
+            "background merge did not run: {} segments",
+            live.segment_count()
+        );
+        assert_eq!(live.live_doc_count(), 8);
+    }
+
+    #[test]
+    fn vocabulary_is_prefix_consistent_across_segments() {
+        let live = LiveIndex::with_config(manual());
+        live.add_document("alpha beta");
+        live.flush();
+        live.add_document("beta gamma");
+        live.flush();
+        let snap = live.snapshot();
+        let widest = snap.widest_interner().unwrap();
+        let beta = widest.get("beta").unwrap();
+        for seg in snap.segments() {
+            if let Some(local) = seg.data().corpus().token_id("beta") {
+                assert_eq!(local, beta, "same id in every segment that knows it");
+            }
+        }
+        assert!(widest.get("gamma").is_some());
+        assert_eq!(
+            snap.segments()[0].data().corpus().token_id("gamma"),
+            None,
+            "earlier segment predates the token"
+        );
+    }
+
+    #[test]
+    fn auto_flush_honours_threshold() {
+        let live = LiveIndex::with_config(LiveConfig {
+            flush_threshold: 3,
+            ..manual()
+        });
+        for i in 0..7 {
+            live.add_document(&format!("doc{i}"));
+        }
+        assert_eq!(live.segment_count(), 2);
+        assert_eq!(live.buffered_docs(), 1);
+    }
+
+    #[test]
+    fn flush_after_merge_does_not_reuse_a_consumed_segment_id() {
+        let live = LiveIndex::with_config(manual());
+        live.add_document("one two");
+        live.add_document("three four");
+        live.flush(); // segment 0
+        live.delete_node(NodeId(0)); // 1/2 tombstoned = at the ratio
+        live.add_document("buffered five");
+        // Cache the buffer view (it borrows the next id, 1)...
+        let _pinned = live.snapshot();
+        // ...then let a solo compaction consume that id.
+        assert!(live.maybe_merge());
+        live.flush();
+        let ids: Vec<u64> = live
+            .snapshot()
+            .segments()
+            .iter()
+            .map(|s| s.data().id())
+            .collect();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1], "segment ids must stay unique: {ids:?}");
+    }
+
+    #[test]
+    fn snapshot_reuses_cached_buffer_view() {
+        let live = LiveIndex::with_config(manual());
+        live.add_document("cached view");
+        let a = live.snapshot();
+        let b = live.snapshot();
+        assert!(Arc::ptr_eq(&a.segments[0].data, &b.segments[0].data));
+        live.add_document("another");
+        let c = live.snapshot();
+        assert!(!Arc::ptr_eq(&a.segments[0].data, &c.segments[0].data));
+    }
+
+    #[test]
+    fn segment_reports_cover_footprint_and_live_ratio() {
+        let live = LiveIndex::with_config(manual());
+        for i in 0..4 {
+            live.add_document(&format!("doc{i} shared tokens here"));
+        }
+        live.flush();
+        live.delete_node(NodeId(1));
+        let reports = live.snapshot().segment_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].docs, 4);
+        assert_eq!(reports[0].tombstones, 1);
+        assert!(reports[0].resident_bytes > 0);
+        assert!((reports[0].live_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,497 @@
+//! Manifest persistence for live, segmented indexes — format **v4**.
+//!
+//! A [`crate::live::LiveIndex`] is more than one inverted index: it is a
+//! *segment set* (each segment an ordinary v3 index image over a local
+//! corpus), the tombstone bitmaps, the global-id maps, and the shared
+//! vocabulary. The manifest records all of it in one buffer so a
+//! multi-segment index reloads bit-identically — same segments, same
+//! tombstones, same global ids, same vocabulary prefixes.
+//!
+//! ## Format versioning
+//!
+//! The manifest continues the version line of [`crate::persist`]: same
+//! `"FTSI"` magic, version **4**. [`decode`] rejects v1–v3 (bare-index
+//! formats) and unknown versions loudly with
+//! [`PersistError::BadVersion`] — and, symmetrically, the bare-index
+//! [`crate::persist::decode`] rejects a v4 manifest the same way. Neither
+//! ever panics on foreign bytes.
+//!
+//! Layout of a v4 buffer (integers little-endian):
+//!
+//! ```text
+//! magic:u32  version:u32  next_global:u32  next_segment_id:u64
+//! num_segments:u32
+//! per segment (ascending, disjoint global ranges):
+//!   id:u64  num_docs:u32
+//!   num_docs × global:u32                     (strictly ascending)
+//!   num_words:u32  num_words × word:u64       (tombstone bitmap)
+//!   vocab_len:u32                             (prefix of shared vocabulary)
+//!   per doc: label_len:u32 label:[u8]
+//!            num_tokens:u32
+//!            num_tokens × (token:u32 offset:u32 sentence:u32 paragraph:u32)
+//!   index_len:u32  index:[u8]                 (a v3 image, persist::decode)
+//! vocab_total:u32  per token: len:u32 name:[u8]   (shared vocabulary)
+//! ```
+//!
+//! Segments store only their vocabulary *prefix length*: token ids are
+//! prefix-consistent across segments (see [`crate::live`]), so one shared
+//! name table at the end reconstructs every per-segment interner exactly.
+//!
+//! [`save`] writes atomically: the buffer goes to a sibling temp file that
+//! is persisted with a single `rename`, so a crash mid-write leaves either
+//! the old manifest or the new one, never a torn hybrid.
+
+use crate::live::{LiveConfig, LiveIndex, SealedEntry};
+use crate::persist::{self, PersistError};
+use crate::segment::{DeleteSet, SegmentData};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ftsl_model::{Corpus, Position, TokenId, TokenInterner};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: u32 = 0x4654_5349; // "FTSI", shared with persist
+const VERSION: u32 = 4;
+
+/// Serialize a live index to a v4 manifest buffer. The write buffer is
+/// flushed first, so the image covers every document added so far.
+pub fn encode(live: &LiveIndex) -> Bytes {
+    let (sealed, next_global, next_segment_id) = live.sealed_parts();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(next_global);
+    buf.put_u64_le(next_segment_id);
+    buf.put_u32_le(sealed.len() as u32);
+    let widest = crate::live::widest_vocabulary(sealed.iter().map(|e| e.data.corpus()));
+    for entry in &sealed {
+        encode_segment(&mut buf, entry);
+    }
+    let vocab_total = widest.map_or(0, TokenInterner::len);
+    buf.put_u32_le(vocab_total as u32);
+    if let Some(widest) = widest {
+        for (_, name) in widest.iter() {
+            put_str(&mut buf, name);
+        }
+    }
+    buf.freeze()
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn encode_segment(buf: &mut BytesMut, entry: &SealedEntry) {
+    let data = &entry.data;
+    buf.put_u64_le(data.id());
+    buf.put_u32_le(data.num_docs() as u32);
+    for &g in data.globals() {
+        buf.put_u32_le(g);
+    }
+    let words = entry.deletes.words();
+    buf.put_u32_le(words.len() as u32);
+    for &w in words {
+        buf.put_u64_le(w);
+    }
+    let corpus = data.corpus();
+    buf.put_u32_le(corpus.interner().len() as u32);
+    for doc in corpus.documents() {
+        put_str(buf, &doc.label);
+        buf.put_u32_le(doc.tokens.len() as u32);
+        for &(t, p) in &doc.tokens {
+            buf.put_u32_le(t.0);
+            buf.put_u32_le(p.offset);
+            buf.put_u32_le(p.sentence);
+            buf.put_u32_le(p.paragraph);
+        }
+    }
+    let image = persist::encode(data.index());
+    buf.put_u32_le(image.len() as u32);
+    buf.put_slice(image.as_slice());
+}
+
+/// Deserialize a v4 manifest with default [`LiveConfig`].
+pub fn decode(buf: impl Buf) -> Result<LiveIndex, PersistError> {
+    decode_with(buf, LiveConfig::default())
+}
+
+/// Deserialize a v4 manifest into a live index with explicit configuration.
+/// v1–v3 buffers (bare-index formats) and unknown versions are rejected
+/// with [`PersistError::BadVersion`]; structural lies (non-ascending global
+/// ids, bitmap/corpus disagreements, out-of-range token ids) with
+/// [`PersistError::Corrupt`]. Never panics on foreign bytes.
+pub fn decode_with(mut buf: impl Buf, config: LiveConfig) -> Result<LiveIndex, PersistError> {
+    let magic = get_u32(&mut buf)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic(magic));
+    }
+    let version = get_u32(&mut buf)?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let next_global = get_u32(&mut buf)?;
+    let next_segment_id = get_u64(&mut buf)?;
+    let num_segments = get_u32(&mut buf)? as usize;
+    let mut raw: Vec<RawSegment> = Vec::with_capacity(num_segments);
+    for _ in 0..num_segments {
+        raw.push(decode_segment(&mut buf)?);
+    }
+    let vocab_total = get_u32(&mut buf)? as usize;
+    let mut names = Vec::with_capacity(vocab_total);
+    for _ in 0..vocab_total {
+        names.push(get_str(&mut buf)?);
+    }
+
+    let mut sealed = Vec::with_capacity(num_segments);
+    let mut prev_last: Option<u32> = None;
+    for seg in raw {
+        let entry = seg.into_entry(&names, next_global)?;
+        if let Some((first, last)) = entry.data.global_range() {
+            if prev_last.is_some_and(|p| first <= p) {
+                return Err(PersistError::Corrupt("segment global ranges overlap"));
+            }
+            prev_last = Some(last);
+        }
+        sealed.push(entry);
+    }
+    Ok(LiveIndex::from_sealed_parts(
+        sealed,
+        next_global,
+        next_segment_id,
+        config,
+    ))
+}
+
+/// A segment as read off the wire, before vocabulary reconstruction.
+struct RawSegment {
+    id: u64,
+    globals: Vec<u32>,
+    delete_words: Vec<u64>,
+    vocab_len: usize,
+    docs: Vec<(String, Vec<(TokenId, Position)>)>,
+    index_image: Vec<u8>,
+}
+
+impl RawSegment {
+    fn into_entry(self, names: &[String], next_global: u32) -> Result<SealedEntry, PersistError> {
+        if self.globals.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PersistError::Corrupt("global ids not ascending"));
+        }
+        if self.globals.last().is_some_and(|&g| g >= next_global) {
+            return Err(PersistError::Corrupt("global id past the high-water mark"));
+        }
+        if self.vocab_len > names.len() {
+            return Err(PersistError::Corrupt("segment vocabulary exceeds table"));
+        }
+        let deletes = DeleteSet::from_parts(self.delete_words, self.globals.len())
+            .ok_or(PersistError::Corrupt("tombstone bitmap malformed"))?;
+        let mut corpus = Corpus::new();
+        for name in &names[..self.vocab_len] {
+            corpus.intern(name);
+        }
+        if corpus.interner().len() != self.vocab_len {
+            return Err(PersistError::Corrupt("vocabulary names not distinct"));
+        }
+        for (label, tokens) in self.docs {
+            if tokens.windows(2).any(|w| w[0].1.offset >= w[1].1.offset) {
+                return Err(PersistError::Corrupt("document offsets not increasing"));
+            }
+            if tokens.iter().any(|&(t, _)| t.index() >= self.vocab_len) {
+                return Err(PersistError::Corrupt("token id outside segment vocabulary"));
+            }
+            corpus.add_tokens(label, tokens);
+        }
+        if corpus.len() != self.globals.len() {
+            return Err(PersistError::Corrupt("document count disagrees with ids"));
+        }
+        let index = persist::decode(&self.index_image[..])?;
+        if index.any().num_entries() > corpus.len() {
+            return Err(PersistError::Corrupt("segment index disagrees with corpus"));
+        }
+        Ok(SealedEntry {
+            data: Arc::new(SegmentData::from_parts(
+                self.id,
+                corpus,
+                self.globals,
+                index,
+            )),
+            deletes: Arc::new(deletes),
+        })
+    }
+}
+
+fn decode_segment(buf: &mut impl Buf) -> Result<RawSegment, PersistError> {
+    let id = get_u64(buf)?;
+    let num_docs = get_u32(buf)? as usize;
+    let mut globals = Vec::with_capacity(num_docs.min(1 << 20));
+    for _ in 0..num_docs {
+        globals.push(get_u32(buf)?);
+    }
+    let num_words = get_u32(buf)? as usize;
+    let mut delete_words = Vec::with_capacity(num_words.min(1 << 20));
+    for _ in 0..num_words {
+        delete_words.push(get_u64(buf)?);
+    }
+    let vocab_len = get_u32(buf)? as usize;
+    let mut docs = Vec::with_capacity(num_docs.min(1 << 20));
+    for _ in 0..num_docs {
+        let label = get_str(buf)?;
+        let num_tokens = get_u32(buf)? as usize;
+        let mut tokens = Vec::with_capacity(num_tokens.min(1 << 20));
+        for _ in 0..num_tokens {
+            let t = TokenId(get_u32(buf)?);
+            let offset = get_u32(buf)?;
+            let sentence = get_u32(buf)?;
+            let paragraph = get_u32(buf)?;
+            tokens.push((t, Position::new(offset, sentence, paragraph)));
+        }
+        docs.push((label, tokens));
+    }
+    let index_len = get_u32(buf)? as usize;
+    if buf.remaining() < index_len {
+        return Err(PersistError::Truncated);
+    }
+    let mut index_image = vec![0u8; index_len];
+    copy_exact(buf, &mut index_image);
+    Ok(RawSegment {
+        id,
+        globals,
+        delete_words,
+        vocab_len,
+        docs,
+        index_image,
+    })
+}
+
+/// Write a manifest to `path` atomically: encode, write and **fsync** a
+/// sibling `<path>.tmp`, `rename` into place, then fsync the parent
+/// directory (best-effort on platforms where directories can't be
+/// opened). Without the fsyncs the rename could reach disk before the
+/// data blocks, leaving a truncated file under the final name after a
+/// crash — exactly the torn state atomicity is supposed to rule out.
+pub fn save(live: &LiveIndex, path: &Path) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let bytes = encode(live);
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes.as_slice())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Load a manifest previously written by [`save`].
+pub fn load(path: &Path, config: LiveConfig) -> Result<LiveIndex, LoadError> {
+    let bytes = std::fs::read(path).map_err(LoadError::Io)?;
+    decode_with(&bytes[..], config).map_err(LoadError::Persist)
+}
+
+/// Errors from [`load`]: the file was unreadable, or its contents were.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The bytes were not a valid v4 manifest.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "manifest io: {e}"),
+            LoadError::Persist(e) => write!(f, "manifest decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_str(buf: &mut impl Buf) -> Result<String, PersistError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(PersistError::Truncated);
+    }
+    let mut bytes = vec![0u8; len];
+    copy_exact(buf, &mut bytes);
+    String::from_utf8(bytes).map_err(|_| PersistError::Corrupt("label not utf-8"))
+}
+
+/// `Buf::copy_to_slice` without the panic-on-short contract (callers check
+/// `remaining` first; this keeps the invariant local).
+fn copy_exact(buf: &mut impl Buf, out: &mut [u8]) {
+    let mut filled = 0;
+    while filled < out.len() {
+        let chunk = buf.chunk();
+        let take = chunk.len().min(out.len() - filled);
+        out[filled..filled + take].copy_from_slice(&chunk[..take]);
+        buf.advance(take);
+        filled += take;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsl_model::NodeId;
+
+    fn sample_live() -> LiveIndex {
+        let live = LiveIndex::with_config(LiveConfig {
+            background_merge: false,
+            ..LiveConfig::default()
+        });
+        live.add_document("usability of a software measures");
+        live.add_document("software testing tools");
+        live.flush();
+        live.add_document("task completion experiment");
+        live.add_document("usability by task completion");
+        live.flush();
+        live.delete_node(NodeId(1));
+        live.add_document("buffered document, flushed by encode");
+        live
+    }
+
+    fn assert_same(live: &LiveIndex, back: &LiveIndex) {
+        let a = live.snapshot();
+        let b = back.snapshot();
+        assert_eq!(a.num_segments(), b.num_segments());
+        assert_eq!(a.live_doc_count(), b.live_doc_count());
+        assert_eq!(a.tombstone_count(), b.tombstone_count());
+        for (sa, sb) in a.segments().iter().zip(b.segments()) {
+            assert_eq!(sa.data().id(), sb.data().id());
+            assert_eq!(sa.data().globals(), sb.data().globals());
+            assert_eq!(sa.deletes(), sb.deletes());
+            let (ca, cb) = (sa.data().corpus(), sb.data().corpus());
+            assert_eq!(ca.len(), cb.len());
+            assert_eq!(ca.interner().len(), cb.interner().len());
+            for (da, db) in ca.documents().iter().zip(cb.documents()) {
+                assert_eq!(da.label, db.label);
+                assert_eq!(da.tokens, db.tokens);
+            }
+            // Index images bit-identical.
+            assert_eq!(
+                persist::encode(sa.data().index()),
+                persist::encode(sb.data().index())
+            );
+        }
+    }
+
+    #[test]
+    fn multi_segment_roundtrip_is_bit_identical() {
+        let live = sample_live();
+        let bytes = encode(&live);
+        let back = decode(bytes.clone()).expect("decode");
+        assert_same(&live, &back);
+        // Encoding the reloaded index reproduces the same bytes.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn reloaded_index_keeps_accepting_writes() {
+        let live = sample_live();
+        let back = decode(encode(&live)).expect("decode");
+        let n = back.add_document("a brand new document");
+        assert_eq!(n.0 as usize, 5, "global ids continue past the manifest");
+        assert!(back.delete_node(NodeId(0)));
+        // Vocabulary continuity: an old token resolves to its old id.
+        let snap = back.snapshot();
+        let widest = snap.widest_interner().unwrap();
+        assert!(widest.get("usability").is_some());
+    }
+
+    #[test]
+    fn bare_index_versions_are_rejected() {
+        for v in [1u32, 2, 3, 5, 99] {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(MAGIC);
+            buf.put_u32_le(v);
+            assert!(
+                matches!(decode(buf.freeze()), Err(PersistError::BadVersion(got)) if got == v),
+                "version {v} must be rejected"
+            );
+        }
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xbad_f00d);
+        buf.put_u32_le(VERSION);
+        assert!(matches!(
+            decode(buf.freeze()),
+            Err(PersistError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn persist_decode_rejects_a_manifest_buffer() {
+        let bytes = encode(&sample_live());
+        assert!(matches!(
+            persist::decode(bytes),
+            Err(PersistError::BadVersion(4))
+        ));
+    }
+
+    #[test]
+    fn truncations_and_bitflips_never_panic() {
+        let bytes = encode(&sample_live());
+        for cut in [0, 3, 9, bytes.len() / 3, bytes.len() - 1] {
+            let sliced = bytes.slice(0..cut);
+            assert!(decode(sliced).is_err(), "cut at {cut} must error");
+        }
+        // Flip one byte at a time across a sample of offsets; decoding may
+        // succeed (a label byte) but must never panic.
+        for i in (8..bytes.len()).step_by(7) {
+            let mut raw = bytes.to_vec();
+            raw[i] ^= 0x5a;
+            let _ = decode(&raw[..]);
+        }
+    }
+
+    #[test]
+    fn empty_live_index_roundtrips() {
+        let live = LiveIndex::with_config(LiveConfig {
+            background_merge: false,
+            ..LiveConfig::default()
+        });
+        let back = decode(encode(&live)).expect("decode");
+        assert_eq!(back.snapshot().num_segments(), 0);
+        let n = back.add_document("first");
+        assert_eq!(n, NodeId(0));
+    }
+
+    #[test]
+    fn save_and_load_are_atomic_rename() {
+        let live = sample_live();
+        let dir = std::env::temp_dir().join("ftsl-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.ftsm");
+        save(&live, &path).expect("save");
+        assert!(!path.with_extension("tmp").exists(), "temp file renamed");
+        let back = load(
+            &path,
+            LiveConfig {
+                background_merge: false,
+                ..LiveConfig::default()
+            },
+        )
+        .expect("load");
+        assert_same(&live, &back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

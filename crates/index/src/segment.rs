@@ -1,0 +1,464 @@
+//! Segments: the building blocks of the live (LSM-style) index.
+//!
+//! A [`SegmentData`] is one sealed, immutable slice of the collection — a
+//! per-segment [`Corpus`] (local node ids `0..n`) plus the
+//! [`InvertedIndex`] built over it, plus the mapping from local node ids to
+//! the *global* node ids the [`crate::live::LiveIndex`] hands out. Deletes
+//! never touch a sealed segment; they live next to it in a copy-on-write
+//! [`DeleteSet`] bitmap, so a held snapshot keeps the bits it saw while the
+//! live index keeps marking new tombstones.
+//!
+//! The [`MemSegment`] is the mutable write buffer: documents accumulate in
+//! a plain [`Corpus`] (which owns the *current* global vocabulary) until a
+//! flush seals them into a [`SegmentData`].
+
+use crate::builder::IndexBuilder;
+use crate::counters::AccessCounters;
+use crate::index::InvertedIndex;
+use crate::scored::ScoredCursor;
+use ftsl_model::{Corpus, Document, NodeId, Tokenizer};
+
+/// A per-segment tombstone bitmap over local node ids.
+///
+/// Cloning is cheap relative to segment size (one word per 64 documents),
+/// which is what makes copy-on-write snapshots work: the live index mutates
+/// a fresh clone (`Arc::make_mut`) while snapshots keep the frozen one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeleteSet {
+    words: Vec<u64>,
+    len: usize,
+    deleted: usize,
+}
+
+impl DeleteSet {
+    /// An all-live bitmap over `len` local node ids.
+    pub fn new(len: usize) -> Self {
+        DeleteSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            deleted: 0,
+        }
+    }
+
+    /// Number of local node ids covered (live or deleted).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the bitmap covers no documents at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Extend the bitmap with one more live slot (write-buffer growth).
+    pub fn push_slot(&mut self) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+    }
+
+    /// Mark a local node deleted. Returns `false` if it was already deleted
+    /// or out of range (so callers can report idempotent deletes honestly).
+    pub fn delete(&mut self, local: usize) -> bool {
+        if local >= self.len || self.is_deleted(local) {
+            return false;
+        }
+        self.words[local / 64] |= 1 << (local % 64);
+        self.deleted += 1;
+        true
+    }
+
+    /// Whether a local node is tombstoned. Out-of-range ids read as live.
+    pub fn is_deleted(&self, local: usize) -> bool {
+        local < self.len && self.words[local / 64] & (1 << (local % 64)) != 0
+    }
+
+    /// Whether a local node is still live.
+    pub fn is_live(&self, local: usize) -> bool {
+        !self.is_deleted(local)
+    }
+
+    /// Number of tombstoned documents.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted
+    }
+
+    /// Number of live documents.
+    pub fn live_count(&self) -> usize {
+        self.len - self.deleted
+    }
+
+    /// Iterate the tombstoned local node ids in ascending order.
+    pub fn iter_deleted(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.is_deleted(i))
+    }
+
+    /// The raw bitmap words (for persistence; `len` words cover
+    /// [`Self::len`] slots, trailing bits zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap from persisted parts.
+    ///
+    /// Returns `None` when the parts are inconsistent (wrong word count,
+    /// set bits past `len`, or a popcount that disagrees with `deleted`) —
+    /// persistence treats that as corruption, never as a panic.
+    pub fn from_parts(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if let Some(&last) = words.last() {
+            let used = len - (words.len() - 1) * 64;
+            if used < 64 && last >> used != 0 {
+                return None;
+            }
+        }
+        let deleted = words.iter().map(|w| w.count_ones() as usize).sum();
+        Some(DeleteSet {
+            words,
+            len,
+            deleted,
+        })
+    }
+}
+
+/// One sealed, immutable segment: a local corpus, its inverted index, and
+/// the global node ids its local ids map to.
+#[derive(Clone, Debug)]
+pub struct SegmentData {
+    id: u64,
+    corpus: Corpus,
+    index: InvertedIndex,
+    /// `globals[local]` is the global node id of local node `local`;
+    /// strictly ascending (segments own disjoint, ordered global ranges).
+    globals: Vec<u32>,
+}
+
+impl SegmentData {
+    /// Seal a corpus (local node ids `0..n`) into a segment.
+    ///
+    /// # Panics
+    /// Panics if `globals` is not strictly ascending or disagrees with the
+    /// corpus length — both would corrupt the global id space silently.
+    pub fn seal(id: u64, corpus: Corpus, globals: Vec<u32>) -> Self {
+        assert_eq!(globals.len(), corpus.len(), "one global id per document");
+        assert!(
+            globals.windows(2).all(|w| w[0] < w[1]),
+            "global ids must be strictly ascending"
+        );
+        let index = IndexBuilder::new().build(&corpus);
+        SegmentData {
+            id,
+            corpus,
+            index,
+            globals,
+        }
+    }
+
+    /// Reassemble a segment from persisted parts, trusting the caller (the
+    /// manifest decoder) to have validated corpus/index agreement. The
+    /// ascending-globals invariant is still enforced here.
+    pub(crate) fn from_parts(
+        id: u64,
+        corpus: Corpus,
+        globals: Vec<u32>,
+        index: InvertedIndex,
+    ) -> Self {
+        assert_eq!(globals.len(), corpus.len(), "one global id per document");
+        assert!(
+            globals.windows(2).all(|w| w[0] < w[1]),
+            "global ids must be strictly ascending"
+        );
+        SegmentData {
+            id,
+            corpus,
+            index,
+            globals,
+        }
+    }
+
+    /// The segment's identity (unique within one live index; merge commits
+    /// locate their inputs by it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The per-segment corpus (local node ids).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The per-segment inverted index (local node ids).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Number of documents sealed into the segment (including tombstoned
+    /// ones — tombstones live outside the immutable data).
+    pub fn num_docs(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// The global node id of a local node.
+    pub fn global_of(&self, local: usize) -> NodeId {
+        NodeId(self.globals[local])
+    }
+
+    /// The local node id holding `global`, if this segment owns it.
+    pub fn local_of(&self, global: NodeId) -> Option<usize> {
+        self.globals.binary_search(&global.0).ok()
+    }
+
+    /// The global id range `[first, last]` this segment covers (`None` when
+    /// empty). Ranges of distinct segments never overlap.
+    pub fn global_range(&self) -> Option<(u32, u32)> {
+        Some((*self.globals.first()?, *self.globals.last()?))
+    }
+
+    /// All `(local, global)` pairs in ascending order.
+    pub fn globals(&self) -> &[u32] {
+        &self.globals
+    }
+
+    /// The document at a local node id.
+    pub fn document(&self, local: usize) -> &Document {
+        self.corpus.document(NodeId(local as u32))
+    }
+}
+
+/// The mutable in-memory write buffer: documents accumulate here between
+/// flushes. Its corpus owns the *current* global token vocabulary — sealed
+/// segments carry clones of it, which keeps token ids prefix-consistent
+/// across the whole live index.
+#[derive(Clone, Debug)]
+pub struct MemSegment {
+    corpus: Corpus,
+    globals: Vec<u32>,
+}
+
+impl MemSegment {
+    /// An empty buffer continuing from an existing vocabulary.
+    pub fn new(corpus: Corpus) -> Self {
+        assert!(corpus.is_empty(), "write buffer must start without docs");
+        MemSegment {
+            corpus,
+            globals: Vec::new(),
+        }
+    }
+
+    /// Tokenize and append one document under global id `global`.
+    pub fn add(&mut self, tokenizer: &Tokenizer, text: &str, global: u32) {
+        debug_assert!(self.globals.last().is_none_or(|&g| g < global));
+        self.corpus.add_text_with(tokenizer, text);
+        self.globals.push(global);
+    }
+
+    /// Number of buffered documents.
+    pub fn len(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// True iff nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.globals.is_empty()
+    }
+
+    /// The local slot of `global`, if buffered here.
+    pub fn local_of(&self, global: NodeId) -> Option<usize> {
+        self.globals.binary_search(&global.0).ok()
+    }
+
+    /// The buffered corpus (which owns the live vocabulary).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Seal the current buffer contents into a [`SegmentData`] under
+    /// segment id `id`, leaving the buffer itself untouched (the caller
+    /// decides whether this is a flush or a point-in-time read view).
+    pub fn seal_view(&self, id: u64) -> SegmentData {
+        SegmentData::seal(id, self.corpus.clone(), self.globals.clone())
+    }
+
+    /// Drain the buffer: return its contents and reset it to an empty
+    /// corpus that keeps the (grown) vocabulary.
+    pub fn drain(&mut self) -> (Corpus, Vec<u32>) {
+        let vocab = self.corpus.interner().clone();
+        let corpus = std::mem::replace(&mut self.corpus, Corpus::with_interner(vocab));
+        let globals = std::mem::take(&mut self.globals);
+        (corpus, globals)
+    }
+}
+
+/// A [`ScoredCursor`] that steps over tombstoned entries — the
+/// delete-filtering wrapper the streaming top-k evaluators put around every
+/// per-segment leaf cursor, so deleted documents can neither enter the heap
+/// nor displace live candidates.
+///
+/// `next_entry`/`seek` keep advancing the inner cursor until it lands on a
+/// live node; score *bounds* are forwarded untouched (a bound over a
+/// superset of the live entries is still a sound upper bound).
+pub struct DeleteFilteredCursor<'a> {
+    inner: Box<dyn ScoredCursor + 'a>,
+    deletes: &'a DeleteSet,
+}
+
+impl<'a> DeleteFilteredCursor<'a> {
+    /// Wrap `inner`, filtering by `deletes` (local node ids).
+    pub fn new(inner: Box<dyn ScoredCursor + 'a>, deletes: &'a DeleteSet) -> Self {
+        DeleteFilteredCursor { inner, deletes }
+    }
+
+    fn advance_to_live(&mut self, mut node: NodeId) -> Option<NodeId> {
+        while self.deletes.is_deleted(node.index()) {
+            node = self.inner.next_entry()?;
+        }
+        Some(node)
+    }
+}
+
+impl ScoredCursor for DeleteFilteredCursor<'_> {
+    fn node(&self) -> Option<NodeId> {
+        // Invariant: after every advance the inner cursor rests on a live
+        // entry, so no filtering is needed here.
+        self.inner.node()
+    }
+
+    fn next_entry(&mut self) -> Option<NodeId> {
+        let node = self.inner.next_entry()?;
+        self.advance_to_live(node)
+    }
+
+    fn seek(&mut self, target: NodeId) -> Option<NodeId> {
+        let node = self.inner.seek(target)?;
+        self.advance_to_live(node)
+    }
+
+    fn score(&self) -> f64 {
+        self.inner.score()
+    }
+
+    fn max_score_current_block(&self) -> f64 {
+        self.inner.max_score_current_block()
+    }
+
+    fn max_score_list(&self) -> f64 {
+        self.inner.max_score_list()
+    }
+
+    fn max_score_at(&self, target: NodeId) -> f64 {
+        self.inner.max_score_at(target)
+    }
+
+    fn skip_block(&mut self) -> Option<NodeId> {
+        let node = self.inner.skip_block()?;
+        self.advance_to_live(node)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.inner.exhausted()
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scored::EntryScorer;
+    use crate::IndexLayout;
+
+    #[test]
+    fn delete_set_marks_counts_and_iterates() {
+        let mut d = DeleteSet::new(130);
+        assert_eq!(d.len(), 130);
+        assert_eq!(d.live_count(), 130);
+        assert!(d.delete(0));
+        assert!(d.delete(129));
+        assert!(d.delete(64));
+        assert!(!d.delete(64), "double delete is reported");
+        assert!(!d.delete(500), "out of range is reported");
+        assert!(d.is_deleted(129) && d.is_live(1));
+        assert_eq!(d.deleted_count(), 3);
+        assert_eq!(d.live_count(), 127);
+        assert_eq!(d.iter_deleted().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn delete_set_roundtrips_through_parts() {
+        let mut d = DeleteSet::new(70);
+        d.delete(3);
+        d.delete(69);
+        let back = DeleteSet::from_parts(d.words().to_vec(), d.len()).unwrap();
+        assert_eq!(back, d);
+        // Wrong word count and stray high bits are rejected.
+        assert!(DeleteSet::from_parts(vec![0], 70).is_none());
+        assert!(DeleteSet::from_parts(vec![0, 1 << 63], 70).is_none());
+    }
+
+    #[test]
+    fn segment_maps_locals_to_globals() {
+        let corpus = Corpus::from_texts(&["a b", "b c", "c"]);
+        let seg = SegmentData::seal(7, corpus, vec![10, 12, 40]);
+        assert_eq!(seg.id(), 7);
+        assert_eq!(seg.num_docs(), 3);
+        assert_eq!(seg.global_of(1), NodeId(12));
+        assert_eq!(seg.local_of(NodeId(40)), Some(2));
+        assert_eq!(seg.local_of(NodeId(11)), None);
+        assert_eq!(seg.global_range(), Some((10, 40)));
+    }
+
+    #[test]
+    fn mem_segment_buffers_and_drains_keeping_vocabulary() {
+        let mut mem = MemSegment::new(Corpus::new());
+        let tok = Tokenizer::new();
+        mem.add(&tok, "alpha beta", 0);
+        mem.add(&tok, "beta gamma", 1);
+        assert_eq!(mem.len(), 2);
+        assert_eq!(mem.local_of(NodeId(1)), Some(1));
+        let view = mem.seal_view(99);
+        assert_eq!(view.num_docs(), 2);
+        let (corpus, globals) = mem.drain();
+        assert_eq!(globals, vec![0, 1]);
+        assert_eq!(corpus.len(), 2);
+        assert!(mem.is_empty());
+        // The drained-out buffer keeps the vocabulary it grew.
+        assert!(mem.corpus().token_id("gamma").is_some());
+    }
+
+    struct One;
+    impl EntryScorer for One {
+        fn score(&self, _node: NodeId, tf: u32) -> f64 {
+            f64::from(tf)
+        }
+        fn bound(&self, max_tf: u32) -> f64 {
+            f64::from(max_tf)
+        }
+    }
+
+    #[test]
+    fn delete_filtered_cursor_steps_over_tombstones() {
+        let corpus = Corpus::from_texts(&["x", "x x", "x", "x", "x x x"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let x = corpus.token_id("x").unwrap();
+        let mut deletes = DeleteSet::new(5);
+        deletes.delete(1);
+        deletes.delete(3);
+        deletes.delete(4);
+        let inner = index.scored_cursor(x, IndexLayout::Decoded, One);
+        let mut cur = DeleteFilteredCursor::new(inner, &deletes);
+        assert_eq!(cur.next_entry(), Some(NodeId(0)));
+        assert_eq!(cur.next_entry(), Some(NodeId(2)), "skips tombstoned 1");
+        assert_eq!(cur.next_entry(), None, "4 is tombstoned, list ends");
+        // Seek lands past tombstones too.
+        let inner = index.scored_cursor(x, IndexLayout::Blocks, One);
+        let mut cur = DeleteFilteredCursor::new(inner, &deletes);
+        assert_eq!(cur.seek(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(cur.node(), Some(NodeId(2)));
+        assert_eq!(cur.score(), 1.0);
+    }
+}

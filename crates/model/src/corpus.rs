@@ -21,6 +21,20 @@ impl Corpus {
         Self::default()
     }
 
+    /// An empty corpus that starts from an existing vocabulary.
+    ///
+    /// Token ids interned by `interner` stay valid in the new corpus, which
+    /// is what lets a segmented index keep one *prefix-consistent* global
+    /// vocabulary: every segment's corpus begins from a clone of the shared
+    /// interner, so a given `TokenId` means the same string in every
+    /// segment that knows it.
+    pub fn with_interner(interner: TokenInterner) -> Self {
+        Corpus {
+            documents: Vec::new(),
+            interner,
+        }
+    }
+
     /// Build a corpus by tokenizing raw texts with the default tokenizer.
     pub fn from_texts<S: AsRef<str>>(texts: &[S]) -> Self {
         let mut corpus = Corpus::new();

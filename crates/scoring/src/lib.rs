@@ -61,6 +61,7 @@
 
 pub mod bool_scores;
 pub mod classic;
+pub mod live;
 pub mod pra;
 pub mod relation;
 pub mod stats;
@@ -68,10 +69,14 @@ pub mod stream;
 pub mod tfidf;
 pub mod topk;
 
+pub use live::SnapshotStats;
 pub use pra::PraModel;
 pub use relation::{ScoredEvaluator, ScoredRelation};
 pub use stats::ScoreStats;
-pub use stream::{run_bool_topk, topk_pra_disjunction, topk_tfidf, ScoredHits, UnionKind};
+pub use stream::{
+    run_bool_topk, run_bool_topk_filtered, topk_pra_disjunction, topk_pra_disjunction_filtered,
+    topk_tfidf, topk_tfidf_filtered, ScoredHits, UnionKind,
+};
 pub use tfidf::TfIdfModel;
 pub use topk::TopK;
 

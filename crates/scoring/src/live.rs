@@ -1,0 +1,268 @@
+//! Collection-wide scoring statistics over a live, segmented index.
+//!
+//! TF-IDF is global twice over: a node's score needs `idf(t)` (document
+//! frequencies across the *whole* collection) and its own L2 norm — which
+//! itself sums idf values of every token the node contains. A single
+//! segment of a [`Snapshot`] knows neither. [`SnapshotStats`] computes the
+//! merged numbers once per snapshot — live `df` summed per token id across
+//! segments (token ids are prefix-consistent, see `ftsl_index::live`),
+//! tombstoned documents subtracted, `db_size` = live documents — and then
+//! derives a per-segment [`ScoreStats`] from them, so every engine scores a
+//! segment's local nodes *exactly* as a monolithic index over the same live
+//! documents would: bit-identical idf, norms, and therefore scores.
+
+use crate::stats::{idf_value, ScoreStats};
+use crate::{PraModel, TfIdfModel};
+use ftsl_index::Snapshot;
+use ftsl_model::TokenId;
+
+/// Merged, tombstone-aware scoring statistics for one [`Snapshot`], plus
+/// the per-segment [`ScoreStats`] views the evaluators consume.
+#[derive(Clone, Debug)]
+pub struct SnapshotStats {
+    db_size: usize,
+    /// Live document frequency by (prefix-consistent) token id, shared
+    /// with every per-segment [`ScoreStats`] view (one allocation total).
+    df: std::sync::Arc<Vec<usize>>,
+    per_segment: Vec<ScoreStats>,
+}
+
+impl SnapshotStats {
+    /// Compute merged statistics for a snapshot. Cost is one pass over the
+    /// segment vocabularies plus one pass over *tombstoned* documents'
+    /// tokens — live documents are never rescanned for `df`.
+    pub fn compute(snapshot: &Snapshot) -> Self {
+        let db_size = snapshot.live_doc_count();
+        let vocab = snapshot.widest_interner().map_or(0, |i| i.len());
+        let mut df = vec![0usize; vocab];
+        for seg in snapshot.segments() {
+            let data = seg.data();
+            for (t, slot) in df
+                .iter_mut()
+                .enumerate()
+                .take(data.corpus().interner().len())
+            {
+                *slot += data.index().df(TokenId(t as u32));
+            }
+            for local in seg.deletes().iter_deleted() {
+                let doc = data.document(local);
+                let mut tokens: Vec<TokenId> = doc.tokens.iter().map(|&(t, _)| t).collect();
+                tokens.sort_unstable();
+                tokens.dedup();
+                for t in tokens {
+                    df[t.index()] -= 1;
+                }
+            }
+        }
+        let df = std::sync::Arc::new(df);
+        let per_segment = snapshot
+            .segments()
+            .iter()
+            .map(|seg| {
+                ScoreStats::compute_with_shared_df(
+                    seg.data().corpus(),
+                    std::sync::Arc::clone(&df),
+                    db_size,
+                )
+            })
+            .collect();
+        SnapshotStats {
+            db_size,
+            df,
+            per_segment,
+        }
+    }
+
+    /// Live documents in the snapshot (`db_size` of the scoring formulas).
+    pub fn db_size(&self) -> usize {
+        self.db_size
+    }
+
+    /// Live document frequency of a token id (0 when out of range).
+    pub fn df_id(&self, token: TokenId) -> usize {
+        self.df.get(token.index()).copied().unwrap_or(0)
+    }
+
+    /// `idf(t)` from the live numbers; 0 for tokens with no live document
+    /// (including tokens that only ever appeared in tombstoned documents —
+    /// a monolithic rebuild would not know them at all).
+    pub fn idf_id(&self, token: TokenId) -> f64 {
+        let df = self.df_id(token);
+        if df == 0 {
+            0.0
+        } else {
+            idf_value(self.db_size, df)
+        }
+    }
+
+    /// The per-segment [`ScoreStats`] (same order as
+    /// [`Snapshot::segments`]): local-node norms computed against the
+    /// merged `df`/`db_size`.
+    pub fn segment(&self, i: usize) -> &ScoreStats {
+        &self.per_segment[i]
+    }
+
+    /// Build the query's TF-IDF model from the merged statistics. Token
+    /// strings resolve through the snapshot's widest vocabulary, so a token
+    /// any segment ever saw gets its collection-wide idf.
+    pub fn tfidf_model<S: AsRef<str>>(&self, tokens: &[S], snapshot: &Snapshot) -> TfIdfModel {
+        TfIdfModel::for_query_with_idf(tokens, |name| {
+            snapshot
+                .widest_interner()
+                .and_then(|i| i.get(name))
+                .map_or(0.0, |id| self.idf_id(id))
+        })
+    }
+
+    /// Build the PRA model from the merged statistics (idf table over the
+    /// widest vocabulary, normalized by the live collection size).
+    pub fn pra_model(&self, snapshot: &Snapshot) -> PraModel {
+        let table = snapshot
+            .widest_interner()
+            .map(|interner| {
+                interner
+                    .iter()
+                    .map(|(id, name)| (name.to_string(), self.idf_id(id)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        PraModel::with_idf_table(table, self.db_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ScoreStats;
+    use ftsl_index::{IndexBuilder, LiveConfig, LiveIndex};
+    use ftsl_model::{Corpus, NodeId};
+
+    fn manual() -> LiveConfig {
+        LiveConfig {
+            background_merge: false,
+            ..LiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn merged_stats_match_a_monolithic_rebuild() {
+        let live = LiveIndex::with_config(manual());
+        let texts = [
+            "usability of a software",
+            "software testing tools",
+            "task completion experiment",
+            "usability by task completion",
+        ];
+        for (i, t) in texts.iter().enumerate() {
+            live.add_document(t);
+            if i % 2 == 1 {
+                live.flush();
+            }
+        }
+        live.delete_node(NodeId(1));
+        let snap = live.snapshot();
+        let stats = SnapshotStats::compute(&snap);
+
+        // The monolithic oracle: rebuild from the survivors.
+        let survivors: Vec<String> = snap
+            .live_documents()
+            .map(|(_, d)| {
+                d.tokens
+                    .iter()
+                    .map(|&(t, _)| snap.widest_interner().unwrap().name(t).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        let corpus = Corpus::from_texts(&survivors);
+        let index = IndexBuilder::new().build(&corpus);
+        let mono = ScoreStats::compute(&corpus, &index);
+
+        assert_eq!(stats.db_size(), mono.db_size);
+        for (id, name) in snap.widest_interner().unwrap().iter() {
+            let mono_df = corpus.token_id(name).map_or(0, |m| mono.df(m));
+            assert_eq!(stats.df_id(id), mono_df, "df({name})");
+            let mono_idf = corpus.token_id(name).map_or(0.0, |m| mono.idf(m));
+            assert_eq!(
+                stats.idf_id(id).to_bits(),
+                mono_idf.to_bits(),
+                "idf({name})"
+            );
+        }
+        // Per-node norms: walk live docs in order; they are the monolithic
+        // nodes 0..n in the same order.
+        let mut mono_node = 0u32;
+        for (seg_idx, seg) in snap.segments().iter().enumerate() {
+            let per = stats.segment(seg_idx);
+            for local in 0..seg.data().num_docs() {
+                if seg.deletes().is_live(local) {
+                    let l = NodeId(local as u32);
+                    let m = NodeId(mono_node);
+                    assert_eq!(
+                        per.l2_norm(l).to_bits(),
+                        mono.l2_norm(m).to_bits(),
+                        "l2 of live doc {mono_node}"
+                    );
+                    assert_eq!(per.unique_tokens(l), mono.unique_tokens(m));
+                    mono_node += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn models_over_snapshots_match_monolithic_models() {
+        let live = LiveIndex::with_config(manual());
+        live.add_document("alpha beta gamma");
+        live.flush();
+        live.add_document("beta beta delta");
+        live.add_document("gamma doomed");
+        live.flush();
+        live.delete_node(NodeId(2)); // "doomed" survives nowhere
+        let snap = live.snapshot();
+        let stats = SnapshotStats::compute(&snap);
+
+        let survivors = ["alpha beta gamma", "beta beta delta"];
+        let corpus = Corpus::from_texts(&survivors);
+        let index = IndexBuilder::new().build(&corpus);
+        let mono = ScoreStats::compute(&corpus, &index);
+
+        // TF-IDF: a query mentioning a token only the tombstoned doc had.
+        let q = ["beta", "doomed", "alpha"];
+        let snap_model = stats.tfidf_model(&q, &snap);
+        let mono_model = TfIdfModel::for_query(&q, &corpus, &mono);
+        for t in q {
+            assert_eq!(
+                snap_model.weight(t).to_bits(),
+                mono_model.weight(t).to_bits(),
+                "weight({t})"
+            );
+        }
+        assert_eq!(
+            snap_model.query_norm().to_bits(),
+            mono_model.query_norm().to_bits()
+        );
+
+        // PRA: token probabilities agree for live and dead tokens alike.
+        let snap_pra = stats.pra_model(&snap);
+        let mono_pra = PraModel::new(&corpus, &mono);
+        use crate::ScoringModel;
+        for t in ["alpha", "beta", "gamma", "delta", "doomed", "unseen"] {
+            let a = snap_pra.token_tuple(t, NodeId(0), stats.segment(0));
+            let b = mono_pra.token_tuple(t, NodeId(0), &mono);
+            assert_eq!(a.to_bits(), b.to_bits(), "pra({t})");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_yields_empty_stats() {
+        let live = LiveIndex::with_config(manual());
+        let snap = live.snapshot();
+        let stats = SnapshotStats::compute(&snap);
+        assert_eq!(stats.db_size(), 0);
+        assert_eq!(stats.df_id(TokenId(0)), 0);
+        assert_eq!(stats.idf_id(TokenId(5)), 0.0);
+        let model = stats.tfidf_model(&["anything"], &snap);
+        assert_eq!(model.weight("anything"), 0.0);
+    }
+}

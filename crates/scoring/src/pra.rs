@@ -22,14 +22,23 @@ pub struct PraModel {
 impl PraModel {
     /// Build the model over a corpus.
     pub fn new(corpus: &ftsl_model::Corpus, stats: &ScoreStats) -> Self {
-        let max_idf = (1.0 + stats.db_size as f64).ln();
         let idf_lookup = corpus
             .interner()
             .iter()
             .map(|(id, name)| (name.to_string(), stats.idf(id)))
             .collect();
+        Self::with_idf_table(idf_lookup, stats.db_size)
+    }
+
+    /// Build the model from a precomputed `token → idf` table and a
+    /// collection size — how a live snapshot supplies collection-wide
+    /// values spanning every segment's vocabulary.
+    pub fn with_idf_table(
+        idf_lookup: std::collections::HashMap<String, f64>,
+        db_size: usize,
+    ) -> Self {
         PraModel {
-            max_idf,
+            max_idf: (1.0 + db_size as f64).ln(),
             idf_lookup,
         }
     }

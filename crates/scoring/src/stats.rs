@@ -2,6 +2,7 @@
 
 use ftsl_index::InvertedIndex;
 use ftsl_model::{Corpus, NodeId, TokenId};
+use std::sync::Arc;
 
 /// Precomputed per-corpus statistics: `df(t)`, `db_size`,
 /// `unique_tokens(n)`, and the L2 norm `‖n‖₂` of every node's TF-IDF vector.
@@ -9,8 +10,10 @@ use ftsl_model::{Corpus, NodeId, TokenId};
 pub struct ScoreStats {
     /// Number of context nodes (`db_size`).
     pub db_size: usize,
-    /// Document frequency per token id.
-    df: Vec<usize>,
+    /// Document frequency per token id. Shared (`Arc`) so the per-segment
+    /// views of a live snapshot all reference one merged vector instead of
+    /// cloning it per segment.
+    df: Arc<Vec<usize>>,
     /// `unique_tokens(n)` per node.
     unique_tokens: Vec<usize>,
     /// `‖n‖₂` per node (L2 norm of the node's tf·idf vector).
@@ -25,12 +28,41 @@ pub struct ScoreStats {
 impl ScoreStats {
     /// Compute statistics for a corpus and its index.
     pub fn compute(corpus: &Corpus, index: &InvertedIndex) -> Self {
-        let db_size = corpus.len();
         let vocab = corpus.interner().len();
         let df: Vec<usize> = (0..vocab).map(|t| index.df(TokenId(t as u32))).collect();
+        Self::compute_with_df(corpus, df, corpus.len())
+    }
 
-        let mut unique_tokens = Vec::with_capacity(db_size);
-        let mut l2_norm = Vec::with_capacity(db_size);
+    /// [`Self::compute_with_df`] over an already-shared `df` vector (no
+    /// copy — every per-segment view of a live snapshot holds the same
+    /// allocation).
+    pub fn compute_with_shared_df(corpus: &Corpus, df: Arc<Vec<usize>>, db_size: usize) -> Self {
+        Self::compute_inner(corpus, df, db_size)
+    }
+
+    /// Compute per-node statistics for `corpus` against *externally
+    /// supplied* collection-level numbers: `df` by token id (may be longer
+    /// than the corpus vocabulary) and `db_size`.
+    ///
+    /// This is how one segment of a live index gets statistics that are
+    /// correct for the *whole* collection: token ids are prefix-consistent
+    /// across segments, so the global live `df` vector indexes directly,
+    /// and every `unique_tokens`/`‖n‖₂` value comes out exactly as a
+    /// monolithic index over the same live documents would compute it.
+    /// Documents whose tokens have `df = 0` (possible only for tombstoned
+    /// documents, whose tokens may survive nowhere) get an infinite norm —
+    /// harmless, since nothing live ever reads their rows.
+    pub fn compute_with_df(corpus: &Corpus, df: Vec<usize>, db_size: usize) -> Self {
+        Self::compute_inner(corpus, Arc::new(df), db_size)
+    }
+
+    fn compute_inner(corpus: &Corpus, df: Arc<Vec<usize>>, db_size: usize) -> Self {
+        let num_docs = corpus.len();
+        let vocab = corpus.interner().len();
+        debug_assert!(df.len() >= vocab, "df vector must cover the vocabulary");
+
+        let mut unique_tokens = Vec::with_capacity(num_docs);
+        let mut l2_norm = Vec::with_capacity(num_docs);
         let mut max_node_boost = 0.0f64;
         let mut counts: Vec<u32> = vec![0; vocab];
         let mut touched: Vec<TokenId> = Vec::new();
@@ -101,7 +133,7 @@ impl ScoreStats {
     }
 }
 
-fn idf_value(db_size: usize, df: usize) -> f64 {
+pub(crate) fn idf_value(db_size: usize, df: usize) -> f64 {
     (1.0 + db_size as f64 / df as f64).ln()
 }
 

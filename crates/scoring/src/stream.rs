@@ -26,9 +26,25 @@ use crate::pra::PraModel;
 use crate::stats::ScoreStats;
 use crate::topk::TopK;
 use crate::ScoringModel;
-use ftsl_index::{AccessCounters, IndexLayout, InvertedIndex, ScoredCursor};
+use ftsl_index::{
+    AccessCounters, DeleteFilteredCursor, DeleteSet, IndexLayout, InvertedIndex, ScoredCursor,
+};
 use ftsl_lang::SurfaceQuery;
 use ftsl_model::{Corpus, NodeId};
+
+/// Wrap a leaf cursor in tombstone filtering when a delete set is present
+/// (live-index segments); a `None` set is the frozen-index fast path.
+fn wrap_live<'a>(
+    cur: Box<dyn ScoredCursor + 'a>,
+    live: Option<&'a DeleteSet>,
+) -> Box<dyn ScoredCursor + 'a> {
+    match live {
+        Some(deletes) if deletes.deleted_count() > 0 => {
+            Box::new(DeleteFilteredCursor::new(cur, deletes))
+        }
+        _ => cur,
+    }
+}
 
 /// TF-IDF entry scoring for one search token: per-entry score is the
 /// token's full contribution to the node's cosine TF-IDF (Section 3.1), so
@@ -141,7 +157,7 @@ pub struct ScoredHits {
 /// [`InvertedIndex::scored_cursor`]). Nodes scoring ≤ 0 are never reported,
 /// matching the exhaustive oracles.
 pub fn topk_union(
-    mut cursors: Vec<Box<dyn ScoredCursor + '_>>,
+    cursors: Vec<Box<dyn ScoredCursor + '_>>,
     kind: UnionKind,
     k: usize,
 ) -> ScoredHits {
@@ -149,22 +165,29 @@ pub fn topk_union(
     // Ascending by list bound: prefix[i] bounds what lists 0..=i can jointly
     // contribute to any single node. The suffix past the "first essential"
     // index drives candidate generation; lists below it are probe-only.
-    cursors.sort_by(|a, b| a.max_score_list().total_cmp(&b.max_score_list()));
+    // Each cursor keeps its *caller-order* index through the sort: the
+    // combine fold below runs in that order, so a node's score is
+    // bit-identical no matter how the bounds happened to rank the lists —
+    // in particular, one segment of a live index (whose per-list bounds
+    // differ from the whole collection's) folds exactly like a monolithic
+    // index over the same documents.
+    let mut cursors: Vec<(usize, Box<dyn ScoredCursor + '_>)> =
+        cursors.into_iter().enumerate().collect();
+    cursors.sort_by(|a, b| a.1.max_score_list().total_cmp(&b.1.max_score_list()));
     let m = cursors.len();
     let prefix: Vec<f64> = cursors
         .iter()
-        .scan(kind.identity(), |acc, c| {
+        .scan(kind.identity(), |acc, (_, c)| {
             *acc = kind.combine(*acc, c.max_score_list());
             Some(*acc)
         })
         .collect();
-    for c in cursors.iter_mut() {
+    for (_, c) in cursors.iter_mut() {
         c.next_entry();
     }
     let mut first_essential = 0usize;
-    // Per-candidate contributions, keyed by list index so the combine fold
-    // runs in a fixed order — equal bags of tokens produce bit-equal scores
-    // regardless of which lists were essential when the node was scored.
+    // Per-candidate contributions, keyed by the caller-order cursor index
+    // (see above).
     let mut parts: Vec<(usize, f64)> = Vec::with_capacity(m);
 
     loop {
@@ -185,7 +208,7 @@ pub fn topk_union(
             } else {
                 prefix[first_essential - 1]
             };
-            let driver = &mut cursors[m - 1];
+            let driver = &mut cursors[m - 1].1;
             while !driver.exhausted()
                 && !topk.could_enter(kind.combine(driver.max_score_current_block(), below))
             {
@@ -195,15 +218,15 @@ pub fn topk_union(
         // Candidate: smallest current node among essential lists.
         let Some(candidate) = cursors[first_essential..]
             .iter()
-            .filter_map(|c| c.node())
+            .filter_map(|(_, c)| c.node())
             .min()
         else {
             break; // every essential list is exhausted
         };
         parts.clear();
-        for (i, c) in cursors.iter_mut().enumerate().skip(first_essential) {
+        for (key, c) in cursors.iter_mut().skip(first_essential) {
             if c.node() == Some(candidate) {
-                parts.push((i, c.score()));
+                parts.push((*key, c.score()));
                 c.next_entry();
             }
         }
@@ -227,7 +250,7 @@ pub fn topk_union(
             } else {
                 prefix[i - 1]
             };
-            let block_bound = cursors[i].max_score_at(candidate);
+            let block_bound = cursors[i].1.max_score_at(candidate);
             if !topk.would_accept(
                 candidate,
                 kind.combine(acc_bound, kind.combine(block_bound, below)),
@@ -238,14 +261,14 @@ pub fn topk_union(
                 // know their physical layout).
                 continue;
             }
-            if cursors[i].seek(candidate) == Some(candidate) {
-                let s = cursors[i].score();
-                parts.push((i, s));
+            if cursors[i].1.seek(candidate) == Some(candidate) {
+                let s = cursors[i].1.score();
+                parts.push((cursors[i].0, s));
                 acc_bound = kind.combine(acc_bound, s);
             }
         }
         // Fixed-order fold (see `parts` above).
-        parts.sort_by_key(|&(i, _)| i);
+        parts.sort_by_key(|&(key, _)| key);
         let score = parts
             .iter()
             .fold(kind.identity(), |acc, &(_, s)| kind.combine(acc, s));
@@ -255,7 +278,7 @@ pub fn topk_union(
     }
 
     let mut counters = AccessCounters::new();
-    for c in &cursors {
+    for (_, c) in &cursors {
         counters += c.counters();
     }
     ScoredHits {
@@ -517,7 +540,9 @@ impl ScoreStream for NotStream<'_> {
     }
 }
 
-/// Build the score stream for a BOOL-shaped query.
+/// Build the score stream for a BOOL-shaped query. A `live` delete set
+/// wraps every leaf cursor in tombstone filtering (`NOT`'s dense complement
+/// can still surface tombstoned nodes — the drain loop filters those).
 fn build_stream<'a>(
     query: &SurfaceQuery,
     corpus: &'a Corpus,
@@ -525,6 +550,7 @@ fn build_stream<'a>(
     stats: &ScoreStats,
     model: &PraModel,
     layout: IndexLayout,
+    live: Option<&'a DeleteSet>,
 ) -> Result<Box<dyn ScoreStream + 'a>, String> {
     match query {
         SurfaceQuery::Lit(tok) => {
@@ -533,7 +559,7 @@ fn build_stream<'a>(
                 .token_id(tok)
                 .unwrap_or(ftsl_model::TokenId(u32::MAX));
             Ok(Box::new(LeafStream {
-                cur: index.scored_cursor(id, layout, scorer),
+                cur: wrap_live(index.scored_cursor(id, layout, scorer), live),
             }))
         }
         SurfaceQuery::Any => {
@@ -545,23 +571,25 @@ fn build_stream<'a>(
                     scorer,
                 )),
             };
-            Ok(Box::new(LeafStream { cur }))
+            Ok(Box::new(LeafStream {
+                cur: wrap_live(cur, live),
+            }))
         }
         SurfaceQuery::Not(inner) => Ok(Box::new(NotStream {
-            inner: build_stream(inner, corpus, index, stats, model, layout)?,
+            inner: build_stream(inner, corpus, index, stats, model, layout, live)?,
             inner_primed: false,
             universe: corpus.len() as u32,
             cur: None,
             done: false,
         })),
         SurfaceQuery::And(a, b) => Ok(Box::new(AndStream {
-            left: build_stream(a, corpus, index, stats, model, layout)?,
-            right: build_stream(b, corpus, index, stats, model, layout)?,
+            left: build_stream(a, corpus, index, stats, model, layout, live)?,
+            right: build_stream(b, corpus, index, stats, model, layout, live)?,
             cur: None,
         })),
         SurfaceQuery::Or(a, b) => Ok(Box::new(OrStream {
-            left: build_stream(a, corpus, index, stats, model, layout)?,
-            right: build_stream(b, corpus, index, stats, model, layout)?,
+            left: build_stream(a, corpus, index, stats, model, layout, live)?,
+            right: build_stream(b, corpus, index, stats, model, layout, live)?,
             cur: None,
             primed: false,
         })),
@@ -581,10 +609,28 @@ pub fn run_bool_topk(
     layout: IndexLayout,
     k: usize,
 ) -> Result<ScoredHits, String> {
-    let mut stream = build_stream(query, corpus, index, stats, model, layout)?;
+    run_bool_topk_filtered(query, corpus, index, stats, model, layout, k, None)
+}
+
+/// [`run_bool_topk`] over one live-index segment: tombstoned documents are
+/// filtered at the leaf cursors *and* at heap insertion (a `NOT` over a
+/// tombstoned node still surfaces it via the dense complement), so they can
+/// neither appear in the hits nor displace live candidates from the heap.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bool_topk_filtered(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+    k: usize,
+    live: Option<&DeleteSet>,
+) -> Result<ScoredHits, String> {
+    let mut stream = build_stream(query, corpus, index, stats, model, layout, live)?;
     let mut topk = TopK::new(k);
     while let Some((node, score)) = stream.next() {
-        if score > 0.0 {
+        if score > 0.0 && live.is_none_or(|d| d.is_live(node.index())) {
             topk.insert(node, score);
         }
     }
@@ -606,6 +652,22 @@ pub fn topk_tfidf<S: AsRef<str>>(
     layout: IndexLayout,
     k: usize,
 ) -> ScoredHits {
+    topk_tfidf_filtered(query_tokens, corpus, index, stats, model, layout, k, None)
+}
+
+/// [`topk_tfidf`] over one live-index segment: every cursor steps over the
+/// segment's tombstoned entries, so deleted documents never reach the heap.
+#[allow(clippy::too_many_arguments)]
+pub fn topk_tfidf_filtered<S: AsRef<str>>(
+    query_tokens: &[S],
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &crate::TfIdfModel,
+    layout: IndexLayout,
+    k: usize,
+    live: Option<&DeleteSet>,
+) -> ScoredHits {
     let mut distinct: Vec<String> = query_tokens
         .iter()
         .map(|t| t.as_ref().to_lowercase())
@@ -616,7 +678,8 @@ pub fn topk_tfidf<S: AsRef<str>>(
         .iter()
         .filter_map(|t| {
             let id = corpus.token_id(t)?;
-            Some(index.scored_cursor(id, layout, TfIdfEntryScorer::new(t, model, stats)))
+            let cur = index.scored_cursor(id, layout, TfIdfEntryScorer::new(t, model, stats));
+            Some(wrap_live(cur, live))
         })
         .collect();
     topk_union(cursors, UnionKind::Sum, k)
@@ -634,12 +697,29 @@ pub fn topk_pra_disjunction<S: AsRef<str>>(
     layout: IndexLayout,
     k: usize,
 ) -> ScoredHits {
+    topk_pra_disjunction_filtered(query_tokens, corpus, index, stats, model, layout, k, None)
+}
+
+/// [`topk_pra_disjunction`] over one live-index segment (see
+/// [`topk_tfidf_filtered`]).
+#[allow(clippy::too_many_arguments)]
+pub fn topk_pra_disjunction_filtered<S: AsRef<str>>(
+    query_tokens: &[S],
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+    k: usize,
+    live: Option<&DeleteSet>,
+) -> ScoredHits {
     let cursors: Vec<Box<dyn ScoredCursor + '_>> = query_tokens
         .iter()
         .filter_map(|t| {
             let t = t.as_ref();
             let id = corpus.token_id(t)?;
-            Some(index.scored_cursor(id, layout, PraEntryScorer::new(t, model, stats)))
+            let cur = index.scored_cursor(id, layout, PraEntryScorer::new(t, model, stats));
+            Some(wrap_live(cur, live))
         })
         .collect();
     topk_union(cursors, UnionKind::ProbOr, k)

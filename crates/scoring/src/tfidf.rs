@@ -33,19 +33,35 @@ impl TfIdfModel {
         corpus: &ftsl_model::Corpus,
         stats: &ScoreStats,
     ) -> Self {
+        Self::for_query_with_idf(tokens, |name| {
+            corpus.token_id(name).map_or(0.0, |id| stats.idf(id))
+        })
+    }
+
+    /// Build the model from an arbitrary idf source instead of one
+    /// corpus+stats pair — how a live snapshot supplies *collection-wide*
+    /// idf values that no single segment's corpus could resolve on its own
+    /// (a query token may predate or postdate any given segment's
+    /// vocabulary).
+    pub fn for_query_with_idf<S: AsRef<str>>(tokens: &[S], idf_of: impl Fn(&str) -> f64) -> Self {
         let mut idf_by_token = HashMap::new();
         for t in tokens {
             let name = t.as_ref().to_lowercase();
-            let idf = corpus.token_id(&name).map_or(0.0, |id| stats.idf(id));
+            let idf = idf_of(&name);
             idf_by_token.insert(name, idf);
         }
         let unique_search_tokens = idf_by_token.len().max(1);
         // With w(t) = idf(t)/unique_search_tokens, ‖q‖₂ is the L2 norm of
-        // the weight vector.
-        let sum_sq: f64 = idf_by_token
-            .values()
-            .map(|idf| {
-                let w = idf / unique_search_tokens as f64;
+        // the weight vector. Summed in sorted-token order so two models
+        // over the same query agree to the last bit regardless of hash-map
+        // iteration order (the live/monolithic differential suite compares
+        // score bit patterns).
+        let mut names: Vec<&String> = idf_by_token.keys().collect();
+        names.sort();
+        let sum_sq: f64 = names
+            .iter()
+            .map(|name| {
+                let w = idf_by_token[*name] / unique_search_tokens as f64;
                 w * w
             })
             .sum();

@@ -173,6 +173,11 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.data.len() - self.end_offset]
     }
+
+    /// Copy the full view into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
 }
 
 impl AsRef<[u8]> for Bytes {
@@ -180,6 +185,15 @@ impl AsRef<[u8]> for Bytes {
         self.as_slice()
     }
 }
+
+/// Equality compares the viewed bytes, not the read cursor.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
