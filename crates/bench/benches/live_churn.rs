@@ -16,6 +16,7 @@ mod common;
 
 use common::criterion;
 use criterion::criterion_main;
+use ftsl_bench::results::{median_micros, ResultsSink};
 use ftsl_corpus::SynthConfig;
 use ftsl_exec::engine::{EngineKind, ExecOptions};
 use ftsl_exec::snapshot::SnapshotExecutor;
@@ -177,9 +178,53 @@ fn bench_churn(c: &mut criterion::Criterion) {
     );
 }
 
+/// Machine-readable medians + counters for the perf-trajectory file:
+/// the BOOL conjunction and streaming top-10 at 1/4/16 segments (no
+/// deletes — the ratio grid stays in the human-readable output).
+fn record_results() {
+    let texts = zipf_texts();
+    let reg = PredicateRegistry::with_builtins();
+    let mut sink = ResultsSink::new("live_churn");
+    for &segments in &[1usize, 4, 16] {
+        let live = build_live(&texts, segments, 0);
+        let snapshot = live.snapshot();
+        let stats = SnapshotStats::compute(&snapshot);
+        let exec = SnapshotExecutor::new(&snapshot, &reg);
+        let bool_out = || {
+            exec.run_str("'rare' AND 'common'", EngineKind::Auto)
+                .expect("bool runs")
+        };
+        sink.record(
+            &format!("bool_s{segments}"),
+            median_micros(30, || {
+                black_box(bool_out());
+            }),
+            bool_out().counters,
+        );
+        let q = ftsl_lang::parse("'rare' OR 'common'", ftsl_lang::Mode::Comp).expect("parse");
+        let model = stats.tfidf_model(&["rare", "common"], &snapshot);
+        let texec = SnapshotExecutor::with_options(&snapshot, &reg, ExecOptions::default());
+        let topk_out = || {
+            texec
+                .run_top_k(&q, ScoredTopK { k: 10 }, &stats, &ScoreModel::TfIdf(&model))
+                .expect("topk runs")
+        };
+        sink.record(
+            &format!("topk10_s{segments}"),
+            median_micros(30, || {
+                black_box(topk_out());
+            }),
+            topk_out().counters,
+        );
+    }
+    let path = sink.write().expect("write BENCH_results.json");
+    println!("results merged into {}", path.display());
+}
+
 fn benches() {
     let mut c = criterion();
     bench_churn(&mut c);
+    record_results();
 }
 
 criterion_main!(benches);

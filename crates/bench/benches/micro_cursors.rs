@@ -6,6 +6,7 @@ mod common;
 
 use common::{bench_env, criterion};
 use criterion::criterion_main;
+use ftsl_bench::results::{median_micros, ResultsSink};
 use ftsl_corpus::SynthConfig;
 use ftsl_exec::bool_eval::{intersect_seek, intersect_sorted};
 use ftsl_exec::cursor::{BlockScanCursor, FtCursor, ScanCursor};
@@ -166,10 +167,129 @@ fn bench(c: &mut criterion::Criterion) {
     group.finish();
 }
 
+/// Machine-readable medians + counters for the perf-trajectory file, and
+/// the counting-overhead gate: walking the block cursor with its access
+/// counters must cost under 5% over the identical counter-less walk.
+fn record_results() {
+    let (corpus, index) = skewed_env();
+    let rare = corpus.token_id("rare").expect("planted");
+    let common = corpus.token_id("common").expect("planted");
+    let mut sink = ResultsSink::new("micro_cursors");
+
+    let scan = |counted: bool| {
+        let mut cur = index.block_list(common).cursor();
+        let mut n = 0u64;
+        if counted {
+            while let Some(node) = cur.next_entry() {
+                n += u64::from(node.0);
+            }
+        } else {
+            while let Some(node) = cur.next_entry_uncounted() {
+                n += u64::from(node.0);
+            }
+        }
+        black_box(n);
+        cur.counters()
+    };
+    sink.record(
+        "scan_common_blocks",
+        median_micros(50, || {
+            scan(true);
+        }),
+        scan(true),
+    );
+    let scan_decoded = || {
+        let mut c = ftsl_index::ListCursor::new(index.list(common));
+        let mut n = 0u64;
+        while let Some(node) = c.next_entry() {
+            n += u64::from(node.0);
+        }
+        black_box(n);
+        c.counters()
+    };
+    sink.record(
+        "scan_common_decoded",
+        median_micros(50, || {
+            scan_decoded();
+        }),
+        scan_decoded(),
+    );
+
+    let join_blocks = || {
+        let mut join = JoinCursor::new(
+            Box::new(BlockScanCursor::new(index.block_list(rare))),
+            Box::new(BlockScanCursor::new(index.block_list(common))),
+        );
+        let mut n = 0usize;
+        while join.advance_node().is_some() {
+            n += 1;
+        }
+        black_box(n);
+        join.counters()
+    };
+    sink.record(
+        "join_rare_common_blocks",
+        median_micros(50, || {
+            join_blocks();
+        }),
+        join_blocks(),
+    );
+    let join_decoded = || {
+        let mut join = JoinCursor::new(
+            Box::new(ScanCursor::new(index.list(rare))),
+            Box::new(ScanCursor::new(index.list(common))),
+        );
+        let mut n = 0usize;
+        while join.advance_node().is_some() {
+            n += 1;
+        }
+        black_box(n);
+        join.counters()
+    };
+    sink.record(
+        "join_rare_common_decoded",
+        median_micros(50, || {
+            join_decoded();
+        }),
+        join_decoded(),
+    );
+
+    // Counting-overhead gate: best-of medians to shrug off background
+    // load, then assert the counted walk stays within 5% (+0.2 µs
+    // measurement slack) of the counter-less walk.
+    let best_of = |counted: bool| {
+        (0..8)
+            .map(|_| {
+                median_micros(25, || {
+                    scan(counted);
+                })
+            })
+            .fold(f64::MAX, f64::min)
+    };
+    let counted_us = best_of(true);
+    let uncounted_us = best_of(false);
+    sink.record("scan_blocks_counted", counted_us, scan(true));
+    sink.record("scan_blocks_uncounted", uncounted_us, Default::default());
+    println!(
+        "micro_cursors/counting gate: counted {counted_us:.2} µs vs \
+         counter-less {uncounted_us:.2} µs ({:+.1}%)",
+        100.0 * (counted_us - uncounted_us) / uncounted_us
+    );
+    assert!(
+        counted_us <= uncounted_us * 1.05 + 0.2,
+        "access counting costs more than 5% on a block scan: \
+         {counted_us:.2} µs vs {uncounted_us:.2} µs"
+    );
+
+    let path = sink.write().expect("write BENCH_results.json");
+    println!("results merged into {}", path.display());
+}
+
 fn benches() {
     let mut c = criterion();
     bench(&mut c);
     bench_skewed(&mut c);
+    record_results();
 }
 
 criterion_main!(benches);

@@ -12,6 +12,7 @@ mod common;
 
 use common::{bench_env, criterion};
 use criterion::criterion_main;
+use ftsl_bench::results::{median_micros, ResultsSink};
 use ftsl_exec::build::IndexLayout;
 use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
 use ftsl_index::Residency;
@@ -70,9 +71,55 @@ fn bench(c: &mut criterion::Criterion) {
     group.finish();
 }
 
+/// Machine-readable medians + counters for the perf-trajectory file.
+fn record_results() {
+    let env = bench_env();
+    let mut sink = ResultsSink::new("positional");
+    let queries = [
+        (
+            "ordered",
+            "SOME p1 SOME p2 (p1 HAS 'q0' AND p2 HAS 'q1' AND ordered(p1,p2))".to_string(),
+        ),
+        (
+            "distance",
+            "SOME p1 SOME p2 (p1 HAS 'q0' AND p2 HAS 'q1' AND distance(p1,p2,10))".to_string(),
+        ),
+        (
+            "window3",
+            "SOME p1 SOME p2 (p1 HAS 'q0' AND p2 HAS 'q1' AND window(p1,p2,15) \
+             AND ordered(p1,p2))"
+                .to_string(),
+        ),
+    ];
+    for (name, query) in &queries {
+        let surface = parse(query, Mode::Comp).expect("positional query parses");
+        for (config, layout) in [
+            ("decoded", IndexLayout::Decoded),
+            ("blocks", IndexLayout::Blocks),
+        ] {
+            let options = ExecOptions {
+                layout,
+                ..Default::default()
+            };
+            let exec = Executor::with_options(&env.corpus, &env.index, &env.registry, options);
+            let run = || exec.run_surface(&surface, EngineKind::Ppred).expect("runs");
+            sink.record(
+                &format!("{name}_{config}"),
+                median_micros(30, || {
+                    black_box(run());
+                }),
+                run().counters,
+            );
+        }
+    }
+    let path = sink.write().expect("write BENCH_results.json");
+    println!("results merged into {}", path.display());
+}
+
 fn benches() {
     let mut c = criterion();
     bench(&mut c);
+    record_results();
 }
 
 criterion_main!(benches);

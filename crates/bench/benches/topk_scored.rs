@@ -7,6 +7,7 @@ mod common;
 
 use common::criterion;
 use criterion::criterion_main;
+use ftsl_bench::results::{median_micros, ResultsSink};
 use ftsl_corpus::SynthConfig;
 use ftsl_index::{IndexBuilder, IndexLayout, InvertedIndex};
 use ftsl_model::Corpus;
@@ -90,9 +91,48 @@ fn bench_topk(c: &mut criterion::Criterion) {
     }
 }
 
+/// Machine-readable medians + counters for the perf-trajectory file.
+fn record_results() {
+    let (corpus, index, stats) = skewed_env();
+    let tokens = ["rare", "common"];
+    let tfidf = TfIdfModel::for_query(&tokens, &corpus, &stats);
+    let pra = PraModel::new(&corpus, &stats);
+    let mut sink = ResultsSink::new("topk_scored");
+    for k in [10usize, 100] {
+        for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+            let tag = match layout {
+                IndexLayout::Decoded => "decoded",
+                IndexLayout::Blocks => "blocks",
+            };
+            let run = || topk_tfidf(&tokens, &corpus, &index, &stats, &tfidf, layout, k);
+            sink.record(
+                &format!("tfidf_topk{k}_{tag}"),
+                median_micros(30, || {
+                    black_box(run());
+                }),
+                run().counters,
+            );
+            if k == 10 {
+                let run =
+                    || topk_pra_disjunction(&tokens, &corpus, &index, &stats, &pra, layout, k);
+                sink.record(
+                    &format!("pra_topk{k}_{tag}"),
+                    median_micros(30, || {
+                        black_box(run());
+                    }),
+                    run().counters,
+                );
+            }
+        }
+    }
+    let path = sink.write().expect("write BENCH_results.json");
+    println!("results merged into {}", path.display());
+}
+
 fn benches() {
     let mut c = criterion();
     bench_topk(&mut c);
+    record_results();
 }
 
 criterion_main!(benches);

@@ -16,6 +16,8 @@
 //! skipped and reported as such (the full-scale Figure 8 point at 125
 //! positions/entry is exactly the regime the paper shows COMP failing in).
 
+pub mod results;
+
 use ftsl_corpus::queries::planted_names;
 use ftsl_corpus::{PredPolarity, QuerySpec, SynthConfig};
 use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};

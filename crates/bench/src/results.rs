@@ -1,0 +1,304 @@
+//! Machine-readable benchmark results: `BENCH_results.json`.
+//!
+//! Every bench binary that matters for the perf trajectory reports its
+//! medians through a [`ResultsSink`], which merges them into one JSON file
+//! at the workspace root (override with `FTSL_BENCH_RESULTS`). The schema
+//! is deliberately small and stable so CI and notebooks can track numbers
+//! across commits without scraping stdout:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "results": [
+//!     {
+//!       "bench": "topk_scored",
+//!       "case": "tfidf_top10_blocks",
+//!       "us": 12.25,
+//!       "bytes": 0,
+//!       "counters": { "entries": 1414, "positions": 0, "positions_decoded": 0,
+//!                      "tuples": 0, "skipped": 0, "blocks_skipped": 8 }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `us` is the median wall time of the case in microseconds (0 for
+//! size-only records); `bytes` carries sizes for footprint records (0 for
+//! timing records); `counters` are the [`AccessCounters`] of one
+//! representative run. Records are keyed by `(bench, case)`: re-running a
+//! bench replaces its own records and leaves every other bench's alone, so
+//! `cargo bench` incrementally refreshes the file.
+//!
+//! Set `FTSL_BENCH_SMOKE=1` to make the wired benches run with reduced
+//! sample counts — CI uses this to keep the results artifact fresh without
+//! paying for full measurement runs.
+
+use ftsl_index::AccessCounters;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One measured case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Bench binary the record belongs to (e.g. `"topk_scored"`).
+    pub bench: String,
+    /// Case label within the bench (e.g. `"tfidf_top10_blocks"`).
+    pub case: String,
+    /// Median wall time in microseconds (0 for size-only records).
+    pub us: f64,
+    /// Payload size for footprint records (0 for timing records).
+    pub bytes: u64,
+    /// Access counters of one representative run.
+    pub counters: AccessCounters,
+}
+
+/// Collects one bench binary's records and merges them into the shared
+/// results file on [`ResultsSink::write`].
+pub struct ResultsSink {
+    bench: String,
+    records: Vec<BenchRecord>,
+}
+
+/// Where the merged results live: `$FTSL_BENCH_RESULTS`, or
+/// `BENCH_results.json` at the workspace root.
+pub fn default_path() -> PathBuf {
+    if let Ok(p) = std::env::var("FTSL_BENCH_RESULTS") {
+        return PathBuf::from(p);
+    }
+    // crates/bench → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_results.json")
+}
+
+/// True when `FTSL_BENCH_SMOKE=1`: benches shrink their sample counts.
+pub fn smoke() -> bool {
+    std::env::var("FTSL_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Median wall time of `f` in microseconds over `reps` timed runs (after
+/// one warm-up call). Robust to background load: each rep is timed
+/// individually and the median taken.
+pub fn median_micros<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+impl ResultsSink {
+    /// A sink for `bench`'s records.
+    pub fn new(bench: &str) -> Self {
+        ResultsSink {
+            bench: bench.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Record a timing case.
+    pub fn record(&mut self, case: &str, us: f64, counters: AccessCounters) {
+        self.records.push(BenchRecord {
+            bench: self.bench.clone(),
+            case: case.to_string(),
+            us,
+            bytes: 0,
+            counters,
+        });
+    }
+
+    /// Record a size case (bytes instead of time).
+    pub fn record_bytes(&mut self, case: &str, bytes: u64) {
+        self.records.push(BenchRecord {
+            bench: self.bench.clone(),
+            case: case.to_string(),
+            us: 0.0,
+            bytes,
+            counters: AccessCounters::new(),
+        });
+    }
+
+    /// Merge this bench's records into the shared file (replacing the
+    /// bench's previous records, keeping every other bench's) and return
+    /// the path written.
+    pub fn write(self) -> std::io::Result<PathBuf> {
+        let path = default_path();
+        let mut all = match std::fs::read_to_string(&path) {
+            Ok(text) => parse_results(&text).unwrap_or_default(),
+            Err(_) => Vec::new(),
+        };
+        all.retain(|r| r.bench != self.bench);
+        all.extend(self.records);
+        all.sort_by(|a, b| (&a.bench, &a.case).cmp(&(&b.bench, &b.case)));
+        std::fs::write(&path, render_results(&all))?;
+        Ok(path)
+    }
+}
+
+fn render_results(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let c = r.counters;
+        out.push_str(&format!(
+            "    {{ \"bench\": \"{}\", \"case\": \"{}\", \"us\": {:.3}, \"bytes\": {}, \
+             \"counters\": {{ \"entries\": {}, \"positions\": {}, \"positions_decoded\": {}, \
+             \"tuples\": {}, \"skipped\": {}, \"blocks_skipped\": {} }} }}{}\n",
+            r.bench,
+            r.case,
+            r.us,
+            r.bytes,
+            c.entries,
+            c.positions,
+            c.positions_decoded,
+            c.tuples,
+            c.skipped,
+            c.blocks_skipped,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a results file produced by [`render_results`]. Tolerant of
+/// whitespace but not a general JSON parser: object fields are extracted
+/// by key scanning (names and cases never contain quotes or escapes).
+/// Individually malformed records are skipped (the rest of the history
+/// survives the merge); `None` only when the text is not recognizably
+/// ours at all — the caller starts a fresh file rather than guessing.
+fn parse_results(text: &str) -> Option<Vec<BenchRecord>> {
+    let mut records = Vec::new();
+    let body = text.split_once("\"results\"")?.1;
+    // Each record object sits between '{' and the matching '}' — our
+    // writer nests exactly one level (counters), so track depth.
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            // The results array ends at the first unnested ']' (or the
+            // enclosing object's '}'): nothing after it is a record.
+            ']' | '}' if depth == 0 => break,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    // Salvage what parses: one malformed record (a hand
+                    // edit, a truncated write) must not throw away every
+                    // other bench's accumulated history on the next merge.
+                    if let Some(record) = parse_record(&body[start?..=i]) {
+                        records.push(record);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(records)
+}
+
+fn field<'a>(object: &'a str, key: &str) -> Option<&'a str> {
+    let after = object.split_once(&format!("\"{key}\""))?.1;
+    let after = after.split_once(':')?.1.trim_start();
+    let end = after.find([',', '}', '\n']).unwrap_or(after.len());
+    Some(after[..end].trim())
+}
+
+fn parse_record(object: &str) -> Option<BenchRecord> {
+    let string =
+        |key: &str| -> Option<String> { Some(field(object, key)?.trim_matches('"').to_string()) };
+    let num = |key: &str| -> Option<f64> { field(object, key)?.parse().ok() };
+    Some(BenchRecord {
+        bench: string("bench")?,
+        case: string("case")?,
+        us: num("us")?,
+        bytes: num("bytes")? as u64,
+        counters: AccessCounters {
+            entries: num("entries")? as u64,
+            positions: num("positions")? as u64,
+            positions_decoded: num("positions_decoded")? as u64,
+            tuples: num("tuples")? as u64,
+            skipped: num("skipped")? as u64,
+            blocks_skipped: num("blocks_skipped")? as u64,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(bench: &str, case: &str, us: f64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.into(),
+            case: case.into(),
+            us,
+            bytes: 7,
+            counters: AccessCounters {
+                entries: 1,
+                positions: 2,
+                positions_decoded: 3,
+                tuples: 4,
+                skipped: 5,
+                blocks_skipped: 6,
+            },
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let records = vec![sample("a", "x", 1.5), sample("b", "y", 2.25)];
+        let text = render_results(&records);
+        assert_eq!(parse_results(&text).expect("parses"), records);
+    }
+
+    #[test]
+    fn unrecognized_text_is_rejected_not_mangled() {
+        assert!(parse_results("not json at all").is_none());
+        assert_eq!(parse_results("{\"results\": []}"), Some(Vec::new()));
+    }
+
+    #[test]
+    fn one_malformed_record_does_not_drop_the_rest() {
+        let records = vec![sample("a", "x", 1.5), sample("b", "y", 2.25)];
+        let mut text = render_results(&records);
+        // Corrupt the first record's `us` value; the second must survive.
+        text = text.replacen("\"us\": 1.500", "\"us\": oops", 1);
+        let salvaged = parse_results(&text).expect("still recognizably ours");
+        assert_eq!(salvaged, vec![sample("b", "y", 2.25)]);
+    }
+
+    #[test]
+    fn merge_replaces_only_own_bench() {
+        // Simulated by the retain+extend in `write`; checked here directly.
+        let mut all = vec![sample("a", "x", 1.0), sample("b", "y", 2.0)];
+        let fresh = vec![sample("a", "x", 9.0), sample("a", "z", 3.0)];
+        all.retain(|r| r.bench != "a");
+        all.extend(fresh);
+        all.sort_by(|a, b| (&a.bench, &a.case).cmp(&(&b.bench, &b.case)));
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].us, 9.0);
+        assert_eq!(all[1].case, "z");
+        assert_eq!(all[2].bench, "b");
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut calls = 0u32;
+        let us = median_micros(5, || {
+            calls += 1;
+            if calls == 3 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        assert!(us < 5_000.0, "median {us} polluted by the outlier");
+    }
+}

@@ -110,15 +110,23 @@ impl FtCursor for ScanCursor<'_> {
 
 /// Leaf scan over the block-compressed form of an inverted list: the same
 /// contract as [`ScanCursor`], driven by a skip-aware
-/// [`ftsl_index::BlockCursor`] that decodes entries out of delta/varint
-/// blocks on demand and seeks via the block skip headers.
+/// [`ftsl_index::BlockCursor`] that batch-decodes bit-packed blocks on
+/// first touch and seeks via the block skip headers.
 ///
 /// The inner cursor sits behind a `RefCell` because the trait's `position`
-/// accessor is `&self` while decompression caches the current entry's
-/// positions on first touch. Cursor trees are thread-confined (each NPRED
-/// thread builds its own), so the dynamic borrow never contends.
+/// accessor is `&self` while decompression materializes positions on first
+/// touch. Repeated reads of the current position — the common case in
+/// predicate evaluation, which inspects the same tuple several times — are
+/// served from a `Cell` cache, so the dynamic borrow is paid once per
+/// (entry, advance), not per read. Cursor trees are thread-confined (each
+/// NPRED thread builds its own), so the dynamic borrow never contends.
 pub struct BlockScanCursor<'a> {
     cursor: std::cell::RefCell<ftsl_index::BlockCursor<'a>>,
+    /// The current node, updated by every advancing call — `node()` reads
+    /// it without touching the `RefCell`.
+    cur_node: Option<NodeId>,
+    /// The current position, filled on first read after an advance.
+    cur_pos: std::cell::Cell<Option<Position>>,
 }
 
 impl<'a> BlockScanCursor<'a> {
@@ -126,6 +134,8 @@ impl<'a> BlockScanCursor<'a> {
     pub fn new(list: &'a ftsl_index::BlockList) -> Self {
         BlockScanCursor {
             cursor: std::cell::RefCell::new(list.cursor()),
+            cur_node: None,
+            cur_pos: std::cell::Cell::new(None),
         }
     }
 }
@@ -136,28 +146,40 @@ impl FtCursor for BlockScanCursor<'_> {
     }
 
     fn advance_node(&mut self) -> Option<NodeId> {
-        self.cursor.get_mut().next_entry()
+        self.cur_pos.set(None);
+        self.cur_node = self.cursor.get_mut().next_entry();
+        self.cur_node
     }
 
     fn node(&self) -> Option<NodeId> {
-        self.cursor.borrow().node()
+        self.cur_node
     }
 
     fn position(&self, col: usize) -> Position {
         debug_assert_eq!(col, 0);
-        self.cursor
+        if let Some(p) = self.cur_pos.get() {
+            return p;
+        }
+        let p = self
+            .cursor
             .borrow_mut()
             .position()
-            .expect("block scan cursor positioned")
+            .expect("block scan cursor positioned");
+        self.cur_pos.set(Some(p));
+        p
     }
 
     fn advance_position(&mut self, col: usize, min_offset: u32) -> bool {
         debug_assert_eq!(col, 0);
-        self.cursor.get_mut().advance_position(min_offset).is_some()
+        let hit = self.cursor.get_mut().advance_position(min_offset);
+        self.cur_pos.set(hit);
+        hit.is_some()
     }
 
     fn seek_node(&mut self, target: NodeId) -> Option<NodeId> {
-        self.cursor.get_mut().seek(target)
+        self.cur_pos.set(None);
+        self.cur_node = self.cursor.get_mut().seek(target);
+        self.cur_node
     }
 
     fn counters(&self) -> AccessCounters {

@@ -1,28 +1,54 @@
-//! Block-compressed posting lists with an implicit skip list.
+//! Block-compressed posting lists with an implicit skip list — the **v5
+//! bit-packed frame-of-reference layout**, decoded a whole block at a time.
 //!
 //! The physical layout of an inverted list ([`BlockList`]) groups entries
-//! into blocks of [`BLOCK_ENTRIES`] entries. Within a block, node ids and
-//! position offsets are delta-encoded as LEB128 varints ([`crate::varint`]);
-//! each block's header ([`BlockMeta`]) records the largest node id it
-//! contains plus its byte offset, so the header array doubles as a one-level
-//! skip list: a cursor seeking a node id binary-searches the headers, jumps
-//! straight to the first candidate block, and only decodes entries inside
-//! it.
+//! into blocks of [`BLOCK_ENTRIES`] entries. Each block's header
+//! ([`BlockMeta`]) records the largest node id it contains plus its byte
+//! offset, so the header array doubles as a one-level skip list: a cursor
+//! seeking a node id binary-searches the headers, jumps straight to the
+//! first candidate block, and only touches entries inside it.
 //!
-//! ## Entry encoding
+//! ## Block encoding (format v5)
 //!
-//! Per entry, in order:
+//! Within a block, the three per-entry scalars travel as *columns*, each a
+//! fixed-width bit-packed frame ([`crate::bitpack`]) rather than a stream
+//! of per-entry varints:
 //!
-//! 1. node id — absolute varint for the first entry of a block, else
-//!    `delta − 1` from the previous entry's node id (ids are strictly
-//!    increasing);
-//! 2. position count `n` (≥ 1);
-//! 3. byte length of the encoded positions (lets a cursor step over an
-//!    entry without decoding its positions);
-//! 4. `n` positions: the first as absolute `(offset, sentence, paragraph)`
-//!    varints, the rest as `(offset delta − 1, sentence delta, paragraph
-//!    delta)` — offsets strictly increase, ordinals never decrease.
+//! ```text
+//! base:u32-le  id_width:u8  tf_width:u8  len_width:u8
+//! id-delta frame   (⌈n·id_width/32⌉ words): lane 0 = 0, lane i = id[i]−id[i−1]−1
+//! tf frame         (⌈n·tf_width/32⌉ words): lane i = tf[i] − 1
+//! pos-length frame (⌈n·len_width/32⌉ words): lane i = byte length of entry
+//!                                            i's encoded positions
+//! position payloads: per entry, varint-encoded (unchanged from v4)
+//! ```
+//!
+//! where `n` is the block's entry count (128 everywhere but the tail).
+//! Unused bits of a frame's final word are zero. Node ids are strictly
+//! increasing, so the delta−1 trick makes consecutive ids a width-0 (free)
+//! frame; `tf − 1` does the same for all-single-occurrence blocks. Widths
+//! are exception-free: the largest value in a frame sets the width for
+//! every lane, buying a decoder with no data-dependent branches.
+//!
+//! A [`BlockCursor`] holds a reusable decoded-block scratch buffer: the
+//! first touch of a block unpacks all its ids, term frequencies, and
+//! position-payload offsets into flat `u32` arrays, after which
+//! [`BlockCursor::next_entry`] is an array walk and [`BlockCursor::seek`]
+//! binary-searches the decoded ids instead of linearly decoding varints.
+//! Position payloads stay varint-encoded and lazily decoded: the unpacked
+//! length column gives every entry's payload range, so entries rejected on
+//! node id alone never pay a position decode.
+//!
+//! [`AccessCounters`] keep their established meaning: `entries` counts
+//! entries the evaluator *consumed* (returned by `next_entry`/`seek`),
+//! `skipped` counts entries bypassed without being returned — including
+//! entries a `seek` now binary-searches past inside an unpacked block —
+//! and `blocks_skipped` counts whole blocks stepped over via the headers,
+//! exactly as before. Physical decode work is block-granular (a touched
+//! block is unpacked whole), which is what makes the per-entry walk
+//! branchless.
 
+use crate::bitpack;
 use crate::counters::AccessCounters;
 use crate::postings::PostingList;
 use crate::varint;
@@ -30,8 +56,18 @@ use ftsl_model::{NodeId, Position};
 use serde::{Deserialize, Serialize};
 
 /// Entries per compressed block. 128 keeps the skip granularity fine while
-/// letting the per-block header amortize to under 0.1 byte/entry.
+/// letting the per-block header amortize to under 0.1 byte/entry, and
+/// matches [`bitpack::LANES`] so one bit-packed frame covers one block.
 pub const BLOCK_ENTRIES: usize = 128;
+
+const _: () = assert!(
+    BLOCK_ENTRIES == bitpack::LANES,
+    "one bitpack frame must cover exactly one block"
+);
+
+/// Fixed per-block stream overhead: the absolute base id (4 bytes) plus the
+/// three frame widths (1 byte each).
+const BLOCK_PREFIX_BYTES: usize = 7;
 
 /// Header of one compressed block — one implicit skip-list node.
 ///
@@ -45,7 +81,8 @@ pub const BLOCK_ENTRIES: usize = 128;
 pub struct BlockMeta {
     /// Largest node id stored in the block (its last entry's id).
     pub max_node: NodeId,
-    /// Byte offset of the block's first entry in the data stream.
+    /// Byte offset of the block's encoding (its `base` field) in the data
+    /// stream.
     pub byte_start: u32,
     /// Global index of the block's first entry.
     pub first_entry: u32,
@@ -62,30 +99,77 @@ pub struct BlockList {
     positions: u64,
 }
 
+/// One block's column values, staged before packing.
+#[derive(Default)]
+struct BlockStage {
+    ids: Vec<u32>,
+    tfs: Vec<u32>,
+    pos_lens: Vec<u32>,
+    pos_bytes: Vec<u8>,
+}
+
+impl BlockStage {
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.tfs.clear();
+        self.pos_lens.clear();
+        self.pos_bytes.clear();
+    }
+
+    /// Pack the staged block onto `data`, returning `(max_node, max_tf)`.
+    fn flush(&self, data: &mut Vec<u8>) -> (u32, u32) {
+        let count = self.ids.len();
+        debug_assert!(0 < count && count <= BLOCK_ENTRIES);
+        let mut frame = [0u32; bitpack::LANES];
+
+        // Column 1: id deltas (lane 0 is 0 — the base is stored absolute).
+        let mut max_delta = 0u32;
+        for (lane, pair) in frame[1..count].iter_mut().zip(self.ids.windows(2)) {
+            let d = pair[1] - pair[0] - 1;
+            *lane = d;
+            max_delta = max_delta.max(d);
+        }
+        let id_width = bitpack::width_for(max_delta);
+
+        data.extend_from_slice(&self.ids[0].to_le_bytes());
+        let widths_at = data.len();
+        data.extend_from_slice(&[id_width, 0, 0]);
+        bitpack::pack(&frame, count, id_width, data);
+
+        // Column 2: tf − 1.
+        let max_tf = *self.tfs.iter().max().expect("non-empty block");
+        for (lane, &tf) in frame.iter_mut().zip(&self.tfs) {
+            *lane = tf - 1;
+        }
+        let tf_width = bitpack::width_for(max_tf - 1);
+        data[widths_at + 1] = tf_width;
+        bitpack::pack(&frame, count, tf_width, data);
+
+        // Column 3: position payload byte lengths.
+        let max_len = *self.pos_lens.iter().max().expect("non-empty block");
+        let len_width = bitpack::width_for(max_len);
+        data[widths_at + 2] = len_width;
+        bitpack::pack(&self.pos_lens, count, len_width, data);
+
+        // Position payloads, varint-encoded exactly as staged.
+        data.extend_from_slice(&self.pos_bytes);
+        (self.ids[count - 1], max_tf)
+    }
+}
+
 impl BlockList {
-    /// Compress a decoded [`PostingList`].
+    /// Compress a decoded [`PostingList`] into v5 bit-packed blocks.
     pub fn from_posting(list: &PostingList) -> Self {
         let mut out = BlockList::default();
-        let mut prev_node = 0u32;
+        let mut stage = BlockStage::default();
         let mut scratch: Vec<u8> = Vec::new();
         for (i, (node, positions)) in list.iter().enumerate() {
-            if i % BLOCK_ENTRIES == 0 {
-                out.blocks.push(BlockMeta {
-                    max_node: node, // fixed up as entries are appended
-                    byte_start: out.data.len() as u32,
-                    first_entry: i as u32,
-                    max_tf: 0, // fixed up as entries are appended
-                });
-                varint::put_u32(&mut out.data, node.0);
-            } else {
-                varint::put_u32(&mut out.data, node.0 - prev_node - 1);
+            if i % BLOCK_ENTRIES == 0 && i > 0 {
+                out.push_block(&stage);
+                stage.clear();
             }
-            prev_node = node.0;
-            let meta = out.blocks.last_mut().expect("block header exists");
-            meta.max_node = node;
-            meta.max_tf = meta.max_tf.max(positions.len() as u32);
-
-            varint::put_u32(&mut out.data, positions.len() as u32);
+            stage.ids.push(node.0);
+            stage.tfs.push(positions.len() as u32);
             scratch.clear();
             let mut prev = Position::flat(0);
             for (j, p) in positions.iter().enumerate() {
@@ -100,12 +184,27 @@ impl BlockList {
                 }
                 prev = *p;
             }
-            varint::put_u32(&mut out.data, scratch.len() as u32);
-            out.data.extend_from_slice(&scratch);
+            stage.pos_lens.push(scratch.len() as u32);
+            stage.pos_bytes.extend_from_slice(&scratch);
             out.entries += 1;
             out.positions += positions.len() as u64;
         }
+        if !stage.ids.is_empty() {
+            out.push_block(&stage);
+        }
         out
+    }
+
+    fn push_block(&mut self, stage: &BlockStage) {
+        let byte_start = self.data.len() as u32;
+        let first_entry = (self.blocks.len() * BLOCK_ENTRIES) as u32;
+        let (max_node, max_tf) = stage.flush(&mut self.data);
+        self.blocks.push(BlockMeta {
+            max_node: NodeId(max_node),
+            byte_start,
+            first_entry,
+            max_tf,
+        });
     }
 
     /// Decode back into the flat columnar layout.
@@ -122,109 +221,142 @@ impl BlockList {
     }
 
     /// Like [`Self::to_posting`], but over *untrusted* bytes (the persisted
-    /// load path): every varint read, count, and ordering invariant is
-    /// checked, and any violation returns `Err` with a description instead
-    /// of panicking the way the in-memory cursor's `expect`s would.
+    /// load path): every width, frame, count, and ordering invariant is
+    /// checked — including that tail-block padding lanes are zero, so each
+    /// list has exactly one canonical encoding — and any violation returns
+    /// `Err` with a description instead of panicking the way the in-memory
+    /// cursor would.
     pub fn try_to_posting(&self) -> Result<PostingList, &'static str> {
         let mut list = PostingList::empty();
+        let entries = self.entries as usize;
+        if self.blocks.len() != entries.div_ceil(BLOCK_ENTRIES) {
+            return Err("block count disagrees with entry count");
+        }
         let mut at = 0usize;
-        let mut prev_node = 0u32;
+        let mut prev_node: Option<u32> = None;
         let mut total_positions = 0u64;
-        let mut block_tf = 0u32;
+        let mut ids = [0u32; bitpack::LANES];
+        let mut tfs = [0u32; bitpack::LANES];
+        let mut lens = [0u32; bitpack::LANES];
         let mut positions: Vec<Position> = Vec::new();
-        for i in 0..self.entries as usize {
-            let block = i / BLOCK_ENTRIES;
-            if i % BLOCK_ENTRIES == 0 {
-                if i > 0 && block_tf != self.blocks[block - 1].max_tf {
-                    return Err("block max_tf disagrees with entries");
-                }
-                block_tf = 0;
-                let meta = self.blocks.get(block).ok_or("missing block header")?;
-                if meta.byte_start as usize != at || meta.first_entry as usize != i {
-                    return Err("block header disagrees with entry stream");
+        for (b, meta) in self.blocks.iter().enumerate() {
+            let count = BLOCK_ENTRIES.min(entries - b * BLOCK_ENTRIES);
+            if meta.byte_start as usize != at || meta.first_entry as usize != b * BLOCK_ENTRIES {
+                return Err("block header disagrees with entry stream");
+            }
+            if self.data.len() - at < BLOCK_PREFIX_BYTES {
+                return Err("truncated block prefix");
+            }
+            let base = u32::from_le_bytes([
+                self.data[at],
+                self.data[at + 1],
+                self.data[at + 2],
+                self.data[at + 3],
+            ]);
+            let id_width = self.data[at + 4];
+            let tf_width = self.data[at + 5];
+            let len_width = self.data[at + 6];
+            at += BLOCK_PREFIX_BYTES;
+            if id_width > 32 || tf_width > 32 || len_width > 32 {
+                return Err("frame width exceeds 32 bits");
+            }
+            let frames = bitpack::packed_bytes(id_width, count)
+                + bitpack::packed_bytes(tf_width, count)
+                + bitpack::packed_bytes(len_width, count);
+            if self.data.len() - at < frames {
+                return Err("truncated block frames");
+            }
+            at += bitpack::unpack(&self.data[at..], id_width, count, &mut ids);
+            at += bitpack::unpack(&self.data[at..], tf_width, count, &mut tfs);
+            at += bitpack::unpack(&self.data[at..], len_width, count, &mut lens);
+            if ids[0] != 0 {
+                return Err("first id-delta lane not zero");
+            }
+            for lane in count..BLOCK_ENTRIES {
+                if ids[lane] != 0 || tfs[lane] != 0 || lens[lane] != 0 {
+                    return Err("non-zero padding lane");
                 }
             }
-            let raw = varint::get_u32(&self.data, &mut at).ok_or("truncated node id")?;
-            let node = if i % BLOCK_ENTRIES == 0 {
-                raw
-            } else {
-                prev_node
-                    .checked_add(raw)
-                    .and_then(|n| n.checked_add(1))
-                    .ok_or("node overflow")?
-            };
-            if i > 0 && node <= prev_node {
+            // Reconstruct the id column with overflow checks.
+            if prev_node.is_some_and(|p| base <= p) {
                 return Err("node ids not strictly increasing");
             }
-            prev_node = node;
-            if NodeId(node) > self.blocks[block].max_node {
-                return Err("node id exceeds block max");
+            ids[0] = base;
+            for i in 1..count {
+                ids[i] = ids[i - 1]
+                    .checked_add(ids[i])
+                    .and_then(|n| n.checked_add(1))
+                    .ok_or("node overflow")?;
             }
-            let npos = varint::get_u32(&self.data, &mut at).ok_or("truncated position count")?;
-            if npos == 0 {
-                return Err("empty entry");
+            prev_node = Some(ids[count - 1]);
+            if NodeId(ids[count - 1]) != meta.max_node {
+                return Err("block max node disagrees with entries");
             }
-            if npos > self.blocks[block].max_tf {
-                return Err("entry term frequency exceeds block max_tf");
+            // tf column: stored as tf − 1, so every entry has ≥1 position.
+            let mut block_tf = 0u32;
+            for tf in tfs.iter_mut().take(count) {
+                *tf = tf.checked_add(1).ok_or("term frequency overflow")?;
+                block_tf = block_tf.max(*tf);
             }
-            block_tf = block_tf.max(npos);
-            let nbytes = varint::get_u32(&self.data, &mut at).ok_or("truncated position length")?;
-            let end = at
-                .checked_add(nbytes as usize)
-                .ok_or("position length overflow")?;
-            if end > self.data.len() {
-                return Err("position bytes out of range");
-            }
-            positions.clear();
-            let mut prev = Position::flat(0);
-            for j in 0..npos {
-                let (offset, sentence, paragraph) = if j == 0 {
-                    (
-                        varint::get_u32(&self.data, &mut at).ok_or("truncated offset")?,
-                        varint::get_u32(&self.data, &mut at).ok_or("truncated sentence")?,
-                        varint::get_u32(&self.data, &mut at).ok_or("truncated paragraph")?,
-                    )
-                } else {
-                    let doff = varint::get_u32(&self.data, &mut at).ok_or("truncated offset")?;
-                    let dsent = varint::get_u32(&self.data, &mut at).ok_or("truncated sentence")?;
-                    let dpara =
-                        varint::get_u32(&self.data, &mut at).ok_or("truncated paragraph")?;
-                    (
-                        prev.offset
-                            .checked_add(doff)
-                            .and_then(|o| o.checked_add(1))
-                            .ok_or("offset overflow")?,
-                        prev.sentence
-                            .checked_add(dsent)
-                            .ok_or("sentence overflow")?,
-                        prev.paragraph
-                            .checked_add(dpara)
-                            .ok_or("paragraph overflow")?,
-                    )
-                };
-                if at > end {
-                    return Err("positions overrun their declared length");
-                }
-                prev = Position {
-                    offset,
-                    sentence,
-                    paragraph,
-                };
-                positions.push(prev);
-            }
-            if at != end {
-                return Err("positions shorter than declared length");
-            }
-            total_positions += npos as u64;
-            list.push_entry(NodeId(node), &positions);
-        }
-        if at != self.data.len() {
-            return Err("trailing bytes after last entry");
-        }
-        if let Some(last) = self.blocks.last() {
-            if block_tf != last.max_tf {
+            if block_tf != meta.max_tf {
                 return Err("block max_tf disagrees with entries");
             }
+            // Position payloads: lengths must tile the remaining region.
+            for i in 0..count {
+                let end = at
+                    .checked_add(lens[i] as usize)
+                    .ok_or("position length overflow")?;
+                if end > self.data.len() {
+                    return Err("position bytes out of range");
+                }
+                positions.clear();
+                let mut prev = Position::flat(0);
+                for j in 0..tfs[i] {
+                    let (offset, sentence, paragraph) = if j == 0 {
+                        (
+                            varint::get_u32(&self.data, &mut at).ok_or("truncated offset")?,
+                            varint::get_u32(&self.data, &mut at).ok_or("truncated sentence")?,
+                            varint::get_u32(&self.data, &mut at).ok_or("truncated paragraph")?,
+                        )
+                    } else {
+                        let doff =
+                            varint::get_u32(&self.data, &mut at).ok_or("truncated offset")?;
+                        let dsent =
+                            varint::get_u32(&self.data, &mut at).ok_or("truncated sentence")?;
+                        let dpara =
+                            varint::get_u32(&self.data, &mut at).ok_or("truncated paragraph")?;
+                        (
+                            prev.offset
+                                .checked_add(doff)
+                                .and_then(|o| o.checked_add(1))
+                                .ok_or("offset overflow")?,
+                            prev.sentence
+                                .checked_add(dsent)
+                                .ok_or("sentence overflow")?,
+                            prev.paragraph
+                                .checked_add(dpara)
+                                .ok_or("paragraph overflow")?,
+                        )
+                    };
+                    if at > end {
+                        return Err("positions overrun their declared length");
+                    }
+                    prev = Position {
+                        offset,
+                        sentence,
+                        paragraph,
+                    };
+                    positions.push(prev);
+                }
+                if at != end {
+                    return Err("positions shorter than declared length");
+                }
+                total_positions += u64::from(tfs[i]);
+                list.push_entry(NodeId(ids[i]), &positions);
+            }
+        }
+        if at != self.data.len() {
+            return Err("trailing bytes after last block");
         }
         if total_positions != self.positions {
             return Err("position count disagrees with payload");
@@ -258,26 +390,41 @@ impl BlockList {
         self.blocks.iter().map(|b| b.max_tf).max().unwrap_or(0)
     }
 
-    /// Compressed payload size in bytes (entry stream + skip headers).
-    pub fn compressed_bytes(&self) -> usize {
-        self.data.len() + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    /// Bytes of the packed entry stream alone (frames + position payloads),
+    /// excluding the [`BlockMeta`] skip/impact headers.
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
     }
 
-    /// Open a seeking cursor over the compressed stream.
+    /// Bytes of the resident [`BlockMeta`] header array — skip-list and
+    /// impact metadata the index pays for on top of the entry stream.
+    pub fn header_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// Compressed payload size in bytes (entry stream + skip headers).
+    pub fn compressed_bytes(&self) -> usize {
+        self.data_bytes() + self.header_bytes()
+    }
+
+    /// Open a seeking, block-at-a-time cursor over the compressed stream.
     pub fn cursor(&self) -> BlockCursor<'_> {
         BlockCursor {
             list: self,
-            next_entry: 0,
-            in_block: 0,
-            byte: 0,
-            prev_node: 0,
-            node: None,
+            idx: usize::MAX,
+            run_start: 0,
+            count: 0,
+            first: 0,
+            block: usize::MAX,
             started: false,
-            pos_count: 0,
-            pos_bytes: 0..0,
+            done: false,
             decoded: Vec::new(),
-            decoded_valid: false,
+            pos_valid_for: u64::MAX,
             pos_idx: 0,
+            pos_at: 0,
+            pos_end: 0,
+            pos_prev: Position::flat(0),
+            scratch: Box::default(),
             counters: AccessCounters::new(),
         }
     }
@@ -303,14 +450,68 @@ impl BlockList {
     }
 }
 
-/// A forward-only, skip-aware cursor over a [`BlockList`].
+/// The reusable decoded-block buffer a [`BlockCursor`] unpacks into.
+///
+/// The three per-entry columns decode independently, each on first demand:
+/// touching a block unpacks its **id** column (every consumer needs node
+/// ids); the **tf** column is unpacked the first time a scored consumer
+/// asks for a term frequency; the **payload-offset** column the first time
+/// positions are requested. A BOOL scan therefore pays for exactly one
+/// frame per block, a top-k union for two, a positional query for all
+/// three. Sized by [`BlockCursor::scratch_bytes`] for footprint
+/// accounting.
+#[derive(Clone, Debug)]
+struct BlockScratch {
+    /// Decoded node ids of the resident block.
+    ids: [u32; BLOCK_ENTRIES],
+    /// Decoded term frequencies (valid when `tf_block` matches).
+    tfs: [u32; BLOCK_ENTRIES],
+    /// Exclusive prefix sums of position-payload byte lengths, relative to
+    /// `pos_base`: entry `i`'s payload is `pos_base + ends[i-1] .. pos_base
+    /// + ends[i]` (with `ends[-1] = 0`). Valid when `len_block` matches.
+    pos_ends: [u32; BLOCK_ENTRIES],
+    /// Byte offset of the resident block's tf frame.
+    tf_at: usize,
+    /// Byte offset of the resident block's payload-length frame.
+    len_at: usize,
+    /// Absolute byte offset of the resident block's position region.
+    pos_base: usize,
+    /// Frame widths of the resident block's tf and length columns.
+    tf_width: u8,
+    len_width: u8,
+    /// Block whose tf column is decoded; `usize::MAX` when stale.
+    tf_block: usize,
+    /// Block whose payload offsets are decoded; `usize::MAX` when stale.
+    len_block: usize,
+}
+
+impl Default for BlockScratch {
+    fn default() -> Self {
+        BlockScratch {
+            ids: [0; BLOCK_ENTRIES],
+            tfs: [0; BLOCK_ENTRIES],
+            pos_ends: [0; BLOCK_ENTRIES],
+            tf_at: 0,
+            len_at: 0,
+            pos_base: 0,
+            tf_width: 0,
+            len_width: 0,
+            tf_block: usize::MAX,
+            len_block: usize::MAX,
+        }
+    }
+}
+
+/// A forward-only, skip-aware cursor over a [`BlockList`], decoding one
+/// whole block at a time.
 ///
 /// Implements the paper's sequential contract (`next_entry` /
 /// `positions`) plus the [`BlockCursor::seek`] extension: jump to the first
 /// entry with node id ≥ a target, skipping whole blocks via the header
-/// array. Skipped entries are counted separately from decoded ones in
+/// array and binary-searching the decoded ids inside the landing block.
+/// Skipped entries are counted separately from consumed ones in
 /// [`AccessCounters`], so evaluation strategies can be compared on exact
-/// decode work.
+/// access work.
 ///
 /// ```
 /// use ftsl_index::block::BlockList;
@@ -326,135 +527,370 @@ impl BlockList {
 ///
 /// // Seek lands on the first entry with node id >= 1501.
 /// assert_eq!(cur.seek(NodeId(1501)), Some(NodeId(1502)));
-/// // Only one block of entries was decoded to get there; the preceding
-/// // blocks were skipped through the header array.
+/// // Only the landing entry was consumed; everything before it was either
+/// // stepped over through the header array or binary-searched past inside
+/// // the landing block.
 /// assert!(cur.counters().entries < 2 * ftsl_index::block::BLOCK_ENTRIES as u64);
 /// assert!(cur.counters().skipped >= 600);
 /// ```
 #[derive(Clone, Debug)]
 pub struct BlockCursor<'a> {
     list: &'a BlockList,
-    /// Global index of the *next* entry to decode.
-    next_entry: u32,
-    /// Entries already decoded in the current block.
-    in_block: usize,
-    /// Read offset into `list.data` (start of the next entry).
-    byte: usize,
-    prev_node: u32,
-    node: Option<NodeId>,
+    /// Index of the current entry within the resident block; `usize::MAX`
+    /// when the cursor is not positioned inside it (fresh or exhausted).
+    idx: usize,
+    /// Index at which the current *counted run* began: entries consumed
+    /// since the last landing. `AccessCounters::entries` is updated once
+    /// per run (at block transitions and in [`BlockCursor::counters`]),
+    /// not once per entry — the hot walk stays store-minimal and the
+    /// counting is exactly branch-free.
+    run_start: usize,
+    /// Entries in the resident block (0 when none is decoded), copied out
+    /// of the scratch so the hot walk tests it without a pointer chase.
+    count: usize,
+    /// Global index of the resident block's first entry.
+    first: u32,
+    /// Index of the resident block; `usize::MAX` when none is decoded.
+    block: usize,
     started: bool,
-    pos_count: u32,
-    /// Byte range of the current entry's encoded positions.
-    pos_bytes: std::ops::Range<usize>,
+    /// True once every entry has been consumed or skipped.
+    done: bool,
+    /// Positions of the current entry decoded so far (a prefix of the
+    /// payload — the sub-decoder below materializes them on demand).
     decoded: Vec<Position>,
-    decoded_valid: bool,
+    /// Global entry index the position sub-decoder is staged for;
+    /// `u64::MAX` when stale (tag-based invalidation keeps it off the
+    /// entry walk).
+    pos_valid_for: u64,
     pos_idx: usize,
+    /// Read offset of the next undecoded position varint.
+    pos_at: usize,
+    /// End of the current entry's payload — the decode bound.
+    pos_end: usize,
+    /// Delta base: the last position decoded.
+    pos_prev: Position,
+    scratch: Box<BlockScratch>,
     counters: AccessCounters,
 }
 
 impl<'a> BlockCursor<'a> {
-    /// `nextEntry()`: decode the next entry header and return its node id,
-    /// or `None` at end of list.
-    pub fn next_entry(&mut self) -> Option<NodeId> {
-        if self.next_entry >= self.list.entries {
-            self.node = None;
-            self.started = true;
+    /// Bytes of the reusable decoded-block buffer every open cursor holds
+    /// (three `u32` columns of [`BLOCK_ENTRIES`] lanes plus bookkeeping) —
+    /// the per-cursor cost [`crate::index::MemoryFootprint`] reports.
+    pub const fn scratch_bytes() -> usize {
+        std::mem::size_of::<BlockScratch>()
+    }
+
+    /// Global index of the next entry to consume: 0 on a fresh cursor,
+    /// one past the current entry when positioned, `entries` when done.
+    fn global_next(&self) -> u32 {
+        if self.done {
+            self.list.entries
+        } else if self.idx < self.count {
+            self.first + self.idx as u32 + 1
+        } else {
+            0
+        }
+    }
+
+    /// Batch-decode `block`'s id column into the scratch buffer: unpack
+    /// the bit-packed delta frame, run the prefix transform, and record
+    /// where the block's other frames and its position region start. The
+    /// tf and payload-offset columns are left stale — they unpack on first
+    /// demand ([`Self::ensure_tfs`] / [`Self::ensure_lens`]).
+    ///
+    /// Trusted-bytes path: lists built in memory are well-formed by
+    /// construction, so this decodes without validation (the persisted
+    /// load path re-validates through [`BlockList::try_to_posting`]).
+    #[cold]
+    fn unpack_block(&mut self, block: usize) {
+        let s = &mut *self.scratch;
+        let meta = &self.list.blocks[block];
+        let count = BLOCK_ENTRIES.min(self.list.entries as usize - meta.first_entry as usize);
+        let data = &self.list.data;
+        let mut at = meta.byte_start as usize;
+        let base = u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]]);
+        let (id_width, tf_width, len_width) = (data[at + 4], data[at + 5], data[at + 6]);
+        at += BLOCK_PREFIX_BYTES;
+        at += bitpack::unpack(&data[at..], id_width, count, &mut s.ids);
+        // Prefix transform over all 128 lanes (fixed trip count; padding
+        // lanes produce garbage ids that `count` guards from being read,
+        // so the arithmetic wraps instead of checking). Running four
+        // independent 32-lane chains and then propagating the chunk
+        // offsets cuts the serial-dependency latency to roughly a quarter
+        // of a straight 128-add chain.
+        s.ids[0] = base;
+        for c in 1..BLOCK_ENTRIES / 32 {
+            s.ids[32 * c] = s.ids[32 * c].wrapping_add(1);
+        }
+        for c in 0..BLOCK_ENTRIES / 32 {
+            let start = 32 * c;
+            for i in start + 1..start + 32 {
+                s.ids[i] = s.ids[i].wrapping_add(1).wrapping_add(s.ids[i - 1]);
+            }
+        }
+        for c in 1..BLOCK_ENTRIES / 32 {
+            let off = s.ids[32 * c - 1];
+            for v in &mut s.ids[32 * c..32 * (c + 1)] {
+                *v = v.wrapping_add(off);
+            }
+        }
+        s.tf_at = at;
+        s.len_at = at + bitpack::packed_bytes(tf_width, count);
+        s.pos_base = s.len_at + bitpack::packed_bytes(len_width, count);
+        s.tf_width = tf_width;
+        s.len_width = len_width;
+        s.tf_block = usize::MAX;
+        s.len_block = usize::MAX;
+        self.block = block;
+        self.count = count;
+        self.first = meta.first_entry;
+    }
+
+    /// Make `block` the resident block. The hit path is one comparison;
+    /// the miss is kept out of line so the entry walk stays inlineable.
+    #[inline(always)]
+    fn ensure_decoded(&mut self, block: usize) {
+        if self.block != block {
+            self.unpack_block(block);
+        }
+    }
+
+    /// Unpack the resident block's tf column on first demand.
+    #[inline]
+    fn ensure_tfs(&mut self) {
+        if self.scratch.tf_block != self.block {
+            let s = &mut *self.scratch;
+            bitpack::unpack(
+                &self.list.data[s.tf_at..],
+                s.tf_width,
+                self.count,
+                &mut s.tfs,
+            );
+            for tf in s.tfs.iter_mut() {
+                *tf = tf.wrapping_add(1); // stored as tf − 1; padding lanes unread
+            }
+            s.tf_block = self.block;
+        }
+    }
+
+    /// Unpack the resident block's payload-length column on first demand
+    /// and turn it into exclusive prefix ends.
+    #[inline]
+    fn ensure_lens(&mut self) {
+        if self.scratch.len_block != self.block {
+            let s = &mut *self.scratch;
+            bitpack::unpack(
+                &self.list.data[s.len_at..],
+                s.len_width,
+                self.count,
+                &mut s.pos_ends,
+            );
+            let mut run = 0u32;
+            for end in s.pos_ends.iter_mut() {
+                run = run.wrapping_add(*end);
+                *end = run;
+            }
+            s.len_block = self.block;
+        }
+    }
+
+    /// Fold the current counted run (entries consumed since the last
+    /// landing) into `counters.entries`. Called on every reposition —
+    /// once per block on a sequential walk, never per entry. Idempotent:
+    /// the run is emptied, so flushing twice (e.g. once before a seek
+    /// swaps the resident block and again inside its landing) adds
+    /// nothing the second time.
+    fn flush_entry_run(&mut self) {
+        if self.idx < self.count {
+            self.counters.entries += (self.idx + 1 - self.run_start) as u64;
+            self.run_start = self.idx + 1;
+        }
+    }
+
+    /// Position the cursor on global entry `global` (callers guarantee it
+    /// exists) and return its node id. The landing entry starts a new
+    /// counted run.
+    fn land(&mut self, global: u32) -> NodeId {
+        self.flush_entry_run();
+        self.ensure_decoded(global as usize / BLOCK_ENTRIES);
+        let i = global as usize % BLOCK_ENTRIES;
+        self.idx = i;
+        self.run_start = i;
+        self.started = true;
+        NodeId(self.scratch.ids[i])
+    }
+
+    /// Transition to the exhausted state, folding the in-flight entry run
+    /// but no skip accounting (callers charge whatever applies first).
+    fn mark_done(&mut self) {
+        self.flush_entry_run();
+        self.done = true;
+        self.started = true;
+        self.idx = usize::MAX;
+        self.count = 0;
+    }
+
+    /// Cold half of [`Self::next_entry`]: first call, block crossings, and
+    /// end of list.
+    #[cold]
+    fn advance_cold(&mut self) -> Option<NodeId> {
+        let global = self.global_next();
+        if global >= self.list.entries {
+            if !self.done {
+                self.mark_done();
+            }
             return None;
         }
-        if self.in_block == BLOCK_ENTRIES {
-            // Crossing into the next block: node ids restart absolute.
-            self.in_block = 0;
+        Some(self.land(global))
+    }
+
+    /// `nextEntry()`: consume the next entry and return its node id, or
+    /// `None` at end of list. Inside a block this is a branch-predictable
+    /// array walk — one bound test, one index store, one array read; the
+    /// entry count accrues per *run* (see `run_start`), so counting adds
+    /// no per-entry work at all. Block crossings take the cold path.
+    #[inline]
+    pub fn next_entry(&mut self) -> Option<NodeId> {
+        let i = self.idx.wrapping_add(1);
+        if i < self.count {
+            self.idx = i;
+            return Some(NodeId(self.scratch.ids[i]));
         }
-        let data = &self.list.data;
-        let raw = varint::get_u32(data, &mut self.byte).expect("well-formed block stream");
-        let node = if self.in_block == 0 {
-            raw
-        } else {
-            self.prev_node + raw + 1
-        };
-        let npos = varint::get_u32(data, &mut self.byte).expect("well-formed block stream");
-        let nbytes = varint::get_u32(data, &mut self.byte).expect("well-formed block stream");
-        self.pos_bytes = self.byte..self.byte + nbytes as usize;
-        self.byte += nbytes as usize;
-        self.prev_node = node;
-        self.node = Some(NodeId(node));
+        self.advance_cold()
+    }
+
+    /// Bench support: the [`Self::next_entry`] walk with ALL access
+    /// counting removed, including the per-run folds on block
+    /// transitions. `micro_cursors` compares the two to assert that
+    /// counting costs under 5% of a scan. Leaves the run bookkeeping
+    /// stale, so a cursor driven through here reports meaningless
+    /// counters — never mix with counted use.
+    #[doc(hidden)]
+    #[inline]
+    pub fn next_entry_uncounted(&mut self) -> Option<NodeId> {
+        let i = self.idx.wrapping_add(1);
+        if i < self.count {
+            self.idx = i;
+            return Some(NodeId(self.scratch.ids[i]));
+        }
+        // Cold path minus counting: land on the next block or exhaust.
+        let global = self.global_next();
+        if global >= self.list.entries {
+            self.done = true;
+            self.started = true;
+            self.idx = usize::MAX;
+            self.count = 0;
+            return None;
+        }
+        self.ensure_decoded(global as usize / BLOCK_ENTRIES);
+        let i = global as usize % BLOCK_ENTRIES;
+        self.idx = i;
+        self.run_start = i;
         self.started = true;
-        self.pos_count = npos;
-        self.decoded_valid = false;
-        self.pos_idx = 0;
-        self.in_block += 1;
-        self.next_entry += 1;
-        self.counters.entries += 1;
-        Some(NodeId(node))
+        Some(NodeId(self.scratch.ids[i]))
     }
 
     /// `seek(node)`: advance to the first entry with node id ≥ `target`,
-    /// skipping whole blocks via the header array. Stays put if the current
-    /// entry already satisfies the bound. Returns the landing node id, or
-    /// `None` when the list has no such entry.
+    /// skipping whole blocks via the header array and binary-searching the
+    /// decoded ids of the landing block. Stays put if the current entry
+    /// already satisfies the bound. Returns the landing node id, or `None`
+    /// when the list has no such entry.
     pub fn seek(&mut self, target: NodeId) -> Option<NodeId> {
-        if let Some(cur) = self.node {
+        if let Some(cur) = self.node() {
             if cur >= target {
                 return Some(cur);
             }
         }
-        // First candidate block whose max node reaches the target, at or
-        // after the block the cursor is currently parked in.
-        let cur_block = self.next_entry as usize / BLOCK_ENTRIES;
-        let rel = self.list.blocks[cur_block.min(self.list.blocks.len().saturating_sub(1))..]
-            .partition_point(|b| b.max_node < target);
-        let target_block = cur_block + rel;
-        if target_block >= self.list.blocks.len() {
-            // No block can contain the target: exhaust, counting the rest
-            // of the list as skipped (never decoded).
-            self.counters.skipped += (self.list.entries - self.next_entry) as u64;
-            self.counters.blocks_skipped += (self.list.blocks.len())
-                .saturating_sub((self.next_entry as usize).div_ceil(BLOCK_ENTRIES))
-                as u64;
-            self.next_entry = self.list.entries;
-            self.node = None;
-            self.started = true;
+        let from = self.global_next();
+        if from >= self.list.entries {
+            if !self.done {
+                self.mark_done();
+            }
             return None;
         }
+        // Fast path for the leapfrog-common short hop: the target is still
+        // inside the already-decoded resident block — no header search.
+        let cur_block = from as usize / BLOCK_ENTRIES;
+        let target_block =
+            if cur_block == self.block && self.list.blocks[cur_block].max_node >= target {
+                cur_block
+            } else {
+                // First candidate block whose max node reaches the target, at
+                // or after the block holding the next entry.
+                let rel = self.list.blocks[cur_block..].partition_point(|b| b.max_node < target);
+                let target_block = cur_block + rel;
+                if target_block >= self.list.blocks.len() {
+                    // No block can contain the target: exhaust, counting the
+                    // rest of the list as skipped (never consumed).
+                    self.counters.skipped += u64::from(self.list.entries - from);
+                    self.counters.blocks_skipped += (self.list.blocks.len())
+                        .saturating_sub((from as usize).div_ceil(BLOCK_ENTRIES))
+                        as u64;
+                    self.mark_done();
+                    return None;
+                }
+                target_block
+            };
         let meta = self.list.blocks[target_block];
-        if meta.first_entry > self.next_entry {
-            self.counters.skipped += (meta.first_entry - self.next_entry) as u64;
+        let mut from = from;
+        if meta.first_entry > from {
+            self.counters.skipped += u64::from(meta.first_entry - from);
             self.counters.blocks_skipped +=
-                (target_block - (self.next_entry as usize).div_ceil(BLOCK_ENTRIES)) as u64;
-            self.next_entry = meta.first_entry;
-            self.byte = meta.byte_start as usize;
-            self.in_block = 0;
+                (target_block - (from as usize).div_ceil(BLOCK_ENTRIES)) as u64;
+            from = meta.first_entry;
         }
-        // Scan within the block (≤ BLOCK_ENTRIES decodes).
-        while let Some(node) = self.next_entry() {
-            if node >= target {
-                return Some(node);
-            }
+        // Search the decoded ids (the block's max_node reaches the target,
+        // so a landing entry exists): scan a handful of lanes linearly —
+        // leapfrog hops are usually short — then binary-search the rest.
+        // Fold the in-flight entry run first: decoding the landing block
+        // replaces the resident block the run is counted against.
+        self.flush_entry_run();
+        self.ensure_decoded(target_block);
+        let lo = (from - meta.first_entry) as usize;
+        let lanes = &self.scratch.ids[lo..self.count];
+        const LINEAR: usize = 8;
+        let mut within = 0usize;
+        while within < lanes.len().min(LINEAR) && lanes[within] < target.0 {
+            within += 1;
         }
-        None
+        if within == LINEAR {
+            within += lanes[LINEAR..].partition_point(|&id| id < target.0);
+        }
+        self.counters.skipped += within as u64;
+        Some(self.land(meta.first_entry + (lo + within) as u32))
     }
 
-    /// The node id of the current entry.
+    /// The node id of the current entry, read from the decoded id column
+    /// (the cursor is positioned exactly when `idx` is inside the resident
+    /// block, so no separate field needs updating on the entry walk).
+    #[inline]
     pub fn node(&self) -> Option<NodeId> {
-        self.node
+        if self.idx < self.count {
+            Some(NodeId(self.scratch.ids[self.idx]))
+        } else {
+            None
+        }
     }
 
-    /// Term frequency of the current entry: its position count, already
-    /// decoded by [`Self::next_entry`] — reading it costs nothing.
+    /// Term frequency of the current entry, read from the unpacked tf
+    /// column (decoded for the whole block on the first request).
     ///
     /// # Panics
     /// Panics if called before the first successful [`Self::next_entry`].
-    pub fn tf(&self) -> u32 {
-        assert!(self.node.is_some(), "cursor not positioned on an entry");
-        self.pos_count
+    #[inline]
+    pub fn tf(&mut self) -> u32 {
+        assert!(self.idx < self.count, "cursor not positioned on an entry");
+        self.ensure_tfs();
+        self.scratch.tfs[self.idx]
     }
 
     /// Index of the block the cursor is parked in: the current entry's
     /// block, or the next block to decode when the cursor has not started.
     /// `None` once the list is exhausted (or empty).
     fn current_block(&self) -> Option<usize> {
-        if self.node.is_some() {
-            Some((self.next_entry as usize - 1) / BLOCK_ENTRIES)
+        if self.idx < self.count {
+            Some(self.block)
         } else if !self.started && !self.list.blocks.is_empty() {
             Some(0)
         } else {
@@ -482,7 +918,7 @@ impl<'a> BlockCursor<'a> {
     /// the skip headers — a pure bound probe that decodes nothing. `None`
     /// when no remaining entry can reach `target`.
     pub fn peek_max_tf_at(&self, target: NodeId) -> Option<u32> {
-        if let Some(cur) = self.node {
+        if let Some(cur) = self.node() {
             if cur >= target {
                 return self.current_block().map(|b| self.list.blocks[b].max_tf);
             }
@@ -492,7 +928,7 @@ impl<'a> BlockCursor<'a> {
         self.list.blocks.get(from + rel).map(|b| b.max_tf)
     }
 
-    /// Jump past the current block without decoding its remaining entries
+    /// Jump past the current block without consuming its remaining entries
     /// (they are counted as skipped; the block counts in
     /// [`AccessCounters::blocks_skipped`] only if at least one entry was
     /// actually bypassed) and land on the first entry of the next block,
@@ -501,99 +937,144 @@ impl<'a> BlockCursor<'a> {
     pub fn skip_block(&mut self) -> Option<NodeId> {
         let block = self.current_block()?;
         let next = block + 1;
+        let from = self.global_next();
         if next >= self.list.blocks.len() {
-            let remaining = (self.list.entries - self.next_entry) as u64;
+            let remaining = u64::from(self.list.entries - from);
             self.counters.skipped += remaining;
             self.counters.blocks_skipped += u64::from(remaining > 0);
-            self.next_entry = self.list.entries;
-            self.node = None;
-            self.started = true;
+            self.mark_done();
             return None;
         }
         let meta = self.list.blocks[next];
-        let remaining = (meta.first_entry - self.next_entry) as u64;
+        let remaining = u64::from(meta.first_entry - from);
         self.counters.skipped += remaining;
         self.counters.blocks_skipped += u64::from(remaining > 0);
-        self.next_entry = meta.first_entry;
-        self.byte = meta.byte_start as usize;
-        self.in_block = 0;
-        self.next_entry()
+        Some(self.land(meta.first_entry))
     }
 
-    /// `getPositions()`: decode (once) and return the current entry's
-    /// positions.
+    /// Stage the current entry's payload for decoding and materialize its
+    /// first position: resolve the byte range from the unpacked length
+    /// column and reset the incremental sub-decoder. Tag-based: staging
+    /// happens at most once per entry, however the accessors interleave;
+    /// the hit path is a single comparison.
+    #[inline(always)]
+    fn ensure_positions(&mut self) {
+        assert!(self.idx < self.count, "cursor not positioned on an entry");
+        let global = u64::from(self.first) + self.idx as u64;
+        if self.pos_valid_for != global {
+            self.stage_positions(global);
+        }
+    }
+
+    /// Cold half of [`Self::ensure_positions`]: resolve the payload range
+    /// and decode the entry's first position (every accessor that stages an
+    /// entry immediately needs at least one). Only the length column is
+    /// consulted — the payload's byte range bounds the decode, so the tf
+    /// column stays packed unless a scorer asks for it.
+    fn stage_positions(&mut self, global: u64) {
+        self.ensure_lens();
+        let idx = self.idx;
+        let s = &*self.scratch;
+        self.pos_at = s.pos_base
+            + if idx == 0 {
+                0
+            } else {
+                s.pos_ends[idx - 1] as usize
+            };
+        self.pos_end = s.pos_base + s.pos_ends[idx] as usize;
+        self.decoded.clear();
+        self.pos_idx = 0;
+        self.pos_valid_for = global;
+        self.decode_next_position();
+    }
+
+    /// Materialize one more position of the current entry, if any remain.
+    /// Each position is decoded at most once and counted in
+    /// [`AccessCounters::positions_decoded`] when it is — an entry whose
+    /// predicate accepts or rejects on its first position pays exactly one
+    /// position decode, not `tf`.
+    fn decode_next_position(&mut self) -> Option<Position> {
+        if self.pos_at >= self.pos_end {
+            return None;
+        }
+        let data: &[u8] = &self.list.data;
+        let mut at = self.pos_at;
+        let a = varint::get_u32(data, &mut at).expect("well-formed positions");
+        let b = varint::get_u32(data, &mut at).expect("well-formed positions");
+        let c = varint::get_u32(data, &mut at).expect("well-formed positions");
+        let p = if self.decoded.is_empty() {
+            Position {
+                offset: a,
+                sentence: b,
+                paragraph: c,
+            }
+        } else {
+            Position {
+                offset: self.pos_prev.offset + a + 1,
+                sentence: self.pos_prev.sentence + b,
+                paragraph: self.pos_prev.paragraph + c,
+            }
+        };
+        debug_assert!(at <= self.pos_end, "positions overran their payload");
+        self.pos_at = at;
+        self.pos_prev = p;
+        self.decoded.push(p);
+        self.counters.positions_decoded += 1;
+        Some(p)
+    }
+
+    /// `getPositions()`: decode (once) and return the current entry's full
+    /// position list.
     ///
-    /// Decoding is *lazy*: [`Self::next_entry`] only parses the entry header
-    /// (node id, position count, payload byte length) and steps over the
-    /// position varints. The payload is decompressed here, on first demand,
-    /// and the work is recorded in [`AccessCounters::positions_decoded`] —
-    /// entries whose positions are never inspected cost no position decodes.
+    /// Decoding is *lazy* at three levels: block unpacking materializes
+    /// only the payload byte ranges (the length column, itself unpacked on
+    /// the block's first position request); the varint payload is staged on
+    /// first demand per entry; and the incremental accessors below decode
+    /// single positions — only this whole-slice accessor pays for the full
+    /// payload. Work is recorded per materialized position in
+    /// [`AccessCounters::positions_decoded`].
     ///
     /// # Panics
     /// Panics if called before the first successful [`Self::next_entry`].
     pub fn positions(&mut self) -> &[Position] {
-        assert!(self.node.is_some(), "cursor not positioned on an entry");
-        if !self.decoded_valid {
-            self.counters.positions_decoded += u64::from(self.pos_count);
-            self.decoded.clear();
-            let data = &self.list.data;
-            let mut at = self.pos_bytes.start;
-            let mut prev = Position::flat(0);
-            for j in 0..self.pos_count {
-                let p = if j == 0 {
-                    let offset = varint::get_u32(data, &mut at).expect("well-formed positions");
-                    let sentence = varint::get_u32(data, &mut at).expect("well-formed positions");
-                    let paragraph = varint::get_u32(data, &mut at).expect("well-formed positions");
-                    Position {
-                        offset,
-                        sentence,
-                        paragraph,
-                    }
-                } else {
-                    let doff = varint::get_u32(data, &mut at).expect("well-formed positions");
-                    let dsent = varint::get_u32(data, &mut at).expect("well-formed positions");
-                    let dpara = varint::get_u32(data, &mut at).expect("well-formed positions");
-                    Position {
-                        offset: prev.offset + doff + 1,
-                        sentence: prev.sentence + dsent,
-                        paragraph: prev.paragraph + dpara,
-                    }
-                };
-                self.decoded.push(p);
-                prev = p;
-            }
-            debug_assert_eq!(at, self.pos_bytes.end);
-            self.decoded_valid = true;
-        }
+        self.ensure_positions();
+        while self.decode_next_position().is_some() {}
         &self.decoded
     }
 
-    /// The current position within the current entry, if any remain.
+    /// The current position within the current entry, if any remain —
+    /// materializing only as much of the payload as the index requires.
     pub fn position(&mut self) -> Option<Position> {
-        let idx = self.pos_idx;
-        self.positions().get(idx).copied()
+        self.ensure_positions();
+        while self.decoded.len() <= self.pos_idx {
+            self.decode_next_position()?;
+        }
+        Some(self.decoded[self.pos_idx])
     }
 
     /// Advance the position sub-cursor to the first position with
-    /// `offset >= min_offset`, counting consumed positions.
+    /// `offset >= min_offset`, counting consumed positions — and decoding
+    /// only as far as the search actually looks.
     pub fn advance_position(&mut self, min_offset: u32) -> Option<Position> {
-        let idx = self.pos_idx;
-        let ps = self.positions();
-        let mut i = idx;
-        while let Some(p) = ps.get(i) {
+        self.ensure_positions();
+        let start = self.pos_idx;
+        let mut i = start;
+        let hit = loop {
+            let p = if i < self.decoded.len() {
+                self.decoded[i]
+            } else if let Some(p) = self.decode_next_position() {
+                p
+            } else {
+                break None;
+            };
             if p.offset >= min_offset {
-                let hit = *p;
-                let consumed = (i - idx) as u64;
-                self.pos_idx = i;
-                self.counters.positions += consumed;
-                return Some(hit);
+                break Some(p);
             }
             i += 1;
-        }
-        let consumed = (i - idx) as u64;
+        };
         self.pos_idx = i;
-        self.counters.positions += consumed;
-        None
+        self.counters.positions += (i - start) as u64;
+        hit
     }
 
     /// Reset the position sub-cursor to the start of the current entry.
@@ -601,14 +1082,19 @@ impl<'a> BlockCursor<'a> {
         self.pos_idx = 0;
     }
 
-    /// Access counters accumulated by this cursor.
+    /// Access counters accumulated by this cursor, including the entry
+    /// run currently in flight.
     pub fn counters(&self) -> AccessCounters {
-        self.counters
+        let mut c = self.counters;
+        if self.idx < self.count {
+            c.entries += (self.idx + 1 - self.run_start) as u64;
+        }
+        c
     }
 
     /// True if all entries have been consumed.
     pub fn exhausted(&self) -> bool {
-        self.started && self.node.is_none()
+        self.done
     }
 }
 
@@ -648,10 +1134,44 @@ mod tests {
     }
 
     #[test]
+    fn untrusted_roundtrip_agrees_with_trusted() {
+        for n in [0u32, 1, 127, 128, 129, 513] {
+            let list = sample(n, 5);
+            let blocks = BlockList::from_posting(&list);
+            assert_eq!(blocks.try_to_posting().expect("valid"), list, "n = {n}");
+        }
+    }
+
+    #[test]
     fn block_structure_has_expected_shape() {
         let blocks = BlockList::from_posting(&sample(300, 2));
         assert_eq!(blocks.num_blocks(), 3); // 128 + 128 + 44
         assert!(blocks.compressed_bytes() < 300 * 12); // beats raw u32 triples
+        assert_eq!(
+            blocks.compressed_bytes(),
+            blocks.data_bytes() + blocks.header_bytes()
+        );
+        assert_eq!(blocks.header_bytes(), 3 * std::mem::size_of::<BlockMeta>());
+    }
+
+    #[test]
+    fn constant_runs_pack_at_width_zero() {
+        // Consecutive ids (delta-1 = 0) and uniform tf = 1: both columns
+        // collapse to width 0, so a block costs its prefix, the length
+        // frame, and the payloads — nothing for ids or tfs.
+        let list = PostingList::from_entries(
+            (0..BLOCK_ENTRIES as u32)
+                .map(|i| (NodeId(i), vec![p(3)]))
+                .collect(),
+        );
+        let blocks = BlockList::from_posting(&list);
+        let (metas, data, _, _) = blocks.parts();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(data[4], 0, "id width");
+        assert_eq!(data[5], 0, "tf width");
+        // Uniform 1-byte payloads also pack at width 1 (all lengths = 3).
+        let len_width = data[6];
+        assert!(len_width <= 2, "len width {len_width}");
     }
 
     #[test]
@@ -670,14 +1190,17 @@ mod tests {
     }
 
     #[test]
-    fn seek_skips_blocks_without_decoding() {
+    fn seek_skips_blocks_without_consuming() {
         let blocks = BlockList::from_posting(&sample(1000, 2));
         let mut cur = blocks.cursor();
         assert_eq!(cur.seek(NodeId(1501)), Some(NodeId(1502)));
         let c = cur.counters();
-        assert!(c.entries <= BLOCK_ENTRIES as u64, "decoded {}", c.entries);
-        assert!(c.skipped >= 512, "skipped {}", c.skipped);
+        // Binary search inside the landing block: only the landing entry is
+        // consumed, everything before it is skipped.
+        assert_eq!(c.entries, 1, "consumed {}", c.entries);
+        assert_eq!(c.skipped, 751, "skipped {}", c.skipped);
         assert_eq!(c.entries + c.skipped, 752); // landed on entry index 751
+        assert_eq!(c.blocks_skipped, 5); // blocks 0..5 never touched
     }
 
     #[test]
@@ -690,6 +1213,19 @@ mod tests {
         assert_eq!(cur.seek(NodeId(302)), Some(NodeId(303))); // current suffices
         assert_eq!(cur.seek(NodeId(10_000)), None);
         assert!(cur.exhausted());
+        assert_eq!(cur.seek(NodeId(0)), None); // stays exhausted
+    }
+
+    #[test]
+    fn seek_within_current_block_counts_bypassed_entries_as_skipped() {
+        let blocks = BlockList::from_posting(&sample(100, 2)); // one block
+        let mut cur = blocks.cursor();
+        cur.next_entry(); // node 0
+        assert_eq!(cur.seek(NodeId(100)), Some(NodeId(100))); // entry 50
+        let c = cur.counters();
+        assert_eq!(c.entries, 2); // first + landing
+        assert_eq!(c.skipped, 49); // entries 1..=49 binary-searched past
+        assert_eq!(c.blocks_skipped, 0);
     }
 
     #[test]
@@ -734,6 +1270,24 @@ mod tests {
     }
 
     #[test]
+    fn wide_ids_and_tfs_roundtrip() {
+        // Sparse ids up to u32::MAX and a tf spike force wide frames.
+        let list = PostingList::from_entries(vec![
+            (NodeId(0), vec![p(1)]),
+            (NodeId(1 << 20), vec![p(2), p(9), p(100)]),
+            (NodeId(u32::MAX - 1), (0..40).map(p).collect()),
+            (NodeId(u32::MAX), vec![p(0)]),
+        ]);
+        let blocks = BlockList::from_posting(&list);
+        assert_eq!(blocks.to_posting(), list);
+        assert_eq!(blocks.try_to_posting().expect("valid"), list);
+        assert_eq!(blocks.max_tf(), 40);
+        let mut cur = blocks.cursor();
+        assert_eq!(cur.seek(NodeId(u32::MAX - 5)), Some(NodeId(u32::MAX - 1)));
+        assert_eq!(cur.tf(), 40);
+    }
+
+    #[test]
     fn compression_beats_flat_encoding_on_dense_lists() {
         // Dense ids and short gaps: the regime block compression targets.
         let list = PostingList::from_entries(
@@ -748,5 +1302,25 @@ mod tests {
             "compressed {} vs flat {flat_bytes}",
             blocks.compressed_bytes()
         );
+    }
+
+    #[test]
+    fn corrupt_padding_or_headers_are_errors_not_panics() {
+        let list = sample(200, 3);
+        let blocks = BlockList::from_posting(&list);
+        let (metas, data, entries, positions) = blocks.parts();
+        // Flip bytes one at a time; decoding may fail or (for position
+        // payload bytes) succeed with different positions, but never panic.
+        for i in 0..data.len() {
+            let mut raw = data.to_vec();
+            raw[i] ^= 0x40;
+            let candidate = BlockList::from_parts(metas.to_vec(), raw, entries, positions);
+            let _ = candidate.try_to_posting();
+        }
+        // A lying header is always an error.
+        let mut bad = metas.to_vec();
+        bad[1].byte_start += 1;
+        let candidate = BlockList::from_parts(bad, data.to_vec(), entries, positions);
+        assert!(candidate.try_to_posting().is_err());
     }
 }

@@ -8,28 +8,43 @@
 use std::ops::AddAssign;
 
 /// Counts of sequential inverted-list accesses.
+///
+/// `entries` counts entries an evaluator *consumed* (returned by
+/// `next_entry`/`seek`). On the block layout physical decode is
+/// block-granular — a touched block is unpacked whole into cursor
+/// scratch — but the counters keep the logical access semantics so both
+/// layouts stay comparable; the unpacking itself is the constant-cost
+/// machinery being measured by the `batch_decode` bench, not an access.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AccessCounters {
-    /// Entries *decoded*: `nextEntry()` calls that returned an entry.
+    /// Entries *consumed*: returned to the evaluator by `nextEntry()` or
+    /// as a `seek` landing. Entries a seek bypasses — galloped over on the
+    /// decoded layout, binary-searched past inside an unpacked block on
+    /// the block layout — count in [`Self::skipped`] instead.
     pub entries: u64,
     /// Positions consumed from `getPositions()` results.
     pub positions: u64,
     /// Positions whose *payload* was materialized out of the physical list.
     ///
-    /// On the block layout this counts real decompression work: an entry's
-    /// position varints are only decoded when some evaluator first asks for
-    /// them ([`crate::block::BlockCursor::positions`]); entries rejected on
-    /// node id alone are stepped over using the stored byte length and never
-    /// contribute here. On the decoded layout positions are already resident,
-    /// so the counter instead records the first *inspection* of each entry's
-    /// position slice — keeping the two layouts comparable on "how many
-    /// position lists did evaluation actually look at".
+    /// On the block layout this counts real decompression work, one
+    /// position at a time: the v5 cursor decodes an entry's payload
+    /// *incrementally* ([`crate::block::BlockCursor::positions`] and the
+    /// single-position accessors), so a predicate that accepts or rejects
+    /// on an entry's first position charges one decode, not the entry's
+    /// full `tf`; entries rejected on node id alone are stepped over via
+    /// the unpacked length column and never contribute at all. On the
+    /// decoded layout positions are already resident, so the counter
+    /// instead records the first *inspection* of each entry's position
+    /// slice (its whole length) — an upper bound on what the block layout
+    /// charges for the same access pattern.
     pub positions_decoded: u64,
     /// Tuples materialized by non-streaming operators (COMP joins).
     pub tuples: u64,
-    /// Entries bypassed by `seek` without being decoded (whole-block jumps
-    /// and galloped-over entries). Distinguishing decoded from skipped work
-    /// is what makes skip-aware and sequential evaluation comparable.
+    /// Entries bypassed by `seek` without being *consumed* (whole-block
+    /// jumps, galloped-over entries on the decoded layout, and entries a
+    /// block cursor's in-block binary search steps past). Distinguishing
+    /// consumed from skipped work is what makes skip-aware and sequential
+    /// evaluation comparable.
     pub skipped: u64,
     /// Compressed blocks whose remaining entries a cursor bypassed in one
     /// jump — untouched blocks a `seek` stepped over via the skip headers,

@@ -35,18 +35,30 @@ pub struct MemoryFootprint {
     /// Bytes held by the block-compressed lists (entry streams + skip/impact
     /// headers), including `IL_ANY`. Always resident.
     pub compressed: usize,
+    /// The portion of `compressed` spent on the resident
+    /// [`crate::block::BlockMeta`] header arrays (skip + impact metadata)
+    /// rather than packed entry data — the cost of being able to skip.
+    pub block_headers: usize,
     /// Bytes held by the decoded columnar views (node, offset, and position
     /// arrays), including `IL_ANY`. Zero under [`Residency::BlocksOnly`].
     pub decoded: usize,
     /// Bytes held by the LRU block-decode cache (hot lists decoded on
     /// demand). Zero under [`Residency::Dual`], which never needs it.
     pub cache: usize,
+    /// Bytes of the reusable decoded-block scratch buffer **each open
+    /// [`crate::block::BlockCursor`] holds** (the v5 batch-decode columns).
+    /// Per cursor, not per index: a query touching `t` token lists keeps
+    /// `t` of these alive while it runs, so serving cost scales with
+    /// concurrent cursors, not with corpus size.
+    pub cursor_scratch: usize,
     /// The residency policy the numbers were measured under.
     pub residency: Residency,
 }
 
 impl MemoryFootprint {
-    /// Total resident bytes across every form.
+    /// Total resident bytes across every form. `block_headers` is already
+    /// inside `compressed`; `cursor_scratch` is per-open-cursor transient
+    /// state, not index residency — neither is double-counted here.
     pub fn total(&self) -> usize {
         self.compressed + self.decoded + self.cache
     }
@@ -57,19 +69,25 @@ impl std::fmt::Display for MemoryFootprint {
         match self.residency {
             Residency::Dual => write!(
                 f,
-                "{}: compressed={}B decoded={}B total={}B",
+                "{}: compressed={}B (headers {}B) decoded={}B total={}B \
+                 (+{}B/open cursor)",
                 self.residency,
                 self.compressed,
+                self.block_headers,
                 self.decoded,
-                self.total()
+                self.total(),
+                self.cursor_scratch
             ),
             Residency::BlocksOnly => write!(
                 f,
-                "{}: compressed={}B decode-cache={}B total={}B",
+                "{}: compressed={}B (headers {}B) decode-cache={}B total={}B \
+                 (+{}B/open cursor)",
                 self.residency,
                 self.compressed,
+                self.block_headers,
                 self.cache,
-                self.total()
+                self.total(),
+                self.cursor_scratch
             ),
         }
     }
@@ -315,6 +333,12 @@ impl InvertedIndex {
     pub fn memory_footprint(&self) -> MemoryFootprint {
         MemoryFootprint {
             compressed: self.compressed_bytes(),
+            block_headers: self
+                .blocks
+                .iter()
+                .map(BlockList::header_bytes)
+                .sum::<usize>()
+                + self.any_blocks.header_bytes(),
             decoded: self
                 .lists
                 .iter()
@@ -322,6 +346,7 @@ impl InvertedIndex {
                 .sum::<usize>()
                 + self.any.resident_bytes(),
             cache: self.cache.resident_bytes(),
+            cursor_scratch: BlockCursor::scratch_bytes(),
             residency: self.residency,
         }
     }
@@ -389,6 +414,32 @@ mod tests {
         let mut index = IndexBuilder::new().build(&corpus);
         index.set_residency(Residency::BlocksOnly);
         let _ = index.any();
+    }
+
+    #[test]
+    fn footprint_reports_headers_and_cursor_scratch() {
+        let corpus = Corpus::from_texts(&["a b a", "b c", "a"]);
+        let index = IndexBuilder::new().build(&corpus);
+        let fp = index.memory_footprint();
+        assert!(fp.block_headers > 0, "header bytes must be counted");
+        assert!(
+            fp.block_headers < fp.compressed,
+            "headers are part of compressed"
+        );
+        assert_eq!(
+            fp.cursor_scratch,
+            crate::block::BlockCursor::scratch_bytes()
+        );
+        assert!(fp.cursor_scratch >= 3 * 4 * crate::block::BLOCK_ENTRIES);
+        let shown = format!("{fp}");
+        assert!(
+            shown.contains("headers"),
+            "display names header bytes: {shown}"
+        );
+        assert!(
+            shown.contains("cursor"),
+            "display names cursor scratch: {shown}"
+        );
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //!
 //! Physically, every list exists in two forms: the decoded columnar
 //! [`PostingList`] and the block-compressed [`block::BlockList`]
-//! (delta/varint blocks of [`block::BLOCK_ENTRIES`] entries headed by an
-//! implicit skip list). The compressed form is what [`persist`] stores on
-//! disk; [`IndexBuilder`] produces both, sharding construction across
+//! (bit-packed frame-of-reference blocks of [`block::BLOCK_ENTRIES`]
+//! entries — see [`bitpack`] — headed by an implicit skip list, decoded a
+//! whole block at a time). The compressed form is what [`persist`] stores
+//! on disk; [`IndexBuilder`] produces both, sharding construction across
 //! threads for large corpora.
 //!
 //! ## Live maintenance
@@ -30,10 +31,11 @@
 //! per-segment bitmaps ([`segment::DeleteSet`]), compacts segments with a
 //! background tiered merge, and serves readers through point-in-time
 //! [`live::Snapshot`]s. [`manifest`] persists the whole segment set
-//! atomically (format v4).
+//! atomically (format v6, embedding v5 segment images).
 
 #![warn(missing_docs)]
 
+pub mod bitpack;
 pub mod block;
 pub mod builder;
 pub mod counters;

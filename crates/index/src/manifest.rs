@@ -1,7 +1,7 @@
-//! Manifest persistence for live, segmented indexes — format **v4**.
+//! Manifest persistence for live, segmented indexes — format **v6**.
 //!
 //! A [`crate::live::LiveIndex`] is more than one inverted index: it is a
-//! *segment set* (each segment an ordinary v3 index image over a local
+//! *segment set* (each segment an ordinary v5 index image over a local
 //! corpus), the tombstone bitmaps, the global-id maps, and the shared
 //! vocabulary. The manifest records all of it in one buffer so a
 //! multi-segment index reloads bit-identically — same segments, same
@@ -10,13 +10,14 @@
 //! ## Format versioning
 //!
 //! The manifest continues the version line of [`crate::persist`]: same
-//! `"FTSI"` magic, version **4**. [`decode`] rejects v1–v3 (bare-index
-//! formats) and unknown versions loudly with
-//! [`PersistError::BadVersion`] — and, symmetrically, the bare-index
-//! [`crate::persist::decode`] rejects a v4 manifest the same way. Neither
-//! ever panics on foreign bytes.
+//! `"FTSI"` magic, version **6** (v4 was the manifest built on v3 varint
+//! segment images; v6 embeds the bit-packed v5 images). [`decode`] rejects
+//! v1–v5 (bare-index formats and the retired v4 manifest) and unknown
+//! versions loudly with [`PersistError::BadVersion`] — and, symmetrically,
+//! the bare-index [`crate::persist::decode`] rejects a v6 manifest the
+//! same way. Neither ever panics on foreign bytes.
 //!
-//! Layout of a v4 buffer (integers little-endian):
+//! Layout of a v6 buffer (integers little-endian):
 //!
 //! ```text
 //! magic:u32  version:u32  next_global:u32  next_segment_id:u64
@@ -29,7 +30,7 @@
 //!   per doc: label_len:u32 label:[u8]
 //!            num_tokens:u32
 //!            num_tokens × (token:u32 offset:u32 sentence:u32 paragraph:u32)
-//!   index_len:u32  index:[u8]                 (a v3 image, persist::decode)
+//!   index_len:u32  index:[u8]                 (a v5 image, persist::decode)
 //! vocab_total:u32  per token: len:u32 name:[u8]   (shared vocabulary)
 //! ```
 //!
@@ -50,9 +51,9 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x4654_5349; // "FTSI", shared with persist
-const VERSION: u32 = 4;
+const VERSION: u32 = 6;
 
-/// Serialize a live index to a v4 manifest buffer. The write buffer is
+/// Serialize a live index to a v6 manifest buffer. The write buffer is
 /// flushed first, so the image covers every document added so far.
 pub fn encode(live: &LiveIndex) -> Bytes {
     let (sealed, next_global, next_segment_id) = live.sealed_parts();
@@ -110,13 +111,14 @@ fn encode_segment(buf: &mut BytesMut, entry: &SealedEntry) {
     buf.put_slice(image.as_slice());
 }
 
-/// Deserialize a v4 manifest with default [`LiveConfig`].
+/// Deserialize a v6 manifest with default [`LiveConfig`].
 pub fn decode(buf: impl Buf) -> Result<LiveIndex, PersistError> {
     decode_with(buf, LiveConfig::default())
 }
 
-/// Deserialize a v4 manifest into a live index with explicit configuration.
-/// v1–v3 buffers (bare-index formats) and unknown versions are rejected
+/// Deserialize a v6 manifest into a live index with explicit configuration.
+/// v1–v5 buffers (bare-index formats and the retired v4 manifest) and
+/// unknown versions are rejected
 /// with [`PersistError::BadVersion`]; structural lies (non-ascending global
 /// ids, bitmap/corpus disagreements, out-of-range token ids) with
 /// [`PersistError::Corrupt`]. Never panics on foreign bytes.
@@ -297,7 +299,7 @@ pub fn load(path: &Path, config: LiveConfig) -> Result<LiveIndex, LoadError> {
 pub enum LoadError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// The bytes were not a valid v4 manifest.
+    /// The bytes were not a valid v6 manifest.
     Persist(PersistError),
 }
 
@@ -420,7 +422,7 @@ mod tests {
 
     #[test]
     fn bare_index_versions_are_rejected() {
-        for v in [1u32, 2, 3, 5, 99] {
+        for v in [1u32, 2, 3, 4, 5, 7, 99] {
             let mut buf = BytesMut::new();
             buf.put_u32_le(MAGIC);
             buf.put_u32_le(v);
@@ -443,7 +445,7 @@ mod tests {
         let bytes = encode(&sample_live());
         assert!(matches!(
             persist::decode(bytes),
-            Err(PersistError::BadVersion(4))
+            Err(PersistError::BadVersion(6))
         ));
     }
 

@@ -15,24 +15,30 @@
 //!   u32 triples — roughly 12 bytes per position.
 //! * **v2** (retired): the block-compressed layout with plain skip headers
 //!   (`max_node`, `byte_start`, `first_entry`).
-//! * **v3** (current): v2's layout with per-block *impact metadata*: each
-//!   block header additionally stores `max_tf`, the block's largest term
-//!   frequency (see [`crate::block::BlockMeta`]), which scored cursors turn
-//!   into block-level score upper bounds for top-k pruning. The on-disk
-//!   image *is* the physical in-memory layout; on load the decoded
-//!   [`crate::PostingList`] views are reconstructed by decompression. v1
-//!   and v2 buffers are rejected with `BadVersion(1)` / `BadVersion(2)`;
-//!   there is no migration path because older images can be regenerated
-//!   from their corpora.
+//! * **v3** (retired): v2's layout with per-block *impact metadata*
+//!   (`max_tf` in each block header).
+//! * **v4** (retired): the live-index *manifest* built on v3 segment
+//!   images — see [`crate::manifest`], whose current format is **v6**.
+//! * **v5** (current): v3's outer structure, but each list's data stream
+//!   holds the **bit-packed frame-of-reference block encoding** of
+//!   [`crate::block`]: per block, an absolute base id, three frame widths,
+//!   and three fixed-width [`crate::bitpack`] frames (id deltas, `tf − 1`,
+//!   position-payload byte lengths) followed by the varint position
+//!   payloads. The on-disk image *is* the physical in-memory layout; on
+//!   load the decoded [`crate::PostingList`] views are reconstructed by
+//!   decompression, re-validating every structural invariant
+//!   ([`crate::block::BlockList::try_to_posting`]). v1–v4 buffers are
+//!   rejected with `BadVersion(..)`; there is no migration path because
+//!   older images can be regenerated from their corpora.
 //!
-//! Layout of a v3 buffer (all integers little-endian):
+//! Layout of a v5 buffer (all integers little-endian):
 //!
 //! ```text
 //! magic:u32  version:u32  stats:5×u64  num_token_lists:u32
 //! then per list (token lists in id order, IL_ANY last):
 //!   entries:u32  positions:u64  num_blocks:u32
 //!   num_blocks × (max_node:u32 byte_start:u32 first_entry:u32 max_tf:u32)
-//!   data_len:u32  data:[u8]
+//!   data_len:u32  data:[u8]          (v5 block encoding, see docs/FORMAT.md)
 //! ```
 
 use crate::block::{BlockList, BlockMeta};
@@ -42,7 +48,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ftsl_model::NodeId;
 
 const MAGIC: u32 = 0x4654_5349; // "FTSI"
-const VERSION: u32 = 3;
+const VERSION: u32 = 5;
 
 /// Errors produced when decoding a persisted index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +76,8 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-/// Serialize an index to a byte buffer (format v3: compressed blocks with
-/// per-block impact headers).
+/// Serialize an index to a byte buffer (format v5: bit-packed
+/// frame-of-reference blocks with per-block skip/impact headers).
 pub fn encode(index: &InvertedIndex) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
@@ -231,14 +237,36 @@ mod tests {
     }
 
     #[test]
-    fn retired_v2_version_is_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(MAGIC);
-        buf.put_u32_le(2);
-        assert!(matches!(
-            decode(buf.freeze()),
-            Err(PersistError::BadVersion(2))
-        ));
+    fn retired_versions_v1_through_v4_are_rejected() {
+        for v in 1u32..=4 {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(MAGIC);
+            buf.put_u32_le(v);
+            assert!(
+                matches!(decode(buf.freeze()), Err(PersistError::BadVersion(got)) if got == v),
+                "version {v} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_encode_is_a_fixpoint() {
+        let texts: Vec<String> = (0..120)
+            .map(|i| {
+                format!(
+                    "alpha beta{} gamma{} {}",
+                    i % 11,
+                    i % 5,
+                    "hot ".repeat(1 + i % 4)
+                )
+            })
+            .collect();
+        let corpus = Corpus::from_texts(&texts);
+        let index = IndexBuilder::new().build(&corpus);
+        let first = encode(&index);
+        let back = decode(first.clone()).expect("decode");
+        let second = encode(&back);
+        assert_eq!(first, second, "encode∘decode∘encode must be the identity");
     }
 
     #[test]
@@ -263,7 +291,7 @@ mod tests {
             .collect();
         let corpus = Corpus::from_texts(&texts);
         let index = IndexBuilder::new().build(&corpus);
-        let v2_len = encode(&index).len();
+        let v5_len = encode(&index).len();
         // The retired v1 layout spent 12 bytes per position plus 8 per entry.
         let v1_estimate: usize = index
             .lists
@@ -272,8 +300,8 @@ mod tests {
             .map(|l| 4 + l.num_entries() * 8 + l.num_positions() * 12)
             .sum();
         assert!(
-            v2_len * 2 < v1_estimate,
-            "v2 {v2_len} bytes vs v1-equivalent {v1_estimate}"
+            v5_len * 2 < v1_estimate,
+            "v5 {v5_len} bytes vs v1-equivalent {v1_estimate}"
         );
     }
 
@@ -323,17 +351,6 @@ mod tests {
         assert!(matches!(
             decode(&raw[..]),
             Err(PersistError::Corrupt(_) | PersistError::Truncated)
-        ));
-    }
-
-    #[test]
-    fn retired_v1_version_is_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(MAGIC);
-        buf.put_u32_le(1);
-        assert!(matches!(
-            decode(buf.freeze()),
-            Err(PersistError::BadVersion(1))
         ));
     }
 }

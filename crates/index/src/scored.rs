@@ -85,11 +85,12 @@ pub trait ScoredCursor {
     fn next_entry(&mut self) -> Option<NodeId>;
     /// Advance to the first entry with node id ≥ `target`.
     fn seek(&mut self, target: NodeId) -> Option<NodeId>;
-    /// Score of the current entry.
+    /// Score of the current entry. Takes `&mut self` because the block
+    /// layout decodes its tf column lazily, on the block's first score.
     ///
     /// # Panics
     /// Panics if the cursor is not positioned on an entry.
-    fn score(&self) -> f64;
+    fn score(&mut self) -> f64;
     /// Upper bound on the score of any entry in the current block (the
     /// whole list on the decoded layout); 0 when exhausted.
     fn max_score_current_block(&self) -> f64;
@@ -149,7 +150,7 @@ impl<S: EntryScorer> ScoredCursor for ScoredList<'_, S> {
         self.cur.seek(target)
     }
 
-    fn score(&self) -> f64 {
+    fn score(&mut self) -> f64 {
         let node = self.cur.node().expect("cursor not positioned on an entry");
         self.scorer.score(node, self.cur.tf())
     }
@@ -233,7 +234,7 @@ impl<S: EntryScorer> ScoredCursor for ScoredBlocks<'_, S> {
         self.cur.seek(target)
     }
 
-    fn score(&self) -> f64 {
+    fn score(&mut self) -> f64 {
         let node = self.cur.node().expect("cursor not positioned on an entry");
         self.scorer.score(node, self.cur.tf())
     }

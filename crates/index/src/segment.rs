@@ -336,7 +336,7 @@ impl ScoredCursor for DeleteFilteredCursor<'_> {
         self.advance_to_live(node)
     }
 
-    fn score(&self) -> f64 {
+    fn score(&mut self) -> f64 {
         self.inner.score()
     }
 

@@ -35,10 +35,25 @@ pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
 
 /// Decode a varint at `*pos`, advancing `*pos` past it. Returns `None` on
 /// truncated input or a value that does not fit in a `u32`.
+///
+/// The one-byte case — the overwhelming majority for sorted deltas — is an
+/// explicit fast path; the multi-byte continuation lives out of line so the
+/// hot decode loops stay small.
 #[inline]
 pub fn get_u32(data: &[u8], pos: &mut usize) -> Option<u32> {
-    let mut v: u32 = 0;
-    let mut shift = 0u32;
+    let byte = *data.get(*pos)?;
+    *pos += 1;
+    if byte & 0x80 == 0 {
+        return Some(u32::from(byte));
+    }
+    get_u32_tail(data, pos, u32::from(byte & 0x7f))
+}
+
+/// Continuation of [`get_u32`] past the first byte.
+#[cold]
+fn get_u32_tail(data: &[u8], pos: &mut usize, first: u32) -> Option<u32> {
+    let mut v: u32 = first;
+    let mut shift = 7u32;
     loop {
         let byte = *data.get(*pos)?;
         *pos += 1;

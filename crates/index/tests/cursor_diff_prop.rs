@@ -1,0 +1,69 @@
+//! Differential property test: [`ListCursor`] and
+//! [`ftsl_index::block::BlockCursor`] agree on results **and access
+//! counters** under random interleavings of `next_entry`/`seek`/`node`.
+//!
+//! The counters are the workspace's machine-independent cost model, so
+//! layout comparisons are only meaningful if both cursors account the
+//! same logical accesses identically: consumed entries must match
+//! exactly, and consumed + skipped must cover the same ground. (This
+//! test caught a real bug: the block cursor's deferred entry-run
+//! accounting lost a run when a seek unpacked a new block before the
+//! landing folded the old one.)
+
+use ftsl_index::block::BlockList;
+use ftsl_index::{ListCursor, PostingList};
+use ftsl_model::{NodeId, Position};
+
+fn sample(n: u32, stride: u32) -> PostingList {
+    PostingList::from_entries(
+        (0..n)
+            .map(|i| (NodeId(i * stride), vec![Position::flat(i)]))
+            .collect(),
+    )
+}
+
+#[test]
+fn counters_agree_on_random_op_sequences() {
+    let mut state = 0x12345678u64;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as u32
+    };
+    for trial in 0..500 {
+        let n = 1 + rng() % 400;
+        let stride = 1 + rng() % 5;
+        let list = sample(n, stride);
+        let blocks = BlockList::from_posting(&list);
+        let mut dec = ListCursor::new(&list);
+        let mut blk = blocks.cursor();
+        let mut ops = Vec::new();
+        for _ in 0..40 {
+            let op = rng() % 3;
+            ops.push(op);
+            match op {
+                0 => {
+                    assert_eq!(dec.next_entry(), blk.next_entry(), "trial {trial} {ops:?}");
+                }
+                1 => {
+                    let t = NodeId(rng() % (n * stride + 10));
+                    assert_eq!(dec.seek(t), blk.seek(t), "trial {trial} {ops:?}");
+                }
+                _ => {
+                    assert_eq!(dec.node(), blk.node(), "trial {trial} {ops:?}");
+                }
+            }
+            let (dc, bc) = (dec.counters(), blk.counters());
+            assert_eq!(
+                dc.entries, bc.entries,
+                "entries diverge: trial {trial} {ops:?}"
+            );
+            assert_eq!(
+                dc.entries + dc.skipped,
+                bc.entries + bc.skipped,
+                "consumed+skipped diverge: trial {trial} {ops:?}"
+            );
+        }
+    }
+}

@@ -295,8 +295,9 @@ pub fn topk_union(
 /// current node already satisfies the bound. That stability is what lets a
 /// conjunction leapfrog its operands without losing matches.
 trait ScoreStream {
-    /// The scored node the stream is positioned on, if any.
-    fn current(&self) -> Option<(NodeId, f64)>;
+    /// The scored node the stream is positioned on, if any. `&mut self`
+    /// because leaf scores can trigger a lazy tf-column decode.
+    fn current(&mut self) -> Option<(NodeId, f64)>;
     /// Advance to the next scored node.
     fn next(&mut self) -> Option<(NodeId, f64)>;
     /// Advance to the first scored node with id ≥ `target`; stays put if
@@ -312,7 +313,7 @@ struct LeafStream<'a> {
 }
 
 impl ScoreStream for LeafStream<'_> {
-    fn current(&self) -> Option<(NodeId, f64)> {
+    fn current(&mut self) -> Option<(NodeId, f64)> {
         let node = self.cur.node()?;
         Some((node, self.cur.score()))
     }
@@ -359,7 +360,7 @@ impl AndStream<'_> {
 }
 
 impl ScoreStream for AndStream<'_> {
-    fn current(&self) -> Option<(NodeId, f64)> {
+    fn current(&mut self) -> Option<(NodeId, f64)> {
         self.cur
     }
 
@@ -419,7 +420,7 @@ impl OrStream<'_> {
 }
 
 impl ScoreStream for OrStream<'_> {
-    fn current(&self) -> Option<(NodeId, f64)> {
+    fn current(&mut self) -> Option<(NodeId, f64)> {
         self.cur
     }
 
@@ -496,7 +497,7 @@ impl NotStream<'_> {
 }
 
 impl ScoreStream for NotStream<'_> {
-    fn current(&self) -> Option<(NodeId, f64)> {
+    fn current(&mut self) -> Option<(NodeId, f64)> {
         self.cur
     }
 
