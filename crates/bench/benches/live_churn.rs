@@ -16,7 +16,7 @@ mod common;
 
 use common::criterion;
 use criterion::criterion_main;
-use ftsl_bench::results::{median_micros, ResultsSink};
+use ftsl_bench::results::{median_micros, smoke, ResultsSink};
 use ftsl_corpus::SynthConfig;
 use ftsl_exec::engine::{EngineKind, ExecOptions};
 use ftsl_exec::snapshot::SnapshotExecutor;
@@ -185,6 +185,8 @@ fn record_results() {
     let texts = zipf_texts();
     let reg = PredicateRegistry::with_builtins();
     let mut sink = ResultsSink::new("live_churn");
+    let reps = if smoke() { 10 } else { 30 };
+    let mut topk_medians: Vec<(usize, f64)> = Vec::new();
     for &segments in &[1usize, 4, 16] {
         let live = build_live(&texts, segments, 0);
         let snapshot = live.snapshot();
@@ -196,7 +198,7 @@ fn record_results() {
         };
         sink.record(
             &format!("bool_s{segments}"),
-            median_micros(30, || {
+            median_micros(reps, || {
                 black_box(bool_out());
             }),
             bool_out().counters,
@@ -209,21 +211,53 @@ fn record_results() {
                 .run_top_k(&q, ScoredTopK { k: 10 }, &stats, &ScoreModel::TfIdf(&model))
                 .expect("topk runs")
         };
-        sink.record(
-            &format!("topk10_s{segments}"),
-            median_micros(30, || {
-                black_box(topk_out());
-            }),
-            topk_out().counters,
-        );
+        let topk_us = median_micros(reps, || {
+            black_box(topk_out());
+        });
+        sink.record(&format!("topk10_s{segments}"), topk_us, topk_out().counters);
+        topk_medians.push((segments, topk_us));
     }
     let path = sink.write().expect("write BENCH_results.json");
     println!("results merged into {}", path.display());
+    assert_topk_scaling(&topk_medians);
+}
+
+/// Regression gate for global top-k pruning: streaming top-10 over 16
+/// segments must cost at most 2x the single-segment run. The per-segment
+/// heap baseline sat around 8x (9.2µs → 75.1µs); the shared heap plus
+/// whole-segment skipping is what holds the ratio down, so a failure here
+/// means the global threshold stopped propagating across segments. Smoke
+/// runs (CI's shared runners, few reps) get a looser ceiling — the gate
+/// still catches a return to 8x, without flaking on scheduler noise.
+fn assert_topk_scaling(medians: &[(usize, f64)]) {
+    let at = |want: usize| {
+        medians
+            .iter()
+            .find(|&&(segments, _)| segments == want)
+            .map(|&(_, us)| us)
+            .expect("median recorded for segment count")
+    };
+    let (s1, s16) = (at(1), at(16));
+    let limit = if smoke() { 4.0 } else { 2.0 };
+    assert!(
+        s16 <= limit * s1,
+        "global top-k regression: topk10 at 16 segments took {s16:.3}µs vs \
+         {s1:.3}µs at 1 segment ({:.2}x, limit {limit}x)",
+        s16 / s1,
+    );
+    println!(
+        "live_churn/gate: topk10 16-segment/1-segment ratio {:.2}x (limit {limit}x)",
+        s16 / s1,
+    );
 }
 
 fn benches() {
-    let mut c = criterion();
-    bench_churn(&mut c);
+    // Smoke mode (CI) skips the criterion timing grid but still records
+    // medians and runs the scaling gate — same shape as batch_decode.
+    if !smoke() {
+        let mut c = criterion();
+        bench_churn(&mut c);
+    }
     record_results();
 }
 

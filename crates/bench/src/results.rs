@@ -8,26 +8,28 @@
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "results": [
 //!     {
 //!       "bench": "topk_scored",
 //!       "case": "tfidf_top10_blocks",
 //!       "us": 12.25,
-//!       "bytes": 0,
 //!       "counters": { "entries": 1414, "positions": 0, "positions_decoded": 0,
-//!                      "tuples": 0, "skipped": 0, "blocks_skipped": 8 }
-//!     }
+//!                      "tuples": 0, "skipped": 0, "blocks_skipped": 8,
+//!                      "segments_skipped": 0 }
+//!     },
+//!     { "bench": "batch_decode", "case": "compressed_bytes_small", "bytes": 5120 }
 //!   ]
 //! }
 //! ```
 //!
-//! `us` is the median wall time of the case in microseconds (0 for
-//! size-only records); `bytes` carries sizes for footprint records (0 for
-//! timing records); `counters` are the [`AccessCounters`] of one
-//! representative run. Records are keyed by `(bench, case)`: re-running a
-//! bench replaces its own records and leaves every other bench's alone, so
-//! `cargo bench` incrementally refreshes the file.
+//! Timing records carry `us` (the case's median wall time in microseconds)
+//! plus the [`AccessCounters`] of one representative run; size-only
+//! footprint records carry `bytes` and *no* `us` field at all — a consumer
+//! must not mistake "we measured a size" for "this ran in zero time".
+//! Records are keyed by `(bench, case)`: re-running a bench replaces its
+//! own records and leaves every other bench's alone, so `cargo bench`
+//! incrementally refreshes the file.
 //!
 //! Set `FTSL_BENCH_SMOKE=1` to make the wired benches run with reduced
 //! sample counts — CI uses this to keep the results artifact fresh without
@@ -44,8 +46,9 @@ pub struct BenchRecord {
     pub bench: String,
     /// Case label within the bench (e.g. `"tfidf_top10_blocks"`).
     pub case: String,
-    /// Median wall time in microseconds (0 for size-only records).
-    pub us: f64,
+    /// Median wall time in microseconds; `None` for size-only records,
+    /// which never rendered a timing and must not pretend to.
+    pub us: Option<f64>,
     /// Payload size for footprint records (0 for timing records).
     pub bytes: u64,
     /// Access counters of one representative run.
@@ -105,18 +108,19 @@ impl ResultsSink {
         self.records.push(BenchRecord {
             bench: self.bench.clone(),
             case: case.to_string(),
-            us,
+            us: Some(us),
             bytes: 0,
             counters,
         });
     }
 
-    /// Record a size case (bytes instead of time).
+    /// Record a size case (bytes instead of time; the record carries no
+    /// `us` field).
     pub fn record_bytes(&mut self, case: &str, bytes: u64) {
         self.records.push(BenchRecord {
             bench: self.bench.clone(),
             case: case.to_string(),
-            us: 0.0,
+            us: None,
             bytes,
             counters: AccessCounters::new(),
         });
@@ -140,23 +144,35 @@ impl ResultsSink {
 }
 
 fn render_results(records: &[BenchRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
-        let c = r.counters;
+        // Timing records get `us` + counters; size-only records get
+        // `bytes` and nothing that looks like a measurement of time.
+        let body = match r.us {
+            Some(us) => {
+                let c = r.counters;
+                format!(
+                    "\"us\": {:.3}, \
+                     \"counters\": {{ \"entries\": {}, \"positions\": {}, \
+                     \"positions_decoded\": {}, \"tuples\": {}, \"skipped\": {}, \
+                     \"blocks_skipped\": {}, \"segments_skipped\": {} }}",
+                    us,
+                    c.entries,
+                    c.positions,
+                    c.positions_decoded,
+                    c.tuples,
+                    c.skipped,
+                    c.blocks_skipped,
+                    c.segments_skipped,
+                )
+            }
+            None => format!("\"bytes\": {}", r.bytes),
+        };
         out.push_str(&format!(
-            "    {{ \"bench\": \"{}\", \"case\": \"{}\", \"us\": {:.3}, \"bytes\": {}, \
-             \"counters\": {{ \"entries\": {}, \"positions\": {}, \"positions_decoded\": {}, \
-             \"tuples\": {}, \"skipped\": {}, \"blocks_skipped\": {} }} }}{}\n",
+            "    {{ \"bench\": \"{}\", \"case\": \"{}\", {} }}{}\n",
             r.bench,
             r.case,
-            r.us,
-            r.bytes,
-            c.entries,
-            c.positions,
-            c.positions_decoded,
-            c.tuples,
-            c.skipped,
-            c.blocks_skipped,
+            body,
             if i + 1 == records.len() { "" } else { "," },
         ));
     }
@@ -216,18 +232,28 @@ fn parse_record(object: &str) -> Option<BenchRecord> {
     let string =
         |key: &str| -> Option<String> { Some(field(object, key)?.trim_matches('"').to_string()) };
     let num = |key: &str| -> Option<f64> { field(object, key)?.parse().ok() };
+    // A missing `us` marks a size-only record; a *present but unparseable*
+    // one marks a corrupted record, which is dropped, not reinterpreted.
+    let us = match field(object, "us") {
+        Some(text) => Some(text.parse::<f64>().ok()?),
+        None => None,
+    };
+    // Size-only records carry no counters (and pre-`segments_skipped`
+    // files carry no such key); absent numeric fields default to 0.
+    let num0 = |key: &str| num(key).unwrap_or(0.0) as u64;
     Some(BenchRecord {
         bench: string("bench")?,
         case: string("case")?,
-        us: num("us")?,
-        bytes: num("bytes")? as u64,
+        us,
+        bytes: num0("bytes"),
         counters: AccessCounters {
-            entries: num("entries")? as u64,
-            positions: num("positions")? as u64,
-            positions_decoded: num("positions_decoded")? as u64,
-            tuples: num("tuples")? as u64,
-            skipped: num("skipped")? as u64,
-            blocks_skipped: num("blocks_skipped")? as u64,
+            entries: num0("entries"),
+            positions: num0("positions"),
+            positions_decoded: num0("positions_decoded"),
+            tuples: num0("tuples"),
+            skipped: num0("skipped"),
+            blocks_skipped: num0("blocks_skipped"),
+            segments_skipped: num0("segments_skipped"),
         },
     })
 }
@@ -240,8 +266,8 @@ mod tests {
         BenchRecord {
             bench: bench.into(),
             case: case.into(),
-            us,
-            bytes: 7,
+            us: Some(us),
+            bytes: 0,
             counters: AccessCounters {
                 entries: 1,
                 positions: 2,
@@ -249,15 +275,79 @@ mod tests {
                 tuples: 4,
                 skipped: 5,
                 blocks_skipped: 6,
+                segments_skipped: 7,
             },
+        }
+    }
+
+    fn size_sample(bench: &str, case: &str, bytes: u64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.into(),
+            case: case.into(),
+            us: None,
+            bytes,
+            counters: AccessCounters::new(),
         }
     }
 
     #[test]
     fn render_parse_roundtrip() {
-        let records = vec![sample("a", "x", 1.5), sample("b", "y", 2.25)];
+        let records = vec![
+            sample("a", "x", 1.5),
+            size_sample("a", "bytes_x", 4096),
+            sample("b", "y", 2.25),
+        ];
         let text = render_results(&records);
         assert_eq!(parse_results(&text).expect("parses"), records);
+    }
+
+    #[test]
+    fn size_records_carry_no_timing_field() {
+        let text = render_results(&[size_sample("sizes", "compressed_bytes", 512)]);
+        let row = text
+            .lines()
+            .find(|l| l.contains("compressed_bytes"))
+            .unwrap();
+        assert!(
+            !row.contains("\"us\""),
+            "size-only row must not fake a timing: {row}"
+        );
+        assert!(
+            !row.contains("\"counters\""),
+            "size-only row has no counters: {row}"
+        );
+        assert!(row.contains("\"bytes\": 512"), "{row}");
+        // And it parses back as size-only, not as a 0-µs timing.
+        let parsed = parse_results(&text).expect("parses");
+        assert_eq!(parsed[0].us, None);
+        assert_eq!(parsed[0].bytes, 512);
+    }
+
+    #[test]
+    fn timing_records_carry_counters_including_segments_skipped() {
+        let text = render_results(&[sample("t", "q", 3.5)]);
+        let row = text.lines().find(|l| l.contains("\"q\"")).unwrap();
+        assert!(row.contains("\"us\": 3.500"), "{row}");
+        assert!(row.contains("\"segments_skipped\": 7"), "{row}");
+        assert!(
+            !row.contains("\"bytes\""),
+            "timing rows have no size payload: {row}"
+        );
+    }
+
+    #[test]
+    fn pre_segments_skipped_files_still_parse() {
+        // A schema-1 row: `us` on every record, `bytes` alongside counters,
+        // no `segments_skipped`. Old history must survive the merge.
+        let text = "{\n  \"schema\": 1,\n  \"results\": [\n    { \"bench\": \"old\", \
+                    \"case\": \"c\", \"us\": 1.250, \"bytes\": 0, \"counters\": { \
+                    \"entries\": 9, \"positions\": 0, \"positions_decoded\": 0, \
+                    \"tuples\": 0, \"skipped\": 0, \"blocks_skipped\": 2 } }\n  ]\n}\n";
+        let parsed = parse_results(text).expect("parses");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].us, Some(1.25));
+        assert_eq!(parsed[0].counters.entries, 9);
+        assert_eq!(parsed[0].counters.segments_skipped, 0);
     }
 
     #[test]
@@ -285,7 +375,7 @@ mod tests {
         all.extend(fresh);
         all.sort_by(|a, b| (&a.bench, &a.case).cmp(&(&b.bench, &b.case)));
         assert_eq!(all.len(), 3);
-        assert_eq!(all[0].us, 9.0);
+        assert_eq!(all[0].us, Some(9.0));
         assert_eq!(all[1].case, "z");
         assert_eq!(all[2].bench, "b");
     }

@@ -155,8 +155,13 @@ fn print_last_counters(
         Some(c) => writeln!(
             out,
             "last query: {} entries decoded, {} positions decoded, \
-             {} positions consumed, {} entries / {} blocks skipped",
-            c.entries, c.positions_decoded, c.positions, c.skipped, c.blocks_skipped
+             {} positions consumed, {} entries / {} blocks / {} segments skipped",
+            c.entries,
+            c.positions_decoded,
+            c.positions,
+            c.skipped,
+            c.blocks_skipped,
+            c.segments_skipped
         ),
         None => writeln!(out, "last query: none yet"),
     }
@@ -226,8 +231,9 @@ fn dispatch(
         if let Some(c) = ranked.counters {
             writeln!(
                 out,
-                "[streamed: {} entries decoded, {} entries / {} blocks pruned]",
-                c.entries, c.skipped, c.blocks_skipped
+                "[streamed: {} entries decoded, {} entries / {} blocks pruned, \
+                 {} segments skipped]",
+                c.entries, c.skipped, c.blocks_skipped, c.segments_skipped
             )?;
         }
         return Ok(());
@@ -359,8 +365,9 @@ fn dispatch_live(
         if let Some(c) = ranked.counters {
             writeln!(
                 out,
-                "[streamed: {} entries decoded, {} entries / {} blocks pruned]",
-                c.entries, c.skipped, c.blocks_skipped
+                "[streamed: {} entries decoded, {} entries / {} blocks pruned, \
+                 {} segments skipped]",
+                c.entries, c.skipped, c.blocks_skipped, c.segments_skipped
             )?;
         }
         return Ok(());

@@ -308,9 +308,13 @@ impl LiveFtsl {
         })
     }
 
-    /// Streaming top-k over the current snapshot: per-segment
-    /// MaxScore/block-max pruned evaluation through tombstone-filtered
-    /// cursors, merged by ranking order. Falls back to exhaustive
+    /// Streaming top-k over the current snapshot: one bounded heap and one
+    /// score threshold shared across every segment's MaxScore/block-max
+    /// pruned, tombstone-filtered evaluation. Segments are visited in
+    /// descending impact-bound order so later ones start against an
+    /// already-tight threshold; a segment whose whole bound cannot beat the
+    /// current k-th score is skipped outright
+    /// (`AccessCounters::segments_skipped`). Falls back to exhaustive
     /// rank-then-truncate for shapes the streaming engine cannot rank
     /// (same dispatch as [`crate::Ftsl::search_top_k`]).
     pub fn search_top_k(

@@ -28,12 +28,17 @@
 
 use crate::engine::{EngineKind, EngineUsed, ExecOptions, Executor, QueryOutput};
 use crate::error::ExecError;
-use crate::scored::{run_scored_top_k_filtered, ScoreModel, ScoredOutput, ScoredPath, ScoredTopK};
-use ftsl_index::{AccessCounters, IndexBuilder, InvertedIndex, Snapshot};
+use crate::scored::{
+    flat_disjunction, run_scored_top_k_filtered, ScoreModel, ScoredOutput, ScoredPath, ScoredTopK,
+};
+use ftsl_index::{AccessCounters, IndexBuilder, InvertedIndex, ScoredCursor, Snapshot};
 use ftsl_lang::{classify, parse, LanguageClass, Mode, SurfaceQuery};
 use ftsl_model::{Corpus, NodeId};
 use ftsl_predicates::PredicateRegistry;
-use ftsl_scoring::{topk::sort_ranked, ScoreStats, SnapshotStats};
+use ftsl_scoring::{
+    pra_tree_bound, pra_union_cursors, run_bool_topk_into, tfidf_union_cursors, topk_union_into,
+    union_bound, ScoreStats, SnapshotStats, TopK, UnionKind,
+};
 use std::sync::OnceLock;
 
 /// The empty corpus/index pair a zero-segment snapshot evaluates against,
@@ -124,10 +129,20 @@ impl<'a> SnapshotExecutor<'a> {
         })
     }
 
-    /// Run a streaming scored top-k query across segments: each segment
-    /// streams through its tombstone-filtered cursors with collection-wide
-    /// statistics, the per-segment top-k lists merge by ranking order, and
-    /// the counters report the summed decode/skip work.
+    /// Run a streaming scored top-k query across segments through **one
+    /// shared heap with a global threshold**: every segment's impact bound
+    /// is read from list metadata first (no posting decoded), segments are
+    /// evaluated in descending-bound order so later ones start against an
+    /// already-tightened k-th score, and a segment whose whole bound falls
+    /// below the current threshold is skipped outright
+    /// ([`AccessCounters::segments_skipped`]).
+    ///
+    /// Results are bit-identical to a monolithic index over the same live
+    /// documents: per-segment scores fold in the same token order with the
+    /// same collection-wide statistics, candidates enter the heap under
+    /// their *global* ids (so tie-breaks match the monolithic ranking), and
+    /// every pruning decision tests a sound upper bound against a threshold
+    /// that only ever tightens.
     pub fn run_top_k(
         &self,
         surface: &SurfaceQuery,
@@ -149,37 +164,106 @@ impl<'a> SnapshotExecutor<'a> {
                 None,
             );
         }
-        let mut hits: Vec<(NodeId, f64)> = Vec::new();
-        let mut counters = AccessCounters::new();
-        let mut path = ScoredPath::PrunedUnion;
+        // Dispatch once for the whole snapshot (it depends only on query
+        // shape), so shape errors surface regardless of segment pruning.
+        let flat = flat_disjunction(surface);
+        let layout = self.options.layout;
+        enum SegPlan<'s> {
+            /// Flat disjunction: prebuilt union cursors (their construction
+            /// reads only list metadata, so a skipped segment costs no
+            /// decode work).
+            Union(Vec<Box<dyn ScoredCursor + 's>>, UnionKind),
+            /// General BOOL tree under PRA; streams are built only if the
+            /// segment is actually evaluated.
+            Tree,
+        }
+        let mut plans: Vec<(usize, f64, SegPlan)> = Vec::new();
         for (i, seg) in self.snapshot.segments().iter().enumerate() {
             let data = seg.data();
-            let out = run_scored_top_k_filtered(
-                surface,
-                data.corpus(),
-                data.index(),
-                stats.segment(i),
-                model,
-                self.options.layout,
-                spec,
-                Some(seg.deletes()),
-            )?;
-            counters += out.counters;
-            path = out.path;
-            hits.extend(
-                out.hits
-                    .iter()
-                    .map(|&(n, s)| (data.global_of(n.index()), s)),
-            );
+            let (corpus, index) = (data.corpus(), data.index());
+            let seg_stats = stats.segment(i);
+            let live = Some(seg.deletes());
+            let (bound, plan) = match (model, &flat) {
+                (ScoreModel::TfIdf(m), Some(tokens)) => {
+                    let cursors =
+                        tfidf_union_cursors(tokens, corpus, index, seg_stats, m, layout, live);
+                    (
+                        union_bound(&cursors, UnionKind::Sum),
+                        SegPlan::Union(cursors, UnionKind::Sum),
+                    )
+                }
+                (ScoreModel::TfIdf(_), None) => {
+                    return Err(ExecError::WrongEngine {
+                        engine: "TOPK",
+                        reason: format!(
+                            "TF-IDF top-k ranks flat token disjunctions; {} is not one",
+                            surface.render()
+                        ),
+                    });
+                }
+                (ScoreModel::Pra(m), Some(tokens)) => {
+                    let cursors =
+                        pra_union_cursors(tokens, corpus, index, seg_stats, m, layout, live);
+                    (
+                        union_bound(&cursors, UnionKind::ProbOr),
+                        SegPlan::Union(cursors, UnionKind::ProbOr),
+                    )
+                }
+                (ScoreModel::Pra(m), None) => {
+                    let bound = pra_tree_bound(surface, corpus, index, seg_stats, m, layout)
+                        .map_err(|reason| ExecError::WrongEngine {
+                            engine: "TOPK",
+                            reason,
+                        })?;
+                    (bound, SegPlan::Tree)
+                }
+            };
+            plans.push((i, bound, plan));
         }
-        // Per-segment lists are each the exact top-k of their segment; the
-        // global top-k is the best k of their union under the same ranking
-        // order (tie-breaks now on *global* ids, which respect per-segment
-        // local order).
-        sort_ranked(&mut hits);
-        hits.truncate(spec.k);
+        // Highest-impact segments first (stable on ties: snapshot order),
+        // so the threshold tightens as early as possible.
+        plans.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let path = if flat.is_some() {
+            ScoredPath::PrunedUnion
+        } else {
+            ScoredPath::StreamTree
+        };
+        let mut topk = TopK::new(spec.k);
+        let mut counters = AccessCounters::new();
+        for (i, bound, plan) in plans {
+            if !topk.could_enter(bound) {
+                counters.segments_skipped += 1;
+                continue;
+            }
+            let seg = &self.snapshot.segments()[i];
+            let data = seg.data();
+            let globals = Some(data.globals());
+            counters += match plan {
+                SegPlan::Union(cursors, kind) => topk_union_into(cursors, kind, &mut topk, globals),
+                SegPlan::Tree => {
+                    let ScoreModel::Pra(m) = model else {
+                        unreachable!("TF-IDF tree shapes were rejected at dispatch")
+                    };
+                    run_bool_topk_into(
+                        surface,
+                        data.corpus(),
+                        data.index(),
+                        stats.segment(i),
+                        m,
+                        layout,
+                        Some(seg.deletes()),
+                        &mut topk,
+                        globals,
+                    )
+                    .map_err(|reason| ExecError::WrongEngine {
+                        engine: "TOPK",
+                        reason,
+                    })?
+                }
+            };
+        }
         Ok(ScoredOutput {
-            hits,
+            hits: topk.into_ranked(),
             counters,
             path,
         })

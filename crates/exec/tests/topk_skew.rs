@@ -8,14 +8,15 @@
 
 use ftsl_corpus::SynthConfig;
 use ftsl_exec::engine::{ExecOptions, Executor};
-use ftsl_exec::{ScoreModel, ScoredPath, ScoredTopK};
-use ftsl_index::{IndexBuilder, IndexLayout, InvertedIndex};
+use ftsl_exec::scored::run_scored_top_k_filtered;
+use ftsl_exec::{ScoreModel, ScoredPath, ScoredTopK, SnapshotExecutor};
+use ftsl_index::{IndexBuilder, IndexLayout, InvertedIndex, LiveConfig, LiveIndex};
 use ftsl_lang::{parse, Mode};
 use ftsl_model::{Corpus, NodeId};
 use ftsl_predicates::PredicateRegistry;
 use ftsl_scoring::bool_scores::run_bool_scored;
 use ftsl_scoring::classic::classic_tfidf;
-use ftsl_scoring::{PraModel, ScoreStats, TfIdfModel};
+use ftsl_scoring::{PraModel, ScoreStats, SnapshotStats, TfIdfModel};
 
 /// One rare, high-impact token against one very common one, over a Zipf
 /// background — the regime where pruning pays.
@@ -176,6 +177,211 @@ fn pra_disjunction_also_prunes_and_matches_its_oracle() {
             "{layout:?}: pruned top-10 decoded {} of {} entries",
             out.counters.entries,
             total
+        );
+    }
+}
+
+/// Deterministic skewed texts (the live-index cousin of [`skewed_env`]):
+/// a rare high-tf token and a very common one over an LCG background.
+fn skewed_texts(docs: usize) -> Vec<String> {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..docs)
+        .map(|d| {
+            let mut words: Vec<String> = (0..30).map(|_| format!("bg{}", rng() % 400)).collect();
+            if d % 37 == 0 {
+                for _ in 0..4 {
+                    words.push("rare".to_string());
+                }
+            }
+            if rng() % 5 != 0 {
+                words.push("common".to_string());
+            }
+            words.join(" ")
+        })
+        .collect()
+}
+
+/// Build a live index holding `texts` spread over `segments` sealed
+/// segments.
+fn segmented_live(texts: &[String], segments: usize) -> LiveIndex {
+    let live = LiveIndex::with_config(LiveConfig {
+        background_merge: false,
+        flush_threshold: usize::MAX,
+        ..LiveConfig::default()
+    });
+    let per = texts.len().div_ceil(segments);
+    for (i, t) in texts.iter().enumerate() {
+        live.add_document(t);
+        if (i + 1) % per == 0 {
+            live.flush();
+        }
+    }
+    live.flush();
+    live
+}
+
+/// The pruning invariant the global threshold buys: at 16 segments, the
+/// shared-heap run decodes strictly fewer entries than sixteen independent
+/// per-segment heaps (the pre-global baseline, still reachable through
+/// [`run_scored_top_k_filtered`]) — on both layouts.
+#[test]
+fn global_heap_beats_per_segment_heaps_at_16_segments() {
+    let texts = skewed_texts(2000);
+    let live = segmented_live(&texts, 16);
+    let snap = live.snapshot();
+    assert_eq!(snap.num_segments(), 16);
+    let stats = SnapshotStats::compute(&snap);
+    let tfidf = stats.tfidf_model(&["rare", "common"], &snap);
+    let registry = PredicateRegistry::with_builtins();
+    let query = parse("'rare' OR 'common'", Mode::Bool).expect("parses");
+
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let exec = SnapshotExecutor::with_options(
+            &snap,
+            &registry,
+            ExecOptions {
+                layout,
+                ..Default::default()
+            },
+        );
+        let global = exec
+            .run_top_k(
+                &query,
+                ScoredTopK { k: 10 },
+                &stats,
+                &ScoreModel::TfIdf(&tfidf),
+            )
+            .expect("global top-k runs");
+        assert_eq!(global.hits.len(), 10);
+
+        // Baseline: each segment runs to its own exact top-10 with a fresh
+        // heap, exactly what run_top_k did before the global threshold.
+        let mut baseline = 0u64;
+        for (i, seg) in snap.segments().iter().enumerate() {
+            let out = run_scored_top_k_filtered(
+                &query,
+                seg.data().corpus(),
+                seg.data().index(),
+                stats.segment(i),
+                &ScoreModel::TfIdf(&tfidf),
+                layout,
+                ScoredTopK { k: 10 },
+                Some(seg.deletes()),
+            )
+            .expect("per-segment top-k runs");
+            baseline += out.counters.entries;
+        }
+        assert!(
+            global.counters.entries < baseline,
+            "{layout:?}: global heap decoded {} entries, per-segment heaps {}",
+            global.counters.entries,
+            baseline
+        );
+    }
+}
+
+/// Whole-segment skipping on a graded-impact corpus: one segment holds the
+/// only tf=4 document of the query token, so once it fills the k=1 heap
+/// every tf=1 segment's total impact bound falls below the threshold and
+/// the segment is bypassed without touching a posting.
+#[test]
+fn low_impact_segments_are_skipped_whole() {
+    let live = LiveIndex::with_config(LiveConfig {
+        background_merge: false,
+        ..LiveConfig::default()
+    });
+    live.add_document("peak peak peak peak");
+    live.flush();
+    for s in 0..8 {
+        for d in 0..4 {
+            live.add_document(&format!("peak pad{s}x{d}"));
+        }
+        live.flush();
+    }
+    let snap = live.snapshot();
+    assert_eq!(snap.num_segments(), 9);
+    let stats = SnapshotStats::compute(&snap);
+    let pra = stats.pra_model(&snap);
+    let registry = PredicateRegistry::with_builtins();
+    let query = parse("'peak'", Mode::Bool).expect("parses");
+
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let exec = SnapshotExecutor::with_options(
+            &snap,
+            &registry,
+            ExecOptions {
+                layout,
+                ..Default::default()
+            },
+        );
+        let out = exec
+            .run_top_k(&query, ScoredTopK { k: 1 }, &stats, &ScoreModel::Pra(&pra))
+            .expect("top-k runs");
+        assert_eq!(out.hits[0].0, NodeId(0), "the tf=4 document wins");
+        assert_eq!(
+            out.counters.segments_skipped, 8,
+            "{layout:?}: every tf=1 segment must be skipped whole: {:?}",
+            out.counters
+        );
+        // A skipped segment contributes no decode work: only the peak
+        // segment's 1-entry list is consumed.
+        assert_eq!(out.counters.entries, 1, "{layout:?}: {:?}", out.counters);
+    }
+}
+
+/// With `k` at least the full result size the heap never fills, nothing is
+/// ever pruned or skipped, and the global run's counters equal the sum of
+/// the per-segment runs exactly — segmentation changes where work happens,
+/// never how it is counted.
+#[test]
+fn counters_sum_exactly_across_segments_when_nothing_prunes() {
+    let texts = skewed_texts(300);
+    let live = segmented_live(&texts, 4);
+    let snap = live.snapshot();
+    let stats = SnapshotStats::compute(&snap);
+    let tfidf = stats.tfidf_model(&["rare", "common"], &snap);
+    let registry = PredicateRegistry::with_builtins();
+    let query = parse("'rare' OR 'common'", Mode::Bool).expect("parses");
+    let k = texts.len(); // larger than any possible result set
+
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let exec = SnapshotExecutor::with_options(
+            &snap,
+            &registry,
+            ExecOptions {
+                layout,
+                ..Default::default()
+            },
+        );
+        let global = exec
+            .run_top_k(&query, ScoredTopK { k }, &stats, &ScoreModel::TfIdf(&tfidf))
+            .expect("global top-k runs");
+        assert_eq!(global.counters.segments_skipped, 0);
+
+        let mut summed = ftsl_index::AccessCounters::new();
+        for (i, seg) in snap.segments().iter().enumerate() {
+            let out = run_scored_top_k_filtered(
+                &query,
+                seg.data().corpus(),
+                seg.data().index(),
+                stats.segment(i),
+                &ScoreModel::TfIdf(&tfidf),
+                layout,
+                ScoredTopK { k },
+                Some(seg.deletes()),
+            )
+            .expect("per-segment top-k runs");
+            summed += out.counters;
+        }
+        assert_eq!(
+            global.counters, summed,
+            "{layout:?}: unpruned global counters must be the per-segment sum"
         );
     }
 }

@@ -53,6 +53,11 @@ pub struct AccessCounters {
     /// entry was actually bypassed). Always 0 on the decoded layout, which
     /// has no block structure.
     pub blocks_skipped: u64,
+    /// Whole live-index segments a global top-k run bypassed without
+    /// touching a single posting, because the segment's total impact bound
+    /// fell below the shared heap's k-th score. Always 0 for single-index
+    /// evaluation.
+    pub segments_skipped: u64,
 }
 
 impl AccessCounters {
@@ -77,6 +82,7 @@ impl AddAssign for AccessCounters {
         self.tuples += rhs.tuples;
         self.skipped += rhs.skipped;
         self.blocks_skipped += rhs.blocks_skipped;
+        self.segments_skipped += rhs.segments_skipped;
     }
 }
 
@@ -101,6 +107,7 @@ mod tests {
             skipped: 4,
             blocks_skipped: 5,
             positions_decoded: 6,
+            segments_skipped: 7,
         };
         let b = AccessCounters {
             entries: 10,
@@ -109,6 +116,7 @@ mod tests {
             skipped: 40,
             blocks_skipped: 50,
             positions_decoded: 60,
+            segments_skipped: 70,
         };
         let c = a + b;
         assert_eq!(
@@ -120,6 +128,7 @@ mod tests {
                 skipped: 44,
                 blocks_skipped: 55,
                 positions_decoded: 66,
+                segments_skipped: 77,
             }
         );
         // Skipped entries are not decode work.

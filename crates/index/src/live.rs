@@ -50,6 +50,15 @@ pub struct LiveConfig {
     /// on its own (dropping the dead documents) even without same-tier
     /// neighbours.
     pub merge_tombstone_ratio: f64,
+    /// Cost-driven compaction trigger: when the *measured* per-segment
+    /// query cost (decoded-entry counters from a cheap first-block probe of
+    /// each segment's hottest list) exceeds this multiple of what one
+    /// merged segment would pay for the same probe, every sealed segment is
+    /// compacted into one — even when the size tiers see nothing to do.
+    /// This is what catches the "many medium segments, each forcing its own
+    /// block decode" shape that size tiers are blind to. `<= 0` disables
+    /// the probe.
+    pub merge_cost_ratio: f64,
     /// Run the tiered merge policy on a background thread. When `false`,
     /// merges happen only through [`LiveIndex::merge_all`] /
     /// [`LiveIndex::maybe_merge`] — the deterministic mode tests use.
@@ -62,6 +71,7 @@ impl Default for LiveConfig {
             flush_threshold: 1024,
             merge_fanin: 4,
             merge_tombstone_ratio: 0.5,
+            merge_cost_ratio: 3.0,
             background_merge: true,
         }
     }
@@ -478,7 +488,8 @@ fn flush_locked(st: &mut State) -> bool {
 
 /// The tiered policy: prefer compacting an adjacent run of `merge_fanin`
 /// same-tier segments (smallest tiers merge first); otherwise rewrite a
-/// single segment drowning in tombstones.
+/// single segment drowning in tombstones; otherwise ask the measured query
+/// cost whether full compaction pays ([`LiveConfig::merge_cost_ratio`]).
 fn plan_merge(st: &State, config: &LiveConfig) -> Option<(usize, usize)> {
     let fanin = config.merge_fanin.max(2);
     let tier = |e: &SealedEntry| {
@@ -500,15 +511,54 @@ fn plan_merge(st: &State, config: &LiveConfig) -> Option<(usize, usize)> {
             run_start = i;
         }
     }
-    st.sealed
-        .iter()
-        .position(|e| {
-            let n = e.data.num_docs();
-            n > 0
-                && e.deletes.deleted_count() > 0
-                && e.deletes.deleted_count() as f64 >= config.merge_tombstone_ratio * n as f64
-        })
-        .map(|i| (i, i + 1))
+    if let Some(solo) = st.sealed.iter().position(|e| {
+        let n = e.data.num_docs();
+        n > 0
+            && e.deletes.deleted_count() > 0
+            && e.deletes.deleted_count() as f64 >= config.merge_tombstone_ratio * n as f64
+    }) {
+        return Some((solo, solo + 1));
+    }
+    plan_cost_compaction(st, config)
+}
+
+/// Measure what segmentation costs a query *right now* and compact when it
+/// pays: probe each sealed segment's hottest posting list by walking its
+/// first block and reading the decoded-entry counter — the same counter a
+/// real query reports — then compare the per-segment sum against the
+/// first-block cost a single merged segment would pay for the same list.
+/// Size tiers never see this shape (N medium segments, none of them small
+/// enough to merge), but the measured ratio does.
+fn plan_cost_compaction(st: &State, config: &LiveConfig) -> Option<(usize, usize)> {
+    if config.merge_cost_ratio <= 0.0 || st.sealed.len() < 2 {
+        return None;
+    }
+    let mut segmented_cost = 0u64;
+    let mut hottest_df_total = 0u64;
+    for e in &st.sealed {
+        let index = e.data.index();
+        let corpus = e.data.corpus();
+        let Some(hottest) = (0..corpus.interner().len())
+            .map(|t| ftsl_model::TokenId(t as u32))
+            .max_by_key(|&t| index.df(t))
+        else {
+            continue;
+        };
+        hottest_df_total += index.df(hottest) as u64;
+        let mut probe = index.block_list(hottest).cursor();
+        for _ in 0..crate::block::BLOCK_ENTRIES {
+            if probe.next_entry().is_none() {
+                break;
+            }
+        }
+        segmented_cost += probe.counters().entries;
+    }
+    // One merged segment pays at most a single first block for the probe
+    // (its hottest list holds at most the sum of the per-segment hottest
+    // lists, capped at one block's worth of decoding).
+    let merged_cost = hottest_df_total.min(crate::block::BLOCK_ENTRIES as u64);
+    (merged_cost > 0 && segmented_cost as f64 > config.merge_cost_ratio * merged_cost as f64)
+        .then_some((0, st.sealed.len()))
 }
 
 /// The widest vocabulary among `corpora` — a superset of every one of
@@ -858,6 +908,65 @@ mod tests {
         assert!(live.maybe_merge(), "2/4 deleted hits the ratio");
         assert_eq!(live.tombstone_count(), 0);
         assert_eq!(live.live_doc_count(), 2);
+    }
+
+    #[test]
+    fn measured_query_cost_triggers_full_compaction() {
+        // Four 150-doc segments sharing one hot token: the size tiers see a
+        // same-tier run of 4 < fanin 8 and do nothing, but probing each
+        // segment's hottest list decodes a full first block per segment
+        // (4 × 128 entries) where one merged segment would pay 128 — over
+        // the 3× default ratio, so the measured cost forces compaction.
+        let live = LiveIndex::with_config(LiveConfig {
+            merge_fanin: 8,
+            ..manual()
+        });
+        for s in 0..4 {
+            for i in 0..150 {
+                live.add_document(&format!("common doc{s}x{i}"));
+            }
+            live.flush();
+        }
+        assert_eq!(live.segment_count(), 4);
+        assert!(live.maybe_merge(), "4x first-block probe cost must trigger");
+        assert_eq!(live.segment_count(), 1);
+        assert!(!live.maybe_merge(), "a single segment has nothing to gain");
+        assert_eq!(live.live_doc_count(), 600);
+    }
+
+    #[test]
+    fn cost_probe_leaves_cheap_shapes_alone_and_can_be_disabled() {
+        // Two such segments probe at 2 × 128 = 256 entries against 128
+        // merged — a 2× ratio, under the 3× trigger: segmentation is not
+        // yet hurting enough to pay for a rewrite.
+        let live = LiveIndex::with_config(LiveConfig {
+            merge_fanin: 8,
+            ..manual()
+        });
+        for s in 0..2 {
+            for i in 0..150 {
+                live.add_document(&format!("common doc{s}x{i}"));
+            }
+            live.flush();
+        }
+        assert!(!live.maybe_merge(), "2x probe cost is under the ratio");
+        assert_eq!(live.segment_count(), 2);
+
+        // `merge_cost_ratio <= 0` switches the probe off even for shapes
+        // that would otherwise trigger.
+        let off = LiveIndex::with_config(LiveConfig {
+            merge_fanin: 8,
+            merge_cost_ratio: 0.0,
+            ..manual()
+        });
+        for s in 0..4 {
+            for i in 0..150 {
+                off.add_document(&format!("common doc{s}x{i}"));
+            }
+            off.flush();
+        }
+        assert!(!off.maybe_merge(), "probe disabled");
+        assert_eq!(off.segment_count(), 4);
     }
 
     #[test]

@@ -150,6 +150,17 @@ pub struct ScoredHits {
     pub counters: AccessCounters,
 }
 
+/// The list-level score upper bound of a whole union: what any single node
+/// could score if it sat at the impact ceiling of *every* list at once.
+/// This is the segment-granularity pruning bound — a live-index segment
+/// whose union bound falls below a shared heap's threshold cannot place a
+/// single document and can be skipped without touching a posting.
+pub fn union_bound(cursors: &[Box<dyn ScoredCursor + '_>], kind: UnionKind) -> f64 {
+    cursors.iter().fold(kind.identity(), |acc, c| {
+        kind.combine(acc, c.max_score_list())
+    })
+}
+
 /// MaxScore/block-max pruned k-way union: the top `k` nodes of a flat
 /// disjunction whose per-list scores combine by `kind`.
 ///
@@ -162,6 +173,30 @@ pub fn topk_union(
     k: usize,
 ) -> ScoredHits {
     let mut topk = TopK::new(k);
+    let counters = topk_union_into(cursors, kind, &mut topk, None);
+    ScoredHits {
+        hits: topk.into_ranked(),
+        counters,
+    }
+}
+
+/// [`topk_union`] draining into a caller-owned heap: the global-threshold
+/// form. The heap may arrive non-empty (tightened by earlier segments of a
+/// live snapshot), every pruning decision reads its *current* threshold,
+/// and candidates enter under `globals[local]` when a remap is given — so
+/// heap tie-breaks run on the same ids a monolithic index would use.
+///
+/// Soundness of sharing: the heap's threshold only ever tightens, so a
+/// candidate pruned against the current worst kept score is pruned against
+/// every later (higher) threshold too; and each live document exists in
+/// exactly one segment, so per-segment scores never need cross-segment
+/// combination.
+pub fn topk_union_into(
+    cursors: Vec<Box<dyn ScoredCursor + '_>>,
+    kind: UnionKind,
+    topk: &mut TopK,
+    globals: Option<&[u32]>,
+) -> AccessCounters {
     // Ascending by list bound: prefix[i] bounds what lists 0..=i can jointly
     // contribute to any single node. The suffix past the "first essential"
     // index drives candidate generation; lists below it are probe-only.
@@ -223,6 +258,9 @@ pub fn topk_union(
         else {
             break; // every essential list is exhausted
         };
+        // The heap ranks (and tie-breaks) on remapped ids; cursor movement
+        // stays on local ids.
+        let ranked_id = globals.map_or(candidate, |g| NodeId(g[candidate.index()]));
         parts.clear();
         for (key, c) in cursors.iter_mut().skip(first_essential) {
             if c.node() == Some(candidate) {
@@ -239,7 +277,7 @@ pub fn topk_union(
             .iter()
             .fold(kind.identity(), |acc, &(_, s)| kind.combine(acc, s));
         for i in (0..first_essential).rev() {
-            if !topk.would_accept(candidate, kind.combine(acc_bound, prefix[i])) {
+            if !topk.would_accept(ranked_id, kind.combine(acc_bound, prefix[i])) {
                 break;
             }
             // Block-max refinement: bound the probe by the block the
@@ -252,7 +290,7 @@ pub fn topk_union(
             };
             let block_bound = cursors[i].1.max_score_at(candidate);
             if !topk.would_accept(
-                candidate,
+                ranked_id,
                 kind.combine(acc_bound, kind.combine(block_bound, below)),
             ) {
                 // The probed list contributes nothing decodable here; the
@@ -273,7 +311,7 @@ pub fn topk_union(
             .iter()
             .fold(kind.identity(), |acc, &(_, s)| kind.combine(acc, s));
         if score > 0.0 {
-            topk.insert(candidate, score);
+            topk.insert(ranked_id, score);
         }
     }
 
@@ -281,10 +319,7 @@ pub fn topk_union(
     for (_, c) in &cursors {
         counters += c.counters();
     }
-    ScoredHits {
-        hits: topk.into_ranked(),
-        counters,
-    }
+    counters
 }
 
 /// A cursor-style stream of `(node, score)` pairs in ascending node order —
@@ -628,17 +663,86 @@ pub fn run_bool_topk_filtered(
     k: usize,
     live: Option<&DeleteSet>,
 ) -> Result<ScoredHits, String> {
-    let mut stream = build_stream(query, corpus, index, stats, model, layout, live)?;
     let mut topk = TopK::new(k);
-    while let Some((node, score)) = stream.next() {
-        if score > 0.0 && live.is_none_or(|d| d.is_live(node.index())) {
-            topk.insert(node, score);
-        }
-    }
+    let counters = run_bool_topk_into(
+        query, corpus, index, stats, model, layout, live, &mut topk, None,
+    )?;
     Ok(ScoredHits {
         hits: topk.into_ranked(),
-        counters: stream.counters(),
+        counters,
     })
+}
+
+/// [`run_bool_topk_filtered`] draining into a caller-owned heap (see
+/// [`topk_union_into`] for the sharing contract): nodes enter under
+/// `globals[local]` when a remap is given. The stream is drained fully —
+/// tree scores have no per-entry upper bound to prune on — but a shared
+/// heap still concentrates the k best across segments in one place.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bool_topk_into(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+    live: Option<&DeleteSet>,
+    topk: &mut TopK,
+    globals: Option<&[u32]>,
+) -> Result<AccessCounters, String> {
+    let mut stream = build_stream(query, corpus, index, stats, model, layout, live)?;
+    while let Some((node, score)) = stream.next() {
+        if score > 0.0 && live.is_none_or(|d| d.is_live(node.index())) {
+            let ranked_id = globals.map_or(node, |g| NodeId(g[node.index()]));
+            topk.insert(ranked_id, score);
+        }
+    }
+    Ok(stream.counters())
+}
+
+/// A score upper bound for *any* node under PRA stream-tree evaluation of
+/// `query` against this corpus/index — computed from list metadata alone
+/// (no posting is decoded). PRA scores are probabilities in `[0, 1]`, so
+/// each combinator's bound follows from its children's:
+/// literals bound by their list-level impact ceiling, `ANY`/`NOT` by 1,
+/// `AND` by the product, `OR` by the probabilistic sum. Shapes outside
+/// BOOL report the same error [`run_bool_topk`] would.
+pub fn pra_tree_bound(
+    query: &SurfaceQuery,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+) -> Result<f64, String> {
+    let empty = corpus.is_empty();
+    match query {
+        SurfaceQuery::Lit(tok) => {
+            let scorer = PraEntryScorer::new(tok, model, stats);
+            let id = corpus
+                .token_id(tok)
+                .unwrap_or(ftsl_model::TokenId(u32::MAX));
+            Ok(index.scored_cursor(id, layout, scorer).max_score_list())
+        }
+        SurfaceQuery::Any => Ok(if empty { 0.0 } else { 1.0 }),
+        // `NOT` scores `1 − s(inner)` over the dense node universe.
+        SurfaceQuery::Not(_) => Ok(if empty { 0.0 } else { 1.0 }),
+        SurfaceQuery::And(a, b) => {
+            let (ba, bb) = (
+                pra_tree_bound(a, corpus, index, stats, model, layout)?,
+                pra_tree_bound(b, corpus, index, stats, model, layout)?,
+            );
+            Ok(ba * bb)
+        }
+        SurfaceQuery::Or(a, b) => {
+            let (ba, bb) = (
+                pra_tree_bound(a, corpus, index, stats, model, layout)?,
+                pra_tree_bound(b, corpus, index, stats, model, layout)?,
+            );
+            Ok(prob_or(ba, bb))
+        }
+        other => Err(format!("construct {} is not in BOOL", other.render())),
+    }
 }
 
 /// Streaming TF-IDF top-k for a bag of search tokens (the disjunctive
@@ -669,21 +773,40 @@ pub fn topk_tfidf_filtered<S: AsRef<str>>(
     k: usize,
     live: Option<&DeleteSet>,
 ) -> ScoredHits {
+    let cursors = tfidf_union_cursors(query_tokens, corpus, index, stats, model, layout, live);
+    topk_union(cursors, UnionKind::Sum, k)
+}
+
+/// The tombstone-filtered scored cursors [`topk_tfidf_filtered`] unions —
+/// factored out so a multi-segment caller can build each segment's cursors
+/// (and read their [`union_bound`]) before deciding to evaluate it at all.
+/// Token normalization (lowercase, sort, dedup) is deterministic, so every
+/// segment folds the same token order and scores stay bit-identical to the
+/// monolithic path.
+#[allow(clippy::too_many_arguments)]
+pub fn tfidf_union_cursors<'a, S: AsRef<str>>(
+    query_tokens: &[S],
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    stats: &'a ScoreStats,
+    model: &crate::TfIdfModel,
+    layout: IndexLayout,
+    live: Option<&'a DeleteSet>,
+) -> Vec<Box<dyn ScoredCursor + 'a>> {
     let mut distinct: Vec<String> = query_tokens
         .iter()
         .map(|t| t.as_ref().to_lowercase())
         .collect();
     distinct.sort();
     distinct.dedup();
-    let cursors: Vec<Box<dyn ScoredCursor + '_>> = distinct
+    distinct
         .iter()
         .filter_map(|t| {
             let id = corpus.token_id(t)?;
             let cur = index.scored_cursor(id, layout, TfIdfEntryScorer::new(t, model, stats));
             Some(wrap_live(cur, live))
         })
-        .collect();
-    topk_union(cursors, UnionKind::Sum, k)
+        .collect()
 }
 
 /// Streaming PRA top-k for a flat disjunction of tokens: the first `k` rows
@@ -714,7 +837,24 @@ pub fn topk_pra_disjunction_filtered<S: AsRef<str>>(
     k: usize,
     live: Option<&DeleteSet>,
 ) -> ScoredHits {
-    let cursors: Vec<Box<dyn ScoredCursor + '_>> = query_tokens
+    let cursors = pra_union_cursors(query_tokens, corpus, index, stats, model, layout, live);
+    topk_union(cursors, UnionKind::ProbOr, k)
+}
+
+/// The tombstone-filtered scored cursors [`topk_pra_disjunction_filtered`]
+/// unions (tokens used exactly as given — PRA literals are not normalized),
+/// factored out for multi-segment callers like [`tfidf_union_cursors`].
+#[allow(clippy::too_many_arguments)]
+pub fn pra_union_cursors<'a, S: AsRef<str>>(
+    query_tokens: &[S],
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    stats: &ScoreStats,
+    model: &PraModel,
+    layout: IndexLayout,
+    live: Option<&'a DeleteSet>,
+) -> Vec<Box<dyn ScoredCursor + 'a>> {
+    query_tokens
         .iter()
         .filter_map(|t| {
             let t = t.as_ref();
@@ -722,6 +862,5 @@ pub fn topk_pra_disjunction_filtered<S: AsRef<str>>(
             let cur = index.scored_cursor(id, layout, PraEntryScorer::new(t, model, stats));
             Some(wrap_live(cur, live))
         })
-        .collect();
-    topk_union(cursors, UnionKind::ProbOr, k)
+        .collect()
 }
