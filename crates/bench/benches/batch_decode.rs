@@ -21,7 +21,7 @@ mod common;
 
 use common::criterion;
 use criterion::criterion_main;
-use ftsl_bench::results::{median_micros, smoke, ResultsSink};
+use ftsl_bench::results::{measure, smoke, ResultsSink};
 use ftsl_bench::{build_env, EnvSpec};
 use ftsl_corpus::SynthConfig;
 use ftsl_index::{bitpack, IndexBuilder, InvertedIndex, ListCursor};
@@ -152,14 +152,14 @@ fn bench(c: &mut criterion::Criterion) {
     }
     sink.record(
         "scan_common_blocks",
-        median_micros(reps, || {
+        measure(reps, || {
             scan_blocks();
         }),
         scan_blocks(),
     );
     sink.record(
         "scan_common_decoded",
-        median_micros(reps, || {
+        measure(reps, || {
             scan_decoded();
         }),
         scan_decoded(),
@@ -195,14 +195,14 @@ fn bench(c: &mut criterion::Criterion) {
     }
     sink.record(
         "seek_sparse_blocks",
-        median_micros(reps, || {
+        measure(reps, || {
             seek_blocks();
         }),
         seek_blocks(),
     );
     sink.record(
         "seek_sparse_decoded",
-        median_micros(reps, || {
+        measure(reps, || {
             seek_decoded();
         }),
         seek_decoded(),
@@ -233,14 +233,14 @@ fn bench(c: &mut criterion::Criterion) {
     }
     sink.record(
         "scan_positions_blocks",
-        median_micros(reps, || {
+        measure(reps, || {
             pos_blocks();
         }),
         pos_blocks(),
     );
     sink.record(
         "scan_positions_decoded",
-        median_micros(reps, || {
+        measure(reps, || {
             pos_decoded();
         }),
         pos_decoded(),
@@ -265,7 +265,7 @@ fn bench(c: &mut criterion::Criterion) {
     }
     sink.record(
         "unpack_frame_x100",
-        median_micros(reps, || unpack_case(&mut out)),
+        measure(reps, || unpack_case(&mut out)),
         Default::default(),
     );
     group.finish();

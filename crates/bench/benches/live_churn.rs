@@ -16,7 +16,7 @@ mod common;
 
 use common::criterion;
 use criterion::criterion_main;
-use ftsl_bench::results::{median_micros, smoke, ResultsSink};
+use ftsl_bench::results::{measure, smoke, ResultsSink};
 use ftsl_corpus::SynthConfig;
 use ftsl_exec::engine::{EngineKind, ExecOptions};
 use ftsl_exec::snapshot::SnapshotExecutor;
@@ -198,7 +198,7 @@ fn record_results() {
         };
         sink.record(
             &format!("bool_s{segments}"),
-            median_micros(reps, || {
+            measure(reps, || {
                 black_box(bool_out());
             }),
             bool_out().counters,
@@ -211,11 +211,11 @@ fn record_results() {
                 .run_top_k(&q, ScoredTopK { k: 10 }, &stats, &ScoreModel::TfIdf(&model))
                 .expect("topk runs")
         };
-        let topk_us = median_micros(reps, || {
+        let topk = measure(reps, || {
             black_box(topk_out());
         });
-        sink.record(&format!("topk10_s{segments}"), topk_us, topk_out().counters);
-        topk_medians.push((segments, topk_us));
+        sink.record(&format!("topk10_s{segments}"), topk, topk_out().counters);
+        topk_medians.push((segments, topk.us));
     }
     let path = sink.write().expect("write BENCH_results.json");
     println!("results merged into {}", path.display());

@@ -6,7 +6,7 @@ mod common;
 
 use common::{bench_env, criterion};
 use criterion::criterion_main;
-use ftsl_bench::results::{median_micros, ResultsSink};
+use ftsl_bench::results::{measure, median_micros, Measurement, ResultsSink, INNER_RUNS};
 use ftsl_corpus::SynthConfig;
 use ftsl_exec::bool_eval::{intersect_seek, intersect_sorted};
 use ftsl_exec::cursor::{BlockScanCursor, FtCursor, ScanCursor};
@@ -193,7 +193,7 @@ fn record_results() {
     };
     sink.record(
         "scan_common_blocks",
-        median_micros(50, || {
+        measure(50, || {
             scan(true);
         }),
         scan(true),
@@ -209,7 +209,7 @@ fn record_results() {
     };
     sink.record(
         "scan_common_decoded",
-        median_micros(50, || {
+        measure(50, || {
             scan_decoded();
         }),
         scan_decoded(),
@@ -229,7 +229,7 @@ fn record_results() {
     };
     sink.record(
         "join_rare_common_blocks",
-        median_micros(50, || {
+        measure(50, || {
             join_blocks();
         }),
         join_blocks(),
@@ -248,7 +248,7 @@ fn record_results() {
     };
     sink.record(
         "join_rare_common_decoded",
-        median_micros(50, || {
+        measure(50, || {
             join_decoded();
         }),
         join_decoded(),
@@ -268,8 +268,17 @@ fn record_results() {
     };
     let counted_us = best_of(true);
     let uncounted_us = best_of(false);
-    sink.record("scan_blocks_counted", counted_us, scan(true));
-    sink.record("scan_blocks_uncounted", uncounted_us, Default::default());
+    let gate_runs = (8 * 25 * INNER_RUNS) as u32;
+    let gate = |us| Measurement {
+        us,
+        runs: gate_runs,
+    };
+    sink.record("scan_blocks_counted", gate(counted_us), scan(true));
+    sink.record(
+        "scan_blocks_uncounted",
+        gate(uncounted_us),
+        Default::default(),
+    );
     println!(
         "micro_cursors/counting gate: counted {counted_us:.2} µs vs \
          counter-less {uncounted_us:.2} µs ({:+.1}%)",

@@ -12,7 +12,7 @@ mod common;
 
 use common::{bench_env, criterion};
 use criterion::criterion_main;
-use ftsl_bench::results::{median_micros, ResultsSink};
+use ftsl_bench::results::{measure, ResultsSink};
 use ftsl_exec::build::IndexLayout;
 use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
 use ftsl_index::Residency;
@@ -105,7 +105,7 @@ fn record_results() {
             let run = || exec.run_surface(&surface, EngineKind::Ppred).expect("runs");
             sink.record(
                 &format!("{name}_{config}"),
-                median_micros(30, || {
+                measure(30, || {
                     black_box(run());
                 }),
                 run().counters,

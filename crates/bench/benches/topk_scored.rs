@@ -7,7 +7,7 @@ mod common;
 
 use common::criterion;
 use criterion::criterion_main;
-use ftsl_bench::results::{median_micros, ResultsSink};
+use ftsl_bench::results::{measure, ResultsSink};
 use ftsl_corpus::SynthConfig;
 use ftsl_index::{IndexBuilder, IndexLayout, InvertedIndex};
 use ftsl_model::Corpus;
@@ -107,7 +107,7 @@ fn record_results() {
             let run = || topk_tfidf(&tokens, &corpus, &index, &stats, &tfidf, layout, k);
             sink.record(
                 &format!("tfidf_topk{k}_{tag}"),
-                median_micros(30, || {
+                measure(30, || {
                     black_box(run());
                 }),
                 run().counters,
@@ -117,7 +117,7 @@ fn record_results() {
                     || topk_pra_disjunction(&tokens, &corpus, &index, &stats, &pra, layout, k);
                 sink.record(
                     &format!("pra_topk{k}_{tag}"),
-                    median_micros(30, || {
+                    measure(30, || {
                         black_box(run());
                     }),
                     run().counters,

@@ -8,28 +8,40 @@
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
 //!   "results": [
 //!     {
 //!       "bench": "topk_scored",
 //!       "case": "tfidf_top10_blocks",
 //!       "us": 12.25,
+//!       "runs": 150,
 //!       "counters": { "entries": 1414, "positions": 0, "positions_decoded": 0,
 //!                      "tuples": 0, "skipped": 0, "blocks_skipped": 8,
 //!                      "segments_skipped": 0 }
 //!     },
-//!     { "bench": "batch_decode", "case": "compressed_bytes_small", "bytes": 5120 }
+//!     { "bench": "batch_decode", "case": "compressed_bytes_small", "bytes": 5120 },
+//!     {
+//!       "bench": "load_serve",
+//!       "case": "mixed_w4",
+//!       "workers": 4, "requests": 4000, "qps": 151234.5,
+//!       "p50_us": 7.0, "p95_us": 21.0, "p99_us": 44.0,
+//!       "cache_hit": 0.83, "allocs_per_query": 2.1
+//!     }
 //!   ]
 //! }
 //! ```
 //!
-//! Timing records carry `us` (the case's median wall time in microseconds)
-//! plus the [`AccessCounters`] of one representative run; size-only
-//! footprint records carry `bytes` and *no* `us` field at all — a consumer
-//! must not mistake "we measured a size" for "this ran in zero time".
-//! Records are keyed by `(bench, case)`: re-running a bench replaces its
-//! own records and leaves every other bench's alone, so `cargo bench`
-//! incrementally refreshes the file.
+//! Timing records carry `us` (the case's median wall time in microseconds),
+//! `runs` (how many executions of the case fed that median — schema 3
+//! guarantees at least [`INNER_RUNS`] per timed sample, so sub-microsecond
+//! cases are no longer at the mercy of clock quantization), plus the
+//! [`AccessCounters`] of one representative run. Size-only footprint
+//! records carry `bytes` and *no* `us` field at all — a consumer must not
+//! mistake "we measured a size" for "this ran in zero time". Load records
+//! (from the `load_serve` harness) carry throughput and tail-latency
+//! percentiles instead of a single median. Records are keyed by `(bench,
+//! case)`: re-running a bench replaces its own records and leaves every
+//! other bench's alone, so `cargo bench` incrementally refreshes the file.
 //!
 //! Set `FTSL_BENCH_SMOKE=1` to make the wired benches run with reduced
 //! sample counts — CI uses this to keep the results artifact fresh without
@@ -49,10 +61,47 @@ pub struct BenchRecord {
     /// Median wall time in microseconds; `None` for size-only records,
     /// which never rendered a timing and must not pretend to.
     pub us: Option<f64>,
+    /// How many executions of the case fed the median (0 when unknown —
+    /// size-only records and pre-schema-3 history).
+    pub runs: u32,
     /// Payload size for footprint records (0 for timing records).
     pub bytes: u64,
     /// Access counters of one representative run.
     pub counters: AccessCounters,
+    /// Throughput/latency payload for load-harness records.
+    pub load: Option<LoadMetrics>,
+}
+
+/// Closed-loop load-harness results for one worker-count case: throughput,
+/// tail latency, cache effectiveness, and steady-state allocation rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadMetrics {
+    /// Pool workers serving the run.
+    pub workers: u32,
+    /// Total requests completed.
+    pub requests: u64,
+    /// Requests per second over the whole run.
+    pub qps: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+    /// Result-cache hit rate over the run, in `[0, 1]`.
+    pub cache_hit: f64,
+    /// Mean worker-thread heap allocations per served query.
+    pub allocs_per_query: f64,
+}
+
+/// A median with the number of executions behind it, as produced by
+/// [`measure`] and consumed by [`ResultsSink::record`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Median wall time in microseconds.
+    pub us: f64,
+    /// Executions that fed the median (`samples x INNER_RUNS`).
+    pub runs: u32,
 }
 
 /// Collects one bench binary's records and merges them into the shared
@@ -79,19 +128,40 @@ pub fn smoke() -> bool {
     std::env::var("FTSL_BENCH_SMOKE").is_ok_and(|v| v == "1")
 }
 
-/// Median wall time of `f` in microseconds over `reps` timed runs (after
-/// one warm-up call). Robust to background load: each rep is timed
+/// Inner runs per timed sample. Sub-microsecond cases timed one call at a
+/// time sit right at `Instant` quantization (an idle-core wakeup or timer
+/// edge lands entirely on a single call and survives the median) — the
+/// recorded `scan_common_blocks` once read ~10x its criterion-measured
+/// cost this way. Batching >= 5 runs per sample amortizes both the clock
+/// read and any one-off stall across the batch.
+pub const INNER_RUNS: usize = 5;
+
+/// Median wall time of `f` in microseconds over `samples` timed samples
+/// (after one warm-up call), each sample the mean of [`INNER_RUNS`]
+/// back-to-back runs. Robust to background load: samples are timed
 /// individually and the median taken.
-pub fn median_micros<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+pub fn measure<F: FnMut()>(samples: usize, mut f: F) -> Measurement {
     f();
-    let mut times: Vec<f64> = Vec::with_capacity(reps.max(1));
-    for _ in 0..reps.max(1) {
+    let samples = samples.max(1);
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let start = Instant::now();
-        f();
-        times.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        for _ in 0..INNER_RUNS {
+            f();
+        }
+        times.push(start.elapsed().as_nanos() as f64 / 1_000.0 / INNER_RUNS as f64);
     }
     times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    Measurement {
+        us: times[times.len() / 2],
+        runs: (samples * INNER_RUNS) as u32,
+    }
+}
+
+/// [`measure`], keeping only the median — for callers that feed gates and
+/// comparisons rather than records.
+pub fn median_micros<F: FnMut()>(samples: usize, f: F) -> f64 {
+    measure(samples, f).us
 }
 
 impl ResultsSink {
@@ -103,14 +173,16 @@ impl ResultsSink {
         }
     }
 
-    /// Record a timing case.
-    pub fn record(&mut self, case: &str, us: f64, counters: AccessCounters) {
+    /// Record a timing case from a [`measure`] result.
+    pub fn record(&mut self, case: &str, m: Measurement, counters: AccessCounters) {
         self.records.push(BenchRecord {
             bench: self.bench.clone(),
             case: case.to_string(),
-            us: Some(us),
+            us: Some(m.us),
+            runs: m.runs,
             bytes: 0,
             counters,
+            load: None,
         });
     }
 
@@ -121,8 +193,23 @@ impl ResultsSink {
             bench: self.bench.clone(),
             case: case.to_string(),
             us: None,
+            runs: 0,
             bytes,
             counters: AccessCounters::new(),
+            load: None,
+        });
+    }
+
+    /// Record a load-harness case: throughput + tail latency percentiles.
+    pub fn record_load(&mut self, case: &str, load: LoadMetrics) {
+        self.records.push(BenchRecord {
+            bench: self.bench.clone(),
+            case: case.to_string(),
+            us: None,
+            runs: 0,
+            bytes: 0,
+            counters: AccessCounters::new(),
+            load: Some(load),
         });
     }
 
@@ -144,19 +231,21 @@ impl ResultsSink {
 }
 
 fn render_results(records: &[BenchRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": 2,\n  \"results\": [\n");
+    let mut out = String::from("{\n  \"schema\": 3,\n  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
-        // Timing records get `us` + counters; size-only records get
-        // `bytes` and nothing that looks like a measurement of time.
-        let body = match r.us {
-            Some(us) => {
+        // Timing records get `us` + `runs` + counters; load records get
+        // throughput and percentiles; size-only records get `bytes` and
+        // nothing that looks like a measurement of time.
+        let body = match (r.us, &r.load) {
+            (Some(us), _) => {
                 let c = r.counters;
                 format!(
-                    "\"us\": {:.3}, \
+                    "\"us\": {:.3}, \"runs\": {}, \
                      \"counters\": {{ \"entries\": {}, \"positions\": {}, \
                      \"positions_decoded\": {}, \"tuples\": {}, \"skipped\": {}, \
                      \"blocks_skipped\": {}, \"segments_skipped\": {} }}",
                     us,
+                    r.runs,
                     c.entries,
                     c.positions,
                     c.positions_decoded,
@@ -166,7 +255,20 @@ fn render_results(records: &[BenchRecord]) -> String {
                     c.segments_skipped,
                 )
             }
-            None => format!("\"bytes\": {}", r.bytes),
+            (None, Some(l)) => format!(
+                "\"workers\": {}, \"requests\": {}, \"qps\": {:.1}, \
+                 \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"cache_hit\": {:.4}, \"allocs_per_query\": {:.3}",
+                l.workers,
+                l.requests,
+                l.qps,
+                l.p50_us,
+                l.p95_us,
+                l.p99_us,
+                l.cache_hit,
+                l.allocs_per_query,
+            ),
+            (None, None) => format!("\"bytes\": {}", r.bytes),
         };
         out.push_str(&format!(
             "    {{ \"bench\": \"{}\", \"case\": \"{}\", {} }}{}\n",
@@ -238,6 +340,18 @@ fn parse_record(object: &str) -> Option<BenchRecord> {
         Some(text) => Some(text.parse::<f64>().ok()?),
         None => None,
     };
+    // A `qps` field marks a load record; its sibling percentiles default
+    // to 0 only if a hand edit dropped them.
+    let load = num("qps").map(|qps| LoadMetrics {
+        workers: num("workers").unwrap_or(0.0) as u32,
+        requests: num("requests").unwrap_or(0.0) as u64,
+        qps,
+        p50_us: num("p50_us").unwrap_or(0.0),
+        p95_us: num("p95_us").unwrap_or(0.0),
+        p99_us: num("p99_us").unwrap_or(0.0),
+        cache_hit: num("cache_hit").unwrap_or(0.0),
+        allocs_per_query: num("allocs_per_query").unwrap_or(0.0),
+    });
     // Size-only records carry no counters (and pre-`segments_skipped`
     // files carry no such key); absent numeric fields default to 0.
     let num0 = |key: &str| num(key).unwrap_or(0.0) as u64;
@@ -245,6 +359,8 @@ fn parse_record(object: &str) -> Option<BenchRecord> {
         bench: string("bench")?,
         case: string("case")?,
         us,
+        runs: num0("runs") as u32,
+        load,
         bytes: num0("bytes"),
         counters: AccessCounters {
             entries: num0("entries"),
@@ -267,6 +383,7 @@ mod tests {
             bench: bench.into(),
             case: case.into(),
             us: Some(us),
+            runs: 150,
             bytes: 0,
             counters: AccessCounters {
                 entries: 1,
@@ -277,6 +394,7 @@ mod tests {
                 blocks_skipped: 6,
                 segments_skipped: 7,
             },
+            load: None,
         }
     }
 
@@ -285,8 +403,31 @@ mod tests {
             bench: bench.into(),
             case: case.into(),
             us: None,
+            runs: 0,
             bytes,
             counters: AccessCounters::new(),
+            load: None,
+        }
+    }
+
+    fn load_sample(bench: &str, case: &str, workers: u32, qps: f64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.into(),
+            case: case.into(),
+            us: None,
+            runs: 0,
+            bytes: 0,
+            counters: AccessCounters::new(),
+            load: Some(LoadMetrics {
+                workers,
+                requests: 4000,
+                qps,
+                p50_us: 7.5,
+                p95_us: 21.25,
+                p99_us: 44.125,
+                cache_hit: 0.8325,
+                allocs_per_query: 2.125,
+            }),
         }
     }
 
@@ -296,9 +437,38 @@ mod tests {
             sample("a", "x", 1.5),
             size_sample("a", "bytes_x", 4096),
             sample("b", "y", 2.25),
+            load_sample("c", "mixed_w4", 4, 151234.5),
         ];
         let text = render_results(&records);
         assert_eq!(parse_results(&text).expect("parses"), records);
+    }
+
+    #[test]
+    fn load_records_carry_percentiles_not_a_median() {
+        let text = render_results(&[load_sample("load_serve", "mixed_w2", 2, 99000.0)]);
+        let row = text.lines().find(|l| l.contains("mixed_w2")).unwrap();
+        assert!(
+            !row.contains("\"us\":"),
+            "load rows have no single median: {row}"
+        );
+        for key in ["workers", "qps", "p50_us", "p95_us", "p99_us", "cache_hit"] {
+            assert!(row.contains(&format!("\"{key}\"")), "missing {key}: {row}");
+        }
+        let parsed = parse_results(&text).expect("parses");
+        assert_eq!(parsed[0].us, None, "p50_us must not be misread as us");
+        assert_eq!(parsed[0].load.unwrap().workers, 2);
+        assert_eq!(parsed[0].load.unwrap().p99_us, 44.125);
+    }
+
+    #[test]
+    fn timing_records_carry_their_run_count() {
+        let m = measure(4, || {});
+        assert_eq!(m.runs as usize, 4 * INNER_RUNS, "samples x inner runs");
+        let text = render_results(&[sample("t", "q", 3.5)]);
+        assert!(text.contains("\"runs\": 150"), "{text}");
+        // Pre-schema-3 history (no `runs` key) parses with runs == 0.
+        let legacy = text.replace("\"runs\": 150, ", "");
+        assert_eq!(parse_results(&legacy).expect("parses")[0].runs, 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod live;
 pub mod results;
 
 pub use error::FtslError;
+pub use ftsl_exec::snapshot::ExecScratch;
 pub use ftsl_index::{LiveConfig, Residency};
 pub use live::LiveFtsl;
 pub use results::{Ranked, SearchResults};

@@ -14,7 +14,7 @@ use crate::results::{Ranked, SearchResults};
 use crate::{query_tokens, RankModel};
 use ftsl_calculus::CalcQuery;
 use ftsl_exec::engine::{EngineKind, ExecOptions};
-use ftsl_exec::snapshot::SnapshotExecutor;
+use ftsl_exec::snapshot::{ExecScratch, SnapshotExecutor};
 use ftsl_index::{LiveConfig, LiveIndex, SegmentReport, Snapshot};
 use ftsl_lang::rewrite::{map_tokens, Thesaurus};
 use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
@@ -136,6 +136,13 @@ impl LiveFtsl {
     /// The underlying live index (flush/merge policy, version counter).
     pub fn live_index(&self) -> &LiveIndex {
         &self.live
+    }
+
+    /// The current mutation version — bumped by every add/delete/flush/
+    /// merge. A result cached against a version is stale exactly when this
+    /// moves; the serving layer's result cache keys on it.
+    pub fn version(&self) -> u64 {
+        self.live.version()
     }
 
     /// The predicate registry.
@@ -323,6 +330,20 @@ impl LiveFtsl {
         model: RankModel,
         k: usize,
     ) -> Result<Ranked, FtslError> {
+        self.search_top_k_with(query, model, k, &mut ExecScratch::new())
+    }
+
+    /// [`Self::search_top_k`] threading caller-owned reusable evaluation
+    /// state through the streaming engine — the serving hot path, where a
+    /// worker keeps one [`ExecScratch`] across its whole lifetime. Results
+    /// are identical to [`Self::search_top_k`].
+    pub fn search_top_k_with(
+        &self,
+        query: &str,
+        model: RankModel,
+        k: usize,
+        scratch: &mut ExecScratch,
+    ) -> Result<Ranked, FtslError> {
         let surface = self.rewrite_query(&parse(query, Mode::Comp)?);
         let snapshot = self.snapshot();
         let stats = self.snapshot_stats(&snapshot);
@@ -336,11 +357,23 @@ impl LiveFtsl {
             let streamed = match model {
                 RankModel::TfIdf => {
                     let m = stats.tfidf_model(&query_tokens(&surface), &snapshot);
-                    exec.run_top_k(&surface, spec, &stats, &ftsl_exec::ScoreModel::TfIdf(&m))
+                    exec.run_top_k_with(
+                        &surface,
+                        spec,
+                        &stats,
+                        &ftsl_exec::ScoreModel::TfIdf(&m),
+                        scratch,
+                    )
                 }
                 RankModel::Pra => {
                     let m = stats.pra_model(&snapshot);
-                    exec.run_top_k(&surface, spec, &stats, &ftsl_exec::ScoreModel::Pra(&m))
+                    exec.run_top_k_with(
+                        &surface,
+                        spec,
+                        &stats,
+                        &ftsl_exec::ScoreModel::Pra(&m),
+                        scratch,
+                    )
                 }
             };
             if let Ok(out) = streamed {

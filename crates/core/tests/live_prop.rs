@@ -463,3 +463,131 @@ fn concurrent_writers_and_readers_stay_consistent() {
     let snap = engine.snapshot();
     assert_eq!(snap.live_doc_count(), engine.live_index().live_doc_count());
 }
+
+/// The serving contract: N reader threads hammering one held snapshot —
+/// BOOL sets on both layouts plus streaming top-k with a per-thread
+/// [`ExecScratch`] — while a writer churns adds, deletes, flushes, and
+/// merges. Every concurrent answer must be bit-identical to the
+/// single-threaded reference computed on that snapshot up front: same node
+/// ids, same score *bits*. This is exactly what the serve pool relies on
+/// (shared `Snapshot`, per-worker scratch, no cross-thread interference).
+#[test]
+fn concurrent_readers_match_single_threaded_on_held_snapshot() {
+    use ftsl_exec::snapshot::ExecScratch;
+
+    let engine = LiveFtsl::with_config(manual_config());
+    // Seed with enough structure for every query family, across several
+    // sealed segments (flush_threshold 6 auto-seals as we go).
+    for i in 0..30 {
+        let tokens: Vec<usize> = (0..10).map(|j| (i * 3 + j * 5) % 9).collect();
+        engine.add(&render(&tokens));
+    }
+    engine.flush();
+    engine.live_index().maybe_merge();
+    let pinned = engine.snapshot();
+    let stats = SnapshotStats::compute(&pinned);
+    let reg = PredicateRegistry::with_builtins();
+
+    // Single-threaded reference on the pinned snapshot, both layouts.
+    let layouts = [IndexLayout::Decoded, IndexLayout::Blocks];
+    let mut set_refs: Vec<Vec<Vec<NodeId>>> = Vec::new();
+    for layout in layouts {
+        let options = ExecOptions {
+            layout,
+            ..Default::default()
+        };
+        let exec = SnapshotExecutor::with_options(&pinned, &reg, options);
+        set_refs.push(
+            SET_QUERIES
+                .iter()
+                .map(|(q, kind)| exec.run_str(q, *kind).expect("reference run").nodes)
+                .collect(),
+        );
+    }
+    let topk_query = ftsl_lang::parse("'alpha' OR 'beta' OR 'eps'", ftsl_lang::Mode::Comp).unwrap();
+    let topk_tokens = ["alpha", "beta", "eps"];
+    let topk_model = stats.tfidf_model(&topk_tokens, &pinned);
+    let topk_ref: Vec<Vec<(NodeId, u64)>> = layouts
+        .iter()
+        .map(|&layout| {
+            let options = ExecOptions {
+                layout,
+                ..Default::default()
+            };
+            SnapshotExecutor::with_options(&pinned, &reg, options)
+                .run_top_k(
+                    &topk_query,
+                    ScoredTopK { k: 7 },
+                    &stats,
+                    &ScoreModel::TfIdf(&topk_model),
+                )
+                .expect("reference topk")
+                .hits
+                .iter()
+                .map(|(n, s)| (*n, s.to_bits()))
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let e = &engine;
+        let writer = scope.spawn(move || {
+            // Churn hard: every shape of mutation, repeatedly.
+            for round in 0..40u32 {
+                e.add(&format!("churn{round} alpha zeta"));
+                if round % 3 == 0 {
+                    e.delete(NodeId(round % 30));
+                }
+                if round % 4 == 0 {
+                    e.flush();
+                }
+                if round % 8 == 0 {
+                    e.live_index().maybe_merge();
+                }
+                if round == 20 {
+                    e.merge();
+                }
+            }
+        });
+        for reader in 0..4usize {
+            let (pinned, stats, reg) = (&pinned, &stats, &reg);
+            let (set_refs, topk_ref, topk_query, topk_model) =
+                (&set_refs, &topk_ref, &topk_query, &topk_model);
+            scope.spawn(move || {
+                let mut scratch = ExecScratch::new();
+                for _round in 0..8 {
+                    for (li, &layout) in layouts.iter().enumerate() {
+                        let options = ExecOptions {
+                            layout,
+                            ..Default::default()
+                        };
+                        let exec = SnapshotExecutor::with_options(pinned, reg, options);
+                        for (qi, (q, kind)) in SET_QUERIES.iter().enumerate() {
+                            let out = exec.run_str(q, *kind).expect("concurrent run");
+                            assert_eq!(
+                                out.nodes, set_refs[li][qi],
+                                "reader {reader}: {q} on {layout:?} diverged under churn"
+                            );
+                        }
+                        let out = exec
+                            .run_top_k_with(
+                                topk_query,
+                                ScoredTopK { k: 7 },
+                                stats,
+                                &ScoreModel::TfIdf(topk_model),
+                                &mut scratch,
+                            )
+                            .expect("concurrent topk");
+                        let got: Vec<(NodeId, u64)> =
+                            out.hits.iter().map(|(n, s)| (*n, s.to_bits())).collect();
+                        assert_eq!(
+                            got, topk_ref[li],
+                            "reader {reader}: topk on {layout:?} diverged under churn"
+                        );
+                    }
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+}

@@ -95,4 +95,4 @@ pub use engine::{EngineKind, Executor, QueryOutput};
 pub use error::{ExecError, PlanError};
 pub use plan::{build_plan, PlanNode};
 pub use scored::{ScoreModel, ScoredOutput, ScoredPath, ScoredTopK};
-pub use snapshot::SnapshotExecutor;
+pub use snapshot::{ExecScratch, SnapshotExecutor};

@@ -53,6 +53,34 @@ fn empty_pair() -> &'static (Corpus, InvertedIndex) {
     })
 }
 
+/// Reusable per-worker evaluation state for [`SnapshotExecutor::run_top_k_with`].
+///
+/// A serving worker keeps one `ExecScratch` for its lifetime and threads it
+/// through every query it runs: the top-k collector inside is
+/// [`TopK::reset`] between queries instead of reconstructed, so its heap
+/// allocation is paid once per worker, not once per query. Pairs with the
+/// thread-local cursor-scratch pool in `ftsl-index` (cursors lease decoded
+/// block buffers per thread automatically) to make the steady-state scored
+/// hot path allocation-free.
+#[derive(Debug)]
+pub struct ExecScratch {
+    topk: TopK,
+}
+
+impl ExecScratch {
+    /// Fresh scratch; the collector grows to the first query's `k` and is
+    /// reused from then on.
+    pub fn new() -> Self {
+        ExecScratch { topk: TopK::new(0) }
+    }
+}
+
+impl Default for ExecScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Executor over a point-in-time snapshot of a live index.
 pub struct SnapshotExecutor<'a> {
     snapshot: &'a Snapshot,
@@ -150,6 +178,20 @@ impl<'a> SnapshotExecutor<'a> {
         stats: &SnapshotStats,
         model: &ScoreModel<'_>,
     ) -> Result<ScoredOutput, ExecError> {
+        self.run_top_k_with(surface, spec, stats, model, &mut ExecScratch::new())
+    }
+
+    /// [`Self::run_top_k`] with caller-owned reusable evaluation state —
+    /// the serving hot path. Identical results; the only difference is
+    /// where the top-k collector's allocation lives.
+    pub fn run_top_k_with(
+        &self,
+        surface: &SurfaceQuery,
+        spec: ScoredTopK,
+        stats: &SnapshotStats,
+        model: &ScoreModel<'_>,
+        scratch: &mut ExecScratch,
+    ) -> Result<ScoredOutput, ExecError> {
         if self.snapshot.segments().is_empty() {
             let (corpus, index) = empty_pair();
             let empty_stats = ScoreStats::compute(corpus, index);
@@ -228,7 +270,8 @@ impl<'a> SnapshotExecutor<'a> {
         } else {
             ScoredPath::StreamTree
         };
-        let mut topk = TopK::new(spec.k);
+        let topk = &mut scratch.topk;
+        topk.reset(spec.k);
         let mut counters = AccessCounters::new();
         for (i, bound, plan) in plans {
             if !topk.could_enter(bound) {
@@ -239,7 +282,7 @@ impl<'a> SnapshotExecutor<'a> {
             let data = seg.data();
             let globals = Some(data.globals());
             counters += match plan {
-                SegPlan::Union(cursors, kind) => topk_union_into(cursors, kind, &mut topk, globals),
+                SegPlan::Union(cursors, kind) => topk_union_into(cursors, kind, topk, globals),
                 SegPlan::Tree => {
                     let ScoreModel::Pra(m) = model else {
                         unreachable!("TF-IDF tree shapes were rejected at dispatch")
@@ -252,7 +295,7 @@ impl<'a> SnapshotExecutor<'a> {
                         m,
                         layout,
                         Some(seg.deletes()),
-                        &mut topk,
+                        topk,
                         globals,
                     )
                     .map_err(|reason| ExecError::WrongEngine {
@@ -263,7 +306,7 @@ impl<'a> SnapshotExecutor<'a> {
             };
         }
         Ok(ScoredOutput {
-            hits: topk.into_ranked(),
+            hits: topk.drain_ranked(),
             counters,
             path,
         })

@@ -54,6 +54,8 @@ use crate::postings::PostingList;
 use crate::varint;
 use ftsl_model::{NodeId, Position};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::mem::ManuallyDrop;
 
 /// Entries per compressed block. 128 keeps the skip granularity fine while
 /// letting the per-block header amortize to under 0.1 byte/entry, and
@@ -408,6 +410,11 @@ impl BlockList {
     }
 
     /// Open a seeking, block-at-a-time cursor over the compressed stream.
+    ///
+    /// The cursor's decoded-block buffer is leased from the calling
+    /// thread's scratch pool and returned on drop, so steady-state query
+    /// work reuses warm buffers instead of heap-allocating per cursor
+    /// (see [`scratch_pool_stats`]).
     pub fn cursor(&self) -> BlockCursor<'_> {
         BlockCursor {
             list: self,
@@ -418,13 +425,12 @@ impl BlockList {
             block: usize::MAX,
             started: false,
             done: false,
-            decoded: Vec::new(),
             pos_valid_for: u64::MAX,
             pos_idx: 0,
             pos_at: 0,
             pos_end: 0,
             pos_prev: Position::flat(0),
-            scratch: Box::default(),
+            scratch: ManuallyDrop::new(take_scratch()),
             counters: AccessCounters::new(),
         }
     }
@@ -483,6 +489,11 @@ struct BlockScratch {
     tf_block: usize,
     /// Block whose payload offsets are decoded; `usize::MAX` when stale.
     len_block: usize,
+    /// Positions of the current entry decoded so far (a prefix of the
+    /// payload — the cursor's sub-decoder materializes them on demand).
+    /// Lives in the scratch so a pooled buffer keeps its capacity across
+    /// cursors: positional queries stop allocating once warm.
+    decoded: Vec<Position>,
 }
 
 impl Default for BlockScratch {
@@ -498,8 +509,115 @@ impl Default for BlockScratch {
             len_width: 0,
             tf_block: usize::MAX,
             len_block: usize::MAX,
+            decoded: Vec::new(),
         }
     }
+}
+
+impl BlockScratch {
+    /// Make a recycled buffer indistinguishable from a fresh one: stale
+    /// the column tags and empty (but keep the capacity of) the decoded
+    /// positions. The id/tf/offset columns need no clearing — a fresh
+    /// cursor holds no resident block, so their lanes are unreachable
+    /// until `unpack_block` overwrites them.
+    fn reset(&mut self) {
+        self.tf_block = usize::MAX;
+        self.len_block = usize::MAX;
+        self.decoded.clear();
+    }
+}
+
+/// Pooled buffers per thread. Bounds the memory a thread parks between
+/// queries: enough for the widest realistic cursor fan-out (one cursor
+/// per distinct query token), small enough that an idle worker holds
+/// under ~100 KiB of scratch.
+const SCRATCH_POOL_CAP: usize = 64;
+
+struct ScratchPool {
+    // Boxes on purpose: cursors hold `ManuallyDrop<Box<BlockScratch>>`,
+    // so pooling the box itself makes take/return a pointer move — the
+    // unboxed form clippy suggests would re-box (allocate) on every take.
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<BlockScratch>>,
+    reused: u64,
+    allocated: u64,
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<ScratchPool> = const {
+        RefCell::new(ScratchPool {
+            free: Vec::new(),
+            reused: 0,
+            allocated: 0,
+        })
+    };
+}
+
+/// Lease a scratch buffer from the calling thread's pool, falling back to
+/// a heap allocation when the pool is empty (or the thread is tearing
+/// down its locals).
+fn take_scratch() -> Box<BlockScratch> {
+    SCRATCH_POOL
+        .try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            match pool.free.pop() {
+                Some(mut scratch) => {
+                    pool.reused += 1;
+                    scratch.reset();
+                    Some(scratch)
+                }
+                None => {
+                    pool.allocated += 1;
+                    None
+                }
+            }
+        })
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
+/// Park a scratch buffer back in the calling thread's pool; buffers over
+/// the cap (or arriving during thread teardown) are simply freed.
+fn return_scratch(scratch: Box<BlockScratch>) {
+    let _ = SCRATCH_POOL.try_with(move |pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.free.len() < SCRATCH_POOL_CAP {
+            pool.free.push(scratch);
+        }
+    });
+}
+
+/// Cumulative scratch-pool statistics for the **calling thread** — the
+/// pool is thread-local, so a serving worker reads its own counters.
+///
+/// `allocated` counts cursors that had to heap-allocate a fresh buffer;
+/// `reused` counts cursors served from the pool. A steady-state worker
+/// (same query shapes, warm pool) should see `reused` grow while
+/// `allocated` stays flat — the "queries allocate nothing on the hot
+/// path" invariant the serve-layer allocation tests pin down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchPoolStats {
+    /// Cursors served by recycling a pooled buffer.
+    pub reused: u64,
+    /// Cursors that heap-allocated a fresh buffer.
+    pub allocated: u64,
+    /// Buffers currently parked in the pool.
+    pub pooled: usize,
+}
+
+/// Read the calling thread's [`ScratchPoolStats`].
+pub fn scratch_pool_stats() -> ScratchPoolStats {
+    SCRATCH_POOL
+        .try_with(|pool| {
+            let pool = pool.borrow();
+            ScratchPoolStats {
+                reused: pool.reused,
+                allocated: pool.allocated,
+                pooled: pool.free.len(),
+            }
+        })
+        .unwrap_or_default()
 }
 
 /// A forward-only, skip-aware cursor over a [`BlockList`], decoding one
@@ -533,7 +651,7 @@ impl Default for BlockScratch {
 /// assert!(cur.counters().entries < 2 * ftsl_index::block::BLOCK_ENTRIES as u64);
 /// assert!(cur.counters().skipped >= 600);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BlockCursor<'a> {
     list: &'a BlockList,
     /// Index of the current entry within the resident block; `usize::MAX`
@@ -555,9 +673,6 @@ pub struct BlockCursor<'a> {
     started: bool,
     /// True once every entry has been consumed or skipped.
     done: bool,
-    /// Positions of the current entry decoded so far (a prefix of the
-    /// payload — the sub-decoder below materializes them on demand).
-    decoded: Vec<Position>,
     /// Global entry index the position sub-decoder is staged for;
     /// `u64::MAX` when stale (tag-based invalidation keeps it off the
     /// entry walk).
@@ -569,8 +684,45 @@ pub struct BlockCursor<'a> {
     pos_end: usize,
     /// Delta base: the last position decoded.
     pos_prev: Position,
-    scratch: Box<BlockScratch>,
+    /// Leased from the thread's scratch pool; `ManuallyDrop` lets `Drop`
+    /// hand the box back to the pool instead of freeing it.
+    scratch: ManuallyDrop<Box<BlockScratch>>,
     counters: AccessCounters,
+}
+
+impl Drop for BlockCursor<'_> {
+    fn drop(&mut self) {
+        // SAFETY: `scratch` is taken exactly once — drop runs once, and
+        // nothing reads the field afterwards.
+        return_scratch(unsafe { ManuallyDrop::take(&mut self.scratch) });
+    }
+}
+
+impl Clone for BlockCursor<'_> {
+    fn clone(&self) -> Self {
+        // The clone leases its own buffer (pool-first, like `cursor()`)
+        // and copies the resident decode state into it, so both cursors
+        // keep the no-repeat-decode guarantee from their shared position.
+        let mut scratch = take_scratch();
+        scratch.clone_from(&*self.scratch);
+        BlockCursor {
+            list: self.list,
+            idx: self.idx,
+            run_start: self.run_start,
+            count: self.count,
+            first: self.first,
+            block: self.block,
+            started: self.started,
+            done: self.done,
+            pos_valid_for: self.pos_valid_for,
+            pos_idx: self.pos_idx,
+            pos_at: self.pos_at,
+            pos_end: self.pos_end,
+            pos_prev: self.pos_prev,
+            scratch: ManuallyDrop::new(scratch),
+            counters: self.counters,
+        }
+    }
 }
 
 impl<'a> BlockCursor<'a> {
@@ -982,7 +1134,7 @@ impl<'a> BlockCursor<'a> {
                 s.pos_ends[idx - 1] as usize
             };
         self.pos_end = s.pos_base + s.pos_ends[idx] as usize;
-        self.decoded.clear();
+        self.scratch.decoded.clear();
         self.pos_idx = 0;
         self.pos_valid_for = global;
         self.decode_next_position();
@@ -1002,7 +1154,7 @@ impl<'a> BlockCursor<'a> {
         let a = varint::get_u32(data, &mut at).expect("well-formed positions");
         let b = varint::get_u32(data, &mut at).expect("well-formed positions");
         let c = varint::get_u32(data, &mut at).expect("well-formed positions");
-        let p = if self.decoded.is_empty() {
+        let p = if self.scratch.decoded.is_empty() {
             Position {
                 offset: a,
                 sentence: b,
@@ -1018,7 +1170,7 @@ impl<'a> BlockCursor<'a> {
         debug_assert!(at <= self.pos_end, "positions overran their payload");
         self.pos_at = at;
         self.pos_prev = p;
-        self.decoded.push(p);
+        self.scratch.decoded.push(p);
         self.counters.positions_decoded += 1;
         Some(p)
     }
@@ -1039,17 +1191,17 @@ impl<'a> BlockCursor<'a> {
     pub fn positions(&mut self) -> &[Position] {
         self.ensure_positions();
         while self.decode_next_position().is_some() {}
-        &self.decoded
+        &self.scratch.decoded
     }
 
     /// The current position within the current entry, if any remain —
     /// materializing only as much of the payload as the index requires.
     pub fn position(&mut self) -> Option<Position> {
         self.ensure_positions();
-        while self.decoded.len() <= self.pos_idx {
+        while self.scratch.decoded.len() <= self.pos_idx {
             self.decode_next_position()?;
         }
-        Some(self.decoded[self.pos_idx])
+        Some(self.scratch.decoded[self.pos_idx])
     }
 
     /// Advance the position sub-cursor to the first position with
@@ -1060,8 +1212,8 @@ impl<'a> BlockCursor<'a> {
         let start = self.pos_idx;
         let mut i = start;
         let hit = loop {
-            let p = if i < self.decoded.len() {
-                self.decoded[i]
+            let p = if i < self.scratch.decoded.len() {
+                self.scratch.decoded[i]
             } else if let Some(p) = self.decode_next_position() {
                 p
             } else {
@@ -1322,5 +1474,79 @@ mod tests {
         bad[1].byte_start += 1;
         let candidate = BlockList::from_parts(bad, data.to_vec(), entries, positions);
         assert!(candidate.try_to_posting().is_err());
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        // Each test runs on its own thread, so the thread-local pool
+        // counters start at zero and deltas are exact.
+        let list = sample(1000, 2);
+        let blocks = BlockList::from_posting(&list);
+        let base = scratch_pool_stats();
+        assert_eq!((base.reused, base.pooled), (0, 0));
+        {
+            let mut cur = blocks.cursor();
+            while cur.next_entry().is_some() {}
+        }
+        let after_first = scratch_pool_stats();
+        assert_eq!(after_first.allocated, 1, "cold pool allocates once");
+        assert_eq!(after_first.pooled, 1, "dropped cursor parks its buffer");
+        {
+            let mut cur = blocks.cursor();
+            while cur.next_entry().is_some() {}
+        }
+        let after_second = scratch_pool_stats();
+        assert_eq!(after_second.allocated, 1, "warm pool never re-allocates");
+        assert_eq!(after_second.reused, 1);
+        assert_eq!(after_second.pooled, 1);
+    }
+
+    #[test]
+    fn recycled_scratch_decodes_identically() {
+        // Drive a positional walk, return the buffer, and re-walk a
+        // *different* list through the recycled buffer: results must match
+        // fresh decodes exactly (stale tags may not leak across leases).
+        let a = sample(300, 2);
+        let b = sample(170, 5);
+        let blocks_a = BlockList::from_posting(&a);
+        let blocks_b = BlockList::from_posting(&b);
+        let walk = |list: &BlockList| {
+            let mut out = Vec::new();
+            let mut cur = list.cursor();
+            while let Some(node) = cur.next_entry() {
+                out.push((node, cur.tf(), cur.positions().to_vec()));
+            }
+            out
+        };
+        let fresh_a = walk(&blocks_a);
+        let fresh_b = walk(&blocks_b);
+        for _ in 0..4 {
+            assert_eq!(walk(&blocks_b), fresh_b);
+            assert_eq!(walk(&blocks_a), fresh_a);
+        }
+        let stats = scratch_pool_stats();
+        assert_eq!(stats.allocated, 1);
+        assert_eq!(stats.reused, 9);
+    }
+
+    #[test]
+    fn cloned_cursor_leases_its_own_scratch() {
+        let list = sample(400, 3);
+        let blocks = BlockList::from_posting(&list);
+        let mut cur = blocks.cursor();
+        for _ in 0..200 {
+            cur.next_entry();
+        }
+        let tf_here = cur.tf();
+        let mut twin = cur.clone();
+        // The twin continues independently from the shared position…
+        assert_eq!(twin.tf(), tf_here);
+        assert_eq!(twin.next_entry(), cur.next_entry());
+        // …and advancing one does not disturb the other.
+        twin.next_entry();
+        assert_eq!(cur.node().map(|n| n.0 + 3), twin.node().map(|n| n.0));
+        drop(twin);
+        drop(cur);
+        assert_eq!(scratch_pool_stats().pooled, 2);
     }
 }

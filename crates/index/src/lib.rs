@@ -51,7 +51,7 @@ pub mod segment;
 pub mod stats;
 pub mod varint;
 
-pub use block::{BlockCursor, BlockList};
+pub use block::{scratch_pool_stats, BlockCursor, BlockList, ScratchPoolStats};
 pub use builder::IndexBuilder;
 pub use counters::AccessCounters;
 pub use cursor::{ListCursor, PostingCursor};

@@ -87,6 +87,19 @@ impl TopK {
         }
     }
 
+    /// Empty the collector and rebound it to `k`, keeping the heap's
+    /// allocation. A serving worker resets one collector per query instead
+    /// of constructing a new one, so the steady-state top-k path does not
+    /// touch the allocator (see [`Self::drain_ranked`] for the matching
+    /// extraction).
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        if self.heap.capacity() < k.saturating_add(1) {
+            self.heap.reserve(k.saturating_add(1) - self.heap.len());
+        }
+    }
+
     /// The current pruning threshold: the worst kept score once `k` entries
     /// are held, `None` while the collector still has room (nothing can be
     /// pruned yet).
@@ -149,12 +162,16 @@ impl TopK {
     }
 
     /// Drain into ranking order (best first; see [`rank_cmp`]).
-    pub fn into_ranked(self) -> Vec<(NodeId, f64)> {
-        let mut out: Vec<(NodeId, f64)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.0.node, e.0.score))
-            .collect();
+    pub fn into_ranked(mut self) -> Vec<(NodeId, f64)> {
+        self.drain_ranked()
+    }
+
+    /// Drain into ranking order (best first) while keeping the collector —
+    /// and its heap allocation — alive for [`Self::reset`] and the next
+    /// query. Identical output to [`Self::into_ranked`] by construction.
+    pub fn drain_ranked(&mut self) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> =
+            self.heap.drain().map(|e| (e.0.node, e.0.score)).collect();
         sort_ranked(&mut out);
         out
     }
@@ -221,6 +238,28 @@ mod tests {
         assert!(ranked[0].1.is_nan());
         assert_eq!(ranked[1], (NodeId(3), 3.0));
         assert_eq!(ranked[2], (NodeId(2), 2.0));
+    }
+
+    #[test]
+    fn reset_reuses_the_collector_without_changing_results() {
+        let hits: Vec<(NodeId, f64)> = (0..100)
+            .map(|i| (NodeId(i), f64::from((i * 37) % 11)))
+            .collect();
+        let mut oracle = hits.clone();
+        sort_ranked(&mut oracle);
+        let mut topk = TopK::new(7);
+        for k in [3usize, 10, 0, 7] {
+            topk.reset(k);
+            for &(n, s) in &hits {
+                topk.insert(n, s);
+            }
+            assert_eq!(
+                topk.drain_ranked(),
+                oracle[..k.min(oracle.len())].to_vec(),
+                "k = {k}"
+            );
+            assert!(topk.is_empty(), "drain empties the collector");
+        }
     }
 
     #[test]

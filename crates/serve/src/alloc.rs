@@ -1,0 +1,65 @@
+//! A counting global allocator for allocation-budget tests and benches.
+//!
+//! Install it in a test or bench **binary** (never in a library):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: ftsl_serve::CountingAlloc = ftsl_serve::CountingAlloc;
+//! ```
+//!
+//! Every thread then counts its own allocations; [`thread_allocs`] reads
+//! the calling thread's total, so a delta around a code region is an exact
+//! per-thread allocation count with no cross-thread noise. When the
+//! allocator is *not* installed the counter never moves and
+//! [`thread_allocs`] reports 0 — [`crate::WorkerStats::allocs`] is
+//! meaningful only under an instrumented binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // `const` init: reading or bumping the counter must itself never
+    // allocate, even on a thread's first allocation.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations performed by the calling thread since it started, counted
+/// only while [`CountingAlloc`] is the global allocator.
+pub fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// [`System`] with a per-thread allocation counter. Frees are not counted:
+/// the serving invariants bound how often the allocator is *entered* on
+/// the hot path, and a region that allocates nothing frees nothing.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn bump() {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counter is per-thread state
+// touched outside the allocation itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

@@ -1,0 +1,214 @@
+//! The query-result cache: LRU over `(normalized query, snapshot version)`.
+//!
+//! Invalidation is **by version, never by scan**: the snapshot version is
+//! part of every key, so a write bumping the live index's mutation counter
+//! makes all older entries unreachable without touching them. Stale
+//! entries are reclaimed lazily — eviction prefers them over live LRU
+//! victims — so a write costs the cache nothing at all.
+//!
+//! The lookup path is allocation-free: the key is hashed straight off the
+//! request (`SipHash` over kind/model/k, the trimmed query bytes, and the
+//! version), candidates are found by a linear probe over a flat entry
+//! array, and a hit hands back an `Arc` clone. Linear probing over a
+//! bounded array beats a `HashMap` here precisely because the array never
+//! rehashes or reallocates after construction — capacity is reserved once
+//! in [`ResultCache::new`].
+
+use crate::pool::QueryRequest;
+use crate::Answer;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached result.
+struct Entry {
+    /// Full key hash — the probe filter; collisions fall through to the
+    /// exact comparison below.
+    hash: u64,
+    /// Snapshot version the answer was computed for.
+    version: u64,
+    /// The normalized (trimmed) query text plus the request shape.
+    query: String,
+    kind: KeyKind,
+    /// The shared answer.
+    value: Arc<Answer>,
+    /// LRU clock stamp of the last hit (or the insertion).
+    stamp: u64,
+}
+
+/// The non-text part of a cache key: what kind of evaluation, under which
+/// model, at what k. Two requests with the same text but different shapes
+/// must never collide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyKind {
+    Search,
+    TopK { model_tag: u8, k: usize },
+}
+
+fn key_of(req: &QueryRequest) -> (KeyKind, &str) {
+    match req {
+        QueryRequest::Search { query } => (KeyKind::Search, query.trim()),
+        QueryRequest::TopK { query, model, k } => (
+            KeyKind::TopK {
+                model_tag: *model as u8,
+                k: *k,
+            },
+            query.trim(),
+        ),
+    }
+}
+
+fn hash_key(kind: KeyKind, query: &str, version: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    kind.hash(&mut h);
+    query.hash(&mut h);
+    version.hash(&mut h);
+    h.finish()
+}
+
+/// Point-in-time cache counters. `hits + misses` equals the number of
+/// lookups exactly — the counters are bumped once per lookup, atomically,
+/// so they stay exact under concurrent workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to evaluation.
+    pub misses: u64,
+    /// Entries written (first-time inserts and overwrites).
+    pub insertions: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, version-keyed LRU result cache shared by all pool workers.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results (min 1); the
+    /// entry array is reserved up front so steady-state operation never
+    /// grows it.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ResultCache {
+            inner: Mutex::new(Inner {
+                entries: Vec::with_capacity(capacity),
+                capacity,
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `req` at snapshot `version`. A hit refreshes the entry's
+    /// LRU stamp and returns a shared handle; allocation-free either way.
+    pub fn lookup(&self, req: &QueryRequest, version: u64) -> Option<Arc<Answer>> {
+        let (kind, query) = key_of(req);
+        let hash = hash_key(kind, query, version);
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let inner = &mut *inner;
+        for e in inner.entries.iter_mut() {
+            if e.hash == hash && e.version == version && e.kind == kind && e.query == query {
+                inner.clock += 1;
+                e.stamp = inner.clock;
+                let value = Arc::clone(&e.value);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert (or overwrite) the answer for `req` at snapshot `version`.
+    /// When full, eviction displaces a stale-version entry first — those
+    /// are unreachable garbage — and only then the least-recently-used
+    /// live entry.
+    pub fn insert(&self, req: &QueryRequest, version: u64, value: Arc<Answer>) {
+        let (kind, query) = key_of(req);
+        let hash = hash_key(kind, query, version);
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let inner = &mut *inner;
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(e) = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.hash == hash && e.version == version && e.kind == kind && e.query == query)
+        {
+            e.value = value;
+            e.stamp = clock;
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let entry = Entry {
+            hash,
+            version,
+            query: query.to_string(),
+            kind,
+            value,
+            stamp: clock,
+        };
+        if inner.entries.len() < inner.capacity {
+            inner.entries.push(entry);
+        } else {
+            // Victim: any stale-version entry beats every current-version
+            // one; within a class, oldest stamp loses.
+            let victim = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.version == version, e.stamp))
+                .map(|(i, _)| i)
+                .expect("capacity >= 1");
+            inner.entries[victim] = entry;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exact counters plus occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("result cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: entries.entries.len(),
+            capacity: entries.capacity,
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The serving front door: many queries in parallel over one live engine.
+//!
+//! Everything below is std-only plumbing around the read path the rest of
+//! the workspace already proved correct: a [`ServePool`] owns N worker
+//! threads, each holding its own reusable evaluation state
+//! ([`ftsl_exec::ExecScratch`] plus the thread-local cursor-scratch pool
+//! inside `ftsl-index`), all executing against point-in-time
+//! [`ftsl_index::Snapshot`]s of a shared [`ftsl_core::LiveFtsl`]. Writers
+//! keep writing; readers never block them and never see a torn view.
+//!
+//! Results flow through a [`ResultCache`] keyed on `(normalized query,
+//! snapshot version)`. The version is the live index's mutation counter,
+//! so invalidation is free: a write bumps the version, and every entry
+//! cached under the old version becomes unreachable by construction — no
+//! scan, no epoch bookkeeping. The cache-hit path performs **zero heap
+//! allocations** (hash, linear probe, `Arc` clone), and the miss path's
+//! cursor and top-k state is recycled per worker, which is what makes
+//! steady-state serving allocation-free on the hot paths — the
+//! [`CountingAlloc`] test allocator pins that down.
+//!
+//! Serving adds **no index format change**: this crate never touches
+//! bytes, only snapshots.
+//!
+//! ```
+//! use ftsl_core::LiveFtsl;
+//! use ftsl_serve::{QueryRequest, ServeConfig, ServePoolExt};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(LiveFtsl::new());
+//! engine.add("usability of a software system");
+//! let pool = engine.serve_pool(ServeConfig {
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! });
+//! let served = pool
+//!     .execute(QueryRequest::search("'software'"))
+//!     .unwrap();
+//! assert_eq!(served.answer.as_search().unwrap().len(), 1);
+//! // The same query at the same version comes out of the cache.
+//! let again = pool.execute(QueryRequest::search("'software'")).unwrap();
+//! assert!(again.cached);
+//! ```
+
+pub mod alloc;
+pub mod cache;
+pub mod pool;
+
+pub use alloc::{thread_allocs, CountingAlloc};
+pub use cache::{CacheStats, ResultCache};
+pub use pool::{
+    PoolStats, QueryRequest, ServeConfig, ServeContext, ServePool, ServePoolExt, Served, Ticket,
+    WorkerStats,
+};
+
+use ftsl_core::{Ranked, SearchResults};
+
+/// A finished query result, shared between the cache and all requesters.
+#[derive(Clone, Debug)]
+pub enum Answer {
+    /// BOOL/PPRED/NPRED/COMP matches (unranked).
+    Search(SearchResults),
+    /// Ranked top-k hits.
+    TopK(Ranked),
+}
+
+impl Answer {
+    /// The unranked results, if this answer holds them.
+    pub fn as_search(&self) -> Option<&SearchResults> {
+        match self {
+            Answer::Search(r) => Some(r),
+            Answer::TopK(_) => None,
+        }
+    }
+
+    /// The ranked results, if this answer holds them.
+    pub fn as_top_k(&self) -> Option<&Ranked> {
+        match self {
+            Answer::TopK(r) => Some(r),
+            Answer::Search(_) => None,
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The thread-pool executor: N workers, one shared engine, one cache.
+//!
+//! Life of a request: [`ServePool::submit`] pushes a job on a
+//! `Mutex<VecDeque>` queue and returns a [`Ticket`]; a worker wakes under
+//! the condvar, checks the [`crate::ResultCache`] against the *current*
+//! mutation version, and on a miss pins a snapshot and evaluates with its
+//! own long-lived [`ExecScratch`] (top-k heap) plus the thread-local
+//! cursor-scratch pool `ftsl-index` maintains per worker thread. The
+//! answer travels back through the ticket's channel as an `Arc` — the
+//! same `Arc` the cache keeps, so concurrent requesters of a hot query
+//! share one materialized result.
+//!
+//! Workers never hold the queue lock while evaluating, and the writer
+//! side of the engine is untouched: snapshots isolate readers, the
+//! version key isolates the cache.
+
+use crate::cache::ResultCache;
+use crate::{thread_allocs, Answer, CacheStats};
+use ftsl_core::{ExecScratch, FtslError, LiveFtsl, RankModel};
+use ftsl_index::scratch_pool_stats;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// What to run. The query text is COMP syntax (subsumes BOOL and DIST),
+/// exactly as [`LiveFtsl::search`] / [`LiveFtsl::search_top_k`] take it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryRequest {
+    /// Engine-dispatched (unranked) evaluation.
+    Search {
+        /// COMP-syntax query text.
+        query: String,
+    },
+    /// Streaming scored top-k.
+    TopK {
+        /// COMP-syntax query text.
+        query: String,
+        /// Scoring model.
+        model: RankModel,
+        /// How many hits to keep.
+        k: usize,
+    },
+}
+
+impl QueryRequest {
+    /// An unranked search request.
+    pub fn search(query: &str) -> Self {
+        QueryRequest::Search {
+            query: query.to_string(),
+        }
+    }
+
+    /// A ranked top-k request.
+    pub fn top_k(query: &str, model: RankModel, k: usize) -> Self {
+        QueryRequest::TopK {
+            query: query.to_string(),
+            model,
+            k,
+        }
+    }
+
+    /// The query text.
+    pub fn query(&self) -> &str {
+        match self {
+            QueryRequest::Search { query } => query,
+            QueryRequest::TopK { query, .. } => query,
+        }
+    }
+}
+
+/// A served answer plus where it came from.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// The result, shared with the cache and concurrent requesters.
+    pub answer: Arc<Answer>,
+    /// True when the answer came out of the result cache.
+    pub cached: bool,
+    /// Mutation version the answer is valid for.
+    pub version: u64,
+}
+
+/// Pool sizing and cache capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads. 0 is promoted to 1.
+    pub workers: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Per-worker counters, updated by the worker after every request and
+/// readable at any time through [`ServePool::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Requests this worker completed (hits and misses alike).
+    pub served: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Heap allocations performed by this worker's thread, counted only
+    /// when [`crate::CountingAlloc`] is installed in the binary; 0
+    /// otherwise.
+    pub allocs: u64,
+    /// Cursor scratch buffers this worker's thread recycled.
+    pub scratch_reused: u64,
+    /// Cursor scratch buffers this worker's thread heap-allocated.
+    pub scratch_allocated: u64,
+}
+
+/// Everything a worker updates, shared with the pool handle.
+#[derive(Default)]
+struct WorkerSlot {
+    served: AtomicU64,
+    cache_hits: AtomicU64,
+    allocs: AtomicU64,
+    scratch_reused: AtomicU64,
+    scratch_allocated: AtomicU64,
+}
+
+impl WorkerSlot {
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            served: self.served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            scratch_reused: self.scratch_reused.load(Ordering::Relaxed),
+            scratch_allocated: self.scratch_allocated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Pool-wide counters: one [`WorkerStats`] per worker plus the cache's.
+#[derive(Clone, Debug)]
+pub struct PoolStats {
+    /// Per-worker counters, index = worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl PoolStats {
+    /// Total requests served across workers.
+    pub fn served(&self) -> u64 {
+        self.workers.iter().map(|w| w.served).sum()
+    }
+
+    /// Total cache hits across workers.
+    pub fn cache_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.cache_hits).sum()
+    }
+}
+
+type Reply = Result<Served, FtslError>;
+
+struct Job {
+    req: QueryRequest,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    slots: Vec<Arc<WorkerSlot>>,
+}
+
+/// A pending request; [`Ticket::wait`] blocks for the worker's answer.
+pub struct Ticket {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Block until the answer arrives.
+    pub fn wait(self) -> Reply {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(FtslError::Internal("serve pool shut down".to_string())))
+    }
+}
+
+/// One worker's (or a caller's) serving context: the engine, the shared
+/// cache, and the reusable evaluation scratch. [`ServeContext::serve`] is
+/// the exact code a pool worker runs per request — tests and benches can
+/// drive it directly on their own thread to measure the hot path without
+/// the queue and channel around it.
+pub struct ServeContext {
+    engine: Arc<LiveFtsl>,
+    cache: Arc<ResultCache>,
+    scratch: ExecScratch,
+}
+
+impl ServeContext {
+    /// A context over `engine` using `cache` for results.
+    pub fn new(engine: Arc<LiveFtsl>, cache: Arc<ResultCache>) -> Self {
+        ServeContext {
+            engine,
+            cache,
+            scratch: ExecScratch::new(),
+        }
+    }
+
+    /// Serve one request: cache lookup at the current mutation version,
+    /// falling through to snapshot evaluation with reused scratch on a
+    /// miss. The hit path allocates nothing. Errors are returned, never
+    /// cached.
+    pub fn serve(&mut self, req: &QueryRequest) -> Reply {
+        let version = self.engine.version();
+        if let Some(answer) = self.cache.lookup(req, version) {
+            return Ok(Served {
+                answer,
+                cached: true,
+                version,
+            });
+        }
+        let answer =
+            Arc::new(match req {
+                QueryRequest::Search { query } => Answer::Search(self.engine.search(query)?),
+                QueryRequest::TopK { query, model, k } => Answer::TopK(
+                    self.engine
+                        .search_top_k_with(query, *model, *k, &mut self.scratch)?,
+                ),
+            });
+        // Keyed under the version read *before* evaluation: if a write
+        // landed in between, the current version moved past `version`, so
+        // the entry is stale-from-birth and unreachable (versions only
+        // grow) — it is never served, merely evicted early.
+        self.cache.insert(req, version, Arc::clone(&answer));
+        Ok(Served {
+            answer,
+            cached: false,
+            version,
+        })
+    }
+}
+
+/// The concurrent serving front door over one [`LiveFtsl`].
+///
+/// Dropping the pool shuts it down: workers drain nothing further, wake,
+/// and are joined. In-flight tickets resolve with an error if their job
+/// was still queued.
+pub struct ServePool {
+    shared: Arc<Shared>,
+    cache: Arc<ResultCache>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServePool {
+    /// Spawn `config.workers` workers (at least one) over a shared engine.
+    pub fn new(engine: Arc<LiveFtsl>, config: ServeConfig) -> Self {
+        let workers = config.workers.max(1);
+        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let slots: Vec<Arc<WorkerSlot>> = (0..workers).map(|_| Arc::default()).collect();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            slots,
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                let slot = Arc::clone(&shared.slots[id]);
+                let mut ctx = ServeContext::new(Arc::clone(&engine), Arc::clone(&cache));
+                std::thread::Builder::new()
+                    .name(format!("ftsl-serve-{id}"))
+                    .spawn(move || worker_loop(&shared, &slot, &mut ctx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServePool {
+            shared,
+            cache,
+            handles,
+        }
+    }
+
+    /// Enqueue a request; the returned [`Ticket`] resolves when a worker
+    /// finishes it.
+    pub fn submit(&self, req: QueryRequest) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            queue.push_back(Job { req, reply: tx });
+        }
+        self.shared.work_ready.notify_one();
+        Ticket { rx }
+    }
+
+    /// Submit and wait — the closed-loop client call.
+    pub fn execute(&self, req: QueryRequest) -> Reply {
+        self.submit(req).wait()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The shared result cache (for stats or pre-warming).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Per-worker and cache counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.shared.slots.iter().map(|s| s.snapshot()).collect(),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, slot: &WorkerSlot, ctx: &mut ServeContext) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("serve queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).expect("serve queue poisoned");
+            }
+        };
+        let allocs_before = thread_allocs();
+        let result = ctx.serve(&job.req);
+        slot.allocs
+            .fetch_add(thread_allocs() - allocs_before, Ordering::Relaxed);
+        slot.served.fetch_add(1, Ordering::Relaxed);
+        if matches!(&result, Ok(served) if served.cached) {
+            slot.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let pool = scratch_pool_stats();
+        slot.scratch_reused.store(pool.reused, Ordering::Relaxed);
+        slot.scratch_allocated
+            .store(pool.allocated, Ordering::Relaxed);
+        // The requester may have given up (dropped ticket) — fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Entry point sugar: `engine.serve_pool(config)` on an
+/// `Arc<LiveFtsl>`. (The pool must share ownership of the engine with its
+/// workers, hence the `Arc` receiver; `ftsl-core` cannot define this
+/// inherently without depending on the serving layer.)
+pub trait ServePoolExt {
+    /// Spawn a [`ServePool`] over this engine.
+    fn serve_pool(self: &Arc<Self>, config: ServeConfig) -> ServePool;
+}
+
+impl ServePoolExt for LiveFtsl {
+    fn serve_pool(self: &Arc<Self>, config: ServeConfig) -> ServePool {
+        ServePool::new(Arc::clone(self), config)
+    }
+}

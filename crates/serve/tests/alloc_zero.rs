@@ -1,0 +1,120 @@
+//! Steady-state allocation accounting: a counting global allocator proves
+//! the two serving hot paths are allocation-free once warm.
+//!
+//! * **Cache-hit path** — `ServeContext::serve` on a warm entry: hash the
+//!   key, probe the flat table, clone an `Arc`. Zero heap traffic.
+//! * **Scratch-reuse path** — a warm `BlockCursor` walk: the decode
+//!   buffers come from the thread-local scratch pool, so re-walking a
+//!   block list (including position decode) allocates nothing.
+//!
+//! The cursor path only engages under `IndexLayout::Blocks` (the default
+//! `Decoded` layout streams pre-decoded lists), so the engine here is
+//! built with an explicit blocks layout.
+
+use ftsl_core::{LiveConfig, LiveFtsl, RankModel};
+use ftsl_exec::engine::ExecOptions;
+use ftsl_index::scratch_pool_stats;
+use ftsl_index::IndexLayout;
+use ftsl_serve::{thread_allocs, CountingAlloc, QueryRequest, ResultCache, ServeContext};
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn blocks_engine() -> Arc<LiveFtsl> {
+    let engine = LiveFtsl::with_config(LiveConfig {
+        background_merge: false,
+        ..LiveConfig::default()
+    })
+    .with_options(ExecOptions {
+        layout: IndexLayout::Blocks,
+        ..ExecOptions::default()
+    });
+    for i in 0..300 {
+        engine.add(&format!(
+            "document {i} about usability and software systems number{}",
+            i % 7
+        ));
+    }
+    engine.flush();
+    Arc::new(engine)
+}
+
+#[test]
+fn cache_hit_serving_allocates_nothing() {
+    let engine = blocks_engine();
+    let cache = Arc::new(ResultCache::new(32));
+    let mut ctx = ServeContext::new(Arc::clone(&engine), Arc::clone(&cache));
+    let reqs = [
+        QueryRequest::search("'software' AND 'usability'"),
+        QueryRequest::top_k("'software' OR 'number3'", RankModel::TfIdf, 10),
+    ];
+    // Warm: fill the cache (and any lazy statics in the path).
+    for req in &reqs {
+        assert!(!ctx.serve(req).unwrap().cached);
+        assert!(ctx.serve(req).unwrap().cached);
+    }
+    for req in &reqs {
+        let before = thread_allocs();
+        for _ in 0..100 {
+            let served = ctx.serve(req).unwrap();
+            assert!(served.cached);
+        }
+        let delta = thread_allocs() - before;
+        assert_eq!(delta, 0, "cache-hit path allocated {delta} times: {req:?}");
+    }
+}
+
+#[test]
+fn warm_block_cursor_walks_allocate_nothing() {
+    let engine = blocks_engine();
+    let snapshot = engine.live_index().snapshot();
+    let seg = &snapshot.segments()[0];
+    // Grab the widest couple of block lists in the sealed segment.
+    let index = seg.data().index();
+    let mut lists: Vec<_> = (0..index.num_tokens())
+        .map(|t| index.block_list(ftsl_model::TokenId(t as u32)))
+        .filter(|l| !l.is_empty())
+        .collect();
+    lists.sort_by_key(|l| std::cmp::Reverse(l.num_entries()));
+    lists.truncate(3);
+    assert!(!lists.is_empty());
+
+    let walk = |allocs: &mut u64| {
+        let before = thread_allocs();
+        let mut checksum = 0u64;
+        for list in &lists {
+            let mut cur = list.cursor();
+            while let Some(node) = cur.next_entry() {
+                checksum ^= node.0 as u64 ^ (cur.tf() as u64) << 32;
+                for p in cur.positions() {
+                    checksum = checksum.wrapping_add(p.offset as u64);
+                }
+            }
+        }
+        *allocs += thread_allocs() - before;
+        checksum
+    };
+
+    // Warm round: leases fresh scratch from the pool (allocates once per
+    // buffer) and grows the decode buffers to their steady-state size.
+    let mut warm_allocs = 0;
+    let reference = walk(&mut warm_allocs);
+    let pool_after_warm = scratch_pool_stats();
+
+    // Steady state: every re-walk reuses pooled scratch, zero allocation.
+    for round in 0..5 {
+        let mut allocs = 0;
+        assert_eq!(walk(&mut allocs), reference, "round {round}");
+        assert_eq!(allocs, 0, "warm cursor walk allocated {allocs} times");
+    }
+    let pool = scratch_pool_stats();
+    assert_eq!(
+        pool.allocated, pool_after_warm.allocated,
+        "steady state never allocated a new scratch buffer"
+    );
+    assert!(
+        pool.reused >= pool_after_warm.reused + 15,
+        "5 rounds x 3 lists"
+    );
+}

@@ -14,13 +14,22 @@
 //! Then type queries (BOOL/DIST/COMP syntax) on stdin, one per line.
 //! Commands: `:explain <query>` (frozen mode), `:rank <query>`,
 //! `:top <k> <query>`, `:stats`, `:quit`, and in live mode `:add <text>`,
-//! `:delete <node>`, `:flush`, `:merge`.
+//! `:delete <node>`, `:flush`, `:merge`, plus the serving front door:
+//! `:serve <n>` starts (or resizes) a worker pool with a shared result
+//! cache — plain queries and `:top` then go through it — `:serve 0`
+//! stops it, and `:bench-load [requests]` runs a short closed-loop mixed
+//! read/write load against the pool and prints QPS and latency
+//! percentiles. With a pool active, `:stats` adds per-worker served/hit
+//! counts and the cache's hit rate.
 
 use ftsl_core::{Ftsl, LiveConfig, LiveFtsl, RankModel, Residency};
 use ftsl_index::AccessCounters;
 use ftsl_model::analysis::AnalysisConfig;
 use ftsl_model::NodeId;
+use ftsl_serve::{QueryRequest, ServeConfig, ServePool, ServePoolExt};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let mut analyzed = false;
@@ -124,18 +133,28 @@ fn run_frozen(texts: &[String], names: Vec<String>, analyzed: bool, blocks_only:
 }
 
 fn run_live(texts: &[String], names: Vec<String>, analyzed: bool) {
-    let engine = if analyzed {
+    let engine = Arc::new(if analyzed {
         LiveFtsl::from_texts_analyzed(texts, AnalysisConfig::english(), LiveConfig::default())
     } else {
         LiveFtsl::from_texts_with(texts, LiveConfig::default())
-    };
+    });
     eprintln!(
         "live engine: {} seeded documents, background merge on (:help for commands)",
         texts.len()
     );
     let mut stdout = std::io::stdout();
     let mut last_counters: Option<AccessCounters> = None;
-    repl(|input| dispatch_live(&engine, input, &names, &mut stdout, &mut last_counters));
+    let mut pool: Option<ServePool> = None;
+    repl(|input| {
+        dispatch_live(
+            &engine,
+            input,
+            &names,
+            &mut stdout,
+            &mut last_counters,
+            &mut pool,
+        )
+    });
 }
 
 /// Display handle for a global node id: the seeding file name while the id
@@ -256,11 +275,12 @@ fn dispatch(
 }
 
 fn dispatch_live(
-    engine: &LiveFtsl,
+    engine: &Arc<LiveFtsl>,
     input: &str,
     names: &[String],
     out: &mut impl Write,
     last_counters: &mut Option<AccessCounters>,
+    pool: &mut Option<ServePool>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     if input == ":quit" {
         return Ok(());
@@ -269,8 +289,40 @@ fn dispatch_live(
         writeln!(
             out,
             ":add <text> | :delete <node> | :flush | :merge | :rank <q> | \
-             :top <k> <q> | :stats | :quit"
+             :top <k> <q> | :serve <n> | :bench-load [requests] | :stats | :quit"
         )?;
+        return Ok(());
+    }
+    if let Some(n) = input.strip_prefix(":serve ") {
+        let workers: usize = n.trim().parse()?;
+        if workers == 0 {
+            *pool = None;
+            writeln!(out, "serve pool stopped")?;
+        } else {
+            *pool = Some(engine.serve_pool(ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            }));
+            writeln!(
+                out,
+                "serve pool: {workers} worker(s), result cache on; queries and :top \
+                 now go through the pool"
+            )?;
+        }
+        return Ok(());
+    }
+    if input == ":bench-load" || input.starts_with(":bench-load ") {
+        let requests: usize = input
+            .strip_prefix(":bench-load")
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or(2000);
+        let Some(p) = pool.as_ref() else {
+            writeln!(out, "no serve pool — start one with :serve <n> first")?;
+            return Ok(());
+        };
+        bench_load(engine, p, requests, out)?;
         return Ok(());
     }
     if let Some(text) = input.strip_prefix(":add ") {
@@ -343,6 +395,35 @@ fn dispatch_live(
             engine.live_index().buffered_docs(),
             total_bytes
         )?;
+        if let Some(p) = pool.as_ref() {
+            let stats = p.stats();
+            writeln!(
+                out,
+                "serve pool: {} worker(s), {} served, {} cache hits",
+                p.workers(),
+                stats.served(),
+                stats.cache_hits()
+            )?;
+            for (id, w) in stats.workers.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  worker {id}: {} served, {} hits, {} scratch reuses / {} allocs",
+                    w.served, w.cache_hits, w.scratch_reused, w.scratch_allocated
+                )?;
+            }
+            let c = stats.cache;
+            writeln!(
+                out,
+                "result cache: {}/{} entries, {} hits / {} misses ({:.1}% hit rate), \
+                 {} evictions",
+                c.entries,
+                c.capacity,
+                c.hits,
+                c.misses,
+                100.0 * c.hit_rate(),
+                c.evictions
+            )?;
+        }
         print_last_counters(out, last_counters)?;
         return Ok(());
     }
@@ -357,12 +438,25 @@ fn dispatch_live(
     if let Some(rest) = input.strip_prefix(":top ") {
         let (k, q) = rest.split_once(' ').ok_or(":top needs <k> <query>")?;
         let k: usize = k.parse()?;
-        let ranked = engine.search_top_k(q, RankModel::TfIdf, k)?;
+        let (ranked, cached) = match pool.as_ref() {
+            Some(p) => {
+                let served = p.execute(QueryRequest::top_k(q, RankModel::TfIdf, k))?;
+                let r = served
+                    .answer
+                    .as_top_k()
+                    .expect("top-k request yields top-k answer")
+                    .clone();
+                (r, served.cached)
+            }
+            None => (engine.search_top_k(q, RankModel::TfIdf, k)?, false),
+        };
         *last_counters = ranked.counters;
         for (node, score) in &ranked.hits {
             writeln!(out, "{score:.5}  {}", node_name(names, *node))?;
         }
-        if let Some(c) = ranked.counters {
+        if cached {
+            writeln!(out, "[served from result cache]")?;
+        } else if let Some(c) = ranked.counters {
             writeln!(
                 out,
                 "[streamed: {} entries decoded, {} entries / {} blocks pruned, \
@@ -372,19 +466,130 @@ fn dispatch_live(
         }
         return Ok(());
     }
-    let results = engine.search(input)?;
+    let (results, cached) = match pool.as_ref() {
+        Some(p) => {
+            let served = p.execute(QueryRequest::search(input))?;
+            let r = served
+                .answer
+                .as_search()
+                .expect("search request yields search answer")
+                .clone();
+            (r, served.cached)
+        }
+        None => (engine.search(input)?, false),
+    };
     *last_counters = Some(results.counters);
     writeln!(
         out,
-        "{} hit(s) [{} engine, {} class, {} entries read across {} segment(s)]",
+        "{} hit(s) [{} engine, {} class, {} entries read across {} segment(s)]{}",
         results.len(),
         results.engine,
         results.class,
         results.counters.entries,
-        engine.snapshot().num_segments()
+        engine.snapshot().num_segments(),
+        if cached { " [cached]" } else { "" }
     )?;
     for node in &results.nodes {
         writeln!(out, "  {}", node_name(names, *node))?;
     }
+    Ok(())
+}
+
+/// `:bench-load` — a short closed-loop load against the active pool: one
+/// client per worker replays a skewed mix of BOOL and top-k queries over
+/// the engine's own vocabulary while this thread churns a write every few
+/// milliseconds, then QPS and latency percentiles come from the merged
+/// per-request timings. (The full configurable harness is the
+/// `load_serve` bench in `ftsl-bench`; this is its interactive sibling.)
+fn bench_load(
+    engine: &Arc<LiveFtsl>,
+    pool: &ServePool,
+    requests: usize,
+    out: &mut impl Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    // Query mix from the indexed vocabulary: the most frequent terms of
+    // the widest segment, skew-sampled so the cache has something to do.
+    let snapshot = engine.snapshot();
+    let terms: Vec<String> = snapshot
+        .widest_interner()
+        .map(|i| {
+            (0..i.len().min(16))
+                .map(|t| i.name(ftsl_model::TokenId(t as u32)).to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    if terms.is_empty() {
+        writeln!(out, "nothing indexed yet — :add some documents first")?;
+        return Ok(());
+    }
+    let queries: Vec<QueryRequest> = terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i % 2 == 0 {
+                QueryRequest::search(&format!("'{t}'"))
+            } else {
+                QueryRequest::top_k(&format!("'{t}'"), RankModel::TfIdf, 10)
+            }
+        })
+        .collect();
+    let clients = pool.workers();
+    let per_client = requests.div_ceil(clients);
+    let before = pool.stats();
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut state = (c as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                    for _ in 0..per_client {
+                        // xorshift* skew: square the draw so low indices
+                        // (popular queries) dominate, Zipf-ish.
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                        let idx = ((u * u) * queries.len() as f64) as usize;
+                        let req = queries[idx.min(queries.len() - 1)].clone();
+                        let t = Instant::now();
+                        let _ = pool.execute(req);
+                        lat.push(t.elapsed().as_micros() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        // Writer churn while clients run: add + delete + flush.
+        let added = engine.add("bench load churn document");
+        engine.delete(added);
+        engine.flush();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let after = pool.stats();
+    let hits = after.cache_hits() - before.cache_hits();
+    let served = after.served() - before.served();
+    writeln!(
+        out,
+        "{} requests over {} client(s) in {:.1?}: {:.0} QPS; \
+         p50 {}µs p95 {}µs p99 {}µs; {}/{} cache hits ({:.1}%)",
+        latencies.len(),
+        clients,
+        wall,
+        latencies.len() as f64 / wall.as_secs_f64(),
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        hits,
+        served,
+        100.0 * hits as f64 / served.max(1) as f64,
+    )?;
     Ok(())
 }

@@ -10,3 +10,4 @@ pub use ftsl_lang as lang;
 pub use ftsl_model as model;
 pub use ftsl_predicates as predicates;
 pub use ftsl_scoring as scoring;
+pub use ftsl_serve as serve;
