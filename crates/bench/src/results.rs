@@ -243,7 +243,8 @@ fn render_results(records: &[BenchRecord]) -> String {
                     "\"us\": {:.3}, \"runs\": {}, \
                      \"counters\": {{ \"entries\": {}, \"positions\": {}, \
                      \"positions_decoded\": {}, \"tuples\": {}, \"skipped\": {}, \
-                     \"blocks_skipped\": {}, \"segments_skipped\": {} }}",
+                     \"blocks_skipped\": {}, \"segments_skipped\": {}, \
+                     \"pair_entries\": {} }}",
                     us,
                     r.runs,
                     c.entries,
@@ -253,6 +254,7 @@ fn render_results(records: &[BenchRecord]) -> String {
                     c.skipped,
                     c.blocks_skipped,
                     c.segments_skipped,
+                    c.pair_entries,
                 )
             }
             (None, Some(l)) => format!(
@@ -370,6 +372,7 @@ fn parse_record(object: &str) -> Option<BenchRecord> {
             skipped: num0("skipped"),
             blocks_skipped: num0("blocks_skipped"),
             segments_skipped: num0("segments_skipped"),
+            pair_entries: num0("pair_entries"),
         },
     })
 }
@@ -393,6 +396,7 @@ mod tests {
                 skipped: 5,
                 blocks_skipped: 6,
                 segments_skipped: 7,
+                pair_entries: 8,
             },
             load: None,
         }

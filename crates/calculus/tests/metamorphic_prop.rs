@@ -91,8 +91,17 @@ fn not(e: QueryExpr) -> QueryExpr {
     QueryExpr::Not(Box::new(e))
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     #[test]
     fn double_negation(e in arb_expr(2, vec![]), corpus in arb_corpus()) {

@@ -25,6 +25,7 @@ pub mod results;
 
 pub use error::FtslError;
 pub use ftsl_exec::snapshot::ExecScratch;
+pub use ftsl_exec::{PairQuery, ScoredOutput, ScoredPath};
 pub use ftsl_index::{LiveConfig, Residency};
 pub use live::LiveFtsl;
 pub use results::{Ranked, SearchResults};
@@ -290,6 +291,48 @@ impl Ftsl {
         let mut ranked = self.ranked_surface(&surface, model)?;
         ranked.hits.truncate(k);
         Ok(ranked)
+    }
+
+    /// Proximity-ranked NEAR/phrase search: documents where `first` and
+    /// `second` co-occur within `bound` token positions — in either
+    /// order, or strictly `first`-before-`second` when `ordered` — ranked
+    /// by [`ftsl_scoring::closeness`] of the smallest qualifying gap
+    /// (adjacent pair scores 1.0). Resolves from the word-pair auxiliary
+    /// index when both tokens are covered, skipping pair blocks whose
+    /// `min_gap` block-max bound cannot beat the current k-th score, and
+    /// falls back to position intersection otherwise.
+    pub fn search_near_top_k(
+        &self,
+        first: &str,
+        second: &str,
+        bound: u32,
+        ordered: bool,
+        k: usize,
+    ) -> ftsl_exec::ScoredOutput {
+        use ftsl_exec::{ScoredOutput, ScoredPath};
+        let mut topk = ftsl_scoring::TopK::new(k);
+        let (Some(first), Some(second)) =
+            (self.analysis.analyze(first), self.analysis.analyze(second))
+        else {
+            return ScoredOutput {
+                hits: Vec::new(),
+                counters: ftsl_index::AccessCounters::new(),
+                path: ScoredPath::PairProximity,
+            };
+        };
+        let q = ftsl_exec::PairQuery {
+            first,
+            second,
+            directed: ordered,
+            bound,
+        };
+        let counters =
+            ftsl_exec::pairscan::near_topk_into(&q, &self.corpus, &self.index, &mut topk, Some);
+        ScoredOutput {
+            hits: topk.drain_ranked(),
+            counters,
+            path: ScoredPath::PairProximity,
+        }
     }
 
     /// Explain how a query would be executed: language class, engine, and

@@ -15,6 +15,7 @@ use crate::{query_tokens, RankModel};
 use ftsl_calculus::CalcQuery;
 use ftsl_exec::engine::{EngineKind, ExecOptions};
 use ftsl_exec::snapshot::{ExecScratch, SnapshotExecutor};
+use ftsl_exec::{PairQuery, ScoredOutput, ScoredPath};
 use ftsl_index::{LiveConfig, LiveIndex, SegmentReport, Snapshot};
 use ftsl_lang::rewrite::{map_tokens, Thesaurus};
 use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
@@ -393,6 +394,61 @@ impl LiveFtsl {
     /// tombstone counts (see [`SegmentReport`]), for the current snapshot.
     pub fn segment_reports(&self) -> Vec<SegmentReport> {
         self.snapshot().segment_reports()
+    }
+
+    /// Proximity-ranked NEAR/phrase search over the current snapshot:
+    /// documents where `first` and `second` co-occur within `bound` token
+    /// positions — in either order, or strictly `first`-before-`second`
+    /// when `ordered` — ranked by [`ftsl_scoring::closeness`] of the
+    /// smallest qualifying gap (adjacent pair scores 1.0). Resolves from
+    /// the word-pair auxiliary index when coverage allows, skipping whole
+    /// segments and whole pair blocks whose `min_gap` bound cannot beat
+    /// the current k-th score, and falls back to position intersection
+    /// for uncovered tokens. Tombstoned documents never surface; node ids
+    /// are global.
+    pub fn search_near_top_k(
+        &self,
+        first: &str,
+        second: &str,
+        bound: u32,
+        ordered: bool,
+        k: usize,
+    ) -> ScoredOutput {
+        self.search_near_top_k_with(first, second, bound, ordered, k, &mut ExecScratch::new())
+    }
+
+    /// [`Self::search_near_top_k`] threading caller-owned reusable
+    /// evaluation state — the serving hot path.
+    pub fn search_near_top_k_with(
+        &self,
+        first: &str,
+        second: &str,
+        bound: u32,
+        ordered: bool,
+        k: usize,
+        scratch: &mut ExecScratch,
+    ) -> ScoredOutput {
+        // Query tokens get the same analysis as indexed text; a token the
+        // analyzer drops (stop word) can never match, so the answer is
+        // empty without touching the index.
+        let (Some(first), Some(second)) =
+            (self.analysis.analyze(first), self.analysis.analyze(second))
+        else {
+            return ScoredOutput {
+                hits: Vec::new(),
+                counters: ftsl_index::AccessCounters::new(),
+                path: ScoredPath::PairProximity,
+            };
+        };
+        let q = PairQuery {
+            first,
+            second,
+            directed: ordered,
+            bound,
+        };
+        let snapshot = self.snapshot();
+        let exec = SnapshotExecutor::with_options(&snapshot, &self.registry, self.options);
+        exec.run_near_top_k_with(&q, k, scratch)
     }
 }
 

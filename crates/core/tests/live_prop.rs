@@ -27,6 +27,13 @@ use std::collections::HashMap;
 
 const VOCAB: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
 
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
 /// One mutation against the live index.
 #[derive(Clone, Debug)]
 enum Op {
@@ -295,8 +302,117 @@ fn assert_scores_match(
     Ok(())
 }
 
+/// Proximity shapes that resolve from the word-pair auxiliary lists.
+const PAIR_QUERIES: &[&str] = &[
+    "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND ordered(p1,p2) AND distance(p1,p2,0))",
+    "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND ordered(p1,p2) AND window(p1,p2,4))",
+    "SOME p1 SOME p2 (p1 HAS 'beta' AND p2 HAS 'gamma' AND distance(p1,p2,2))",
+    "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'alpha' AND ordered(p1,p2) AND distance(p1,p2,1))",
+];
+
+/// Pair-accelerated evaluation under churn: the snapshot run (pairs on,
+/// so phrase/NEAR shapes walk per-segment pair lists with tombstone
+/// filtering) must be bit-identical to the *position-intersection oracle*
+/// over the monolithic rebuild — deleted documents must never surface via
+/// a pair list that still physically contains them. The NEAR top-k facade
+/// must agree with the rebuild's facade down to the score bits.
+fn assert_pairs_match(
+    engine: &LiveFtsl,
+    frozen: &Ftsl,
+    remap: &HashMap<u32, u32>,
+    ctx: &str,
+) -> Result<(), ()> {
+    let snapshot = engine.snapshot();
+    let reg = PredicateRegistry::with_builtins();
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let live_exec = SnapshotExecutor::with_options(
+            &snapshot,
+            &reg,
+            ExecOptions {
+                layout,
+                ..Default::default()
+            },
+        );
+        let oracle_exec = Executor::with_options(
+            frozen.corpus(),
+            frozen.index(),
+            &reg,
+            ExecOptions {
+                layout,
+                use_pairs: false,
+                ..Default::default()
+            },
+        );
+        for query in PAIR_QUERIES {
+            let live_out = live_exec
+                .run_str(query, EngineKind::Auto)
+                .expect("live run");
+            let oracle_out = oracle_exec
+                .run_str(query, EngineKind::Auto)
+                .expect("oracle run");
+            let live_dense: Vec<u32> = live_out
+                .nodes
+                .iter()
+                .map(|n| *remap.get(&n.0).expect("pair hit must be a survivor"))
+                .collect();
+            let oracle_ids: Vec<u32> = oracle_out.nodes.iter().map(|n| n.0).collect();
+            prop_assert_eq!(
+                &live_dense,
+                &oracle_ids,
+                "{}: pair path diverged on {} ({:?})",
+                ctx,
+                query,
+                layout
+            );
+        }
+    }
+    // NEAR top-k: segmented pair walk with global threshold vs the
+    // rebuild's single-index walk. The global→dense remap preserves id
+    // order, so ranking (score desc, id asc) and score bits must agree.
+    for (a, b, bound, ordered) in [
+        ("alpha", "beta", 4, true),
+        ("beta", "gamma", 3, false),
+        ("alpha", "alpha", 2, true),
+    ] {
+        for k in [1usize, 5, 100] {
+            let live = engine.search_near_top_k(a, b, bound, ordered, k);
+            let want = frozen.search_near_top_k(a, b, bound, ordered, k);
+            prop_assert_eq!(
+                live.hits.len(),
+                want.hits.len(),
+                "{}: near {}-{} k={} hit count",
+                ctx,
+                a,
+                b,
+                k
+            );
+            for (l, f) in live.hits.iter().zip(&want.hits) {
+                prop_assert_eq!(
+                    remap[&l.0 .0],
+                    f.0 .0,
+                    "{}: near {}-{} k={} order",
+                    ctx,
+                    a,
+                    b,
+                    k
+                );
+                prop_assert_eq!(
+                    l.1.to_bits(),
+                    f.1.to_bits(),
+                    "{}: near {}-{} k={} score bits",
+                    ctx,
+                    a,
+                    b,
+                    k
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     /// Any interleaving of adds/deletes/flushes/merges: all engines on the
     /// snapshot ≡ the monolithic rebuild, both layouts.
@@ -306,6 +422,7 @@ proptest! {
         let (frozen, remap) = rebuild(&survivors);
         assert_sets_match(&engine, &frozen, &remap, "final state")?;
         assert_scores_match(&engine, &frozen, &remap, "final state")?;
+        assert_pairs_match(&engine, &frozen, &remap, "final state")?;
     }
 
     /// A snapshot taken mid-sequence answers for the state at that moment,
@@ -412,6 +529,63 @@ fn held_snapshot_survives_concurrent_background_merges() {
     engine.merge();
     assert_eq!(engine.search("'eps'").unwrap().nodes.len(), 27);
     assert!(engine.search("'doc0'").unwrap().nodes.is_empty());
+}
+
+/// Deleting documents *after* their segment is sealed leaves their
+/// postings physically inside the segment's pair lists — the tombstone
+/// filter is the only thing keeping them out of answers. Phrase search,
+/// NEAR top-k, and the intersection fallback must all hide them.
+#[test]
+fn tombstoned_docs_never_surface_via_pair_lists() {
+    let engine = LiveFtsl::with_config(LiveConfig {
+        background_merge: false,
+        flush_threshold: usize::MAX,
+        merge_fanin: usize::MAX,
+        ..LiveConfig::default()
+    });
+    let mut ids = Vec::new();
+    for i in 0..12 {
+        ids.push(engine.add(&format!("alpha beta doc{i}")));
+    }
+    engine.flush(); // sealed: pair lists now physically hold all 12 docs
+    for (i, &id) in ids.iter().enumerate() {
+        if i % 2 == 0 {
+            assert!(engine.delete(id));
+        }
+    }
+
+    let phrase =
+        "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND ordered(p1,p2) AND distance(p1,p2,0))";
+    let hits = engine.search(phrase).unwrap();
+    let survivors: Vec<u32> = ids
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, id)| id.0)
+        .collect();
+    assert_eq!(
+        hits.node_ids(),
+        survivors,
+        "phrase over pair lists leaked a tombstone"
+    );
+
+    let near = engine.search_near_top_k("alpha", "beta", 4, true, 100);
+    let mut near_ids: Vec<u32> = near.hits.iter().map(|(n, _)| n.0).collect();
+    near_ids.sort_unstable();
+    assert_eq!(near_ids, survivors, "NEAR top-k leaked a tombstone");
+    assert!(near.counters.pair_entries > 0, "pair path engaged");
+    // Every survivor's pair is adjacent: closeness is exactly 1.0.
+    assert!(near.hits.iter().all(|&(_, s)| s == 1.0));
+
+    // After compaction the tombstones are physically reclaimed and the
+    // same answers come from rebuilt pair lists.
+    engine.merge();
+    let hits = engine.search(phrase).unwrap();
+    assert_eq!(hits.node_ids(), survivors);
+    let near = engine.search_near_top_k("alpha", "beta", 4, true, 100);
+    let mut near_ids: Vec<u32> = near.hits.iter().map(|(n, _)| n.0).collect();
+    near_ids.sort_unstable();
+    assert_eq!(near_ids, survivors);
 }
 
 /// Mutating concurrently from several threads: the index stays consistent

@@ -5,7 +5,7 @@ use crate::build::IndexLayout;
 use crate::comp::run_comp_with;
 use crate::error::ExecError;
 use crate::npred::{run_npred, NpredOptions};
-use crate::ppred::run_ppred_with;
+use crate::ppred::run_ppred_pairs;
 use crate::scored::{run_scored_top_k, ScoreModel, ScoredOutput, ScoredTopK};
 use ftsl_calculus::CalcQuery;
 use ftsl_index::{AccessCounters, InvertedIndex};
@@ -41,6 +41,11 @@ pub struct ExecOptions {
     /// Physical list layout the streaming engines read (decoded columnar
     /// lists, or block-compressed lists with skip-seeking cursors).
     pub layout: IndexLayout,
+    /// PPRED: rewrite two-scan proximity cores (phrase / NEAR) to
+    /// word-pair index walks when the index covers them, falling back to
+    /// position intersection otherwise. Disable to force the
+    /// intersection path — the oracle for differential tests.
+    pub use_pairs: bool,
 }
 
 impl Default for ExecOptions {
@@ -50,6 +55,7 @@ impl Default for ExecOptions {
             npred_full_permutations: false,
             npred_parallel: false,
             layout: IndexLayout::Decoded,
+            use_pairs: true,
         }
     }
 }
@@ -244,13 +250,14 @@ impl<'a> Executor<'a> {
     ) -> Result<QueryOutput, ExecError> {
         match chosen {
             EngineUsed::Ppred => {
-                match run_ppred_with(
+                match run_ppred_pairs(
                     &query.expr,
                     self.corpus,
                     self.index,
                     self.registry,
                     self.options.advance_mode,
                     self.options.layout,
+                    self.options.use_pairs,
                 ) {
                     Ok((nodes, counters)) => Ok(QueryOutput {
                         nodes,

@@ -18,6 +18,10 @@
 //!   optionally running threads in parallel;
 //! * [`engine`] — dispatch by [`ftsl_lang::LanguageClass`], with COMP as the
 //!   universal fallback;
+//! * [`pairscan`] — the PPRED fast path for phrase/NEAR shapes: two-scan
+//!   proximity cores are rewritten to walks over the index's word-pair
+//!   auxiliary lists ([`ftsl_index::pair`]) when coverage allows, with
+//!   automatic fallback to position intersection;
 //! * [`scored`] — **scored top-k** (Section 5.3's scoring extension as a
 //!   streaming engine): flat disjunctions run a MaxScore/block-max pruned
 //!   union, general BOOL trees a cursor-driven score-stream combination,
@@ -51,7 +55,14 @@
 //! ]);
 //! let index = IndexBuilder::new().build(&corpus);
 //! let registry = PredicateRegistry::with_builtins();
-//! let options = ExecOptions { layout: IndexLayout::Blocks, ..Default::default() };
+//! // `use_pairs: false` forces the position-intersection path this
+//! // example demonstrates; by default the phrase below would resolve
+//! // from the word-pair auxiliary index without touching positions.
+//! let options = ExecOptions {
+//!     layout: IndexLayout::Blocks,
+//!     use_pairs: false,
+//!     ..Default::default()
+//! };
 //! let exec = Executor::with_options(&corpus, &index, &registry, options);
 //!
 //! // "rust" strictly before "approachable", at most 3 intervening tokens —
@@ -83,6 +94,7 @@ pub mod engine;
 pub mod error;
 pub mod join;
 pub mod npred;
+pub mod pairscan;
 pub mod plan;
 pub mod ppred;
 pub mod project;
@@ -93,6 +105,7 @@ pub mod snapshot;
 
 pub use engine::{EngineKind, Executor, QueryOutput};
 pub use error::{ExecError, PlanError};
+pub use pairscan::PairQuery;
 pub use plan::{build_plan, PlanNode};
 pub use scored::{ScoreModel, ScoredOutput, ScoredPath, ScoredTopK};
 pub use snapshot::{ExecScratch, SnapshotExecutor};

@@ -2,6 +2,7 @@
 
 use crate::build::{build_cursor, CursorCtx, IndexLayout};
 use crate::error::PlanError;
+use crate::pairscan;
 use crate::plan::{build_plan, order_joins_by_selectivity};
 use ftsl_calculus::ast::QueryExpr;
 use ftsl_index::{AccessCounters, InvertedIndex};
@@ -33,7 +34,32 @@ pub fn run_ppred_with(
     mode: AdvanceMode,
     layout: IndexLayout,
 ) -> Result<(Vec<NodeId>, AccessCounters), PlanError> {
+    run_ppred_pairs(expr, corpus, index, registry, mode, layout, true)
+}
+
+/// [`run_ppred_with`] with explicit control over the pair-index rewrite:
+/// when `use_pairs` is set and the plan is a two-scan proximity core the
+/// index's word-pair lists can answer ([`pairscan::recognize`]), the
+/// query resolves from one pair-list walk; any coverage miss falls back
+/// to the ordinary single-scan streaming evaluation. Passing `false`
+/// forces the streaming path — the differential oracle for pair results.
+pub fn run_ppred_pairs(
+    expr: &QueryExpr,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    registry: &PredicateRegistry,
+    mode: AdvanceMode,
+    layout: IndexLayout,
+    use_pairs: bool,
+) -> Result<(Vec<NodeId>, AccessCounters), PlanError> {
     let plan = build_plan(expr, registry, false)?;
+    if use_pairs {
+        if let Some(q) = pairscan::recognize(&plan.root, registry) {
+            if let Some((nodes, counters)) = pairscan::execute(&q, corpus, index) {
+                return Ok((nodes, counters));
+            }
+        }
+    }
     let root = order_joins_by_selectivity(plan.root, corpus, index);
     let ctx = CursorCtx {
         corpus,

@@ -40,6 +40,10 @@ pub enum ScoredPath {
     PrunedUnion,
     /// Cursor-driven score-stream tree (AND/OR/NOT combination).
     StreamTree,
+    /// Word-pair proximity walk ranked by closeness
+    /// ([`crate::pairscan::near_topk_into`]), block-max pruned on the
+    /// pair lists' `min_gap` headers.
+    PairProximity,
 }
 
 /// Result of a scored top-k run.

@@ -28,6 +28,7 @@
 
 use crate::engine::{EngineKind, EngineUsed, ExecOptions, Executor, QueryOutput};
 use crate::error::ExecError;
+use crate::pairscan::{self, PairQuery};
 use crate::scored::{
     flat_disjunction, run_scored_top_k_filtered, ScoreModel, ScoredOutput, ScoredPath, ScoredTopK,
 };
@@ -310,6 +311,64 @@ impl<'a> SnapshotExecutor<'a> {
             counters,
             path,
         })
+    }
+
+    /// Run a proximity-ranked NEAR/phrase top-k across segments: documents
+    /// matching the pair query score by [`ftsl_scoring::closeness`] of
+    /// their minimum qualifying gap, through the same global-threshold
+    /// machinery as [`Self::run_top_k`] — segments are visited in
+    /// descending score-bound order (bounds read from pair-list `min_gap`
+    /// metadata without decoding a posting), whole segments that cannot
+    /// beat the k-th score are skipped, and within a segment whole pair
+    /// blocks are skipped on their block-max closeness. Tombstoned
+    /// documents are filtered before insertion; segments the pair index
+    /// does not cover fall back to position intersection.
+    pub fn run_near_top_k(&self, q: &PairQuery, k: usize) -> ScoredOutput {
+        self.run_near_top_k_with(q, k, &mut ExecScratch::new())
+    }
+
+    /// [`Self::run_near_top_k`] with caller-owned reusable evaluation
+    /// state — the serving hot path.
+    pub fn run_near_top_k_with(
+        &self,
+        q: &PairQuery,
+        k: usize,
+        scratch: &mut ExecScratch,
+    ) -> ScoredOutput {
+        let topk = &mut scratch.topk;
+        topk.reset(k);
+        let mut counters = AccessCounters::new();
+        let mut plans: Vec<(usize, f64)> = self
+            .snapshot
+            .segments()
+            .iter()
+            .enumerate()
+            .map(|(i, seg)| {
+                let data = seg.data();
+                (i, pairscan::near_bound(q, data.corpus(), data.index()))
+            })
+            .collect();
+        // Highest-bound segments first (stable on ties: snapshot order),
+        // so the threshold tightens as early as possible.
+        plans.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (i, bound) in plans {
+            if bound <= 0.0 || !topk.could_enter(bound) {
+                counters.segments_skipped += 1;
+                continue;
+            }
+            let seg = &self.snapshot.segments()[i];
+            let data = seg.data();
+            counters += pairscan::near_topk_into(q, data.corpus(), data.index(), topk, |n| {
+                seg.deletes()
+                    .is_live(n.index())
+                    .then(|| data.global_of(n.index()))
+            });
+        }
+        ScoredOutput {
+            hits: topk.drain_ranked(),
+            counters,
+            path: ScoredPath::PairProximity,
+        }
     }
 
     /// The snapshot this executor reads.

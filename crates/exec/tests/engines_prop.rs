@@ -141,8 +141,17 @@ fn reference(surface: &SurfaceQuery, corpus: &Corpus, reg: &PredicateRegistry) -
     Interpreter::new(corpus, reg).eval_query(&CalcQuery::new(expr))
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     #[test]
     fn ppred_engine_matches_reference(

@@ -127,8 +127,17 @@ fn run(
     .nodes
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     /// PPRED on `Blocks` is bit-identical to `Decoded`, and a blocks-only
     /// resident index (decoded views dropped, every engine forced onto the
@@ -203,7 +212,12 @@ fn skewed_env() -> (Corpus, InvertedIndex) {
     .plant("rare", 0.01, 2)
     .plant("common", 0.6, 3);
     let corpus = config.build();
-    let index = IndexBuilder::new().build(&corpus);
+    // These tests measure the *token-list* layout machinery (lazy decode,
+    // residency shrink); build without the pair auxiliary index so its
+    // resident bytes and rerouted query paths don't skew the counters.
+    let index = IndexBuilder::new()
+        .pair_config(ftsl_index::PairConfig::disabled())
+        .build(&corpus);
     (corpus, index)
 }
 

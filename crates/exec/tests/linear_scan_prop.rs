@@ -90,8 +90,17 @@ fn scanned_totals(node: &PlanNode, corpus: &Corpus, index: &InvertedIndex) -> (u
     }
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     #[test]
     fn ppred_is_single_scan(

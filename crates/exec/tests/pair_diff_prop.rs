@@ -1,0 +1,330 @@
+//! Differential lockdown of the word-pair fast path.
+//!
+//! The contract: rewriting a two-scan proximity core (phrase, NEAR,
+//! ordered-window) to a walk over the word-pair auxiliary lists is
+//! **invisible** — `use_pairs: true` must return node lists bit-identical
+//! to the `use_pairs: false` position-intersection oracle, on every corpus,
+//! every physical layout, and every pair-index configuration (default
+//! df cutoff, cutoff disabled, a window small enough to force fallback,
+//! and pairs disabled entirely).
+//!
+//! Corpora are Zipf-skewed so the same run exercises both coverage
+//! regimes: frequent tokens resolve from pair lists, rare ones fall below
+//! the df cutoff and take the fallback path.
+//!
+//! The deterministic tests pin the edge cases: same-token phrases
+//! (`a a`), adjacent repeats (`a a a`), `window(…, 0)` (refused — two
+//! variables may bind one position), phrases longer than any document,
+//! and pair lists straddling a 128-entry block boundary.
+//!
+//! The scheduled CI fuzz job raises the case count via
+//! `FTSL_PROPTEST_CASES`; the default keeps PR builds quick.
+
+use ftsl_exec::engine::{EngineKind, ExecOptions, Executor};
+use ftsl_index::{IndexBuilder, IndexLayout, InvertedIndex, PairConfig};
+use ftsl_model::Corpus;
+use ftsl_predicates::PredicateRegistry;
+use proptest::prelude::*;
+
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+const VOCAB: usize = 12;
+
+fn token(i: usize) -> String {
+    format!("t{i}")
+}
+
+/// Zipf-ish corpus: raw draws in `0..1024` squared down so low token
+/// indices dominate — index 0 appears ~25× as often as index 11.
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    proptest::collection::vec(proptest::collection::vec(0u32..1024, 0..30), 1..12).prop_map(
+        |docs| {
+            let texts: Vec<String> = docs
+                .into_iter()
+                .map(|draws| {
+                    let mut text = String::new();
+                    for d in draws {
+                        let u = f64::from(d) / 1024.0;
+                        let idx = ((u * u) * VOCAB as f64) as usize;
+                        text.push_str(&token(idx.min(VOCAB - 1)));
+                        text.push(' ');
+                    }
+                    text
+                })
+                .collect();
+            Corpus::from_texts(&texts)
+        },
+    )
+}
+
+/// The proximity shapes the rewrite recognizes (plus `window` alone,
+/// which is undirected).
+#[derive(Clone, Copy, Debug)]
+enum Shape {
+    /// `ordered + distance(0)`: adjacency, the phrase core.
+    Phrase,
+    /// `ordered + window(w)`: directed, gap ≤ w.
+    OrderedWindow(u32),
+    /// `distance(d)` alone: symmetric, gap ≤ d+1 either way.
+    Near(u32),
+    /// `window(w)` alone: symmetric.
+    Window(u32),
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Phrase),
+        (1u32..20).prop_map(Shape::OrderedWindow),
+        (0u32..20).prop_map(Shape::Near),
+        (0u32..20).prop_map(Shape::Window),
+    ]
+}
+
+fn render_query(a: &str, b: &str, shape: Shape) -> String {
+    let preds = match shape {
+        Shape::Phrase => "ordered(p1,p2) AND distance(p1,p2,0)".to_string(),
+        Shape::OrderedWindow(w) => format!("ordered(p1,p2) AND window(p1,p2,{w})"),
+        Shape::Near(d) => format!("distance(p1,p2,{d})"),
+        Shape::Window(w) => format!("window(p1,p2,{w})"),
+    };
+    format!("SOME p1 SOME p2 (p1 HAS '{a}' AND p2 HAS '{b}' AND {preds})")
+}
+
+/// Pair-index configurations under test: the default (window 16,
+/// df cutoff 2), cutoff off (every pair indexed), a window small enough
+/// that wide bounds must fall back, and pairs disabled entirely.
+fn pair_configs() -> [PairConfig; 4] {
+    [
+        PairConfig::default(),
+        PairConfig {
+            window: 16,
+            df_cutoff: 0,
+        },
+        PairConfig {
+            window: 4,
+            df_cutoff: 2,
+        },
+        PairConfig::disabled(),
+    ]
+}
+
+/// Pair path vs oracle on one (corpus, index, query): node lists must be
+/// bit-identical on both layouts.
+fn assert_pair_matches_oracle(
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    query: &str,
+    ctx: &str,
+) -> Result<(), ()> {
+    let reg = PredicateRegistry::with_builtins();
+    for layout in [IndexLayout::Decoded, IndexLayout::Blocks] {
+        let paired = Executor::with_options(
+            corpus,
+            index,
+            &reg,
+            ExecOptions {
+                layout,
+                use_pairs: true,
+                ..Default::default()
+            },
+        );
+        let oracle = Executor::with_options(
+            corpus,
+            index,
+            &reg,
+            ExecOptions {
+                layout,
+                use_pairs: false,
+                ..Default::default()
+            },
+        );
+        let got = paired
+            .run_str(query, EngineKind::Ppred)
+            .expect("pair path runs");
+        let want = oracle
+            .run_str(query, EngineKind::Ppred)
+            .expect("oracle runs");
+        prop_assert_eq!(
+            &got.nodes,
+            &want.nodes,
+            "{} {:?}: pair path diverged on {}",
+            ctx,
+            layout,
+            query
+        );
+        // The oracle never reads pair lists — its counters prove it is
+        // the independent position-intersection implementation.
+        prop_assert_eq!(
+            want.counters.pair_entries,
+            0,
+            "{}: oracle touched pairs",
+            ctx
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
+
+    /// Every proximity shape, on every pair configuration, over Zipf
+    /// corpora: the pair rewrite is invisible.
+    #[test]
+    fn pair_path_is_bit_identical_to_intersection_oracle(
+        corpus in arb_corpus(),
+        a in 0..VOCAB,
+        b in 0..VOCAB,
+        shape in arb_shape(),
+    ) {
+        let query = render_query(&token(a), &token(b), shape);
+        for config in pair_configs() {
+            let index = IndexBuilder::new().pair_config(config).build(&corpus);
+            let ctx = format!("window={} cutoff={}", config.window, config.df_cutoff);
+            assert_pair_matches_oracle(&corpus, &index, &query, &ctx)?;
+        }
+    }
+}
+
+// ── deterministic edge cases ─────────────────────────────────────────────
+
+fn check(corpus: &Corpus, query: &str, ctx: &str) {
+    for config in pair_configs() {
+        let index = IndexBuilder::new().pair_config(config).build(corpus);
+        let full = format!("{ctx} window={} cutoff={}", config.window, config.df_cutoff);
+        assert_pair_matches_oracle(corpus, &index, query, &full).unwrap();
+    }
+}
+
+/// A "phrase" whose two slots bind the same token: `a a`. Directed
+/// self-pairs are indexed, so this still takes the fast path — and the
+/// symmetric variants must refuse it (two variables may bind the *same*
+/// occurrence, which pair lists cannot represent).
+#[test]
+fn same_token_phrase_and_near() {
+    let corpus = Corpus::from_texts(&["a a b", "a b a", "a", "b a"]);
+    check(
+        &corpus,
+        &render_query("a", "a", Shape::Phrase),
+        "a-a phrase",
+    );
+    check(&corpus, &render_query("a", "a", Shape::Near(2)), "a-a near");
+    check(
+        &corpus,
+        &render_query("a", "a", Shape::Window(3)),
+        "a-a window",
+    );
+}
+
+/// `window(p1,p2,0)` binds both variables to one offset — satisfiable
+/// exactly when the document has the token at all (p1 = p2). The rewrite
+/// must refuse (pair gaps start at 1) and the fallback must agree.
+#[test]
+fn window_zero_is_position_equality() {
+    let corpus = Corpus::from_texts(&["a b", "b a", "a", "c"]);
+    check(&corpus, &render_query("a", "b", Shape::Window(0)), "w0 a-b");
+    check(&corpus, &render_query("a", "a", Shape::Window(0)), "w0 a-a");
+    // distance(…,0) symmetric: adjacency either way.
+    check(&corpus, &render_query("a", "b", Shape::Near(0)), "d0 a-b");
+}
+
+/// Adjacent repeats: every consecutive `a a` is a self-pair with gap 1;
+/// the minimum-gap semantics must not double-count or miss the overlap.
+#[test]
+fn adjacent_repeats() {
+    let corpus = Corpus::from_texts(&["a a a", "a a", "a", "a b a"]);
+    check(
+        &corpus,
+        &render_query("a", "a", Shape::Phrase),
+        "aaa phrase",
+    );
+    check(
+        &corpus,
+        &render_query("a", "a", Shape::OrderedWindow(2)),
+        "aaa ow2",
+    );
+    check(
+        &corpus,
+        &render_query("a", "a", Shape::Near(1)),
+        "aaa near1",
+    );
+}
+
+/// A phrase longer than any document matches nothing — on both paths.
+#[test]
+fn phrase_longer_than_any_document() {
+    let corpus = Corpus::from_texts(&["a", "b", "a", "b"]);
+    let query = render_query("a", "b", Shape::Phrase);
+    check(&corpus, &query, "1-token docs");
+    let reg = PredicateRegistry::with_builtins();
+    let index = IndexBuilder::new()
+        .pair_config(PairConfig {
+            window: 16,
+            df_cutoff: 0,
+        })
+        .build(&corpus);
+    let exec = Executor::new(&corpus, &index, &reg);
+    let out = exec.run_str(&query, EngineKind::Ppred).expect("runs");
+    assert!(out.nodes.is_empty(), "no document can hold the phrase");
+}
+
+/// A pair list long enough to straddle the 128-entry block boundary:
+/// 300 planted `a b` documents make one (a,b) list spanning 3 blocks.
+/// The block-at-a-time walk must not lose entries at the seams.
+#[test]
+fn pair_list_straddles_block_boundary() {
+    let mut texts: Vec<String> = Vec::new();
+    for i in 0..300 {
+        // Vary the gap so the distance column is not constant: even docs
+        // adjacent, odd docs one filler apart.
+        if i % 2 == 0 {
+            texts.push("a b".to_string());
+        } else {
+            texts.push("a x b".to_string());
+        }
+    }
+    texts.push("b a".to_string());
+    let corpus = Corpus::from_texts(&texts);
+    check(
+        &corpus,
+        &render_query("a", "b", Shape::Phrase),
+        "300-doc phrase",
+    );
+    check(
+        &corpus,
+        &render_query("a", "b", Shape::OrderedWindow(2)),
+        "300-doc ow",
+    );
+    check(
+        &corpus,
+        &render_query("a", "b", Shape::Near(1)),
+        "300-doc near",
+    );
+
+    // And prove the fast path actually engaged: with pairs on, the walk
+    // reads pair postings; the planted phrase resolves without decoding
+    // any position payload.
+    let reg = PredicateRegistry::with_builtins();
+    let index = IndexBuilder::new().build(&corpus);
+    let exec = Executor::with_options(
+        &corpus,
+        &index,
+        &reg,
+        ExecOptions {
+            layout: IndexLayout::Blocks,
+            ..Default::default()
+        },
+    );
+    let out = exec
+        .run_str(&render_query("a", "b", Shape::Phrase), EngineKind::Ppred)
+        .expect("runs");
+    // The 150 even docs are adjacent; odd docs (gap 2) and the reversed
+    // `b a` are not phrase matches.
+    assert_eq!(out.nodes.len(), 150);
+    assert!(out.counters.pair_entries > 0, "pair path engaged");
+    assert_eq!(out.counters.positions_decoded, 0, "no positions touched");
+}

@@ -15,6 +15,7 @@
 
 use crate::block::BlockList;
 use crate::index::InvertedIndex;
+use crate::pair::{PairConfig, PairIndex};
 use crate::postings::PostingList;
 use crate::stats::IndexStats;
 use ftsl_model::{Corpus, Document, Position, TokenId};
@@ -23,6 +24,7 @@ use ftsl_model::{Corpus, Document, Position, TokenId};
 #[derive(Clone, Debug, Default)]
 pub struct IndexBuilder {
     threads: Option<usize>,
+    pairs: Option<PairConfig>,
 }
 
 /// Below this many documents a parallel build costs more in thread setup
@@ -43,6 +45,14 @@ impl IndexBuilder {
         self
     }
 
+    /// Override the word-pair auxiliary-index configuration. The default
+    /// builds pairs with [`PairConfig::default`] (window 16, df cutoff 2);
+    /// pass [`PairConfig::disabled`] to skip pair construction entirely.
+    pub fn pair_config(mut self, config: PairConfig) -> Self {
+        self.pairs = Some(config);
+        self
+    }
+
     /// Build the index.
     pub fn build(&self, corpus: &Corpus) -> InvertedIndex {
         let vocab = corpus.interner().len();
@@ -58,12 +68,20 @@ impl IndexBuilder {
         let blocks = compress_lists(&lists, threads);
         let any_blocks = BlockList::from_posting(&any);
         let stats = IndexStats::compute(corpus, &lists, &any);
+        // The pair auxiliary index needs this build's document frequencies
+        // for its coverage cutoff — a second pass over the documents once
+        // the token lists exist. Building it here (rather than in the live
+        // layer) means every segment seal and tiered merge gets pair
+        // acceleration for free.
+        let dfs: Vec<u32> = lists.iter().map(|l| l.num_entries() as u32).collect();
+        let pairs = PairIndex::build(docs, &dfs, self.pairs.unwrap_or_default());
         InvertedIndex {
             lists,
             any,
             blocks,
             any_blocks,
             stats,
+            pairs,
             ..InvertedIndex::default()
         }
     }

@@ -58,6 +58,13 @@ pub struct AccessCounters {
     /// fell below the shared heap's k-th score. Always 0 for single-index
     /// evaluation.
     pub segments_skipped: u64,
+    /// Entries consumed from the word-pair auxiliary index
+    /// ([`crate::pair::PairIndex`]). Pair entries *also* count in
+    /// [`Self::entries`] — the pair list is just another physical list —
+    /// so totals stay comparable across engines; this field attributes how
+    /// much of the work rode the accelerated path (0 means the query fell
+    /// back to, or never needed, position intersection).
+    pub pair_entries: u64,
 }
 
 impl AccessCounters {
@@ -83,6 +90,7 @@ impl AddAssign for AccessCounters {
         self.skipped += rhs.skipped;
         self.blocks_skipped += rhs.blocks_skipped;
         self.segments_skipped += rhs.segments_skipped;
+        self.pair_entries += rhs.pair_entries;
     }
 }
 
@@ -108,6 +116,7 @@ mod tests {
             blocks_skipped: 5,
             positions_decoded: 6,
             segments_skipped: 7,
+            pair_entries: 8,
         };
         let b = AccessCounters {
             entries: 10,
@@ -117,6 +126,7 @@ mod tests {
             blocks_skipped: 50,
             positions_decoded: 60,
             segments_skipped: 70,
+            pair_entries: 80,
         };
         let c = a + b;
         assert_eq!(
@@ -129,6 +139,7 @@ mod tests {
                 blocks_skipped: 55,
                 positions_decoded: 66,
                 segments_skipped: 77,
+                pair_entries: 88,
             }
         );
         // Skipped entries are not decode work.

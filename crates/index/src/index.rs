@@ -2,6 +2,7 @@
 
 use crate::block::{BlockCursor, BlockList};
 use crate::cursor::ListCursor;
+use crate::pair::PairIndex;
 use crate::postings::PostingList;
 use crate::residency::{DecodeCache, DecodeCacheStats, DecodedView, Residency};
 use crate::scored::{EntryScorer, ScoredBlocks, ScoredCursor, ScoredList};
@@ -51,6 +52,10 @@ pub struct MemoryFootprint {
     /// `t` of these alive while it runs, so serving cost scales with
     /// concurrent cursors, not with corpus size.
     pub cursor_scratch: usize,
+    /// Bytes held by the word-pair auxiliary index (packed pair lists,
+    /// skip headers, key array, coverage bitmap). Always resident —
+    /// residency changes never drop it. Zero when pairs are disabled.
+    pub pairs: usize,
     /// The residency policy the numbers were measured under.
     pub residency: Residency,
 }
@@ -60,7 +65,7 @@ impl MemoryFootprint {
     /// inside `compressed`; `cursor_scratch` is per-open-cursor transient
     /// state, not index residency — neither is double-counted here.
     pub fn total(&self) -> usize {
-        self.compressed + self.decoded + self.cache
+        self.compressed + self.decoded + self.cache + self.pairs
     }
 }
 
@@ -69,23 +74,25 @@ impl std::fmt::Display for MemoryFootprint {
         match self.residency {
             Residency::Dual => write!(
                 f,
-                "{}: compressed={}B (headers {}B) decoded={}B total={}B \
-                 (+{}B/open cursor)",
+                "{}: compressed={}B (headers {}B) decoded={}B pairs={}B \
+                 total={}B (+{}B/open cursor)",
                 self.residency,
                 self.compressed,
                 self.block_headers,
                 self.decoded,
+                self.pairs,
                 self.total(),
                 self.cursor_scratch
             ),
             Residency::BlocksOnly => write!(
                 f,
-                "{}: compressed={}B (headers {}B) decode-cache={}B total={}B \
-                 (+{}B/open cursor)",
+                "{}: compressed={}B (headers {}B) decode-cache={}B pairs={}B \
+                 total={}B (+{}B/open cursor)",
                 self.residency,
                 self.compressed,
                 self.block_headers,
                 self.cache,
+                self.pairs,
                 self.total(),
                 self.cursor_scratch
             ),
@@ -117,6 +124,7 @@ pub struct InvertedIndex {
     pub(crate) stats: IndexStats,
     pub(crate) residency: Residency,
     pub(crate) cache: DecodeCache,
+    pub(crate) pairs: PairIndex,
 }
 
 fn empty_list() -> &'static PostingList {
@@ -347,8 +355,15 @@ impl InvertedIndex {
                 + self.any.resident_bytes(),
             cache: self.cache.resident_bytes(),
             cursor_scratch: BlockCursor::scratch_bytes(),
+            pairs: self.pairs.resident_bytes(),
             residency: self.residency,
         }
+    }
+
+    /// The word-pair auxiliary index (empty — every lookup `NotCovered` —
+    /// when pairs are disabled or the index predates the pair format).
+    pub fn pairs(&self) -> &PairIndex {
+        &self.pairs
     }
 
     /// Document frequency of a token (`df(t)` in Section 3.1). Counted on

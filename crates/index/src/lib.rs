@@ -31,7 +31,8 @@
 //! per-segment bitmaps ([`segment::DeleteSet`]), compacts segments with a
 //! background tiered merge, and serves readers through point-in-time
 //! [`live::Snapshot`]s. [`manifest`] persists the whole segment set
-//! atomically (format v6, embedding v5 segment images).
+//! atomically (format v8, embedding v7 segment images whose optional
+//! sections carry the [`pair`] auxiliary index).
 
 #![warn(missing_docs)]
 
@@ -43,6 +44,7 @@ pub mod cursor;
 pub mod index;
 pub mod live;
 pub mod manifest;
+pub mod pair;
 pub mod persist;
 pub mod postings;
 pub mod residency;
@@ -57,6 +59,7 @@ pub use counters::AccessCounters;
 pub use cursor::{ListCursor, PostingCursor};
 pub use index::{IndexLayout, InvertedIndex, MemoryFootprint};
 pub use live::{LiveConfig, LiveIndex, SegmentReport, Snapshot, SnapshotSegment};
+pub use pair::{PairConfig, PairCursor, PairIndex, PairList, PairLookup};
 pub use postings::PostingList;
 pub use residency::{DecodeCacheStats, DecodedView, Residency};
 pub use scored::{EntryScorer, ScoredBlocks, ScoredCursor, ScoredList};

@@ -1,4 +1,4 @@
-//! Manifest persistence for live, segmented indexes — format **v6**.
+//! Manifest persistence for live, segmented indexes — format **v8**.
 //!
 //! A [`crate::live::LiveIndex`] is more than one inverted index: it is a
 //! *segment set* (each segment an ordinary v5 index image over a local
@@ -10,14 +10,19 @@
 //! ## Format versioning
 //!
 //! The manifest continues the version line of [`crate::persist`]: same
-//! `"FTSI"` magic, version **6** (v4 was the manifest built on v3 varint
-//! segment images; v6 embeds the bit-packed v5 images). [`decode`] rejects
-//! v1–v5 (bare-index formats and the retired v4 manifest) and unknown
-//! versions loudly with [`PersistError::BadVersion`] — and, symmetrically,
-//! the bare-index [`crate::persist::decode`] rejects a v6 manifest the
-//! same way. Neither ever panics on foreign bytes.
+//! `"FTSI"` magic, version **8** (v4 was the manifest built on v3 varint
+//! segment images; v6 embedded the bit-packed v5 images; v8 embeds v7
+//! images, whose optional-section table carries the word-pair auxiliary
+//! index). The outer layout of v6 and v8 is identical — only the embedded
+//! image format differs — so [`decode`] accepts **both**: old v6 manifests
+//! keep loading (their v5 images decode with an empty pair index), and the
+//! embedded [`crate::persist::decode`] handles each image's own version.
+//! v1–v5 and v7 (bare-index formats and the retired v4 manifest) and
+//! unknown versions are rejected loudly with [`PersistError::BadVersion`]
+//! — and, symmetrically, the bare-index decoder rejects a v6/v8 manifest
+//! the same way. Neither ever panics on foreign bytes.
 //!
-//! Layout of a v6 buffer (integers little-endian):
+//! Layout of a v8 buffer (integers little-endian):
 //!
 //! ```text
 //! magic:u32  version:u32  next_global:u32  next_segment_id:u64
@@ -30,7 +35,8 @@
 //!   per doc: label_len:u32 label:[u8]
 //!            num_tokens:u32
 //!            num_tokens × (token:u32 offset:u32 sentence:u32 paragraph:u32)
-//!   index_len:u32  index:[u8]                 (a v5 image, persist::decode)
+//!   index_len:u32  index:[u8]                 (a v7 image, persist::decode;
+//!                                              v5 inside a v6 manifest)
 //! vocab_total:u32  per token: len:u32 name:[u8]   (shared vocabulary)
 //! ```
 //!
@@ -51,9 +57,12 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x4654_5349; // "FTSI", shared with persist
-const VERSION: u32 = 6;
+const VERSION: u32 = 8;
+/// The pre-pair-section manifest version [`decode`] still accepts (same
+/// outer layout, v5 segment images inside).
+const LEGACY_VERSION: u32 = 6;
 
-/// Serialize a live index to a v6 manifest buffer. The write buffer is
+/// Serialize a live index to a v8 manifest buffer. The write buffer is
 /// flushed first, so the image covers every document added so far.
 pub fn encode(live: &LiveIndex) -> Bytes {
     let (sealed, next_global, next_segment_id) = live.sealed_parts();
@@ -111,14 +120,14 @@ fn encode_segment(buf: &mut BytesMut, entry: &SealedEntry) {
     buf.put_slice(image.as_slice());
 }
 
-/// Deserialize a v6 manifest with default [`LiveConfig`].
+/// Deserialize a v6 or v8 manifest with default [`LiveConfig`].
 pub fn decode(buf: impl Buf) -> Result<LiveIndex, PersistError> {
     decode_with(buf, LiveConfig::default())
 }
 
-/// Deserialize a v6 manifest into a live index with explicit configuration.
-/// v1–v5 buffers (bare-index formats and the retired v4 manifest) and
-/// unknown versions are rejected
+/// Deserialize a v6 or v8 manifest into a live index with explicit
+/// configuration. v1–v5 and v7 buffers (bare-index formats and the retired
+/// v4 manifest) and unknown versions are rejected
 /// with [`PersistError::BadVersion`]; structural lies (non-ascending global
 /// ids, bitmap/corpus disagreements, out-of-range token ids) with
 /// [`PersistError::Corrupt`]. Never panics on foreign bytes.
@@ -128,7 +137,7 @@ pub fn decode_with(mut buf: impl Buf, config: LiveConfig) -> Result<LiveIndex, P
         return Err(PersistError::BadMagic(magic));
     }
     let version = get_u32(&mut buf)?;
-    if version != VERSION {
+    if version != VERSION && version != LEGACY_VERSION {
         return Err(PersistError::BadVersion(version));
     }
     let next_global = get_u32(&mut buf)?;
@@ -299,7 +308,7 @@ pub fn load(path: &Path, config: LiveConfig) -> Result<LiveIndex, LoadError> {
 pub enum LoadError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// The bytes were not a valid v6 manifest.
+    /// The bytes were not a valid manifest.
     Persist(PersistError),
 }
 
@@ -445,8 +454,26 @@ mod tests {
         let bytes = encode(&sample_live());
         assert!(matches!(
             persist::decode(bytes),
-            Err(PersistError::BadVersion(6))
+            Err(PersistError::BadVersion(8))
         ));
+    }
+
+    #[test]
+    fn legacy_v6_manifests_still_load() {
+        // The v6 → v8 bump changed only the *embedded image* format (v5
+        // images have no optional-section table); the outer manifest layout
+        // is unchanged. An old manifest is therefore a current buffer with
+        // the version field rewound and each embedded image rewound to v5 —
+        // which a pair-disabled build produces minus its empty section
+        // table. Rewriting every embedded image in place is fiddly, so this
+        // test checks the two layers separately: the outer field here, the
+        // v5 image path in persist's `v5_images_without_sections_still_load`.
+        let live = sample_live();
+        let bytes = encode(&live);
+        let mut raw = bytes.to_vec();
+        raw[4..8].copy_from_slice(&LEGACY_VERSION.to_le_bytes());
+        let back = decode(&raw[..]).expect("v6 manifest must still load");
+        assert_same(&live, &back);
     }
 
     #[test]

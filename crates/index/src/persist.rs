@@ -18,8 +18,13 @@
 //! * **v3** (retired): v2's layout with per-block *impact metadata*
 //!   (`max_tf` in each block header).
 //! * **v4** (retired): the live-index *manifest* built on v3 segment
-//!   images — see [`crate::manifest`], whose current format is **v6**.
-//! * **v5** (current): v3's outer structure, but each list's data stream
+//!   images — see [`crate::manifest`], whose current format is **v8**
+//!   (with **v6** still readable). Version numbers are shared across the
+//!   bare-index and manifest lineages precisely so that a buffer's version
+//!   field identifies its format unambiguously; [`decode`] therefore
+//!   rejects 6 and 8 (manifest formats) with `BadVersion`, never
+//!   misparsing.
+//! * **v5** (readable): v3's outer structure, but each list's data stream
 //!   holds the **bit-packed frame-of-reference block encoding** of
 //!   [`crate::block`]: per block, an absolute base id, three frame widths,
 //!   and three fixed-width [`crate::bitpack`] frames (id deltas, `tf − 1`,
@@ -30,8 +35,15 @@
 //!   ([`crate::block::BlockList::try_to_posting`]). v1–v4 buffers are
 //!   rejected with `BadVersion(..)`; there is no migration path because
 //!   older images can be regenerated from their corpora.
+//! * **v7** (current): v5 followed by a table of **optional sections** —
+//!   each a `(section_id, byte_len)` header plus payload. Section id 1 is
+//!   the word-pair auxiliary index ([`crate::pair::PairIndex`]); readers
+//!   reject *unknown* section ids loudly with `Corrupt(..)` rather than
+//!   skipping data they cannot audit. v5 buffers (no section table) still
+//!   load, with an empty pair index. (v6 is the manifest's number, skipped
+//!   here — see the v4 note.)
 //!
-//! Layout of a v5 buffer (all integers little-endian):
+//! Layout of a v7 buffer (all integers little-endian):
 //!
 //! ```text
 //! magic:u32  version:u32  stats:5×u64  num_token_lists:u32
@@ -39,16 +51,35 @@
 //!   entries:u32  positions:u64  num_blocks:u32
 //!   num_blocks × (max_node:u32 byte_start:u32 first_entry:u32 max_tf:u32)
 //!   data_len:u32  data:[u8]          (v5 block encoding, see docs/FORMAT.md)
+//! num_sections:u32                   (absent entirely in v5 buffers)
+//! per section: section_id:u32  byte_len:u32  payload:[u8]
+//! ```
+//!
+//! The pair-index section payload (section id 1):
+//!
+//! ```text
+//! window:u32  df_cutoff:u32
+//! vocab:u32  coverage bitmap: ⌈vocab/8⌉ bytes (bit t ⇔ df(t) ≥ cutoff)
+//! num_keys:u32
+//! per key (keys strictly increasing lexicographically):
+//!   token_a:u32  token_b:u32  entries:u32  num_blocks:u32
+//!   num_blocks × (max_node:u32 byte_start:u32 first_entry:u32 min_gap:u32)
+//!   data_len:u32  data:[u8]          (pair block encoding, see FORMAT.md)
 //! ```
 
 use crate::block::{BlockList, BlockMeta};
 use crate::index::InvertedIndex;
+use crate::pair::{PairBlockMeta, PairConfig, PairIndex, PairList};
 use crate::stats::IndexStats;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ftsl_model::NodeId;
 
 const MAGIC: u32 = 0x4654_5349; // "FTSI"
-const VERSION: u32 = 5;
+const VERSION: u32 = 7;
+/// The pre-section bare-index version [`decode`] still accepts.
+const LEGACY_VERSION: u32 = 5;
+/// Optional-section id of the word-pair auxiliary index.
+const SECTION_PAIRS: u32 = 1;
 
 /// Errors produced when decoding a persisted index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,8 +107,9 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-/// Serialize an index to a byte buffer (format v5: bit-packed
-/// frame-of-reference blocks with per-block skip/impact headers).
+/// Serialize an index to a byte buffer (format v7: bit-packed
+/// frame-of-reference blocks with per-block skip/impact headers, followed
+/// by the optional-section table).
 pub fn encode(index: &InvertedIndex) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
@@ -97,7 +129,63 @@ pub fn encode(index: &InvertedIndex) -> Bytes {
         encode_list(&mut buf, list);
     }
     encode_list(&mut buf, &index.any_blocks);
+    encode_sections(&mut buf, index);
     buf.freeze()
+}
+
+/// Write the optional-section table. A disabled pair index writes an empty
+/// table rather than an empty section, so encode∘decode∘encode stays a
+/// fixpoint (a v5 load yields a disabled pair index).
+fn encode_sections(buf: &mut BytesMut, index: &InvertedIndex) {
+    let pairs = index.pairs();
+    if pairs.config().window == 0 {
+        buf.put_u32_le(0);
+        return;
+    }
+    buf.put_u32_le(1);
+    buf.put_u32_le(SECTION_PAIRS);
+    let payload = encode_pair_section(pairs).freeze();
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload.as_slice());
+}
+
+fn encode_pair_section(pairs: &PairIndex) -> BytesMut {
+    let (keys, lists, frequent) = pairs.parts();
+    let config = pairs.config();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(config.window);
+    buf.put_u32_le(config.df_cutoff);
+    buf.put_u32_le(frequent.len() as u32);
+    let mut byte = 0u8;
+    for (i, &covered) in frequent.iter().enumerate() {
+        if covered {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if frequent.len() % 8 != 0 {
+        buf.put_u8(byte);
+    }
+    buf.put_u32_le(keys.len() as u32);
+    for (&(a, b), list) in keys.iter().zip(lists) {
+        let (metas, data, entries) = list.parts();
+        buf.put_u32_le(a);
+        buf.put_u32_le(b);
+        buf.put_u32_le(entries);
+        buf.put_u32_le(metas.len() as u32);
+        for m in metas {
+            buf.put_u32_le(m.max_node.0);
+            buf.put_u32_le(m.byte_start);
+            buf.put_u32_le(m.first_entry);
+            buf.put_u32_le(m.min_gap);
+        }
+        buf.put_u32_le(data.len() as u32);
+        buf.put_slice(data);
+    }
+    buf
 }
 
 fn encode_list(buf: &mut BytesMut, list: &BlockList) {
@@ -122,7 +210,7 @@ pub fn decode(mut buf: impl Buf) -> Result<InvertedIndex, PersistError> {
         return Err(PersistError::BadMagic(magic));
     }
     let version = get_u32(&mut buf)?;
-    if version != VERSION {
+    if version != VERSION && version != LEGACY_VERSION {
         return Err(PersistError::BadVersion(version));
     }
     let mut fields = [0usize; 5];
@@ -149,14 +237,101 @@ pub fn decode(mut buf: impl Buf) -> Result<InvertedIndex, PersistError> {
     }
     let any_blocks = decode_list(&mut buf)?;
     let any = any_blocks.try_to_posting().map_err(PersistError::Corrupt)?;
+    // v5 buffers end here; the pair index defaults to disabled, so every
+    // lookup reports NotCovered and queries take the intersection path.
+    let pairs = if version == LEGACY_VERSION {
+        PairIndex::default()
+    } else {
+        decode_sections(&mut buf)?
+    };
     Ok(InvertedIndex {
         lists,
         any,
         blocks,
         any_blocks,
         stats,
+        pairs,
         ..InvertedIndex::default()
     })
+}
+
+/// Read the optional-section table. Unknown section ids are rejected
+/// loudly: a section this reader cannot validate is a section it must not
+/// silently drop (the writer considered it part of the index).
+fn decode_sections(buf: &mut impl Buf) -> Result<PairIndex, PersistError> {
+    let num_sections = get_u32(buf)?;
+    let mut pairs: Option<PairIndex> = None;
+    for _ in 0..num_sections {
+        let id = get_u32(buf)?;
+        let byte_len = get_u32(buf)? as usize;
+        let payload = get_bytes(buf, byte_len)?;
+        match id {
+            SECTION_PAIRS => {
+                if pairs.is_some() {
+                    return Err(PersistError::Corrupt("duplicate pair section"));
+                }
+                pairs = Some(decode_pair_section(&payload[..])?);
+            }
+            _ => return Err(PersistError::Corrupt("unknown optional section")),
+        }
+    }
+    Ok(pairs.unwrap_or_default())
+}
+
+fn decode_pair_section(mut buf: &[u8]) -> Result<PairIndex, PersistError> {
+    let buf = &mut buf;
+    let window = get_u32(buf)?;
+    let df_cutoff = get_u32(buf)?;
+    if window == 0 {
+        // Disabled pair indexes are expressed as an *absent* section.
+        return Err(PersistError::Corrupt("pair section with zero window"));
+    }
+    let vocab = get_u32(buf)? as usize;
+    let bitmap = get_bytes(buf, vocab.div_ceil(8))?;
+    if !vocab.is_multiple_of(8) {
+        // Canonical encoding: bits past `vocab` in the last byte are zero,
+        // keeping the byte image of a given index unique.
+        let last = bitmap[vocab / 8];
+        if last >> (vocab % 8) != 0 {
+            return Err(PersistError::Corrupt("stray bits in pair coverage bitmap"));
+        }
+    }
+    let frequent: Vec<bool> = (0..vocab)
+        .map(|i| bitmap[i / 8] >> (i % 8) & 1 == 1)
+        .collect();
+    let num_keys = get_u32(buf)? as usize;
+    let mut keys = Vec::with_capacity(num_keys);
+    let mut lists = Vec::with_capacity(num_keys);
+    for _ in 0..num_keys {
+        let a = get_u32(buf)?;
+        let b = get_u32(buf)?;
+        let entries = get_u32(buf)?;
+        let num_blocks = get_u32(buf)? as usize;
+        let mut metas = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            let max_node = NodeId(get_u32(buf)?);
+            let byte_start = get_u32(buf)?;
+            let first_entry = get_u32(buf)?;
+            let min_gap = get_u32(buf)?;
+            metas.push(PairBlockMeta {
+                max_node,
+                byte_start,
+                first_entry,
+                min_gap,
+            });
+        }
+        let data_len = get_u32(buf)? as usize;
+        let data = get_bytes(buf, data_len)?;
+        let list = PairList::from_parts(metas, data, entries);
+        list.try_to_entries(window).map_err(PersistError::Corrupt)?;
+        keys.push((a, b));
+        lists.push(list);
+    }
+    if buf.remaining() != 0 {
+        return Err(PersistError::Corrupt("trailing bytes in pair section"));
+    }
+    PairIndex::from_parts(PairConfig { window, df_cutoff }, keys, lists, frequent)
+        .map_err(PersistError::Corrupt)
 }
 
 fn decode_list(buf: &mut impl Buf) -> Result<BlockList, PersistError> {
@@ -185,18 +360,7 @@ fn decode_list(buf: &mut impl Buf) -> Result<BlockList, PersistError> {
         });
     }
     let data_len = get_u32(buf)? as usize;
-    if buf.remaining() < data_len {
-        return Err(PersistError::Truncated);
-    }
-    let mut data = vec![0u8; data_len];
-    let mut filled = 0usize;
-    while filled < data_len {
-        let chunk = buf.chunk();
-        let take = chunk.len().min(data_len - filled);
-        data[filled..filled + take].copy_from_slice(&chunk[..take]);
-        buf.advance(take);
-        filled += take;
-    }
+    let data = get_bytes(buf, data_len)?;
     for meta in &metas {
         if meta.byte_start as usize > data_len || meta.first_entry > entries {
             return Err(PersistError::Corrupt("block header out of range"));
@@ -210,6 +374,22 @@ fn get_u32(buf: &mut impl Buf) -> Result<u32, PersistError> {
         return Err(PersistError::Truncated);
     }
     Ok(buf.get_u32_le())
+}
+
+fn get_bytes(buf: &mut impl Buf, len: usize) -> Result<Vec<u8>, PersistError> {
+    if buf.remaining() < len {
+        return Err(PersistError::Truncated);
+    }
+    let mut data = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        let chunk = buf.chunk();
+        let take = chunk.len().min(len - filled);
+        data[filled..filled + take].copy_from_slice(&chunk[..take]);
+        buf.advance(take);
+        filled += take;
+    }
+    Ok(data)
 }
 
 #[cfg(test)]
@@ -246,6 +426,115 @@ mod tests {
                 matches!(decode(buf.freeze()), Err(PersistError::BadVersion(got)) if got == v),
                 "version {v} must be rejected"
             );
+        }
+    }
+
+    #[test]
+    fn manifest_versions_are_not_bare_indexes() {
+        // 6 and 8 belong to the manifest lineage (crate::manifest); a bare
+        // index decoder must refuse them rather than misparse.
+        for v in [6u32, 8] {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(MAGIC);
+            buf.put_u32_le(v);
+            assert!(
+                matches!(decode(buf.freeze()), Err(PersistError::BadVersion(got)) if got == v),
+                "manifest version {v} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v5_images_without_sections_still_load() {
+        let texts: Vec<String> = (0..30)
+            .map(|i| format!("alpha beta t{} alpha", i % 6))
+            .collect();
+        let corpus = Corpus::from_texts(&texts);
+        // A disabled pair index writes an empty section table, so a legacy
+        // v5 image is exactly that buffer minus the trailing `num_sections`
+        // word, with the version field rewound.
+        let index = IndexBuilder::new()
+            .pair_config(crate::pair::PairConfig::disabled())
+            .build(&corpus);
+        let bytes = encode(&index);
+        let mut raw = bytes.as_slice()[..bytes.len() - 4].to_vec();
+        raw[4..8].copy_from_slice(&5u32.to_le_bytes());
+        let decoded = decode(&raw[..]).expect("v5 image must still load");
+        assert_eq!(decoded.stats(), index.stats());
+        assert_eq!(decoded.lists, index.lists);
+        assert!(decoded.pairs().is_empty());
+        assert_eq!(decoded.pairs().config().window, 0);
+    }
+
+    #[test]
+    fn pair_section_roundtrips() {
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("alpha beta gamma{} alpha beta", i % 3))
+            .collect();
+        let corpus = Corpus::from_texts(&texts);
+        let index = IndexBuilder::new().build(&corpus);
+        assert!(
+            !index.pairs().is_empty(),
+            "test needs a populated pair index"
+        );
+        let decoded = decode(encode(&index)).expect("decode");
+        let (got, want) = (decoded.pairs(), index.pairs());
+        assert_eq!(got.config(), want.config());
+        assert_eq!(got.num_keys(), want.num_keys());
+        assert_eq!(got.num_entries(), want.num_entries());
+        let window = want.config().window;
+        for ((ga, gb, gl), (wa, wb, wl)) in got.iter().zip(want.iter()) {
+            assert_eq!((ga, gb), (wa, wb));
+            assert_eq!(
+                gl.try_to_entries(window).unwrap(),
+                wl.try_to_entries(window).unwrap()
+            );
+        }
+        for t in 0..corpus.interner().len() {
+            let tok = ftsl_model::TokenId(t as u32);
+            assert_eq!(got.covers(tok), want.covers(tok), "coverage of token {t}");
+        }
+    }
+
+    #[test]
+    fn unknown_sections_are_rejected_loudly() {
+        let corpus = Corpus::from_texts(&["a b c"]);
+        let index = IndexBuilder::new()
+            .pair_config(crate::pair::PairConfig::disabled())
+            .build(&corpus);
+        let bytes = encode(&index);
+        // Rewrite the empty section table into one section of unknown id.
+        let mut raw = bytes.as_slice()[..bytes.len() - 4].to_vec();
+        raw.extend_from_slice(&1u32.to_le_bytes()); // num_sections
+        raw.extend_from_slice(&99u32.to_le_bytes()); // unknown id
+        raw.extend_from_slice(&0u32.to_le_bytes()); // empty payload
+        assert!(matches!(
+            decode(&raw[..]),
+            Err(PersistError::Corrupt("unknown optional section"))
+        ));
+    }
+
+    #[test]
+    fn corrupt_pair_sections_are_errors_not_panics() {
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("alpha beta gamma{} alpha beta", i % 3))
+            .collect();
+        let corpus = Corpus::from_texts(&texts);
+        let index = IndexBuilder::new().build(&corpus);
+        let bytes = encode(&index);
+        assert!(!index.pairs().is_empty());
+        // Truncations anywhere in the buffer (section table included) and
+        // bit flips across the trailing pair section must never panic.
+        for cut in (bytes.len().saturating_sub(64)..bytes.len()).rev() {
+            let _ = decode(&bytes.as_slice()[..cut]);
+        }
+        let section_start = bytes.len().saturating_sub(96);
+        for at in section_start..bytes.len() {
+            for bit in 0..8 {
+                let mut raw = bytes.as_slice().to_vec();
+                raw[at] ^= 1 << bit;
+                let _ = decode(&raw[..]); // must not panic
+            }
         }
     }
 

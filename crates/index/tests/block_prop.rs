@@ -40,8 +40,17 @@ fn arb_entries() -> impl Strategy<Value = Vec<(NodeId, Vec<Position>)>> {
     })
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(192)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     #[test]
     fn compression_roundtrips_exactly(entries in arb_entries()) {
@@ -104,7 +113,7 @@ proptest! {
     fn persisted_v3_roundtrips_and_rejects_other_versions(
         docs in proptest::collection::vec(
             proptest::collection::vec(0usize..7, 0..30), 0..12),
-        fake_version in 4u32..1000,
+        fake_version in 9u32..1000,
     ) {
         const VOCAB: [&str; 7] = ["ant", "bee", "cat", "dog", "elk", "fox", "gnu"];
         let texts: Vec<String> = docs
@@ -130,10 +139,11 @@ proptest! {
         prop_assert_eq!(decoded.any(), index.any());
 
         // Corrupting the version field must fail loudly, not misparse:
-        // retired v1/v2 and any unknown version decode to BadVersion, never
-        // a panic or a silent misparse.
+        // retired v1–v4, the manifest's 6/8, and any unknown version decode
+        // to BadVersion, never a panic or a silent misparse. (5 and 7 are
+        // the readable bare-index versions and are excluded here.)
         let mut raw = bytes.as_slice().to_vec();
-        for version in [1u32, 2, fake_version] {
+        for version in [1u32, 2, 3, 4, 6, 8, fake_version] {
             raw[4..8].copy_from_slice(&version.to_le_bytes());
             let err = persist::decode(&raw[..]).expect_err("non-v3 version");
             prop_assert_eq!(err, persist::PersistError::BadVersion(version));

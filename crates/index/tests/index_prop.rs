@@ -26,8 +26,17 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
     )
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     #[test]
     fn index_is_the_exact_transpose_of_the_corpus(corpus in arb_corpus()) {

@@ -61,8 +61,17 @@ fn arb_query(depth: u32) -> BoxedStrategy<SurfaceQuery> {
     .boxed()
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     #[test]
     fn render_parse_roundtrip(q in arb_query(4)) {

@@ -63,6 +63,7 @@ pub mod bool_scores;
 pub mod classic;
 pub mod live;
 pub mod pra;
+pub mod proximity;
 pub mod relation;
 pub mod stats;
 pub mod stream;
@@ -71,6 +72,7 @@ pub mod topk;
 
 pub use live::SnapshotStats;
 pub use pra::PraModel;
+pub use proximity::closeness;
 pub use relation::{ScoredEvaluator, ScoredRelation};
 pub use stats::ScoreStats;
 pub use stream::{

@@ -40,8 +40,17 @@ fn per_node_totals(ev: &ScoredEvaluator<'_, TfIdfModel>, expr: &AlgExpr) -> BTre
     totals
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     /// Join conserves the per-node total: for nodes where both sides have
     /// tuples, total(join) = total(left) + total(right).

@@ -29,8 +29,17 @@ fn arb_corpus() -> impl Strategy<Value = Corpus> {
     )
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     /// Conjunctive: π_CNode(R_t1 ⋈ ... ⋈ R_tk) scores equal classic TF-IDF
     /// on the nodes containing all tokens.

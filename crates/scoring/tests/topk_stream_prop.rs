@@ -104,8 +104,17 @@ fn assert_prefix(got: &[(NodeId, f64)], oracle: &[(NodeId, f64)], k: usize, tol:
     }
 }
 
+/// Property-case count: `FTSL_PROPTEST_CASES` raises it for the scheduled
+/// deep-fuzz CI job; the default keeps PR builds quick.
+fn prop_cases() -> u32 {
+    std::env::var("FTSL_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
 
     /// Pruned TF-IDF union == first k of classic cosine TF-IDF.
     #[test]

@@ -30,6 +30,8 @@ struct Entry {
     version: u64,
     /// The normalized (trimmed) query text plus the request shape.
     query: String,
+    /// Second token of a NEAR key; empty for single-text requests.
+    query2: String,
     kind: KeyKind,
     /// The shared answer.
     value: Arc<Answer>,
@@ -44,25 +46,43 @@ struct Entry {
 enum KeyKind {
     Search,
     TopK { model_tag: u8, k: usize },
+    Near { bound: u32, ordered: bool, k: usize },
 }
 
-fn key_of(req: &QueryRequest) -> (KeyKind, &str) {
+fn key_of(req: &QueryRequest) -> (KeyKind, &str, &str) {
     match req {
-        QueryRequest::Search { query } => (KeyKind::Search, query.trim()),
+        QueryRequest::Search { query } => (KeyKind::Search, query.trim(), ""),
         QueryRequest::TopK { query, model, k } => (
             KeyKind::TopK {
                 model_tag: *model as u8,
                 k: *k,
             },
             query.trim(),
+            "",
+        ),
+        QueryRequest::Near {
+            first,
+            second,
+            bound,
+            ordered,
+            k,
+        } => (
+            KeyKind::Near {
+                bound: *bound,
+                ordered: *ordered,
+                k: *k,
+            },
+            first.trim(),
+            second.trim(),
         ),
     }
 }
 
-fn hash_key(kind: KeyKind, query: &str, version: u64) -> u64 {
+fn hash_key(kind: KeyKind, query: &str, query2: &str, version: u64) -> u64 {
     let mut h = DefaultHasher::new();
     kind.hash(&mut h);
     query.hash(&mut h);
+    query2.hash(&mut h);
     version.hash(&mut h);
     h.finish()
 }
@@ -135,12 +155,17 @@ impl ResultCache {
     /// Look up `req` at snapshot `version`. A hit refreshes the entry's
     /// LRU stamp and returns a shared handle; allocation-free either way.
     pub fn lookup(&self, req: &QueryRequest, version: u64) -> Option<Arc<Answer>> {
-        let (kind, query) = key_of(req);
-        let hash = hash_key(kind, query, version);
+        let (kind, query, query2) = key_of(req);
+        let hash = hash_key(kind, query, query2, version);
         let mut inner = self.inner.lock().expect("result cache poisoned");
         let inner = &mut *inner;
         for e in inner.entries.iter_mut() {
-            if e.hash == hash && e.version == version && e.kind == kind && e.query == query {
+            if e.hash == hash
+                && e.version == version
+                && e.kind == kind
+                && e.query == query
+                && e.query2 == query2
+            {
                 inner.clock += 1;
                 e.stamp = inner.clock;
                 let value = Arc::clone(&e.value);
@@ -157,17 +182,19 @@ impl ResultCache {
     /// are unreachable garbage — and only then the least-recently-used
     /// live entry.
     pub fn insert(&self, req: &QueryRequest, version: u64, value: Arc<Answer>) {
-        let (kind, query) = key_of(req);
-        let hash = hash_key(kind, query, version);
+        let (kind, query, query2) = key_of(req);
+        let hash = hash_key(kind, query, query2, version);
         let mut inner = self.inner.lock().expect("result cache poisoned");
         let inner = &mut *inner;
         inner.clock += 1;
         let clock = inner.clock;
-        if let Some(e) = inner
-            .entries
-            .iter_mut()
-            .find(|e| e.hash == hash && e.version == version && e.kind == kind && e.query == query)
-        {
+        if let Some(e) = inner.entries.iter_mut().find(|e| {
+            e.hash == hash
+                && e.version == version
+                && e.kind == kind
+                && e.query == query
+                && e.query2 == query2
+        }) {
             e.value = value;
             e.stamp = clock;
             self.insertions.fetch_add(1, Ordering::Relaxed);
@@ -177,6 +204,7 @@ impl ResultCache {
             hash,
             version,
             query: query.to_string(),
+            query2: query2.to_string(),
             kind,
             value,
             stamp: clock,

@@ -52,7 +52,8 @@ pub use pool::{
     WorkerStats,
 };
 
-use ftsl_core::{Ranked, SearchResults};
+use ftsl_core::{Ranked, ScoredOutput, SearchResults};
+use ftsl_index::AccessCounters;
 
 /// A finished query result, shared between the cache and all requesters.
 #[derive(Clone, Debug)]
@@ -61,6 +62,8 @@ pub enum Answer {
     Search(SearchResults),
     /// Ranked top-k hits.
     TopK(Ranked),
+    /// Proximity-ranked NEAR hits (word-pair index path).
+    Near(ScoredOutput),
 }
 
 impl Answer {
@@ -68,7 +71,7 @@ impl Answer {
     pub fn as_search(&self) -> Option<&SearchResults> {
         match self {
             Answer::Search(r) => Some(r),
-            Answer::TopK(_) => None,
+            _ => None,
         }
     }
 
@@ -76,7 +79,25 @@ impl Answer {
     pub fn as_top_k(&self) -> Option<&Ranked> {
         match self {
             Answer::TopK(r) => Some(r),
-            Answer::Search(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The NEAR results, if this answer holds them.
+    pub fn as_near(&self) -> Option<&ScoredOutput> {
+        match self {
+            Answer::Near(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The evaluation's access counters, when the path reports them
+    /// (`None` for exhaustive-ranking answers, which walk no cursors).
+    pub fn counters(&self) -> Option<AccessCounters> {
+        match self {
+            Answer::Search(r) => Some(r.counters),
+            Answer::TopK(r) => r.counters,
+            Answer::Near(r) => Some(r.counters),
         }
     }
 }

@@ -41,6 +41,20 @@ pub enum QueryRequest {
         /// How many hits to keep.
         k: usize,
     },
+    /// Proximity-ranked NEAR over the word-pair auxiliary index
+    /// ([`LiveFtsl::search_near_top_k`]).
+    Near {
+        /// First token.
+        first: String,
+        /// Second token.
+        second: String,
+        /// Largest qualifying gap.
+        bound: u32,
+        /// Require `first` strictly before `second`.
+        ordered: bool,
+        /// How many hits to keep.
+        k: usize,
+    },
 }
 
 impl QueryRequest {
@@ -60,11 +74,23 @@ impl QueryRequest {
         }
     }
 
-    /// The query text.
+    /// A proximity-ranked NEAR request.
+    pub fn near(first: &str, second: &str, bound: u32, ordered: bool, k: usize) -> Self {
+        QueryRequest::Near {
+            first: first.to_string(),
+            second: second.to_string(),
+            bound,
+            ordered,
+            k,
+        }
+    }
+
+    /// The query text (the first token for a NEAR request).
     pub fn query(&self) -> &str {
         match self {
             QueryRequest::Search { query } => query,
             QueryRequest::TopK { query, .. } => query,
+            QueryRequest::Near { first, .. } => first,
         }
     }
 }
@@ -116,6 +142,9 @@ pub struct WorkerStats {
     pub scratch_reused: u64,
     /// Cursor scratch buffers this worker's thread heap-allocated.
     pub scratch_allocated: u64,
+    /// Postings this worker resolved from word-pair auxiliary lists
+    /// (cache misses only — a cached answer decodes nothing).
+    pub pair_entries: u64,
 }
 
 /// Everything a worker updates, shared with the pool handle.
@@ -126,6 +155,7 @@ struct WorkerSlot {
     allocs: AtomicU64,
     scratch_reused: AtomicU64,
     scratch_allocated: AtomicU64,
+    pair_entries: AtomicU64,
 }
 
 impl WorkerSlot {
@@ -136,6 +166,7 @@ impl WorkerSlot {
             allocs: self.allocs.load(Ordering::Relaxed),
             scratch_reused: self.scratch_reused.load(Ordering::Relaxed),
             scratch_allocated: self.scratch_allocated.load(Ordering::Relaxed),
+            pair_entries: self.pair_entries.load(Ordering::Relaxed),
         }
     }
 }
@@ -158,6 +189,11 @@ impl PoolStats {
     /// Total cache hits across workers.
     pub fn cache_hits(&self) -> u64 {
         self.workers.iter().map(|w| w.cache_hits).sum()
+    }
+
+    /// Total postings resolved from word-pair auxiliary lists.
+    pub fn pair_entries(&self) -> u64 {
+        self.workers.iter().map(|w| w.pair_entries).sum()
     }
 }
 
@@ -230,6 +266,20 @@ impl ServeContext {
                     self.engine
                         .search_top_k_with(query, *model, *k, &mut self.scratch)?,
                 ),
+                QueryRequest::Near {
+                    first,
+                    second,
+                    bound,
+                    ordered,
+                    k,
+                } => Answer::Near(self.engine.search_near_top_k_with(
+                    first,
+                    second,
+                    *bound,
+                    *ordered,
+                    *k,
+                    &mut self.scratch,
+                )),
             });
         // Keyed under the version read *before* evaluation: if a write
         // landed in between, the current version moved past `version`, so
@@ -350,8 +400,13 @@ fn worker_loop(shared: &Shared, slot: &WorkerSlot, ctx: &mut ServeContext) {
         slot.allocs
             .fetch_add(thread_allocs() - allocs_before, Ordering::Relaxed);
         slot.served.fetch_add(1, Ordering::Relaxed);
-        if matches!(&result, Ok(served) if served.cached) {
-            slot.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Ok(served) = &result {
+            if served.cached {
+                slot.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else if let Some(c) = served.answer.counters() {
+                slot.pair_entries
+                    .fetch_add(c.pair_entries, Ordering::Relaxed);
+            }
         }
         let pool = scratch_pool_stats();
         slot.scratch_reused.store(pool.reused, Ordering::Relaxed);

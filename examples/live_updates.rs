@@ -94,7 +94,7 @@ fn main() {
         reports.iter().map(|r| r.tombstones).sum::<usize>()
     );
 
-    println!("\n== manifest v6 round-trip ==");
+    println!("\n== manifest v8 round-trip ==");
     let bytes = manifest::encode(engine.live_index());
     println!("encoded manifest: {} bytes", bytes.len());
     let reloaded: LiveIndex = manifest::decode(bytes).expect("valid manifest");

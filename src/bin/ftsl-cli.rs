@@ -13,7 +13,10 @@
 //!
 //! Then type queries (BOOL/DIST/COMP syntax) on stdin, one per line.
 //! Commands: `:explain <query>` (frozen mode), `:rank <query>`,
-//! `:top <k> <query>`, `:stats`, `:quit`, and in live mode `:add <text>`,
+//! `:top <k> <query>`, `:near <k> <bound> <a> <b>` (proximity-ranked NEAR
+//! via the word-pair auxiliary index; `:stats` shows pair coverage and how
+//! many postings came off pair lists), `:stats`, `:quit`, and in live mode
+//! `:add <text>`,
 //! `:delete <node>`, `:flush`, `:merge`, plus the serving front door:
 //! `:serve <n>` starts (or resizes) a worker pool with a shared result
 //! cache — plain queries and `:top` then go through it — `:serve 0`
@@ -173,9 +176,10 @@ fn print_last_counters(
     match last_counters {
         Some(c) => writeln!(
             out,
-            "last query: {} entries decoded, {} positions decoded, \
+            "last query: {} entries decoded ({} from pair lists), {} positions decoded, \
              {} positions consumed, {} entries / {} blocks / {} segments skipped",
             c.entries,
+            c.pair_entries,
             c.positions_decoded,
             c.positions,
             c.skipped,
@@ -184,6 +188,56 @@ fn print_last_counters(
         ),
         None => writeln!(out, "last query: none yet"),
     }
+}
+
+/// One `pair index:` stats line for a segment's (or the frozen) index.
+fn print_pair_stats(
+    out: &mut impl Write,
+    index: &ftsl_index::InvertedIndex,
+) -> std::io::Result<()> {
+    let p = index.pairs();
+    let cfg = p.config();
+    if cfg.window == 0 {
+        return writeln!(out, "pair index: disabled");
+    }
+    writeln!(
+        out,
+        "pair index: {} keys, {} entries, window {}, df cutoff {}, {}B",
+        p.num_keys(),
+        p.num_entries(),
+        cfg.window,
+        cfg.df_cutoff,
+        p.resident_bytes()
+    )
+}
+
+/// `:near <k> <bound> <first> <second>` argument parsing (shared by the
+/// frozen and live shells).
+fn parse_near(rest: &str) -> Result<(usize, u32, &str, &str), Box<dyn std::error::Error>> {
+    let mut it = rest.split_whitespace();
+    let usage = ":near needs <k> <bound> <first> <second>";
+    let k: usize = it.next().ok_or(usage)?.parse()?;
+    let bound: u32 = it.next().ok_or(usage)?.parse()?;
+    let first = it.next().ok_or(usage)?;
+    let second = it.next().ok_or(usage)?;
+    Ok((k, bound, first, second))
+}
+
+fn print_near(
+    out: &mut impl Write,
+    names: &[String],
+    ranked: &ftsl_core::ScoredOutput,
+) -> std::io::Result<()> {
+    for (node, score) in &ranked.hits {
+        writeln!(out, "{score:.5}  {}", node_name(names, *node))?;
+    }
+    let c = ranked.counters;
+    writeln!(
+        out,
+        "[proximity: {} pair entries walked, {} positions decoded (fallback), \
+         {} blocks / {} segments skipped]",
+        c.pair_entries, c.positions_decoded, c.blocks_skipped, c.segments_skipped
+    )
 }
 
 fn dispatch(
@@ -199,7 +253,8 @@ fn dispatch(
     if input == ":help" {
         writeln!(
             out,
-            ":explain <q> | :rank <q> | :top <k> <q> | :stats | :quit"
+            ":explain <q> | :rank <q> | :top <k> <q> | :near <k> <bound> <a> <b> | \
+             :stats | :quit"
         )?;
         return Ok(());
     }
@@ -220,7 +275,15 @@ fn dispatch(
             "decode cache: {} lists, {} hits / {} misses, {}B",
             c.lists, c.hits, c.misses, c.resident_bytes
         )?;
+        print_pair_stats(out, engine.index())?;
         print_last_counters(out, last_counters)?;
+        return Ok(());
+    }
+    if let Some(rest) = input.strip_prefix(":near ") {
+        let (k, bound, first, second) = parse_near(rest)?;
+        let ranked = engine.search_near_top_k(first, second, bound, false, k);
+        *last_counters = Some(ranked.counters);
+        print_near(out, names, &ranked)?;
         return Ok(());
     }
     if let Some(q) = input.strip_prefix(":explain ") {
@@ -289,7 +352,8 @@ fn dispatch_live(
         writeln!(
             out,
             ":add <text> | :delete <node> | :flush | :merge | :rank <q> | \
-             :top <k> <q> | :serve <n> | :bench-load [requests] | :stats | :quit"
+             :top <k> <q> | :near <k> <bound> <a> <b> | :serve <n> | \
+             :bench-load [requests] | :stats | :quit"
         )?;
         return Ok(());
     }
@@ -395,14 +459,30 @@ fn dispatch_live(
             engine.live_index().buffered_docs(),
             total_bytes
         )?;
+        // Pair-index coverage summed across the snapshot's segments.
+        let (mut pair_keys, mut pair_entries, mut pair_bytes) = (0usize, 0u64, 0usize);
+        for seg in snapshot.segments() {
+            let p = seg.data().index().pairs();
+            pair_keys += p.num_keys();
+            pair_entries += p.num_entries();
+            pair_bytes += p.resident_bytes();
+        }
+        writeln!(
+            out,
+            "pair index: {pair_keys} keys, {pair_entries} entries, {pair_bytes}B \
+             across {} segment(s)",
+            reports.len()
+        )?;
         if let Some(p) = pool.as_ref() {
             let stats = p.stats();
             writeln!(
                 out,
-                "serve pool: {} worker(s), {} served, {} cache hits",
+                "serve pool: {} worker(s), {} served, {} cache hits, \
+                 {} pair-list postings",
                 p.workers(),
                 stats.served(),
-                stats.cache_hits()
+                stats.cache_hits(),
+                stats.pair_entries()
             )?;
             for (id, w) in stats.workers.iter().enumerate() {
                 writeln!(
@@ -432,6 +512,30 @@ fn dispatch_live(
         *last_counters = None;
         for (node, score) in &ranked.hits {
             writeln!(out, "{score:.5}  {}", node_name(names, *node))?;
+        }
+        return Ok(());
+    }
+    if let Some(rest) = input.strip_prefix(":near ") {
+        let (k, bound, first, second) = parse_near(rest)?;
+        let (ranked, cached) = match pool.as_ref() {
+            Some(p) => {
+                let served = p.execute(QueryRequest::near(first, second, bound, false, k))?;
+                let r = served
+                    .answer
+                    .as_near()
+                    .expect("near request yields near answer")
+                    .clone();
+                (r, served.cached)
+            }
+            None => (
+                engine.search_near_top_k(first, second, bound, false, k),
+                false,
+            ),
+        };
+        *last_counters = Some(ranked.counters);
+        print_near(out, names, &ranked)?;
+        if cached {
+            writeln!(out, "[served from result cache]")?;
         }
         return Ok(());
     }
