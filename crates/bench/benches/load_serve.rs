@@ -94,15 +94,29 @@ struct RunOutcome {
     metrics: LoadMetrics,
     served_by_workers: u64,
     lookups: u64,
+    /// Prometheus text export sampled after the run drained.
+    metrics_text: String,
 }
 
 /// One closed-loop run: `workers` pool threads, as many client threads,
 /// `per_client` requests each, writer churn on the main thread until the
-/// clients drain.
-fn run_load(engine: &Arc<LiveFtsl>, workers: usize, per_client: usize) -> RunOutcome {
+/// clients drain. `with_metrics` toggles per-request latency recording
+/// ([`ServeConfig::metrics`]) so its cost can be measured head to head;
+/// `churn` disables the writer thread for runs that need a fixed-size
+/// engine (the metrics on/off comparison, where corpus growth between
+/// runs would swamp the effect being measured).
+fn run_load(
+    engine: &Arc<LiveFtsl>,
+    workers: usize,
+    per_client: usize,
+    with_metrics: bool,
+    churn: bool,
+) -> RunOutcome {
     let pool = engine.serve_pool(ServeConfig {
         workers,
         cache_capacity: 256,
+        metrics: with_metrics,
+        ..ServeConfig::default()
     });
     let mix = request_mix();
     let churn_us: u64 = std::env::var("FTSL_LOAD_CHURN_US")
@@ -135,7 +149,7 @@ fn run_load(engine: &Arc<LiveFtsl>, workers: usize, per_client: usize) -> RunOut
         // (and invalidating the cache) on every flush.
         let writer = scope.spawn(|| {
             let mut round: u32 = 0;
-            while !done.load(Ordering::Relaxed) {
+            while churn && !done.load(Ordering::Relaxed) {
                 let last = engine.add(&format!("churn{round} common filler mid"));
                 if round.is_multiple_of(3) {
                     engine.delete(last);
@@ -146,7 +160,9 @@ fn run_load(engine: &Arc<LiveFtsl>, workers: usize, per_client: usize) -> RunOut
                 round += 1;
                 std::thread::sleep(Duration::from_micros(churn_us));
             }
-            engine.flush();
+            if churn {
+                engine.flush();
+            }
         });
 
         for h in handles {
@@ -178,6 +194,7 @@ fn run_load(engine: &Arc<LiveFtsl>, workers: usize, per_client: usize) -> RunOut
         },
         served_by_workers: stats.workers.iter().map(|w| w.served).sum(),
         lookups: stats.cache.hits + stats.cache.misses,
+        metrics_text: pool.metrics_text(),
     }
 }
 
@@ -201,7 +218,7 @@ fn main() {
     let mut sink = ResultsSink::new("load_serve");
     let mut by_workers: Vec<(usize, RunOutcome)> = Vec::new();
     for &workers in &[1usize, 2, 4, 8] {
-        let outcome = run_load(&engine, workers, per_client);
+        let outcome = run_load(&engine, workers, per_client, true, true);
         let m = &outcome.metrics;
         println!(
             "load_serve/mixed_w{workers}: {} req, {:.0} QPS, p50 {:.1}µs p95 {:.1}µs \
@@ -217,6 +234,48 @@ fn main() {
         sink.record_load(&format!("mixed_w{workers}"), *m);
         by_workers.push((workers, outcome));
     }
+
+    // Metrics cost gate: the same closed loop with latency recording off
+    // vs on. Best-of-2 each way to shrug off scheduler noise; the on/off
+    // ratio must stay >= 0.97 (0.90 in smoke, where runs are tiny and a
+    // single descheduling skews QPS).
+    let gate_workers = if std::thread::available_parallelism().map_or(1, |n| n.get()) >= 4 {
+        4
+    } else {
+        2
+    };
+    // Churn-free and interleaved (on/off/on/off), so neither side sees a
+    // systematically bigger engine or colder cache.
+    let gate_run = |with_metrics: bool| {
+        run_load(&engine, gate_workers, per_client, with_metrics, false)
+            .metrics
+            .qps
+    };
+    gate_run(true); // warm the fixed-size engine once
+    let (mut qps_on, mut qps_off) = (f64::MIN, f64::MIN);
+    for _ in 0..2 {
+        qps_on = qps_on.max(gate_run(true));
+        qps_off = qps_off.max(gate_run(false));
+    }
+    let floor = if smoke() { 0.90 } else { 0.97 };
+    println!(
+        "load_serve/metrics gate: {qps_on:.0} QPS with metrics vs {qps_off:.0} without \
+         ({:.3}x, floor {floor})",
+        qps_on / qps_off
+    );
+    assert!(
+        qps_on >= floor * qps_off,
+        "per-request metrics cost too much throughput: \
+         {qps_on:.0} QPS on vs {qps_off:.0} off"
+    );
+
+    // Export the drained 8-worker run's Prometheus snapshot next to
+    // BENCH_results.json (uploaded as a CI artifact).
+    let snapshot = &by_workers.last().expect("measured").1.metrics_text;
+    let prom_path = ftsl_bench::results::default_path().with_file_name("METRICS_snapshot.prom");
+    std::fs::write(&prom_path, snapshot).expect("write METRICS_snapshot.prom");
+    println!("metrics snapshot written to {}", prom_path.display());
+
     let path = sink.write().expect("write BENCH_results.json");
     println!("results merged into {}", path.display());
 

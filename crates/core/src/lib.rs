@@ -195,6 +195,7 @@ impl Ftsl {
             counters: output.counters,
             engine: output.engine,
             class: output.class,
+            trace: output.trace,
         })
     }
 
@@ -234,6 +235,7 @@ impl Ftsl {
             hits: scored,
             model,
             counters: None,
+            trace: None,
         })
     }
 
@@ -285,6 +287,7 @@ impl Ftsl {
                     hits: out.hits,
                     model,
                     counters: Some(out.counters),
+                    trace: out.trace,
                 });
             }
         }
@@ -318,6 +321,7 @@ impl Ftsl {
                 hits: Vec::new(),
                 counters: ftsl_index::AccessCounters::new(),
                 path: ScoredPath::PairProximity,
+                trace: None,
             };
         };
         let q = ftsl_exec::PairQuery {
@@ -332,6 +336,7 @@ impl Ftsl {
             hits: topk.drain_ranked(),
             counters,
             path: ScoredPath::PairProximity,
+            trace: None,
         }
     }
 
@@ -370,6 +375,37 @@ impl Ftsl {
                 }
             }
         }
+        Ok(out)
+    }
+
+    /// `EXPLAIN ANALYZE`: actually run the query with tracing enabled and
+    /// render the recorded span tree — per-stage wall time, counter
+    /// deltas, and pair-path vs position-intersection fallback
+    /// attribution — followed by the index residency footprint. Use
+    /// [`Self::explain`] for the static (no-execution) plan.
+    pub fn explain_analyze(&self, query: &str) -> Result<String, FtslError> {
+        let mut tb = ftsl_obs::TraceBuilder::new();
+        let parse_span = tb.open("parse+rewrite");
+        let surface = self.rewrite_query(&parse(query, Mode::Comp)?);
+        tb.close(parse_span);
+        let class = classify(&surface, &self.registry);
+        let mut options = self.options;
+        options.trace = true;
+        let executor = Executor::with_options(&self.corpus, &self.index, &self.registry, options);
+        let exec_span = tb.open("execute");
+        let mut output = executor.run_surface(&surface, EngineKind::Auto)?;
+        if let Some(t) = output.trace.take() {
+            tb.adopt(*t);
+        }
+        tb.close(exec_span);
+        let trace = tb.finish();
+        let mut out = String::new();
+        out.push_str(&format!("language class: {class}\n"));
+        out.push_str(&format!("engine: {}\n", output.engine));
+        out.push_str(&format!("hits: {}\n", output.nodes.len()));
+        out.push_str("profile:\n");
+        out.push_str(&trace.render());
+        out.push_str(&format!("index: {}\n", self.index.memory_footprint()));
         Ok(out)
     }
 }

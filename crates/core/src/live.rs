@@ -251,6 +251,7 @@ impl LiveFtsl {
             counters: output.counters,
             engine: output.engine,
             class: output.class,
+            trace: output.trace,
         })
     }
 
@@ -313,6 +314,7 @@ impl LiveFtsl {
             hits,
             model,
             counters: None,
+            trace: None,
         })
     }
 
@@ -382,6 +384,7 @@ impl LiveFtsl {
                     hits: out.hits,
                     model,
                     counters: Some(out.counters),
+                    trace: out.trace,
                 });
             }
         }
@@ -438,6 +441,7 @@ impl LiveFtsl {
                 hits: Vec::new(),
                 counters: ftsl_index::AccessCounters::new(),
                 path: ScoredPath::PairProximity,
+                trace: None,
             };
         };
         let q = PairQuery {
@@ -449,6 +453,47 @@ impl LiveFtsl {
         let snapshot = self.snapshot();
         let exec = SnapshotExecutor::with_options(&snapshot, &self.registry, self.options);
         exec.run_near_top_k_with(&q, k, scratch)
+    }
+
+    /// `EXPLAIN ANALYZE` over the current snapshot: run the query with
+    /// tracing enabled and render the span tree — parse/rewrite, then
+    /// per-segment engine work with counter deltas and pair-path vs
+    /// fallback attribution — plus per-segment residency footprints.
+    pub fn explain_analyze(&self, query: &str) -> Result<String, FtslError> {
+        let mut tb = ftsl_obs::TraceBuilder::new();
+        let parse_span = tb.open("parse+rewrite");
+        let surface = self.rewrite_query(&parse(query, Mode::Comp)?);
+        tb.close(parse_span);
+        let class = classify(&surface, &self.registry);
+        let snapshot = self.snapshot();
+        let mut options = self.options;
+        options.trace = true;
+        let exec = SnapshotExecutor::with_options(&snapshot, &self.registry, options);
+        let exec_span = tb.open("execute");
+        let mut output = exec.run_surface(&surface, EngineKind::Auto)?;
+        if let Some(t) = output.trace.take() {
+            tb.adopt(*t);
+        }
+        tb.close(exec_span);
+        let trace = tb.finish();
+        let mut out = String::new();
+        out.push_str(&format!("language class: {class}\n"));
+        out.push_str(&format!("engine: {}\n", output.engine));
+        out.push_str(&format!(
+            "snapshot: version {} · {} segment(s)\n",
+            self.version(),
+            snapshot.segments().len()
+        ));
+        out.push_str(&format!("hits: {}\n", output.nodes.len()));
+        out.push_str("profile:\n");
+        out.push_str(&trace.render());
+        for (i, seg) in snapshot.segments().iter().enumerate() {
+            out.push_str(&format!(
+                "segment {i}: {}\n",
+                seg.data().index().memory_footprint()
+            ));
+        }
+        Ok(out)
     }
 }
 

@@ -17,6 +17,9 @@ pub struct SearchResults {
     pub engine: EngineUsed,
     /// The query's language class.
     pub class: LanguageClass,
+    /// Span tree recorded when the engine ran with
+    /// [`ftsl_exec::engine::ExecOptions::trace`] set.
+    pub trace: Option<Box<ftsl_obs::Trace>>,
 }
 
 impl SearchResults {
@@ -47,6 +50,9 @@ pub struct Ranked {
     /// engine (`None` for exhaustive scored-algebra ranking, which
     /// materializes relations instead of walking cursors).
     pub counters: Option<AccessCounters>,
+    /// Span tree recorded when the engine ran with
+    /// [`ftsl_exec::engine::ExecOptions::trace`] set.
+    pub trace: Option<Box<ftsl_obs::Trace>>,
 }
 
 impl Ranked {

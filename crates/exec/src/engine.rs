@@ -5,12 +5,13 @@ use crate::build::IndexLayout;
 use crate::comp::run_comp_with;
 use crate::error::ExecError;
 use crate::npred::{run_npred, NpredOptions};
-use crate::ppred::run_ppred_pairs;
+use crate::ppred::run_ppred_attr;
 use crate::scored::{run_scored_top_k, ScoreModel, ScoredOutput, ScoredTopK};
 use ftsl_calculus::CalcQuery;
 use ftsl_index::{AccessCounters, InvertedIndex};
 use ftsl_lang::{classify, lower, parse, LanguageClass, Mode, SurfaceQuery};
 use ftsl_model::{Corpus, NodeId};
+use ftsl_obs::{SpanId, Trace, TraceBuilder};
 use ftsl_predicates::{AdvanceMode, PredicateRegistry};
 use ftsl_scoring::ScoreStats;
 
@@ -46,6 +47,10 @@ pub struct ExecOptions {
     /// position intersection otherwise. Disable to force the
     /// intersection path — the oracle for differential tests.
     pub use_pairs: bool,
+    /// Record a structured span tree (engine choice, per-stage wall time,
+    /// counter deltas, pair-path attribution) into the query output. Off
+    /// by default; the serving path pays one branch per query when off.
+    pub trace: bool,
 }
 
 impl Default for ExecOptions {
@@ -56,6 +61,7 @@ impl Default for ExecOptions {
             npred_parallel: false,
             layout: IndexLayout::Decoded,
             use_pairs: true,
+            trace: false,
         }
     }
 }
@@ -96,6 +102,39 @@ pub struct QueryOutput {
     pub engine: EngineUsed,
     /// Detected language class.
     pub class: LanguageClass,
+    /// Span tree recorded when [`ExecOptions::trace`] was set.
+    pub trace: Option<Box<Trace>>,
+}
+
+/// Attach every [`AccessCounters`] field as a span attribute (zero-valued
+/// attributes are suppressed at render time).
+pub fn counter_attrs(tb: &mut TraceBuilder, id: SpanId, c: &AccessCounters) {
+    tb.attr(id, "entries", c.entries);
+    tb.attr(id, "positions", c.positions);
+    tb.attr(id, "positions_decoded", c.positions_decoded);
+    tb.attr(id, "tuples", c.tuples);
+    tb.attr(id, "skipped", c.skipped);
+    tb.attr(id, "blocks_skipped", c.blocks_skipped);
+    tb.attr(id, "segments_skipped", c.segments_skipped);
+    tb.attr(id, "pair_entries", c.pair_entries);
+}
+
+fn finish_engine_span(
+    tb: Option<TraceBuilder>,
+    id: Option<SpanId>,
+    counters: &AccessCounters,
+    note: Option<&'static str>,
+) -> Option<Box<Trace>> {
+    tb.map(|mut b| {
+        if let Some(id) = id {
+            if let Some(n) = note {
+                b.note(id, n);
+            }
+            counter_attrs(&mut b, id, counters);
+            b.close(id);
+        }
+        Box::new(b.finish())
+    })
 }
 
 /// Query executor over one corpus + index.
@@ -163,20 +202,29 @@ impl<'a> Executor<'a> {
             EngineKind::Comp => EngineUsed::Comp,
         };
 
+        let mut tb = self.options.trace.then(TraceBuilder::new);
+
         if chosen == EngineUsed::Bool {
+            let id = tb.as_mut().map(|b| b.open("engine BOOL"));
             let (nodes, counters) =
                 run_bool_with(surface, self.corpus, self.index, self.options.layout)?;
+            let trace = finish_engine_span(tb, id, &counters, None);
             return Ok(QueryOutput {
                 nodes,
                 counters,
                 engine: EngineUsed::Bool,
                 class,
+                trace,
             });
         }
 
+        let lower_id = tb.as_mut().map(|b| b.open("lower to calculus"));
         let expr = lower(surface, self.registry).map_err(|e| ExecError::Lang(e.to_string()))?;
+        if let (Some(b), Some(id)) = (tb.as_mut(), lower_id) {
+            b.close(id);
+        }
         let query = CalcQuery::new(expr);
-        self.run_lowered(&query, chosen, class, engine == EngineKind::Auto)
+        self.run_lowered(&query, chosen, class, engine == EngineKind::Auto, tb)
     }
 
     /// Run a scored top-k query (parsed from `input`) through the streaming
@@ -233,11 +281,13 @@ impl<'a> Executor<'a> {
             EngineKind::Npred => EngineUsed::Npred,
             EngineKind::Comp | EngineKind::Auto => EngineUsed::Comp,
         };
+        let tb = self.options.trace.then(TraceBuilder::new);
         self.run_lowered(
             query,
             chosen,
             LanguageClass::Comp,
             engine == EngineKind::Auto,
+            tb,
         )
     }
 
@@ -247,10 +297,12 @@ impl<'a> Executor<'a> {
         chosen: EngineUsed,
         class: LanguageClass,
         allow_fallback: bool,
+        mut tb: Option<TraceBuilder>,
     ) -> Result<QueryOutput, ExecError> {
         match chosen {
             EngineUsed::Ppred => {
-                match run_ppred_pairs(
+                let id = tb.as_mut().map(|b| b.open("engine PPRED"));
+                match run_ppred_attr(
                     &query.expr,
                     self.corpus,
                     self.index,
@@ -259,20 +311,29 @@ impl<'a> Executor<'a> {
                     self.options.layout,
                     self.options.use_pairs,
                 ) {
-                    Ok((nodes, counters)) => Ok(QueryOutput {
-                        nodes,
-                        counters,
-                        engine: EngineUsed::Ppred,
-                        class,
-                    }),
+                    Ok((nodes, counters, attribution)) => {
+                        let trace =
+                            finish_engine_span(tb, id, &counters, Some(attribution.describe()));
+                        Ok(QueryOutput {
+                            nodes,
+                            counters,
+                            engine: EngineUsed::Ppred,
+                            class,
+                            trace,
+                        })
+                    }
                     Err(e) if allow_fallback => {
-                        let _ = e;
-                        self.run_lowered(query, EngineUsed::Comp, class, false)
+                        if let (Some(b), Some(id)) = (tb.as_mut(), id) {
+                            b.note(id, format!("PPRED refused: {e} — COMP fallback"));
+                            b.close(id);
+                        }
+                        self.run_lowered(query, EngineUsed::Comp, class, false, tb)
                     }
                     Err(e) => Err(e.into()),
                 }
             }
             EngineUsed::Npred => {
+                let id = tb.as_mut().map(|b| b.open("engine NPRED"));
                 let opts = NpredOptions {
                     full_permutations: self.options.npred_full_permutations,
                     parallel: self.options.npred_parallel,
@@ -280,20 +341,28 @@ impl<'a> Executor<'a> {
                     layout: self.options.layout,
                 };
                 match run_npred(&query.expr, self.corpus, self.index, self.registry, opts) {
-                    Ok((nodes, counters)) => Ok(QueryOutput {
-                        nodes,
-                        counters,
-                        engine: EngineUsed::Npred,
-                        class,
-                    }),
+                    Ok((nodes, counters)) => {
+                        let trace = finish_engine_span(tb, id, &counters, None);
+                        Ok(QueryOutput {
+                            nodes,
+                            counters,
+                            engine: EngineUsed::Npred,
+                            class,
+                            trace,
+                        })
+                    }
                     Err(e) if allow_fallback => {
-                        let _ = e;
-                        self.run_lowered(query, EngineUsed::Comp, class, false)
+                        if let (Some(b), Some(id)) = (tb.as_mut(), id) {
+                            b.note(id, format!("NPRED refused: {e} — COMP fallback"));
+                            b.close(id);
+                        }
+                        self.run_lowered(query, EngineUsed::Comp, class, false, tb)
                     }
                     Err(e) => Err(e.into()),
                 }
             }
             EngineUsed::Comp => {
+                let id = tb.as_mut().map(|b| b.open("engine COMP"));
                 let (nodes, counters) = run_comp_with(
                     query,
                     self.corpus,
@@ -301,11 +370,13 @@ impl<'a> Executor<'a> {
                     self.registry,
                     self.options.layout,
                 )?;
+                let trace = finish_engine_span(tb, id, &counters, None);
                 Ok(QueryOutput {
                     nodes,
                     counters,
                     engine: EngineUsed::Comp,
                     class,
+                    trace,
                 })
             }
             EngineUsed::Bool => unreachable!("BOOL handled before lowering"),

@@ -107,5 +107,6 @@ pub use engine::{EngineKind, Executor, QueryOutput};
 pub use error::{ExecError, PlanError};
 pub use pairscan::PairQuery;
 pub use plan::{build_plan, PlanNode};
+pub use ppred::PairAttribution;
 pub use scored::{ScoreModel, ScoredOutput, ScoredPath, ScoredTopK};
 pub use snapshot::{ExecScratch, SnapshotExecutor};

@@ -52,12 +52,66 @@ pub fn run_ppred_pairs(
     layout: IndexLayout,
     use_pairs: bool,
 ) -> Result<(Vec<NodeId>, AccessCounters), PlanError> {
+    run_ppred_attr(expr, corpus, index, registry, mode, layout, use_pairs)
+        .map(|(nodes, counters, _)| (nodes, counters))
+}
+
+/// Which physical path answered a PPRED query — the observability handle
+/// for the paper's central claim that proximity cost depends on the path
+/// taken, not the query written.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairAttribution {
+    /// Answered from the word-pair index (one pair-list walk).
+    PairList,
+    /// Recognized as a proximity core, but the pair index could not cover
+    /// it (df cutoff, window bound, or disabled pair section); fell back
+    /// to position intersection.
+    FallbackNotCovered,
+    /// Plan shape outside the two-scan pair fragment; streamed through
+    /// ordinary positional cursors.
+    NotRecognized,
+    /// Pair rewrite disabled by [`crate::engine::ExecOptions::use_pairs`].
+    Disabled,
+}
+
+impl PairAttribution {
+    /// Human-readable label used in EXPLAIN profiles.
+    pub fn describe(self) -> &'static str {
+        match self {
+            PairAttribution::PairList => "pair path: word-pair list walk",
+            PairAttribution::FallbackNotCovered => {
+                "pair path: not covered — position-intersection fallback"
+            }
+            PairAttribution::NotRecognized => {
+                "pair path: shape not recognized — streaming cursor evaluation"
+            }
+            PairAttribution::Disabled => "pair path: rewrite disabled by options",
+        }
+    }
+}
+
+/// [`run_ppred_pairs`], additionally reporting which path answered.
+pub fn run_ppred_attr(
+    expr: &QueryExpr,
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    registry: &PredicateRegistry,
+    mode: AdvanceMode,
+    layout: IndexLayout,
+    use_pairs: bool,
+) -> Result<(Vec<NodeId>, AccessCounters, PairAttribution), PlanError> {
     let plan = build_plan(expr, registry, false)?;
+    let mut attribution = if use_pairs {
+        PairAttribution::NotRecognized
+    } else {
+        PairAttribution::Disabled
+    };
     if use_pairs {
         if let Some(q) = pairscan::recognize(&plan.root, registry) {
             if let Some((nodes, counters)) = pairscan::execute(&q, corpus, index) {
-                return Ok((nodes, counters));
+                return Ok((nodes, counters, PairAttribution::PairList));
             }
+            attribution = PairAttribution::FallbackNotCovered;
         }
     }
     let root = order_joins_by_selectivity(plan.root, corpus, index);
@@ -73,7 +127,7 @@ pub fn run_ppred_pairs(
     while let Some(n) = cursor.advance_node() {
         nodes.push(n);
     }
-    Ok((nodes, cursor.counters()))
+    Ok((nodes, cursor.counters(), attribution))
 }
 
 #[cfg(test)]

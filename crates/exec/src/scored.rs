@@ -56,6 +56,9 @@ pub struct ScoredOutput {
     pub counters: AccessCounters,
     /// Strategy used.
     pub path: ScoredPath,
+    /// Span tree recorded when tracing was requested (snapshot top-k
+    /// paths); `None` on the untraced paths.
+    pub trace: Option<Box<ftsl_obs::Trace>>,
 }
 
 /// If `query` is a flat disjunction of token literals (`'a' OR 'b' OR ...`,
@@ -121,6 +124,7 @@ pub fn run_scored_top_k_filtered(
                 hits: out.hits,
                 counters: out.counters,
                 path: ScoredPath::PrunedUnion,
+                trace: None,
             })
         }
         ScoreModel::Pra(m) => {
@@ -132,6 +136,7 @@ pub fn run_scored_top_k_filtered(
                     hits: out.hits,
                     counters: out.counters,
                     path: ScoredPath::PrunedUnion,
+                    trace: None,
                 });
             }
             let out = ftsl_scoring::run_bool_topk_filtered(
@@ -145,6 +150,7 @@ pub fn run_scored_top_k_filtered(
                 hits: out.hits,
                 counters: out.counters,
                 path: ScoredPath::StreamTree,
+                trace: None,
             })
         }
     }

@@ -26,7 +26,7 @@
 //! collection-wide `df`/`db_size` — which is what makes snapshot scores
 //! bit-identical to a monolithic index over the same live documents.
 
-use crate::engine::{EngineKind, EngineUsed, ExecOptions, Executor, QueryOutput};
+use crate::engine::{counter_attrs, EngineKind, EngineUsed, ExecOptions, Executor, QueryOutput};
 use crate::error::ExecError;
 use crate::pairscan::{self, PairQuery};
 use crate::scored::{
@@ -35,6 +35,7 @@ use crate::scored::{
 use ftsl_index::{AccessCounters, IndexBuilder, InvertedIndex, ScoredCursor, Snapshot};
 use ftsl_lang::{classify, parse, LanguageClass, Mode, SurfaceQuery};
 use ftsl_model::{Corpus, NodeId};
+use ftsl_obs::TraceBuilder;
 use ftsl_predicates::PredicateRegistry;
 use ftsl_scoring::{
     pra_tree_bound, pra_union_cursors, run_bool_topk_into, tfidf_union_cursors, topk_union_into,
@@ -131,11 +132,21 @@ impl<'a> SnapshotExecutor<'a> {
         let mut nodes: Vec<NodeId> = Vec::new();
         let mut counters = AccessCounters::new();
         let mut used: Option<EngineUsed> = None;
-        for seg in self.snapshot.segments() {
+        let mut tb = self.options.trace.then(TraceBuilder::new);
+        for (i, seg) in self.snapshot.segments().iter().enumerate() {
             let data = seg.data();
             let exec =
                 Executor::with_options(data.corpus(), data.index(), self.registry, self.options);
-            let out = exec.run_surface(surface, engine)?;
+            let seg_span = tb.as_mut().map(|b| b.open(format!("segment {i}")));
+            let mut out = exec.run_surface(surface, engine)?;
+            if let (Some(b), Some(id)) = (tb.as_mut(), seg_span) {
+                if let Some(t) = out.trace.take() {
+                    b.adopt(*t);
+                }
+                counter_attrs(b, id, &out.counters);
+                b.attr(id, "matches", out.nodes.len() as u64);
+                b.close(id);
+            }
             counters += out.counters;
             // A segment may individually fall back (e.g. PPRED → COMP);
             // report the most general engine any segment needed.
@@ -155,6 +166,7 @@ impl<'a> SnapshotExecutor<'a> {
             counters,
             engine: used.expect("at least one segment ran"),
             class,
+            trace: tb.map(|b| Box::new(b.finish())),
         })
     }
 
@@ -274,15 +286,31 @@ impl<'a> SnapshotExecutor<'a> {
         let topk = &mut scratch.topk;
         topk.reset(spec.k);
         let mut counters = AccessCounters::new();
+        let mut tb = self.options.trace.then(TraceBuilder::new);
+        let root_span = tb.as_mut().map(|b| {
+            b.open(match path {
+                ScoredPath::PrunedUnion => "top-k pruned union",
+                _ => "top-k stream tree",
+            })
+        });
         for (i, bound, plan) in plans {
             if !topk.could_enter(bound) {
                 counters.segments_skipped += 1;
+                if let Some(b) = tb.as_mut() {
+                    let id = b.open(format!("segment {i}"));
+                    b.note(
+                        id,
+                        format!("skipped: score bound {bound:.4} below threshold"),
+                    );
+                    b.close(id);
+                }
                 continue;
             }
             let seg = &self.snapshot.segments()[i];
             let data = seg.data();
             let globals = Some(data.globals());
-            counters += match plan {
+            let seg_span = tb.as_mut().map(|b| b.open(format!("segment {i}")));
+            let delta = match plan {
                 SegPlan::Union(cursors, kind) => topk_union_into(cursors, kind, topk, globals),
                 SegPlan::Tree => {
                     let ScoreModel::Pra(m) = model else {
@@ -305,11 +333,27 @@ impl<'a> SnapshotExecutor<'a> {
                     })?
                 }
             };
+            if let (Some(b), Some(id)) = (tb.as_mut(), seg_span) {
+                b.note(id, format!("score bound {bound:.4}"));
+                counter_attrs(b, id, &delta);
+                b.close(id);
+            }
+            counters += delta;
         }
+        let hits = topk.drain_ranked();
+        let trace = tb.map(|mut b| {
+            if let Some(id) = root_span {
+                b.attr(id, "hits", hits.len() as u64);
+                b.attr(id, "segments_skipped", counters.segments_skipped);
+                b.close(id);
+            }
+            Box::new(b.finish())
+        });
         Ok(ScoredOutput {
-            hits: topk.drain_ranked(),
+            hits,
             counters,
             path,
+            trace,
         })
     }
 
@@ -338,6 +382,8 @@ impl<'a> SnapshotExecutor<'a> {
         let topk = &mut scratch.topk;
         topk.reset(k);
         let mut counters = AccessCounters::new();
+        let mut tb = self.options.trace.then(TraceBuilder::new);
+        let root_span = tb.as_mut().map(|b| b.open("near top-k (pair proximity)"));
         let mut plans: Vec<(usize, f64)> = self
             .snapshot
             .segments()
@@ -354,20 +400,52 @@ impl<'a> SnapshotExecutor<'a> {
         for (i, bound) in plans {
             if bound <= 0.0 || !topk.could_enter(bound) {
                 counters.segments_skipped += 1;
+                if let Some(b) = tb.as_mut() {
+                    let id = b.open(format!("segment {i}"));
+                    b.note(id, format!("skipped: closeness bound {bound:.4}"));
+                    b.close(id);
+                }
                 continue;
             }
             let seg = &self.snapshot.segments()[i];
             let data = seg.data();
-            counters += pairscan::near_topk_into(q, data.corpus(), data.index(), topk, |n| {
+            let seg_span = tb.as_mut().map(|b| b.open(format!("segment {i}")));
+            let delta = pairscan::near_topk_into(q, data.corpus(), data.index(), topk, |n| {
                 seg.deletes()
                     .is_live(n.index())
                     .then(|| data.global_of(n.index()))
             });
+            if let (Some(b), Some(id)) = (tb.as_mut(), seg_span) {
+                b.note(id, format!("closeness bound {bound:.4}"));
+                b.note(
+                    id,
+                    if delta.pair_entries > 0 {
+                        "pair path: word-pair list walk"
+                    } else if delta.positions > 0 || delta.positions_decoded > 0 {
+                        "pair path: not covered — position-intersection fallback"
+                    } else {
+                        "no candidates"
+                    },
+                );
+                counter_attrs(b, id, &delta);
+                b.close(id);
+            }
+            counters += delta;
         }
+        let hits = topk.drain_ranked();
+        let trace = tb.map(|mut b| {
+            if let Some(id) = root_span {
+                b.attr(id, "hits", hits.len() as u64);
+                b.attr(id, "segments_skipped", counters.segments_skipped);
+                b.close(id);
+            }
+            Box::new(b.finish())
+        });
         ScoredOutput {
-            hits: topk.drain_ranked(),
+            hits,
             counters,
             path: ScoredPath::PairProximity,
+            trace,
         }
     }
 

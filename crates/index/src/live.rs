@@ -103,6 +103,8 @@ struct State {
     version: u64,
     /// At most one merge builds at a time (background or synchronous).
     merging: bool,
+    /// Merges committed over the index's lifetime (metrics surface).
+    merges_completed: u64,
 }
 
 #[derive(Debug)]
@@ -204,6 +206,7 @@ impl LiveIndex {
                 next_segment_id,
                 version: 0,
                 merging: false,
+                merges_completed: 0,
             }),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -412,6 +415,12 @@ impl LiveIndex {
     /// cache derived structures per version.
     pub fn version(&self) -> u64 {
         self.lock().version
+    }
+
+    /// Merges committed over the index's lifetime (background or
+    /// synchronous).
+    pub fn merges_completed(&self) -> u64 {
+        self.lock().merges_completed
     }
 
     /// Flush the buffer and hand the manifest encoder a consistent view of
@@ -627,6 +636,7 @@ fn commit_merge(shared: &Shared, inputs: &[SealedEntry], merged: SegmentData) {
     st.sealed.splice(start..start + ids.len(), replacement);
     st.merging = false;
     st.version += 1;
+    st.merges_completed += 1;
     drop(st);
     shared.wake.notify_all();
 }
@@ -775,11 +785,15 @@ impl Snapshot {
     pub fn segment_reports(&self) -> Vec<SegmentReport> {
         self.segments
             .iter()
-            .map(|s| SegmentReport {
-                id: s.data.id(),
-                docs: s.data.num_docs(),
-                tombstones: s.deletes.deleted_count(),
-                resident_bytes: s.data.index().memory_footprint().total(),
+            .map(|s| {
+                let footprint = s.data.index().memory_footprint();
+                SegmentReport {
+                    id: s.data.id(),
+                    docs: s.data.num_docs(),
+                    tombstones: s.deletes.deleted_count(),
+                    resident_bytes: footprint.total(),
+                    pair_bytes: footprint.pairs,
+                }
             })
             .collect()
     }
@@ -794,8 +808,12 @@ pub struct SegmentReport {
     pub docs: usize,
     /// Tombstoned documents awaiting a merge.
     pub tombstones: usize,
-    /// Resident bytes of the segment's index.
+    /// Resident bytes of the segment's index (pair lists included).
     pub resident_bytes: usize,
+    /// Bytes of [`Self::resident_bytes`] attributable to the word-pair
+    /// auxiliary index, so footprint attribution separates pair lists
+    /// from core postings.
+    pub pair_bytes: usize,
 }
 
 impl SegmentReport {

@@ -1,0 +1,25 @@
+//! Observability primitives for the ftsl workspace.
+//!
+//! Three pillars, all std-only and dependency-free so every crate in the
+//! workspace (including the vendored-stub build) can link against them:
+//!
+//! * [`trace`] — a lightweight span tree recorded while a query executes
+//!   (parse → plan → per-segment cursor work → top-k merge) and rendered
+//!   as an `EXPLAIN ANALYZE`-style profile. Recording is allocation-light
+//!   and only happens when explicitly requested; the serving hot path
+//!   pays a single branch when tracing is off.
+//! * [`metrics`] — lock-free counters, gauges and log-bucketed latency
+//!   histograms plus a [`metrics::Registry`] that exports them as
+//!   Prometheus text or JSON. Collectors are closures over the *same*
+//!   atomics the stats structs read, so exported totals reconcile exactly
+//!   with `PoolStats` / `CacheStats`.
+//! * [`slowlog`] — a bounded ring buffer capturing the profile of any
+//!   query whose wall time exceeds a configurable threshold.
+
+pub mod metrics;
+pub mod slowlog;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry};
+pub use slowlog::{SlowEntry, SlowLog};
+pub use trace::{Span, SpanId, Trace, TraceBuilder};

@@ -1,0 +1,155 @@
+//! Slow-query log: a bounded ring buffer capturing the profile of any
+//! query whose wall time exceeds a configurable threshold.
+//!
+//! Slot reservation is lock-free (a single `fetch_add` on the write
+//! cursor); each slot is guarded by its own mutex purely to prevent torn
+//! reads of the entry payload. Fast queries never touch the ring — the
+//! only cost on the non-slow path is one relaxed threshold load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::Trace;
+
+/// One captured slow query.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Monotone sequence number (0-based admission order).
+    pub seq: u64,
+    /// The query as submitted (with a kind prefix for top-k/near requests).
+    pub query: String,
+    /// Wall time of the request in microseconds.
+    pub micros: u64,
+    /// Whether the result came from the result cache.
+    pub cached: bool,
+    /// Free-form summary (counter deltas, engine, hit count).
+    pub summary: String,
+    /// Full span tree when the engine ran with tracing enabled.
+    pub trace: Option<Trace>,
+}
+
+/// Bounded ring of [`SlowEntry`] records.
+pub struct SlowLog {
+    threshold_us: AtomicU64,
+    total: AtomicU64,
+    slots: Vec<Mutex<Option<SlowEntry>>>,
+}
+
+impl SlowLog {
+    /// `threshold_us` of 0 disables capture; `capacity` is clamped to ≥ 1.
+    pub fn new(threshold_us: u64, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SlowLog {
+            threshold_us: AtomicU64::new(threshold_us),
+            total: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Current threshold in microseconds (0 = disabled).
+    #[inline]
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Adjust the threshold at runtime. 0 disables capture.
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Whether a request taking `micros` should be captured.
+    #[inline]
+    pub fn should_log(&self, micros: u64) -> bool {
+        let t = self.threshold_us();
+        t != 0 && micros >= t
+    }
+
+    /// Lifetime count of captured queries (including ones already evicted
+    /// from the ring).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record an entry. `entry.seq` is assigned here.
+    pub fn record(&self, mut entry: SlowEntry) {
+        let seq = self.total.fetch_add(1, Ordering::Relaxed);
+        entry.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap() = Some(entry);
+    }
+
+    /// Retained entries, most recent first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        let mut out: Vec<SlowEntry> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap().clone())
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.seq));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(query: &str, micros: u64) -> SlowEntry {
+        SlowEntry {
+            seq: 0,
+            query: query.to_string(),
+            micros,
+            cached: false,
+            summary: String::new(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn threshold_gates_logging() {
+        let log = SlowLog::new(0, 4);
+        assert!(!log.should_log(u64::MAX), "threshold 0 disables capture");
+        log.set_threshold_us(100);
+        assert!(!log.should_log(99));
+        assert!(log.should_log(100));
+        assert!(log.should_log(5000));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let log = SlowLog::new(1, 3);
+        for i in 0..5u64 {
+            log.record(entry(&format!("q{i}"), 10 + i));
+        }
+        assert_eq!(log.total(), 5);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].query, "q4");
+        assert_eq!(entries[0].seq, 4);
+        assert_eq!(entries[2].query, "q2");
+    }
+
+    #[test]
+    fn concurrent_record_is_safe() {
+        let log = std::sync::Arc::new(SlowLog::new(1, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        log.record(entry(&format!("t{t}-{i}"), i + 1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(log.total(), 200);
+        assert_eq!(log.entries().len(), 8);
+    }
+}

@@ -47,6 +47,7 @@ pub mod pool;
 
 pub use alloc::{thread_allocs, CountingAlloc};
 pub use cache::{CacheStats, ResultCache};
+pub use ftsl_obs::{HistogramSnapshot, MetricValue, Registry, SlowEntry, SlowLog};
 pub use pool::{
     PoolStats, QueryRequest, ServeConfig, ServeContext, ServePool, ServePoolExt, Served, Ticket,
     WorkerStats,
@@ -98,6 +99,18 @@ impl Answer {
             Answer::Search(r) => Some(r.counters),
             Answer::TopK(r) => r.counters,
             Answer::Near(r) => Some(r.counters),
+        }
+    }
+
+    /// The span tree recorded during evaluation, when the engine ran with
+    /// [`ftsl_exec::engine::ExecOptions::trace`] enabled (configure via
+    /// [`ftsl_core::LiveFtsl::with_options`]); slow-query log entries for
+    /// such engines carry the full profile.
+    pub fn trace(&self) -> Option<&ftsl_obs::Trace> {
+        match self {
+            Answer::Search(r) => r.trace.as_deref(),
+            Answer::TopK(r) => r.trace.as_deref(),
+            Answer::Near(r) => r.trace.as_deref(),
         }
     }
 }

@@ -18,10 +18,12 @@ use crate::cache::ResultCache;
 use crate::{thread_allocs, Answer, CacheStats};
 use ftsl_core::{ExecScratch, FtslError, LiveFtsl, RankModel};
 use ftsl_index::scratch_pool_stats;
+use ftsl_obs::{Histogram, HistogramSnapshot, MetricValue, Registry, SlowEntry, SlowLog};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// What to run. The query text is COMP syntax (subsumes BOOL and DIST),
 /// exactly as [`LiveFtsl::search`] / [`LiveFtsl::search_top_k`] take it.
@@ -93,6 +95,23 @@ impl QueryRequest {
             QueryRequest::Near { first, .. } => first,
         }
     }
+
+    /// A one-line human rendering for logs (slow-query entries).
+    pub fn describe(&self) -> String {
+        match self {
+            QueryRequest::Search { query } => query.clone(),
+            QueryRequest::TopK { query, model, k } => {
+                format!("top-k k={k} model={model:?} {query}")
+            }
+            QueryRequest::Near {
+                first,
+                second,
+                bound,
+                ordered,
+                k,
+            } => format!("near k={k} bound={bound} ordered={ordered} '{first}' '{second}'"),
+        }
+    }
 }
 
 /// A served answer plus where it came from.
@@ -106,13 +125,25 @@ pub struct Served {
     pub version: u64,
 }
 
-/// Pool sizing and cache capacity.
+/// Pool sizing, cache capacity, and observability knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     /// Worker threads. 0 is promoted to 1.
     pub workers: usize,
     /// Result-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Record per-request latency into the worker histograms exported by
+    /// [`ServePool::metrics_text`]. Costs one `Instant::now` pair and
+    /// three relaxed atomic ops per request; disable to shave the last
+    /// nanoseconds off the hot path. The metrics *registry* exists either
+    /// way — counters keep counting, only the duration histogram stays
+    /// empty when this is off.
+    pub metrics: bool,
+    /// Wall-time threshold in microseconds above which a request is
+    /// captured in the slow-query log. 0 disables capture entirely.
+    pub slow_query_us: u64,
+    /// Ring-buffer capacity of the slow-query log (clamped to ≥ 1).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +153,9 @@ impl Default for ServeConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_capacity: 1024,
+            metrics: true,
+            slow_query_us: 10_000,
+            slow_log_capacity: 64,
         }
     }
 }
@@ -156,6 +190,9 @@ struct WorkerSlot {
     scratch_reused: AtomicU64,
     scratch_allocated: AtomicU64,
     pair_entries: AtomicU64,
+    /// Request wall time in µs, recorded when [`ServeConfig::metrics`] is
+    /// on. Per-worker so recording never contends; merged on read.
+    latency_us: Histogram,
 }
 
 impl WorkerSlot {
@@ -171,13 +208,28 @@ impl WorkerSlot {
     }
 }
 
-/// Pool-wide counters: one [`WorkerStats`] per worker plus the cache's.
+/// Pool-wide counters: one [`WorkerStats`] per worker plus the cache's
+/// and the merged request-latency histogram.
+///
+/// **Ordering caveat:** every counter is maintained with `Relaxed` atomic
+/// operations and [`ServePool::stats`] reads them while workers may still
+/// be running, so a snapshot is *per-counter* exact (each value is a real
+/// value that counter held) but not a cross-counter atomic cut — e.g.
+/// `served()` can momentarily exceed `cache.hits + cache.misses` while a
+/// request is between its cache lookup and its slot update. Once the pool
+/// is quiescent (all submitted tickets have resolved), every identity
+/// holds exactly: `served() == cache.hits + cache.misses`,
+/// `cache_hits() == cache.hits`, and `latency.count() == served()` when
+/// metrics are enabled — the reconciliation tests pin this down.
 #[derive(Clone, Debug)]
 pub struct PoolStats {
     /// Per-worker counters, index = worker id.
     pub workers: Vec<WorkerStats>,
     /// Result-cache counters.
     pub cache: CacheStats,
+    /// Request wall-time histogram merged across workers (empty when
+    /// [`ServeConfig::metrics`] is off).
+    pub latency: HistogramSnapshot,
 }
 
 impl PoolStats {
@@ -209,6 +261,9 @@ struct Shared {
     work_ready: Condvar,
     shutdown: AtomicBool,
     slots: Vec<Arc<WorkerSlot>>,
+    /// Mirror of [`ServeConfig::metrics`].
+    metrics: bool,
+    slow: Arc<SlowLog>,
 }
 
 /// A pending request; [`Ticket::wait`] blocks for the worker's answer.
@@ -302,6 +357,7 @@ impl ServeContext {
 pub struct ServePool {
     shared: Arc<Shared>,
     cache: Arc<ResultCache>,
+    registry: Registry,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -311,12 +367,16 @@ impl ServePool {
         let workers = config.workers.max(1);
         let cache = Arc::new(ResultCache::new(config.cache_capacity));
         let slots: Vec<Arc<WorkerSlot>> = (0..workers).map(|_| Arc::default()).collect();
+        let slow = Arc::new(SlowLog::new(config.slow_query_us, config.slow_log_capacity));
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             slots,
+            metrics: config.metrics,
+            slow: Arc::clone(&slow),
         });
+        let registry = build_registry(&shared, &cache, &slow, &engine);
         let handles = (0..workers)
             .map(|id| {
                 let shared = Arc::clone(&shared);
@@ -331,6 +391,7 @@ impl ServePool {
         ServePool {
             shared,
             cache,
+            registry,
             handles,
         }
     }
@@ -362,13 +423,269 @@ impl ServePool {
         &self.cache
     }
 
-    /// Per-worker and cache counters.
+    /// Per-worker and cache counters plus the merged latency histogram.
+    ///
+    /// One snapshot per call; see the [`PoolStats`] ordering caveat for
+    /// what "snapshot" means while workers are still running.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             workers: self.shared.slots.iter().map(|s| s.snapshot()).collect(),
             cache: self.cache.stats(),
+            latency: merged_latency(&self.shared.slots),
         }
     }
+
+    /// The metrics registry. Collectors read the same atomics
+    /// [`ServePool::stats`] reads, so exports reconcile exactly with
+    /// [`PoolStats`] / [`CacheStats`] once the pool is quiescent.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// All metrics in the Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.registry.prometheus_text()
+    }
+
+    /// All metrics as a JSON object keyed by metric name.
+    pub fn metrics_json(&self) -> String {
+        self.registry.json()
+    }
+
+    /// The slow-query log (ring of requests over
+    /// [`ServeConfig::slow_query_us`]; threshold adjustable at runtime).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.shared.slow
+    }
+}
+
+fn merged_latency(slots: &[Arc<WorkerSlot>]) -> HistogramSnapshot {
+    slots.iter().fold(HistogramSnapshot::empty(), |acc, s| {
+        acc.merge(&s.latency_us.snapshot())
+    })
+}
+
+/// Wire up every collector: serve counters, request latency, result
+/// cache, slow log, engine liveness, and index residency (including the
+/// word-pair auxiliary lists and the block-decode cache).
+fn build_registry(
+    shared: &Arc<Shared>,
+    cache: &Arc<ResultCache>,
+    slow: &Arc<SlowLog>,
+    engine: &Arc<LiveFtsl>,
+) -> Registry {
+    let registry = Registry::new();
+    let sum_slot = |shared: &Arc<Shared>, f: fn(&WorkerSlot) -> &AtomicU64| {
+        let shared = Arc::clone(shared);
+        move || {
+            MetricValue::Counter(
+                shared
+                    .slots
+                    .iter()
+                    .map(|s| f(s).load(Ordering::Relaxed))
+                    .sum(),
+            )
+        }
+    };
+    registry.register(
+        "ftsl_serve_requests_total",
+        "Requests completed across all workers",
+        sum_slot(shared, |s| &s.served),
+    );
+    registry.register(
+        "ftsl_serve_cache_hits_total",
+        "Requests answered from the result cache",
+        sum_slot(shared, |s| &s.cache_hits),
+    );
+    registry.register(
+        "ftsl_serve_pair_entries_total",
+        "Postings resolved from word-pair auxiliary lists (cache misses only)",
+        sum_slot(shared, |s| &s.pair_entries),
+    );
+    registry.register(
+        "ftsl_serve_worker_allocs_total",
+        "Heap allocations on worker threads (0 unless CountingAlloc is installed)",
+        sum_slot(shared, |s| &s.allocs),
+    );
+    let sh = Arc::clone(shared);
+    registry.register(
+        "ftsl_serve_scratch_reused",
+        "Cursor scratch buffers recycled across worker threads",
+        move || {
+            MetricValue::Gauge(
+                sh.slots
+                    .iter()
+                    .map(|s| s.scratch_reused.load(Ordering::Relaxed))
+                    .sum(),
+            )
+        },
+    );
+    let sh = Arc::clone(shared);
+    registry.register(
+        "ftsl_serve_scratch_allocated",
+        "Cursor scratch buffers heap-allocated across worker threads",
+        move || {
+            MetricValue::Gauge(
+                sh.slots
+                    .iter()
+                    .map(|s| s.scratch_allocated.load(Ordering::Relaxed))
+                    .sum(),
+            )
+        },
+    );
+    let sh = Arc::clone(shared);
+    registry.register(
+        "ftsl_request_duration_us",
+        "Request wall time in microseconds (empty when ServeConfig::metrics is off)",
+        move || MetricValue::Histogram(merged_latency(&sh.slots)),
+    );
+    let ch = Arc::clone(cache);
+    registry.register(
+        "ftsl_result_cache_hits_total",
+        "Result-cache lookups that found a current-version entry",
+        move || MetricValue::Counter(ch.stats().hits),
+    );
+    let ch = Arc::clone(cache);
+    registry.register(
+        "ftsl_result_cache_misses_total",
+        "Result-cache lookups that fell through to evaluation",
+        move || MetricValue::Counter(ch.stats().misses),
+    );
+    let ch = Arc::clone(cache);
+    registry.register(
+        "ftsl_result_cache_insertions_total",
+        "Answers inserted into the result cache",
+        move || MetricValue::Counter(ch.stats().insertions),
+    );
+    let ch = Arc::clone(cache);
+    registry.register(
+        "ftsl_result_cache_evictions_total",
+        "Entries evicted from the result cache",
+        move || MetricValue::Counter(ch.stats().evictions),
+    );
+    let ch = Arc::clone(cache);
+    registry.register(
+        "ftsl_result_cache_entries",
+        "Entries currently resident in the result cache",
+        move || MetricValue::Gauge(ch.stats().entries as u64),
+    );
+    let ch = Arc::clone(cache);
+    registry.register(
+        "ftsl_result_cache_capacity",
+        "Result-cache capacity in entries",
+        move || MetricValue::Gauge(ch.stats().capacity as u64),
+    );
+    let sl = Arc::clone(slow);
+    registry.register(
+        "ftsl_slow_queries_total",
+        "Requests captured by the slow-query log (lifetime, including evicted)",
+        move || MetricValue::Counter(sl.total()),
+    );
+    let sl = Arc::clone(slow);
+    registry.register(
+        "ftsl_slow_query_threshold_us",
+        "Slow-query capture threshold in microseconds (0 = disabled)",
+        move || MetricValue::Gauge(sl.threshold_us()),
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_engine_version",
+        "Mutation version of the live engine (result-cache key component)",
+        move || MetricValue::Gauge(en.version()),
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_engine_segments",
+        "Sealed segments currently live",
+        move || MetricValue::Gauge(en.live_index().segment_count() as u64),
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_engine_live_docs",
+        "Documents visible to readers (added minus deleted)",
+        move || MetricValue::Gauge(en.live_index().live_doc_count() as u64),
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_engine_tombstones",
+        "Deletions awaiting merge reclamation",
+        move || MetricValue::Gauge(en.live_index().tombstone_count() as u64),
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_engine_merges_total",
+        "Background segment merges committed",
+        move || MetricValue::Counter(en.live_index().merges_completed()),
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_index_resident_bytes",
+        "Resident heap bytes across live segments",
+        move || {
+            MetricValue::Gauge(
+                en.segment_reports()
+                    .iter()
+                    .map(|r| r.resident_bytes as u64)
+                    .sum(),
+            )
+        },
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_index_pair_bytes",
+        "Bytes held by word-pair auxiliary lists across live segments",
+        move || {
+            MetricValue::Gauge(
+                en.segment_reports()
+                    .iter()
+                    .map(|r| r.pair_bytes as u64)
+                    .sum(),
+            )
+        },
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_decode_cache_hits_total",
+        "Block-decode cache hits across live segments",
+        move || {
+            let snap = en.snapshot();
+            MetricValue::Counter(
+                snap.segments()
+                    .iter()
+                    .map(|s| s.data().index().decode_cache_stats().hits)
+                    .sum(),
+            )
+        },
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_decode_cache_misses_total",
+        "Block-decode cache misses across live segments",
+        move || {
+            let snap = en.snapshot();
+            MetricValue::Counter(
+                snap.segments()
+                    .iter()
+                    .map(|s| s.data().index().decode_cache_stats().misses)
+                    .sum(),
+            )
+        },
+    );
+    let en = Arc::clone(engine);
+    registry.register(
+        "ftsl_decode_cache_resident_bytes",
+        "Decoded posting-list bytes retained by the block-decode caches",
+        move || {
+            let snap = en.snapshot();
+            MetricValue::Gauge(
+                snap.segments()
+                    .iter()
+                    .map(|s| s.data().index().decode_cache_stats().resident_bytes as u64)
+                    .sum(),
+            )
+        },
+    );
+    registry
 }
 
 impl Drop for ServePool {
@@ -395,6 +712,10 @@ fn worker_loop(shared: &Shared, slot: &WorkerSlot, ctx: &mut ServeContext) {
                 queue = shared.work_ready.wait(queue).expect("serve queue poisoned");
             }
         };
+        // Timing is taken only when someone will consume it; with metrics
+        // and the slow log both off, the hot path clocks nothing.
+        let timed = shared.metrics || shared.slow.threshold_us() != 0;
+        let start = timed.then(Instant::now);
         let allocs_before = thread_allocs();
         let result = ctx.serve(&job.req);
         slot.allocs
@@ -408,12 +729,53 @@ fn worker_loop(shared: &Shared, slot: &WorkerSlot, ctx: &mut ServeContext) {
                     .fetch_add(c.pair_entries, Ordering::Relaxed);
             }
         }
+        if let Some(start) = start {
+            let micros = start.elapsed().as_micros() as u64;
+            if shared.metrics {
+                slot.latency_us.record(micros);
+            }
+            if shared.slow.should_log(micros) {
+                shared.slow.record(slow_entry(&job.req, micros, &result));
+            }
+        }
         let pool = scratch_pool_stats();
         slot.scratch_reused.store(pool.reused, Ordering::Relaxed);
         slot.scratch_allocated
             .store(pool.allocated, Ordering::Relaxed);
         // The requester may have given up (dropped ticket) — fine.
         let _ = job.reply.send(result);
+    }
+}
+
+/// Build the slow-log record for a request that crossed the threshold.
+/// Runs only on the (rare, already-slow) capture path, so the `String`
+/// allocations here never touch steady-state serving.
+fn slow_entry(req: &QueryRequest, micros: u64, result: &Reply) -> SlowEntry {
+    let (cached, summary, trace) = match result {
+        Ok(served) => {
+            let hits = match served.answer.as_ref() {
+                Answer::Search(r) => r.len(),
+                Answer::TopK(r) => r.hits.len(),
+                Answer::Near(r) => r.hits.len(),
+            };
+            let summary = match served.answer.counters() {
+                Some(c) => format!(
+                    "hits={} entries={} positions={} pair_entries={} blocks_skipped={} segments_skipped={}",
+                    hits, c.entries, c.positions, c.pair_entries, c.blocks_skipped, c.segments_skipped
+                ),
+                None => format!("hits={hits} (exhaustive ranking; no cursor counters)"),
+            };
+            (served.cached, summary, served.answer.trace().cloned())
+        }
+        Err(e) => (false, format!("error: {e}"), None),
+    };
+    SlowEntry {
+        seq: 0, // assigned by SlowLog::record
+        query: req.describe(),
+        micros,
+        cached,
+        summary,
+        trace,
     }
 }
 

@@ -15,7 +15,8 @@ use ftsl_core::{LiveConfig, LiveFtsl, RankModel};
 use ftsl_exec::engine::ExecOptions;
 use ftsl_index::scratch_pool_stats;
 use ftsl_index::IndexLayout;
-use ftsl_serve::{thread_allocs, CountingAlloc, QueryRequest, ResultCache, ServeContext};
+use ftsl_obs::Histogram;
+use ftsl_serve::{thread_allocs, CountingAlloc, QueryRequest, ResultCache, ServeContext, SlowLog};
 use std::sync::Arc;
 
 #[global_allocator]
@@ -63,6 +64,36 @@ fn cache_hit_serving_allocates_nothing() {
         let delta = thread_allocs() - before;
         assert_eq!(delta, 0, "cache-hit path allocated {delta} times: {req:?}");
     }
+}
+
+/// The observability layer must not cost the zero-alloc guarantee: the
+/// exact per-request instrumentation a pool worker performs with metrics
+/// on (clock the request, record the latency histogram, check the
+/// slow-log threshold) is replayed around the warm cache-hit path.
+#[test]
+fn metrics_recording_on_the_hit_path_allocates_nothing() {
+    let engine = blocks_engine();
+    let cache = Arc::new(ResultCache::new(32));
+    let mut ctx = ServeContext::new(Arc::clone(&engine), Arc::clone(&cache));
+    let req = QueryRequest::search("'software' AND 'usability'");
+    assert!(!ctx.serve(&req).unwrap().cached);
+    assert!(ctx.serve(&req).unwrap().cached);
+
+    let hist = Histogram::new();
+    // Threshold enabled (so the check is real) but unreachably high.
+    let slow = SlowLog::new(u64::MAX, 8);
+    let before = thread_allocs();
+    for _ in 0..100 {
+        let start = std::time::Instant::now();
+        let served = ctx.serve(&req).unwrap();
+        assert!(served.cached);
+        let micros = start.elapsed().as_micros() as u64;
+        hist.record(micros);
+        assert!(!slow.should_log(micros));
+    }
+    let delta = thread_allocs() - before;
+    assert_eq!(delta, 0, "instrumented hit path allocated {delta} times");
+    assert_eq!(hist.snapshot().count(), 100);
 }
 
 #[test]

@@ -12,7 +12,9 @@
 //! per-segment footprint, live-document ratio, and tombstone counts.
 //!
 //! Then type queries (BOOL/DIST/COMP syntax) on stdin, one per line.
-//! Commands: `:explain <query>` (frozen mode), `:rank <query>`,
+//! Commands: `:explain <query>` (an `EXPLAIN ANALYZE` profile — the span
+//! tree with per-stage wall time, cursor counter deltas, and pair-path
+//! vs position-intersection attribution), `:rank <query>`,
 //! `:top <k> <query>`, `:near <k> <bound> <a> <b>` (proximity-ranked NEAR
 //! via the word-pair auxiliary index; `:stats` shows pair coverage and how
 //! many postings came off pair lists), `:stats`, `:quit`, and in live mode
@@ -23,7 +25,10 @@
 //! stops it, and `:bench-load [requests]` runs a short closed-loop mixed
 //! read/write load against the pool and prints QPS and latency
 //! percentiles. With a pool active, `:stats` adds per-worker served/hit
-//! counts and the cache's hit rate.
+//! counts and the cache's hit rate, `:metrics` dumps the pool's metrics
+//! registry as Prometheus text, and `:slow [n]` shows the most recent
+//! slow-query log entries (`:slow-threshold <µs>` adjusts the cutoff at
+//! runtime; 0 disables capture).
 
 use ftsl_core::{Ftsl, LiveConfig, LiveFtsl, RankModel, Residency};
 use ftsl_index::AccessCounters;
@@ -211,6 +216,54 @@ fn print_pair_stats(
     )
 }
 
+/// `:slow [n]` — the most recent slow-query log entries (newest first),
+/// each with its sequence number, wall time, cache disposition, and
+/// counter summary; entries captured while the engine traces carry the
+/// full span tree and render it indented underneath.
+fn print_slow_log(
+    out: &mut impl Write,
+    log: &ftsl_serve::SlowLog,
+    limit: usize,
+) -> std::io::Result<()> {
+    let threshold = log.threshold_us();
+    if threshold == 0 {
+        writeln!(
+            out,
+            "slow-query capture disabled (:slow-threshold <µs> to enable)"
+        )?;
+    } else {
+        writeln!(
+            out,
+            "slow queries: {} over {}µs since start, last {} retained",
+            log.total(),
+            threshold,
+            log.capacity()
+        )?;
+    }
+    let entries = log.entries();
+    if entries.is_empty() {
+        writeln!(out, "(none captured)")?;
+        return Ok(());
+    }
+    for e in entries.iter().take(limit) {
+        writeln!(
+            out,
+            "#{:<4} {:>8}µs{}  {}",
+            e.seq,
+            e.micros,
+            if e.cached { " [cached]" } else { "" },
+            e.query
+        )?;
+        writeln!(out, "      {}", e.summary)?;
+        if let Some(trace) = &e.trace {
+            for line in trace.render().lines() {
+                writeln!(out, "      {line}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `:near <k> <bound> <first> <second>` argument parsing (shared by the
 /// frozen and live shells).
 fn parse_near(rest: &str) -> Result<(usize, u32, &str, &str), Box<dyn std::error::Error>> {
@@ -287,7 +340,7 @@ fn dispatch(
         return Ok(());
     }
     if let Some(q) = input.strip_prefix(":explain ") {
-        writeln!(out, "{}", engine.explain(q)?)?;
+        writeln!(out, "{}", engine.explain_analyze(q)?)?;
         return Ok(());
     }
     if let Some(q) = input.strip_prefix(":rank ") {
@@ -351,9 +404,10 @@ fn dispatch_live(
     if input == ":help" {
         writeln!(
             out,
-            ":add <text> | :delete <node> | :flush | :merge | :rank <q> | \
-             :top <k> <q> | :near <k> <bound> <a> <b> | :serve <n> | \
-             :bench-load [requests] | :stats | :quit"
+            ":add <text> | :delete <node> | :flush | :merge | :explain <q> | \
+             :rank <q> | :top <k> <q> | :near <k> <bound> <a> <b> | :serve <n> | \
+             :bench-load [requests] | :metrics | :slow [n] | \
+             :slow-threshold <µs> | :stats | :quit"
         )?;
         return Ok(());
     }
@@ -387,6 +441,46 @@ fn dispatch_live(
             return Ok(());
         };
         bench_load(engine, p, requests, out)?;
+        return Ok(());
+    }
+    if let Some(q) = input.strip_prefix(":explain ") {
+        writeln!(out, "{}", engine.explain_analyze(q)?)?;
+        return Ok(());
+    }
+    if input == ":metrics" {
+        let Some(p) = pool.as_ref() else {
+            writeln!(out, "no serve pool — start one with :serve <n> first")?;
+            return Ok(());
+        };
+        write!(out, "{}", p.metrics_text())?;
+        return Ok(());
+    }
+    if input == ":slow" || input.starts_with(":slow ") {
+        let Some(p) = pool.as_ref() else {
+            writeln!(out, "no serve pool — start one with :serve <n> first")?;
+            return Ok(());
+        };
+        let limit: usize = input
+            .strip_prefix(":slow")
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or(usize::MAX);
+        print_slow_log(out, p.slow_log(), limit)?;
+        return Ok(());
+    }
+    if let Some(us) = input.strip_prefix(":slow-threshold ") {
+        let Some(p) = pool.as_ref() else {
+            writeln!(out, "no serve pool — start one with :serve <n> first")?;
+            return Ok(());
+        };
+        let us: u64 = us.trim().parse()?;
+        p.slow_log().set_threshold_us(us);
+        if us == 0 {
+            writeln!(out, "slow-query capture disabled")?;
+        } else {
+            writeln!(out, "slow-query threshold set to {us}µs")?;
+        }
         return Ok(());
     }
     if let Some(text) = input.strip_prefix(":add ") {
@@ -445,12 +539,14 @@ fn dispatch_live(
             total_bytes += r.resident_bytes;
             writeln!(
                 out,
-                "  segment {:>3}: {:>6} docs, {:>5} tombstones, live ratio {:.2}, {:>9}B",
+                "  segment {:>3}: {:>6} docs, {:>5} tombstones, live ratio {:.2}, \
+                 {:>9}B ({}B pair lists)",
                 r.id,
                 r.docs,
                 r.tombstones,
                 r.live_ratio(),
-                r.resident_bytes
+                r.resident_bytes,
+                r.pair_bytes
             )?;
         }
         writeln!(
@@ -483,6 +579,25 @@ fn dispatch_live(
                 stats.served(),
                 stats.cache_hits(),
                 stats.pair_entries()
+            )?;
+            let lat = &stats.latency;
+            if lat.count() > 0 {
+                writeln!(
+                    out,
+                    "  latency: p50 {}µs p95 {}µs p99 {}µs max {}µs over {} request(s)",
+                    lat.quantile(0.50),
+                    lat.quantile(0.95),
+                    lat.quantile(0.99),
+                    lat.max,
+                    lat.count()
+                )?;
+            }
+            let slow = p.slow_log();
+            writeln!(
+                out,
+                "  slow queries: {} over {}µs (:slow to inspect)",
+                slow.total(),
+                slow.threshold_us()
             )?;
             for (id, w) in stats.workers.iter().enumerate() {
                 writeln!(

@@ -8,6 +8,7 @@ pub use ftsl_exec as exec;
 pub use ftsl_index as index;
 pub use ftsl_lang as lang;
 pub use ftsl_model as model;
+pub use ftsl_obs as obs;
 pub use ftsl_predicates as predicates;
 pub use ftsl_scoring as scoring;
 pub use ftsl_serve as serve;
